@@ -1,0 +1,66 @@
+//! Design-choice ablations (DESIGN.md §3): each prints its paper-vs-sim
+//! comparison once, then benchmarks the underlying simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flowmark_harness::experiments;
+use flowmark_sim::Calibration;
+
+fn ablation_delta_vs_bulk(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let (bulk, delta) = experiments::ablation_delta(&cal);
+    println!(
+        "\n== abl-delta: CC Medium 27n — bulk {bulk:.0}s vs delta {delta:.0}s ({:.2}x; \
+         paper: delta drives the up-to-30% CC advantage) ==",
+        bulk / delta
+    );
+    c.bench_function("ablation/delta_vs_bulk", |b| {
+        b.iter(|| experiments::ablation_delta(&cal))
+    });
+}
+
+fn ablation_serializer(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let (java, kryo) = experiments::ablation_serializer(&cal);
+    println!(
+        "\n== abl-serde: Spark WC 16n — Java {java:.0}s vs Kryo {kryo:.0}s \
+         (§IV-D: Kryo \"can be more efficient\") =="
+    );
+    c.bench_function("ablation/serializer", |b| {
+        b.iter(|| experiments::ablation_serializer(&cal))
+    });
+}
+
+fn ablation_parallelism(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let (tuned, reduced) = experiments::ablation_parallelism(&cal);
+    println!(
+        "\n== abl-par: Spark WC 8n — tuned {tuned:.0}s vs 2×cores {reduced:.0}s \
+         ({:+.1}%; paper: +10% — see EXPERIMENTS.md for the known deviation) ==",
+        (reduced - tuned) / tuned * 100.0
+    );
+    c.bench_function("ablation/parallelism", |b| {
+        b.iter(|| experiments::ablation_parallelism(&cal))
+    });
+}
+
+fn ablation_terasort_memory(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let (s, f) = experiments::ablation_terasort_memory(&cal);
+    println!(
+        "\n== abl-mem: TeraSort 27n × 75 GB/node, 102 GB memory — Spark {s:.0}s vs \
+         Flink {f:.0}s ({:.1}% gain; paper: 15%) ==",
+        (s - f) / s * 100.0
+    );
+    c.bench_function("ablation/terasort_memory", |b| {
+        b.iter(|| experiments::ablation_terasort_memory(&cal))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_delta_vs_bulk, ablation_serializer, ablation_parallelism,
+              ablation_terasort_memory
+}
+criterion_main!(ablations);

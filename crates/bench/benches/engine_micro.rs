@@ -1,0 +1,126 @@
+//! Microbenchmarks of the real engines' substrates: the components whose
+//! costs the simulator's calibration constants stand for.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use flowmark_datagen::terasort::TeraGen;
+use flowmark_datagen::text::{TextGen, TextGenConfig};
+use flowmark_dataflow::partitioner::{fxhash, HashPartitioner, Partitioner, RangePartitioner};
+use flowmark_engine::sortbuf::SortCombineBuffer;
+use flowmark_engine::{EngineMetrics, FlinkEnv, SparkContext};
+use flowmark_workloads::{terasort, wordcount};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioner");
+    let keys: Vec<String> = (0..10_000).map(|i| format!("word{i:06}")).collect();
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    let hp = HashPartitioner::new(512);
+    g.bench_function("hash_10k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| hp.partition(k)).sum::<usize>())
+    });
+    let splits: Vec<u64> = (1..512).map(|i| i * 1_000_000).collect();
+    let rp = RangePartitioner::new(splits);
+    let nums: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(48_271) % 512_000_000).collect();
+    g.bench_function("range_10k_keys", |b| {
+        b.iter(|| nums.iter().map(|k| rp.partition(k)).sum::<usize>())
+    });
+    g.bench_function("fxhash_10k", |b| {
+        b.iter(|| keys.iter().map(fxhash).fold(0u64, u64::wrapping_add))
+    });
+    g.finish();
+}
+
+fn bench_sort_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sortbuf");
+    let pairs: Vec<(String, u64)> = (0..100_000)
+        .map(|i| (format!("k{}", i % 5_000), 1u64))
+        .collect();
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    for capacity in [1_024usize, 16_384] {
+        g.bench_function(format!("combine_100k_cap{capacity}"), |b| {
+            b.iter_batched(
+                || pairs.clone(),
+                |data| {
+                    let mut buf = SortCombineBuffer::new(
+                        capacity,
+                        24,
+                        Arc::new(|a: &mut u64, v| *a += v),
+                        EngineMetrics::new(),
+                    );
+                    for (k, v) in data {
+                        buf.insert(k, v);
+                    }
+                    buf.finish().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_wordcount_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wordcount_real");
+    g.sample_size(10);
+    let lines = TextGen::new(TextGenConfig::default(), 9).lines(20_000);
+    g.throughput(Throughput::Elements(lines.len() as u64));
+    g.bench_function("staged_8p", |b| {
+        b.iter_batched(
+            || lines.clone(),
+            |data| {
+                let sc = SparkContext::new(8, 128 << 20);
+                wordcount::run_spark(&sc, data, 8).len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("pipelined_8p", |b| {
+        b.iter_batched(
+            || lines.clone(),
+            |data| {
+                let env = FlinkEnv::new(8);
+                wordcount::run_flink(&env, data).len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_terasort_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("terasort_real");
+    g.sample_size(10);
+    let records = TeraGen::new(5).records(50_000);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("staged_8p", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |data| {
+                let sc = SparkContext::new(8, 128 << 20);
+                terasort::run_spark(&sc, data, 8).len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("pipelined_8p", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |data| {
+                let env = FlinkEnv::new(8);
+                terasort::run_flink(&env, data, 8).len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default();
+    targets = bench_partitioners, bench_sort_combine, bench_wordcount_engines,
+              bench_terasort_engines
+}
+criterion_main!(micro);

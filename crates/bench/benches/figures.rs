@@ -1,0 +1,271 @@
+//! One Criterion group per paper figure/table. Each group first prints the
+//! regenerated series (the rows the paper reports), then benchmarks one
+//! representative simulated trial so regressions in the simulator's cost
+//! show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flowmark_bench::{one_trial, print_figure};
+use flowmark_core::config::Framework;
+use flowmark_sim::Calibration;
+use flowmark_workloads::connected::{self, CcVariant};
+use flowmark_workloads::grep::{self, GrepScale};
+use flowmark_workloads::kmeans::{self, KMeansScale};
+use flowmark_workloads::pagerank::{self, GraphScale};
+use flowmark_workloads::presets;
+use flowmark_workloads::terasort::{self, TeraSortScale};
+use flowmark_workloads::wordcount::{self, WordCountScale};
+
+fn bench_cell(c: &mut Criterion, name: &str, plan: flowmark_dataflow::plan::LogicalPlan, fw: Framework, run: flowmark_core::config::RunConfig) {
+    c.bench_function(name, |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            one_trial(&plan, fw, &run, seed).expect("valid")
+        })
+    });
+}
+
+fn fig1_wordcount_weak(c: &mut Criterion) {
+    let cells: Vec<_> = [2u32, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            let s = WordCountScale::per_node(n, 24.0);
+            (
+                n as f64,
+                wordcount::plan(Framework::Spark, &s),
+                wordcount::plan(Framework::Flink, &s),
+                presets::wordcount_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig1", "Word Count - fixed problem size per node (24GB)", "Nodes", &cells);
+    let s = WordCountScale::per_node(32, 24.0);
+    bench_cell(c, "fig1_wordcount_weak/flink_32n", wordcount::plan(Framework::Flink, &s), Framework::Flink, presets::wordcount_config(32));
+    bench_cell(c, "fig1_wordcount_weak/spark_32n", wordcount::plan(Framework::Spark, &s), Framework::Spark, presets::wordcount_config(32));
+}
+
+fn fig2_wordcount_strong(c: &mut Criterion) {
+    let cells: Vec<_> = [24.0, 27.0, 30.0, 33.0]
+        .iter()
+        .map(|&gb| {
+            let s = WordCountScale::per_node(16, gb);
+            (
+                gb,
+                wordcount::plan(Framework::Spark, &s),
+                wordcount::plan(Framework::Flink, &s),
+                presets::wordcount_config(16),
+            )
+        })
+        .collect();
+    print_figure("fig2", "Word Count - 16 nodes, different datasets", "GB/node", &cells);
+    let s = WordCountScale::per_node(16, 33.0);
+    bench_cell(c, "fig2_wordcount_strong/flink_33gb", wordcount::plan(Framework::Flink, &s), Framework::Flink, presets::wordcount_config(16));
+}
+
+fn fig3_wordcount_resources(c: &mut Criterion) {
+    // The resource figure: time the full telemetry-producing simulation.
+    let cal = Calibration::default();
+    let s = WordCountScale::per_node(32, 24.0);
+    let run = presets::wordcount_config(32);
+    let spark_plan = wordcount::plan(Framework::Spark, &s);
+    let flink_plan = wordcount::plan(Framework::Flink, &s);
+    c.bench_function("fig3_wordcount_resources/telemetry_both", |b| {
+        b.iter(|| {
+            let a = flowmark_sim::simulate(&spark_plan, Framework::Spark, &run, &cal, 1).unwrap();
+            let z = flowmark_sim::simulate(&flink_plan, Framework::Flink, &run, &cal, 1).unwrap();
+            (a.telemetry.duration(), z.telemetry.duration())
+        })
+    });
+}
+
+fn fig4_fig5_grep(c: &mut Criterion) {
+    let cells: Vec<_> = [2u32, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            let s = GrepScale::per_node(n, 24.0);
+            (
+                n as f64,
+                grep::plan(Framework::Spark, &s),
+                grep::plan(Framework::Flink, &s),
+                presets::grep_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig4", "Grep - fixed problem size per node (24GB)", "Nodes", &cells);
+    let cells5: Vec<_> = [24.0, 27.0, 30.0, 33.0]
+        .iter()
+        .map(|&gb| {
+            let s = GrepScale::per_node(16, gb);
+            (
+                gb,
+                grep::plan(Framework::Spark, &s),
+                grep::plan(Framework::Flink, &s),
+                presets::grep_config(16),
+            )
+        })
+        .collect();
+    print_figure("fig5", "Grep - 16 nodes, different datasets", "GB/node", &cells5);
+    let s = GrepScale::per_node(32, 24.0);
+    bench_cell(c, "fig4_grep_weak/spark_32n", grep::plan(Framework::Spark, &s), Framework::Spark, presets::grep_config(32));
+    bench_cell(c, "fig6_grep_resources/flink_32n", grep::plan(Framework::Flink, &s), Framework::Flink, presets::grep_config(32));
+}
+
+fn fig7_fig8_terasort(c: &mut Criterion) {
+    let cells7: Vec<_> = [17u32, 34, 63]
+        .iter()
+        .map(|&n| {
+            let s = TeraSortScale::per_node(n, 32.0);
+            (
+                n as f64,
+                terasort::plan(Framework::Spark, &s),
+                terasort::plan(Framework::Flink, &s),
+                presets::terasort_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig7", "Tera Sort - fixed problem size per node (32 GB)", "Nodes", &cells7);
+    let s8 = TeraSortScale::total_tb(3.5);
+    let cells8: Vec<_> = [55u32, 73, 97]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                terasort::plan(Framework::Spark, &s8),
+                terasort::plan(Framework::Flink, &s8),
+                presets::terasort_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig8", "Tera Sort - adding nodes, same dataset (3.5TB)", "Nodes", &cells8);
+    bench_cell(c, "fig9_terasort_resources/flink_55n", terasort::plan(Framework::Flink, &s8), Framework::Flink, presets::terasort_config(55));
+    bench_cell(c, "fig9_terasort_resources/spark_55n", terasort::plan(Framework::Spark, &s8), Framework::Spark, presets::terasort_config(55));
+}
+
+fn fig10_fig11_kmeans(c: &mut Criterion) {
+    let s = KMeansScale::paper();
+    let cells: Vec<_> = [8u32, 14, 20, 24]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                kmeans::plan(Framework::Spark, &s),
+                kmeans::plan(Framework::Flink, &s),
+                presets::kmeans_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig11", "K-Means - increasing cluster size (1.2B samples)", "Nodes", &cells);
+    bench_cell(c, "fig10_kmeans_resources/flink_24n", kmeans::plan(Framework::Flink, &s), Framework::Flink, presets::kmeans_config(24));
+    bench_cell(c, "fig11_kmeans_scaling/spark_24n", kmeans::plan(Framework::Spark, &s), Framework::Spark, presets::kmeans_config(24));
+}
+
+fn fig12_to_fig15_graphs(c: &mut Criterion) {
+    let pr_small = GraphScale::small(20);
+    let cells12: Vec<_> = [8u32, 14, 20, 27]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                pagerank::plan(Framework::Spark, &pr_small),
+                pagerank::plan(Framework::Flink, &pr_small),
+                presets::small_graph_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig12", "Page Rank - Small Graph", "Nodes", &cells12);
+
+    let pr_medium = GraphScale::medium(20);
+    let cells13: Vec<_> = [24u32, 27, 34, 55]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                pagerank::plan(Framework::Spark, &pr_medium),
+                pagerank::plan(Framework::Flink, &pr_medium),
+                presets::medium_graph_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig13", "Page Rank - Medium Graph", "Nodes", &cells13);
+
+    let cc_small = GraphScale::small(23);
+    let cells14: Vec<_> = [8u32, 14, 20, 27]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                connected::plan(Framework::Spark, &cc_small, CcVariant::Delta),
+                connected::plan(Framework::Flink, &cc_small, CcVariant::Delta),
+                presets::small_graph_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig14", "Connected Components - Small Graph", "Nodes", &cells14);
+
+    let cc_medium = GraphScale::medium(23);
+    let cells15: Vec<_> = [27u32, 34, 55]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                connected::plan(Framework::Spark, &cc_medium, CcVariant::Delta),
+                connected::plan(Framework::Flink, &cc_medium, CcVariant::Delta),
+                presets::medium_graph_config(n),
+            )
+        })
+        .collect();
+    print_figure("fig15", "Connected Components - Medium Graph", "Nodes", &cells15);
+
+    bench_cell(
+        c,
+        "fig16_pagerank_resources/flink_27n",
+        pagerank::plan(Framework::Flink, &pr_small),
+        Framework::Flink,
+        presets::small_graph_config(27),
+    );
+    bench_cell(
+        c,
+        "fig17_cc_resources/spark_27n",
+        connected::plan(Framework::Spark, &cc_medium, CcVariant::Delta),
+        Framework::Spark,
+        presets::medium_graph_config(27),
+    );
+}
+
+fn table7_large_graph(c: &mut Criterion) {
+    // Print Table VII via the harness, then bench the 97-node PR cell.
+    let cal = Calibration::default();
+    println!("\n== table7 — Large graph (Table VII) ==");
+    for r in flowmark_harness::experiments::table7(&cal) {
+        println!(
+            "| {} | Flink PR {}/{} | Spark PR {}/{} | Flink CC {}/{} | Spark CC {}/{} |",
+            r.nodes,
+            r.flink_pr.0.render(),
+            r.flink_pr.1.render(),
+            r.spark_pr.0.render(),
+            r.spark_pr.1.render(),
+            r.flink_cc.0.render(),
+            r.flink_cc.1.render(),
+            r.spark_cc.0.render(),
+            r.spark_cc.1.render(),
+        );
+    }
+    let pr = GraphScale::large(5);
+    bench_cell(
+        c,
+        "table7_large_graph/spark_pr_97n",
+        pagerank::plan(Framework::Spark, &pr),
+        Framework::Spark,
+        presets::large_graph_config(97),
+    );
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = fig1_wordcount_weak, fig2_wordcount_strong, fig3_wordcount_resources,
+              fig4_fig5_grep, fig7_fig8_terasort, fig10_fig11_kmeans,
+              fig12_to_fig15_graphs, table7_large_graph
+}
+criterion_main!(figures);

@@ -1,0 +1,71 @@
+//! # flowmark-bench
+//!
+//! Benchmark support code. The actual Criterion targets live in
+//! `benches/`:
+//!
+//! - `figures` — one benchmark group per paper figure/table; each group
+//!   prints the regenerated series (the paper's rows) once, then measures
+//!   the simulator's per-trial cost;
+//! - `engine_micro` — microbenchmarks of the real engines' substrates
+//!   (sort-combine buffer, partitioners, shuffles, end-to-end Word Count);
+//! - `ablations` — the design-choice ablations from DESIGN.md (delta vs
+//!   bulk iterations, serializer choice, parallelism, TeraSort memory).
+
+#![warn(missing_docs)]
+
+use flowmark_core::config::Framework;
+use flowmark_core::experiment::Experiment;
+use flowmark_core::report::figure_markdown;
+use flowmark_dataflow::plan::LogicalPlan;
+use flowmark_sim::{simulate, Calibration, SimError};
+
+/// Runs one simulated trial of a plan (the unit the figure benches time).
+pub fn one_trial(
+    plan: &LogicalPlan,
+    fw: Framework,
+    run: &flowmark_core::config::RunConfig,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let cal = Calibration::default();
+    simulate(plan, fw, run, &cal, seed).map(|r| r.seconds)
+}
+
+/// Regenerates a whole figure (both engines, 5 trials per cell) and prints
+/// its markdown rows — called once per bench target so `cargo bench`
+/// reproduces the paper's tables as a side effect.
+pub fn print_figure(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    cells: &[(f64, LogicalPlan, LogicalPlan, flowmark_core::config::RunConfig)],
+) {
+    let cal = Calibration::default();
+    let mut exp = Experiment::new(id, title, x_label);
+    for (x, spark_plan, flink_plan, run) in cells {
+        for trial in 0..5u64 {
+            let s = simulate(spark_plan, Framework::Spark, run, &cal, trial + 1).expect("valid");
+            let f = simulate(flink_plan, Framework::Flink, run, &cal, trial + 1).expect("valid");
+            exp.record(Framework::Spark, *x, s.seconds);
+            exp.record(Framework::Flink, *x, f.seconds);
+        }
+    }
+    println!("\n== {id} — {title} ==");
+    print!("{}", figure_markdown(&exp.figure()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_workloads::presets;
+    use flowmark_workloads::wordcount::{plan, WordCountScale};
+
+    #[test]
+    fn one_trial_runs() {
+        let scale = WordCountScale::per_node(4, 24.0);
+        let run = presets::wordcount_config(4);
+        for fw in Framework::BOTH {
+            let t = one_trial(&plan(fw, &scale), fw, &run, 1).unwrap();
+            assert!(t > 0.0);
+        }
+    }
+}

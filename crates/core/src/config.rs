@@ -1,0 +1,442 @@
+//! Parameter configuration model (§IV of the paper).
+//!
+//! The paper identifies four parameter groups with a major influence on the
+//! end-to-end execution: task parallelism, shuffle/network buffers, memory
+//! management and data serialization. This module models those parameters
+//! for both engines, provides the formulas used in Tables II, III, V and VI,
+//! and validates configurations the way the real frameworks fail
+//! (insufficient task slots, insufficient network buffers, heap too small).
+
+use serde::{Deserialize, Serialize};
+
+/// Which engine a configuration or result refers to.
+///
+/// Throughout flowmark, `Spark` denotes the staged/loop-unrolling engine
+/// model ("Riverbed") and `Flink` the pipelined/native-iteration model
+/// ("Streamside"), matching the systems the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Framework {
+    /// Staged execution, RDD model (Apache Spark 1.5.3 in the paper).
+    Spark,
+    /// Pipelined execution, PACT model (Apache Flink 0.10.2 in the paper).
+    Flink,
+}
+
+impl Framework {
+    /// Both frameworks, in the paper's plotting order.
+    pub const BOTH: [Framework; 2] = [Framework::Spark, Framework::Flink];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::Spark => "Spark",
+            Framework::Flink => "Flink",
+        }
+    }
+}
+
+impl std::fmt::Display for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Serializer choice (§IV-D). Flink always uses type-information-driven
+/// binary serialization; Spark defaults to Java and can be switched to Kryo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Serializer {
+    /// JDK object serialization: large records, high CPU cost.
+    Java,
+    /// Kryo: compact, faster than Java, still generic.
+    Kryo,
+    /// Flink TypeInformation-based binary format with serialized-form
+    /// comparators (e.g. `OptimizedText`).
+    TypeInfo,
+}
+
+impl Serializer {
+    /// Relative on-wire/On-disk size factor vs. raw payload bytes.
+    /// Calibrated from published JVM serializer benchmarks: Java ≈ 1.6×,
+    /// Kryo ≈ 1.1×, Flink binary ≈ 1.0×.
+    pub fn size_factor(self) -> f64 {
+        match self {
+            Serializer::Java => 1.60,
+            Serializer::Kryo => 1.10,
+            Serializer::TypeInfo => 1.00,
+        }
+    }
+
+    /// Relative CPU cost factor per serialized byte (Java slowest).
+    pub fn cpu_factor(self) -> f64 {
+        match self {
+            Serializer::Java => 1.80,
+            Serializer::Kryo => 1.15,
+            Serializer::TypeInfo => 1.00,
+        }
+    }
+}
+
+/// Spark-side execution parameters (§IV, Tables II/III/V/VI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparkConfig {
+    /// `spark.default.parallelism`: number of partitions of shuffled RDDs.
+    pub default_parallelism: u32,
+    /// `spark.executor.memory` in GiB (all of it on the JVM heap).
+    pub executor_memory_gb: f64,
+    /// `spark.storage.fraction`: heap fraction reserved for cached RDDs.
+    pub storage_fraction: f64,
+    /// `spark.shuffle.fraction`: heap fraction reserved for shuffle buffers.
+    pub shuffle_fraction: f64,
+    /// `spark.serializer`.
+    pub serializer: Serializer,
+    /// Shuffle file buffer size in KiB (`shuffle.file.buffer`).
+    pub shuffle_file_buffer_kb: u32,
+    /// Shuffle file consolidation enabled (the paper enables it).
+    pub consolidate_files: bool,
+    /// Map-output compression (on by default in Spark; the paper notes
+    /// "Spark uses less network in this case due to the map output
+    /// compression", §VI-C).
+    pub compress_map_output: bool,
+    /// GraphX `spark.edge.partition` (edge partitions), when applicable.
+    pub edge_partitions: Option<u32>,
+}
+
+impl Default for SparkConfig {
+    fn default() -> Self {
+        Self {
+            default_parallelism: 8,
+            executor_memory_gb: 22.0,
+            storage_fraction: 0.3,
+            shuffle_fraction: 0.3,
+            serializer: Serializer::Java,
+            shuffle_file_buffer_kb: 32,
+            consolidate_files: true,
+            compress_map_output: true,
+            edge_partitions: None,
+        }
+    }
+}
+
+/// Flink-side execution parameters (§IV, Tables II/III/V/VI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlinkConfig {
+    /// `flink.default.parallelism` (bounded by total task slots).
+    pub default_parallelism: u32,
+    /// Task slots per node (typically = cores, sometimes 2× cores, §VI-A).
+    pub task_slots_per_node: u32,
+    /// `taskmanager.memory` in GiB.
+    pub taskmanager_memory_gb: f64,
+    /// `taskmanager.memory.fraction`: portion managed (sort/hash/cache).
+    pub memory_fraction: f64,
+    /// Hybrid on-/off-heap allocation enabled (`flink.off-heap`).
+    pub off_heap: bool,
+    /// Number of network buffers (`flink.nw.buffers`); the paper sets
+    /// `Nodes*2048` for WC/Grep, `Nodes*1024` for TeraSort, and
+    /// `cores²·nodes·16` for graphs.
+    pub network_buffers: u32,
+    /// Network buffer size in KiB (32 default, paper uses 64/128).
+    pub buffer_size_kb: u32,
+}
+
+impl Default for FlinkConfig {
+    fn default() -> Self {
+        Self {
+            default_parallelism: 8,
+            task_slots_per_node: 16,
+            taskmanager_memory_gb: 4.0,
+            memory_fraction: 0.7,
+            off_heap: true,
+            network_buffers: 2048,
+            buffer_size_kb: 32,
+        }
+    }
+}
+
+/// Cluster-wide settings shared by both engines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// Cores per node (Grid'5000 paravance: 2 × 8).
+    pub cores_per_node: u32,
+    /// RAM per node in GiB (128 on the testbed).
+    pub ram_gb: f64,
+    /// HDFS block size in MiB (256 for WC/Grep, 1024 for TeraSort).
+    pub hdfs_block_mb: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            cores_per_node: 16,
+            ram_gb: 128.0,
+            hdfs_block_mb: 256,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// A complete experiment configuration: cluster plus both engine configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Shared cluster settings.
+    pub cluster: ClusterConfig,
+    /// Spark parameters.
+    pub spark: SparkConfig,
+    /// Flink parameters.
+    pub flink: FlinkConfig,
+}
+
+impl RunConfig {
+    /// Builds the paper's canonical configuration for a cluster size using
+    /// the §IV formulas: Spark parallelism = cores × factor (2..6), Flink
+    /// parallelism = total cores, Flink buffers = nodes × 2048.
+    pub fn canonical(nodes: u32, spark_parallelism_factor: u32) -> Self {
+        let cluster = ClusterConfig {
+            nodes,
+            ..ClusterConfig::default()
+        };
+        let cores = cluster.total_cores();
+        let spark = SparkConfig {
+            default_parallelism: cores * spark_parallelism_factor,
+            ..SparkConfig::default()
+        };
+        let flink = FlinkConfig {
+            default_parallelism: cores,
+            network_buffers: nodes * 2048,
+            ..FlinkConfig::default()
+        };
+        Self {
+            cluster,
+            spark,
+            flink,
+        }
+    }
+
+    /// Per-engine parallelism.
+    pub fn parallelism(&self, fw: Framework) -> u32 {
+        match fw {
+            Framework::Spark => self.spark.default_parallelism,
+            Framework::Flink => self.flink.default_parallelism,
+        }
+    }
+}
+
+/// Configuration validation failures, mirroring how the real frameworks die
+/// (§VI-A "we had to increase the number of buffers in order to avoid failed
+/// executions"; §VI-C "otherwise Flink fails due to insufficient task
+/// slots").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// Flink parallelism exceeds available task slots.
+    InsufficientTaskSlots {
+        /// Requested operator parallelism.
+        requested: u32,
+        /// Total task slots in the cluster.
+        available: u32,
+    },
+    /// Flink network buffers cannot cover the shuffle connections.
+    InsufficientNetworkBuffers {
+        /// Buffers required for the densest shuffle.
+        required: u32,
+        /// Buffers configured.
+        configured: u32,
+    },
+    /// Memory fraction outside `(0, 1]`.
+    InvalidFraction {
+        /// The offending parameter name.
+        parameter: &'static str,
+    },
+    /// Zero parallelism or zero nodes.
+    Degenerate {
+        /// The offending parameter name.
+        parameter: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InsufficientTaskSlots {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient task slots: parallelism {requested} > {available} slots"
+            ),
+            ConfigError::InsufficientNetworkBuffers {
+                required,
+                configured,
+            } => write!(
+                f,
+                "insufficient network buffers: need {required}, configured {configured}"
+            ),
+            ConfigError::InvalidFraction { parameter } => {
+                write!(f, "{parameter} must lie in (0, 1]")
+            }
+            ConfigError::Degenerate { parameter } => {
+                write!(f, "{parameter} must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RunConfig {
+    /// Validates a configuration the way the frameworks do at job submit.
+    ///
+    /// Flink requires (a) parallelism ≤ total task slots and (b) at least
+    /// `parallelism × parallelism / nodes` network buffers per node for an
+    /// all-to-all shuffle (each logical channel between a mapper and a
+    /// reducer subtask needs a buffer).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cluster.nodes == 0 {
+            return Err(ConfigError::Degenerate { parameter: "nodes" });
+        }
+        if self.spark.default_parallelism == 0 {
+            return Err(ConfigError::Degenerate {
+                parameter: "spark.default.parallelism",
+            });
+        }
+        if self.flink.default_parallelism == 0 {
+            return Err(ConfigError::Degenerate {
+                parameter: "flink.default.parallelism",
+            });
+        }
+        for (value, parameter) in [
+            (self.spark.storage_fraction, "spark.storage.fraction"),
+            (self.spark.shuffle_fraction, "spark.shuffle.fraction"),
+            (self.flink.memory_fraction, "taskmanager.memory.fraction"),
+        ] {
+            if !(value > 0.0 && value <= 1.0) {
+                return Err(ConfigError::InvalidFraction { parameter });
+            }
+        }
+        let slots = self.flink.task_slots_per_node * self.cluster.nodes;
+        if self.flink.default_parallelism > slots {
+            return Err(ConfigError::InsufficientTaskSlots {
+                requested: self.flink.default_parallelism,
+                available: slots,
+            });
+        }
+        let p = self.flink.default_parallelism as u64;
+        let required = (p * p / self.cluster.nodes.max(1) as u64).min(u32::MAX as u64) as u32;
+        let configured = self.flink.network_buffers;
+        if configured < required {
+            return Err(ConfigError::InsufficientNetworkBuffers {
+                required,
+                configured,
+            });
+        }
+        Ok(())
+    }
+
+    /// Managed memory per Flink task slot in bytes, the quantity whose
+    /// exhaustion kills CoGroup on the large graph (§VI-E, Table VII).
+    pub fn flink_managed_memory_per_slot(&self) -> f64 {
+        let per_node = self.flink.taskmanager_memory_gb * self.flink.memory_fraction;
+        per_node * 1e9 / self.flink.task_slots_per_node as f64
+    }
+
+    /// Spark heap available for execution per core, in bytes.
+    pub fn spark_execution_memory_per_core(&self) -> f64 {
+        let exec_fraction = 1.0 - self.spark.storage_fraction;
+        self.spark.executor_memory_gb * exec_fraction * 1e9 / self.cluster.cores_per_node as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_follows_paper_formulas() {
+        let c = RunConfig::canonical(16, 6);
+        assert_eq!(c.cluster.total_cores(), 256);
+        assert_eq!(c.parallelism(Framework::Spark), 1536); // Table II, 16 nodes
+        assert_eq!(c.parallelism(Framework::Flink), 256);
+        assert_eq!(c.flink.network_buffers, 16 * 2048);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn task_slot_exhaustion_detected() {
+        let mut c = RunConfig::canonical(4, 2);
+        c.flink.default_parallelism = 4 * 16 * 2 + 1;
+        c.flink.network_buffers = u32::MAX;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InsufficientTaskSlots { .. })
+        ));
+        c.flink.task_slots_per_node = 33; // 2 slots/core + 1
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn network_buffer_exhaustion_detected() {
+        let mut c = RunConfig::canonical(32, 2);
+        // 512 parallelism ⇒ 512²/32 = 8192 buffers needed; give fewer.
+        c.flink.network_buffers = 1024;
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InsufficientNetworkBuffers {
+                required: 8192,
+                configured: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let mut c = RunConfig::canonical(2, 2);
+        c.flink.memory_fraction = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidFraction { .. })
+        ));
+        c.flink.memory_fraction = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        let mut c = RunConfig::canonical(2, 2);
+        c.spark.default_parallelism = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::Degenerate { .. })));
+    }
+
+    #[test]
+    fn managed_memory_accounting() {
+        let c = RunConfig::canonical(4, 2);
+        // 4 GiB × 0.7 / 16 slots = 175 MB per slot.
+        let per_slot = c.flink_managed_memory_per_slot();
+        assert!((per_slot - 4.0 * 0.7 * 1e9 / 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn serializer_ordering() {
+        // TypeInfo < Kryo < Java in both size and CPU cost (§IV-D).
+        assert!(Serializer::TypeInfo.size_factor() < Serializer::Kryo.size_factor());
+        assert!(Serializer::Kryo.size_factor() < Serializer::Java.size_factor());
+        assert!(Serializer::TypeInfo.cpu_factor() < Serializer::Kryo.cpu_factor());
+        assert!(Serializer::Kryo.cpu_factor() < Serializer::Java.cpu_factor());
+    }
+
+    #[test]
+    fn framework_display() {
+        assert_eq!(Framework::Spark.to_string(), "Spark");
+        assert_eq!(Framework::Flink.to_string(), "Flink");
+    }
+}

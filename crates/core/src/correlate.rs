@@ -1,0 +1,323 @@
+//! The paper's core methodological contribution: correlating the operator
+//! execution plan with resource utilisation (§V).
+//!
+//! Given a [`PlanTrace`] and [`ClusterTelemetry`] from the same run, this
+//! module computes, per operator span, the mean utilisation of each resource
+//! channel, classifies what the span is *bound* by, and detects the
+//! anti-cyclic CPU/disk pattern the paper reports for Flink's sort-based
+//! combiner (§VI-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spans::{OperatorSpan, PlanTrace};
+use crate::stats::Summary;
+use crate::telemetry::{ClusterTelemetry, ResourceKind};
+
+/// Utilisation thresholds for bottleneck classification.
+///
+/// A resource is considered *dominant* in a span when its mean utilisation
+/// over the span exceeds `bound_threshold` (percent channels) or
+/// `io_bound_fraction` of the device capacity (throughput channels).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Mean-% threshold above which a percentage channel counts as a bound.
+    pub bound_threshold: f64,
+    /// Fraction of `disk_capacity_mibs` / `network_capacity_mibs` above
+    /// which a throughput channel counts as a bound.
+    pub io_bound_fraction: f64,
+    /// Disk device capacity, MiB/s (Grid'5000 single HDD ≈ 150 MiB/s).
+    pub disk_capacity_mibs: f64,
+    /// NIC capacity, MiB/s (10 Gbps ≈ 1192 MiB/s).
+    pub network_capacity_mibs: f64,
+    /// Pearson-r threshold below which CPU↔disk counts as anti-cyclic.
+    pub anticyclic_threshold: f64,
+    /// A span also counts as disk-bound when disk utilisation exceeds
+    /// `burst_level` for at least `burst_fraction` of the span — bursty
+    /// saturation (the §VI-A anti-cyclic pattern) is a bound even when the
+    /// mean stays low.
+    pub burst_level: f64,
+    /// See [`CorrelationConfig::burst_level`].
+    pub burst_fraction: f64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        Self {
+            bound_threshold: 60.0,
+            io_bound_fraction: 0.5,
+            disk_capacity_mibs: 150.0,
+            network_capacity_mibs: 1192.0,
+            anticyclic_threshold: -0.4,
+            burst_level: 85.0,
+            burst_fraction: 0.25,
+        }
+    }
+}
+
+/// What a span's execution is limited by. A span can be bound by several
+/// resources at once ("both Flink and Spark are CPU and disk-bound", §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bound {
+    /// CPU utilisation dominates.
+    Cpu,
+    /// Disk utilisation or throughput dominates.
+    Disk,
+    /// Network throughput dominates.
+    Network,
+    /// Memory occupancy dominates.
+    Memory,
+}
+
+/// Per-span correlation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanProfile {
+    /// The operator span this profile describes.
+    pub span: OperatorSpan,
+    /// Mean/stddev of each channel's cluster-mean series over the span,
+    /// in [`ResourceKind::ALL`] order.
+    pub usage: Vec<(ResourceKind, Summary)>,
+    /// Resources this span is bound by, in `Bound` declaration order.
+    pub bounds: Vec<Bound>,
+    /// Pearson correlation between CPU and disk-utilisation inside the span
+    /// (`None` when either is constant).
+    pub cpu_disk_correlation: Option<f64>,
+    /// True when the span shows the anti-cyclic CPU/disk pattern.
+    pub anticyclic_disk: bool,
+}
+
+impl SpanProfile {
+    /// Mean utilisation of one channel over this span.
+    pub fn mean(&self, kind: ResourceKind) -> f64 {
+        self.usage
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| s.mean)
+            .unwrap_or(0.0)
+    }
+
+    /// True when bound by the given resource.
+    pub fn is_bound_by(&self, b: Bound) -> bool {
+        self.bounds.contains(&b)
+    }
+}
+
+/// Full correlation report for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationReport {
+    /// One profile per operator span, in trace order.
+    pub profiles: Vec<SpanProfile>,
+    /// Degree of execution pipelining, from [`PlanTrace::pipelining_degree`].
+    pub pipelining_degree: f64,
+    /// End-to-end makespan in seconds.
+    pub makespan: f64,
+}
+
+impl CorrelationReport {
+    /// Profile of the span with the given name, if present.
+    pub fn profile(&self, name: &str) -> Option<&SpanProfile> {
+        self.profiles.iter().find(|p| p.span.name == name)
+    }
+
+    /// Bounds observed across all spans (deduplicated, stable order).
+    pub fn dominant_bounds(&self) -> Vec<Bound> {
+        let mut out = Vec::new();
+        for b in [Bound::Cpu, Bound::Disk, Bound::Network, Bound::Memory] {
+            if self.profiles.iter().any(|p| p.is_bound_by(b)) {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+/// Correlates a plan trace with cluster telemetry.
+///
+/// For each span the cluster-mean series of each channel is summarised over
+/// `[span.start, span.end)`, the span is classified into [`Bound`]s, and the
+/// CPU↔disk-utilisation correlation inside the span is computed.
+pub fn correlate(
+    trace: &PlanTrace,
+    telemetry: &ClusterTelemetry,
+    config: &CorrelationConfig,
+) -> CorrelationReport {
+    // Pre-compute cluster-mean series once per channel.
+    let means: Vec<(ResourceKind, crate::timeseries::TimeSeries)> = ResourceKind::ALL
+        .iter()
+        .map(|&k| (k, telemetry.mean_channel(k)))
+        .collect();
+
+    let cpu_series = &means[0].1;
+    let disk_util_series = &means[2].1;
+
+    let profiles = trace
+        .spans()
+        .iter()
+        .map(|span| {
+            let usage: Vec<(ResourceKind, Summary)> = means
+                .iter()
+                .map(|(k, series)| (*k, series.window_summary(span.start, span.end)))
+                .collect();
+
+            let mut bounds = Vec::new();
+            for (k, s) in &usage {
+                let bound = match k {
+                    ResourceKind::Cpu => (s.mean >= config.bound_threshold).then_some(Bound::Cpu),
+                    ResourceKind::Memory => {
+                        (s.mean >= config.bound_threshold).then_some(Bound::Memory)
+                    }
+                    ResourceKind::DiskUtil => {
+                        (s.mean >= config.bound_threshold).then_some(Bound::Disk)
+                    }
+                    ResourceKind::DiskIo => (s.mean
+                        >= config.io_bound_fraction * config.disk_capacity_mibs)
+                        .then_some(Bound::Disk),
+                    ResourceKind::Network => (s.mean
+                        >= config.io_bound_fraction * config.network_capacity_mibs)
+                        .then_some(Bound::Network),
+                };
+                if let Some(b) = bound {
+                    if !bounds.contains(&b) {
+                        bounds.push(b);
+                    }
+                }
+            }
+
+            // Bursty disk saturation is a bound too.
+            let burst = disk_util_series.fraction_above(span.start, span.end, config.burst_level);
+            if burst >= config.burst_fraction && !bounds.contains(&Bound::Disk) {
+                bounds.push(Bound::Disk);
+            }
+
+            let cpu_w = cpu_series.window(span.start, span.end);
+            let disk_w = disk_util_series.window(span.start, span.end);
+            let n = cpu_w.len().min(disk_w.len());
+            let cpu_disk_correlation = crate::stats::pearson(&cpu_w[..n], &disk_w[..n]);
+            // Anti-cyclic means the disk is actually being *used* in bursts,
+            // not merely idle — require some mean disk activity too.
+            let disk_mean = disk_w.iter().sum::<f64>() / (disk_w.len().max(1) as f64);
+            let anticyclic_disk = cpu_disk_correlation
+                .map(|r| r <= config.anticyclic_threshold && disk_mean > 5.0)
+                .unwrap_or(false);
+
+            SpanProfile {
+                span: span.clone(),
+                usage,
+                bounds,
+                cpu_disk_correlation,
+                anticyclic_disk,
+            }
+        })
+        .collect();
+
+    CorrelationReport {
+        profiles,
+        pipelining_degree: trace.pipelining_degree(),
+        makespan: trace.makespan(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::ClusterTelemetry;
+
+    fn cluster_with(kind: ResourceKind, start: f64, end: f64, level: f64) -> ClusterTelemetry {
+        let mut c = ClusterTelemetry::new(1, 1.0);
+        c.node_mut(0).deposit(kind, start, end, level * (end - start));
+        c
+    }
+
+    #[test]
+    fn cpu_bound_span_detected() {
+        let mut trace = PlanTrace::new();
+        trace.record("map", 0.0, 10.0);
+        let telemetry = cluster_with(ResourceKind::Cpu, 0.0, 10.0, 95.0);
+        let report = correlate(&trace, &telemetry, &CorrelationConfig::default());
+        let p = report.profile("map").unwrap();
+        assert!(p.is_bound_by(Bound::Cpu));
+        assert!(!p.is_bound_by(Bound::Disk));
+        assert!((p.mean(ResourceKind::Cpu) - 95.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_bound_via_throughput() {
+        let mut trace = PlanTrace::new();
+        trace.record("read", 0.0, 10.0);
+        // 120 MiB/s against a 150 MiB/s disk exceeds the 50 % fraction.
+        let telemetry = cluster_with(ResourceKind::DiskIo, 0.0, 10.0, 120.0);
+        let report = correlate(&trace, &telemetry, &CorrelationConfig::default());
+        assert!(report.profile("read").unwrap().is_bound_by(Bound::Disk));
+    }
+
+    #[test]
+    fn network_bound_only_when_near_capacity() {
+        let mut trace = PlanTrace::new();
+        trace.record("shuffle", 0.0, 10.0);
+        let low = cluster_with(ResourceKind::Network, 0.0, 10.0, 100.0);
+        let report = correlate(&trace, &low, &CorrelationConfig::default());
+        assert!(!report.profile("shuffle").unwrap().is_bound_by(Bound::Network));
+        let high = cluster_with(ResourceKind::Network, 0.0, 10.0, 700.0);
+        let report = correlate(&trace, &high, &CorrelationConfig::default());
+        assert!(report.profile("shuffle").unwrap().is_bound_by(Bound::Network));
+    }
+
+    #[test]
+    fn anticyclic_pattern_detected() {
+        let mut trace = PlanTrace::new();
+        trace.record("combine", 0.0, 8.0);
+        let mut c = ClusterTelemetry::new(1, 1.0);
+        // Alternate CPU-heavy and disk-heavy seconds (sort-buffer fill/drain).
+        for i in 0..8 {
+            let t0 = i as f64;
+            if i % 2 == 0 {
+                c.node_mut(0).deposit(ResourceKind::Cpu, t0, t0 + 1.0, 95.0);
+                c.node_mut(0).deposit(ResourceKind::DiskUtil, t0, t0 + 1.0, 5.0);
+            } else {
+                c.node_mut(0).deposit(ResourceKind::Cpu, t0, t0 + 1.0, 15.0);
+                c.node_mut(0).deposit(ResourceKind::DiskUtil, t0, t0 + 1.0, 90.0);
+            }
+        }
+        let report = correlate(&trace, &c, &CorrelationConfig::default());
+        let p = report.profile("combine").unwrap();
+        assert!(p.cpu_disk_correlation.unwrap() < -0.9);
+        assert!(p.anticyclic_disk);
+    }
+
+    #[test]
+    fn idle_disk_is_not_anticyclic() {
+        let mut trace = PlanTrace::new();
+        trace.record("iterate", 0.0, 8.0);
+        let mut c = ClusterTelemetry::new(1, 1.0);
+        for i in 0..8 {
+            let t0 = i as f64;
+            let cpu = if i % 2 == 0 { 95.0 } else { 40.0 };
+            c.node_mut(0).deposit(ResourceKind::Cpu, t0, t0 + 1.0, cpu);
+            // Disk hovers near zero; correlation may be negative but the
+            // disk is simply unused — must not be flagged anti-cyclic.
+            let disk = if i % 2 == 0 { 0.0 } else { 1.0 };
+            c.node_mut(0).deposit(ResourceKind::DiskUtil, t0, t0 + 1.0, disk);
+        }
+        let report = correlate(&trace, &c, &CorrelationConfig::default());
+        assert!(!report.profile("iterate").unwrap().anticyclic_disk);
+    }
+
+    #[test]
+    fn dominant_bounds_deduplicated() {
+        let mut trace = PlanTrace::new();
+        trace.record("a", 0.0, 5.0);
+        trace.record("b", 5.0, 10.0);
+        let mut c = ClusterTelemetry::new(1, 1.0);
+        c.node_mut(0).deposit(ResourceKind::Cpu, 0.0, 10.0, 10.0 * 90.0);
+        let report = correlate(&trace, &c, &CorrelationConfig::default());
+        assert_eq!(report.dominant_bounds(), vec![Bound::Cpu]);
+    }
+
+    #[test]
+    fn empty_trace_empty_report() {
+        let trace = PlanTrace::new();
+        let telemetry = ClusterTelemetry::new(1, 1.0);
+        let report = correlate(&trace, &telemetry, &CorrelationConfig::default());
+        assert!(report.profiles.is_empty());
+        assert_eq!(report.makespan, 0.0);
+    }
+}

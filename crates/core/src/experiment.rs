@@ -1,0 +1,260 @@
+//! Experiment model: figures and tables as first-class objects.
+//!
+//! The paper runs "on average 5 runs for each experiment" and plots
+//! mean ± standard deviation (§V). An [`Experiment`] collects per-trial
+//! measurements for each `(x, framework)` cell and summarises them into a
+//! [`Figure`] — the exact series a paper figure plots.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Framework;
+use crate::scaling::{HeadToHead, ScalePoint};
+use crate::stats::{Accumulator, Summary};
+
+/// Default number of trials per cell, matching §V.
+pub const DEFAULT_TRIALS: usize = 5;
+
+/// One summarised data point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// X value (nodes, GB/node, ...).
+    pub x: f64,
+    /// Mean ± stddev of the measured times (seconds).
+    pub summary: Summary,
+}
+
+/// A per-framework series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Which engine this series belongs to.
+    pub framework: Framework,
+    /// Summarised points, sorted by x.
+    pub points: Vec<FigurePoint>,
+}
+
+impl FigureSeries {
+    /// Converts to scaling-analysis points (means only).
+    pub fn scale_points(&self) -> Vec<ScalePoint> {
+        self.points
+            .iter()
+            .map(|p| ScalePoint {
+                scale: p.x,
+                time: p.summary.mean,
+            })
+            .collect()
+    }
+}
+
+/// A reproduced paper figure: an id, axis labels and one series per engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Stable experiment id, e.g. `"fig1"`.
+    pub id: String,
+    /// Human title, e.g. `"Word Count - fixed problem size per node (24GB)"`.
+    pub title: String,
+    /// X axis label, e.g. `"Nodes"`.
+    pub x_label: String,
+    /// Y axis label (always seconds in the paper's time figures).
+    pub y_label: String,
+    /// Per-framework series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl Figure {
+    /// Series for one framework, if present.
+    pub fn series_for(&self, fw: Framework) -> Option<&FigureSeries> {
+        self.series.iter().find(|s| s.framework == fw)
+    }
+
+    /// Head-to-head ratios when both frameworks are present and aligned.
+    pub fn head_to_head(&self) -> Option<HeadToHead> {
+        let s = self.series_for(Framework::Spark)?.scale_points();
+        let f = self.series_for(Framework::Flink)?.scale_points();
+        (s.len() == f.len()).then(|| HeadToHead::new(&s, &f))
+    }
+}
+
+/// Collects raw trial measurements and summarises them into a [`Figure`].
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    id: String,
+    title: String,
+    x_label: String,
+    y_label: String,
+    /// (framework, x-bits) → accumulator. x stored as bits for Ord.
+    cells: BTreeMap<(Framework, u64), Accumulator>,
+}
+
+impl Experiment {
+    /// Creates an experiment with figure metadata.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: "Time (sec)".to_string(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Records one trial's end-to-end time for `(framework, x)`.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative x/time.
+    pub fn record(&mut self, framework: Framework, x: f64, time_sec: f64) {
+        assert!(x.is_finite() && time_sec.is_finite(), "non-finite sample");
+        assert!(time_sec >= 0.0, "negative time");
+        self.cells
+            .entry((framework, x.to_bits()))
+            .or_default()
+            .push(time_sec);
+    }
+
+    /// Number of trials recorded for one cell.
+    pub fn trials(&self, framework: Framework, x: f64) -> u64 {
+        self.cells
+            .get(&(framework, x.to_bits()))
+            .map(|a| a.count())
+            .unwrap_or(0)
+    }
+
+    /// Summarises into a figure; series points are sorted by x.
+    pub fn figure(&self) -> Figure {
+        let mut series: Vec<FigureSeries> = Vec::new();
+        for fw in Framework::BOTH {
+            let mut points: Vec<FigurePoint> = self
+                .cells
+                .iter()
+                .filter(|((f, _), _)| *f == fw)
+                .map(|((_, xbits), acc)| FigurePoint {
+                    x: f64::from_bits(*xbits),
+                    summary: acc.summary(),
+                })
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            points.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("NaN x"));
+            series.push(FigureSeries {
+                framework: fw,
+                points,
+            });
+        }
+        Figure {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            x_label: self.x_label.clone(),
+            y_label: self.y_label.clone(),
+            series,
+        }
+    }
+}
+
+/// Outcome of one cell of a Table VII-style run matrix: either a time or a
+/// failure ("no" in the paper's table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// Completed in the given number of seconds.
+    Time(f64),
+    /// Failed; carries the failure description (e.g. "OOM in CoGroup").
+    Failed(String),
+}
+
+impl CellOutcome {
+    /// Seconds when completed.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            CellOutcome::Time(t) => Some(*t),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// True when the run failed.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, CellOutcome::Failed(_))
+    }
+
+    /// Renders like the paper's Table VII ("no" for failures).
+    pub fn render(&self) -> String {
+        match self {
+            CellOutcome::Time(t) => format!("{}s", t.round() as i64),
+            CellOutcome::Failed(_) => "no".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarise() {
+        let mut e = Experiment::new("fig1", "Word Count weak", "Nodes");
+        for t in [100.0, 102.0, 98.0, 101.0, 99.0] {
+            e.record(Framework::Spark, 8.0, t);
+        }
+        e.record(Framework::Flink, 8.0, 95.0);
+        assert_eq!(e.trials(Framework::Spark, 8.0), 5);
+        assert_eq!(e.trials(Framework::Flink, 8.0), 1);
+        assert_eq!(e.trials(Framework::Flink, 16.0), 0);
+        let fig = e.figure();
+        let s = fig.series_for(Framework::Spark).unwrap();
+        assert_eq!(s.points.len(), 1);
+        assert!((s.points[0].summary.mean - 100.0).abs() < 1e-9);
+        assert!(s.points[0].summary.stddev > 0.0);
+    }
+
+    #[test]
+    fn figure_points_sorted_by_x() {
+        let mut e = Experiment::new("fig", "t", "Nodes");
+        e.record(Framework::Flink, 32.0, 1.0);
+        e.record(Framework::Flink, 2.0, 2.0);
+        e.record(Framework::Flink, 8.0, 3.0);
+        let fig = e.figure();
+        let xs: Vec<f64> = fig.series_for(Framework::Flink).unwrap().points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![2.0, 8.0, 32.0]);
+    }
+
+    #[test]
+    fn head_to_head_through_figure() {
+        let mut e = Experiment::new("fig", "t", "Nodes");
+        for x in [2.0, 4.0] {
+            e.record(Framework::Spark, x, 110.0);
+            e.record(Framework::Flink, x, 100.0);
+        }
+        let h = e.figure().head_to_head().unwrap();
+        assert_eq!(h.flink_wins(), 2);
+        assert!((h.max_flink_advantage() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_to_head_misaligned_is_none() {
+        let mut e = Experiment::new("fig", "t", "Nodes");
+        e.record(Framework::Spark, 2.0, 110.0);
+        e.record(Framework::Flink, 2.0, 100.0);
+        e.record(Framework::Flink, 4.0, 100.0);
+        assert!(e.figure().head_to_head().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn negative_time_panics() {
+        let mut e = Experiment::new("fig", "t", "Nodes");
+        e.record(Framework::Spark, 1.0, -1.0);
+    }
+
+    #[test]
+    fn cell_outcome_rendering() {
+        assert_eq!(CellOutcome::Time(3977.4).render(), "3977s");
+        assert_eq!(CellOutcome::Failed("OOM".into()).render(), "no");
+        assert!(CellOutcome::Failed("OOM".into()).is_failure());
+        assert_eq!(CellOutcome::Time(5.0).time(), Some(5.0));
+        assert_eq!(CellOutcome::Failed("x".into()).time(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine-readable exports of figures and telemetry (JSON / CSV), so the
+//! reproduced series can be re-plotted with external tooling (gnuplot,
+//! matplotlib) in the paper's own style.
+
+use std::fmt::Write as _;
+
+use crate::config::Framework;
+use crate::experiment::Figure;
+use crate::telemetry::{ClusterTelemetry, ResourceKind};
+
+/// Serialises a figure to pretty JSON.
+pub fn figure_to_json(fig: &Figure) -> String {
+    serde_json::to_string_pretty(fig).expect("Figure is serde-serialisable")
+}
+
+/// Parses a figure back from JSON.
+pub fn figure_from_json(json: &str) -> Result<Figure, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Renders a figure as CSV with one row per x value:
+/// `x,spark_mean,spark_stddev,flink_mean,flink_stddev`.
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "x,spark_mean,spark_stddev,flink_mean,flink_stddev");
+    let xs: Vec<f64> = fig
+        .series
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let cell = |fw: Framework| {
+            fig.series_for(fw)
+                .and_then(|s| s.points.iter().find(|p| (p.x - x).abs() < 1e-9))
+                .map(|p| format!("{},{}", p.summary.mean, p.summary.stddev))
+                .unwrap_or_else(|| ",".to_string())
+        };
+        let _ = writeln!(out, "{x},{},{}", cell(Framework::Spark), cell(Framework::Flink));
+    }
+    out
+}
+
+/// Renders one telemetry channel as CSV: `t,node0,node1,...,mean`.
+pub fn telemetry_to_csv(telemetry: &ClusterTelemetry, kind: ResourceKind) -> String {
+    let mut out = String::new();
+    let n = telemetry.node_count();
+    let _ = write!(out, "t");
+    for i in 0..n {
+        let _ = write!(out, ",node{i}");
+    }
+    let _ = writeln!(out, ",mean");
+    let mean = telemetry.mean_channel(kind);
+    let period = telemetry.period();
+    let samples = (0..n)
+        .map(|i| telemetry.node(i).channel(kind).values())
+        .collect::<Vec<_>>();
+    let len = samples.iter().map(|s| s.len()).max().unwrap_or(0);
+    for row in 0..len {
+        let _ = write!(out, "{}", row as f64 * period);
+        for s in &samples {
+            let _ = write!(out, ",{}", s.get(row).copied().unwrap_or(0.0));
+        }
+        let _ = writeln!(out, ",{}", mean.values().get(row).copied().unwrap_or(0.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    fn sample_figure() -> Figure {
+        let mut e = Experiment::new("fig1", "Word Count", "Nodes");
+        e.record(Framework::Spark, 2.0, 110.0);
+        e.record(Framework::Spark, 2.0, 112.0);
+        e.record(Framework::Flink, 2.0, 100.0);
+        e.record(Framework::Flink, 4.0, 95.0);
+        e.figure()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let fig = sample_figure();
+        let json = figure_to_json(&fig);
+        let back = figure_from_json(&json).unwrap();
+        assert_eq!(fig, back);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_x() {
+        let csv = figure_to_csv(&sample_figure());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "x,spark_mean,spark_stddev,flink_mean,flink_stddev");
+        assert_eq!(lines.len(), 3); // header + x=2 + x=4
+        assert!(lines[1].starts_with("2,111,"));
+        // Spark has no x=4 point: empty cells.
+        assert!(lines[2].starts_with("4,,,95,"));
+    }
+
+    #[test]
+    fn telemetry_csv_shape() {
+        let mut t = ClusterTelemetry::new(2, 1.0);
+        t.node_mut(0).deposit(ResourceKind::Cpu, 0.0, 2.0, 2.0 * 80.0);
+        t.node_mut(1).deposit(ResourceKind::Cpu, 0.0, 1.0, 40.0);
+        let csv = telemetry_to_csv(&t, ResourceKind::Cpu);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "t,node0,node1,mean");
+        assert_eq!(lines.len(), 3); // header + 2 samples
+        assert!(lines[1].starts_with("0,80,40,60"));
+    }
+
+    #[test]
+    fn empty_telemetry_csv_is_header_only() {
+        let t = ClusterTelemetry::new(1, 1.0);
+        let csv = telemetry_to_csv(&t, ResourceKind::Network);
+        assert_eq!(csv.trim().lines().count(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! # flowmark-core
+//!
+//! The methodological core of **flowmark**, a from-scratch Rust reproduction
+//! of *"Spark versus Flink: Understanding Performance in Big Data Analytics
+//! Frameworks"* (Marcu, Costan, Antoniu, Pérez-Hernández — IEEE CLUSTER
+//! 2016).
+//!
+//! The paper's primary contribution is a **methodology for understanding
+//! performance in Big Data analytics frameworks by correlating the operators
+//! execution plan with the resource utilization and the parameter
+//! configuration** (§I). This crate implements that methodology natively:
+//!
+//! - [`stats`] — the mean/stddev/correlation estimators behind every figure;
+//! - [`timeseries`] — uniformly-sampled resource series (dstat-style);
+//! - [`telemetry`] — per-node and cluster-aggregated resource channels
+//!   (CPU, memory, disk utilisation, disk I/O, network);
+//! - [`spans`] — operator execution spans ([`spans::PlanTrace`]), including
+//!   the *pipelining degree* metric that quantifies the paper's
+//!   staged-vs-pipelined observation;
+//! - [`correlate`] — the span × resource correlation, bottleneck
+//!   classification and anti-cyclic-disk detection;
+//! - [`config`] — the §IV parameter model (parallelism, shuffle buffers,
+//!   memory management, serialization) with framework-faithful validation;
+//! - [`scaling`] — weak/strong scalability and head-to-head analysis;
+//! - [`experiment`] — multi-trial experiments summarised into figures;
+//! - [`report`] — ASCII/markdown rendering of figures and correlations.
+//!
+//! Execution engines live in `flowmark-engine` (real, multi-threaded) and
+//! `flowmark-sim` (deterministic, paper-scale); the six workloads live in
+//! `flowmark-workloads`; `flowmark-harness` stitches everything into the
+//! per-figure reproductions.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flowmark_core::prelude::*;
+//!
+//! // Record two trials of a (tiny) weak-scaling experiment...
+//! let mut exp = Experiment::new("fig1", "Word Count - weak scaling", "Nodes");
+//! exp.record(Framework::Spark, 2.0, 104.0);
+//! exp.record(Framework::Spark, 2.0, 106.0);
+//! exp.record(Framework::Flink, 2.0, 96.0);
+//! exp.record(Framework::Flink, 2.0, 94.0);
+//!
+//! // ...and summarise them the way the paper plots them.
+//! let fig = exp.figure();
+//! let h2h = fig.head_to_head().unwrap();
+//! assert_eq!(h2h.flink_wins(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod correlate;
+pub mod export;
+pub mod experiment;
+pub mod report;
+pub mod scaling;
+pub mod spans;
+pub mod stats;
+pub mod telemetry;
+pub mod timeseries;
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::config::{
+        ClusterConfig, ConfigError, FlinkConfig, Framework, RunConfig, Serializer, SparkConfig,
+    };
+    pub use crate::correlate::{correlate, Bound, CorrelationConfig, CorrelationReport};
+    pub use crate::experiment::{CellOutcome, Experiment, Figure, FigurePoint, FigureSeries};
+    pub use crate::scaling::{analyze, HeadToHead, Regime, ScalePoint, ScalingAnalysis};
+    pub use crate::spans::{OperatorSpan, PlanTrace};
+    pub use crate::stats::{Accumulator, Summary};
+    pub use crate::telemetry::{ClusterTelemetry, NodeTelemetry, ResourceKind};
+    pub use crate::timeseries::TimeSeries;
+}

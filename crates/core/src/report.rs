@@ -1,0 +1,245 @@
+//! Report rendering: ASCII figures and markdown tables.
+//!
+//! The harness prints every reproduced figure as an ASCII grouped bar chart
+//! (the paper's time figures are grouped bars) and every resource-usage
+//! figure as a braille-free line strip; EXPERIMENTS.md is assembled from
+//! these renderings plus the correlation reports.
+
+use std::fmt::Write as _;
+
+use crate::config::Framework;
+use crate::correlate::CorrelationReport;
+use crate::experiment::Figure;
+use crate::timeseries::TimeSeries;
+
+/// Width of the bar area in characters.
+const BAR_WIDTH: usize = 50;
+
+/// Renders a figure as an ASCII grouped bar chart with mean ± stddev.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {} — {}", fig.id, fig.title);
+    let _ = writeln!(out, "   x = {}, y = {}", fig.x_label, fig.y_label);
+    let max = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|p| p.summary.mean + p.summary.stddev)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    // Collect the x values from the longest series to drive row order.
+    let xs: Vec<f64> = fig
+        .series
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let _ = writeln!(out, "  {} = {}", fig.x_label, trim_float(x));
+        for series in &fig.series {
+            if let Some(p) = series.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                let filled = ((p.summary.mean / max) * BAR_WIDTH as f64).round() as usize;
+                let _ = writeln!(
+                    out,
+                    "    {:<5} |{:<width$}| {:8.1}s ± {:.1}",
+                    series.framework.name(),
+                    "#".repeat(filled.min(BAR_WIDTH)),
+                    p.summary.mean,
+                    p.summary.stddev,
+                    width = BAR_WIDTH
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a figure as a markdown table (one row per x, one column per
+/// framework), the form EXPERIMENTS.md records.
+pub fn figure_markdown(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} | Spark (s) | Flink (s) | Spark/Flink |", fig.x_label);
+    let _ = writeln!(out, "|---|---|---|---|");
+    let spark = fig.series_for(Framework::Spark);
+    let flink = fig.series_for(Framework::Flink);
+    let xs: Vec<f64> = fig
+        .series
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let cell = |series: Option<&crate::experiment::FigureSeries>| {
+            series
+                .and_then(|s| s.points.iter().find(|p| (p.x - x).abs() < 1e-9))
+                .map(|p| format!("{:.1} ± {:.1}", p.summary.mean, p.summary.stddev))
+                .unwrap_or_else(|| "—".to_string())
+        };
+        let ratio = match (
+            spark.and_then(|s| s.points.iter().find(|p| (p.x - x).abs() < 1e-9)),
+            flink.and_then(|s| s.points.iter().find(|p| (p.x - x).abs() < 1e-9)),
+        ) {
+            (Some(s), Some(f)) if f.summary.mean > 0.0 => {
+                format!("{:.2}", s.summary.mean / f.summary.mean)
+            }
+            _ => "—".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            trim_float(x),
+            cell(spark),
+            cell(flink),
+            ratio
+        );
+    }
+    out
+}
+
+/// Renders one resource channel time series as a compact ASCII strip chart
+/// (like the paper's stacked resource panels).
+pub fn render_series(label: &str, series: &TimeSeries, max_value: f64, columns: usize) -> String {
+    const LEVELS: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    if series.is_empty() || columns == 0 {
+        let _ = writeln!(out, "{label:>14} | (no data)");
+        return out;
+    }
+    let factor = series.len().div_ceil(columns).max(1);
+    let ds = series.downsample(factor);
+    let max = max_value.max(1e-9);
+    let mut strip = String::with_capacity(ds.len());
+    for &v in ds.values() {
+        let idx = ((v / max) * (LEVELS.len() - 1) as f64)
+            .round()
+            .clamp(0.0, (LEVELS.len() - 1) as f64) as usize;
+        strip.push(LEVELS[idx]);
+    }
+    let _ = writeln!(
+        out,
+        "{label:>14} |{strip}| max≈{max_value:.0} over {:.0}s",
+        series.duration()
+    );
+    out
+}
+
+/// Renders a correlation report: per-span resource profile plus the
+/// bound classification (the paper's per-figure "Resource usage" prose).
+pub fn render_correlation(report: &CorrelationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "makespan {:.1}s, pipelining degree {:.2}",
+        report.makespan, report.pipelining_degree
+    );
+    for p in &report.profiles {
+        let bounds: Vec<&str> = p
+            .bounds
+            .iter()
+            .map(|b| match b {
+                crate::correlate::Bound::Cpu => "CPU",
+                crate::correlate::Bound::Disk => "disk",
+                crate::correlate::Bound::Network => "network",
+                crate::correlate::Bound::Memory => "memory",
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<44} [{:7.1}s-{:7.1}s] bound: {}{}",
+            p.span.name,
+            p.span.start,
+            p.span.end,
+            if bounds.is_empty() {
+                "none".to_string()
+            } else {
+                bounds.join("+")
+            },
+            if p.anticyclic_disk {
+                " (anti-cyclic disk)"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
+/// Formats a float without a trailing `.0` when integral.
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::{correlate, CorrelationConfig};
+    use crate::experiment::Experiment;
+    use crate::spans::PlanTrace;
+    use crate::telemetry::{ClusterTelemetry, ResourceKind};
+
+    fn sample_figure() -> Figure {
+        let mut e = Experiment::new("fig1", "Word Count - weak scaling", "Nodes");
+        for x in [2.0, 4.0] {
+            e.record(Framework::Spark, x, 110.0);
+            e.record(Framework::Spark, x, 112.0);
+            e.record(Framework::Flink, x, 100.0);
+            e.record(Framework::Flink, x, 98.0);
+        }
+        e.figure()
+    }
+
+    #[test]
+    fn figure_render_contains_all_cells() {
+        let text = render_figure(&sample_figure());
+        assert!(text.contains("fig1"));
+        assert!(text.contains("Spark"));
+        assert!(text.contains("Flink"));
+        assert!(text.contains("Nodes = 2"));
+        assert!(text.contains("Nodes = 4"));
+        assert!(text.contains("111.0s"));
+    }
+
+    #[test]
+    fn markdown_has_ratio_column() {
+        let md = figure_markdown(&sample_figure());
+        assert!(md.contains("| Nodes | Spark (s) | Flink (s) | Spark/Flink |"));
+        assert!(md.contains("1.12")); // 111/99
+    }
+
+    #[test]
+    fn series_strip_handles_empty() {
+        let s = TimeSeries::new(1.0);
+        let text = render_series("CPU %", &s, 100.0, 60);
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn series_strip_renders_peaks() {
+        let s = TimeSeries::from_values(1.0, vec![0.0, 50.0, 100.0, 100.0]);
+        let text = render_series("CPU %", &s, 100.0, 60);
+        assert!(text.contains('@'));
+        assert!(text.starts_with("         CPU %"));
+    }
+
+    #[test]
+    fn correlation_render_mentions_bounds() {
+        let mut trace = PlanTrace::new();
+        trace.record("map", 0.0, 10.0);
+        let mut c = ClusterTelemetry::new(1, 1.0);
+        c.node_mut(0).deposit(ResourceKind::Cpu, 0.0, 10.0, 10.0 * 95.0);
+        let report = correlate(&trace, &c, &CorrelationConfig::default());
+        let text = render_correlation(&report);
+        assert!(text.contains("bound: CPU"));
+        assert!(text.contains("makespan 10.0s"));
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(2.0), "2");
+        assert_eq!(trim_float(2.5), "2.50");
+    }
+}

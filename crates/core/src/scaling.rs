@@ -1,0 +1,227 @@
+//! Strong- and weak-scalability analysis (§V, §VI).
+//!
+//! The paper's batch experiments validate both scalability regimes: weak
+//! scaling (fixed problem size *per node*, Figs 1, 4, 7) and strong scaling
+//! (fixed total problem, growing cluster, Figs 8, 11-15). This module turns
+//! `(scale, time)` series into the efficiency metrics the discussion uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::linear_fit;
+
+/// One point of a scalability curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Scale (number of nodes, or GB/node for dataset-growth plots).
+    pub scale: f64,
+    /// Mean end-to-end time in seconds.
+    pub time: f64,
+}
+
+/// Scalability analysis of one framework's curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingAnalysis {
+    /// The input points, sorted by scale.
+    pub points: Vec<ScalePoint>,
+    /// Parallel efficiency at each point relative to the first point.
+    /// Strong scaling: `t₀·s₀ / (tᵢ·sᵢ)`. Weak scaling: `t₀ / tᵢ`.
+    pub efficiency: Vec<f64>,
+    /// Slope of the least-squares fit of time against scale.
+    pub slope: f64,
+}
+
+/// Scalability regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Fixed problem size per node: ideal time is flat.
+    Weak,
+    /// Fixed total problem: ideal time is `t₀·s₀/s`.
+    Strong,
+}
+
+/// Analyses a scaling curve under the given regime.
+///
+/// # Panics
+/// Panics when fewer than two points are provided or any time/scale is
+/// non-positive.
+pub fn analyze(points: &[ScalePoint], regime: Regime) -> ScalingAnalysis {
+    assert!(points.len() >= 2, "scaling analysis needs ≥ 2 points");
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.scale.partial_cmp(&b.scale).expect("NaN scale"));
+    assert!(
+        pts.iter().all(|p| p.scale > 0.0 && p.time > 0.0),
+        "scales and times must be positive"
+    );
+    let first = pts[0];
+    let efficiency = pts
+        .iter()
+        .map(|p| match regime {
+            Regime::Weak => first.time / p.time,
+            Regime::Strong => (first.time * first.scale) / (p.time * p.scale),
+        })
+        .collect();
+    let xs: Vec<f64> = pts.iter().map(|p| p.scale).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.time).collect();
+    let (_, slope) = linear_fit(&xs, &ys).unwrap_or((0.0, 0.0));
+    ScalingAnalysis {
+        points: pts,
+        efficiency,
+        slope,
+    }
+}
+
+impl ScalingAnalysis {
+    /// Minimum efficiency across the curve — the "does it scale well"
+    /// scalar the discussion sections reason with.
+    pub fn min_efficiency(&self) -> f64 {
+        self.efficiency.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// True when every point retains at least `threshold` efficiency.
+    pub fn scales_well(&self, threshold: f64) -> bool {
+        self.min_efficiency() >= threshold
+    }
+}
+
+/// Head-to-head comparison of two frameworks over a shared x-axis, i.e. one
+/// paper figure. Produces the per-point winner and relative gaps quoted in
+/// the paper's prose ("Flink constantly outperforming Spark by 10%").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadToHead {
+    /// Shared x values.
+    pub scales: Vec<f64>,
+    /// `spark_time / flink_time` per point; > 1 means Flink wins.
+    pub spark_over_flink: Vec<f64>,
+}
+
+impl HeadToHead {
+    /// Builds a comparison from two curves sharing the same scales.
+    ///
+    /// # Panics
+    /// Panics when the curves have different scales.
+    pub fn new(spark: &[ScalePoint], flink: &[ScalePoint]) -> Self {
+        assert_eq!(spark.len(), flink.len(), "curves must align");
+        let mut scales = Vec::with_capacity(spark.len());
+        let mut ratio = Vec::with_capacity(spark.len());
+        for (s, f) in spark.iter().zip(flink) {
+            assert!(
+                (s.scale - f.scale).abs() < 1e-9,
+                "curves must share x values"
+            );
+            scales.push(s.scale);
+            ratio.push(s.time / f.time);
+        }
+        Self {
+            scales,
+            spark_over_flink: ratio,
+        }
+    }
+
+    /// Count of points where Flink is strictly faster.
+    pub fn flink_wins(&self) -> usize {
+        self.spark_over_flink.iter().filter(|&&r| r > 1.0).count()
+    }
+
+    /// Count of points where Spark is strictly faster.
+    pub fn spark_wins(&self) -> usize {
+        self.spark_over_flink.iter().filter(|&&r| r < 1.0).count()
+    }
+
+    /// Largest Flink advantage as a ratio (max of spark/flink).
+    pub fn max_flink_advantage(&self) -> f64 {
+        self.spark_over_flink.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Largest Spark advantage as a ratio (max of flink/spark).
+    pub fn max_spark_advantage(&self) -> f64 {
+        self.spark_over_flink
+            .iter()
+            .map(|r| 1.0 / r)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_flat_curve_is_perfect() {
+        let pts = [
+            ScalePoint { scale: 2.0, time: 100.0 },
+            ScalePoint { scale: 4.0, time: 100.0 },
+            ScalePoint { scale: 8.0, time: 100.0 },
+        ];
+        let a = analyze(&pts, Regime::Weak);
+        assert!(a.efficiency.iter().all(|&e| (e - 1.0).abs() < 1e-9));
+        assert!(a.scales_well(0.99));
+        assert!(a.slope.abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_ideal_curve_is_perfect() {
+        let pts = [
+            ScalePoint { scale: 10.0, time: 100.0 },
+            ScalePoint { scale: 20.0, time: 50.0 },
+            ScalePoint { scale: 40.0, time: 25.0 },
+        ];
+        let a = analyze(&pts, Regime::Strong);
+        assert!(a.efficiency.iter().all(|&e| (e - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn degrading_weak_scaling_detected() {
+        let pts = [
+            ScalePoint { scale: 2.0, time: 100.0 },
+            ScalePoint { scale: 32.0, time: 150.0 },
+        ];
+        let a = analyze(&pts, Regime::Weak);
+        assert!((a.min_efficiency() - 100.0 / 150.0).abs() < 1e-9);
+        assert!(!a.scales_well(0.8));
+        assert!(a.slope > 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let pts = [
+            ScalePoint { scale: 8.0, time: 110.0 },
+            ScalePoint { scale: 2.0, time: 100.0 },
+        ];
+        let a = analyze(&pts, Regime::Weak);
+        assert_eq!(a.points[0].scale, 2.0);
+        assert!((a.efficiency[1] - 100.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 points")]
+    fn single_point_panics() {
+        analyze(&[ScalePoint { scale: 1.0, time: 1.0 }], Regime::Weak);
+    }
+
+    #[test]
+    fn head_to_head_counts() {
+        let spark = [
+            ScalePoint { scale: 2.0, time: 100.0 },
+            ScalePoint { scale: 4.0, time: 100.0 },
+            ScalePoint { scale: 8.0, time: 80.0 },
+        ];
+        let flink = [
+            ScalePoint { scale: 2.0, time: 90.0 },
+            ScalePoint { scale: 4.0, time: 110.0 },
+            ScalePoint { scale: 8.0, time: 80.0 },
+        ];
+        let h = HeadToHead::new(&spark, &flink);
+        assert_eq!(h.flink_wins(), 1);
+        assert_eq!(h.spark_wins(), 1);
+        assert!((h.max_flink_advantage() - 100.0 / 90.0).abs() < 1e-9);
+        assert!((h.max_spark_advantage() - 110.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share x values")]
+    fn head_to_head_misaligned_panics() {
+        let spark = [ScalePoint { scale: 2.0, time: 1.0 }, ScalePoint { scale: 4.0, time: 1.0 }];
+        let flink = [ScalePoint { scale: 2.0, time: 1.0 }, ScalePoint { scale: 5.0, time: 1.0 }];
+        let _ = HeadToHead::new(&spark, &flink);
+    }
+}

@@ -1,0 +1,193 @@
+//! Operator execution spans — the "operators execution plan" half of the
+//! paper's correlation methodology.
+//!
+//! Every figure with resource usage (Figs 3, 6, 9, 10, 16, 17) has an upper
+//! panel showing *when each operator (or operator chain) ran*. A
+//! [`PlanTrace`] is that panel: a list of named, possibly overlapping
+//! [`OperatorSpan`]s. In a staged engine spans are disjoint (barriers); in a
+//! pipelined engine they overlap heavily — this overlap is itself one of the
+//! paper's observations ("Flink pipelines the execution, hence it is
+//! visualized in a single stage, while in Spark the separation between
+//! stages is very clear", §VI-C).
+
+use serde::{Deserialize, Serialize};
+
+/// One operator (or fused operator chain) execution interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpan {
+    /// Display name, e.g. `"DataSource->FlatMap->GroupCombine"`.
+    pub name: String,
+    /// Start time, seconds from job start.
+    pub start: f64,
+    /// End time, seconds from job start.
+    pub end: f64,
+}
+
+impl OperatorSpan {
+    /// Creates a span; `end` is clamped to be ≥ `start`.
+    pub fn new(name: impl Into<String>, start: f64, end: f64) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Overlap in seconds with another span.
+    pub fn overlap(&self, other: &OperatorSpan) -> f64 {
+        (self.end.min(other.end) - self.start.max(other.start)).max(0.0)
+    }
+}
+
+/// The execution plan trace of one job run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanTrace {
+    spans: Vec<OperatorSpan>,
+}
+
+impl PlanTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a span.
+    pub fn record(&mut self, name: impl Into<String>, start: f64, end: f64) {
+        self.spans.push(OperatorSpan::new(name, start, end));
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[OperatorSpan] {
+        &self.spans
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Looks up a span by exact name (first match).
+    pub fn span(&self, name: &str) -> Option<&OperatorSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// End-to-end makespan: latest end minus earliest start.
+    pub fn makespan(&self) -> f64 {
+        let start = self.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let end = self.spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        if start.is_finite() {
+            (end - start).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Pipelining degree in `[0, 1]`: 0 when spans are perfectly disjoint
+    /// (a staged execution), approaching 1 when all spans cover the whole
+    /// makespan (a fully pipelined execution). Defined as
+    /// `1 − makespan / Σ durations` when Σ durations ≥ makespan, else 0.
+    ///
+    /// This quantifies the paper's "single stage vs clear stage separation"
+    /// observation and is asserted in the Fig 9 reproduction.
+    pub fn pipelining_degree(&self) -> f64 {
+        let total: f64 = self.spans.iter().map(OperatorSpan::duration).sum();
+        let makespan = self.makespan();
+        if total <= f64::EPSILON || makespan <= f64::EPSILON || total <= makespan {
+            0.0
+        } else {
+            1.0 - makespan / total
+        }
+    }
+
+    /// Merges another trace, offsetting its spans by `offset` seconds
+    /// (used to concatenate per-phase traces, e.g. graph load + iterate).
+    pub fn extend_offset(&mut self, other: &PlanTrace, offset: f64) {
+        for s in &other.spans {
+            self.spans
+                .push(OperatorSpan::new(s.name.clone(), s.start + offset, s.end + offset));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_clamps_negative_duration() {
+        let s = OperatorSpan::new("x", 5.0, 3.0);
+        assert_eq!(s.end, 5.0);
+        assert_eq!(s.duration(), 0.0);
+    }
+
+    #[test]
+    fn overlap_computation() {
+        let a = OperatorSpan::new("a", 0.0, 10.0);
+        let b = OperatorSpan::new("b", 5.0, 15.0);
+        let c = OperatorSpan::new("c", 20.0, 30.0);
+        assert_eq!(a.overlap(&b), 5.0);
+        assert_eq!(b.overlap(&a), 5.0);
+        assert_eq!(a.overlap(&c), 0.0);
+    }
+
+    #[test]
+    fn makespan_of_gapped_trace() {
+        let mut t = PlanTrace::new();
+        t.record("load", 2.0, 10.0);
+        t.record("iterate", 12.0, 30.0);
+        assert_eq!(t.makespan(), 28.0);
+        assert_eq!(t.len(), 2);
+        assert!(t.span("load").is_some());
+        assert!(t.span("missing").is_none());
+    }
+
+    #[test]
+    fn empty_trace_makespan_zero() {
+        let t = PlanTrace::new();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.pipelining_degree(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn staged_trace_has_zero_pipelining() {
+        // Spark-like: disjoint stages.
+        let mut t = PlanTrace::new();
+        t.record("Read->Sort", 0.0, 100.0);
+        t.record("Shuffling->Sort->Write", 100.0, 250.0);
+        assert!(t.pipelining_degree() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_trace_has_high_pipelining() {
+        // Flink-like: all operators alive for most of the run (Fig 9 left).
+        let mut t = PlanTrace::new();
+        t.record("DataSource->Map", 0.0, 90.0);
+        t.record("Partition", 5.0, 95.0);
+        t.record("Sort-Partition->Map", 10.0, 100.0);
+        t.record("DataSink", 20.0, 100.0);
+        let d = t.pipelining_degree();
+        assert!(d > 0.6, "expected strongly pipelined trace, got {d}");
+    }
+
+    #[test]
+    fn extend_offset_shifts() {
+        let mut a = PlanTrace::new();
+        a.record("load", 0.0, 10.0);
+        let mut b = PlanTrace::new();
+        b.record("iter", 0.0, 5.0);
+        a.extend_offset(&b, 10.0);
+        let s = a.span("iter").unwrap();
+        assert_eq!((s.start, s.end), (10.0, 15.0));
+    }
+}

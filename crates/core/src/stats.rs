@@ -1,0 +1,401 @@
+//! Descriptive statistics used throughout the methodology.
+//!
+//! The paper reports "the mean and standard deviation for aggregated values
+//! of all nodes for multiple trials of each experiment" (§V). This module
+//! provides the estimators used for that aggregation, plus the correlation
+//! and regression primitives that back the operator-plan/resource-usage
+//! correlation analysis (§V, §VI).
+//!
+//! All accumulators use Welford's online algorithm so that very long
+//! telemetry streams (hundreds of thousands of samples per node) can be
+//! summarised in a single pass without catastrophic cancellation.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford).
+///
+/// Numerically stable for long streams; merging two accumulators is exact
+/// (parallel variant of Welford), which lets per-node summaries be combined
+/// into cluster-wide summaries without re-reading samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1 denominator); `None` for fewer than 2 samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Population variance (n denominator).
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Coefficient of variation (stddev/mean); the paper uses run-to-run
+    /// variance to argue about Flink's I/O interference (Fig 7).
+    pub fn cv(&self) -> Option<f64> {
+        match (self.stddev(), self.mean()) {
+            (Some(s), Some(m)) if m.abs() > f64::EPSILON => Some(s / m),
+            _ => None,
+        }
+    }
+
+    /// Finalises into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean().unwrap_or(0.0),
+            stddev: self.stddev().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Plain-old-data summary of a sample, as reported in the figures
+/// (mean ± standard deviation over 5 trials).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations aggregated.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when count < 2).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut acc = Accumulator::new();
+        for &v in values {
+            acc.push(v);
+        }
+        acc.summary()
+    }
+
+    /// Relative half-width of the mean ± stddev band, used by the harness to
+    /// flag high-variance experiments (the paper calls out TeraSort under
+    /// Flink as high-variance).
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// series. Returns `None` when either series is constant or lengths differ.
+///
+/// This is the workhorse of the plan/resource correlation: a strongly
+/// negative CPU↔disk correlation inside one operator span is how we detect
+/// the "anti-cyclic disk utilization" the paper observes for Flink's
+/// sort-based combiner (§VI-A).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Ordinary least-squares fit `y = a + b·x`; returns `(a, b)`.
+///
+/// Used by the scalability analysis to fit weak-scaling curves and report
+/// the slope (ideal weak scaling has slope ≈ 0 in time-per-node space).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx <= f64::EPSILON {
+        return None;
+    }
+    let b = sxy / sxx;
+    Some((my - b * mx, b))
+}
+
+/// Percentile by linear interpolation on a *sorted* slice
+/// (`q` in `[0, 1]`). Panics in debug builds if the slice is unsorted.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Percentile of an unsorted slice (copies + sorts).
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&v, q)
+}
+
+/// Relative difference `(a - b) / b`, the "X% faster/slower" metric used in
+/// the paper's prose ("Flink constantly outperforming Spark by 10%").
+pub fn relative_diff(a: f64, b: f64) -> f64 {
+    if b.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (a - b) / b
+    }
+}
+
+/// Speedup of `b` over `a` expressed as a ratio (`a / b`), e.g. the paper's
+/// "Spark is about 1.7x faster than Flink for large graph processing".
+pub fn speedup(a: f64, b: f64) -> f64 {
+    if b.abs() < f64::EPSILON {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn accumulator_basic_moments() {
+        let mut acc = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!(close(acc.mean().unwrap(), 5.0));
+        // Population variance of this classic example is 4.
+        assert!(close(acc.variance_population().unwrap(), 4.0));
+        assert!(close(acc.min().unwrap(), 2.0));
+        assert!(close(acc.max().unwrap(), 9.0));
+    }
+
+    #[test]
+    fn accumulator_empty_is_none() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.stddev(), None);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.cv(), None);
+    }
+
+    #[test]
+    fn accumulator_single_sample_has_no_variance() {
+        let mut acc = Accumulator::new();
+        acc.push(3.5);
+        assert!(close(acc.mean().unwrap(), 3.5));
+        assert_eq!(acc.variance(), None);
+        assert!(close(acc.variance_population().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = Accumulator::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!(close(left.mean().unwrap(), all.mean().unwrap()));
+        assert!((left.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+        assert!(close(left.min().unwrap(), all.min().unwrap()));
+        assert!(close(left.max().unwrap(), all.max().unwrap()));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+        let mut e = Accumulator::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!(close(pearson(&xs, &ys).unwrap(), 1.0));
+        let neg: Vec<f64> = xs.iter().map(|x| -3.0 * x).collect();
+        assert!(close(pearson(&xs, &neg).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn pearson_constant_series_is_none() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys), None);
+        assert_eq!(pearson(&ys, &xs), None);
+    }
+
+    #[test]
+    fn pearson_mismatched_lengths() {
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 - 0.5 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys).unwrap();
+        assert!(close(a, 4.0));
+        assert!(close(b, -0.5));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!(close(percentile(&v, 0.0).unwrap(), 1.0));
+        assert!(close(percentile(&v, 1.0).unwrap(), 4.0));
+        assert!(close(percentile(&v, 0.5).unwrap(), 2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert!(close(percentile(&[7.0], 0.9).unwrap(), 7.0));
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = Summary::of(&[10.0, 12.0, 14.0]);
+        assert_eq!(s.count, 3);
+        assert!(close(s.mean, 12.0));
+        assert!(close(s.stddev, 2.0));
+        assert!(close(s.min, 10.0));
+        assert!(close(s.max, 14.0));
+        assert!(close(s.relative_spread(), 2.0 / 12.0));
+    }
+
+    #[test]
+    fn speedup_and_relative_diff() {
+        assert!(close(speedup(170.0, 100.0), 1.7));
+        assert!(close(relative_diff(110.0, 100.0), 0.10));
+        assert!(close(relative_diff(90.0, 100.0), -0.10));
+        assert_eq!(speedup(1.0, 0.0), f64::INFINITY);
+    }
+}

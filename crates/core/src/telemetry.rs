@@ -1,0 +1,245 @@
+//! Node- and cluster-level resource telemetry.
+//!
+//! The paper "dissect\[s\] the resource usage metrics (CPU, memory, disk I/O,
+//! disk utilization, network) in the operators plan execution" (§V). This
+//! module is the container those metrics land in, whether they come from the
+//! cluster simulator or from instrumented real-engine runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::timeseries::TimeSeries;
+
+/// The five resource channels the paper plots per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU utilisation, percent of all cores (0-100).
+    Cpu,
+    /// Memory occupancy, percent of node RAM (0-100).
+    Memory,
+    /// Disk utilisation (fraction of time the device is busy), percent.
+    DiskUtil,
+    /// Disk throughput, MiB/s (read + write).
+    DiskIo,
+    /// Network throughput, MiB/s (in + out).
+    Network,
+}
+
+impl ResourceKind {
+    /// All channels in plot order.
+    pub const ALL: [ResourceKind; 5] = [
+        ResourceKind::Cpu,
+        ResourceKind::Memory,
+        ResourceKind::DiskUtil,
+        ResourceKind::DiskIo,
+        ResourceKind::Network,
+    ];
+
+    /// True for channels expressed as a percentage (clamped to 100).
+    pub fn is_percentage(self) -> bool {
+        matches!(
+            self,
+            ResourceKind::Cpu | ResourceKind::Memory | ResourceKind::DiskUtil
+        )
+    }
+
+    /// Axis label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "CPU %",
+            ResourceKind::Memory => "Memory %",
+            ResourceKind::DiskUtil => "Disk util %",
+            ResourceKind::DiskIo => "I/O MiB/s",
+            ResourceKind::Network => "Network MiB/s",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Telemetry of a single node: one time series per resource channel, all
+/// sharing a sampling period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeTelemetry {
+    node: usize,
+    period: f64,
+    channels: BTreeMap<ResourceKind, TimeSeries>,
+}
+
+impl NodeTelemetry {
+    /// Creates telemetry for `node` sampled every `period` seconds.
+    pub fn new(node: usize, period: f64) -> Self {
+        let channels = ResourceKind::ALL
+            .iter()
+            .map(|&k| (k, TimeSeries::new(period)))
+            .collect();
+        Self {
+            node,
+            period,
+            channels,
+        }
+    }
+
+    /// Node index this telemetry belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Sampling period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Immutable access to one channel.
+    pub fn channel(&self, kind: ResourceKind) -> &TimeSeries {
+        &self.channels[&kind]
+    }
+
+    /// Mutable access to one channel.
+    pub fn channel_mut(&mut self, kind: ResourceKind) -> &mut TimeSeries {
+        self.channels.get_mut(&kind).expect("all channels exist")
+    }
+
+    /// Deposits `amount` of resource usage spread over `[start, end)`.
+    /// For percentage channels `amount` is percent·seconds; for throughput
+    /// channels it is MiB.
+    pub fn deposit(&mut self, kind: ResourceKind, start: f64, end: f64, amount: f64) {
+        self.channel_mut(kind).deposit_range(start, end, amount);
+    }
+
+    /// Longest channel duration, i.e. when this node went idle.
+    pub fn duration(&self) -> f64 {
+        self.channels
+            .values()
+            .map(TimeSeries::duration)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Telemetry for a whole cluster plus cluster-level aggregation, mirroring
+/// the paper's "mean ... for aggregated values of all nodes".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterTelemetry {
+    period: f64,
+    nodes: Vec<NodeTelemetry>,
+}
+
+impl ClusterTelemetry {
+    /// Creates telemetry for `n` nodes at the given sampling period.
+    pub fn new(n: usize, period: f64) -> Self {
+        Self {
+            period,
+            nodes: (0..n).map(|i| NodeTelemetry::new(i, period)).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sampling period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Per-node telemetry.
+    pub fn node(&self, i: usize) -> &NodeTelemetry {
+        &self.nodes[i]
+    }
+
+    /// Mutable per-node telemetry.
+    pub fn node_mut(&mut self, i: usize) -> &mut NodeTelemetry {
+        &mut self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[NodeTelemetry] {
+        &self.nodes
+    }
+
+    /// Cluster-mean series for one channel (the curve the paper plots).
+    /// Percentage channels are clamped to `[0, 100]` after averaging.
+    pub fn mean_channel(&self, kind: ResourceKind) -> TimeSeries {
+        let series: Vec<&TimeSeries> = self.nodes.iter().map(|n| n.channel(kind)).collect();
+        let mean = TimeSeries::mean_of(&series)
+            .unwrap_or_else(|| TimeSeries::new(self.period));
+        if kind.is_percentage() {
+            mean.clamp(0.0, 100.0)
+        } else {
+            mean
+        }
+    }
+
+    /// Longest node duration — end-to-end wall clock of the traced run.
+    pub fn duration(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(NodeTelemetry::duration)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_channels_present() {
+        let t = NodeTelemetry::new(3, 1.0);
+        assert_eq!(t.node(), 3);
+        for kind in ResourceKind::ALL {
+            assert!(t.channel(kind).is_empty());
+        }
+    }
+
+    #[test]
+    fn deposit_lands_in_channel() {
+        let mut t = NodeTelemetry::new(0, 1.0);
+        t.deposit(ResourceKind::Cpu, 0.0, 10.0, 800.0); // 80 %·s/s over 10 s
+        let cpu = t.channel(ResourceKind::Cpu);
+        assert!((cpu.at(5.0) - 80.0).abs() < 1e-9);
+        assert!(t.channel(ResourceKind::Network).is_empty());
+        assert!((t.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_mean_clamps_percentages() {
+        let mut c = ClusterTelemetry::new(2, 1.0);
+        c.node_mut(0).deposit(ResourceKind::Cpu, 0.0, 2.0, 2.0 * 140.0);
+        c.node_mut(1).deposit(ResourceKind::Cpu, 0.0, 2.0, 2.0 * 100.0);
+        let mean = c.mean_channel(ResourceKind::Cpu);
+        // (140+100)/2 = 120, clamped to 100.
+        assert!((mean.at(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_mean_throughput_not_clamped() {
+        let mut c = ClusterTelemetry::new(2, 1.0);
+        c.node_mut(0).deposit(ResourceKind::Network, 0.0, 1.0, 500.0);
+        c.node_mut(1).deposit(ResourceKind::Network, 0.0, 1.0, 300.0);
+        let mean = c.mean_channel(ResourceKind::Network);
+        assert!((mean.at(0.5) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_mean_is_empty() {
+        let c = ClusterTelemetry::new(0, 1.0);
+        assert!(c.mean_channel(ResourceKind::Cpu).is_empty());
+        assert_eq!(c.duration(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = ResourceKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

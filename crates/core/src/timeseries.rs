@@ -1,0 +1,363 @@
+//! Uniformly-sampled time series, the representation behind every resource
+//! usage plot in the paper (Figs 3, 6, 9, 10, 16, 17).
+//!
+//! A [`TimeSeries`] stores samples at a fixed period starting at t = 0. This
+//! matches how the paper's monitoring collects node metrics (dstat-style,
+//! one sample per second) and makes window queries O(1) per sample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{pearson, Accumulator, Summary};
+
+/// A uniformly sampled series of `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sampling period in seconds.
+    period: f64,
+    /// Samples; sample `i` covers `[i·period, (i+1)·period)`.
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given sampling period (seconds).
+    ///
+    /// # Panics
+    /// Panics if `period` is not strictly positive and finite.
+    pub fn new(period: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "sampling period must be positive, got {period}"
+        );
+        Self {
+            period,
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from existing samples.
+    pub fn from_values(period: f64, values: Vec<f64>) -> Self {
+        let mut ts = Self::new(period);
+        ts.values = values;
+        ts
+    }
+
+    /// Sampling period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.values.len() as f64 * self.period
+    }
+
+    /// Raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Appends one sample at the end of the series.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Adds `value` to the sample bucket containing time `t` (seconds),
+    /// growing the series with zeros as needed. This is how simulated
+    /// resource consumption is deposited into telemetry.
+    pub fn deposit(&mut self, t: f64, value: f64) {
+        if !t.is_finite() || t < 0.0 {
+            return;
+        }
+        let idx = (t / self.period) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0.0);
+        }
+        self.values[idx] += value;
+    }
+
+    /// Deposits `total` spread uniformly over `[start, end)` seconds.
+    /// Partial overlap with boundary buckets is pro-rated so that the
+    /// integral of the series increases by exactly `total`.
+    pub fn deposit_range(&mut self, start: f64, end: f64, total: f64) {
+        if !(start.is_finite() && end.is_finite()) || end <= start || total == 0.0 {
+            return;
+        }
+        let start = start.max(0.0);
+        if end <= start {
+            return;
+        }
+        let rate = total / (end - start);
+        let first = (start / self.period) as usize;
+        let last = ((end / self.period).ceil() as usize).max(first + 1);
+        if last > self.values.len() {
+            self.values.resize(last, 0.0);
+        }
+        for (i, v) in self.values[first..last].iter_mut().enumerate() {
+            let bucket_start = (first + i) as f64 * self.period;
+            let bucket_end = bucket_start + self.period;
+            let overlap = (end.min(bucket_end) - start.max(bucket_start)).max(0.0);
+            // Samples are *rates* (value per second); a bucket overlapped
+            // for `overlap` seconds carries rate·overlap/period so that
+            // `integral()` (Σ samples × period) increases by exactly
+            // rate·overlap.
+            *v += rate * overlap / self.period;
+        }
+    }
+
+    /// Sample value at time `t`, zero outside the recorded range.
+    pub fn at(&self, t: f64) -> f64 {
+        if !t.is_finite() || t < 0.0 {
+            return 0.0;
+        }
+        let idx = (t / self.period) as usize;
+        self.values.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Samples whose buckets overlap `[start, end)` seconds.
+    pub fn window(&self, start: f64, end: f64) -> &[f64] {
+        if self.values.is_empty() || end <= start {
+            return &[];
+        }
+        let first = ((start.max(0.0)) / self.period) as usize;
+        let last = ((end / self.period).ceil() as usize).min(self.values.len());
+        if first >= last {
+            return &[];
+        }
+        &self.values[first..last]
+    }
+
+    /// Summary statistics over a time window.
+    pub fn window_summary(&self, start: f64, end: f64) -> Summary {
+        Summary::of(self.window(start, end))
+    }
+
+    /// Summary over the whole series.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+
+    /// Integral of the series (value·seconds), e.g. total MiB transferred
+    /// when samples are MiB/s.
+    pub fn integral(&self) -> f64 {
+        self.values.iter().sum::<f64>() * self.period
+    }
+
+    /// Pointwise sum of two series; the shorter one is zero-extended.
+    ///
+    /// # Panics
+    /// Panics if the periods differ.
+    pub fn add(&self, other: &TimeSeries) -> TimeSeries {
+        assert!(
+            (self.period - other.period).abs() < 1e-12,
+            "cannot add series with different periods"
+        );
+        let n = self.values.len().max(other.values.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(
+                self.values.get(i).copied().unwrap_or(0.0)
+                    + other.values.get(i).copied().unwrap_or(0.0),
+            );
+        }
+        TimeSeries::from_values(self.period, out)
+    }
+
+    /// Pointwise scaling by a constant.
+    pub fn scale(&self, k: f64) -> TimeSeries {
+        TimeSeries::from_values(self.period, self.values.iter().map(|v| v * k).collect())
+    }
+
+    /// Clamps every sample into `[lo, hi]` — utilisation percentages are
+    /// reported clamped to `[0, 100]` like the paper's plots.
+    pub fn clamp(&self, lo: f64, hi: f64) -> TimeSeries {
+        TimeSeries::from_values(
+            self.period,
+            self.values.iter().map(|v| v.clamp(lo, hi)).collect(),
+        )
+    }
+
+    /// Mean of several series, sample by sample (used for "aggregated values
+    /// of all nodes", §V). Series may have different lengths; each bucket
+    /// averages over all series (missing samples count as zero, matching a
+    /// node that has finished its work and sits idle).
+    pub fn mean_of(series: &[&TimeSeries]) -> Option<TimeSeries> {
+        let first = series.first()?;
+        let period = first.period;
+        assert!(
+            series.iter().all(|s| (s.period - period).abs() < 1e-12),
+            "mean_of requires identical periods"
+        );
+        let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        let k = series.len() as f64;
+        let mut out = vec![0.0; n];
+        for s in series {
+            for (i, &v) in s.values.iter().enumerate() {
+                out[i] += v;
+            }
+        }
+        for v in &mut out {
+            *v /= k;
+        }
+        Some(TimeSeries::from_values(period, out))
+    }
+
+    /// Pearson correlation with another series over their common prefix.
+    pub fn correlation(&self, other: &TimeSeries) -> Option<f64> {
+        let n = self.len().min(other.len());
+        pearson(&self.values[..n], &other.values[..n])
+    }
+
+    /// Fraction of samples in `[start, end)` at or above `threshold` —
+    /// "CPU increases to 100% while the disk goes down to 0%" style
+    /// saturation queries.
+    pub fn fraction_above(&self, start: f64, end: f64, threshold: f64) -> f64 {
+        let w = self.window(start, end);
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.iter().filter(|&&v| v >= threshold).count() as f64 / w.len() as f64
+    }
+
+    /// Down-samples by an integer factor, averaging each group; used to
+    /// render compact ASCII plots of long runs.
+    pub fn downsample(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "downsample factor must be positive");
+        let mut out = Vec::with_capacity(self.values.len().div_ceil(factor));
+        for chunk in self.values.chunks(factor) {
+            let mut acc = Accumulator::new();
+            for &v in chunk {
+                acc.push(v);
+            }
+            out.push(acc.mean().unwrap_or(0.0));
+        }
+        TimeSeries::from_values(self.period * factor as f64, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn zero_period_rejected() {
+        let _ = TimeSeries::new(0.0);
+    }
+
+    #[test]
+    fn deposit_grows_and_accumulates() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.deposit(3.2, 5.0);
+        ts.deposit(3.9, 2.0);
+        assert_eq!(ts.len(), 4);
+        assert!(close(ts.at(3.5), 7.0));
+        assert!(close(ts.at(0.5), 0.0));
+        assert!(close(ts.at(100.0), 0.0));
+    }
+
+    #[test]
+    fn deposit_negative_time_ignored() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.deposit(-1.0, 5.0);
+        ts.deposit(f64::NAN, 5.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn deposit_range_preserves_integral() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.deposit_range(0.5, 3.25, 11.0);
+        assert!(close(ts.integral(), 11.0));
+        // Uniform rate of 4 units/s over 2.75 s.
+        assert!(close(ts.at(1.5), 4.0));
+        assert!(close(ts.at(0.0), 2.0)); // half a bucket of overlap
+    }
+
+    #[test]
+    fn deposit_range_degenerate() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.deposit_range(5.0, 5.0, 10.0);
+        ts.deposit_range(5.0, 4.0, 10.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn window_bounds() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ts.window(1.0, 3.0), &[2.0, 3.0]);
+        assert_eq!(ts.window(0.0, 100.0).len(), 5);
+        assert_eq!(ts.window(4.5, 4.0), &[] as &[f64]);
+        assert_eq!(ts.window(10.0, 20.0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn add_zero_extends() {
+        let a = TimeSeries::from_values(1.0, vec![1.0, 1.0]);
+        let b = TimeSeries::from_values(1.0, vec![2.0, 2.0, 2.0]);
+        let c = a.add(&b);
+        assert_eq!(c.values(), &[3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different periods")]
+    fn add_period_mismatch_panics() {
+        let a = TimeSeries::new(1.0);
+        let b = TimeSeries::new(2.0);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn mean_of_nodes() {
+        let a = TimeSeries::from_values(1.0, vec![100.0, 50.0]);
+        let b = TimeSeries::from_values(1.0, vec![0.0, 50.0, 80.0]);
+        let m = TimeSeries::mean_of(&[&a, &b]).unwrap();
+        assert_eq!(m.values(), &[50.0, 50.0, 40.0]);
+        assert!(TimeSeries::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn correlation_of_anti_cyclic_series() {
+        // Model the paper's anti-cyclic CPU/disk pattern: when CPU is high
+        // the disk is quiet and vice versa.
+        let cpu = TimeSeries::from_values(1.0, vec![90.0, 10.0, 95.0, 5.0, 88.0, 12.0]);
+        let disk = TimeSeries::from_values(1.0, vec![5.0, 85.0, 10.0, 90.0, 8.0, 80.0]);
+        let r = cpu.correlation(&disk).unwrap();
+        assert!(r < -0.9, "expected strong negative correlation, got {r}");
+    }
+
+    #[test]
+    fn fraction_above_saturation() {
+        let ts = TimeSeries::from_values(1.0, vec![100.0, 100.0, 20.0, 100.0]);
+        assert!(close(ts.fraction_above(0.0, 4.0, 99.0), 0.75));
+        assert!(close(ts.fraction_above(10.0, 20.0, 99.0), 0.0));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        let d = ts.downsample(2);
+        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert!(close(d.period(), 2.0));
+    }
+
+    #[test]
+    fn clamp_and_scale() {
+        let ts = TimeSeries::from_values(1.0, vec![-5.0, 50.0, 150.0]);
+        assert_eq!(ts.clamp(0.0, 100.0).values(), &[0.0, 50.0, 100.0]);
+        assert_eq!(ts.scale(2.0).values(), &[-10.0, 100.0, 300.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # flowmark-dataflow
+//!
+//! The logical dataflow layer shared by the cluster simulator and the
+//! experiment harness. Both engines in the paper "implement a driver program
+//! that describes the high-level control flow of the application, which
+//! relies on two main parallel programming abstractions: (1) structures to
+//! describe the data and (2) parallel operations on these data" (§II).
+//!
+//! Here those parallel operations are a [`plan::LogicalPlan`]: a DAG of
+//! [`operator::OperatorKind`] nodes connected by [`plan::ExchangeMode`]
+//! edges, annotated with per-record cost estimates. The two engines consume
+//! the same logical plan differently:
+//!
+//! - the Flink-side [`optimizer`] chains forward-connected operators,
+//!   inserts combiners before shuffles and computes the pipelined job graph
+//!   ([`stage::JobGraph`]);
+//! - the Spark-side [`stage`] module splits the DAG into stages at shuffle
+//!   boundaries the way the DAGScheduler does ([`stage::StagePlan`]).
+//!
+//! [`partitioner`] implements the hash and range (TotalOrderPartitioner-
+//! like) partitioners both engines share in the TeraSort comparison.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod operator;
+pub mod optimizer;
+pub mod partitioner;
+pub mod plan;
+pub mod stage;
+
+pub use operator::OperatorKind;
+pub use plan::{CostAnnotation, ExchangeMode, LogicalPlan, NodeId, PlanNode};

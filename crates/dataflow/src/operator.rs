@@ -1,0 +1,258 @@
+//! The operator vocabulary of Table I.
+//!
+//! Table I lists the operators each workload uses, split into common
+//! operators and framework-specific ones (annotated F or S in the paper).
+//! [`OperatorKind`] is that vocabulary; the properties on it (does it
+//! shuffle, does it break the pipeline, does it combine map-side) are what
+//! the optimizer, the stage splitter and the simulator reason about.
+
+use serde::{Deserialize, Serialize};
+
+/// Which framework an operator belongs to (Table I's F/S annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorOrigin {
+    /// Available in both frameworks.
+    Common,
+    /// Spark-specific (S).
+    SparkOnly,
+    /// Flink-specific (F).
+    FlinkOnly,
+}
+
+/// A logical dataflow operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // Variants are the operator names themselves.
+pub enum OperatorKind {
+    // -- sources and sinks -------------------------------------------------
+    /// Reads input splits from distributed storage.
+    DataSource,
+    /// Reads an in-memory dataset: a persisted RDD or an iteration's
+    /// feedback/workset input. No storage I/O.
+    CachedSource,
+    /// Writes results to distributed storage (save / writeAsText /
+    /// saveAsTextFile / DataSink).
+    DataSink,
+    /// Returns a small result to the driver (count / collect).
+    Collect,
+
+    // -- element-wise ------------------------------------------------------
+    Map,
+    FlatMap,
+    Filter,
+    /// Spark's `mapToPair` (key extraction before reduceByKey).
+    MapToPair,
+    /// Spark's `mapPartitionsWithIndex` / `mapPartitions`.
+    MapPartitions,
+
+    // -- aggregation -------------------------------------------------------
+    /// Flink `groupBy` followed by `sum`/`reduce` (sort-based combine +
+    /// reduce).
+    GroupReduce,
+    /// Map-side combiner (Flink GroupCombine; Spark's combiner inside
+    /// reduceByKey).
+    GroupCombine,
+    /// Spark `reduceByKey` (map-side combine + hash-partitioned reduce).
+    ReduceByKey,
+    /// Spark `collectAsMap` (reduce to driver as a map).
+    CollectAsMap,
+    /// `distinct`.
+    Distinct,
+    /// Count action after a filter (Grep).
+    Count,
+
+    // -- partitioning and sorting -------------------------------------------
+    /// Spark `repartitionAndSortWithinPartitions`.
+    RepartitionAndSort,
+    /// Flink `partitionCustom`.
+    PartitionCustom,
+    /// Flink `sortPartition` (local per-partition sort).
+    SortPartition,
+    /// Spark `coalesce`.
+    Coalesce,
+
+    // -- binary ------------------------------------------------------------
+    Join,
+    /// Flink CoGroup — builds the delta-iteration solution set in memory
+    /// (§VI-E: the operator whose in-memory solution set OOMs).
+    CoGroup,
+
+    // -- iteration ---------------------------------------------------------
+    /// Flink bulk iteration operator (cyclic dataflow).
+    BulkIteration,
+    /// Flink delta iteration operator (workset + solution set).
+    DeltaIteration,
+    /// Flink `withBroadcastSet` (broadcast of the current centroids in
+    /// K-Means).
+    WithBroadcastSet,
+
+    // -- graph library operators --------------------------------------------
+    /// Gelly/GraphX graph-loading and vertex-degree operators
+    /// (outDegrees, joinWithEdgesOnSource, withEdges / outerJoinVertices,
+    /// mapTriplets, ...).
+    GraphOp,
+}
+
+impl OperatorKind {
+    /// Framework annotation from Table I.
+    pub fn origin(self) -> OperatorOrigin {
+        use OperatorKind::*;
+        match self {
+            MapToPair | ReduceByKey | CollectAsMap | RepartitionAndSort | Coalesce
+            | MapPartitions => OperatorOrigin::SparkOnly,
+            GroupReduce | GroupCombine | PartitionCustom | SortPartition | CoGroup
+            | BulkIteration | DeltaIteration | WithBroadcastSet => OperatorOrigin::FlinkOnly,
+            _ => OperatorOrigin::Common,
+        }
+    }
+
+    /// True when the operator's input must be repartitioned across the
+    /// cluster (a shuffle / wide dependency).
+    pub fn requires_shuffle(self) -> bool {
+        use OperatorKind::*;
+        matches!(
+            self,
+            GroupReduce
+                | ReduceByKey
+                | Distinct
+                | RepartitionAndSort
+                | PartitionCustom
+                | Join
+                | CoGroup
+                | Coalesce
+        )
+    }
+
+    /// True when the operator must consume its whole input before emitting
+    /// output — a *pipeline breaker* in Flink's optimizer terminology
+    /// (sort-based grouping and full sorts are breakers; element-wise
+    /// operators are not).
+    pub fn is_pipeline_breaker(self) -> bool {
+        use OperatorKind::*;
+        matches!(self, GroupReduce | SortPartition | CoGroup | Distinct)
+    }
+
+    /// True when the engine can run a map-side combiner for this operator,
+    /// halving shuffle volume for skewed keys ("both Spark and Flink use a
+    /// map side combiner to reduce the intermediate data", §III).
+    pub fn has_map_side_combine(self) -> bool {
+        use OperatorKind::*;
+        matches!(self, GroupReduce | ReduceByKey | Distinct)
+    }
+
+    /// True for driver-bound actions that end a job.
+    pub fn is_action(self) -> bool {
+        use OperatorKind::*;
+        matches!(self, DataSink | Collect | Count | CollectAsMap)
+    }
+
+    /// Operator display name as it appears in the paper's plan plots.
+    pub fn display_name(self) -> &'static str {
+        use OperatorKind::*;
+        match self {
+            DataSource => "DataSource",
+            CachedSource => "CachedSource",
+            DataSink => "DataSink",
+            Collect => "Collect",
+            Map => "Map",
+            FlatMap => "FlatMap",
+            Filter => "Filter",
+            MapToPair => "MapToPair",
+            MapPartitions => "MapPartitions",
+            GroupReduce => "GroupReduce",
+            GroupCombine => "GroupCombine",
+            ReduceByKey => "ReduceByKey",
+            CollectAsMap => "CollectAsMap",
+            Distinct => "Distinct",
+            Count => "Count",
+            RepartitionAndSort => "RepartitionAndSort",
+            PartitionCustom => "Partition",
+            SortPartition => "Sort-Partition",
+            Coalesce => "Coalesce",
+            Join => "Join",
+            CoGroup => "CoGroup",
+            BulkIteration => "BulkIteration",
+            DeltaIteration => "DeltaIteration",
+            WithBroadcastSet => "WithBroadcastSet",
+            GraphOp => "GraphOp",
+        }
+    }
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OperatorKind::*;
+
+    #[test]
+    fn table_i_framework_annotations() {
+        // Spark-only operators per Table I.
+        for op in [MapToPair, ReduceByKey, CollectAsMap, RepartitionAndSort, Coalesce] {
+            assert_eq!(op.origin(), OperatorOrigin::SparkOnly, "{op}");
+        }
+        // Flink-only operators per Table I.
+        for op in [
+            GroupReduce,
+            PartitionCustom,
+            SortPartition,
+            DeltaIteration,
+            BulkIteration,
+            WithBroadcastSet,
+        ] {
+            assert_eq!(op.origin(), OperatorOrigin::FlinkOnly, "{op}");
+        }
+        // Common operators.
+        for op in [Map, FlatMap, Filter, Distinct, DataSink, Join] {
+            assert_eq!(op.origin(), OperatorOrigin::Common, "{op}");
+        }
+    }
+
+    #[test]
+    fn shuffles_and_breakers() {
+        assert!(ReduceByKey.requires_shuffle());
+        assert!(GroupReduce.requires_shuffle());
+        assert!(Join.requires_shuffle());
+        assert!(!Map.requires_shuffle());
+        assert!(!Filter.requires_shuffle());
+        assert!(!SortPartition.requires_shuffle()); // local sort
+
+        assert!(GroupReduce.is_pipeline_breaker());
+        assert!(SortPartition.is_pipeline_breaker());
+        assert!(!FlatMap.is_pipeline_breaker());
+        assert!(!PartitionCustom.is_pipeline_breaker()); // streams through
+    }
+
+    #[test]
+    fn combiners_match_paper() {
+        assert!(ReduceByKey.has_map_side_combine());
+        assert!(GroupReduce.has_map_side_combine());
+        assert!(!Join.has_map_side_combine());
+    }
+
+    #[test]
+    fn actions_end_jobs() {
+        for op in [DataSink, Collect, Count, CollectAsMap] {
+            assert!(op.is_action(), "{op}");
+        }
+        assert!(!Map.is_action());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let ops = [
+            DataSource, DataSink, Collect, Map, FlatMap, Filter, MapToPair, MapPartitions,
+            GroupReduce, GroupCombine, ReduceByKey, CollectAsMap, Distinct, Count,
+            RepartitionAndSort, PartitionCustom, SortPartition, Coalesce, Join, CoGroup,
+            BulkIteration, DeltaIteration, WithBroadcastSet, GraphOp,
+        ];
+        let mut names: Vec<&str> = ops.iter().map(|o| o.display_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ops.len());
+    }
+}

@@ -1,0 +1,311 @@
+//! The Flink-style plan optimizer.
+//!
+//! Flink ships "an automatic cost-based optimizer, that is able to reorder
+//! the operators" (§I) and fuses forward-connected operators into chained
+//! tasks. The paper credits this optimizer for TeraSort: "The importance of
+//! the execution pipeline implemented by the smart optimizer in Flink is
+//! clearly illustrated by this workload. Reordering the operators enables
+//! more efficient resource usage" (§VI-C).
+//!
+//! Three rewrites are implemented:
+//!
+//! 1. **Combiner insertion** — put a `GroupCombine` on the map side of every
+//!    shuffle feeding a combinable aggregation (both engines do this for
+//!    Word Count, §III; in Spark it is part of `reduceByKey` itself).
+//! 2. **Filter pushdown** — move a `Filter` in front of an adjacent
+//!    record-preserving `Map` so fewer records pay the map cost.
+//! 3. **Operator chaining** — computed by [`crate::stage::JobGraph`], which
+//!    consumes the rewritten plan.
+
+use crate::operator::OperatorKind;
+use crate::plan::{CostAnnotation, ExchangeMode, LogicalPlan, NodeId, PlanNode};
+
+/// Inserts a map-side combiner before every shuffle edge that feeds a
+/// combinable aggregation ([`OperatorKind::has_map_side_combine`]).
+///
+/// The combiner's selectivity defaults to `sqrt` of the downstream
+/// aggregation's selectivity: with `n` records collapsing to `k` keys
+/// globally, a per-partition combine typically reaches an intermediate
+/// reduction (each partition still holds up to `k` keys). The downstream
+/// aggregation's selectivity is rescaled so end-to-end cardinality is
+/// unchanged.
+pub fn insert_combiners(plan: &LogicalPlan) -> LogicalPlan {
+    let mut out = LogicalPlan::new();
+    // Maps old node ids to new ids (combiners shift indices).
+    let mut remap: Vec<NodeId> = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let combinable = node.op.has_map_side_combine()
+            && node.inputs.len() == 1
+            && node.inputs[0].1.is_shuffle();
+        if combinable {
+            let (old_input, mode) = node.inputs[0];
+            let combine_sel = node.cost.selectivity.sqrt().clamp(0.0, 1.0);
+            let combiner = out.unary_via(
+                remap[old_input.0],
+                ExchangeMode::Forward,
+                OperatorKind::GroupCombine,
+                CostAnnotation::new(
+                    combine_sel,
+                    node.cost.cpu_ns_per_record,
+                    node.cost.bytes_per_record,
+                ),
+            );
+            let rescaled = if combine_sel > 0.0 {
+                node.cost.selectivity / combine_sel
+            } else {
+                1.0
+            };
+            let agg = out.unary_via(
+                combiner,
+                mode,
+                node.op,
+                CostAnnotation::new(
+                    rescaled.min(1.0),
+                    node.cost.cpu_ns_per_record,
+                    node.cost.bytes_per_record,
+                ),
+            );
+            out.label(agg, node.label.clone());
+            remap.push(agg);
+        } else {
+            remap.push(copy_node(&mut out, node, &remap));
+        }
+    }
+    out
+}
+
+/// Pushes `Filter` nodes in front of an immediately preceding
+/// record-preserving `Map` when both sit on a forward edge and the map has
+/// no other consumer. Returns the rewritten plan and how many swaps fired.
+pub fn push_down_filters(plan: &LogicalPlan) -> (LogicalPlan, usize) {
+    // Count consumers so we never duplicate a shared map.
+    let mut consumers = vec![0usize; plan.len()];
+    for n in plan.nodes() {
+        for (input, _) in &n.inputs {
+            consumers[input.0] += 1;
+        }
+    }
+    let mut swapped = 0usize;
+    let mut out = LogicalPlan::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(plan.len());
+    // `pending_swap[old_map_id]` records that the map must be emitted when
+    // its filter consumer is reached.
+    let mut skip: Vec<bool> = vec![false; plan.len()];
+    for node in plan.nodes() {
+        if skip[node.id.0] {
+            // Placeholder; the actual new id was recorded already.
+            continue;
+        }
+        // Look ahead: is our single consumer a filter we should swap with?
+        let is_swappable_map = node.op == OperatorKind::Map
+            && node.cost.selectivity == 1.0
+            && consumers[node.id.0] == 1
+            && node.inputs.len() == 1
+            && node.inputs[0].1 == ExchangeMode::Forward;
+        let filter_consumer = plan.nodes().iter().find(|m| {
+            m.op == OperatorKind::Filter
+                && m.inputs.len() == 1
+                && m.inputs[0].0 == node.id
+                && m.inputs[0].1 == ExchangeMode::Forward
+        });
+        if let (true, Some(filter)) = (is_swappable_map, filter_consumer) {
+            // Emit filter first (reading from the map's input), then map.
+            let upstream = remap[node.inputs[0].0 .0];
+            let new_filter = out.unary_via(
+                upstream,
+                ExchangeMode::Forward,
+                OperatorKind::Filter,
+                filter.cost,
+            );
+            out.label(new_filter, filter.label.clone());
+            let new_map =
+                out.unary_via(new_filter, ExchangeMode::Forward, OperatorKind::Map, node.cost);
+            out.label(new_map, node.label.clone());
+            // The old map id now resolves to the new filter, and the old
+            // filter id to the new map (so downstream consumers see the
+            // map's output, preserving semantics).
+            remap.push(new_filter); // position of `node`
+            debug_assert_eq!(remap.len() - 1, node.id.0);
+            // Reserve the filter's slot when we reach it.
+            skip[filter.id.0] = true;
+            // We must record the filter's remap at the filter's index; do it
+            // by padding remap when we skip it below. Store out-of-band:
+            swapped += 1;
+            // Pad remap for any nodes between map and filter (builder order
+            // guarantees filter comes later; intermediate nodes are handled
+            // normally because they cannot consume the filter).
+            // Record the filter's new id for later consumers.
+            // We push it when iteration reaches the filter (skip branch).
+            // To make that work, stash it:
+            pending_push(&mut remap, filter.id.0, new_map);
+            continue;
+        }
+        remap.push(copy_node(&mut out, node, &remap));
+    }
+    (out, swapped)
+}
+
+/// Ensures `remap` has a slot for `idx` holding `id`, padding with
+/// placeholders that will be overwritten in order. Builder order guarantees
+/// intermediate slots get filled before use.
+fn pending_push(remap: &mut Vec<NodeId>, idx: usize, id: NodeId) {
+    if remap.len() == idx {
+        remap.push(id);
+    } else {
+        while remap.len() <= idx {
+            remap.push(NodeId(usize::MAX));
+        }
+        remap[idx] = id;
+    }
+}
+
+/// Copies one node into `out`, remapping inputs.
+fn copy_node(out: &mut LogicalPlan, node: &PlanNode, remap: &[NodeId]) -> NodeId {
+    let id = match (&node.iteration, node.source_records) {
+        (_, Some(records)) if node.op == OperatorKind::CachedSource => {
+            out.source_cached(records, node.cost.bytes_per_record)
+        }
+        (_, Some(records)) => out.source(records, node.cost.bytes_per_record),
+        (Some(spec), _) => out.iterate(
+            remap[node.inputs[0].0 .0],
+            spec.kind,
+            spec.iterations,
+            (*spec.body).clone(),
+            spec.workset_decay,
+        ),
+        _ if node.inputs.len() == 1 => {
+            let (input, mode) = node.inputs[0];
+            out.unary_via(remap[input.0], mode, node.op, node.cost)
+        }
+        _ => {
+            let left = (remap[node.inputs[0].0 .0], node.inputs[0].1);
+            let right = (remap[node.inputs[1].0 .0], node.inputs[1].1);
+            out.binary(left, right, node.op, node.cost)
+        }
+    };
+    out.label(id, node.label.clone());
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind::*;
+
+    #[test]
+    fn combiner_inserted_before_shuffle() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(1_000_000, 80.0);
+        let fm = p.unary(src, FlatMap, CostAnnotation::new(10.0, 150.0, 12.0));
+        let rbk = p.unary(fm, ReduceByKey, CostAnnotation::new(0.01, 200.0, 20.0));
+        let _ = p.unary(rbk, DataSink, CostAnnotation::default());
+
+        let opt = insert_combiners(&p);
+        assert!(opt.validate().is_ok());
+        let ops: Vec<_> = opt.nodes().iter().map(|n| n.op).collect();
+        assert_eq!(
+            ops,
+            vec![DataSource, FlatMap, GroupCombine, ReduceByKey, DataSink]
+        );
+        // The combiner sits on a forward edge; the shuffle moved after it.
+        let combine = &opt.nodes()[2];
+        assert_eq!(combine.inputs[0].1, ExchangeMode::Forward);
+        let reduce = &opt.nodes()[3];
+        assert!(reduce.inputs[0].1.is_shuffle());
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_but_preserves_output() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(1_000_000, 80.0);
+        let fm = p.unary(src, FlatMap, CostAnnotation::new(10.0, 150.0, 12.0));
+        let rbk = p.unary(fm, ReduceByKey, CostAnnotation::new(0.01, 200.0, 20.0));
+        let sink = p.unary(rbk, DataSink, CostAnnotation::default());
+
+        let before = p.cardinalities();
+        let opt = insert_combiners(&p);
+        let after = opt.cardinalities();
+        // End-to-end output unchanged...
+        assert!((before[sink.0] - after[opt.len() - 1]).abs() / before[sink.0] < 1e-9);
+        // ...but the records entering the shuffle shrank by ~10× (sqrt(0.01)).
+        let shuffle_in_before = before[1];
+        let shuffle_in_after = after[2];
+        assert!(shuffle_in_after < shuffle_in_before * 0.15);
+    }
+
+    #[test]
+    fn non_combinable_shuffles_untouched() {
+        let mut p = LogicalPlan::new();
+        let a = p.source(100, 8.0);
+        let b = p.source(100, 8.0);
+        let j = p.binary(
+            (a, ExchangeMode::HashShuffle),
+            (b, ExchangeMode::HashShuffle),
+            Join,
+            CostAnnotation::default(),
+        );
+        let _ = p.unary(j, DataSink, CostAnnotation::default());
+        let opt = insert_combiners(&p);
+        assert_eq!(opt.len(), p.len());
+        let ops: Vec<_> = opt.nodes().iter().map(|n| n.op).collect();
+        assert!(!ops.contains(&GroupCombine));
+    }
+
+    #[test]
+    fn filter_pushed_before_map() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(1000, 80.0);
+        let m = p.unary(src, Map, CostAnnotation::new(1.0, 500.0, 80.0));
+        let f = p.unary(m, Filter, CostAnnotation::new(0.01, 50.0, 80.0));
+        let _ = p.unary(f, Count, CostAnnotation::new(0.0, 10.0, 8.0));
+
+        let (opt, swaps) = push_down_filters(&p);
+        assert_eq!(swaps, 1);
+        assert!(opt.validate().is_ok());
+        let ops: Vec<_> = opt.nodes().iter().map(|n| n.op).collect();
+        assert_eq!(ops, vec![DataSource, Filter, Map, Count]);
+        // After pushdown only 1 % of records pay the map cost.
+        let c = opt.cardinalities();
+        assert!((c[1] - 10.0).abs() < 1e-9); // filter output
+        assert!((c[2] - 10.0).abs() < 1e-9); // map output
+    }
+
+    #[test]
+    fn selective_map_not_swapped() {
+        // A map with selectivity ≠ 1 (e.g. flatMap-like) must not commute.
+        let mut p = LogicalPlan::new();
+        let src = p.source(1000, 80.0);
+        let m = p.unary(src, Map, CostAnnotation::new(0.5, 500.0, 80.0));
+        let f = p.unary(m, Filter, CostAnnotation::new(0.1, 50.0, 80.0));
+        let _ = p.unary(f, Count, CostAnnotation::new(0.0, 10.0, 8.0));
+        let (opt, swaps) = push_down_filters(&p);
+        assert_eq!(swaps, 0);
+        assert_eq!(opt.nodes()[1].op, Map);
+    }
+
+    #[test]
+    fn pushdown_noop_without_filters() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(10, 8.0);
+        let m = p.unary(src, Map, CostAnnotation::default());
+        let _ = p.unary(m, DataSink, CostAnnotation::default());
+        let (opt, swaps) = push_down_filters(&p);
+        assert_eq!(swaps, 0);
+        assert_eq!(opt.len(), 3);
+        assert!(opt.validate().is_ok());
+    }
+
+    #[test]
+    fn copy_preserves_iterations() {
+        let mut body = LogicalPlan::new();
+        let bsrc = body.source(10, 8.0);
+        body.unary(bsrc, Map, CostAnnotation::default());
+        let mut p = LogicalPlan::new();
+        let src = p.source(10, 8.0);
+        let it = p.iterate(src, crate::plan::IterationKind::Bulk, 3, body, 1.0);
+        let _ = p.unary(it, DataSink, CostAnnotation::default());
+        let opt = insert_combiners(&p);
+        assert!(opt.validate().is_ok());
+        assert!(opt.nodes().iter().any(|n| n.iteration.is_some()));
+    }
+}

@@ -1,0 +1,482 @@
+//! Logical plan DAGs with cost annotations.
+//!
+//! A [`LogicalPlan`] is the engine-neutral description of a job: operator
+//! nodes connected by exchange edges, each node annotated with the
+//! per-record costs the simulator prices. Workloads build one plan and hand
+//! it to either the Spark-style stage splitter or the Flink-style optimizer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::operator::OperatorKind;
+
+/// Index of a node within its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// How data moves along an edge between two operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExchangeMode {
+    /// Same-partition, same-worker handoff (chainable).
+    Forward,
+    /// Hash repartition by key (all-to-all).
+    HashShuffle,
+    /// Range repartition with a sampled total-order partitioner.
+    RangeShuffle,
+    /// Replicate to every partition (e.g. K-Means centroids broadcast).
+    Broadcast,
+}
+
+impl ExchangeMode {
+    /// True when the edge crosses the network (a wide dependency).
+    pub fn is_shuffle(self) -> bool {
+        matches!(self, ExchangeMode::HashShuffle | ExchangeMode::RangeShuffle)
+    }
+}
+
+/// Per-record cost annotations consumed by the simulator's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostAnnotation {
+    /// Output records per input record (e.g. ~10 for a flatMap splitting
+    /// lines into words, 0.01 for a selective filter, 1.0 for a map).
+    pub selectivity: f64,
+    /// CPU nanoseconds of user + framework code per input record, before
+    /// serializer multipliers.
+    pub cpu_ns_per_record: f64,
+    /// Bytes per *output* record before serializer size multipliers.
+    pub bytes_per_record: f64,
+}
+
+impl Default for CostAnnotation {
+    fn default() -> Self {
+        Self {
+            selectivity: 1.0,
+            cpu_ns_per_record: 100.0,
+            bytes_per_record: 64.0,
+        }
+    }
+}
+
+impl CostAnnotation {
+    /// Convenience constructor.
+    pub fn new(selectivity: f64, cpu_ns_per_record: f64, bytes_per_record: f64) -> Self {
+        Self {
+            selectivity,
+            cpu_ns_per_record,
+            bytes_per_record,
+        }
+    }
+}
+
+/// Iteration flavour for iteration nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IterationKind {
+    /// Full recomputation every round (Flink bulk iterate; Spark for-loop).
+    Bulk,
+    /// Incremental: only the changed workset flows, a solution set is
+    /// updated in place (Flink delta iterations, §II-C).
+    Delta,
+}
+
+/// An iteration node's nested body and trip count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationSpec {
+    /// Bulk or delta.
+    pub kind: IterationKind,
+    /// Number of rounds (the paper uses fixed counts: 10 for K-Means,
+    /// 5/20 for Page Rank, 10/23 for Connected Components).
+    pub iterations: u32,
+    /// The per-round dataflow; its source consumes the loop input, its last
+    /// node produces the next partial solution / workset.
+    pub body: Box<LogicalPlan>,
+    /// For delta iterations: expected workset shrink factor per round
+    /// (< 1.0); "the work in each iteration decreases", §II-C.
+    pub workset_decay: f64,
+}
+
+/// One node of a logical plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Operator kind.
+    pub op: OperatorKind,
+    /// Display label (defaults to the operator's display name).
+    pub label: String,
+    /// Cost annotations.
+    pub cost: CostAnnotation,
+    /// Input edges: upstream node plus exchange mode.
+    pub inputs: Vec<(NodeId, ExchangeMode)>,
+    /// Present on `BulkIteration` / `DeltaIteration` nodes.
+    pub iteration: Option<IterationSpec>,
+    /// For sources: number of input records.
+    pub source_records: Option<u64>,
+}
+
+/// A dataflow DAG. Nodes are stored in insertion order, which the builder
+/// guarantees to be a topological order (inputs must already exist).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    nodes: Vec<PlanNode>,
+}
+
+impl LogicalPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source node producing `records` records of
+    /// `bytes_per_record` bytes each.
+    pub fn source(&mut self, records: u64, bytes_per_record: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(PlanNode {
+            id,
+            op: OperatorKind::DataSource,
+            label: OperatorKind::DataSource.display_name().to_string(),
+            cost: CostAnnotation::new(1.0, 50.0, bytes_per_record),
+            inputs: Vec::new(),
+            iteration: None,
+            source_records: Some(records),
+        });
+        id
+    }
+
+    /// Adds a source that reads an in-memory dataset (persisted RDD /
+    /// iteration feedback) — no storage I/O is priced for it.
+    pub fn source_cached(&mut self, records: u64, bytes_per_record: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(PlanNode {
+            id,
+            op: OperatorKind::CachedSource,
+            label: OperatorKind::CachedSource.display_name().to_string(),
+            cost: CostAnnotation::new(1.0, 20.0, bytes_per_record),
+            inputs: Vec::new(),
+            iteration: None,
+            source_records: Some(records),
+        });
+        id
+    }
+
+    /// Adds a unary operator downstream of `input`.
+    ///
+    /// The exchange mode defaults to the operator's nature: shuffling
+    /// operators get a hash shuffle, everything else a forward edge. Use
+    /// [`LogicalPlan::unary_via`] to override (e.g. range shuffles).
+    pub fn unary(&mut self, input: NodeId, op: OperatorKind, cost: CostAnnotation) -> NodeId {
+        let mode = if op.requires_shuffle() {
+            ExchangeMode::HashShuffle
+        } else {
+            ExchangeMode::Forward
+        };
+        self.unary_via(input, mode, op, cost)
+    }
+
+    /// Adds a unary operator with an explicit exchange mode.
+    pub fn unary_via(
+        &mut self,
+        input: NodeId,
+        mode: ExchangeMode,
+        op: OperatorKind,
+        cost: CostAnnotation,
+    ) -> NodeId {
+        assert!(input.0 < self.nodes.len(), "input node does not exist");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(PlanNode {
+            id,
+            op,
+            label: op.display_name().to_string(),
+            cost,
+            inputs: vec![(input, mode)],
+            iteration: None,
+            source_records: None,
+        });
+        id
+    }
+
+    /// Adds a binary operator (join / coGroup).
+    pub fn binary(
+        &mut self,
+        left: (NodeId, ExchangeMode),
+        right: (NodeId, ExchangeMode),
+        op: OperatorKind,
+        cost: CostAnnotation,
+    ) -> NodeId {
+        assert!(left.0 .0 < self.nodes.len() && right.0 .0 < self.nodes.len());
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(PlanNode {
+            id,
+            op,
+            label: op.display_name().to_string(),
+            cost,
+            inputs: vec![left, right],
+            iteration: None,
+            source_records: None,
+        });
+        id
+    }
+
+    /// Adds an iteration node wrapping `body`.
+    pub fn iterate(
+        &mut self,
+        input: NodeId,
+        kind: IterationKind,
+        iterations: u32,
+        body: LogicalPlan,
+        workset_decay: f64,
+    ) -> NodeId {
+        assert!(input.0 < self.nodes.len(), "input node does not exist");
+        assert!(iterations > 0, "iterations must be positive");
+        assert!(
+            workset_decay > 0.0 && workset_decay <= 1.0,
+            "workset decay must be in (0, 1]"
+        );
+        let op = match kind {
+            IterationKind::Bulk => OperatorKind::BulkIteration,
+            IterationKind::Delta => OperatorKind::DeltaIteration,
+        };
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(PlanNode {
+            id,
+            op,
+            label: op.display_name().to_string(),
+            cost: CostAnnotation::new(1.0, 0.0, 64.0),
+            inputs: vec![(input, ExchangeMode::Forward)],
+            iteration: Some(IterationSpec {
+                kind,
+                iterations,
+                body: Box::new(body),
+                workset_decay,
+            }),
+            source_records: None,
+        });
+        id
+    }
+
+    /// Renames the last-added node (plan plots use fused labels like
+    /// `"DataSource->FlatMap->GroupCombine"`).
+    pub fn label(&mut self, id: NodeId, label: impl Into<String>) {
+        self.nodes[id.0].label = label.into();
+    }
+
+    /// All nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of nodes with no consumers (the job's outputs).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for (input, _) in &n.inputs {
+                consumed[input.0] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !consumed[n.id.0])
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Estimated record count flowing *out of* each node, propagating source
+    /// cardinalities through selectivities. Iteration nodes pass their input
+    /// cardinality through (the loop's steady-state output).
+    pub fn cardinalities(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nodes.len()];
+        for n in &self.nodes {
+            let input: f64 = if let Some(r) = n.source_records {
+                r as f64
+            } else {
+                n.inputs.iter().map(|(id, _)| out[id.0]).sum()
+            };
+            out[n.id.0] = input * n.cost.selectivity;
+        }
+        out
+    }
+
+    /// Estimated bytes flowing out of each node.
+    pub fn output_bytes(&self) -> Vec<f64> {
+        self.cardinalities()
+            .iter()
+            .zip(&self.nodes)
+            .map(|(records, n)| records * n.cost.bytes_per_record)
+            .collect()
+    }
+
+    /// Validates DAG structural invariants: inputs precede consumers
+    /// (acyclicity by construction), at least one source, every non-source
+    /// has inputs, iteration specs only on iteration operators.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("plan has no nodes".to_string());
+        }
+        let mut has_source = false;
+        for n in &self.nodes {
+            for (input, _) in &n.inputs {
+                if input.0 >= n.id.0 {
+                    return Err(format!("node {} consumes a later node", n.id.0));
+                }
+            }
+            match n.op {
+                OperatorKind::DataSource | OperatorKind::CachedSource => {
+                    has_source = true;
+                    if !n.inputs.is_empty() {
+                        return Err("source with inputs".to_string());
+                    }
+                    if n.source_records.is_none() {
+                        return Err("source without cardinality".to_string());
+                    }
+                }
+                OperatorKind::BulkIteration | OperatorKind::DeltaIteration => {
+                    let spec = n
+                        .iteration
+                        .as_ref()
+                        .ok_or("iteration node without spec")?;
+                    spec.body.validate()?;
+                }
+                _ => {
+                    if n.inputs.is_empty() {
+                        return Err(format!("non-source node {} has no inputs", n.id.0));
+                    }
+                    if n.iteration.is_some() {
+                        return Err("iteration spec on non-iteration node".to_string());
+                    }
+                }
+            }
+        }
+        if !has_source {
+            return Err("plan has no source".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind::*;
+
+    fn wordcount_like() -> LogicalPlan {
+        let mut p = LogicalPlan::new();
+        let src = p.source(1_000_000, 80.0);
+        let fm = p.unary(src, FlatMap, CostAnnotation::new(10.0, 150.0, 12.0));
+        let rbk = p.unary(fm, ReduceByKey, CostAnnotation::new(0.02, 200.0, 20.0));
+        let _sink = p.unary(rbk, DataSink, CostAnnotation::new(1.0, 80.0, 20.0));
+        p
+    }
+
+    #[test]
+    fn builder_produces_valid_plan() {
+        let p = wordcount_like();
+        assert_eq!(p.len(), 4);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.sinks(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn shuffling_operator_gets_shuffle_edge() {
+        let p = wordcount_like();
+        assert_eq!(p.node(NodeId(2)).inputs[0].1, ExchangeMode::HashShuffle);
+        assert_eq!(p.node(NodeId(1)).inputs[0].1, ExchangeMode::Forward);
+    }
+
+    #[test]
+    fn cardinality_propagation() {
+        let p = wordcount_like();
+        let c = p.cardinalities();
+        assert!((c[0] - 1e6).abs() < 1.0);
+        assert!((c[1] - 1e7).abs() < 1.0); // flatMap ×10
+        assert!((c[2] - 2e5).abs() < 1.0); // combine to 2 %
+        let bytes = p.output_bytes();
+        assert!((bytes[1] - 1e7 * 12.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_catches_missing_source_records() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(10, 8.0);
+        let _ = p.unary(src, Map, CostAnnotation::default());
+        // Corrupt: remove cardinality.
+        let mut bad = p.clone();
+        bad.nodes[0].source_records = None;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "input node does not exist")]
+    fn unary_with_bogus_input_panics() {
+        let mut p = LogicalPlan::new();
+        let _ = p.unary(NodeId(5), Map, CostAnnotation::default());
+    }
+
+    #[test]
+    fn iteration_body_is_validated() {
+        let mut body = LogicalPlan::new();
+        let bsrc = body.source(100, 16.0);
+        let _ = body.unary(bsrc, Map, CostAnnotation::default());
+
+        let mut p = LogicalPlan::new();
+        let src = p.source(100, 16.0);
+        let it = p.iterate(src, IterationKind::Bulk, 10, body, 1.0);
+        let _ = p.unary(it, DataSink, CostAnnotation::default());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.node(it).op, BulkIteration);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be positive")]
+    fn zero_iterations_panics() {
+        let mut body = LogicalPlan::new();
+        body.source(1, 1.0);
+        let mut p = LogicalPlan::new();
+        let src = p.source(1, 1.0);
+        let _ = p.iterate(src, IterationKind::Bulk, 0, body, 1.0);
+    }
+
+    #[test]
+    fn binary_join_cardinality_sums_inputs() {
+        let mut p = LogicalPlan::new();
+        let a = p.source(100, 8.0);
+        let b = p.source(200, 8.0);
+        let j = p.binary(
+            (a, ExchangeMode::HashShuffle),
+            (b, ExchangeMode::HashShuffle),
+            Join,
+            CostAnnotation::new(0.5, 300.0, 16.0),
+        );
+        let c = p.cardinalities();
+        assert!((c[j.0] - 150.0).abs() < 1e-9);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_invalid() {
+        assert!(LogicalPlan::new().validate().is_err());
+    }
+
+    #[test]
+    fn delta_iteration_kind_maps_to_operator() {
+        let mut body = LogicalPlan::new();
+        body.source(1, 1.0);
+        let mut p = LogicalPlan::new();
+        let src = p.source(1, 1.0);
+        let it = p.iterate(src, IterationKind::Delta, 5, body, 0.5);
+        assert_eq!(p.node(it).op, DeltaIteration);
+        assert_eq!(p.node(it).iteration.as_ref().unwrap().workset_decay, 0.5);
+    }
+}

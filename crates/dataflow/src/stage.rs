@@ -1,0 +1,374 @@
+//! Physical plan shapes: Spark stages and Flink job graphs.
+//!
+//! The same logical plan is executed with fundamentally different physical
+//! structure by the two engines (§II-C, §VI-C):
+//!
+//! - Spark's DAGScheduler splits the DAG into **stages** at shuffle
+//!   boundaries; each stage materialises its shuffle output before the next
+//!   starts ("in Spark the separation between stages is very clear").
+//! - Flink compiles the DAG into a **job graph** of chained operator
+//!   vertices connected by pipelined channels; all vertices are deployed at
+//!   once ("Flink pipelines the execution, hence it is visualized in a
+//!   single stage").
+
+use serde::{Deserialize, Serialize};
+
+use crate::operator::OperatorKind;
+use crate::plan::{ExchangeMode, LogicalPlan, NodeId};
+
+/// One Spark stage: a set of nodes executed as fused tasks, bounded by
+/// shuffle edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage index (topological order).
+    pub id: usize,
+    /// Plan nodes fused into this stage, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Stages whose shuffle output this stage reads.
+    pub parents: Vec<usize>,
+}
+
+/// A staged physical plan (Spark DAGScheduler result).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// Stages in execution (topological) order.
+    pub stages: Vec<Stage>,
+}
+
+impl StagePlan {
+    /// Splits a logical plan into stages at shuffle boundaries.
+    ///
+    /// A node joins its upstream's stage when it has exactly one
+    /// non-broadcast input connected by a forward edge; otherwise it starts
+    /// a new stage whose parents are the stages of all its inputs.
+    pub fn from_plan(plan: &LogicalPlan) -> Self {
+        let mut node_stage: Vec<usize> = vec![usize::MAX; plan.len()];
+        let mut stages: Vec<Stage> = Vec::new();
+        let is_iteration = |op: OperatorKind| {
+            matches!(
+                op,
+                OperatorKind::BulkIteration | OperatorKind::DeltaIteration
+            )
+        };
+        for node in plan.nodes() {
+            let data_inputs: Vec<_> = node
+                .inputs
+                .iter()
+                .filter(|(_, m)| *m != ExchangeMode::Broadcast)
+                .collect();
+            // Iteration nodes are scheduled as their own (unrolled) stage
+            // sequence; nothing fuses into or out of them.
+            let fuse_with = match data_inputs.as_slice() {
+                [(input, ExchangeMode::Forward)]
+                    if !is_iteration(node.op) && !is_iteration(plan.node(*input).op) =>
+                {
+                    Some(node_stage[input.0])
+                }
+                _ => None,
+            };
+            match fuse_with {
+                Some(sid) => {
+                    stages[sid].nodes.push(node.id);
+                    node_stage[node.id.0] = sid;
+                }
+                None => {
+                    let sid = stages.len();
+                    let mut parents: Vec<usize> = node
+                        .inputs
+                        .iter()
+                        .map(|(input, _)| node_stage[input.0])
+                        .filter(|&p| p != usize::MAX)
+                        .collect();
+                    parents.sort_unstable();
+                    parents.dedup();
+                    stages.push(Stage {
+                        id: sid,
+                        nodes: vec![node.id],
+                        parents,
+                    });
+                    node_stage[node.id.0] = sid;
+                }
+            }
+        }
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stages exist.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage containing a given node.
+    pub fn stage_of(&self, node: NodeId) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.nodes.contains(&node))
+    }
+
+    /// Display label of a stage, e.g. `"Read->Sort"`.
+    pub fn label(&self, plan: &LogicalPlan, stage: &Stage) -> String {
+        stage
+            .nodes
+            .iter()
+            .map(|&id| plan.node(id).op.display_name())
+            .collect::<Vec<_>>()
+            .join("->")
+    }
+}
+
+/// One Flink job-graph vertex: a chain of forward-connected operators
+/// deployed as a single task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainVertex {
+    /// Vertex index.
+    pub id: usize,
+    /// Chained plan nodes in order.
+    pub nodes: Vec<NodeId>,
+    /// Input channels: upstream vertex plus exchange mode.
+    pub inputs: Vec<(usize, ExchangeMode)>,
+}
+
+impl ChainVertex {
+    /// True when the chain contains a pipeline breaker (its output only
+    /// begins flowing after the breaker has consumed all input).
+    pub fn has_breaker(&self, plan: &LogicalPlan) -> bool {
+        self.nodes
+            .iter()
+            .any(|&id| plan.node(id).op.is_pipeline_breaker())
+    }
+
+    /// Display label, e.g. `"DataSource->FlatMap->GroupCombine"` as in the
+    /// paper's Fig 3.
+    pub fn label(&self, plan: &LogicalPlan) -> String {
+        self.nodes
+            .iter()
+            .map(|&id| plan.node(id).op.display_name())
+            .collect::<Vec<_>>()
+            .join("->")
+    }
+}
+
+/// A pipelined physical plan (Flink JobGraph).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobGraph {
+    /// Chained vertices in topological order.
+    pub vertices: Vec<ChainVertex>,
+}
+
+impl JobGraph {
+    /// Chains forward-connected operators into vertices.
+    ///
+    /// A node joins its upstream chain when it has exactly one non-broadcast
+    /// input, connected forward, and the upstream's chain has not been ended
+    /// by a pipeline breaker mid-chain. Iteration nodes always start their
+    /// own vertex (they deploy the cyclic dataflow).
+    pub fn from_plan(plan: &LogicalPlan) -> Self {
+        let mut consumers = vec![0usize; plan.len()];
+        for n in plan.nodes() {
+            for (input, _) in &n.inputs {
+                consumers[input.0] += 1;
+            }
+        }
+        let mut node_vertex: Vec<usize> = vec![usize::MAX; plan.len()];
+        let mut vertices: Vec<ChainVertex> = Vec::new();
+        for node in plan.nodes() {
+            let data_inputs: Vec<_> = node
+                .inputs
+                .iter()
+                .filter(|(_, m)| *m != ExchangeMode::Broadcast)
+                .collect();
+            let is_iteration = |op: OperatorKind| {
+                matches!(
+                    op,
+                    OperatorKind::BulkIteration | OperatorKind::DeltaIteration
+                )
+            };
+            // Flink 0.10 granularity (visible in the paper's plan plots):
+            // pipeline breakers and sinks are deployed as their own
+            // vertices; nothing chains onto an iteration or a breaker.
+            let chainable = !is_iteration(node.op)
+                && !node.op.is_pipeline_breaker()
+                && node.op != OperatorKind::DataSink
+                && matches!(data_inputs.as_slice(), [(input, ExchangeMode::Forward)]
+                    if consumers[input.0] == 1
+                        && !is_iteration(plan.node(*input).op)
+                        && !plan.node(*input).op.is_pipeline_breaker());
+            if chainable {
+                let vid = node_vertex[data_inputs[0].0 .0];
+                vertices[vid].nodes.push(node.id);
+                node_vertex[node.id.0] = vid;
+            } else {
+                let vid = vertices.len();
+                let mut inputs: Vec<(usize, ExchangeMode)> = node
+                    .inputs
+                    .iter()
+                    .map(|(input, m)| (node_vertex[input.0], *m))
+                    .collect();
+                inputs.dedup();
+                vertices.push(ChainVertex {
+                    id: vid,
+                    nodes: vec![node.id],
+                    inputs,
+                });
+                node_vertex[node.id.0] = vid;
+            }
+        }
+        Self { vertices }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind::*;
+    use crate::plan::CostAnnotation;
+
+    /// TeraSort-like plan: source → map → range shuffle → sort → sink.
+    fn terasort_plan() -> LogicalPlan {
+        let mut p = LogicalPlan::new();
+        let src = p.source(1_000_000, 100.0);
+        let map = p.unary(src, Map, CostAnnotation::new(1.0, 100.0, 100.0));
+        let part = p.unary_via(
+            map,
+            ExchangeMode::RangeShuffle,
+            PartitionCustom,
+            CostAnnotation::new(1.0, 50.0, 100.0),
+        );
+        let sort = p.unary(part, SortPartition, CostAnnotation::new(1.0, 300.0, 100.0));
+        let _ = p.unary(sort, DataSink, CostAnnotation::new(1.0, 80.0, 100.0));
+        p
+    }
+
+    #[test]
+    fn terasort_splits_into_two_stages() {
+        let p = terasort_plan();
+        let sp = StagePlan::from_plan(&p);
+        // Spark: Read->Sort | Shuffling->Sort->Write (Fig 9 right).
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp.stages[0].nodes.len(), 2); // source + map
+        assert_eq!(sp.stages[1].nodes.len(), 3); // partition + sort + sink
+        assert_eq!(sp.stages[1].parents, vec![0]);
+        assert_eq!(sp.label(&p, &sp.stages[0]), "DataSource->Map");
+    }
+
+    #[test]
+    fn job_graph_chains_forward_runs() {
+        let p = terasort_plan();
+        let jg = JobGraph::from_plan(&p);
+        // Flink 0.10 vertex granularity, matching the paper's Fig 9 spans:
+        // DM=DataSource->Map, P=Partition, SM=Sort-Partition, DS=DataSink.
+        assert_eq!(jg.len(), 4);
+        assert_eq!(jg.vertices[0].label(&p), "DataSource->Map");
+        assert_eq!(jg.vertices[1].label(&p), "Partition");
+        assert_eq!(jg.vertices[2].label(&p), "Sort-Partition");
+        assert_eq!(jg.vertices[3].label(&p), "DataSink");
+        assert!(jg.vertices[2].has_breaker(&p));
+        assert!(!jg.vertices[0].has_breaker(&p));
+        assert_eq!(jg.vertices[1].inputs, vec![(0, ExchangeMode::RangeShuffle)]);
+        assert_eq!(jg.vertices[3].inputs, vec![(2, ExchangeMode::Forward)]);
+    }
+
+    #[test]
+    fn join_starts_new_stage_with_two_parents() {
+        let mut p = LogicalPlan::new();
+        let a = p.source(100, 8.0);
+        let am = p.unary(a, Map, CostAnnotation::default());
+        let b = p.source(100, 8.0);
+        let j = p.binary(
+            (am, ExchangeMode::HashShuffle),
+            (b, ExchangeMode::HashShuffle),
+            Join,
+            CostAnnotation::default(),
+        );
+        let _ = p.unary(j, DataSink, CostAnnotation::default());
+        let sp = StagePlan::from_plan(&p);
+        assert_eq!(sp.len(), 3);
+        let join_stage = sp.stage_of(j).unwrap();
+        assert_eq!(join_stage.parents.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_does_not_split_stage() {
+        // K-Means-like: points → map (with broadcast centroids) stays fused.
+        let mut p = LogicalPlan::new();
+        let centroids = p.source(10, 16.0);
+        let points = p.source(1000, 16.0);
+        let assign = p.unary(points, Map, CostAnnotation::default());
+        // Attach broadcast input by building a binary node manually.
+        let reduce = {
+            let m = p.binary(
+                (assign, ExchangeMode::Forward),
+                (centroids, ExchangeMode::Broadcast),
+                WithBroadcastSet,
+                CostAnnotation::default(),
+            );
+            p.unary(m, ReduceByKey, CostAnnotation::new(0.01, 100.0, 16.0))
+        };
+        let _ = p.unary(reduce, DataSink, CostAnnotation::default());
+        let sp = StagePlan::from_plan(&p);
+        // Stages: [centroids], [points, assign, withBroadcast], [reduce, sink].
+        assert_eq!(sp.len(), 3);
+        let s = sp.stage_of(assign).unwrap();
+        assert!(s.nodes.len() >= 3, "broadcast consumer fused: {s:?}");
+    }
+
+    #[test]
+    fn shared_output_breaks_chain_but_not_stage_logic() {
+        // A node consumed twice cannot be chained into either consumer.
+        let mut p = LogicalPlan::new();
+        let src = p.source(100, 8.0);
+        let m = p.unary(src, Map, CostAnnotation::default());
+        let f1 = p.unary(m, Filter, CostAnnotation::new(0.5, 10.0, 8.0));
+        let f2 = p.unary(m, Filter, CostAnnotation::new(0.5, 10.0, 8.0));
+        let _ = p.unary(f1, DataSink, CostAnnotation::default());
+        let _ = p.unary(f2, Count, CostAnnotation::default());
+        let jg = JobGraph::from_plan(&p);
+        // src+map chain, then each filter(+action) its own vertex.
+        assert_eq!(jg.vertices[0].nodes.len(), 2);
+        assert!(jg.len() >= 3);
+    }
+
+    #[test]
+    fn iteration_node_is_own_vertex() {
+        let mut body = LogicalPlan::new();
+        let bsrc = body.source(10, 8.0);
+        body.unary(bsrc, Map, CostAnnotation::default());
+        let mut p = LogicalPlan::new();
+        let src = p.source(10, 8.0);
+        let it = p.iterate(src, crate::plan::IterationKind::Bulk, 5, body, 1.0);
+        let _ = p.unary(it, DataSink, CostAnnotation::default());
+        let jg = JobGraph::from_plan(&p);
+        let v = jg
+            .vertices
+            .iter()
+            .find(|v| v.nodes.contains(&it))
+            .unwrap();
+        assert_eq!(v.nodes.len(), 1, "iteration must not be chained");
+    }
+
+    #[test]
+    fn single_chain_when_no_shuffles() {
+        let mut p = LogicalPlan::new();
+        let src = p.source(100, 8.0);
+        let f = p.unary(src, Filter, CostAnnotation::new(0.1, 10.0, 8.0));
+        let _ = p.unary(f, Count, CostAnnotation::default());
+        let sp = StagePlan::from_plan(&p);
+        assert_eq!(sp.len(), 1);
+        let jg = JobGraph::from_plan(&p);
+        assert_eq!(jg.len(), 1);
+        assert_eq!(jg.vertices[0].label(&p), "DataSource->Filter->Count");
+    }
+}

@@ -1,0 +1,269 @@
+//! Graph generation for Page Rank and Connected Components.
+//!
+//! The paper uses three real graphs (Table IV): a Small Twitter social graph
+//! (24.7 M vertices / 0.8 B edges, 13.7 GB), a Medium Friendster graph
+//! (65.6 M / 1.8 B, 30.1 GB) and the Large WebDataCommons hyperlink graph
+//! (1.7 B / 64 B, 1.2 TB). All three are heavy-tailed; we substitute R-MAT
+//! graphs (Chakrabarti et al.) whose parameters reproduce the power-law
+//! degree skew, with presets matching Table IV's vertex/edge counts and
+//! on-disk sizes. Real-engine runs use [`GraphPreset::scaled`]-down
+//! instances; the simulator uses the full-size preset metadata.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::seeded_rng;
+
+/// A directed edge (source, target).
+pub type Edge = (u64, u64);
+
+/// R-MAT quadrant probabilities. The classic (0.57, 0.19, 0.19, 0.05)
+/// parameters yield the power-law degree distributions observed in web and
+/// social graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+impl RmatParams {
+    /// The implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Seeded R-MAT edge generator over `2^scale` vertices.
+#[derive(Debug)]
+pub struct RmatGen {
+    scale: u32,
+    params: RmatParams,
+    rng: rand::rngs::SmallRng,
+}
+
+impl RmatGen {
+    /// Creates a generator for a graph with `2^scale` vertices.
+    ///
+    /// # Panics
+    /// Panics when probabilities are invalid or scale is 0 or > 40.
+    pub fn new(scale: u32, params: RmatParams, seed: u64) -> Self {
+        assert!(scale > 0 && scale <= 40, "scale must be in 1..=40");
+        let d = params.d();
+        assert!(
+            params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
+            "invalid RMAT probabilities"
+        );
+        Self {
+            scale,
+            params,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn vertex_count(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Generates one edge by recursive quadrant descent.
+    pub fn edge(&mut self) -> Edge {
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        let ab = self.params.a + self.params.b;
+        let abc = ab + self.params.c;
+        for _ in 0..self.scale {
+            src <<= 1;
+            dst <<= 1;
+            let u: f64 = self.rng.gen();
+            if u < self.params.a {
+                // top-left: no bits set
+            } else if u < ab {
+                dst |= 1;
+            } else if u < abc {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        (src, dst)
+    }
+
+    /// Generates `n` edges (self-loops allowed, like raw web crawls).
+    pub fn edges(&mut self, n: usize) -> Vec<Edge> {
+        (0..n).map(|_| self.edge()).collect()
+    }
+}
+
+/// Table IV graph presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphPreset {
+    /// Twitter social graph: 24.7 M vertices, 0.8 B edges, 13.7 GB.
+    Small,
+    /// Friendster: 65.6 M vertices, 1.8 B edges, 30.1 GB.
+    Medium,
+    /// WDC hyperlink graph: 1.7 B vertices, 64 B edges, 1.2 TB.
+    Large,
+}
+
+impl GraphPreset {
+    /// All presets in Table IV order.
+    pub const ALL: [GraphPreset; 3] = [GraphPreset::Small, GraphPreset::Medium, GraphPreset::Large];
+
+    /// Vertex count at paper scale.
+    pub fn vertices(self) -> u64 {
+        match self {
+            GraphPreset::Small => 24_700_000,
+            GraphPreset::Medium => 65_600_000,
+            GraphPreset::Large => 1_700_000_000,
+        }
+    }
+
+    /// Edge count at paper scale.
+    pub fn edges(self) -> u64 {
+        match self {
+            GraphPreset::Small => 800_000_000,
+            GraphPreset::Medium => 1_800_000_000,
+            GraphPreset::Large => 64_000_000_000,
+        }
+    }
+
+    /// On-disk size in bytes at paper scale (Table IV).
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            GraphPreset::Small => (13.7 * 1e9) as u64,
+            GraphPreset::Medium => (30.1 * 1e9) as u64,
+            GraphPreset::Large => (1.2 * 1e12) as u64,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphPreset::Small => "Small",
+            GraphPreset::Medium => "Medium",
+            GraphPreset::Large => "Large",
+        }
+    }
+
+    /// Average out-degree, which the substitution preserves.
+    pub fn avg_degree(self) -> f64 {
+        self.edges() as f64 / self.vertices() as f64
+    }
+
+    /// Builds a laptop-scale instance preserving the preset's edge/vertex
+    /// ratio: `2^scale` vertices and `avg_degree × 2^scale` edges.
+    pub fn scaled(self, scale: u32, seed: u64) -> ScaledGraph {
+        let mut gen = RmatGen::new(scale, RmatParams::default(), seed);
+        let n_edges = (self.avg_degree() * gen.vertex_count() as f64).round() as usize;
+        let edges = gen.edges(n_edges);
+        ScaledGraph {
+            preset: self,
+            vertices: gen.vertex_count(),
+            edges,
+        }
+    }
+}
+
+/// A concrete scaled-down graph instance.
+#[derive(Debug, Clone)]
+pub struct ScaledGraph {
+    /// The preset this instance was scaled from.
+    pub preset: GraphPreset,
+    /// Vertex id space size.
+    pub vertices: u64,
+    /// Edge list.
+    pub edges: Vec<Edge>,
+}
+
+impl ScaledGraph {
+    /// Out-degree histogram over occupied vertices.
+    pub fn out_degrees(&self) -> std::collections::HashMap<u64, u64> {
+        let mut d = std::collections::HashMap::new();
+        for &(s, _) in &self.edges {
+            *d.entry(s).or_insert(0) += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_edges_in_range() {
+        let mut g = RmatGen::new(10, RmatParams::default(), 1);
+        for (s, d) in g.edges(10_000) {
+            assert!(s < 1024 && d < 1024);
+        }
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let mut a = RmatGen::new(12, RmatParams::default(), 77);
+        let mut b = RmatGen::new(12, RmatParams::default(), 77);
+        assert_eq!(a.edges(1000), b.edges(1000));
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let g = GraphPreset::Small.scaled(12, 5);
+        let degrees = g.out_degrees();
+        let max = degrees.values().copied().max().unwrap();
+        let mean = g.edges.len() as f64 / degrees.len() as f64;
+        // Power-law: the hottest vertex far exceeds the mean degree.
+        assert!(
+            max as f64 > 10.0 * mean,
+            "max {max} not ≫ mean {mean:.1}; degree distribution too uniform"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_panics() {
+        let _ = RmatGen::new(0, RmatParams::default(), 1);
+    }
+
+    #[test]
+    fn presets_match_table_iv() {
+        assert_eq!(GraphPreset::Small.vertices(), 24_700_000);
+        assert_eq!(GraphPreset::Small.edges(), 800_000_000);
+        assert_eq!(GraphPreset::Medium.vertices(), 65_600_000);
+        assert_eq!(GraphPreset::Medium.edges(), 1_800_000_000);
+        assert_eq!(GraphPreset::Large.vertices(), 1_700_000_000);
+        assert_eq!(GraphPreset::Large.edges(), 64_000_000_000);
+        // Sizes: 13.7 GB, 30.1 GB, 1.2 TB.
+        assert!((GraphPreset::Small.size_bytes() as f64 / 1e9 - 13.7).abs() < 0.1);
+        assert!((GraphPreset::Medium.size_bytes() as f64 / 1e9 - 30.1).abs() < 0.1);
+        assert!((GraphPreset::Large.size_bytes() as f64 / 1e12 - 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_preserves_degree_ratio() {
+        let g = GraphPreset::Medium.scaled(10, 2);
+        let ratio = g.edges.len() as f64 / g.vertices as f64;
+        assert!((ratio - GraphPreset::Medium.avg_degree()).abs() < 0.5);
+        assert_eq!(g.preset, GraphPreset::Medium);
+    }
+
+    #[test]
+    fn rmat_params_sum_to_one() {
+        let p = RmatParams::default();
+        assert!((p.a + p.b + p.c + p.d() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # flowmark-datagen
+//!
+//! Deterministic synthetic data generators replacing the datasets the paper
+//! used but which we cannot ship (Wikipedia dumps, TeraGen output, HiBench
+//! K-Means records, and the Twitter / Friendster / WebDataCommons graphs).
+//!
+//! Each generator is seeded and pure: the same seed always yields the same
+//! bytes, so real-engine runs, tests and benchmarks are reproducible. The
+//! substitutions preserve the statistical properties the workloads are
+//! sensitive to:
+//!
+//! - [`text`] — Zipf-distributed word frequencies (Word Count aggregation
+//!   skew, Grep match selectivity);
+//! - [`terasort`] — Hadoop TeraGen-format 100-byte records with uniform
+//!   10-byte keys (range-partitioner interaction);
+//! - [`points`] — Gaussian clusters in 2-D (K-Means convergence structure);
+//! - [`graph`] — R-MAT power-law graphs with presets matching Table IV's
+//!   node/edge counts and sizes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod points;
+pub mod terasort;
+pub mod text;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Creates the crate-standard seeded RNG.
+///
+/// `SmallRng` (xoshiro-based) is deterministic for a fixed rand version and
+/// fast enough to generate gigabytes per second, per the HPC guides'
+/// recommendation to keep generation off the critical path.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,178 @@
+//! HiBench-style K-Means input generation.
+//!
+//! The paper generates K-Means input "using the HiBench suite (training
+//! records with 2 dimensions)" (§III). HiBench's GenKMeansDataset draws
+//! points from Gaussian clusters around randomly placed centers; we do the
+//! same: `k` true centers uniform in a box, points normal around a uniformly
+//! chosen center.
+
+use rand::Rng;
+
+use crate::seeded_rng;
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Squared Euclidean distance to another point.
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Configuration for the clustered point generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PointsConfig {
+    /// Number of true clusters.
+    pub clusters: usize,
+    /// Half-width of the box true centers are drawn from.
+    pub box_half_width: f64,
+    /// Standard deviation of points around their center.
+    pub sigma: f64,
+}
+
+impl Default for PointsConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            box_half_width: 100.0,
+            sigma: 4.0,
+        }
+    }
+}
+
+/// Seeded generator of clustered 2-D points.
+#[derive(Debug)]
+pub struct PointsGen {
+    centers: Vec<Point>,
+    sigma: f64,
+    rng: rand::rngs::SmallRng,
+}
+
+impl PointsGen {
+    /// Creates a generator; centers are drawn from the seed too.
+    ///
+    /// # Panics
+    /// Panics when `clusters == 0` or `sigma <= 0`.
+    pub fn new(config: PointsConfig, seed: u64) -> Self {
+        assert!(config.clusters > 0, "need at least one cluster");
+        assert!(config.sigma > 0.0, "sigma must be positive");
+        let mut rng = seeded_rng(seed);
+        let w = config.box_half_width;
+        let centers = (0..config.clusters)
+            .map(|_| Point {
+                x: rng.gen_range(-w..w),
+                y: rng.gen_range(-w..w),
+            })
+            .collect();
+        Self {
+            centers,
+            sigma: config.sigma,
+            rng,
+        }
+    }
+
+    /// The true cluster centers.
+    pub fn true_centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Samples one point: pick a center uniformly, add Gaussian noise
+    /// (Box–Muller; avoids a distribution-crate dependency).
+    pub fn point(&mut self) -> Point {
+        let c = self.centers[self.rng.gen_range(0..self.centers.len())];
+        let (gx, gy) = self.gauss_pair();
+        Point {
+            x: c.x + self.sigma * gx,
+            y: c.y + self.sigma * gy,
+        }
+    }
+
+    /// Samples `n` points.
+    pub fn points(&mut self, n: usize) -> Vec<Point> {
+        (0..n).map(|_| self.point()).collect()
+    }
+
+    fn gauss_pair(&mut self) -> (f64, f64) {
+        // Box–Muller transform on two uniforms in (0, 1].
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = PointsGen::new(PointsConfig::default(), 11);
+        let mut b = PointsGen::new(PointsConfig::default(), 11);
+        assert_eq!(a.points(100), b.points(100));
+    }
+
+    #[test]
+    fn points_cluster_around_true_centers() {
+        let config = PointsConfig {
+            clusters: 4,
+            box_half_width: 1000.0,
+            sigma: 2.0,
+        };
+        let mut g = PointsGen::new(config, 3);
+        let centers = g.true_centers().to_vec();
+        let pts = g.points(10_000);
+        // Every point must be within ~6σ of *some* true center.
+        let max_d2 = (6.0 * config.sigma).powi(2);
+        let ok = pts
+            .iter()
+            .filter(|p| centers.iter().any(|c| p.dist2(c) < max_d2))
+            .count();
+        assert!(ok as f64 / pts.len() as f64 > 0.999);
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let config = PointsConfig {
+            clusters: 1,
+            box_half_width: 1.0,
+            sigma: 5.0,
+        };
+        let mut g = PointsGen::new(config, 8);
+        let c = g.true_centers()[0];
+        let pts = g.points(50_000);
+        let mean_x = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let var_x = pts.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - c.x).abs() < 0.2);
+        assert!((var_x.sqrt() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = PointsGen::new(
+            PointsConfig {
+                clusters: 0,
+                ..PointsConfig::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn dist2_is_squared_euclidean() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.dist2(&b) - 25.0).abs() < 1e-12);
+    }
+}

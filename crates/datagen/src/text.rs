@@ -1,0 +1,262 @@
+//! Wikipedia-like text generation for Word Count and Grep.
+//!
+//! The paper builds RDDs/DataSets "by reading Wikipedia text files from
+//! HDFS" (§III). What Word Count is sensitive to is the *word frequency
+//! distribution* (a map-side combiner collapses duplicates, so skew drives
+//! the combine ratio), and what Grep is sensitive to is the *selectivity* of
+//! the needle. Natural language word frequencies famously follow Zipf's law,
+//! so we generate Zipf-distributed words over a synthetic vocabulary.
+
+use rand::Rng;
+
+use crate::seeded_rng;
+
+/// A Zipf-distributed sampler over ranks `1..=n` with exponent `s`,
+/// implemented by inverse-transform sampling on the precomputed CDF.
+/// Construction is O(n); sampling is O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (s ≈ 1.0 for
+    /// natural language).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: constructor requires n > 0.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Builds the synthetic vocabulary: `word000000`, `word000001`, ... with
+/// slightly varying lengths so records are not all identical in size.
+pub fn vocabulary(size: usize) -> Vec<String> {
+    (0..size)
+        .map(|i| {
+            // Mix in short high-frequency "stop words" at the head of the
+            // distribution, as in real text.
+            match i {
+                0 => "the".to_string(),
+                1 => "of".to_string(),
+                2 => "and".to_string(),
+                3 => "in".to_string(),
+                4 => "to".to_string(),
+                _ => format!("word{i:06}"),
+            }
+        })
+        .collect()
+}
+
+/// Configuration of the text corpus generator.
+#[derive(Debug, Clone)]
+pub struct TextGenConfig {
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent.
+    pub exponent: f64,
+    /// Words per line (articles are line sequences).
+    pub words_per_line: usize,
+    /// Fraction of lines containing the Grep needle, in `[0, 1]`.
+    pub needle_selectivity: f64,
+    /// The Grep needle injected into selected lines.
+    pub needle: String,
+}
+
+impl Default for TextGenConfig {
+    fn default() -> Self {
+        Self {
+            vocabulary: 20_000,
+            exponent: 1.05,
+            words_per_line: 12,
+            needle_selectivity: 0.01,
+            needle: "flowmark".to_string(),
+        }
+    }
+}
+
+/// Seeded generator of text lines.
+#[derive(Debug)]
+pub struct TextGen {
+    config: TextGenConfig,
+    vocab: Vec<String>,
+    zipf: Zipf,
+    rng: rand::rngs::SmallRng,
+}
+
+impl TextGen {
+    /// Creates a generator with the given config and seed.
+    pub fn new(config: TextGenConfig, seed: u64) -> Self {
+        let vocab = vocabulary(config.vocabulary);
+        let zipf = Zipf::new(config.vocabulary, config.exponent);
+        Self {
+            config,
+            vocab,
+            zipf,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Generates the next line.
+    pub fn line(&mut self) -> String {
+        let mut words = Vec::with_capacity(self.config.words_per_line);
+        let inject = self.rng.gen::<f64>() < self.config.needle_selectivity;
+        let needle_pos = if inject {
+            Some(self.rng.gen_range(0..self.config.words_per_line))
+        } else {
+            None
+        };
+        for i in 0..self.config.words_per_line {
+            if Some(i) == needle_pos {
+                words.push(self.config.needle.as_str());
+            } else {
+                let rank = self.zipf.sample(&mut self.rng);
+                words.push(self.vocab[rank].as_str());
+            }
+        }
+        words.join(" ")
+    }
+
+    /// Generates `n` lines.
+    pub fn lines(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.line()).collect()
+    }
+
+    /// Generates lines until roughly `bytes` of text (UTF-8, including a
+    /// newline per line) has been produced.
+    pub fn lines_of_bytes(&mut self, bytes: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        while total < bytes {
+            let line = self.line();
+            total += line.len() + 1;
+            out.push(line);
+        }
+        out
+    }
+
+    /// The configured Grep needle.
+    pub fn needle(&self) -> &str {
+        &self.config.needle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = seeded_rng(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 99 by roughly 100× (1/k law).
+        assert!(counts[0] > 30 * counts[99].max(1));
+        // And all samples are in range (indexing would have panicked).
+        assert!(counts.iter().sum::<u32>() == 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = TextGen::new(TextGenConfig::default(), 42);
+        let mut b = TextGen::new(TextGenConfig::default(), 42);
+        assert_eq!(a.lines(50), b.lines(50));
+        let mut c = TextGen::new(TextGenConfig::default(), 43);
+        assert_ne!(a.lines(50), c.lines(50));
+    }
+
+    #[test]
+    fn needle_selectivity_respected() {
+        let config = TextGenConfig {
+            needle_selectivity: 0.2,
+            ..TextGenConfig::default()
+        };
+        let needle = config.needle.clone();
+        let mut g = TextGen::new(config, 1);
+        let lines = g.lines(5_000);
+        let hits = lines.iter().filter(|l| l.contains(&needle)).count();
+        let rate = hits as f64 / lines.len() as f64;
+        assert!((rate - 0.2).abs() < 0.03, "selectivity {rate} too far from 0.2");
+    }
+
+    #[test]
+    fn zero_selectivity_means_no_needles() {
+        let config = TextGenConfig {
+            needle_selectivity: 0.0,
+            ..TextGenConfig::default()
+        };
+        let needle = config.needle.clone();
+        let mut g = TextGen::new(config, 1);
+        assert!(g.lines(1_000).iter().all(|l| !l.contains(&needle)));
+    }
+
+    #[test]
+    fn lines_of_bytes_reaches_target() {
+        let mut g = TextGen::new(TextGenConfig::default(), 5);
+        let lines = g.lines_of_bytes(10_000);
+        let total: usize = lines.iter().map(|l| l.len() + 1).sum();
+        assert!(total >= 10_000);
+        assert!(total < 10_000 + 200, "overshoot bounded by one line");
+    }
+
+    #[test]
+    fn word_frequencies_follow_zipf_head() {
+        let mut g = TextGen::new(TextGenConfig::default(), 9);
+        let mut freq: HashMap<String, u32> = HashMap::new();
+        for line in g.lines(20_000) {
+            for w in line.split_whitespace() {
+                *freq.entry(w.to_string()).or_default() += 1;
+            }
+        }
+        let the = freq.get("the").copied().unwrap_or(0);
+        // "the" is rank 0 and must be the most frequent word.
+        assert!(freq.values().all(|&c| c <= the));
+    }
+
+    #[test]
+    fn vocabulary_has_distinct_words() {
+        let v = vocabulary(1000);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), v.len());
+    }
+}

@@ -1,0 +1,279 @@
+//! RDD block cache with explicit persistence control.
+//!
+//! "Spark's users can control two very important aspects of the RDDs: the
+//! persistence (i.e. in memory or disk based) and the partition scheme"
+//! (§II-C) — and the paper credits exactly this control for Spark's Grep
+//! advantage ("Spark can take more advantage of its persistence control over
+//! the RDDs ... This important feature is missing in the current
+//! implementation of Flink", §VI-B).
+//!
+//! The cache stores type-erased partition blocks keyed by
+//! `(dataset id, partition index)` under a memory budget with LRU eviction;
+//! [`StorageLevel::MemoryAndDisk`] demotes evicted blocks to a disk tier
+//! instead of dropping them.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Where a persisted dataset's blocks may live (Spark's StorageLevel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageLevel {
+    /// Not persisted: recomputed from lineage on every use.
+    None,
+    /// Memory only; evicted blocks are lost (recompute).
+    MemoryOnly,
+    /// Memory first; evicted blocks demote to the disk tier.
+    MemoryAndDisk,
+    /// Straight to the disk tier.
+    DiskOnly,
+}
+
+/// Key of one cached partition.
+pub type BlockId = (usize, usize);
+
+type Block = Arc<dyn Any + Send + Sync>;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Blocks served from memory.
+    pub memory_hits: u64,
+    /// Blocks served from the disk tier (slower in real life).
+    pub disk_hits: u64,
+    /// Lookups that found nothing (lineage recompute).
+    pub misses: u64,
+    /// Blocks evicted from memory.
+    pub evictions: u64,
+}
+
+struct Entry {
+    block: Block,
+    bytes: u64,
+    level: StorageLevel,
+}
+
+struct Inner {
+    memory: HashMap<BlockId, Entry>,
+    disk: HashMap<BlockId, Entry>,
+    lru: VecDeque<BlockId>,
+    memory_bytes: u64,
+    stats: CacheStats,
+}
+
+/// Thread-safe block cache.
+pub struct BlockCache {
+    capacity_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl BlockCache {
+    /// Creates a cache with the given memory budget (the
+    /// `spark.storage.fraction` share of the executor heap).
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            inner: Mutex::new(Inner {
+                memory: HashMap::new(),
+                disk: HashMap::new(),
+                lru: VecDeque::new(),
+                memory_bytes: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Inserts a block at the given storage level. `StorageLevel::None` is
+    /// a no-op.
+    pub fn put(&self, id: BlockId, block: Block, bytes: u64, level: StorageLevel) {
+        if level == StorageLevel::None {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if level == StorageLevel::DiskOnly {
+            inner.disk.insert(
+                id,
+                Entry {
+                    block,
+                    bytes,
+                    level,
+                },
+            );
+            return;
+        }
+        // Memory tiers: evict LRU until it fits (or nothing is left).
+        while inner.memory_bytes + bytes > self.capacity_bytes {
+            let Some(victim) = inner.lru.pop_front() else {
+                break;
+            };
+            if let Some(entry) = inner.memory.remove(&victim) {
+                inner.memory_bytes -= entry.bytes;
+                inner.stats.evictions += 1;
+                if entry.level == StorageLevel::MemoryAndDisk {
+                    inner.disk.insert(victim, entry);
+                }
+            }
+        }
+        if inner.memory_bytes + bytes > self.capacity_bytes {
+            // Block alone exceeds the budget: bypass memory.
+            if level == StorageLevel::MemoryAndDisk {
+                inner.disk.insert(
+                    id,
+                    Entry {
+                        block,
+                        bytes,
+                        level,
+                    },
+                );
+            }
+            return;
+        }
+        inner.memory_bytes += bytes;
+        inner.lru.push_back(id);
+        inner.memory.insert(
+            id,
+            Entry {
+                block,
+                bytes,
+                level,
+            },
+        );
+    }
+
+    /// Looks a block up, refreshing LRU position on a memory hit.
+    pub fn get(&self, id: BlockId) -> Option<Block> {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.memory.get(&id) {
+            let block = Arc::clone(&entry.block);
+            if let Some(pos) = inner.lru.iter().position(|&b| b == id) {
+                inner.lru.remove(pos);
+                inner.lru.push_back(id);
+            }
+            inner.stats.memory_hits += 1;
+            return Some(block);
+        }
+        if let Some(block) = inner.disk.get(&id).map(|e| Arc::clone(&e.block)) {
+            inner.stats.disk_hits += 1;
+            return Some(block);
+        }
+        inner.stats.misses += 1;
+        None
+    }
+
+    /// Drops every block of one dataset (Spark's `unpersist`).
+    pub fn evict_dataset(&self, dataset_id: usize) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<BlockId> = inner
+            .memory
+            .keys()
+            .filter(|(d, _)| *d == dataset_id)
+            .copied()
+            .collect();
+        for id in victims {
+            if let Some(e) = inner.memory.remove(&id) {
+                inner.memory_bytes -= e.bytes;
+            }
+            if let Some(pos) = inner.lru.iter().position(|&b| b == id) {
+                inner.lru.remove(pos);
+            }
+        }
+        inner.disk.retain(|(d, _), _| *d != dataset_id);
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Live memory-tier bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.inner.lock().memory_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(v: Vec<u32>) -> Block {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let cache = BlockCache::new(1000);
+        cache.put((1, 0), block_of(vec![1, 2, 3]), 100, StorageLevel::MemoryOnly);
+        let b = cache.get((1, 0)).unwrap();
+        let v = b.downcast_ref::<Vec<u32>>().unwrap();
+        assert_eq!(v, &vec![1, 2, 3]);
+        assert_eq!(cache.stats().memory_hits, 1);
+        assert!(cache.get((1, 1)).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn storage_level_none_is_noop() {
+        let cache = BlockCache::new(1000);
+        cache.put((1, 0), block_of(vec![]), 10, StorageLevel::None);
+        assert!(cache.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_memory_only_block() {
+        let cache = BlockCache::new(250);
+        cache.put((1, 0), block_of(vec![0]), 100, StorageLevel::MemoryOnly);
+        cache.put((1, 1), block_of(vec![1]), 100, StorageLevel::MemoryOnly);
+        // Touch block 0 so block 1 becomes the LRU victim.
+        let _ = cache.get((1, 0));
+        cache.put((1, 2), block_of(vec![2]), 100, StorageLevel::MemoryOnly);
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((1, 1)).is_none(), "LRU victim must be gone");
+        assert!(cache.get((1, 2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn memory_and_disk_demotes_instead_of_dropping() {
+        let cache = BlockCache::new(150);
+        cache.put((1, 0), block_of(vec![0]), 100, StorageLevel::MemoryAndDisk);
+        cache.put((1, 1), block_of(vec![1]), 100, StorageLevel::MemoryAndDisk);
+        // Block 0 was evicted to disk; still retrievable.
+        assert!(cache.get((1, 0)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.disk_hits, 1);
+    }
+
+    #[test]
+    fn oversized_block_bypasses_memory() {
+        let cache = BlockCache::new(50);
+        cache.put((1, 0), block_of(vec![0]), 100, StorageLevel::MemoryOnly);
+        assert!(cache.get((1, 0)).is_none(), "does not fit, MemoryOnly drops");
+        cache.put((1, 1), block_of(vec![1]), 100, StorageLevel::MemoryAndDisk);
+        assert!(cache.get((1, 1)).is_some(), "MemoryAndDisk falls to disk");
+        assert_eq!(cache.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn disk_only_never_touches_memory() {
+        let cache = BlockCache::new(1000);
+        cache.put((2, 0), block_of(vec![9]), 100, StorageLevel::DiskOnly);
+        assert_eq!(cache.memory_bytes(), 0);
+        assert!(cache.get((2, 0)).is_some());
+        assert_eq!(cache.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn evict_dataset_removes_all_tiers() {
+        let cache = BlockCache::new(1000);
+        cache.put((3, 0), block_of(vec![1]), 10, StorageLevel::MemoryOnly);
+        cache.put((3, 1), block_of(vec![2]), 10, StorageLevel::DiskOnly);
+        cache.put((4, 0), block_of(vec![3]), 10, StorageLevel::MemoryOnly);
+        cache.evict_dataset(3);
+        assert!(cache.get((3, 0)).is_none());
+        assert!(cache.get((3, 1)).is_none());
+        assert!(cache.get((4, 0)).is_some());
+    }
+}

@@ -1,0 +1,513 @@
+//! Native iteration operators (Flink §II-C).
+//!
+//! "Flink executes iterations as cyclic data flows ... a data flow program
+//! (and all its operators) is scheduled just once and the data is fed back
+//! from the tail of an iteration to its head. Since operators are just
+//! scheduled once, they can maintain a state over all iterations."
+//!
+//! Two runtimes:
+//!
+//! - [`bulk_iterate`] — the K-Means shape: per-round broadcast state,
+//!   per-partition partial aggregation, merge at the iteration barrier
+//!   (Flink's `BulkIteration` + `withBroadcastSet` + reduce);
+//! - [`vertex_centric`] — the Gelly shape for Page Rank / Connected
+//!   Components, in [`IterationMode::Bulk`] (every vertex active every
+//!   round) or [`IterationMode::Delta`] (only message recipients active;
+//!   the **solution set** lives in worker-local state and, like Flink's
+//!   CoGroup-managed solution set, *must fit in memory* — exceeding the
+//!   configured budget aborts with [`IterationError::SolutionSetOom`],
+//!   reproducing Table VII's failures).
+//!
+//! Workers are OS threads deployed **once**; the `tasks_launched` metric
+//! therefore stays at the worker count no matter how many rounds run — the
+//! observable difference from the staged engine's loop unrolling.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use flowmark_dataflow::partitioner::fxhash;
+
+use crate::flink::FlinkEnv;
+
+/// Errors surfaced by the iteration runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterationError {
+    /// The delta-iteration solution set outgrew its memory budget
+    /// ("Flink's execution ... failed because of the CoGroup operator's
+    /// internal implementation which computes the solution set in memory",
+    /// §VI-E).
+    SolutionSetOom {
+        /// Entries the solution set needed.
+        needed: usize,
+        /// Entries the budget allows.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for IterationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IterationError::SolutionSetOom { needed, budget } => write!(
+                f,
+                "solution set of {needed} entries exceeds in-memory budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IterationError {}
+
+/// Bulk iteration with broadcast state: workers scheduled once, `rounds`
+/// supersteps of `step` per partition, partials merged with `merge`.
+pub fn bulk_iterate<T, S>(
+    env: &FlinkEnv,
+    partitions: Vec<Vec<T>>,
+    initial: S,
+    rounds: u32,
+    step: impl Fn(&S, &[T]) -> S + Send + Sync,
+    merge: impl Fn(S, S) -> S,
+    finalize: impl Fn(S) -> S,
+) -> S
+where
+    T: Send + Sync,
+    S: Clone + Send + Sync,
+{
+    assert!(rounds > 0, "need at least one round");
+    let n = partitions.len();
+    if n == 0 {
+        return initial;
+    }
+    let step = &step;
+    std::thread::scope(|scope| {
+        // Deploy workers once with a feedback channel each.
+        let mut to_workers: Vec<Sender<S>> = Vec::with_capacity(n);
+        let (results_tx, results_rx) = bounded::<(usize, S)>(n);
+        for (i, part) in partitions.iter().enumerate() {
+            let (tx, rx): (Sender<S>, Receiver<S>) = bounded(1);
+            to_workers.push(tx);
+            let results_tx = results_tx.clone();
+            let env2 = env.clone();
+            scope.spawn(move || {
+                env2.metrics().add_tasks_launched(1);
+                // State maintained across all iterations (scheduled once).
+                for state in rx.iter() {
+                    let partial = step(&state, part);
+                    results_tx.send((i, partial)).expect("driver alive");
+                }
+            });
+        }
+        drop(results_tx);
+        let mut state = initial;
+        for _ in 0..rounds {
+            for tx in &to_workers {
+                tx.send(state.clone()).expect("worker alive");
+            }
+            let mut partials: Vec<Option<S>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (i, s) = results_rx.recv().expect("workers alive");
+                partials[i] = Some(s);
+            }
+            // Deterministic merge order regardless of arrival order.
+            state = finalize(
+                partials
+                    .into_iter()
+                    .map(|p| p.expect("every worker reported"))
+                    .reduce(&merge)
+                    .expect("n > 0"),
+            );
+            env.metrics().add_iterations_run(1);
+        }
+        drop(to_workers); // shut workers down
+        state
+    })
+}
+
+/// A hash-partitioned adjacency representation.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    /// Per partition: `(vertex, out-neighbours)` lists.
+    pub parts: Vec<Vec<(u64, Vec<u64>)>>,
+}
+
+impl PartitionedGraph {
+    /// Builds the partitioned out-adjacency from an edge list. Vertices
+    /// that appear only as targets get an empty adjacency entry so that
+    /// vertex programs see them.
+    pub fn from_edges(edges: &[(u64, u64)], partitions: usize) -> Self {
+        assert!(partitions > 0);
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(s, t) in edges {
+            adj.entry(s).or_default().push(t);
+            adj.entry(t).or_default();
+        }
+        let mut parts: Vec<Vec<(u64, Vec<u64>)>> = (0..partitions).map(|_| Vec::new()).collect();
+        let mut vertices: Vec<_> = adj.into_iter().collect();
+        vertices.sort_unstable_by_key(|(v, _)| *v);
+        for (v, ns) in vertices {
+            parts[Self::owner(v, partitions)].push((v, ns));
+        }
+        Self { parts }
+    }
+
+    /// Which partition owns a vertex.
+    pub fn owner(vertex: u64, partitions: usize) -> usize {
+        (fxhash(&vertex) % partitions as u64) as usize
+    }
+
+    /// Total vertex count.
+    pub fn vertex_count(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Bulk vs delta vertex-centric execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationMode {
+    /// All vertices run every superstep.
+    Bulk,
+    /// Only vertices with incoming messages run; terminates early when no
+    /// messages flow. `solution_set_budget` caps the in-memory solution
+    /// set (entries) — `None` means unbounded.
+    Delta {
+        /// Max solution-set entries held in memory.
+        solution_set_budget: Option<usize>,
+    },
+}
+
+/// One vertex's compute step: current value, incoming messages and
+/// out-neighbours in; new value (plus whether it changed) and outgoing
+/// `(target, message)` pairs out.
+pub type VertexCompute<VV, M> =
+    dyn Fn(u64, &VV, &[M], &[u64]) -> (VV, bool, Vec<(u64, M)>) + Send + Sync;
+
+/// Runs a vertex-centric iteration over a partitioned graph.
+///
+/// Workers (one per partition) are deployed once and keep their vertex
+/// values — the solution set — in local state across supersteps. Message
+/// routing happens at a per-round barrier (Flink's iteration sync, the
+/// "Sync Bulk Iteration" span of Fig 10).
+///
+/// Returns the final vertex values, or [`IterationError::SolutionSetOom`]
+/// when a delta iteration's solution set exceeds its budget.
+pub fn vertex_centric<VV, M>(
+    env: &FlinkEnv,
+    graph: &PartitionedGraph,
+    init: impl Fn(u64, &[u64]) -> VV + Send + Sync,
+    compute: &VertexCompute<VV, M>,
+    max_rounds: u32,
+    mode: IterationMode,
+) -> Result<HashMap<u64, VV>, IterationError>
+where
+    VV: Clone + Send + Sync,
+    M: Clone + Send + Sync,
+{
+    let n = graph.partitions();
+    if let IterationMode::Delta {
+        solution_set_budget: Some(budget),
+    } = mode
+    {
+        let needed = graph.vertex_count();
+        if needed > budget {
+            return Err(IterationError::SolutionSetOom { needed, budget });
+        }
+    }
+
+    // Messages exchanged between driver and workers each superstep.
+    enum ToWorker<M> {
+        Round(Vec<(u64, M)>),
+        Finish,
+    }
+    struct FromWorker<M, VV> {
+        #[allow(dead_code)] // diagnostic identity, useful in panics
+        part: usize,
+        outgoing: Vec<(u64, M)>,
+        values: Option<Vec<(u64, VV)>>,
+    }
+
+    let init = &init;
+    std::thread::scope(|scope| {
+        let mut to_workers: Vec<Sender<ToWorker<M>>> = Vec::with_capacity(n);
+        let (from_tx, from_rx) = bounded::<FromWorker<M, VV>>(n);
+        for (p, part) in graph.parts.iter().enumerate() {
+            let (tx, rx): (Sender<ToWorker<M>>, _) = bounded(1);
+            to_workers.push(tx);
+            let from_tx = from_tx.clone();
+            let env2 = env.clone();
+            scope.spawn(move || {
+                env2.metrics().add_tasks_launched(1);
+                // Worker-local solution set, maintained across rounds.
+                let mut values: HashMap<u64, VV> = part
+                    .iter()
+                    .map(|(v, ns)| (*v, init(*v, ns)))
+                    .collect();
+                let adjacency: HashMap<u64, &[u64]> =
+                    part.iter().map(|(v, ns)| (*v, ns.as_slice())).collect();
+                let is_delta = matches!(mode, IterationMode::Delta { .. });
+                let mut first_round = true;
+                for msg in rx.iter() {
+                    let incoming = match msg {
+                        ToWorker::Round(m) => m,
+                        ToWorker::Finish => break,
+                    };
+                    let mut inbox: HashMap<u64, Vec<M>> = HashMap::new();
+                    for (v, m) in incoming {
+                        inbox.entry(v).or_default().push(m);
+                    }
+                    let mut outgoing: Vec<(u64, M)> = Vec::new();
+                    // Deterministic vertex order within the partition.
+                    for (v, _ns) in part {
+                        let active = !is_delta || first_round || inbox.contains_key(v);
+                        if !active {
+                            continue;
+                        }
+                        let empty: Vec<M> = Vec::new();
+                        let msgs = inbox.get(v).unwrap_or(&empty);
+                        let value = values.get(v).expect("vertex owned here");
+                        let (new_value, changed, out) =
+                            compute(*v, value, msgs, adjacency[v]);
+                        if changed || !is_delta {
+                            values.insert(*v, new_value);
+                        }
+                        if changed || !is_delta || first_round {
+                            outgoing.extend(out);
+                        }
+                    }
+                    first_round = false;
+                    from_tx
+                        .send(FromWorker {
+                            part: p,
+                            outgoing,
+                            values: None,
+                        })
+                        .expect("driver alive");
+                }
+                // Final value dump.
+                let dump: Vec<(u64, VV)> = values.into_iter().collect();
+                from_tx
+                    .send(FromWorker {
+                        part: p,
+                        outgoing: Vec::new(),
+                        values: Some(dump),
+                    })
+                    .expect("driver alive");
+            });
+        }
+        drop(from_tx);
+
+        // Superstep loop: route messages at the barrier.
+        let mut pending: Vec<Vec<(u64, M)>> = (0..n).map(|_| Vec::new()).collect();
+        for round in 0..max_rounds {
+            let is_delta = matches!(mode, IterationMode::Delta { .. });
+            let total_pending: usize = pending.iter().map(Vec::len).sum();
+            if is_delta && round > 0 && total_pending == 0 {
+                break; // delta convergence: nothing changed
+            }
+            for (p, tx) in to_workers.iter().enumerate() {
+                tx.send(ToWorker::Round(std::mem::take(&mut pending[p])))
+                    .expect("worker alive");
+            }
+            for _ in 0..n {
+                let out = from_rx.recv().expect("workers alive");
+                debug_assert!(out.values.is_none());
+                for (target, m) in out.outgoing {
+                    pending[PartitionedGraph::owner(target, n)].push((target, m));
+                }
+            }
+            env.metrics().add_iterations_run(1);
+        }
+        for tx in &to_workers {
+            tx.send(ToWorker::Finish).expect("worker alive");
+        }
+        drop(to_workers);
+        let mut result: HashMap<u64, VV> = HashMap::with_capacity(graph.vertex_count());
+        for _ in 0..n {
+            let out = from_rx.recv().expect("workers alive");
+            result.extend(out.values.expect("final dump"));
+        }
+        Ok(result)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_iterate_converges_like_a_fixpoint() {
+        // x_{n+1} = mean of (data + x_n) pulls the state to data mean + x*.
+        let env = FlinkEnv::new(4);
+        let data: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0], vec![]];
+        let result = bulk_iterate(
+            &env,
+            data,
+            0.0_f64,
+            20,
+            |s, part| part.iter().map(|x| x + s).sum::<f64>(),
+            |a, b| a + b,
+            |s| s,
+        );
+        // Fixpoint of s = 15 + 5s has no finite solution; just assert the
+        // recurrence applied exactly 20 times: s_n = 15 * (5^n - 1) / 4.
+        let expect = 15.0 * (5f64.powi(20) - 1.0) / 4.0;
+        assert!((result - expect).abs() / expect < 1e-12);
+        assert_eq!(env.metrics().iterations_run(), 20);
+    }
+
+    #[test]
+    fn bulk_iterate_schedules_workers_once() {
+        let env = FlinkEnv::new(4);
+        let data: Vec<Vec<u32>> = (0..4).map(|i| vec![i]).collect();
+        let before = env.metrics().tasks_launched();
+        let _ = bulk_iterate(&env, data, 0u64, 10, |s, p| s + p.len() as u64, |a, b| a + b, |s| s);
+        // 10 rounds, but only 4 worker deployments (scheduled once).
+        assert_eq!(env.metrics().tasks_launched() - before, 4);
+    }
+
+    #[test]
+    fn bulk_iterate_empty_partitions() {
+        let env = FlinkEnv::new(2);
+        let out = bulk_iterate(&env, Vec::<Vec<u32>>::new(), 7u32, 3, |s, _| *s, |a, _| a, |s| s);
+        assert_eq!(out, 7);
+    }
+
+    fn line_graph(n: u64) -> Vec<(u64, u64)> {
+        (0..n - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn partitioned_graph_includes_sink_vertices() {
+        let g = PartitionedGraph::from_edges(&line_graph(5), 3);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.partitions(), 3);
+    }
+
+    /// Connected components by label propagation: value = component id.
+    fn cc_compute() -> Box<VertexCompute<u64, u64>> {
+        Box::new(|v, value, msgs, ns| {
+            let candidate = msgs.iter().copied().min().unwrap_or(*value).min(*value);
+            let changed = candidate < *value;
+            let out = if changed || msgs.is_empty() {
+                // First round (no messages) or improvement: notify others.
+                ns.iter().map(|&t| (t, candidate.min(v))).collect()
+            } else {
+                Vec::new()
+            };
+            (candidate, changed, out)
+        })
+    }
+
+    #[test]
+    fn vertex_centric_bulk_cc_on_two_components() {
+        let env = FlinkEnv::new(3);
+        // Component A: 0-1-2, component B: 10-11.
+        let edges = vec![(0, 1), (1, 0), (1, 2), (2, 1), (10, 11), (11, 10)];
+        let g = PartitionedGraph::from_edges(&edges, 3);
+        let values = vertex_centric(
+            &env,
+            &g,
+            |v, _| v,
+            &*cc_compute(),
+            20,
+            IterationMode::Bulk,
+        )
+        .unwrap();
+        assert_eq!(values[&0], 0);
+        assert_eq!(values[&1], 0);
+        assert_eq!(values[&2], 0);
+        assert_eq!(values[&10], 10);
+        assert_eq!(values[&11], 10);
+    }
+
+    #[test]
+    fn vertex_centric_delta_matches_bulk() {
+        let env = FlinkEnv::new(4);
+        // An undirected 8-cycle plus an isolated pair.
+        let mut edges: Vec<(u64, u64)> = (0..8).flat_map(|i| {
+            let j = (i + 1) % 8;
+            [(i, j), (j, i)]
+        })
+        .collect();
+        edges.push((100, 101));
+        edges.push((101, 100));
+        let g = PartitionedGraph::from_edges(&edges, 4);
+        let bulk = vertex_centric(&env, &g, |v, _| v, &*cc_compute(), 30, IterationMode::Bulk)
+            .unwrap();
+        let delta = vertex_centric(
+            &env,
+            &g,
+            |v, _| v,
+            &*cc_compute(),
+            30,
+            IterationMode::Delta {
+                solution_set_budget: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(bulk, delta);
+        assert!(bulk.iter().filter(|(v, _)| **v < 100).all(|(_, c)| *c == 0));
+        assert_eq!(bulk[&100], 100);
+    }
+
+    #[test]
+    fn delta_terminates_early_when_converged() {
+        let env = FlinkEnv::new(2);
+        let edges = vec![(0, 1), (1, 0)];
+        let g = PartitionedGraph::from_edges(&edges, 2);
+        let before = env.metrics().iterations_run();
+        let _ = vertex_centric(
+            &env,
+            &g,
+            |v, _| v,
+            &*cc_compute(),
+            1000,
+            IterationMode::Delta {
+                solution_set_budget: None,
+            },
+        )
+        .unwrap();
+        let rounds = env.metrics().iterations_run() - before;
+        assert!(rounds < 10, "delta ran {rounds} rounds on a 2-cycle");
+    }
+
+    #[test]
+    fn delta_solution_set_oom_reproduces_table_vii() {
+        let env = FlinkEnv::new(2);
+        let edges: Vec<(u64, u64)> = (0..100).map(|i| (i, (i + 1) % 100)).collect();
+        let g = PartitionedGraph::from_edges(&edges, 2);
+        let err = vertex_centric(
+            &env,
+            &g,
+            |v, _| v,
+            &*cc_compute(),
+            10,
+            IterationMode::Delta {
+                solution_set_budget: Some(50),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            IterationError::SolutionSetOom {
+                needed: 100,
+                budget: 50
+            }
+        );
+    }
+
+    #[test]
+    fn vertex_centric_schedules_workers_once() {
+        let env = FlinkEnv::new(4);
+        let edges: Vec<(u64, u64)> = (0..50).map(|i| (i, (i + 1) % 50)).collect();
+        let g = PartitionedGraph::from_edges(&edges, 4);
+        let before = env.metrics().tasks_launched();
+        let _ = vertex_centric(&env, &g, |v, _| v, &*cc_compute(), 15, IterationMode::Bulk)
+            .unwrap();
+        assert_eq!(env.metrics().tasks_launched() - before, 4);
+    }
+}

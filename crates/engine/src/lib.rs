@@ -1,0 +1,44 @@
+//! # flowmark-engine
+//!
+//! Two real, multi-threaded dataflow engines embodying the architectural
+//! dichotomy the paper measures (§II-C):
+//!
+//! | | [`spark`] ("Riverbed") | [`flink`] ("Streamside") |
+//! |---|---|---|
+//! | execution | staged, shuffle barriers | pipelined, bounded channels |
+//! | data | lazy RDDs with lineage | chained DataSet operators |
+//! | persistence | explicit [`cache::StorageLevel`] | none (recompute) |
+//! | iterations | driver loop unrolling | native operators ([`iterate`]) |
+//! | aggregation | hash or sort-based shuffle | sort-based combine ([`sortbuf`]) |
+//! | memory | one heap budget + GC model | managed segment pool ([`memory`]) |
+//!
+//! These engines execute real data on the local machine. They serve two
+//! purposes in the reproduction: (1) proving both execution models compute
+//! identical results on the paper's six workloads, and (2) calibrating the
+//! cluster simulator (`flowmark-sim`) that regenerates the paper's
+//! figures at cluster scale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod flink;
+pub mod gelly;
+pub mod graphx;
+pub mod iterate;
+pub mod memory;
+pub mod metrics;
+pub mod sampler;
+pub mod shuffle;
+pub mod sortbuf;
+pub mod spark;
+pub mod streaming;
+
+pub use cache::StorageLevel;
+pub use flink::{DataSet, FlinkEnv};
+pub use iterate::{
+    bulk_iterate, vertex_centric, IterationError, IterationMode, PartitionedGraph,
+};
+pub use metrics::EngineMetrics;
+pub use spark::{Rdd, SparkContext};
+pub use streaming::{run_continuous, run_micro_batch, StreamStats};

@@ -1,0 +1,382 @@
+//! Memory management: the heap model vs. the managed-segment model.
+//!
+//! §VIII of the paper: "Memory management plays a crucial role in the
+//! execution of a workload ... as opposed to Spark, Flink does not
+//! accumulate lots of objects on the heap but stores them in a dedicated
+//! memory region". Two allocators model that dichotomy:
+//!
+//! - [`HeapBudget`] — Spark-like: a single heap budget shared by storage and
+//!   execution; exceeding it is a hard failure ("if the size of the heap is
+//!   not sufficient, the job dies"), and *pressure* (live/total ratio)
+//!   drives a GC-overhead estimate.
+//! - [`ManagedPool`] — Flink-like: a fixed pool of fixed-size segments;
+//!   exhaustion is not a failure but a *spill signal* ("most of the
+//!   operators are implemented so that they can survive with very little
+//!   memory, spilling to disk when necessary").
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a heap allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently live.
+    pub live: u64,
+    /// Heap capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "java.lang.OutOfMemoryError: requested {} bytes with {}/{} live",
+            self.requested, self.live, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Spark-like heap accounting: all execution and storage memory comes from
+/// one JVM heap. Thread-safe; clones share the budget.
+#[derive(Debug, Clone)]
+pub struct HeapBudget {
+    inner: Arc<HeapInner>,
+}
+
+#[derive(Debug)]
+struct HeapInner {
+    capacity: u64,
+    live: AtomicU64,
+    peak: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl HeapBudget {
+    /// Creates a heap of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Arc::new(HeapInner {
+                capacity,
+                live: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                allocations: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Reserves `bytes`; fails with [`OutOfMemory`] when the heap would
+    /// overflow — the "job dies" behaviour, not a spill.
+    pub fn allocate(&self, bytes: u64) -> Result<HeapAllocation, OutOfMemory> {
+        let mut current = self.inner.live.load(Ordering::Relaxed);
+        loop {
+            let next = current + bytes;
+            if next > self.inner.capacity {
+                return Err(OutOfMemory {
+                    requested: bytes,
+                    live: current,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.live.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+                    return Ok(HeapAllocation {
+                        heap: self.clone(),
+                        bytes,
+                    });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Live bytes.
+    pub fn live(&self) -> u64 {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Heap capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        if self.inner.capacity == 0 {
+            1.0
+        } else {
+            self.live() as f64 / self.inner.capacity as f64
+        }
+    }
+
+    /// Estimated GC overhead factor ≥ 1.0 given current pressure: the model
+    /// used by both the paper's narrative and our simulator — GC cost grows
+    /// superlinearly as the heap fills with objects ("large sized JVMs ...
+    /// can suffer from the overhead of garbage collection", §VIII).
+    pub fn gc_overhead(&self) -> f64 {
+        gc_overhead_at(self.pressure())
+    }
+}
+
+/// GC overhead model: 1.0 at an empty heap, rising convexly; ~1.08 at 50 %
+/// occupancy, ~1.35 at 85 %, unbounded growth near 100 %.
+pub fn gc_overhead_at(pressure: f64) -> f64 {
+    let p = pressure.clamp(0.0, 0.99);
+    1.0 + 0.3 * p * p / (1.0 - p)
+}
+
+/// An RAII heap reservation; releases on drop.
+#[derive(Debug)]
+pub struct HeapAllocation {
+    heap: HeapBudget,
+    bytes: u64,
+}
+
+impl HeapAllocation {
+    /// Reserved size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for HeapAllocation {
+    fn drop(&mut self) {
+        self.heap.inner.live.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// Flink-like managed memory: a fixed pool of equal segments. Acquisition
+/// never blocks and never fails — it either grants a segment or tells the
+/// caller to spill.
+#[derive(Debug, Clone)]
+pub struct ManagedPool {
+    inner: Arc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    segment_bytes: usize,
+    total_segments: usize,
+    free: AtomicUsize,
+    spill_signals: AtomicU64,
+}
+
+/// Result of a segment request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// A segment was granted.
+    Granted(Segment),
+    /// Pool exhausted: the operator must spill and retry.
+    MustSpill,
+}
+
+/// An RAII managed segment; returns to the pool on drop.
+#[derive(Debug)]
+pub struct Segment {
+    pool: ManagedPool,
+    bytes: usize,
+}
+
+impl Segment {
+    /// Segment size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl PartialEq for Segment {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+impl Eq for Segment {}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        self.pool.inner.free.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl ManagedPool {
+    /// Creates a pool of `total_segments` segments of `segment_bytes` each
+    /// (Flink's default segment is 32 KiB).
+    pub fn new(total_segments: usize, segment_bytes: usize) -> Self {
+        assert!(total_segments > 0 && segment_bytes > 0);
+        Self {
+            inner: Arc::new(PoolInner {
+                segment_bytes,
+                total_segments,
+                free: AtomicUsize::new(total_segments),
+                spill_signals: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Sizes a pool from a memory budget.
+    pub fn with_budget(budget_bytes: u64, segment_bytes: usize) -> Self {
+        let segments = ((budget_bytes as usize) / segment_bytes).max(1);
+        Self::new(segments, segment_bytes)
+    }
+
+    /// Requests one segment.
+    pub fn acquire(&self) -> Acquire {
+        let mut free = self.inner.free.load(Ordering::Relaxed);
+        loop {
+            if free == 0 {
+                self.inner.spill_signals.fetch_add(1, Ordering::Relaxed);
+                return Acquire::MustSpill;
+            }
+            match self.inner.free.compare_exchange_weak(
+                free,
+                free - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Acquire::Granted(Segment {
+                        pool: self.clone(),
+                        bytes: self.inner.segment_bytes,
+                    })
+                }
+                Err(actual) => free = actual,
+            }
+        }
+    }
+
+    /// Free segments right now.
+    pub fn free_segments(&self) -> usize {
+        self.inner.free.load(Ordering::Relaxed)
+    }
+
+    /// Total segments.
+    pub fn total_segments(&self) -> usize {
+        self.inner.total_segments
+    }
+
+    /// Number of times acquisition told a caller to spill.
+    pub fn spill_signals(&self) -> u64 {
+        self.inner.spill_signals.load(Ordering::Relaxed)
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.inner.segment_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_allocation_and_release() {
+        let heap = HeapBudget::new(1000);
+        let a = heap.allocate(400).unwrap();
+        assert_eq!(heap.live(), 400);
+        let b = heap.allocate(600).unwrap();
+        assert_eq!(heap.live(), 1000);
+        drop(a);
+        assert_eq!(heap.live(), 600);
+        drop(b);
+        assert_eq!(heap.live(), 0);
+        assert_eq!(heap.peak(), 1000);
+    }
+
+    #[test]
+    fn heap_overflow_is_fatal_error() {
+        let heap = HeapBudget::new(1000);
+        let _keep = heap.allocate(800).unwrap();
+        let err = heap.allocate(300).unwrap_err();
+        assert_eq!(err.requested, 300);
+        assert_eq!(err.live, 800);
+        assert!(err.to_string().contains("OutOfMemoryError"));
+        // The failed allocation must not leak accounting.
+        assert_eq!(heap.live(), 800);
+    }
+
+    #[test]
+    fn gc_overhead_grows_convexly() {
+        assert!((gc_overhead_at(0.0) - 1.0).abs() < 1e-12);
+        let mid = gc_overhead_at(0.5);
+        let high = gc_overhead_at(0.85);
+        let extreme = gc_overhead_at(0.98);
+        assert!(mid > 1.0 && mid < 1.2);
+        assert!(high > mid);
+        assert!(extreme > 2.0);
+        // Clamp keeps it finite at 1.0.
+        assert!(gc_overhead_at(1.0).is_finite());
+    }
+
+    #[test]
+    fn heap_concurrent_allocation_respects_capacity() {
+        let heap = HeapBudget::new(10_000);
+        let held: Vec<Vec<HeapAllocation>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let heap = heap.clone();
+                    s.spawn(move || {
+                        // Hold allocations for the thread's whole life so the
+                        // capacity bound is actually contended.
+                        (0..10).filter_map(|_| heap.allocate(250).ok()).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let successes: usize = held.iter().map(Vec::len).sum();
+        // At most capacity/250 = 40 allocations can be live at once, and the
+        // peak must never exceed capacity.
+        assert!(successes <= 40, "oversubscribed: {successes}");
+        assert!(heap.peak() <= 10_000, "peak {} > capacity", heap.peak());
+        drop(held);
+        assert_eq!(heap.live(), 0, "all allocations released");
+    }
+
+    #[test]
+    fn pool_exhaustion_signals_spill_not_failure() {
+        let pool = ManagedPool::new(2, 1024);
+        let s1 = match pool.acquire() {
+            Acquire::Granted(s) => s,
+            Acquire::MustSpill => panic!("pool should have segments"),
+        };
+        let _s2 = match pool.acquire() {
+            Acquire::Granted(s) => s,
+            Acquire::MustSpill => panic!(),
+        };
+        assert_eq!(pool.free_segments(), 0);
+        assert_eq!(pool.acquire(), Acquire::MustSpill);
+        assert_eq!(pool.spill_signals(), 1);
+        drop(s1);
+        assert!(matches!(pool.acquire(), Acquire::Granted(_)));
+    }
+
+    #[test]
+    fn pool_with_budget_sizing() {
+        let pool = ManagedPool::with_budget(1 << 20, 32 << 10);
+        assert_eq!(pool.total_segments(), 32);
+        assert_eq!(pool.segment_bytes(), 32 << 10);
+    }
+
+    #[test]
+    fn zero_capacity_heap_has_full_pressure() {
+        let heap = HeapBudget::new(0);
+        assert_eq!(heap.pressure(), 1.0);
+        assert!(heap.allocate(1).is_err());
+        assert!(heap.allocate(0).is_ok());
+    }
+}

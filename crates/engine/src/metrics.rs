@@ -1,0 +1,127 @@
+//! Engine-internal counters, collected lock-free.
+//!
+//! Real-engine runs feed two consumers: correctness tests (both engines must
+//! produce identical results) and the calibration of the simulator's cost
+//! model. The counters here are the calibration inputs: how many records
+//! crossed a shuffle, how many bytes spilled, how often lineage was
+//! recomputed, how much combine reduced the data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared run metrics. Cheap to clone (Arc inside).
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    records_read: AtomicU64,
+    records_shuffled: AtomicU64,
+    bytes_shuffled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    spill_events: AtomicU64,
+    combine_input: AtomicU64,
+    combine_output: AtomicU64,
+    compute_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    tasks_launched: AtomicU64,
+    iterations_run: AtomicU64,
+}
+
+macro_rules! counter_api {
+    ($($field:ident => $add:ident, $get:ident);* $(;)?) => {
+        $(
+            /// Adds to the counter.
+            pub fn $add(&self, n: u64) {
+                self.inner.$field.fetch_add(n, Ordering::Relaxed);
+            }
+            /// Reads the counter.
+            pub fn $get(&self) -> u64 {
+                self.inner.$field.load(Ordering::Relaxed)
+            }
+        )*
+    };
+}
+
+impl EngineMetrics {
+    /// Creates a fresh metrics handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter_api! {
+        records_read => add_records_read, records_read;
+        records_shuffled => add_records_shuffled, records_shuffled;
+        bytes_shuffled => add_bytes_shuffled, bytes_shuffled;
+        bytes_spilled => add_bytes_spilled, bytes_spilled;
+        spill_events => add_spill_events, spill_events;
+        combine_input => add_combine_input, combine_input;
+        combine_output => add_combine_output, combine_output;
+        compute_calls => add_compute_calls, compute_calls;
+        cache_hits => add_cache_hits, cache_hits;
+        cache_misses => add_cache_misses, cache_misses;
+        tasks_launched => add_tasks_launched, tasks_launched;
+        iterations_run => add_iterations_run, iterations_run;
+    }
+
+    /// Map-side combine effectiveness: output/input record ratio, 1.0 when
+    /// no combining happened.
+    pub fn combine_ratio(&self) -> f64 {
+        let input = self.combine_input();
+        if input == 0 {
+            1.0
+        } else {
+            self.combine_output() as f64 / input as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = EngineMetrics::new();
+        m.add_records_shuffled(10);
+        m.add_records_shuffled(5);
+        assert_eq!(m.records_shuffled(), 15);
+        assert_eq!(m.bytes_spilled(), 0);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let m = EngineMetrics::new();
+        let m2 = m.clone();
+        m2.add_tasks_launched(3);
+        assert_eq!(m.tasks_launched(), 3);
+    }
+
+    #[test]
+    fn combine_ratio_defaults_to_one() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.combine_ratio(), 1.0);
+        m.add_combine_input(100);
+        m.add_combine_output(10);
+        assert!((m.combine_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        let m = EngineMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add_compute_calls(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.compute_calls(), 8000);
+    }
+}

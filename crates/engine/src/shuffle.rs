@@ -1,0 +1,179 @@
+//! Shuffle: repartitioning key-value data across workers.
+//!
+//! Both engines shuffle, but differently (§IV-B): the staged engine writes
+//! complete, optionally consolidated map-output files before any reducer
+//! starts (a barrier); the pipelined engine streams buffers to reducers
+//! while mappers still run. This module implements the data-plane pieces
+//! shared by both: partitioning map output, optional map-side combining via
+//! [`crate::sortbuf::SortCombineBuffer`], and the blocking exchange used by
+//! the staged engine. The pipelined exchange (bounded channels as network
+//! buffers) lives in `flink::exec`.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use flowmark_dataflow::partitioner::Partitioner;
+
+use crate::metrics::EngineMetrics;
+use crate::sortbuf::{CombineFn, SortCombineBuffer};
+
+/// Output of one map task: one bucket of records per reduce partition.
+pub type MapOutput<K, V> = Vec<Vec<(K, V)>>;
+
+/// Partitions one map task's records into per-reducer buckets.
+pub fn partition_records<K, V, P>(
+    records: Vec<(K, V)>,
+    partitioner: &P,
+    metrics: &EngineMetrics,
+    bytes_per_record: usize,
+) -> MapOutput<K, V>
+where
+    K: Hash,
+    P: Partitioner<K> + ?Sized,
+{
+    let n = partitioner.partitions();
+    let mut buckets: MapOutput<K, V> = (0..n).map(|_| Vec::new()).collect();
+    let count = records.len();
+    for (k, v) in records {
+        let p = partitioner.partition(&k);
+        buckets[p].push((k, v));
+    }
+    metrics.add_records_shuffled(count as u64);
+    metrics.add_bytes_shuffled((count * bytes_per_record) as u64);
+    buckets
+}
+
+/// Partitions with a map-side sort-based combine per bucket: the records of
+/// each bucket are collapsed before they would cross the network. Returns
+/// buckets in sorted-by-key order (a property the sort-based shuffle gives
+/// for free and TeraSort relies on).
+pub fn partition_combine<K, V, P>(
+    records: Vec<(K, V)>,
+    partitioner: &P,
+    combine: CombineFn<V>,
+    buffer_capacity: usize,
+    metrics: &EngineMetrics,
+    bytes_per_record: usize,
+) -> MapOutput<K, V>
+where
+    K: Hash + Ord + Clone,
+    P: Partitioner<K> + ?Sized,
+{
+    let n = partitioner.partitions();
+    let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..n)
+        .map(|_| {
+            SortCombineBuffer::new(
+                buffer_capacity,
+                bytes_per_record,
+                Arc::clone(&combine),
+                metrics.clone(),
+            )
+        })
+        .collect();
+    for (k, v) in records {
+        let p = partitioner.partition(&k);
+        buffers[p].insert(k, v);
+    }
+    let buckets: MapOutput<K, V> = buffers.into_iter().map(|b| b.finish()).collect();
+    let out_records: usize = buckets.iter().map(Vec::len).sum();
+    metrics.add_records_shuffled(out_records as u64);
+    metrics.add_bytes_shuffled((out_records * bytes_per_record) as u64);
+    buckets
+}
+
+/// The staged (barrier) exchange: gathers every map task's buckets, then
+/// regroups them by reduce partition. Nothing is handed to reducers until
+/// *all* map outputs exist — the stage boundary in Fig 9 (right).
+pub fn exchange<K, V>(map_outputs: Vec<MapOutput<K, V>>) -> Vec<Vec<(K, V)>> {
+    let partitions = map_outputs.first().map(Vec::len).unwrap_or(0);
+    debug_assert!(
+        map_outputs.iter().all(|m| m.len() == partitions),
+        "all map tasks must produce the same partition count"
+    );
+    let mut reduce_inputs: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for mut output in map_outputs {
+        for (p, bucket) in output.drain(..).enumerate() {
+            reduce_inputs[p].extend(bucket);
+        }
+    }
+    reduce_inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_dataflow::partitioner::HashPartitioner;
+    use std::collections::HashMap;
+
+    fn sum() -> CombineFn<u64> {
+        Arc::new(|acc: &mut u64, v| *acc += v)
+    }
+
+    #[test]
+    fn partitioning_is_complete_and_consistent() {
+        let metrics = EngineMetrics::new();
+        let part = HashPartitioner::new(4);
+        let records: Vec<(String, u64)> = (0..100).map(|i| (format!("k{i}"), i)).collect();
+        let buckets = partition_records(records.clone(), &part, &metrics, 16);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
+        // Every key landed where the partitioner says.
+        for (p, bucket) in buckets.iter().enumerate() {
+            for (k, _) in bucket {
+                assert_eq!(part.partition(k), p);
+            }
+        }
+        assert_eq!(metrics.records_shuffled(), 100);
+        assert_eq!(metrics.bytes_shuffled(), 1600);
+    }
+
+    #[test]
+    fn combine_reduces_shuffled_records() {
+        let metrics = EngineMetrics::new();
+        let part = HashPartitioner::new(4);
+        // 1000 records over 10 hot keys.
+        let records: Vec<(String, u64)> =
+            (0..1000).map(|i| (format!("k{}", i % 10), 1)).collect();
+        let buckets = partition_combine(records, &part, sum(), 64, &metrics, 16);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert!(total <= 10 * 16, "combine left too many records: {total}");
+        // Counts preserved.
+        let mut m: HashMap<String, u64> = HashMap::new();
+        for (k, v) in buckets.into_iter().flatten() {
+            *m.entry(k).or_default() += v;
+        }
+        assert_eq!(m.len(), 10);
+        assert!(m.values().all(|&v| v == 100));
+        assert!(metrics.records_shuffled() < 1000);
+    }
+
+    #[test]
+    fn combined_buckets_are_sorted() {
+        let metrics = EngineMetrics::new();
+        let part = HashPartitioner::new(2);
+        let records: Vec<(String, u64)> =
+            (0..500).map(|i| (format!("w{:03}", (i * 17) % 100), 1)).collect();
+        let buckets = partition_combine(records, &part, sum(), 32, &metrics, 16);
+        for bucket in &buckets {
+            assert!(bucket.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn exchange_regroups_by_partition() {
+        // Two map tasks, three reduce partitions.
+        let m1: MapOutput<u32, u32> = vec![vec![(0, 1)], vec![(1, 1)], vec![]];
+        let m2: MapOutput<u32, u32> = vec![vec![(0, 2)], vec![], vec![(2, 2)]];
+        let reduced = exchange(vec![m1, m2]);
+        assert_eq!(reduced.len(), 3);
+        assert_eq!(reduced[0], vec![(0, 1), (0, 2)]);
+        assert_eq!(reduced[1], vec![(1, 1)]);
+        assert_eq!(reduced[2], vec![(2, 2)]);
+    }
+
+    #[test]
+    fn exchange_of_nothing_is_empty() {
+        let reduced: Vec<Vec<(u32, u32)>> = exchange(Vec::new());
+        assert!(reduced.is_empty());
+    }
+}

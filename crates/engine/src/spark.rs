@@ -1,0 +1,1083 @@
+//! "Riverbed": the staged, RDD-based engine (Apache Spark semantics).
+//!
+//! Faithful to §II-A:
+//! - RDDs are **lazy** ("computed only when needed") and **ephemeral**
+//!   ("once it actually gets materialized, it will be discarded from memory
+//!   after its use") — [`Rdd::compute`] re-derives a partition from its
+//!   lineage every time unless the RDD was persisted;
+//! - **persistence is explicit** ([`Rdd::persist`]) and backed by the
+//!   [`crate::cache::BlockCache`];
+//! - shuffles are **stage barriers**: a [`Rdd::reduce_by_key`] child cannot
+//!   read anything until every parent partition has been fully computed and
+//!   partitioned (materialised once per shuffle via `OnceLock`);
+//! - **iterations are loop unrolling** (§II-C): the driver builds a new RDD
+//!   per round; each round schedules a fresh wave of tasks, visible in the
+//!   `tasks_launched` metric.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use flowmark_core::spans::PlanTrace;
+use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
+
+use crate::cache::{BlockCache, StorageLevel};
+use crate::metrics::EngineMetrics;
+use crate::shuffle::{exchange, partition_combine, partition_records};
+use crate::sortbuf::CombineFn;
+
+/// Shared driver state.
+struct CtxInner {
+    cache: BlockCache,
+    metrics: EngineMetrics,
+    next_id: AtomicUsize,
+    default_parallelism: usize,
+    combine_buffer_records: usize,
+    trace: Mutex<PlanTrace>,
+    start: Instant,
+}
+
+/// The driver ("SparkContext"). Cheap to clone.
+#[derive(Clone)]
+pub struct SparkContext {
+    inner: Arc<CtxInner>,
+}
+
+impl SparkContext {
+    /// Creates a context with a storage-cache budget and default
+    /// parallelism (`spark.default.parallelism`).
+    pub fn new(default_parallelism: usize, cache_bytes: u64) -> Self {
+        assert!(default_parallelism > 0);
+        Self {
+            inner: Arc::new(CtxInner {
+                cache: BlockCache::new(cache_bytes),
+                metrics: EngineMetrics::new(),
+                next_id: AtomicUsize::new(0),
+                default_parallelism,
+                combine_buffer_records: 4096,
+                trace: Mutex::new(PlanTrace::new()),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Run metrics handle.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.inner.metrics
+    }
+
+    /// Operator spans recorded so far (one per shuffle/action).
+    pub fn trace(&self) -> PlanTrace {
+        self.inner.trace.lock().clone()
+    }
+
+    /// Default number of partitions for shuffles.
+    pub fn default_parallelism(&self) -> usize {
+        self.inner.default_parallelism
+    }
+
+    fn next_id(&self) -> usize {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn record_span(&self, name: &str, started: Instant) {
+        let t0 = started.duration_since(self.inner.start).as_secs_f64();
+        let t1 = self.inner.start.elapsed().as_secs_f64();
+        self.inner.trace.lock().record(name.to_string(), t0, t1);
+    }
+
+    /// Distributes a local collection into `partitions` chunks.
+    pub fn parallelize<T: Clone + Send + Sync + 'static>(
+        &self,
+        data: Vec<T>,
+        partitions: usize,
+    ) -> Rdd<T> {
+        assert!(partitions > 0);
+        let chunk = data.len().div_ceil(partitions).max(1);
+        let parts: Vec<Vec<T>> = data
+            .chunks(chunk)
+            .map(<[T]>::to_vec)
+            .chain(std::iter::repeat_with(Vec::new))
+            .take(partitions)
+            .collect();
+        let metrics = self.metrics().clone();
+        metrics.add_records_read(parts.iter().map(Vec::len).sum::<usize>() as u64);
+        Rdd::new(
+            self.clone(),
+            partitions,
+            Arc::new(SourceOp { parts }),
+        )
+    }
+}
+
+/// How a partition of this RDD is derived.
+trait RddOp<T>: Send + Sync {
+    fn compute(&self, part: usize) -> Vec<T>;
+}
+
+struct SourceOp<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Clone + Send + Sync> RddOp<T> for SourceOp<T> {
+    fn compute(&self, part: usize) -> Vec<T> {
+        self.parts[part].clone()
+    }
+}
+
+/// A lazy, partitioned, lineage-bearing dataset.
+pub struct Rdd<T> {
+    ctx: SparkContext,
+    id: usize,
+    partitions: usize,
+    op: Arc<dyn RddOp<T>>,
+    storage: StorageLevel,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: self.ctx.clone(),
+            id: self.id,
+            partitions: self.partitions,
+            op: Arc::clone(&self.op),
+            storage: self.storage,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Rdd<T> {
+    fn new(ctx: SparkContext, partitions: usize, op: Arc<dyn RddOp<T>>) -> Self {
+        let id = ctx.next_id();
+        Self {
+            ctx,
+            id,
+            partitions,
+            op,
+            storage: StorageLevel::None,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Marks this RDD persistent at the given level (§II-A: "the user can
+    /// explicitly mark them as persistent").
+    pub fn persist(mut self, level: StorageLevel) -> Self {
+        self.storage = level;
+        self
+    }
+
+    /// Computes one partition: serve from cache when persisted, otherwise
+    /// recompute from lineage (and cache the result when persisted).
+    pub fn compute(&self, part: usize) -> Arc<Vec<T>> {
+        if self.storage != StorageLevel::None {
+            if let Some(block) = self.ctx.inner.cache.get((self.id, part)) {
+                self.ctx.metrics().add_cache_hits(1);
+                return block.downcast::<Vec<T>>().expect("cache type confusion");
+            }
+            self.ctx.metrics().add_cache_misses(1);
+        }
+        self.ctx.metrics().add_compute_calls(1);
+        let data = Arc::new(self.op.compute(part));
+        if self.storage != StorageLevel::None {
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+            self.ctx.inner.cache.put(
+                (self.id, part),
+                data.clone(),
+                bytes.max(1),
+                self.storage,
+            );
+        }
+        data
+    }
+
+    fn compute_all(&self) -> Vec<Arc<Vec<T>>> {
+        self.ctx
+            .metrics()
+            .add_tasks_launched(self.partitions as u64);
+        (0..self.partitions)
+            .into_par_iter()
+            .map(|p| self.compute(p))
+            .collect()
+    }
+
+    // ---- narrow transformations -----------------------------------------
+
+    /// Element-wise map.
+    pub fn map<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(&T) -> U + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(NarrowOp {
+                parent,
+                f: move |input: Arc<Vec<T>>| input.iter().map(&f).collect(),
+            }),
+        )
+    }
+
+    /// One-to-many map.
+    pub fn flat_map<U, I, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(NarrowOp {
+                parent,
+                f: move |input: Arc<Vec<T>>| input.iter().flat_map(&f).collect(),
+            }),
+        )
+    }
+
+    /// Predicate filter.
+    pub fn filter<F>(&self, f: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(NarrowOp {
+                parent,
+                f: move |input: Arc<Vec<T>>| input.iter().filter(|t| f(t)).cloned().collect(),
+            }),
+        )
+    }
+
+    /// Whole-partition map (`mapPartitions`).
+    pub fn map_partitions<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(NarrowOp {
+                parent,
+                f: move |input: Arc<Vec<T>>| f(&input),
+            }),
+        )
+    }
+
+    // ---- actions ---------------------------------------------------------
+
+    /// Gathers every record to the driver.
+    pub fn collect(&self) -> Vec<T> {
+        let started = Instant::now();
+        let parts = self.compute_all();
+        let out = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+        self.ctx.record_span("collect", started);
+        out
+    }
+
+    /// Counts records.
+    pub fn count(&self) -> u64 {
+        let started = Instant::now();
+        let n = self
+            .compute_all()
+            .iter()
+            .map(|p| p.len() as u64)
+            .sum();
+        self.ctx.record_span("count", started);
+        n
+    }
+
+    /// Folds every record with a commutative, associative function.
+    pub fn reduce<F>(&self, f: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync,
+    {
+        let started = Instant::now();
+        let out = self
+            .compute_all()
+            .into_iter()
+            .filter_map(|p| p.iter().cloned().reduce(&f))
+            .reduce(&f);
+        self.ctx.record_span("reduce", started);
+        out
+    }
+}
+
+struct NarrowOp<T, U, F>
+where
+    F: Fn(Arc<Vec<T>>) -> Vec<U> + Send + Sync,
+{
+    parent: Rdd<T>,
+    f: F,
+}
+
+impl<T, U, F> RddOp<U> for NarrowOp<T, U, F>
+where
+    T: Clone + Send + Sync + 'static,
+    U: Send + Sync,
+    F: Fn(Arc<Vec<T>>) -> Vec<U> + Send + Sync,
+{
+    fn compute(&self, part: usize) -> Vec<U> {
+        (self.f)(self.parent.compute(part))
+    }
+}
+
+// ---- pair-RDD (shuffle) operations ---------------------------------------
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Clone + Send + Sync + Hash + Ord + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// `reduceByKey`: map-side combine, hash shuffle on
+    /// `spark.default.parallelism` partitions, reduce. The shuffle is a
+    /// stage barrier (§VI-C).
+    pub fn reduce_by_key<F>(&self, f: F) -> Rdd<(K, V)>
+    where
+        F: Fn(&mut V, V) + Send + Sync + 'static,
+    {
+        self.reduce_by_key_with(f, self.ctx.default_parallelism())
+    }
+
+    /// `reduceByKey` with an explicit partition count.
+    pub fn reduce_by_key_with<F>(&self, f: F, partitions: usize) -> Rdd<(K, V)>
+    where
+        F: Fn(&mut V, V) + Send + Sync + 'static,
+    {
+        let combine: CombineFn<V> = Arc::new(f);
+        let parent = self.clone();
+        let ctx = self.ctx.clone();
+        let combine_records = ctx.inner.combine_buffer_records;
+        let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
+            let started = Instant::now();
+            let partitioner = HashPartitioner::new(partitions);
+            let map_outputs: Vec<_> = parent
+                .compute_all()
+                .into_par_iter()
+                .map(|p| {
+                    partition_combine(
+                        (*p).clone(),
+                        &partitioner,
+                        Arc::clone(&combine),
+                        combine_records,
+                        ctx.metrics(),
+                        std::mem::size_of::<(K, V)>(),
+                    )
+                })
+                .collect();
+            let reduce_inputs = exchange(map_outputs);
+            let combine = Arc::clone(&combine);
+            let out: Vec<Vec<(K, V)>> = reduce_inputs
+                .into_par_iter()
+                .map(|records| {
+                    let mut agg: HashMap<K, V> = HashMap::with_capacity(records.len());
+                    for (k, v) in records {
+                        match agg.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                combine(e.get_mut(), v)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(v);
+                            }
+                        }
+                    }
+                    agg.into_iter().collect()
+                })
+                .collect();
+            ctx.record_span("shuffle:reduceByKey", started);
+            out
+        }));
+        Rdd::new(self.ctx.clone(), partitions, shuffled)
+    }
+
+    /// `repartitionAndSortWithinPartitions` with an arbitrary partitioner —
+    /// the TeraSort primitive (§III).
+    pub fn repartition_and_sort_within_partitions<P>(&self, partitioner: Arc<P>) -> Rdd<(K, V)>
+    where
+        P: Partitioner<K> + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        let ctx = self.ctx.clone();
+        let partitions = partitioner.partitions();
+        let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
+            let started = Instant::now();
+            let map_outputs: Vec<_> = parent
+                .compute_all()
+                .into_par_iter()
+                .map(|p| {
+                    partition_records(
+                        (*p).clone(),
+                        partitioner.as_ref(),
+                        ctx.metrics(),
+                        std::mem::size_of::<(K, V)>(),
+                    )
+                })
+                .collect();
+            let mut reduce_inputs = exchange(map_outputs);
+            reduce_inputs.par_iter_mut().for_each(|part| {
+                part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            });
+            ctx.record_span("shuffle:repartitionAndSort", started);
+            reduce_inputs
+        }));
+        Rdd::new(self.ctx.clone(), partitions, shuffled)
+    }
+
+    /// Inner hash join on the key.
+    pub fn join<W>(&self, other: &Rdd<(K, W)>) -> Rdd<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let partitions = self.ctx.default_parallelism();
+        let left = self.clone();
+        let right = other.clone();
+        let ctx = self.ctx.clone();
+        let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
+            let started = Instant::now();
+            let partitioner = HashPartitioner::new(partitions);
+            let lo: Vec<_> = left
+                .compute_all()
+                .into_par_iter()
+                .map(|p| {
+                    partition_records(
+                        (*p).clone(),
+                        &partitioner,
+                        ctx.metrics(),
+                        std::mem::size_of::<(K, V)>(),
+                    )
+                })
+                .collect();
+            let ro: Vec<_> = right
+                .compute_all()
+                .into_par_iter()
+                .map(|p| {
+                    partition_records(
+                        (*p).clone(),
+                        &partitioner,
+                        ctx.metrics(),
+                        std::mem::size_of::<(K, W)>(),
+                    )
+                })
+                .collect();
+            let li = exchange(lo);
+            let ri = exchange(ro);
+            let out: Vec<Vec<(K, (V, W))>> = li
+                .into_par_iter()
+                .zip(ri)
+                .map(|(lpart, rpart)| {
+                    let mut table: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in lpart {
+                        table.entry(k).or_default().push(v);
+                    }
+                    let mut joined = Vec::new();
+                    for (k, w) in rpart {
+                        if let Some(vs) = table.get(&k) {
+                            for v in vs {
+                                joined.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                    }
+                    joined
+                })
+                .collect();
+            ctx.record_span("shuffle:join", started);
+            out
+        }));
+        Rdd::new(self.ctx.clone(), partitions, shuffled)
+    }
+
+    /// `collectAsMap`: the K-Means per-iteration action (§VI-D, Fig 10's
+    /// `map->collectAsMap` waves).
+    pub fn collect_as_map(&self) -> HashMap<K, V> {
+        let started = Instant::now();
+        let out = self
+            .compute_all()
+            .iter()
+            .flat_map(|p| p.iter().cloned())
+            .collect();
+        self.ctx.record_span("collectAsMap", started);
+        out
+    }
+}
+
+// ---- additional narrow/wide transformations -------------------------------
+
+impl<T: Clone + Send + Sync + 'static> Rdd<T> {
+    /// `union`: concatenates two RDDs partition-wise (narrow, no shuffle).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let left = self.clone();
+        let right = other.clone();
+        let split = left.num_partitions();
+        let total = split + right.num_partitions();
+        Rdd::new(
+            self.ctx.clone(),
+            total,
+            Arc::new(UnionOp { left, right, split }),
+        )
+    }
+
+    /// `sample`: deterministic Bernoulli sample with the given fraction and
+    /// seed (per-partition deterministic, like Spark's seeded sample).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(SampleOp {
+                parent,
+                fraction,
+                seed,
+            }),
+        )
+    }
+
+    /// `coalesce`: merges partitions down to `n` without a shuffle
+    /// (consecutive partitions are concatenated).
+    pub fn coalesce(&self, n: usize) -> Rdd<T> {
+        assert!(n > 0, "coalesce needs at least one partition");
+        let parent = self.clone();
+        let n = n.min(self.partitions);
+        Rdd::new(
+            self.ctx.clone(),
+            n,
+            Arc::new(CoalesceOp { parent, n }),
+        )
+    }
+
+    /// `mapPartitionsWithIndex`: whole-partition map that also sees the
+    /// partition index (Table I lists it for Spark's graph loading).
+    pub fn map_partitions_with_index<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        Rdd::new(
+            self.ctx.clone(),
+            self.partitions,
+            Arc::new(IndexedOp { parent, f }),
+        )
+    }
+
+    /// `take`: the first `n` records in partition order (action).
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let started = Instant::now();
+        let mut out = Vec::with_capacity(n);
+        for p in 0..self.partitions {
+            if out.len() >= n {
+                break;
+            }
+            let part = self.compute(p);
+            out.extend(part.iter().take(n - out.len()).cloned());
+        }
+        self.ctx.record_span("take", started);
+        out
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Clone + Send + Sync + std::hash::Hash + Ord + 'static,
+{
+    /// `distinct`: deduplicates via a shuffle (wide).
+    pub fn distinct(&self) -> Rdd<T> {
+        self.map(|t| (t.clone(), ()))
+            .reduce_by_key(|_, _| {})
+            .map(|(t, _)| t.clone())
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Clone + Send + Sync + Hash + Ord + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// `groupByKey`: full grouping without a combiner (the expensive
+    /// pattern `reduceByKey` exists to avoid).
+    pub fn group_by_key(&self) -> Rdd<(K, Vec<V>)> {
+        self.map(|(k, v)| (k.clone(), vec![v.clone()]))
+            .reduce_by_key(|acc, mut v| acc.append(&mut v))
+    }
+
+    /// `sortByKey`: total sort via a sampled range partitioner.
+    pub fn sort_by_key(&self) -> Rdd<(K, V)> {
+        let sample: Vec<K> = self
+            .map(|(k, _)| k.clone())
+            .collect()
+            .into_iter()
+            .step_by(7)
+            .collect();
+        let parts = self.ctx.default_parallelism();
+        let partitioner = Arc::new(
+            flowmark_dataflow::partitioner::RangePartitioner::from_sample(sample, parts),
+        );
+        self.repartition_and_sort_within_partitions(partitioner)
+    }
+
+    /// `countByKey` (action).
+    pub fn count_by_key(&self) -> HashMap<K, u64> {
+        self.map(|(k, _)| (k.clone(), 1u64))
+            .reduce_by_key(|a, b| *a += b)
+            .collect_as_map()
+    }
+
+    /// `keys` projection.
+    pub fn keys(&self) -> Rdd<K> {
+        self.map(|(k, _)| k.clone())
+    }
+
+    /// `values` projection.
+    pub fn values(&self) -> Rdd<V> {
+        self.map(|(_, v)| v.clone())
+    }
+
+    /// `cogroup`: groups both sides by key (the substrate of GraphX's
+    /// vertex/edge joins).
+    pub fn cogroup<W>(&self, other: &Rdd<(K, W)>) -> Rdd<(K, (Vec<V>, Vec<W>))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let left = self.map(|(k, v)| (k.clone(), (Some(v.clone()), None::<W>)));
+        let right = other.map(|(k, w)| (k.clone(), (None::<V>, Some(w.clone()))));
+        left.union(&right)
+            .map(|(k, vw)| (k.clone(), vec![vw.clone()]))
+            .reduce_by_key(|acc, mut v| acc.append(&mut v))
+            .map(|(k, tagged)| {
+                let mut vs = Vec::new();
+                let mut ws = Vec::new();
+                for (v, w) in tagged {
+                    if let Some(v) = v {
+                        vs.push(v.clone());
+                    }
+                    if let Some(w) = w {
+                        ws.push(w.clone());
+                    }
+                }
+                (k.clone(), (vs, ws))
+            })
+    }
+}
+
+struct UnionOp<T> {
+    left: Rdd<T>,
+    right: Rdd<T>,
+    split: usize,
+}
+
+impl<T: Clone + Send + Sync + 'static> RddOp<T> for UnionOp<T> {
+    fn compute(&self, part: usize) -> Vec<T> {
+        if part < self.split {
+            (*self.left.compute(part)).clone()
+        } else {
+            (*self.right.compute(part - self.split)).clone()
+        }
+    }
+}
+
+struct SampleOp<T> {
+    parent: Rdd<T>,
+    fraction: f64,
+    seed: u64,
+}
+
+impl<T: Clone + Send + Sync + 'static> RddOp<T> for SampleOp<T> {
+    fn compute(&self, part: usize) -> Vec<T> {
+        // Deterministic per-record coin flips from a splitmix stream.
+        let data = self.parent.compute(part);
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(part as u64);
+        data.iter()
+            .filter(|_| {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                u < self.fraction
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+struct CoalesceOp<T> {
+    parent: Rdd<T>,
+    n: usize,
+}
+
+impl<T: Clone + Send + Sync + 'static> RddOp<T> for CoalesceOp<T> {
+    fn compute(&self, part: usize) -> Vec<T> {
+        let parents = self.parent.num_partitions();
+        let mut out = Vec::new();
+        // Partition `part` owns the parent partitions ≡ part (mod n).
+        let mut p = part;
+        while p < parents {
+            out.extend(self.parent.compute(p).iter().cloned());
+            p += self.n;
+        }
+        out
+    }
+}
+
+struct IndexedOp<T, U, F>
+where
+    F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+{
+    parent: Rdd<T>,
+    f: F,
+}
+
+impl<T, U, F> RddOp<U> for IndexedOp<T, U, F>
+where
+    T: Clone + Send + Sync + 'static,
+    U: Send + Sync,
+    F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+{
+    fn compute(&self, part: usize) -> Vec<U> {
+        (self.f)(part, &self.parent.compute(part))
+    }
+}
+
+/// A shuffle dependency: materialised exactly once, then served per
+/// partition — Spark's shuffle files outliving the stage that wrote them.
+struct ShuffleOp<K, V> {
+    partitions: usize,
+    materialise: Box<dyn Fn() -> Vec<Vec<(K, V)>> + Send + Sync>,
+    output: OnceLock<Vec<Vec<(K, V)>>>,
+}
+
+impl<K, V> ShuffleOp<K, V> {
+    fn new<F>(partitions: usize, materialise: F) -> Self
+    where
+        F: Fn() -> Vec<Vec<(K, V)>> + Send + Sync + 'static,
+    {
+        Self {
+            partitions,
+            materialise: Box::new(materialise),
+            output: OnceLock::new(),
+        }
+    }
+}
+
+impl<K, V> RddOp<(K, V)> for ShuffleOp<K, V>
+where
+    K: Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn compute(&self, part: usize) -> Vec<(K, V)> {
+        debug_assert!(part < self.partitions);
+        let all = self.output.get_or_init(|| (self.materialise)());
+        all[part].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(4, 64 << 20)
+    }
+
+    #[test]
+    fn parallelize_partitions_everything() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..100).collect::<Vec<u32>>(), 7);
+        assert_eq!(rdd.num_partitions(), 7);
+        let mut all = rdd.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_filter_count() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..1000).collect::<Vec<u32>>(), 4);
+        let n = rdd.map(|x| x * 2).filter(|x| x % 3 == 0).count();
+        assert_eq!(n, 334); // 0,6,12,...,1998 → x*2 % 3 == 0 ⇔ x % 3 == 0
+    }
+
+    #[test]
+    fn reduce_by_key_matches_oracle() {
+        let sc = ctx();
+        let words: Vec<(String, u64)> = (0..2000)
+            .map(|i| (format!("w{}", i % 37), 1u64))
+            .collect();
+        let rdd = sc.parallelize(words, 8);
+        let counts = rdd.reduce_by_key(|a, b| *a += b).collect_as_map();
+        assert_eq!(counts.len(), 37);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn rdds_are_ephemeral_without_persist() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..10).collect::<Vec<u32>>(), 2).map(|x| x + 1);
+        let calls_before = sc.metrics().compute_calls();
+        let _ = rdd.count();
+        let _ = rdd.count();
+        let calls_after = sc.metrics().compute_calls();
+        // Two actions recompute the lineage twice: 2 × (2 map + 2 source).
+        assert_eq!(calls_after - calls_before, 8);
+    }
+
+    #[test]
+    fn persist_truncates_recomputation() {
+        let sc = ctx();
+        let rdd = sc
+            .parallelize((0..10).collect::<Vec<u32>>(), 2)
+            .map(|x| x + 1)
+            .persist(StorageLevel::MemoryOnly);
+        let _ = rdd.count(); // computes + caches
+        let calls_mid = sc.metrics().compute_calls();
+        let _ = rdd.count(); // served from cache
+        assert_eq!(sc.metrics().compute_calls(), calls_mid);
+        assert_eq!(sc.metrics().cache_hits(), 2);
+    }
+
+    #[test]
+    fn shuffle_materialises_once() {
+        let sc = ctx();
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 5, 1u64)).collect();
+        let counts = sc.parallelize(pairs, 4).reduce_by_key(|a, b| *a += b);
+        let shuffles_before = sc.metrics().records_shuffled();
+        let _ = counts.count();
+        let shuffled_once = sc.metrics().records_shuffled() - shuffles_before;
+        let _ = counts.count();
+        // Second action reuses the materialised shuffle output.
+        assert_eq!(sc.metrics().records_shuffled() - shuffles_before, shuffled_once);
+        assert!(shuffled_once > 0);
+    }
+
+    #[test]
+    fn map_side_combine_shrinks_shuffle() {
+        let sc = ctx();
+        // 10_000 records, only 3 distinct keys.
+        let pairs: Vec<(String, u64)> = (0..10_000)
+            .map(|i| (format!("k{}", i % 3), 1u64))
+            .collect();
+        let _ = sc
+            .parallelize(pairs, 4)
+            .reduce_by_key(|a, b| *a += b)
+            .collect();
+        // At most keys×partitions×buckets records cross the shuffle.
+        assert!(sc.metrics().records_shuffled() <= 3 * 4 * 4);
+        assert!(sc.metrics().combine_ratio() < 0.05);
+    }
+
+    #[test]
+    fn repartition_and_sort_sorts_within_partitions() {
+        let sc = ctx();
+        let pairs: Vec<(u32, u32)> = (0..1000u32).rev().map(|i| (i, i)).collect();
+        let part = Arc::new(flowmark_dataflow::partitioner::RangePartitioner::new(vec![
+            250u32, 500, 750,
+        ]));
+        let sorted = sc
+            .parallelize(pairs, 4)
+            .repartition_and_sort_within_partitions(part);
+        for p in 0..sorted.num_partitions() {
+            let data = sorted.compute(p);
+            assert!(data.windows(2).all(|w| w[0].0 <= w[1].0), "partition {p}");
+        }
+        // Global order: concatenation of partitions is fully sorted.
+        let mut all = Vec::new();
+        for p in 0..sorted.num_partitions() {
+            all.extend(sorted.compute(p).iter().map(|kv| kv.0));
+        }
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn join_matches_oracle() {
+        let sc = ctx();
+        let left: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into()), (2, "c".into())];
+        let right: Vec<(u32, u64)> = vec![(2, 20), (3, 30)];
+        let joined = sc.parallelize(left, 2).join(&sc.parallelize(right, 2));
+        let mut out = joined.collect();
+        out.sort_by(|a, b| a.1 .1.cmp(&b.1 .1).then(a.1 .0.cmp(&b.1 .0)));
+        assert_eq!(
+            out,
+            vec![
+                (2, ("b".to_string(), 20)),
+                (2, ("c".to_string(), 20))
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_unrolling_launches_tasks_per_iteration() {
+        let sc = ctx();
+        let data = sc
+            .parallelize((0..100).map(|i| i as f64).collect::<Vec<_>>(), 4)
+            .persist(StorageLevel::MemoryOnly);
+        let mut centroid = 0.0f64;
+        let before = sc.metrics().tasks_launched();
+        for _ in 0..5 {
+            let c = centroid;
+            let sum = sc
+                .parallelize(vec![0.0f64], 1) // trivial guard rdd, unused
+                .map(|_| 0.0)
+                .count(); // keep the driver honest about laziness
+            let _ = sum;
+            centroid = data.map(move |x| x + c).reduce(|a, b| a + b).unwrap() / 100.0;
+            sc.metrics().add_iterations_run(1);
+        }
+        let launched = sc.metrics().tasks_launched() - before;
+        // Each iteration schedules a fresh wave (≥ 4 tasks per round).
+        assert!(launched >= 5 * 4, "launched only {launched}");
+        assert_eq!(sc.metrics().iterations_run(), 5);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1u32, 2], 2);
+        let b = sc.parallelize(vec![3u32, 4, 5], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 4);
+        let mut all = u.collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let sc = ctx();
+        let rdd = sc.parallelize(vec![3u32, 1, 3, 2, 1, 1], 3);
+        let mut out = rdd.distinct().collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..10_000u32).collect::<Vec<_>>(), 4);
+        let s1 = rdd.sample(0.25, 7).count();
+        let s2 = rdd.sample(0.25, 7).count();
+        assert_eq!(s1, s2);
+        assert!((s1 as f64 - 2500.0).abs() < 300.0, "sampled {s1}");
+        assert_eq!(rdd.sample(0.0, 7).count(), 0);
+        assert_eq!(rdd.sample(1.0, 7).count(), 10_000);
+    }
+
+    #[test]
+    fn coalesce_preserves_data() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..100u32).collect::<Vec<_>>(), 8);
+        let c = rdd.coalesce(3);
+        assert_eq!(c.num_partitions(), 3);
+        let mut all = c.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+        // Coalescing beyond the parent count clamps.
+        assert_eq!(rdd.coalesce(100).num_partitions(), 8);
+    }
+
+    #[test]
+    fn map_partitions_with_index_sees_indices() {
+        let sc = ctx();
+        let rdd = sc.parallelize(vec![0u32; 12], 4);
+        let tagged = rdd.map_partitions_with_index(|i, part| vec![(i, part.len())]);
+        let mut out = tagged.collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn take_respects_partition_order() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..100u32).collect::<Vec<_>>(), 4);
+        assert_eq!(rdd.take(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rdd.take(0).len(), 0);
+        assert_eq!(rdd.take(1000).len(), 100);
+    }
+
+    #[test]
+    fn group_by_key_and_count_by_key() {
+        let sc = ctx();
+        let pairs: Vec<(u32, u32)> = vec![(1, 10), (2, 20), (1, 11), (1, 12)];
+        let rdd = sc.parallelize(pairs, 2);
+        let grouped = rdd.group_by_key().collect_as_map();
+        let mut ones = grouped[&1].clone();
+        ones.sort_unstable();
+        assert_eq!(ones, vec![10, 11, 12]);
+        assert_eq!(grouped[&2], vec![20]);
+        let counts = rdd.count_by_key();
+        assert_eq!(counts[&1], 3);
+        assert_eq!(counts[&2], 1);
+    }
+
+    #[test]
+    fn sort_by_key_totally_orders() {
+        let sc = ctx();
+        let pairs: Vec<(u32, u32)> = (0..500u32).rev().map(|i| (i, i)).collect();
+        let sorted = sc.parallelize(pairs, 4).sort_by_key();
+        let mut all = Vec::new();
+        for p in 0..sorted.num_partitions() {
+            all.extend(sorted.compute(p).iter().map(|kv| kv.0));
+        }
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cogroup_groups_both_sides() {
+        let sc = ctx();
+        let left: Vec<(u32, &str)> = vec![(1, "a"), (1, "b"), (2, "c")];
+        let right: Vec<(u32, u32)> = vec![(1, 10), (3, 30)];
+        let left = sc.parallelize(left.into_iter().map(|(k, v)| (k, v.to_string())).collect::<Vec<_>>(), 2);
+        let right = sc.parallelize(right, 2);
+        let cg = left.cogroup(&right).collect_as_map();
+        let (mut vs, ws) = cg[&1].clone();
+        vs.sort();
+        assert_eq!(vs, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(ws, vec![10]);
+        assert_eq!(cg[&2].0, vec!["c".to_string()]);
+        assert!(cg[&2].1.is_empty());
+        assert!(cg[&3].0.is_empty());
+        assert_eq!(cg[&3].1, vec![30]);
+    }
+
+    #[test]
+    fn keys_values_projections() {
+        let sc = ctx();
+        let rdd = sc.parallelize(vec![(1u32, "x".to_string()), (2, "y".to_string())], 2);
+        let mut ks = rdd.keys().collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![1, 2]);
+        let mut vs = rdd.values().collect();
+        vs.sort();
+        assert_eq!(vs, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn trace_records_shuffle_and_action_spans() {
+        let sc = ctx();
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 5, 1)).collect();
+        let _ = sc.parallelize(pairs, 2).reduce_by_key(|a, b| *a += b).collect();
+        let trace = sc.trace();
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"shuffle:reduceByKey"));
+        assert!(names.contains(&"collect"));
+    }
+}

@@ -1,0 +1,229 @@
+//! `repro` — the command-line reproduction driver.
+//!
+//! ```text
+//! repro list              # list experiment ids
+//! repro fig1              # run one figure and print it
+//! repro table7            # run Table VII
+//! repro calibration       # paper-vs-simulated calibration table
+//! repro all               # regenerate EXPERIMENTS.md content to stdout
+//! ```
+
+use flowmark_core::report::{render_correlation, render_figure, render_series};
+use flowmark_core::telemetry::ResourceKind;
+use flowmark_harness::experiments::{self, ResourceFigure};
+use flowmark_harness::{calibration_report, check_shape, paper, report};
+use flowmark_sim::Calibration;
+
+fn print_resource_figure(rf: &ResourceFigure) {
+    println!("## {} — {}\n", rf.id, rf.title);
+    for (name, result, rep) in [
+        ("Flink", &rf.flink, &rf.flink_report),
+        ("Spark", &rf.spark, &rf.spark_report),
+    ] {
+        println!(
+            "{name}: total {:.0}s, pipelining degree {:.2}",
+            result.seconds, rep.pipelining_degree
+        );
+        print!("{}", render_correlation(rep));
+        for kind in ResourceKind::ALL {
+            let series = result.telemetry.mean_channel(kind);
+            let max = if kind.is_percentage() {
+                100.0
+            } else {
+                series.summary().max.max(1.0)
+            };
+            print!("{}", render_series(kind.label(), &series, max, 72));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let cal = Calibration::default();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".into());
+    match arg.as_str() {
+        "list" => {
+            println!("time figures : fig1 fig2 fig4 fig5 fig7 fig8 fig11 fig12 fig13 fig14 fig15");
+            println!("resources    : fig3 fig6 fig9 fig10 fig16 fig17");
+            println!("tables       : table1 table7");
+            println!("ablations    : abl-delta abl-serde abl-par abl-part abl-mem");
+            println!("meta         : calibration verify all export <figN>");
+        }
+        "table1" => {
+            use flowmark_core::config::Framework;
+            use flowmark_workloads::Workload;
+            println!("Table I — operators used by each workload (F/S annotations):");
+            for w in Workload::ALL {
+                for fw in Framework::BOTH {
+                    let ops: Vec<String> = w
+                        .operator_table(fw)
+                        .iter()
+                        .map(|o| o.to_string())
+                        .collect();
+                    println!("  {:<3} {:<5} {}", w.abbrev(), fw.name(), ops.join(", "));
+                }
+            }
+        }
+        "export" => {
+            use flowmark_core::export::{figure_to_csv, figure_to_json};
+            let which = std::env::args().nth(2).unwrap_or_else(|| "fig1".into());
+            let fig = match which.as_str() {
+                "fig1" => experiments::fig1(&cal),
+                "fig2" => experiments::fig2(&cal),
+                "fig4" => experiments::fig4(&cal),
+                "fig5" => experiments::fig5(&cal),
+                "fig7" => experiments::fig7(&cal),
+                "fig8" => experiments::fig8(&cal),
+                "fig11" => experiments::fig11(&cal),
+                "fig12" => experiments::fig12(&cal),
+                "fig13" => experiments::fig13(&cal),
+                "fig14" => experiments::fig14(&cal),
+                "fig15" => experiments::fig15(&cal),
+                other => {
+                    eprintln!("cannot export '{other}' (time figures only)");
+                    std::process::exit(2);
+                }
+            };
+            std::fs::create_dir_all("artifacts").expect("mkdir artifacts");
+            let json_path = format!("artifacts/{which}.json");
+            let csv_path = format!("artifacts/{which}.csv");
+            std::fs::write(&json_path, figure_to_json(&fig)).expect("write json");
+            std::fs::write(&csv_path, figure_to_csv(&fig)).expect("write csv");
+            println!("wrote {json_path} and {csv_path}");
+        }
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig7" | "fig8" | "fig11" | "fig12" | "fig13"
+        | "fig14" | "fig15" => {
+            let fig = match arg.as_str() {
+                "fig1" => experiments::fig1(&cal),
+                "fig2" => experiments::fig2(&cal),
+                "fig4" => experiments::fig4(&cal),
+                "fig5" => experiments::fig5(&cal),
+                "fig7" => experiments::fig7(&cal),
+                "fig8" => experiments::fig8(&cal),
+                "fig11" => experiments::fig11(&cal),
+                "fig12" => experiments::fig12(&cal),
+                "fig13" => experiments::fig13(&cal),
+                "fig14" => experiments::fig14(&cal),
+                _ => experiments::fig15(&cal),
+            };
+            print!("{}", render_figure(&fig));
+            let expect_id = if arg == "fig1" { "fig1-large" } else { arg.as_str() };
+            let check = check_shape(&fig, paper::expected_winner(expect_id));
+            println!(
+                "shape: {} — {}",
+                check.verdict,
+                if check.matches_paper {
+                    "matches the paper"
+                } else {
+                    "DOES NOT match the paper"
+                }
+            );
+        }
+        "fig3" => print_resource_figure(&experiments::fig3(&cal)),
+        "fig6" => print_resource_figure(&experiments::fig6(&cal)),
+        "fig9" => print_resource_figure(&experiments::fig9(&cal)),
+        "fig10" => print_resource_figure(&experiments::fig10(&cal)),
+        "fig16" => print_resource_figure(&experiments::fig16(&cal)),
+        "fig17" => print_resource_figure(&experiments::fig17(&cal)),
+        "table7" => {
+            for r in experiments::table7(&cal) {
+                println!(
+                    "{:>3} nodes | Flink PR {}/{} | Spark PR {}/{} | Flink CC {}/{} | Spark CC {}/{}",
+                    r.nodes,
+                    r.flink_pr.0.render(),
+                    r.flink_pr.1.render(),
+                    r.spark_pr.0.render(),
+                    r.spark_pr.1.render(),
+                    r.flink_cc.0.render(),
+                    r.flink_cc.1.render(),
+                    r.spark_cc.0.render(),
+                    r.spark_cc.1.render(),
+                );
+            }
+        }
+        "abl-delta" => {
+            let (bulk, delta) = experiments::ablation_delta(&cal);
+            println!("CC Medium 27n: bulk {bulk:.0}s, delta {delta:.0}s ({:.2}x)", bulk / delta);
+        }
+        "abl-serde" => {
+            let (java, kryo) = experiments::ablation_serializer(&cal);
+            println!("Spark WC 16n: Java {java:.0}s, Kryo {kryo:.0}s");
+        }
+        "abl-par" => {
+            let (tuned, reduced) = experiments::ablation_parallelism(&cal);
+            println!(
+                "Spark WC 8n: tuned {tuned:.0}s, 2xcores {reduced:.0}s ({:+.1}%)",
+                (reduced - tuned) / tuned * 100.0
+            );
+        }
+        "abl-part" => {
+            for (ep, t) in experiments::ablation_partitions(&cal) {
+                println!("PR Medium 24n, spark.edge.partition = {ep:>5}: {t:.0}s");
+            }
+        }
+        "abl-mem" => {
+            let (s, f) = experiments::ablation_terasort_memory(&cal);
+            println!("TeraSort 27n x 75GB: Spark {s:.0}s, Flink {f:.0}s");
+        }
+        "verify" => {
+            // CI-style check: every time figure's winner must match the
+            // paper's expectation; exits non-zero otherwise.
+            let checks = [
+                ("fig1-large", experiments::fig1(&cal)),
+                ("fig2", experiments::fig2(&cal)),
+                ("fig4", experiments::fig4(&cal)),
+                ("fig5", experiments::fig5(&cal)),
+                ("fig7", experiments::fig7(&cal)),
+                ("fig8", experiments::fig8(&cal)),
+                ("fig11", experiments::fig11(&cal)),
+                ("fig12", experiments::fig12(&cal)),
+                ("fig13", experiments::fig13(&cal)),
+                ("fig14", experiments::fig14(&cal)),
+                ("fig15", experiments::fig15(&cal)),
+            ];
+            let mut failures = 0;
+            for (id, fig) in checks {
+                let c = check_shape(&fig, paper::expected_winner(id));
+                println!(
+                    "{:<12} {} — {}",
+                    fig.id,
+                    if c.matches_paper { "OK " } else { "FAIL" },
+                    c.verdict
+                );
+                if !c.matches_paper {
+                    failures += 1;
+                }
+            }
+            // Table VII failure pattern.
+            let rows = experiments::table7(&cal);
+            let t7_ok = rows.iter().all(|r| match r.nodes {
+                27 | 44 => {
+                    r.flink_pr.0.is_failure()
+                        && r.spark_pr.1.is_failure()
+                        && !r.spark_cc.1.is_failure()
+                }
+                97 => {
+                    !r.flink_pr.1.is_failure()
+                        && !r.spark_pr.1.is_failure()
+                        && !r.flink_cc.1.is_failure()
+                }
+                _ => true,
+            });
+            println!("table7       {} — failure pattern", if t7_ok { "OK " } else { "FAIL" });
+            if !t7_ok {
+                failures += 1;
+            }
+            if failures > 0 {
+                eprintln!("{failures} shape check(s) failed");
+                std::process::exit(1);
+            }
+            println!("all shapes match the paper");
+        }
+        "calibration" => print!("{}", calibration_report(&cal)),
+        "all" => print!("{}", report::experiments_markdown(&cal)),
+        other => {
+            eprintln!("unknown experiment '{other}'; try `repro list`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Reference values transcribed from the paper's figures and tables.
+//!
+//! Time figures are read off the plots (± plot-reading error, which is why
+//! EXPERIMENTS.md compares *shapes* — winners, gaps, crossovers — and
+//! treats absolute times as approximate targets). Figures 3, 6, 9, 10, 16
+//! and 17 state the total execution times in their captions; those are
+//! exact.
+
+/// One paper reference point: expected Spark and Flink times, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ref {
+    /// X value (nodes or GB/node).
+    pub x: f64,
+    /// Spark seconds (None when the paper does not give it).
+    pub spark: Option<f64>,
+    /// Flink seconds.
+    pub flink: Option<f64>,
+}
+
+/// Fig 3 caption: Word Count, 32 nodes, 768 GB.
+pub const WC_32_NODES: Ref = Ref {
+    x: 32.0,
+    spark: Some(572.0),
+    flink: Some(543.0),
+};
+
+/// Fig 6 caption: Grep, 32 nodes, 768 GB.
+pub const GREP_32_NODES: Ref = Ref {
+    x: 32.0,
+    spark: Some(275.0),
+    flink: Some(331.0),
+};
+
+/// Fig 9 caption: Tera Sort, 55 nodes, 3.5 TB.
+pub const TERASORT_55_NODES: Ref = Ref {
+    x: 55.0,
+    spark: Some(5079.0),
+    flink: Some(4669.0),
+};
+
+/// Fig 10 caption: K-Means, 24 nodes, 10 iterations, 1.2 B samples.
+pub const KMEANS_24_NODES: Ref = Ref {
+    x: 24.0,
+    spark: Some(278.0),
+    flink: Some(244.0),
+};
+
+/// Fig 16 caption: Page Rank, 27 nodes, 20 iterations, Small graph.
+pub const PAGERANK_SMALL_27_NODES: Ref = Ref {
+    x: 27.0,
+    spark: Some(232.0),
+    flink: Some(192.0),
+};
+
+/// Fig 17 caption: Connected Components, 27 nodes, 23 iterations, Medium
+/// graph.
+pub const CC_MEDIUM_27_NODES: Ref = Ref {
+    x: 27.0,
+    spark: Some(388.0),
+    flink: Some(267.0),
+};
+
+/// Table VII, exactly as printed ("no" = failure).
+/// Rows: (nodes, spark_pr_load, spark_pr_iter, flink_pr_load,
+/// flink_pr_iter, spark_cc_load, spark_cc_iter, flink_cc_load,
+/// flink_cc_iter); `None` = "no".
+pub const TABLE_VII: [(u32, Option<f64>, Option<f64>, Option<f64>, Option<f64>, Option<f64>, Option<f64>, Option<f64>, Option<f64>); 3] = [
+    (
+        27,
+        Some(3977.0),
+        None,
+        None,
+        None,
+        Some(3717.0),
+        Some(3948.0),
+        None,
+        None,
+    ),
+    (
+        44,
+        Some(667.0),
+        None,
+        None,
+        None,
+        Some(798.0),
+        Some(978.0),
+        None,
+        None,
+    ),
+    (
+        97,
+        Some(418.0),
+        Some(596.0),
+        Some(1096.0),
+        Some(645.0),
+        Some(357.0),
+        Some(529.0),
+        Some(580.0),
+        Some(1268.0),
+    ),
+];
+
+/// §VIII headline ratios: "Spark is about 1.7x faster than Flink for large
+/// graph processing, while the latter outperforms Spark up to 1.5x for
+/// batch and small graph workloads."
+pub const LARGE_GRAPH_SPARK_ADVANTAGE: f64 = 1.7;
+
+/// Expected winners per experiment family (the shape EXPERIMENTS.md
+/// verifies). `true` = Flink wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedWinner {
+    /// Flink faster.
+    Flink,
+    /// Spark faster.
+    Spark,
+    /// Within noise of each other.
+    Tie,
+}
+
+/// The paper's qualitative verdicts.
+pub fn expected_winner(experiment: &str) -> ExpectedWinner {
+    match experiment {
+        // Word Count: "Flink performs slightly better" at 16/32 nodes,
+        // "Flink constantly outperforming Spark by 10%" on Fig 2.
+        "fig1-large" | "fig2" => ExpectedWinner::Flink,
+        "fig1-small" => ExpectedWinner::Tie,
+        // Grep: "an improved execution for Spark, with up to 20% smaller
+        // times for large datasets".
+        "fig4" | "fig5" => ExpectedWinner::Spark,
+        // Tera Sort: "Flink is performing on average better than Spark".
+        "fig7" | "fig8" => ExpectedWinner::Flink,
+        // K-Means: Flink "outperform[s] by more than 10%".
+        "fig11" => ExpectedWinner::Flink,
+        // Small graphs: Flink better; CC medium: Flink up to 30% better.
+        "fig12" | "fig14" | "fig15" => ExpectedWinner::Flink,
+        // PR medium: the paper's text asserts no winner (§VIII claims
+        // Flink's advantage only for batch and *small graph* workloads;
+        // §VI-E discusses configuration sensitivity for both engines).
+        // Our model leans Spark here because Flink's count-vertices job
+        // re-reads the 30 GB dataset and Table VI caps Flink's parallelism
+        // below the core count.
+        "fig13" => ExpectedWinner::Tie,
+        // Large graph at 97 nodes: Spark ~1.7×.
+        "table7" => ExpectedWinner::Spark,
+        _ => ExpectedWinner::Tie,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caption_totals_are_transcribed() {
+        assert_eq!(WC_32_NODES.spark, Some(572.0));
+        assert_eq!(WC_32_NODES.flink, Some(543.0));
+        assert_eq!(TERASORT_55_NODES.flink, Some(4669.0));
+        assert_eq!(CC_MEDIUM_27_NODES.spark, Some(388.0));
+    }
+
+    #[test]
+    fn table_vii_failures_match_paper() {
+        // Flink fails everywhere except 97 nodes.
+        let (n27, .., f27_load, f27_iter) = (
+            TABLE_VII[0].0,
+            TABLE_VII[0].7,
+            TABLE_VII[0].8,
+        );
+        assert_eq!(n27, 27);
+        assert!(f27_load.is_none() && f27_iter.is_none());
+        let row97 = TABLE_VII[2];
+        assert_eq!(row97.0, 97);
+        assert!(row97.3.is_some() && row97.4.is_some());
+    }
+
+    #[test]
+    fn winners_cover_all_families() {
+        assert_eq!(expected_winner("fig4"), ExpectedWinner::Spark);
+        assert_eq!(expected_winner("fig8"), ExpectedWinner::Flink);
+        assert_eq!(expected_winner("unknown"), ExpectedWinner::Tie);
+    }
+}

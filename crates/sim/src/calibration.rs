@@ -1,0 +1,171 @@
+//! Every tunable constant of the simulator, in one place.
+//!
+//! The cost model's *mechanisms* (barriers vs overlap, dispatch cost ×
+//! loop unrolling, GC ∝ heap pressure, spill past memory, bandwidth
+//! sharing, compression) are structural; the constants below set their
+//! magnitudes. They were calibrated once against the paper's absolute
+//! times (Figs 1-17, Table VII) and are never varied per experiment —
+//! every figure reproduction runs the same calibration, so the *shapes*
+//! (who wins where, crossovers, failures) are emergent.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulator constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    // ---- scheduling -------------------------------------------------------
+    /// Driver-side cost to launch one task, milliseconds (Spark task
+    /// serialization + RPC; the per-iteration price of loop unrolling).
+    pub task_dispatch_ms: f64,
+    /// Concurrent dispatch streams at the driver.
+    pub dispatch_parallelism: f64,
+    /// Fixed per-stage overhead, seconds (stage commit, result handling).
+    pub stage_overhead_s: f64,
+    /// Driver round trip of an action stage (job submit + result collect) —
+    /// paid once per unrolled iteration in driver-loop jobs.
+    pub spark_action_latency_s: f64,
+    /// Disk-seek cost per (mapper, reducer) shuffle-file pair, microseconds
+    /// — quadratic in the partition count, the "more files to handle"
+    /// penalty of over-partitioned GraphX jobs (§VI-E).
+    pub shuffle_file_seek_us: f64,
+    /// One-time pipelined job deployment, seconds.
+    pub flink_deploy_s: f64,
+    /// Iteration superstep barrier, seconds per round (Flink sync).
+    pub flink_sync_per_round_s: f64,
+
+    // ---- pipelining geometry ----------------------------------------------
+    /// Span start offset per pipeline depth, as a fraction of group time.
+    pub pipeline_fill_fraction: f64,
+    /// Extra start offset for phases downstream of a pipeline breaker.
+    pub breaker_delay_fraction: f64,
+    /// Coefficient of variation of the I/O-interference noise applied to
+    /// pipelined groups whose disk is contended (the paper's "high variance
+    /// ... explained by the I/O interference in Flink's execution due to
+    /// its pipeline nature", §VI-C).
+    pub interference_cv: f64,
+    /// CV of the baseline run-to-run noise applied to every phase.
+    pub base_noise_cv: f64,
+
+    // ---- data plane --------------------------------------------------------
+    /// Spark map-output compression ratio (bytes on wire / bytes produced).
+    pub compression_ratio: f64,
+    /// CPU nanoseconds per byte compressed.
+    pub compression_cpu_ns_per_byte: f64,
+    /// HDFS output replication factor (network copies of sink bytes).
+    pub hdfs_replication_out: f64,
+    /// Fraction of HDFS input read from a remote node (non-local tasks).
+    pub hdfs_remote_read_fraction: f64,
+    /// Framework CPU nanoseconds per record crossing a shuffle boundary
+    /// (serialization framing, buffer management), before serializer
+    /// multipliers.
+    pub shuffle_cpu_ns_per_record: f64,
+    /// Framework CPU nanoseconds per record entering an aggregation
+    /// (combine/reduce bookkeeping: hashing or serialized-form compares);
+    /// multiplied by the serializer CPU factor — the §VI-A gap between
+    /// Flink's type-oriented serialization and Spark's Java serializer.
+    pub agg_cpu_ns_per_record: f64,
+    /// Effective HDFS sequential-read efficiency vs raw disk bandwidth
+    /// (checksums, protocol, short reads).
+    pub hdfs_read_efficiency: f64,
+    /// Disk bandwidth efficiency when reads and writes interleave on the
+    /// single spindle (seek overhead); 1.0 = no penalty. Applied to staged
+    /// execution, where only the streams of one stage interleave.
+    pub mixed_io_efficiency: f64,
+    /// Interleaved-I/O efficiency for *pipelined* execution, where every
+    /// stream of the whole job shares the spindle simultaneously — lower
+    /// than the staged value (the §VI-C "I/O interference in Flink's
+    /// execution due to its pipeline nature").
+    pub pipelined_io_efficiency: f64,
+    /// Extra CPU factor of Flink's sort-based combine relative to plain
+    /// hashing (serialized-form comparisons, run merging).
+    pub flink_sort_agg_factor: f64,
+
+    // ---- memory ------------------------------------------------------------
+    /// Spark's heap expansion: JVM object bytes per raw data byte ("Java
+    /// objects increase the space overhead", §VIII).
+    pub java_object_overhead: f64,
+    /// Fraction of executor heap usable for execution working sets.
+    pub spark_exec_heap_share: f64,
+    /// Demand multiplier of the *first* unrolled iteration: the lazily
+    /// persisted input RDD materialises during round one (Fig 10's 200 s
+    /// first wave, Fig 16's 33 s first iteration).
+    pub spark_first_iteration_factor: f64,
+    /// Spill multiplier: bytes written+read per byte past the memory
+    /// budget.
+    pub spill_round_trip: f64,
+
+    // ---- graph workload memory model (Table VII) ---------------------------
+    /// Flink: bytes per vertex held in the CoGroup solution set.
+    pub flink_vertex_entry_bytes: f64,
+    /// Flink: bytes per edge resident while building/joining the graph.
+    pub flink_edge_build_bytes: f64,
+    /// Flink: fixed managed-memory demand per active task slot, GiB
+    /// (sort buffers + network buffer backing).
+    pub flink_task_buffer_gb: f64,
+    /// Spark GraphX: per-edge heap bytes of the Page Rank iteration
+    /// working set (triplets + double-buffered ranks).
+    pub spark_pr_edge_bytes: f64,
+    /// Spark GraphX: per-edge heap bytes of the Connected Components
+    /// iteration working set (labels only).
+    pub spark_cc_edge_bytes: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            task_dispatch_ms: 1.5,
+            dispatch_parallelism: 8.0,
+            stage_overhead_s: 0.25,
+            spark_action_latency_s: 1.2,
+            shuffle_file_seek_us: 3.0,
+            flink_deploy_s: 1.5,
+            flink_sync_per_round_s: 0.8,
+            pipeline_fill_fraction: 0.015,
+            breaker_delay_fraction: 0.20,
+            interference_cv: 0.06,
+            base_noise_cv: 0.015,
+            compression_ratio: 0.45,
+            compression_cpu_ns_per_byte: 2.2,
+            hdfs_replication_out: 1.0,
+            hdfs_remote_read_fraction: 0.10,
+            shuffle_cpu_ns_per_record: 120.0,
+            agg_cpu_ns_per_record: 150.0,
+            hdfs_read_efficiency: 0.65,
+            mixed_io_efficiency: 0.45,
+            pipelined_io_efficiency: 0.40,
+            flink_sort_agg_factor: 1.25,
+            java_object_overhead: 1.4,
+            spark_exec_heap_share: 0.60,
+            spark_first_iteration_factor: 2.0,
+            spill_round_trip: 2.0,
+            flink_vertex_entry_bytes: 64.0,
+            flink_edge_build_bytes: 9.6,
+            flink_task_buffer_gb: 0.40,
+            spark_pr_edge_bytes: 30.0,
+            spark_cc_edge_bytes: 14.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Calibration::default();
+        assert!(c.task_dispatch_ms > 0.0);
+        assert!(c.compression_ratio > 0.0 && c.compression_ratio < 1.0);
+        assert!(c.java_object_overhead > 1.0);
+        assert!(c.pipeline_fill_fraction < c.breaker_delay_fraction);
+        assert!(c.spark_pr_edge_bytes > c.spark_cc_edge_bytes);
+    }
+
+    #[test]
+    fn serializes_roundtrip() {
+        let c = Calibration::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Calibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

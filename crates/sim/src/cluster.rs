@@ -1,0 +1,91 @@
+//! The simulated testbed.
+//!
+//! §V: "Each node has 2 CPUs Intel Xeon E5-2630 v3 with 8 cores per CPU and
+//! 128 GB RAM. All experiments use a single disk drive with a capacity of
+//! 558 GB. The nodes are connected using a 10 Gbps ethernet."
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// RAM per node, GiB.
+    pub ram_gb: f64,
+    /// Sequential disk read bandwidth, MiB/s (single spinning disk).
+    pub disk_read_mibs: f64,
+    /// Sequential disk write bandwidth, MiB/s.
+    pub disk_write_mibs: f64,
+    /// NIC bandwidth per direction, MiB/s (10 Gbps ≈ 1192 MiB/s).
+    pub net_mibs: f64,
+    /// Disk capacity, GiB (558 on the testbed) — bounds spill/shuffle files.
+    pub disk_capacity_gb: f64,
+}
+
+impl Cluster {
+    /// The paper's Grid'5000 "paravance"-class node, `n` of them.
+    pub fn grid5000(n: u32) -> Self {
+        Self {
+            nodes: n,
+            cores_per_node: 16,
+            ram_gb: 128.0,
+            disk_read_mibs: 170.0,
+            disk_write_mibs: 140.0,
+            net_mibs: 1192.0,
+            disk_capacity_gb: 558.0,
+        }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Aggregate CPU capacity, core-seconds per second.
+    pub fn cpu_capacity(&self) -> f64 {
+        self.total_cores() as f64
+    }
+
+    /// Aggregate disk read bandwidth, MiB/s.
+    pub fn disk_read_capacity(&self) -> f64 {
+        self.nodes as f64 * self.disk_read_mibs
+    }
+
+    /// Aggregate disk write bandwidth, MiB/s.
+    pub fn disk_write_capacity(&self) -> f64 {
+        self.nodes as f64 * self.disk_write_mibs
+    }
+
+    /// Aggregate one-directional network bandwidth, MiB/s.
+    pub fn net_capacity(&self) -> f64 {
+        self.nodes as f64 * self.net_mibs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid5000_matches_section_v() {
+        let c = Cluster::grid5000(100);
+        assert_eq!(c.cores_per_node, 16); // 2 × 8
+        assert_eq!(c.ram_gb, 128.0);
+        assert_eq!(c.disk_capacity_gb, 558.0);
+        assert_eq!(c.total_cores(), 1600);
+        // 10 Gbps within 1 %.
+        assert!((c.net_mibs - 1192.0).abs() < 12.0);
+    }
+
+    #[test]
+    fn aggregate_capacities_scale_with_nodes() {
+        let small = Cluster::grid5000(2);
+        let big = Cluster::grid5000(32);
+        assert!((big.cpu_capacity() / small.cpu_capacity() - 16.0).abs() < 1e-9);
+        assert!((big.net_capacity() / small.net_capacity() - 16.0).abs() < 1e-9);
+        assert!((big.disk_read_capacity() / small.disk_read_capacity() - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,251 @@
+//! Resource demands of execution phases.
+//!
+//! Lowering (see [`crate::lower()`]) turns every Spark stage / Flink chain
+//! into a [`PhaseDemand`]: the total CPU-seconds, disk bytes and network
+//! bytes it needs from the cluster. The executors then time-share those
+//! demands on the [`crate::cluster::Cluster`]'s capacities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+
+/// Aggregate resource demand of one phase, summed over the whole cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDemand {
+    /// Display label (matches the paper's plan plots, e.g.
+    /// `"DataSource->FlatMap->GroupCombine"`).
+    pub label: String,
+    /// Core-seconds of compute.
+    pub cpu_core_seconds: f64,
+    /// Disk bytes read, MiB.
+    pub disk_read_mib: f64,
+    /// Disk bytes written, MiB (shuffle files, spills, HDFS output).
+    pub disk_write_mib: f64,
+    /// Bytes crossing the network, MiB (counted once; both NIC directions
+    /// are loaded).
+    pub net_mib: f64,
+    /// Tasks dispatched by the driver for this phase (scheduling overhead).
+    pub tasks: u64,
+    /// Peak working set across the cluster, GiB (memory telemetry + spill
+    /// decisions, made during lowering).
+    pub memory_gb: f64,
+    /// Depth of this phase in the pipeline (0 = source chain); pipelined
+    /// execution offsets span starts by depth.
+    pub depth: u32,
+    /// True when the phase sits downstream of a pipeline breaker — its
+    /// span starts only after a substantial fraction of the breaker ran.
+    pub after_breaker: bool,
+    /// Number of sort-buffer fill/drain cycles (drives the anti-cyclic
+    /// CPU/disk telemetry pattern of §VI-A); 0 = smooth usage.
+    pub combine_cycles: u32,
+    /// Fixed driver-side latency added to the phase's duration (job
+    /// submit/collect round trips for action stages).
+    #[serde(default)]
+    pub driver_latency_seconds: f64,
+}
+
+impl PhaseDemand {
+    /// Creates an empty demand with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            cpu_core_seconds: 0.0,
+            disk_read_mib: 0.0,
+            disk_write_mib: 0.0,
+            net_mib: 0.0,
+            tasks: 0,
+            memory_gb: 0.0,
+            depth: 0,
+            after_breaker: false,
+            combine_cycles: 0,
+            driver_latency_seconds: 0.0,
+        }
+    }
+
+    /// Per-resource completion times `(cpu, disk, net)` in seconds on an
+    /// otherwise idle cluster. Reads and writes share one spindle, so
+    /// their times add; the *interleaved* portion (2 × the smaller stream)
+    /// additionally pays a seek penalty: with efficiency `e < 1`,
+    /// interleaved seconds are inflated by `1/e − 1`.
+    pub fn resource_times(&self, cluster: &Cluster, mixed_io_efficiency: f64) -> (f64, f64, f64) {
+        // A phase can use at most as many cores as it has tasks — running
+        // Flink below one slot per core leaves cores idle ("Flink is less
+        // efficient because the parallelism is reduced", §VI-E).
+        let usable_cores = if self.tasks > 0 {
+            cluster.cpu_capacity().min(self.tasks as f64)
+        } else {
+            cluster.cpu_capacity()
+        };
+        let cpu = self.cpu_core_seconds / usable_cores;
+        let read = self.disk_read_mib / cluster.disk_read_capacity();
+        let write = self.disk_write_mib / cluster.disk_write_capacity();
+        let mut disk = read + write;
+        if read > 0.0 && write > 0.0 && mixed_io_efficiency > 0.0 {
+            let interleaved = 2.0 * read.min(write);
+            disk += interleaved * (1.0 / mixed_io_efficiency - 1.0);
+        }
+        let net = self.net_mib / cluster.net_capacity();
+        (cpu, disk, net)
+    }
+
+    /// The phase's *solo* duration: the bottleneck of its per-resource
+    /// times under the given interleaved-I/O efficiency.
+    pub fn solo_seconds_mixed(&self, cluster: &Cluster, mixed_io_efficiency: f64) -> f64 {
+        let (cpu, disk, net) = self.resource_times(cluster, mixed_io_efficiency);
+        cpu.max(disk).max(net)
+    }
+
+    /// [`PhaseDemand::solo_seconds_mixed`] without a seek penalty.
+    pub fn solo_seconds(&self, cluster: &Cluster) -> f64 {
+        self.solo_seconds_mixed(cluster, 1.0)
+    }
+
+    /// Adds another demand's resources into this one (phase fusion /
+    /// overlapped-group totals). Concurrent phases share the same task
+    /// slots, so the fused concurrency is the max, not the sum.
+    pub fn absorb(&mut self, other: &PhaseDemand) {
+        self.cpu_core_seconds += other.cpu_core_seconds;
+        self.disk_read_mib += other.disk_read_mib;
+        self.disk_write_mib += other.disk_write_mib;
+        self.net_mib += other.net_mib;
+        self.tasks = self.tasks.max(other.tasks);
+        self.memory_gb = self.memory_gb.max(other.memory_gb);
+        self.combine_cycles = self.combine_cycles.max(other.combine_cycles);
+    }
+
+    /// Scales all throughput-like demands by `k` (used for per-iteration
+    /// workset decay in delta iterations).
+    pub fn scaled(&self, k: f64) -> PhaseDemand {
+        PhaseDemand {
+            label: self.label.clone(),
+            cpu_core_seconds: self.cpu_core_seconds * k,
+            disk_read_mib: self.disk_read_mib * k,
+            disk_write_mib: self.disk_write_mib * k,
+            net_mib: self.net_mib * k,
+            tasks: self.tasks,
+            memory_gb: self.memory_gb,
+            depth: self.depth,
+            after_breaker: self.after_breaker,
+            combine_cycles: self.combine_cycles,
+            driver_latency_seconds: self.driver_latency_seconds,
+        }
+    }
+
+    /// True when the phase demands nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cpu_core_seconds == 0.0
+            && self.disk_read_mib == 0.0
+            && self.disk_write_mib == 0.0
+            && self.net_mib == 0.0
+    }
+}
+
+/// How the phases of a group occupy the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One after another with a barrier between them (Spark stages).
+    Sequential,
+    /// Deployed together, sharing the cluster concurrently (Flink chains).
+    Overlapped,
+}
+
+/// A group of phases plus how the engine runs them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseGroup {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// The phases.
+    pub phases: Vec<PhaseDemand>,
+    /// Pure latency added to the group's duration regardless of resources
+    /// (iteration sync barriers, job deployment).
+    pub latency_seconds: f64,
+}
+
+impl PhaseGroup {
+    /// A staged (sequential) group.
+    pub fn sequential(phases: Vec<PhaseDemand>) -> Self {
+        Self {
+            mode: ExecMode::Sequential,
+            phases,
+            latency_seconds: 0.0,
+        }
+    }
+
+    /// A pipelined (overlapped) group.
+    pub fn overlapped(phases: Vec<PhaseDemand>) -> Self {
+        Self {
+            mode: ExecMode::Overlapped,
+            phases,
+            latency_seconds: 0.0,
+        }
+    }
+
+    /// Adds pure latency (builder style).
+    pub fn with_latency(mut self, seconds: f64) -> Self {
+        self.latency_seconds = seconds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(cpu: f64, read: f64, write: f64, net: f64) -> PhaseDemand {
+        PhaseDemand {
+            cpu_core_seconds: cpu,
+            disk_read_mib: read,
+            disk_write_mib: write,
+            net_mib: net,
+            ..PhaseDemand::new("t")
+        }
+    }
+
+    #[test]
+    fn solo_seconds_is_bottleneck() {
+        let c = Cluster::grid5000(2); // 32 cores, 340 read, 280 write, 2384 net
+        // CPU-bound: 3200 core-seconds on 32 cores = 100 s.
+        assert!((demand(3200.0, 0.0, 0.0, 0.0).solo_seconds(&c) - 100.0).abs() < 1e-9);
+        // Disk-read-bound: 34 000 MiB at 340 MiB/s = 100 s.
+        assert!((demand(0.0, 34_000.0, 0.0, 0.0).solo_seconds(&c) - 100.0).abs() < 1e-9);
+        // Mixed: the max wins.
+        let d = demand(3200.0, 34_000.0, 0.0, 0.0);
+        assert!((d.solo_seconds(&c) - 100.0).abs() < 1e-9);
+        let d2 = demand(6400.0, 34_000.0, 0.0, 0.0);
+        assert!((d2.solo_seconds(&c) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_sums_flows_and_maxes_memory() {
+        let mut a = demand(10.0, 20.0, 30.0, 40.0);
+        a.memory_gb = 5.0;
+        let mut b = demand(1.0, 2.0, 3.0, 4.0);
+        b.memory_gb = 9.0;
+        b.tasks = 7;
+        a.absorb(&b);
+        assert_eq!(a.cpu_core_seconds, 11.0);
+        assert_eq!(a.disk_read_mib, 22.0);
+        assert_eq!(a.disk_write_mib, 33.0);
+        assert_eq!(a.net_mib, 44.0);
+        assert_eq!(a.tasks, 7);
+        assert_eq!(a.memory_gb, 9.0);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let mut d = demand(10.0, 20.0, 0.0, 40.0);
+        d.depth = 3;
+        d.after_breaker = true;
+        let s = d.scaled(0.5);
+        assert_eq!(s.cpu_core_seconds, 5.0);
+        assert_eq!(s.net_mib, 20.0);
+        assert_eq!(s.depth, 3);
+        assert!(s.after_breaker);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(PhaseDemand::new("x").is_empty());
+        assert!(!demand(1.0, 0.0, 0.0, 0.0).is_empty());
+    }
+}

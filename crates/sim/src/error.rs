@@ -1,0 +1,78 @@
+//! Simulated failure modes.
+//!
+//! Table VII reports "no" cells — runs that died. The simulator raises the
+//! same failures from the same mechanisms: configuration validation
+//! (task slots, network buffers) and memory exhaustion (Flink's in-memory
+//! CoGroup solution set, Spark's heap-resident iteration working set).
+
+use flowmark_core::config::{ConfigError, Framework};
+use serde::Serialize;
+
+/// A failed simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SimError {
+    /// The job's working set exceeded the engine's memory model.
+    OutOfMemory {
+        /// Which engine died.
+        framework: Framework,
+        /// What overflowed (e.g. "CoGroup solution set").
+        component: String,
+        /// GiB needed per node.
+        needed_gb: f64,
+        /// GiB available per node.
+        available_gb: f64,
+    },
+    /// The configuration was rejected at submit time.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                framework,
+                component,
+                needed_gb,
+                available_gb,
+            } => write!(
+                f,
+                "{framework}: {component} needs {needed_gb:.1} GiB/node, only {available_gb:.1} available"
+            ),
+            SimError::Config(e) => write!(f, "configuration rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_component() {
+        let e = SimError::OutOfMemory {
+            framework: Framework::Flink,
+            component: "CoGroup solution set".into(),
+            needed_gb: 16.4,
+            available_gb: 12.6,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Flink"));
+        assert!(s.contains("CoGroup"));
+        assert!(s.contains("16.4"));
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let e: SimError = ConfigError::Degenerate { parameter: "nodes" }.into();
+        assert!(matches!(e, SimError::Config(_)));
+        assert!(e.to_string().contains("nodes"));
+    }
+}

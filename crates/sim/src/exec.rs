@@ -1,0 +1,411 @@
+//! The simulation executor: phase groups → end-to-end time, operator spans
+//! and resource telemetry.
+//!
+//! Staged groups serialize their phases (barriers); overlapped groups share
+//! the cluster concurrently, so their duration is the bottleneck of the
+//! *summed* demands — the quantitative core of the paper's observation that
+//! pipelining "enables more efficient resource usage and drastically
+//! reduces the execution time" (§VI-C).
+
+use flowmark_core::prelude::*;
+
+use crate::calibration::Calibration;
+use crate::cluster::Cluster;
+use crate::demand::{ExecMode, PhaseDemand, PhaseGroup};
+use crate::noise::noise_factor;
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end execution time, seconds.
+    pub seconds: f64,
+    /// Operator/chain spans (the upper panel of the paper's figures).
+    pub trace: PlanTrace,
+    /// Resource telemetry (the lower panels).
+    pub telemetry: ClusterTelemetry,
+}
+
+/// A phase placed on the timeline.
+struct Placed<'a> {
+    phase: &'a PhaseDemand,
+    start: f64,
+    end: f64,
+}
+
+/// Executes phase groups in order; `seed` selects the trial's noise draw.
+pub fn execute(
+    cluster: &Cluster,
+    cal: &Calibration,
+    groups: &[PhaseGroup],
+    seed: u64,
+) -> SimResult {
+    let mut placed: Vec<Placed<'_>> = Vec::new();
+    let mut clock = 0.0f64;
+    let mut stream = 0u64;
+
+    for group in groups {
+        match group.mode {
+            ExecMode::Sequential => {
+                for phase in &group.phases {
+                    stream += 1;
+                    let dispatch =
+                        phase.tasks as f64 * cal.task_dispatch_ms / 1000.0 / cal.dispatch_parallelism;
+                    // Staged execution overlaps a task's CPU with its I/O
+                    // only as well as its oversubscription allows: with
+                    // `tpc` tasks per core, the non-bottleneck resource
+                    // times are hidden by a factor 1/(1+tpc) (§VI-A's
+                    // parallelism effect).
+                    let (cpu, disk, net) = phase.resource_times(cluster, cal.mixed_io_efficiency);
+                    let mut times = [cpu, disk, net];
+                    times.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                    let tpc = (phase.tasks as f64 / cluster.total_cores() as f64).max(0.5);
+                    let work = (times[0] + (times[1] + times[2]) / (1.0 + 2.0 * tpc))
+                        * noise_factor(seed, stream, cal.base_noise_cv);
+                    let dur =
+                        work + dispatch + cal.stage_overhead_s + phase.driver_latency_seconds;
+                    placed.push(Placed {
+                        phase,
+                        start: clock,
+                        end: clock + dur,
+                    });
+                    clock += dur;
+                }
+                clock += group.latency_seconds;
+            }
+            ExecMode::Overlapped => {
+                stream += 1;
+                let mut total = PhaseDemand::new("total");
+                for p in &group.phases {
+                    total.absorb(p);
+                }
+                let t_work = total.solo_seconds_mixed(cluster, cal.pipelined_io_efficiency);
+                // Disk contention (reads and writes interleaving on one
+                // spindle) is what makes pipelined runs noisy (§VI-C).
+                let contended = total.disk_read_mib > 0.0
+                    && total.disk_write_mib > 0.0
+                    && t_work > 0.0;
+                let cv = if contended {
+                    cal.interference_cv
+                } else {
+                    cal.base_noise_cv
+                };
+                let t = t_work * noise_factor(seed, stream, cv) + group.latency_seconds;
+                let max_solo = group
+                    .phases
+                    .iter()
+                    .map(|p| p.solo_seconds_mixed(cluster, cal.pipelined_io_efficiency))
+                    .fold(0.0_f64, f64::max)
+                    .max(1e-12);
+                let contention = (t / max_solo).max(1.0);
+                // Place spans: offset by depth/breaker, length by demand.
+                let mut spans: Vec<(f64, f64)> = group
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        let offset = (p.depth as f64 * cal.pipeline_fill_fraction
+                            + if p.after_breaker {
+                                cal.breaker_delay_fraction
+                            } else {
+                                0.0
+                            })
+                            * t;
+                        let dur = (p.solo_seconds_mixed(cluster, cal.pipelined_io_efficiency)
+                            * contention)
+                            .max(t * 0.002);
+                        (offset, offset + dur)
+                    })
+                    .collect();
+                // Normalise so the latest span ends exactly at t.
+                let max_end = spans.iter().map(|s| s.1).fold(0.0_f64, f64::max).max(1e-12);
+                let scale = t / max_end;
+                for s in &mut spans {
+                    s.0 *= scale;
+                    s.1 *= scale;
+                }
+                // Phases fed through a pipeline breaker, and the deepest
+                // phases of the pipeline, keep receiving data until the
+                // whole group drains (backpressure): they end at t.
+                let max_depth = group.phases.iter().map(|p| p.depth).max().unwrap_or(0);
+                for (p, s) in group.phases.iter().zip(spans.iter_mut()) {
+                    if p.after_breaker || (p.depth == max_depth && max_depth > 0) {
+                        s.1 = t;
+                    }
+                }
+                for (p, (s0, s1)) in group.phases.iter().zip(spans) {
+                    placed.push(Placed {
+                        phase: p,
+                        start: clock + s0,
+                        end: clock + s1,
+                    });
+                }
+                clock += t;
+            }
+        }
+    }
+
+    let total_seconds = clock;
+    // Telemetry sampling period: fine enough for the correlation analysis,
+    // bounded so long runs stay small.
+    let period = (total_seconds / 400.0).clamp(0.25, 10.0);
+    let mut telemetry = ClusterTelemetry::new(cluster.nodes as usize, period);
+    let mut trace = PlanTrace::new();
+    for p in &placed {
+        trace.record(p.phase.label.clone(), p.start, p.end);
+        deposit_phase(&mut telemetry, cluster, p);
+    }
+    SimResult {
+        seconds: total_seconds,
+        trace,
+        telemetry,
+    }
+}
+
+/// Spreads a placed phase's demands into the telemetry. Phases with
+/// `combine_cycles > 0` alternate CPU-heavy and disk-heavy sub-intervals,
+/// producing the anti-cyclic pattern of §VI-A.
+fn deposit_phase(telemetry: &mut ClusterTelemetry, cluster: &Cluster, p: &Placed<'_>) {
+    let dur = p.end - p.start;
+    if dur <= 0.0 {
+        return;
+    }
+    let nodes = cluster.nodes as f64;
+    let d = p.phase;
+
+    // Per-node shares.
+    let cpu_pct_seconds = d.cpu_core_seconds / cluster.cpu_capacity() * 100.0;
+    let read_node = d.disk_read_mib / nodes;
+    let write_node = d.disk_write_mib / nodes;
+    let net_node = d.net_mib / nodes;
+    let busy_seconds =
+        read_node / cluster.disk_read_mibs + write_node / cluster.disk_write_mibs;
+    let util_pct_seconds = (busy_seconds * 100.0).min(dur * 100.0);
+    let mem_pct_seconds = (d.memory_gb / nodes / cluster.ram_gb * 100.0) * dur;
+
+    let deposit_all = |telemetry: &mut ClusterTelemetry,
+                       kind: ResourceKind,
+                       start: f64,
+                       end: f64,
+                       amount: f64| {
+        if amount <= 0.0 || end <= start {
+            return;
+        }
+        for i in 0..cluster.nodes as usize {
+            telemetry.node_mut(i).deposit(kind, start, end, amount);
+        }
+    };
+
+    if d.combine_cycles > 1 {
+        // Alternate sort (CPU) and drain (disk) bursts. The duty cycle
+        // follows the phase's actual CPU/disk time split so neither burst
+        // over-commits its resource.
+        let cycles = d.combine_cycles as usize;
+        let cpu_time = cpu_pct_seconds / 100.0;
+        let disk_time = busy_seconds.max(1e-9);
+        let frac_cpu = (cpu_time / (cpu_time + disk_time)).clamp(0.25, 0.85);
+        let cycle_len = dur / cycles as f64;
+        let cpu_len = cycle_len * frac_cpu;
+        let disk_len = cycle_len - cpu_len;
+        for c in 0..cycles {
+            let cpu_start = p.start + c as f64 * cycle_len;
+            let disk_start = cpu_start + cpu_len;
+            deposit_all(
+                telemetry,
+                ResourceKind::Cpu,
+                cpu_start,
+                cpu_start + cpu_len,
+                cpu_pct_seconds / cycles as f64,
+            );
+            deposit_all(
+                telemetry,
+                ResourceKind::DiskIo,
+                disk_start,
+                disk_start + disk_len,
+                (read_node + write_node) / cycles as f64,
+            );
+            deposit_all(
+                telemetry,
+                ResourceKind::DiskUtil,
+                disk_start,
+                disk_start + disk_len,
+                util_pct_seconds / cycles as f64,
+            );
+        }
+    } else {
+        deposit_all(telemetry, ResourceKind::Cpu, p.start, p.end, cpu_pct_seconds);
+        deposit_all(
+            telemetry,
+            ResourceKind::DiskIo,
+            p.start,
+            p.end,
+            read_node + write_node,
+        );
+        deposit_all(
+            telemetry,
+            ResourceKind::DiskUtil,
+            p.start,
+            p.end,
+            util_pct_seconds,
+        );
+    }
+    deposit_all(telemetry, ResourceKind::Network, p.start, p.end, net_node);
+    deposit_all(telemetry, ResourceKind::Memory, p.start, p.end, mem_pct_seconds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_core::correlate::{correlate, CorrelationConfig};
+
+    fn cluster() -> Cluster {
+        Cluster::grid5000(4)
+    }
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    fn cpu_phase(label: &str, core_seconds: f64) -> PhaseDemand {
+        PhaseDemand {
+            cpu_core_seconds: core_seconds,
+            ..PhaseDemand::new(label)
+        }
+    }
+
+    #[test]
+    fn sequential_phases_are_disjoint_and_additive() {
+        let groups = vec![PhaseGroup::sequential(vec![
+            cpu_phase("a", 6400.0), // 100 s on 64 cores
+            cpu_phase("b", 6400.0),
+        ])];
+        let r = execute(&cluster(), &cal(), &groups, 1);
+        assert!(r.seconds > 195.0 && r.seconds < 215.0, "{}", r.seconds);
+        assert!(r.trace.pipelining_degree() < 0.05);
+        let a = r.trace.span("a").unwrap();
+        let b = r.trace.span("b").unwrap();
+        assert!(a.end <= b.start + 1e-9);
+    }
+
+    #[test]
+    fn overlapped_phases_share_the_cluster() {
+        // Two phases on *different* resources overlap almost fully: one
+        // CPU-bound (100 s solo), one network-bound (100 s solo).
+        let net = PhaseDemand {
+            net_mib: 1192.0 * 4.0 * 100.0,
+            ..PhaseDemand::new("net")
+        };
+        let groups = vec![PhaseGroup::overlapped(vec![cpu_phase("cpu", 6400.0), net])];
+        let r = execute(&cluster(), &cal(), &groups, 1);
+        // Pipelined: ~100 s, not ~200 s.
+        assert!(r.seconds < 120.0, "{}", r.seconds);
+        assert!(r.trace.pipelining_degree() > 0.3, "{}", r.trace.pipelining_degree());
+    }
+
+    #[test]
+    fn overlapped_same_resource_serialises_demand() {
+        // Two CPU-bound phases of 100 s each still need ~200 s of CPU.
+        let groups = vec![PhaseGroup::overlapped(vec![
+            cpu_phase("a", 6400.0),
+            cpu_phase("b", 6400.0),
+        ])];
+        let r = execute(&cluster(), &cal(), &groups, 1);
+        assert!(r.seconds > 180.0 && r.seconds < 220.0, "{}", r.seconds);
+    }
+
+    #[test]
+    fn dispatch_overhead_scales_with_tasks() {
+        let mut few = cpu_phase("few", 640.0);
+        few.tasks = 64;
+        let mut many = cpu_phase("many", 640.0);
+        many.tasks = 6400;
+        let t_few = execute(&cluster(), &cal(), &[PhaseGroup::sequential(vec![few])], 1).seconds;
+        let t_many =
+            execute(&cluster(), &cal(), &[PhaseGroup::sequential(vec![many])], 1).seconds;
+        // 6336 extra tasks × 1 ms / 8 streams ≈ 0.8 s.
+        let gap = t_many - t_few;
+        assert!(gap > 0.5 && gap < 2.0, "{} vs {}", t_few, t_many);
+    }
+
+    #[test]
+    fn noise_varies_across_seeds_but_not_within() {
+        let groups = vec![PhaseGroup::overlapped(vec![PhaseDemand {
+            disk_read_mib: 50_000.0,
+            disk_write_mib: 50_000.0,
+            ..PhaseDemand::new("io")
+        }])];
+        let a = execute(&cluster(), &cal(), &groups, 1).seconds;
+        let a2 = execute(&cluster(), &cal(), &groups, 1).seconds;
+        let b = execute(&cluster(), &cal(), &groups, 2).seconds;
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn latency_adds_to_group_time() {
+        let base = vec![PhaseGroup::sequential(vec![cpu_phase("a", 640.0)])];
+        let with = vec![PhaseGroup::sequential(vec![cpu_phase("a", 640.0)]).with_latency(25.0)];
+        let t0 = execute(&cluster(), &cal(), &base, 1).seconds;
+        let t1 = execute(&cluster(), &cal(), &with, 1).seconds;
+        assert!((t1 - t0 - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_preserves_io_volume() {
+        let phase = PhaseDemand {
+            disk_read_mib: 8_000.0,
+            disk_write_mib: 4_000.0,
+            ..PhaseDemand::new("io")
+        };
+        let r = execute(&cluster(), &cal(), &[PhaseGroup::sequential(vec![phase])], 1);
+        // Mean node Disk I/O integral × nodes = total MiB moved.
+        let mean_io = r.telemetry.mean_channel(ResourceKind::DiskIo);
+        let total = mean_io.integral() * 4.0;
+        assert!((total - 12_000.0).abs() / 12_000.0 < 0.02, "total {total}");
+    }
+
+    #[test]
+    fn cpu_bound_phase_classified_by_methodology() {
+        let groups = vec![PhaseGroup::sequential(vec![cpu_phase("hot", 64_000.0)])];
+        let r = execute(&cluster(), &cal(), &groups, 1);
+        let report = correlate(&r.trace, &r.telemetry, &CorrelationConfig::default());
+        assert!(report.profile("hot").unwrap().is_bound_by(Bound::Cpu));
+    }
+
+    #[test]
+    fn combine_cycles_produce_anticyclic_disk() {
+        let phase = PhaseDemand {
+            cpu_core_seconds: 32_000.0,
+            disk_write_mib: 40_000.0,
+            combine_cycles: 12,
+            ..PhaseDemand::new("combine")
+        };
+        let r = execute(&cluster(), &cal(), &[PhaseGroup::sequential(vec![phase])], 1);
+        let report = correlate(&r.trace, &r.telemetry, &CorrelationConfig::default());
+        let p = report.profile("combine").unwrap();
+        assert!(
+            p.anticyclic_disk,
+            "expected anti-cyclic pattern, r = {:?}",
+            p.cpu_disk_correlation
+        );
+    }
+
+    #[test]
+    fn breaker_phase_starts_late() {
+        let src = cpu_phase("src", 6400.0);
+        let mut sink = cpu_phase("sink", 6400.0);
+        sink.after_breaker = true;
+        sink.depth = 2;
+        let r = execute(&cluster(), &cal(), &[PhaseGroup::overlapped(vec![src, sink])], 1);
+        let s_src = r.trace.span("src").unwrap();
+        let s_sink = r.trace.span("sink").unwrap();
+        assert!(s_sink.start > s_src.start + 0.05 * r.seconds);
+        // Pipelined: still overlapping.
+        assert!(s_sink.start < s_src.end);
+    }
+
+    #[test]
+    fn empty_groups_give_zero_time() {
+        let r = execute(&cluster(), &cal(), &[], 1);
+        assert_eq!(r.seconds, 0.0);
+        assert!(r.trace.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The Table VII memory model: when do large-graph jobs die?
+//!
+//! §VI-E: "Flink's execution with 27 and 44 nodes failed because of the
+//! CoGroup operator's internal implementation which computes the solution
+//! set in memory"; and for Spark, §VIII: Spark "requires that (significant)
+//! parts of the data to be on the JVM's heap for several operations; if the
+//! size of the heap is not sufficient, the job dies".
+//!
+//! Both checks compare a per-node working-set estimate against the engine's
+//! memory budget. The estimates are mechanistic (bytes per vertex/edge ×
+//! graph size ÷ nodes + per-task buffers) with constants from
+//! [`Calibration`]; the same constants govern every cluster size, so the
+//! pass/fail pattern across 27/44/97 nodes is emergent.
+
+use flowmark_core::config::{Framework, RunConfig};
+
+use crate::calibration::Calibration;
+use crate::error::SimError;
+
+/// Which graph algorithm is being run (their working sets differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphAlgorithm {
+    /// Page Rank: double-buffered ranks + triplet views.
+    PageRank,
+    /// Connected Components: labels only.
+    ConnectedComponents,
+}
+
+/// Checks whether Flink's delta-iteration solution set and CoGroup build
+/// side fit in managed memory. Returns the per-node requirement on success.
+pub fn check_flink_graph_memory(
+    vertices: u64,
+    edges: u64,
+    run: &RunConfig,
+    cal: &Calibration,
+) -> Result<f64, SimError> {
+    let nodes = run.cluster.nodes as f64;
+    let vertices_gb = vertices as f64 / nodes * cal.flink_vertex_entry_bytes / 1e9;
+    let edges_gb = edges as f64 / nodes * cal.flink_edge_build_bytes / 1e9;
+    let tasks_per_node = (run.flink.default_parallelism as f64 / nodes).ceil();
+    let buffers_gb = tasks_per_node * cal.flink_task_buffer_gb;
+    let needed = vertices_gb + edges_gb + buffers_gb;
+    let available = run.flink.taskmanager_memory_gb * run.flink.memory_fraction;
+    if needed > available {
+        return Err(SimError::OutOfMemory {
+            framework: Framework::Flink,
+            component: "CoGroup solution set".into(),
+            needed_gb: needed,
+            available_gb: available,
+        });
+    }
+    Ok(needed)
+}
+
+/// Checks whether Spark's iteration working set fits on the heap. The load
+/// stage always succeeds (Spark spills it to disk); only the iteration
+/// phase can die.
+pub fn check_spark_graph_memory(
+    algorithm: GraphAlgorithm,
+    edges: u64,
+    run: &RunConfig,
+    cal: &Calibration,
+) -> Result<f64, SimError> {
+    let nodes = run.cluster.nodes as f64;
+    let per_edge = match algorithm {
+        GraphAlgorithm::PageRank => cal.spark_pr_edge_bytes,
+        GraphAlgorithm::ConnectedComponents => cal.spark_cc_edge_bytes,
+    };
+    let needed = edges as f64 / nodes * per_edge / 1e9;
+    let available = run.spark.executor_memory_gb * cal.spark_exec_heap_share;
+    if needed > available {
+        return Err(SimError::OutOfMemory {
+            framework: Framework::Spark,
+            component: match algorithm {
+                GraphAlgorithm::PageRank => "GraphX rank working set".into(),
+                GraphAlgorithm::ConnectedComponents => "GraphX label working set".into(),
+            },
+            needed_gb: needed,
+            available_gb: available,
+        });
+    }
+    Ok(needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_core::config::RunConfig;
+
+    /// The Large graph (Table IV): 1.7 B vertices, 64 B edges.
+    const V: u64 = 1_700_000_000;
+    const E: u64 = 64_000_000_000;
+
+    fn large_graph_run(nodes: u32, flink_mem: f64, spark_mem: f64, flink_par: u32) -> RunConfig {
+        let mut run = RunConfig::canonical(nodes, 6);
+        run.flink.taskmanager_memory_gb = flink_mem;
+        run.flink.default_parallelism = flink_par;
+        run.flink.network_buffers = u32::MAX; // buffers not under test here
+        run.spark.executor_memory_gb = spark_mem;
+        run
+    }
+
+    #[test]
+    fn flink_large_graph_fails_at_27_and_44_nodes() {
+        let cal = Calibration::default();
+        for nodes in [27u32, 44] {
+            let run = large_graph_run(nodes, 18.0, 62.0, nodes * 16);
+            let r = check_flink_graph_memory(V, E, &run, &cal);
+            assert!(
+                matches!(r, Err(SimError::OutOfMemory { .. })),
+                "{nodes} nodes should OOM, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flink_large_graph_fits_at_97_nodes_with_reduced_parallelism() {
+        let cal = Calibration::default();
+        // §VI-E: parallelism = 3/4 of the cores so CoGroup gets memory.
+        let run = large_graph_run(97, 18.0, 62.0, 97 * 16 * 3 / 4);
+        assert!(check_flink_graph_memory(V, E, &run, &cal).is_ok());
+    }
+
+    #[test]
+    fn flink_full_parallelism_at_97_nodes_still_fails() {
+        let cal = Calibration::default();
+        // "Setting the parallelism to the total number of cores causes a
+        // failure" (§VI-E): the extra active slots steal managed memory.
+        let run = large_graph_run(97, 18.0, 62.0, 97 * 16);
+        assert!(check_flink_graph_memory(V, E, &run, &cal).is_err());
+    }
+
+    #[test]
+    fn spark_pagerank_fails_below_97_nodes_cc_succeeds() {
+        let cal = Calibration::default();
+        for nodes in [27u32, 44] {
+            let run = large_graph_run(nodes, 18.0, 62.0, nodes * 16);
+            assert!(
+                check_spark_graph_memory(GraphAlgorithm::PageRank, E, &run, &cal).is_err(),
+                "PR should die at {nodes} nodes"
+            );
+            assert!(
+                check_spark_graph_memory(GraphAlgorithm::ConnectedComponents, E, &run, &cal)
+                    .is_ok(),
+                "CC should survive at {nodes} nodes"
+            );
+        }
+        let run = large_graph_run(97, 18.0, 62.0, 97 * 16);
+        assert!(check_spark_graph_memory(GraphAlgorithm::PageRank, E, &run, &cal).is_ok());
+    }
+
+    #[test]
+    fn medium_graph_fits_everywhere() {
+        let cal = Calibration::default();
+        let run = large_graph_run(27, 18.0, 62.0, 297);
+        assert!(check_flink_graph_memory(65_600_000, 1_800_000_000, &run, &cal).is_ok());
+        assert!(check_spark_graph_memory(
+            GraphAlgorithm::PageRank,
+            1_800_000_000,
+            &run,
+            &cal
+        )
+        .is_ok());
+    }
+}

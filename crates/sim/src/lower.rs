@@ -1,0 +1,811 @@
+//! Lowering: logical plans → priced phase groups.
+//!
+//! This is the simulator's cost model. The same annotated
+//! [`LogicalPlan`] is lowered differently per engine:
+//!
+//! - **Spark**: [`StagePlan`] stages become [`crate::demand::ExecMode::Sequential`] phases.
+//!   Shuffle boundaries write serialized (optionally compressed) map output
+//!   to disk and re-read it over the network; iteration nodes are
+//!   **unrolled** — every round re-emits its body stages and re-pays task
+//!   dispatch; CPU is inflated by the serializer factor and by GC pressure
+//!   from heap-resident working sets.
+//! - **Flink**: [`JobGraph`] chains become [`crate::demand::ExecMode::Overlapped`] phases
+//!   inside pipeline regions. Sort-based combining happens on managed
+//!   memory (with fill/drain cycles in the telemetry); iterations deploy
+//!   once and add only a per-round sync barrier; there is no map-output
+//!   compression and no disk in the shuffle path unless memory forces a
+//!   spill.
+
+use flowmark_core::config::{Framework, RunConfig, Serializer};
+use flowmark_dataflow::operator::OperatorKind;
+use flowmark_dataflow::optimizer::{insert_combiners, push_down_filters};
+use flowmark_dataflow::plan::{ExchangeMode, LogicalPlan, PlanNode};
+use flowmark_dataflow::stage::{JobGraph, StagePlan};
+
+use crate::calibration::Calibration;
+use crate::cluster::Cluster;
+use crate::demand::{PhaseDemand, PhaseGroup};
+use crate::error::SimError;
+
+/// Bytes in one MiB.
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Lowers a plan for one engine.
+pub fn lower(
+    plan: &LogicalPlan,
+    framework: Framework,
+    run: &RunConfig,
+    cluster: &Cluster,
+    cal: &Calibration,
+) -> Result<Vec<PhaseGroup>, SimError> {
+    run.validate()?;
+    plan.validate().expect("workload plans are structurally valid");
+    match framework {
+        Framework::Spark => lower_spark(plan, run, cluster, cal),
+        Framework::Flink => lower_flink(plan, run, cluster, cal),
+    }
+}
+
+/// Per-node context shared by both lowerings.
+struct Ctx<'a> {
+    run: &'a RunConfig,
+    cluster: &'a Cluster,
+    cal: &'a Calibration,
+    cards: Vec<f64>,
+    bytes: Vec<f64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(plan: &LogicalPlan, run: &'a RunConfig, cluster: &'a Cluster, cal: &'a Calibration) -> Self {
+        Self {
+            run,
+            cluster,
+            cal,
+            cards: plan.cardinalities(),
+            bytes: plan.output_bytes(),
+        }
+    }
+
+    fn records_in(&self, node: &PlanNode) -> f64 {
+        if let Some(r) = node.source_records {
+            r as f64
+        } else {
+            node.inputs.iter().map(|(id, _)| self.cards[id.0]).sum()
+        }
+    }
+
+    fn serializer(&self, fw: Framework) -> Serializer {
+        match fw {
+            Framework::Spark => self.run.spark.serializer,
+            Framework::Flink => Serializer::TypeInfo,
+        }
+    }
+
+    /// Remote fraction of an all-to-all exchange: `(n-1)/n` of the data
+    /// leaves the producing node.
+    fn cross_node_fraction(&self) -> f64 {
+        let n = self.cluster.nodes as f64;
+        if n <= 1.0 {
+            0.0
+        } else {
+            (n - 1.0) / n
+        }
+    }
+}
+
+/// Adds one operator node's intrinsic demand (user code + source/sink I/O)
+/// into `demand`. Shuffle-edge costs are added separately by the caller.
+fn node_demand(
+    demand: &mut PhaseDemand,
+    node: &PlanNode,
+    ctx: &Ctx<'_>,
+    fw: Framework,
+    cpu_multiplier: f64,
+) {
+    let records_in = ctx.records_in(node);
+    let records_out = ctx.cards[node.id.0];
+    let bytes_out = ctx.bytes[node.id.0];
+    // User + framework CPU.
+    demand.cpu_core_seconds += records_in * node.cost.cpu_ns_per_record * 1e-9 * cpu_multiplier;
+    // Aggregation bookkeeping pays per-record serializer-sensitive CPU
+    // (hashing / serialized-form comparisons), §VI-A.
+    if node.op.has_map_side_combine() || node.op == OperatorKind::GroupCombine {
+        let factor = match fw {
+            Framework::Spark => ctx.serializer(fw).cpu_factor(),
+            Framework::Flink => ctx.cal.flink_sort_agg_factor,
+        };
+        demand.cpu_core_seconds +=
+            records_in * ctx.cal.agg_cpu_ns_per_record * 1e-9 * factor;
+    }
+    match node.op {
+        OperatorKind::DataSource => {
+            // Effective HDFS read throughput is below raw disk bandwidth.
+            let input_mib = bytes_out / MIB / ctx.cal.hdfs_read_efficiency;
+            demand.disk_read_mib += input_mib;
+            // Non-local HDFS blocks cross the network (placement model).
+            let hdfs = crate::hdfs::HdfsModel::new(
+                ctx.run.cluster.nodes,
+                ctx.run.cluster.hdfs_block_mb,
+            );
+            let blocks = hdfs.blocks(bytes_out);
+            let remote = hdfs
+                .remote_read_fraction(blocks, ctx.run.cluster.cores_per_node)
+                .max(ctx.cal.hdfs_remote_read_fraction * 0.2);
+            demand.net_mib += input_mib * remote;
+        }
+        OperatorKind::DataSink => {
+            let ser = ctx.serializer(fw);
+            let out_mib = bytes_out / MIB * ser.size_factor();
+            demand.disk_write_mib += out_mib * ctx.cal.hdfs_replication_out;
+            if ctx.cal.hdfs_replication_out > 1.0 {
+                demand.net_mib += out_mib * (ctx.cal.hdfs_replication_out - 1.0);
+            }
+            demand.cpu_core_seconds +=
+                records_in * ctx.cal.shuffle_cpu_ns_per_record * 1e-9 * ser.cpu_factor();
+        }
+        OperatorKind::Collect | OperatorKind::Count | OperatorKind::CollectAsMap => {
+            // Driver-bound result: records_out cross to one node.
+            demand.net_mib += records_out * node.cost.bytes_per_record / MIB;
+        }
+        OperatorKind::GroupCombine => {
+            // Sort cycles on the combine buffer (drives anti-cyclic I/O).
+            let per_node_mib = (records_in * node.cost.bytes_per_record / MIB)
+                / ctx.cluster.nodes as f64;
+            let buffer_mib = combine_buffer_mib(ctx, fw);
+            let cycles = (per_node_mib / buffer_mib).ceil() as u32;
+            demand.combine_cycles = demand.combine_cycles.max(cycles.clamp(1, 40));
+        }
+        _ => {}
+    }
+}
+
+/// Map-side combine buffer size per node, MiB.
+fn combine_buffer_mib(ctx: &Ctx<'_>, fw: Framework) -> f64 {
+    match fw {
+        // Flink: managed memory fraction per node, shared by active slots.
+        Framework::Flink => {
+            (ctx.run.flink.taskmanager_memory_gb * ctx.run.flink.memory_fraction * 1024.0 / 3.0)
+                .max(64.0)
+        }
+        // Spark tungsten-sort: execution-fraction share of the heap.
+        Framework::Spark => {
+            (ctx.run.spark.executor_memory_gb * ctx.run.spark.shuffle_fraction * 1024.0 / 2.0)
+                .max(64.0)
+        }
+    }
+}
+
+/// Shuffle-edge cost: producer-side serialization (+ optional disk write /
+/// compression for Spark) and consumer-side network + deserialization.
+struct ShuffleCost {
+    producer_cpu: f64,
+    producer_disk_write_mib: f64,
+    consumer_cpu: f64,
+    consumer_disk_read_mib: f64,
+    net_mib: f64,
+}
+
+fn shuffle_cost(records: f64, raw_bytes: f64, ctx: &Ctx<'_>, fw: Framework) -> ShuffleCost {
+    let ser = ctx.serializer(fw);
+    let wire_bytes = raw_bytes * ser.size_factor();
+    let ser_cpu = records * ctx.cal.shuffle_cpu_ns_per_record * 1e-9 * ser.cpu_factor();
+    match fw {
+        Framework::Spark => {
+            let compressed = wire_bytes * ctx.cal.compression_ratio;
+            let comp_cpu = wire_bytes * ctx.cal.compression_cpu_ns_per_byte * 1e-9;
+            ShuffleCost {
+                producer_cpu: ser_cpu + comp_cpu,
+                // Map output files hit the local disk (compressed).
+                producer_disk_write_mib: compressed / MIB,
+                consumer_cpu: ser_cpu + comp_cpu * 0.6,
+                // Reducers pull from the map-side disks...
+                consumer_disk_read_mib: compressed / MIB,
+                // ...and the cross-node share rides the network.
+                net_mib: compressed / MIB * ctx.cross_node_fraction(),
+            }
+        }
+        Framework::Flink => ShuffleCost {
+            producer_cpu: ser_cpu,
+            producer_disk_write_mib: 0.0,
+            consumer_cpu: ser_cpu,
+            consumer_disk_read_mib: 0.0,
+            net_mib: wire_bytes / MIB * ctx.cross_node_fraction(),
+        },
+    }
+}
+
+/// Heap working-set effects for Spark: GC inflation plus spill I/O when the
+/// stage's materialised output exceeds the execution memory.
+fn apply_spark_memory(demand: &mut PhaseDemand, materialized_bytes: f64, ctx: &Ctx<'_>) {
+    // GC pressure sees the full JVM object expansion; the tungsten-sort
+    // spill path works on serialized data (~1.1× raw).
+    let object_gb =
+        materialized_bytes * ctx.cal.java_object_overhead / ctx.cluster.nodes as f64 / 1e9;
+    let serialized_gb = materialized_bytes * 1.1 / ctx.cluster.nodes as f64 / 1e9;
+    let heap_gb = ctx.run.spark.executor_memory_gb * ctx.cal.spark_exec_heap_share;
+    // Tungsten-managed spills keep live heap bounded; cap the effective
+    // GC pressure below the thrash region.
+    let pressure = (object_gb / heap_gb).min(0.80);
+    demand.cpu_core_seconds *= flowmark_engine_gc(pressure);
+    demand.memory_gb = demand.memory_gb.max(serialized_gb.min(heap_gb) * ctx.cluster.nodes as f64);
+    if serialized_gb > heap_gb {
+        // External sort/aggregation: the whole working set takes one extra
+        // trip through the disk (write runs, merge-read them back).
+        let spill_mib = serialized_gb * 1024.0 * ctx.cluster.nodes as f64
+            * (ctx.cal.spill_round_trip / 2.0);
+        demand.disk_write_mib += spill_mib;
+        demand.disk_read_mib += spill_mib;
+    }
+}
+
+/// Managed-memory effects for Flink: spill I/O past the managed pool, no
+/// GC inflation (objects live off-heap, §VIII).
+fn apply_flink_memory(demand: &mut PhaseDemand, materialized_bytes: f64, ctx: &Ctx<'_>) {
+    let per_node_gb = materialized_bytes / ctx.cluster.nodes as f64 / 1e9;
+    let managed_gb = ctx.run.flink.taskmanager_memory_gb * ctx.run.flink.memory_fraction;
+    demand.memory_gb = demand
+        .memory_gb
+        .max(per_node_gb.min(managed_gb) * ctx.cluster.nodes as f64);
+    if per_node_gb > managed_gb {
+        // External sort on managed memory: full extra disk round trip.
+        let spill_mib = per_node_gb * 1024.0 * ctx.cluster.nodes as f64
+            * (ctx.cal.spill_round_trip / 2.0);
+        demand.disk_write_mib += spill_mib;
+        demand.disk_read_mib += spill_mib;
+    }
+}
+
+/// The paper-calibrated GC model (re-exported shape of
+/// `flowmark_engine::memory::gc_overhead_at`, duplicated here so the sim
+/// does not depend on the engine crate).
+fn flowmark_engine_gc(pressure: f64) -> f64 {
+    let p = pressure.clamp(0.0, 0.99);
+    1.0 + 0.3 * p * p / (1.0 - p)
+}
+
+// ---------------------------------------------------------------------------
+// Spark lowering
+// ---------------------------------------------------------------------------
+
+fn lower_spark(
+    plan: &LogicalPlan,
+    run: &RunConfig,
+    cluster: &Cluster,
+    cal: &Calibration,
+) -> Result<Vec<PhaseGroup>, SimError> {
+    // reduceByKey et al. imply a map-side combiner in Spark too (§III).
+    let plan = insert_combiners(plan);
+    let ctx = Ctx::new(&plan, run, cluster, cal);
+    let mut phases = Vec::new();
+    lower_spark_plan(&plan, &ctx, run.spark.default_parallelism, &mut phases)?;
+    Ok(vec![PhaseGroup::sequential(phases)])
+}
+
+fn lower_spark_plan(
+    plan: &LogicalPlan,
+    ctx: &Ctx<'_>,
+    parallelism: u32,
+    out: &mut Vec<PhaseDemand>,
+) -> Result<(), SimError> {
+    let stages = StagePlan::from_plan(plan);
+    for stage in &stages.stages {
+        // Iteration stages unroll their body.
+        if let Some(spec) = stage
+            .nodes
+            .iter()
+            .find_map(|&id| plan.node(id).iteration.as_ref())
+        {
+            // The body aggregations combine map-side too (§III).
+            let body = insert_combiners(&spec.body);
+            let body_ctx = Ctx::new(&body, ctx.run, ctx.cluster, ctx.cal);
+            for round in 0..spec.iterations {
+                let mut body_phases = Vec::new();
+                lower_spark_plan(&body, &body_ctx, parallelism, &mut body_phases)?;
+                // Round one also materialises the lazily-cached loop input.
+                let first = if round == 0 {
+                    ctx.cal.spark_first_iteration_factor
+                } else {
+                    1.0
+                };
+                let decay = spec.workset_decay.powi(round as i32) * first;
+                for (i, p) in body_phases.into_iter().enumerate() {
+                    // Loop unrolling: a fresh task wave every round (the
+                    // body stages carry their own task counts).
+                    let mut p = p.scaled(decay);
+                    p.label = if i == 0 {
+                        format!("iter{}:{}", round + 1, p.label)
+                    } else {
+                        p.label
+                    };
+                    out.push(p);
+                }
+            }
+            continue;
+        }
+
+        let mut demand = PhaseDemand::new(stages.label(plan, stage));
+        let mut materialized = 0.0f64;
+        for &id in &stage.nodes {
+            let node = plan.node(id);
+            node_demand(&mut demand, node, ctx, Framework::Spark, 1.0);
+            // Shuffle inputs arriving at this stage.
+            for (input, mode) in &node.inputs {
+                if mode.is_shuffle() {
+                    let cost =
+                        shuffle_cost(ctx.cards[input.0], ctx.bytes[input.0], ctx, Framework::Spark);
+                    demand.cpu_core_seconds += cost.consumer_cpu;
+                    demand.disk_read_mib += cost.consumer_disk_read_mib;
+                    demand.net_mib += cost.net_mib;
+                    materialized += ctx.bytes[input.0];
+                }
+            }
+        }
+        // Shuffle outputs leaving this stage (produced by its last nodes).
+        for other in plan.nodes() {
+            for (input, mode) in &other.inputs {
+                if mode.is_shuffle() && stage.nodes.contains(input) {
+                    let cost =
+                        shuffle_cost(ctx.cards[input.0], ctx.bytes[input.0], ctx, Framework::Spark);
+                    demand.cpu_core_seconds += cost.producer_cpu;
+                    demand.disk_write_mib += cost.producer_disk_write_mib;
+                }
+            }
+        }
+        apply_spark_memory(&mut demand, materialized, ctx);
+        // Action stages cost a driver round trip (job submit + collect).
+        if stage.nodes.iter().any(|&id| plan.node(id).op.is_action()) {
+            demand.driver_latency_seconds += ctx.cal.spark_action_latency_s;
+        }
+        // Task count: source stages get one task per HDFS block; shuffle
+        // stages get `spark.default.parallelism` tasks. GraphX stages use
+        // `spark.edge.partition` for the graph load and
+        // `max(edge partitions, parallelism)` for the joined graph of the
+        // iterations (§VI-E).
+        let is_source_stage = stage
+            .nodes
+            .iter()
+            .any(|&id| plan.node(id).op == OperatorKind::DataSource);
+        let has_graph_op = stage
+            .nodes
+            .iter()
+            .any(|&id| plan.node(id).op == OperatorKind::GraphOp);
+        let is_cached_body = stage
+            .nodes
+            .iter()
+            .any(|&id| plan.node(id).op == OperatorKind::CachedSource);
+        demand.tasks = if is_source_stage {
+            let input_mib: f64 = stage
+                .nodes
+                .iter()
+                .filter(|&&id| plan.node(id).op == OperatorKind::DataSource)
+                .map(|&id| ctx.bytes[id.0] / MIB)
+                .sum();
+            // One task per block, but never fewer than the configured
+            // parallelism (Spark's textFile minPartitions).
+            let blocks = (input_mib / ctx.run.cluster.hdfs_block_mb as f64).ceil().max(1.0) as u64;
+            blocks.max(parallelism as u64)
+        } else {
+            match (ctx.run.spark.edge_partitions, has_graph_op, is_cached_body) {
+                // Graph load stage: purely edge-partitioned.
+                (Some(ep), true, false) => ep as u64,
+                // Iteration stages over the joined graph.
+                (Some(ep), true, true) => ep.max(parallelism) as u64,
+                _ => parallelism as u64,
+            }
+        };
+        // Over-partitioned shuffles pay a seek per shuffle file ("more
+        // files to handle", §VI-E). With consolidation (§IV-B) the file
+        // count is mappers × cores; without, it is mappers × reducers.
+        if !is_source_stage {
+            let t = demand.tasks as f64;
+            let files = if ctx.run.spark.consolidate_files {
+                t * ctx.cluster.total_cores() as f64
+            } else {
+                t * t
+            };
+            demand.driver_latency_seconds +=
+                files * ctx.cal.shuffle_file_seek_us / ctx.cluster.nodes as f64 / 1e6;
+        }
+        out.push(demand);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Flink lowering
+// ---------------------------------------------------------------------------
+
+fn lower_flink(
+    plan: &LogicalPlan,
+    run: &RunConfig,
+    cluster: &Cluster,
+    cal: &Calibration,
+) -> Result<Vec<PhaseGroup>, SimError> {
+    // The cost-based optimizer: filter pushdown, then combiner insertion.
+    let (plan, _swaps) = push_down_filters(plan);
+    let plan = insert_combiners(&plan);
+    let ctx = Ctx::new(&plan, run, cluster, cal);
+    let graph = JobGraph::from_plan(&plan);
+
+    let mut groups: Vec<PhaseGroup> = Vec::new();
+    let mut current: Vec<PhaseDemand> = Vec::new();
+    // Vertex depth for span offsets.
+    let mut depth = vec![0u32; graph.vertices.len()];
+    let mut after_breaker = vec![false; graph.vertices.len()];
+    for v in &graph.vertices {
+        for (input, _) in &v.inputs {
+            depth[v.id] = depth[v.id].max(depth[*input] + 1);
+            after_breaker[v.id] = after_breaker[v.id]
+                || after_breaker[*input]
+                || graph.vertices[*input].has_breaker(&plan);
+        }
+    }
+
+    for v in &graph.vertices {
+        // Iteration vertices form their own pipelined region.
+        if let Some(spec) = v
+            .nodes
+            .iter()
+            .find_map(|&id| plan.node(id).iteration.as_ref())
+        {
+            if !current.is_empty() {
+                groups.push(
+                    PhaseGroup::overlapped(std::mem::take(&mut current))
+                        .with_latency(cal.flink_deploy_s),
+                );
+            }
+            let body = insert_combiners(&spec.body);
+            let body_ctx = Ctx::new(&body, run, cluster, cal);
+            let body_graph = JobGraph::from_plan(&body);
+            let mut iter_phases: Vec<PhaseDemand> = Vec::new();
+            // Effective rounds: delta worksets decay geometrically.
+            let effective_rounds: f64 = (0..spec.iterations)
+                .map(|r| spec.workset_decay.powi(r as i32))
+                .sum();
+            for bv in &body_graph.vertices {
+                let mut d = PhaseDemand::new(format!("Iter:{}", bv.label(&body)));
+                for &id in &bv.nodes {
+                    let node = body.node(id);
+                    node_demand(&mut d, node, &body_ctx, Framework::Flink, 1.0);
+                    for (input, mode) in &node.inputs {
+                        if mode.is_shuffle() {
+                            let cost = shuffle_cost(
+                                body_ctx.cards[input.0],
+                                body_ctx.bytes[input.0],
+                                &body_ctx,
+                                Framework::Flink,
+                            );
+                            d.cpu_core_seconds += cost.producer_cpu + cost.consumer_cpu;
+                            d.net_mib += cost.net_mib;
+                        }
+                        if *mode == ExchangeMode::Broadcast {
+                            d.net_mib += body_ctx.bytes[input.0] / MIB
+                                * (cluster.nodes as f64 - 1.0);
+                        }
+                    }
+                }
+                let mut d = d.scaled(effective_rounds);
+                apply_flink_memory(&mut d, body_ctx.bytes.iter().cloned().fold(0.0, f64::max), &ctx);
+                // Scheduled once: tasks do not scale with rounds (§II-C);
+                // every chain runs at the configured parallelism.
+                d.tasks = run.flink.default_parallelism as u64;
+                d.depth = depth[v.id];
+                iter_phases.push(d);
+            }
+            // Delta iterations keep the solution set + joined adjacency in
+            // managed memory; on large graphs the overflow thrashes to
+            // disk every round (§VI-E: the delta hash table is not
+            // spillable gracefully — "trading performance for fault
+            // tolerance" is future work the paper recommends).
+            // Per-round working set of the delta CoGroup, sized like the
+            // Table VII memory model: the joined adjacency plus the
+            // solution set. Edges = the body's feedback-source cardinality;
+            // vertices ≈ half the loop-input records (adjacency + ranks).
+            let loop_input = plan.node(v.nodes[0]).inputs[0].0;
+            let edge_records = spec
+                .body
+                .nodes()
+                .iter()
+                .find_map(|n| n.source_records)
+                .unwrap_or(0) as f64;
+            let vertex_records = ctx.cards[loop_input.0] / 2.0;
+            let working_gb = (edge_records * cal.flink_edge_build_bytes
+                + vertex_records * cal.flink_vertex_entry_bytes)
+                / cluster.nodes as f64
+                / 1e9;
+            // Managed memory left for the CoGroup after per-task buffers;
+            // thrash sets in when the join's working set dominates it.
+            let tasks_per_node =
+                (run.flink.default_parallelism as f64 / cluster.nodes as f64).ceil();
+            let available_gb = run.flink.taskmanager_memory_gb * run.flink.memory_fraction
+                - tasks_per_node * cal.flink_task_buffer_gb;
+            let managed_gb = (available_gb * 0.5).max(0.1);
+            let mut thrash_latency = 0.0;
+            if spec.kind == flowmark_dataflow::plan::IterationKind::Delta
+                && working_gb > managed_gb
+            {
+                let effective_rounds: f64 = (0..spec.iterations)
+                    .map(|r| spec.workset_decay.powi(r as i32))
+                    .sum();
+                let thrash_mib = (working_gb - managed_gb)
+                    * 1024.0
+                    * cluster.nodes as f64
+                    * effective_rounds
+                    * cal.spill_round_trip
+                    * 2.0;
+                let mut d = PhaseDemand::new("Iter:SolutionSetSpill");
+                d.disk_read_mib = thrash_mib;
+                d.disk_write_mib = thrash_mib;
+                // The join stalls on the thrashing hash table: this disk
+                // time serialises with the round's compute instead of
+                // overlapping it.
+                thrash_latency = d.solo_seconds_mixed(cluster, cal.pipelined_io_efficiency);
+            }
+            let sync_latency =
+                spec.iterations as f64 * cal.flink_sync_per_round_s + thrash_latency;
+            groups.push(
+                PhaseGroup::overlapped(iter_phases)
+                    .with_latency(cal.flink_deploy_s + sync_latency),
+            );
+            continue;
+        }
+
+        let mut d = PhaseDemand::new(v.label(&plan));
+        let mut materialized = 0.0f64;
+        for &id in &v.nodes {
+            let node = plan.node(id);
+            node_demand(&mut d, node, &ctx, Framework::Flink, 1.0);
+            for (input, mode) in &node.inputs {
+                if mode.is_shuffle() {
+                    let cost =
+                        shuffle_cost(ctx.cards[input.0], ctx.bytes[input.0], &ctx, Framework::Flink);
+                    // Pipelined: producer and consumer sides are the two
+                    // ends of the same live channel; attribute both here.
+                    // No disk — a pipelined receiver never materialises.
+                    d.cpu_core_seconds += cost.producer_cpu + cost.consumer_cpu;
+                    d.net_mib += cost.net_mib;
+                }
+            }
+            // Only pipeline breakers materialise: their working set is the
+            // larger of what they consume and what they hold sorted.
+            if node.op.is_pipeline_breaker() {
+                let input_bytes: f64 =
+                    node.inputs.iter().map(|(i, _)| ctx.bytes[i.0]).sum();
+                materialized = materialized.max(input_bytes).max(ctx.bytes[id.0]);
+            }
+        }
+        apply_flink_memory(&mut d, materialized, &ctx);
+        d.tasks = run.flink.default_parallelism as u64;
+        d.depth = depth[v.id];
+        d.after_breaker = after_breaker[v.id];
+        let ends_job = v
+            .nodes
+            .iter()
+            .any(|&id| plan.node(id).op.is_action());
+        current.push(d);
+        // An action terminates a Flink job: the next vertices belong to a
+        // new pipelined region (Page Rank's count-vertices job, §VI-E).
+        if ends_job {
+            groups.push(
+                PhaseGroup::overlapped(std::mem::take(&mut current))
+                    .with_latency(cal.flink_deploy_s),
+            );
+        }
+    }
+    if !current.is_empty() {
+        groups.push(
+            PhaseGroup::overlapped(current).with_latency(cal.flink_deploy_s),
+        );
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_core::config::Framework;
+    use flowmark_dataflow::plan::{CostAnnotation, IterationKind};
+    use OperatorKind::*;
+
+    fn wordcount_plan(gb: f64) -> LogicalPlan {
+        let words = gb * 1e9 / 7.0;
+        let mut p = LogicalPlan::new();
+        let src = p.source((words / 10.0) as u64, 70.0); // lines
+        let fm = p.unary(src, FlatMap, CostAnnotation::new(10.0, 400.0, 10.0));
+        let rbk = p.unary(fm, ReduceByKey, CostAnnotation::new(0.001, 300.0, 18.0));
+        let _ = p.unary(rbk, DataSink, CostAnnotation::new(1.0, 100.0, 18.0));
+        p
+    }
+
+    fn run_config(nodes: u32) -> RunConfig {
+        RunConfig::canonical(nodes, 6)
+    }
+
+    #[test]
+    fn spark_lowering_is_sequential_flink_overlapped() {
+        let plan = wordcount_plan(10.0);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        let spark = lower(&plan, Framework::Spark, &run, &cluster, &cal).unwrap();
+        let flink = lower(&plan, Framework::Flink, &run, &cluster, &cal).unwrap();
+        assert!(matches!(spark[0].mode, crate::demand::ExecMode::Sequential));
+        assert!(matches!(flink[0].mode, crate::demand::ExecMode::Overlapped));
+    }
+
+    #[test]
+    fn combiner_is_inserted_for_both() {
+        let plan = wordcount_plan(10.0);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        for fw in Framework::BOTH {
+            let groups = lower(&plan, fw, &run, &cluster, &cal).unwrap();
+            let labels: Vec<&str> = groups
+                .iter()
+                .flat_map(|g| g.phases.iter().map(|p| p.label.as_str()))
+                .collect();
+            assert!(
+                labels.iter().any(|l| l.contains("GroupCombine")),
+                "{fw}: {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spark_shuffle_writes_disk_flink_does_not() {
+        let plan = wordcount_plan(50.0);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        let spark = lower(&plan, Framework::Spark, &run, &cluster, &cal).unwrap();
+        let flink = lower(&plan, Framework::Flink, &run, &cluster, &cal).unwrap();
+        let spark_shuffle_write: f64 = spark[0]
+            .phases
+            .iter()
+            .filter(|p| !p.label.contains("DataSink"))
+            .map(|p| p.disk_write_mib)
+            .sum();
+        // Flink's shuffle is pipelined: only the sink writes.
+        let flink_nonsink_write: f64 = flink
+            .iter()
+            .flat_map(|g| &g.phases)
+            .filter(|p| !p.label.contains("DataSink"))
+            .map(|p| p.disk_write_mib)
+            .sum();
+        assert!(spark_shuffle_write > 0.0);
+        assert_eq!(flink_nonsink_write, 0.0);
+    }
+
+    #[test]
+    fn spark_serializer_costs_more_cpu_than_flink() {
+        let plan = wordcount_plan(50.0);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        let total_cpu = |groups: &[PhaseGroup]| -> f64 {
+            groups
+                .iter()
+                .flat_map(|g| &g.phases)
+                .map(|p| p.cpu_core_seconds)
+                .sum()
+        };
+        let spark = lower(&plan, Framework::Spark, &run, &cluster, &cal).unwrap();
+        let flink = lower(&plan, Framework::Flink, &run, &cluster, &cal).unwrap();
+        assert!(total_cpu(&spark) > total_cpu(&flink) * 1.02);
+    }
+
+    #[test]
+    fn flink_combine_phase_has_cycles() {
+        let plan = wordcount_plan(100.0);
+        let cluster = Cluster::grid5000(4);
+        let groups = lower(
+            &plan,
+            Framework::Flink,
+            &run_config(4),
+            &cluster,
+            &Calibration::default(),
+        )
+        .unwrap();
+        let combine = groups
+            .iter()
+            .flat_map(|g| &g.phases)
+            .find(|p| p.label.contains("GroupCombine"))
+            .unwrap();
+        assert!(combine.combine_cycles > 1, "{}", combine.combine_cycles);
+    }
+
+    fn iteration_plan(rounds: u32, kind: IterationKind, decay: f64) -> LogicalPlan {
+        let mut body = LogicalPlan::new();
+        let bsrc = body.source(10_000_000, 16.0);
+        let bmap = body.unary(bsrc, Map, CostAnnotation::new(1.0, 200.0, 16.0));
+        let _ = body.unary(bmap, GroupReduce, CostAnnotation::new(0.001, 200.0, 16.0));
+        let mut p = LogicalPlan::new();
+        let src = p.source(10_000_000, 16.0);
+        let it = p.iterate(src, kind, rounds, body, decay);
+        let _ = p.unary(it, DataSink, CostAnnotation::new(1.0, 50.0, 16.0));
+        p
+    }
+
+    #[test]
+    fn spark_unrolls_iterations_flink_schedules_once() {
+        let plan = iteration_plan(10, IterationKind::Bulk, 1.0);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        let spark = lower(&plan, Framework::Spark, &run, &cluster, &cal).unwrap();
+        let flink = lower(&plan, Framework::Flink, &run, &cluster, &cal).unwrap();
+        let spark_tasks: u64 = spark.iter().flat_map(|g| &g.phases).map(|p| p.tasks).sum();
+        let flink_tasks: u64 = flink.iter().flat_map(|g| &g.phases).map(|p| p.tasks).sum();
+        assert!(
+            spark_tasks > 5 * flink_tasks,
+            "spark {spark_tasks} vs flink {flink_tasks}"
+        );
+        // Flink pays a sync barrier per round instead.
+        let sync: f64 = flink.iter().map(|g| g.latency_seconds).sum();
+        assert!(sync >= 10.0 * cal.flink_sync_per_round_s);
+    }
+
+    #[test]
+    fn delta_decay_reduces_flink_iteration_demand() {
+        let bulk = iteration_plan(10, IterationKind::Bulk, 1.0);
+        let delta = iteration_plan(10, IterationKind::Delta, 0.5);
+        let cluster = Cluster::grid5000(4);
+        let cal = Calibration::default();
+        let run = run_config(4);
+        let cpu = |p: &LogicalPlan| -> f64 {
+            lower(p, Framework::Flink, &run, &cluster, &cal)
+                .unwrap()
+                .iter()
+                .flat_map(|g| g.phases.clone())
+                .filter(|d| d.label.starts_with("Iter:"))
+                .map(|d| d.cpu_core_seconds)
+                .sum()
+        };
+        let bulk_cpu = cpu(&bulk);
+        let delta_cpu = cpu(&delta);
+        assert!(
+            delta_cpu < bulk_cpu * 0.35,
+            "delta {delta_cpu} vs bulk {bulk_cpu}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let plan = wordcount_plan(1.0);
+        let cluster = Cluster::grid5000(4);
+        let mut run = run_config(4);
+        run.flink.default_parallelism = 100_000;
+        let err = lower(&plan, Framework::Flink, &run, &cluster, &Calibration::default());
+        assert!(matches!(err, Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn oversized_working_set_spills() {
+        // 4 nodes × tiny Flink managed memory, huge groupReduce input.
+        let mut p = LogicalPlan::new();
+        let src = p.source(2_000_000_000, 100.0); // 200 GB
+        let gr = p.unary(src, GroupReduce, CostAnnotation::new(1.0, 100.0, 100.0));
+        let _ = p.unary(gr, DataSink, CostAnnotation::new(1.0, 50.0, 100.0));
+        let cluster = Cluster::grid5000(4);
+        let mut run = run_config(4);
+        run.flink.taskmanager_memory_gb = 2.0;
+        let groups = lower(&p, Framework::Flink, &run, &cluster, &Calibration::default()).unwrap();
+        // The GroupReduce vertex (the sink is a separate vertex) must spill
+        // its whole working set through the disk: one full extra pass.
+        let reduce_phase = groups
+            .iter()
+            .flat_map(|g| &g.phases)
+            .find(|ph| ph.label.contains("GroupReduce"))
+            .expect("reduce phase exists");
+        let data_mib = 2_000_000_000.0 * 100.0 / (1024.0 * 1024.0);
+        assert!(
+            reduce_phase.disk_write_mib > data_mib * 0.9
+                && reduce_phase.disk_read_mib > data_mib * 0.9,
+            "expected a full spill round trip: write {} read {} vs data {}",
+            reduce_phase.disk_write_mib,
+            reduce_phase.disk_read_mib,
+            data_mib
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-record user-code cost constants for the simulator's plans.
+//!
+//! These are the *workload* halves of the cost model (the framework halves
+//! live in `flowmark_sim::Calibration`). Each constant is the CPU cost of
+//! the user-defined function per input record on the paper's Xeon E5-2630v3
+//! cores, JVM-realistic (object churn included), chosen once against the
+//! paper's absolute execution times and then frozen.
+
+/// Average bytes of one text line in the Wikipedia-like corpus.
+pub const TEXT_LINE_BYTES: f64 = 80.0;
+/// Words per line.
+pub const WORDS_PER_LINE: f64 = 10.0;
+/// Serialized bytes of one (word, count) pair.
+pub const WORD_PAIR_BYTES: f64 = 18.0;
+/// Distinct words in the corpus (Wikipedia-scale vocabulary incl. typos,
+/// numbers, markup tokens).
+pub const VOCABULARY: f64 = 1.0e7;
+
+/// CPU ns to split one line into words and emit pairs (flatMap + mapToPair).
+pub const WC_FLATMAP_NS: f64 = 24_000.0;
+/// CPU ns of user reduce code per word entering an aggregation.
+pub const WC_REDUCE_NS: f64 = 250.0;
+
+/// CPU ns to match one line against the Grep pattern.
+pub const GREP_FILTER_NS: f64 = 13_800.0;
+/// Fraction of lines matching the Grep needle (a common term).
+pub const GREP_SELECTIVITY: f64 = 0.20;
+
+/// TeraSort record size (fixed by the benchmark).
+pub const TS_RECORD_BYTES: f64 = 100.0;
+/// CPU ns per record for key extraction + range partitioning.
+pub const TS_MAP_NS: f64 = 900.0;
+/// CPU ns per record for the local sort (comparisons + moves, amortised).
+pub const TS_SORT_NS: f64 = 2_800.0;
+
+/// Bytes of one K-Means point record in the HiBench text input.
+pub const KM_TEXT_BYTES: f64 = 42.0;
+/// Bytes of one parsed 2-D point.
+pub const KM_POINT_BYTES: f64 = 16.0;
+/// Number of cluster centers.
+pub const KM_CENTERS: f64 = 10.0;
+/// CPU ns to parse one text point.
+pub const KM_PARSE_NS: f64 = 50_000.0;
+/// CPU ns to assign one point to its nearest center (k distance
+/// computations + JVM overhead).
+pub const KM_ASSIGN_NS: f64 = 2_100.0;
+
+/// Bytes of one edge in the text edge-list inputs (two decimal ids).
+pub const GRAPH_EDGE_TEXT_BYTES: f64 = 17.0;
+/// Serialized bytes of one in-flight graph message (rank / label + framing).
+pub const GRAPH_MSG_BYTES: f64 = 8.0;
+/// CPU ns to parse one edge line.
+pub const GRAPH_PARSE_NS: f64 = 6_000.0;
+/// CPU ns to build one adjacency entry during graph load.
+pub const GRAPH_BUILD_NS: f64 = 1_500.0;
+/// CPU ns per edge per Page Rank iteration (scatter + gather share).
+pub const PR_EDGE_NS: f64 = 3_300.0;
+/// CPU ns per edge per Connected Components iteration.
+pub const CC_EDGE_NS: f64 = 6_200.0;
+/// Bytes per vertex of the materialised rank/label vector.
+pub const GRAPH_VERTEX_BYTES: f64 = 12.0;
+/// Workset decay per round for delta-iteration Connected Components
+/// (label propagation converges geometrically on power-law graphs).
+pub const CC_WORKSET_DECAY: f64 = 0.70;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_geometry_is_consistent() {
+        // ~7 bytes per word plus separators fills an 80-byte line.
+        let per_word = TEXT_LINE_BYTES / WORDS_PER_LINE;
+        assert!(per_word >= 6.0 && per_word <= 10.0);
+    }
+
+    #[test]
+    fn graph_edge_bytes_match_table_iv() {
+        // Small graph: 0.8 B edges at 17 B/edge ≈ 13.6 GB (Table IV: 13.7).
+        let small_gb = 0.8e9 * GRAPH_EDGE_TEXT_BYTES / 1e9;
+        assert!((small_gb - 13.7).abs() < 0.3, "{small_gb}");
+        // Medium: 1.8 B × 17 B ≈ 30.6 GB (Table IV: 30.1).
+        let medium_gb = 1.8e9 * GRAPH_EDGE_TEXT_BYTES / 1e9;
+        assert!((medium_gb - 30.1).abs() < 0.6, "{medium_gb}");
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        for c in [
+            WC_FLATMAP_NS, WC_REDUCE_NS, GREP_FILTER_NS, TS_MAP_NS, TS_SORT_NS,
+            KM_PARSE_NS, KM_ASSIGN_NS, GRAPH_PARSE_NS, PR_EDGE_NS, CC_EDGE_NS,
+        ] {
+            assert!(c > 0.0);
+        }
+        assert!(GREP_SELECTIVITY > 0.0 && GREP_SELECTIVITY < 1.0);
+        assert!(CC_WORKSET_DECAY > 0.0 && CC_WORKSET_DECAY < 1.0);
+    }
+}

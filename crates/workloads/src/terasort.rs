@@ -1,0 +1,242 @@
+//! Tera Sort (§III, §VI-C): "a sorting algorithm suitable for measuring the
+//! I/O and the communication performance of the two engines", on 100-byte
+//! records with 10-byte keys and a shared Hadoop-style range partitioner.
+//!
+//! - Spark: `newAPIHadoopFile → repartitionAndSortWithinPartitions → save`
+//! - Flink: `map (OptimizedText) → partitionCustom → sortPartition → save`
+
+use flowmark_core::config::Framework;
+use flowmark_dataflow::operator::OperatorKind;
+use flowmark_dataflow::partitioner::RangePartitioner;
+use flowmark_dataflow::plan::{CostAnnotation, ExchangeMode, LogicalPlan};
+use flowmark_datagen::terasort::{sample_split_points, Record, KEY_BYTES};
+use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::spark::SparkContext;
+
+use crate::costs::*;
+
+/// Problem size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeraSortScale {
+    /// Total bytes to sort.
+    pub total_bytes: f64,
+}
+
+impl TeraSortScale {
+    /// Fixed data per node (Fig 7).
+    pub fn per_node(nodes: u32, gb_per_node: f64) -> Self {
+        Self {
+            total_bytes: nodes as f64 * gb_per_node * 1e9,
+        }
+    }
+
+    /// Fixed total dataset (Fig 8: 3.5 TB).
+    pub fn total_tb(tb: f64) -> Self {
+        Self {
+            total_bytes: tb * 1e12,
+        }
+    }
+}
+
+/// Builds the annotated simulator plan for one engine.
+pub fn plan(fw: Framework, scale: &TeraSortScale) -> LogicalPlan {
+    let records = (scale.total_bytes / TS_RECORD_BYTES) as u64;
+    let mut p = LogicalPlan::new();
+    let src = p.source(records, TS_RECORD_BYTES);
+    match fw {
+        Framework::Spark => {
+            let rs = p.unary_via(
+                src,
+                ExchangeMode::RangeShuffle,
+                OperatorKind::RepartitionAndSort,
+                CostAnnotation::new(1.0, TS_MAP_NS + TS_SORT_NS, TS_RECORD_BYTES),
+            );
+            p.unary(
+                rs,
+                OperatorKind::DataSink,
+                CostAnnotation::new(1.0, 200.0, TS_RECORD_BYTES),
+            );
+        }
+        Framework::Flink => {
+            let map = p.unary(
+                src,
+                OperatorKind::Map,
+                CostAnnotation::new(1.0, TS_MAP_NS, TS_RECORD_BYTES),
+            );
+            let part = p.unary_via(
+                map,
+                ExchangeMode::RangeShuffle,
+                OperatorKind::PartitionCustom,
+                CostAnnotation::new(1.0, 200.0, TS_RECORD_BYTES),
+            );
+            let sort = p.unary(
+                part,
+                OperatorKind::SortPartition,
+                CostAnnotation::new(1.0, TS_SORT_NS, TS_RECORD_BYTES),
+            );
+            p.unary(
+                sort,
+                OperatorKind::DataSink,
+                CostAnnotation::new(1.0, 200.0, TS_RECORD_BYTES),
+            );
+        }
+    }
+    p
+}
+
+/// Table I row.
+pub fn operator_table(fw: Framework) -> Vec<OperatorKind> {
+    use OperatorKind::*;
+    match fw {
+        Framework::Spark => vec![RepartitionAndSort, DataSink],
+        Framework::Flink => vec![Map, PartitionCustom, SortPartition, DataSink],
+    }
+}
+
+/// Runs TeraSort on the staged engine; returns the per-partition sorted
+/// output (concatenation is globally sorted).
+pub fn run_spark(
+    sc: &SparkContext,
+    records: Vec<Record>,
+    partitions: usize,
+) -> Vec<Vec<Record>> {
+    let splits = sample_split_points(&records, partitions, 10_000);
+    let partitioner = std::sync::Arc::new(KeyRange::new(splits));
+    let keyed: Vec<([u8; KEY_BYTES], Record)> = records
+        .into_iter()
+        .map(|r| {
+            let mut k = [0u8; KEY_BYTES];
+            k.copy_from_slice(r.key());
+            (k, r)
+        })
+        .collect();
+    let rdd = sc
+        .parallelize(keyed, partitions)
+        .repartition_and_sort_within_partitions(partitioner);
+    (0..rdd.num_partitions())
+        .map(|part| rdd.compute(part).iter().map(|(_, r)| r.clone()).collect())
+        .collect()
+}
+
+/// Runs TeraSort on the pipelined engine.
+pub fn run_flink(env: &FlinkEnv, records: Vec<Record>, partitions: usize) -> Vec<Vec<Record>> {
+    let splits = sample_split_points(&records, partitions, 10_000);
+    let partitioner = std::sync::Arc::new(KeyRange::new(splits));
+    env.from_collection(records)
+        .partition_custom(partitioner, |r: &Record| {
+            let mut k = [0u8; KEY_BYTES];
+            k.copy_from_slice(r.key());
+            k
+        })
+        .sort_partition(|a, b| a.key().cmp(b.key()))
+        .collect_partitions()
+}
+
+/// Sequential oracle: fully sorted records.
+pub fn oracle(mut records: Vec<Record>) -> Vec<Record> {
+    records.sort();
+    records
+}
+
+/// Checks the TeraSort output contract: each partition sorted, partitions
+/// in global key order, and the multiset of records preserved.
+pub fn validate_output(input_len: usize, output: &[Vec<Record>]) -> Result<(), String> {
+    let total: usize = output.iter().map(Vec::len).sum();
+    if total != input_len {
+        return Err(format!("record count changed: {input_len} → {total}"));
+    }
+    let mut last_key: Option<Vec<u8>> = None;
+    for (i, part) in output.iter().enumerate() {
+        for r in part {
+            if let Some(prev) = &last_key {
+                if prev.as_slice() > r.key() {
+                    return Err(format!("order violated at partition {i}"));
+                }
+            }
+            last_key = Some(r.key().to_vec());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_datagen::terasort::TeraGen;
+
+    #[test]
+    fn both_engines_produce_globally_sorted_output() {
+        let records = TeraGen::new(11).records(5000);
+        let expect = oracle(records.clone());
+
+        let sc = SparkContext::new(4, 64 << 20);
+        let spark = run_spark(&sc, records.clone(), 8);
+        validate_output(records.len(), &spark).unwrap();
+        let spark_flat: Vec<Record> = spark.into_iter().flatten().collect();
+        assert_eq!(
+            spark_flat.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>(),
+            expect.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>()
+        );
+
+        let env = FlinkEnv::new(4);
+        let flink = run_flink(&env, records.clone(), 8);
+        validate_output(records.len(), &flink).unwrap();
+        let flink_flat: Vec<Record> = flink.into_iter().flatten().collect();
+        assert_eq!(
+            flink_flat.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>(),
+            expect.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn plans_validate_and_differ_per_table_i() {
+        let scale = TeraSortScale::total_tb(3.5);
+        let spark = plan(Framework::Spark, &scale);
+        let flink = plan(Framework::Flink, &scale);
+        assert!(spark.validate().is_ok() && flink.validate().is_ok());
+        assert!(spark
+            .nodes()
+            .iter()
+            .any(|n| n.op == OperatorKind::RepartitionAndSort));
+        assert!(flink
+            .nodes()
+            .iter()
+            .any(|n| n.op == OperatorKind::SortPartition));
+        // Record count: 3.5 TB / 100 B.
+        assert_eq!(spark.nodes()[0].source_records, Some(35_000_000_000));
+    }
+
+    #[test]
+    fn validate_output_catches_disorder() {
+        let records = TeraGen::new(3).records(100);
+        let sorted = oracle(records.clone());
+        let mut bad = vec![sorted.clone()];
+        bad[0].swap(0, 50);
+        assert!(validate_output(100, &bad).is_err());
+        assert!(validate_output(100, &[sorted]).is_ok());
+        assert!(validate_output(99, &[oracle(records)]).is_err());
+    }
+}
+
+/// A range partitioner over fixed-size keys.
+pub struct KeyRange {
+    inner: RangePartitioner<[u8; KEY_BYTES]>,
+}
+
+impl KeyRange {
+    /// Creates a key-range partitioner from split points.
+    pub fn new(splits: Vec<[u8; KEY_BYTES]>) -> Self {
+        Self {
+            inner: RangePartitioner::new(splits),
+        }
+    }
+}
+
+impl flowmark_dataflow::partitioner::Partitioner<[u8; KEY_BYTES]> for KeyRange {
+    fn partitions(&self) -> usize {
+        self.inner.partitions()
+    }
+    fn partition(&self, key: &[u8; KEY_BYTES]) -> usize {
+        self.inner.partition(key)
+    }
+}

@@ -1,0 +1,181 @@
+//! Word Count (§III, §VI-A): "a good fit for evaluating the aggregation
+//! component in each framework, since both Spark and Flink use a map side
+//! combiner to reduce the intermediate data."
+//!
+//! - Flink: `flatMap → groupBy → sum → writeAsText`
+//! - Spark: `flatMap → mapToPair → reduceByKey → saveAsTextFile`
+
+use std::collections::HashMap;
+
+use flowmark_core::config::Framework;
+use flowmark_dataflow::operator::OperatorKind;
+use flowmark_dataflow::plan::{CostAnnotation, LogicalPlan};
+use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::spark::SparkContext;
+
+use crate::costs::*;
+
+/// Problem size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordCountScale {
+    /// Total input bytes across the cluster.
+    pub total_bytes: f64,
+}
+
+impl WordCountScale {
+    /// The paper's weak-scaling setup: `gb_per_node` GB on each node.
+    pub fn per_node(nodes: u32, gb_per_node: f64) -> Self {
+        Self {
+            total_bytes: nodes as f64 * gb_per_node * 1e9,
+        }
+    }
+}
+
+/// Builds the annotated simulator plan for one engine.
+pub fn plan(fw: Framework, scale: &WordCountScale) -> LogicalPlan {
+    let lines = (scale.total_bytes / TEXT_LINE_BYTES) as u64;
+    let words = lines as f64 * WORDS_PER_LINE;
+    let reduce_sel = (VOCABULARY / words).min(1.0);
+    let mut p = LogicalPlan::new();
+    let src = p.source(lines, TEXT_LINE_BYTES);
+    match fw {
+        Framework::Spark => {
+            let fm = p.unary(
+                src,
+                OperatorKind::FlatMap,
+                CostAnnotation::new(WORDS_PER_LINE, WC_FLATMAP_NS, TEXT_LINE_BYTES / WORDS_PER_LINE),
+            );
+            let mtp = p.unary(
+                fm,
+                OperatorKind::MapToPair,
+                CostAnnotation::new(1.0, 50.0, WORD_PAIR_BYTES),
+            );
+            let rbk = p.unary(
+                mtp,
+                OperatorKind::ReduceByKey,
+                CostAnnotation::new(reduce_sel, WC_REDUCE_NS, WORD_PAIR_BYTES),
+            );
+            p.unary(
+                rbk,
+                OperatorKind::DataSink,
+                CostAnnotation::new(1.0, 200.0, WORD_PAIR_BYTES),
+            );
+        }
+        Framework::Flink => {
+            // Flink's flatMap emits the pairs directly.
+            let fm = p.unary(
+                src,
+                OperatorKind::FlatMap,
+                CostAnnotation::new(WORDS_PER_LINE, WC_FLATMAP_NS, WORD_PAIR_BYTES),
+            );
+            let gr = p.unary(
+                fm,
+                OperatorKind::GroupReduce,
+                CostAnnotation::new(reduce_sel, WC_REDUCE_NS, WORD_PAIR_BYTES),
+            );
+            p.unary(
+                gr,
+                OperatorKind::DataSink,
+                CostAnnotation::new(1.0, 200.0, WORD_PAIR_BYTES),
+            );
+        }
+    }
+    p
+}
+
+/// Table I row: operators used by Word Count.
+pub fn operator_table(fw: Framework) -> Vec<OperatorKind> {
+    use OperatorKind::*;
+    match fw {
+        Framework::Spark => vec![FlatMap, MapToPair, ReduceByKey, DataSink],
+        Framework::Flink => vec![FlatMap, GroupReduce, DataSink],
+    }
+}
+
+/// Splits a line into words (shared tokenizer).
+fn tokenize(line: &str) -> impl Iterator<Item = String> + '_ {
+    line.split_whitespace().map(str::to_owned)
+}
+
+/// Runs Word Count on the staged engine.
+pub fn run_spark(sc: &SparkContext, lines: Vec<String>, partitions: usize) -> HashMap<String, u64> {
+    sc.parallelize(lines, partitions)
+        .flat_map(|line| tokenize(line).map(|w| (w, 1u64)).collect::<Vec<_>>())
+        .reduce_by_key(|a, b| *a += b)
+        .collect_as_map()
+}
+
+/// Runs Word Count on the pipelined engine.
+pub fn run_flink(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
+    env.from_collection(lines)
+        .flat_map(|line| tokenize(line).map(|w| (w, 1u64)).collect::<Vec<_>>())
+        .group_reduce(|a, b| *a += b)
+        .collect()
+        .into_iter()
+        .collect()
+}
+
+/// Sequential oracle.
+pub fn oracle(lines: &[String]) -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for line in lines {
+        for w in tokenize(line) {
+            *m.entry(w).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_datagen::text::{TextGen, TextGenConfig};
+
+    fn corpus(n: usize) -> Vec<String> {
+        TextGen::new(TextGenConfig::default(), 7).lines(n)
+    }
+
+    #[test]
+    fn both_engines_match_the_oracle() {
+        let lines = corpus(2000);
+        let expect = oracle(&lines);
+        let sc = SparkContext::new(4, 64 << 20);
+        let spark = run_spark(&sc, lines.clone(), 4);
+        assert_eq!(spark, expect);
+        let env = FlinkEnv::new(4);
+        let flink = run_flink(&env, lines);
+        assert_eq!(flink, expect);
+    }
+
+    #[test]
+    fn plans_validate_for_both_frameworks() {
+        let scale = WordCountScale::per_node(8, 24.0);
+        for fw in Framework::BOTH {
+            let p = plan(fw, &scale);
+            assert!(p.validate().is_ok(), "{fw}");
+        }
+    }
+
+    #[test]
+    fn operator_table_matches_table_i() {
+        use OperatorKind::*;
+        let spark = operator_table(Framework::Spark);
+        assert!(spark.contains(&MapToPair) && spark.contains(&ReduceByKey));
+        assert!(!spark.contains(&GroupReduce));
+        let flink = operator_table(Framework::Flink);
+        assert!(flink.contains(&GroupReduce));
+        assert!(!flink.contains(&ReduceByKey) && !flink.contains(&MapToPair));
+        // Common operators appear in both.
+        assert!(spark.contains(&FlatMap) && flink.contains(&FlatMap));
+    }
+
+    #[test]
+    fn scale_accounting() {
+        let s = WordCountScale::per_node(32, 24.0);
+        assert!((s.total_bytes - 768e9).abs() < 1.0);
+        let p = plan(Framework::Flink, &s);
+        let cards = p.cardinalities();
+        // flatMap output = lines × 10.
+        assert!((cards[1] - 768e9 / 80.0 * 10.0).abs() / cards[1] < 1e-9);
+    }
+}

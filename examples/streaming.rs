@@ -1,0 +1,45 @@
+//! Streaming extension (the paper's §VIII future work): micro-batch vs
+//! continuous processing of one event stream, answering "does treating
+//! batches as finite sets of streamed data pay off?" with latency numbers.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+
+use std::time::Duration;
+
+use flowmark_engine::streaming::{run_continuous, run_micro_batch};
+
+fn main() {
+    // A stream of 2 000 sensor-like readings arriving every 250 µs.
+    let events: Vec<u64> = (0..2_000).collect();
+    let gap = Duration::from_micros(250);
+    let classify = |x: &u64| if x % 7 == 0 { 1u32 } else { 0 };
+
+    println!("processing 2000 events (4 kHz arrival rate) through both stream models...\n");
+
+    let ct = run_continuous(events.clone(), gap, classify);
+    println!(
+        "continuous (record-at-a-time, Flink model):\n  {} events, {} invocations, latency {:.0} µs mean / {:.0} µs max",
+        ct.processed, ct.invocations, ct.latency_us.mean, ct.latency_us.max
+    );
+
+    for batch_ms in [10u64, 50, 200] {
+        let mb = run_micro_batch(
+            events.clone(),
+            gap,
+            Duration::from_millis(batch_ms),
+            |batch| batch.iter().map(classify).collect::<Vec<_>>(),
+        );
+        println!(
+            "micro-batch {batch_ms:>3} ms (discretized stream, Spark model):\n  {} events, {} batches, latency {:.0} µs mean / {:.0} µs max",
+            mb.processed, mb.invocations, mb.latency_us.mean, mb.latency_us.max
+        );
+    }
+
+    println!(
+        "\ntake-away: the discretized model's latency floor is ~half its batch \
+         interval, while the continuous model stays at processing cost — the \
+         trade the paper's future work asks about, measured."
+    );
+}

@@ -1,0 +1,172 @@
+//! The paper's methodology, applied end-to-end: correlate the simulated
+//! operator plans with the simulated resource telemetry and check that the
+//! qualitative observations of §VI fall out.
+
+use flowmark_core::correlate::Bound;
+use flowmark_harness::experiments;
+use flowmark_sim::Calibration;
+
+fn cal() -> Calibration {
+    Calibration::default()
+}
+
+#[test]
+fn fig3_wordcount_is_cpu_and_disk_bound_with_anticyclic_flink_combine() {
+    let rf = experiments::fig3(&cal());
+    // "For this workload both Flink and Spark are CPU and disk-bound."
+    for report in [&rf.spark_report, &rf.flink_report] {
+        let bounds = report.dominant_bounds();
+        assert!(bounds.contains(&Bound::Cpu), "bounds: {bounds:?}");
+        assert!(bounds.contains(&Bound::Disk), "bounds: {bounds:?}");
+    }
+    // "For Flink, we notice an anti-cyclic disk utilization ... explained
+    // by the use of a sort-based combiner."
+    let combine = rf
+        .flink_report
+        .profiles
+        .iter()
+        .find(|p| p.span.name.contains("GroupCombine"))
+        .expect("Flink combine chain");
+    assert!(
+        combine.anticyclic_disk,
+        "expected anti-cyclic CPU/disk in the Flink combine (r = {:?})",
+        combine.cpu_disk_correlation
+    );
+    // Flink finishes faster end-to-end.
+    assert!(rf.flink.seconds < rf.spark.seconds);
+}
+
+#[test]
+fn fig6_grep_flink_pays_a_sink_phase_spark_does_not() {
+    let rf = experiments::fig6(&cal());
+    assert!(
+        rf.flink_report.profile("DataSink").is_some()
+            || rf
+                .flink_report
+                .profiles
+                .iter()
+                .any(|p| p.span.name.contains("DataSink")),
+        "Flink's Grep plan must show the sink phase of Fig 6"
+    );
+    assert!(
+        !rf.spark_report
+            .profiles
+            .iter()
+            .any(|p| p.span.name.contains("DataSink")),
+        "Spark counts in place"
+    );
+    assert!(rf.spark.seconds < rf.flink.seconds, "Spark wins Grep");
+}
+
+#[test]
+fn fig9_terasort_pipelining_is_visible_in_the_spans() {
+    let rf = experiments::fig9(&cal());
+    // "Flink pipelines the execution, hence it is visualized in a single
+    // stage, while in Spark the separation between stages is very clear."
+    assert!(
+        rf.flink_report.pipelining_degree > rf.spark_report.pipelining_degree + 0.25,
+        "flink {} vs spark {}",
+        rf.flink_report.pipelining_degree,
+        rf.spark_report.pipelining_degree
+    );
+    assert!(rf.spark_report.pipelining_degree < 0.05);
+    // Spark uses less network thanks to map-output compression (§VI-C):
+    // compare total network MiB.
+    let net = |r: &flowmark_sim::SimResult| {
+        r.telemetry
+            .mean_channel(flowmark_core::telemetry::ResourceKind::Network)
+            .integral()
+    };
+    assert!(
+        net(&rf.spark) < net(&rf.flink),
+        "Spark must move fewer network bytes: {:.0} vs {:.0}",
+        net(&rf.spark),
+        net(&rf.flink)
+    );
+}
+
+#[test]
+fn fig10_kmeans_is_cpu_bound_and_spark_shows_per_iteration_waves() {
+    let rf = experiments::fig10(&cal());
+    for report in [&rf.spark_report, &rf.flink_report] {
+        assert!(report.dominant_bounds().contains(&Bound::Cpu));
+        // "memory and disk utilization are less than 10%" — no disk bound.
+        assert!(!report.dominant_bounds().contains(&Bound::Disk));
+    }
+    // Spark's unrolled loop appears as one span per iteration (Fig 10's
+    // MC waves); Flink's native iteration is a handful of long spans.
+    let spark_iter_spans = rf
+        .spark_report
+        .profiles
+        .iter()
+        .filter(|p| p.span.name.starts_with("iter"))
+        .count();
+    assert!(spark_iter_spans >= 10, "spark iteration waves: {spark_iter_spans}");
+    let flink_iter_spans = rf
+        .flink_report
+        .profiles
+        .iter()
+        .filter(|p| p.span.name.starts_with("Iter:"))
+        .count();
+    assert!(flink_iter_spans <= 4, "flink deploys once: {flink_iter_spans}");
+}
+
+#[test]
+fn fig16_pagerank_has_two_phases_with_different_bounds() {
+    let rf = experiments::fig16(&cal());
+    // "the first stage both Flink and Spark are CPU- and disk-bound, while
+    // in the second stage they are CPU- and network-bound."
+    for (name, report) in [("spark", &rf.spark_report), ("flink", &rf.flink_report)] {
+        let load_disk = report
+            .profiles
+            .iter()
+            .filter(|p| !p.span.name.contains("Iter") && !p.span.name.starts_with("iter"))
+            .any(|p| p.mean(flowmark_core::telemetry::ResourceKind::DiskIo) > 1.0);
+        assert!(load_disk, "{name}: load phase must touch the disk");
+        let iter_profiles: Vec<_> = report
+            .profiles
+            .iter()
+            .filter(|p| p.span.name.contains("Iter") || p.span.name.starts_with("iter"))
+            .collect();
+        assert!(!iter_profiles.is_empty(), "{name}: iteration spans exist");
+        let iter_net: f64 = iter_profiles
+            .iter()
+            .map(|p| p.mean(flowmark_core::telemetry::ResourceKind::Network))
+            .fold(0.0, f64::max);
+        assert!(iter_net > 0.0, "{name}: iterations use the network");
+    }
+    // "In Flink, there is no disk usage during iterations with Page Rank."
+    let flink_iter_disk = rf
+        .flink_report
+        .profiles
+        .iter()
+        .filter(|p| p.span.name.starts_with("Iter:"))
+        .map(|p| p.mean(flowmark_core::telemetry::ResourceKind::DiskIo))
+        .fold(0.0, f64::max);
+    assert!(
+        flink_iter_disk < 1.0,
+        "Flink PR iterations must not touch the disk: {flink_iter_disk:.1} MiB/s"
+    );
+    // "Spark is using disks during iterations in order to materialize
+    // intermediate ranks."
+    let spark_iter_disk = rf
+        .spark_report
+        .profiles
+        .iter()
+        .filter(|p| p.span.name.starts_with("iter"))
+        .map(|p| p.mean(flowmark_core::telemetry::ResourceKind::DiskIo))
+        .fold(0.0, f64::max);
+    assert!(
+        spark_iter_disk > 1.0,
+        "Spark PR iterations materialise to disk: {spark_iter_disk:.2} MiB/s"
+    );
+}
+
+#[test]
+fn fig17_cc_flink_delta_wins_with_similar_overall_usage() {
+    let rf = experiments::fig17(&cal());
+    assert!(rf.flink.seconds < rf.spark.seconds, "Flink wins CC medium");
+    // Both CPU-bound overall.
+    assert!(rf.spark_report.dominant_bounds().contains(&Bound::Cpu));
+    assert!(rf.flink_report.dominant_bounds().contains(&Bound::Cpu));
+}

@@ -1,0 +1,267 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! engines' invariants.
+
+use proptest::prelude::*;
+
+use flowmark_core::stats::Accumulator;
+use flowmark_core::timeseries::TimeSeries;
+use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
+use flowmark_engine::sortbuf::SortCombineBuffer;
+use flowmark_engine::{EngineMetrics, FlinkEnv, SparkContext};
+
+proptest! {
+    /// Welford merge is equivalent to sequential accumulation regardless of
+    /// the split point.
+    #[test]
+    fn accumulator_merge_any_split(values in prop::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
+        let split = split.min(values.len());
+        let mut all = Accumulator::new();
+        for &v in &values { all.push(v); }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &v in &values[..split] { left.push(v); }
+        for &v in &values[split..] { right.push(v); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        let (m1, m2) = (left.mean().unwrap(), all.mean().unwrap());
+        prop_assert!((m1 - m2).abs() <= 1e-6 * (1.0 + m2.abs()));
+        if values.len() > 1 {
+            let (v1, v2) = (left.variance().unwrap(), all.variance().unwrap());
+            prop_assert!((v1 - v2).abs() <= 1e-6 * (1.0 + v2.abs()));
+        }
+    }
+
+    /// deposit_range always preserves the deposited integral.
+    #[test]
+    fn timeseries_integral_preserved(
+        period in 0.1f64..5.0,
+        start in 0.0f64..100.0,
+        len in 0.01f64..50.0,
+        total in 0.001f64..1e6,
+    ) {
+        let mut ts = TimeSeries::new(period);
+        ts.deposit_range(start, start + len, total);
+        let integral = ts.integral();
+        prop_assert!((integral - total).abs() <= 1e-6 * total,
+            "integral {} vs total {}", integral, total);
+    }
+
+    /// Hash partitioning is deterministic and in range.
+    #[test]
+    fn hash_partitioner_in_range(keys in prop::collection::vec(any::<u64>(), 1..100), parts in 1usize..64) {
+        let p = HashPartitioner::new(parts);
+        for k in &keys {
+            let a = p.partition(k);
+            prop_assert!(a < parts);
+            prop_assert_eq!(a, p.partition(k));
+        }
+    }
+
+    /// Range partitioning is monotone in the key.
+    #[test]
+    fn range_partitioner_monotone(mut splits in prop::collection::vec(any::<u32>(), 0..20), keys in prop::collection::vec(any::<u32>(), 2..100)) {
+        splits.sort_unstable();
+        let p = RangePartitioner::new(splits);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let parts: Vec<usize> = sorted.iter().map(|k| p.partition(k)).collect();
+        prop_assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(parts.iter().all(|&x| x < p.partitions()));
+    }
+
+    /// The sort-combine buffer equals a HashMap fold for any capacity.
+    #[test]
+    fn sortbuf_equals_hashmap_oracle(
+        pairs in prop::collection::vec((0u32..50, 1u64..100), 0..400),
+        capacity in 1usize..64,
+    ) {
+        let mut buf = SortCombineBuffer::new(
+            capacity,
+            16,
+            std::sync::Arc::new(|a: &mut u64, b: u64| *a += b),
+            EngineMetrics::new(),
+        );
+        let mut oracle = std::collections::HashMap::<u32, u64>::new();
+        for (k, v) in &pairs {
+            buf.insert(*k, *v);
+            *oracle.entry(*k).or_default() += v;
+        }
+        let out = buf.finish();
+        prop_assert_eq!(out.len(), oracle.len());
+        prop_assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "sorted output");
+        for (k, v) in out {
+            prop_assert_eq!(oracle[&k], v);
+        }
+    }
+
+    /// Both engines compute identical reduce-by-key results on arbitrary
+    /// key/value data, for any partitioning.
+    #[test]
+    fn engines_agree_on_arbitrary_aggregations(
+        pairs in prop::collection::vec((0u32..30, 1u64..10), 1..300),
+        partitions in 1usize..6,
+    ) {
+        let sc = SparkContext::new(partitions, 16 << 20);
+        let spark: std::collections::HashMap<u32, u64> = sc
+            .parallelize(pairs.clone(), partitions)
+            .reduce_by_key(|a, b| *a += b)
+            .collect_as_map();
+        let env = FlinkEnv::new(partitions);
+        let flink: std::collections::HashMap<u32, u64> = env
+            .from_collection(pairs.clone())
+            .group_reduce(|a, b| *a += b)
+            .collect()
+            .into_iter()
+            .collect();
+        let mut oracle = std::collections::HashMap::<u32, u64>::new();
+        for (k, v) in pairs {
+            *oracle.entry(k).or_default() += v;
+        }
+        prop_assert_eq!(&spark, &oracle);
+        prop_assert_eq!(&flink, &oracle);
+    }
+
+    /// Plan cardinality propagation is linear in source size.
+    #[test]
+    fn plan_cardinalities_scale_linearly(records in 1u64..1_000_000, sel in 0.01f64..10.0) {
+        use flowmark_dataflow::operator::OperatorKind::*;
+        use flowmark_dataflow::plan::{CostAnnotation, LogicalPlan};
+        let build = |n: u64| {
+            let mut p = LogicalPlan::new();
+            let s = p.source(n, 10.0);
+            let m = p.unary(s, FlatMap, CostAnnotation::new(sel, 10.0, 10.0));
+            let _ = p.unary(m, DataSink, CostAnnotation::new(1.0, 10.0, 10.0));
+            p.cardinalities()
+        };
+        let c1 = build(records);
+        let c2 = build(records * 2);
+        for (a, b) in c1.iter().zip(&c2) {
+            prop_assert!((b - 2.0 * a).abs() <= 1e-6 * (1.0 + b.abs()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator is deterministic for a fixed seed and monotone in
+    /// dataset size, for both engines.
+    #[test]
+    fn simulator_deterministic_and_monotone(gb in 4.0f64..64.0, seed in 0u64..1000) {
+        use flowmark_core::config::Framework;
+        use flowmark_sim::{simulate, Calibration};
+        use flowmark_workloads::wordcount::{plan, WordCountScale};
+        use flowmark_workloads::presets;
+        let run = presets::wordcount_config(4);
+        let cal = Calibration::default();
+        for fw in Framework::BOTH {
+            let small = plan(fw, &WordCountScale { total_bytes: gb * 1e9 });
+            let big = plan(fw, &WordCountScale { total_bytes: 2.0 * gb * 1e9 });
+            let a = simulate(&small, fw, &run, &cal, seed).unwrap().seconds;
+            let a2 = simulate(&small, fw, &run, &cal, seed).unwrap().seconds;
+            let b = simulate(&big, fw, &run, &cal, seed).unwrap().seconds;
+            prop_assert_eq!(a, a2, "same seed, same result");
+            prop_assert!(b > a, "{}: doubling data must cost time ({} vs {})", fw, a, b);
+        }
+    }
+}
+
+proptest! {
+    /// TeraGen records always satisfy the 100-byte spec.
+    #[test]
+    fn teragen_records_conform(seed in any::<u64>(), n in 1usize..200) {
+        use flowmark_datagen::terasort::{TeraGen, KEY_BYTES, RECORD_BYTES};
+        let mut g = TeraGen::new(seed);
+        for (i, r) in g.records(n).into_iter().enumerate() {
+            prop_assert_eq!(r.0.len(), RECORD_BYTES);
+            prop_assert!(r.key().iter().all(|&b| (b' '..=b'~').contains(&b)));
+            prop_assert_eq!(&r.0[98..], b"\r\n");
+            let row: u64 = std::str::from_utf8(&r.0[KEY_BYTES..KEY_BYTES + 10])
+                .unwrap()
+                .parse()
+                .unwrap();
+            prop_assert_eq!(row, i as u64);
+        }
+    }
+
+    /// Scaled graph presets preserve the Table IV edge/vertex ratio.
+    #[test]
+    fn scaled_graphs_preserve_degree(scale in 8u32..12, seed in any::<u64>()) {
+        use flowmark_datagen::graph::GraphPreset;
+        for preset in [GraphPreset::Small, GraphPreset::Medium] {
+            let g = preset.scaled(scale, seed);
+            let ratio = g.edges.len() as f64 / g.vertices as f64;
+            prop_assert!((ratio - preset.avg_degree()).abs() < 1.0,
+                "{:?}: ratio {} vs {}", preset, ratio, preset.avg_degree());
+        }
+    }
+
+    /// Simulation noise factors are bounded and mean-preserving-ish.
+    #[test]
+    fn noise_is_bounded(seed in any::<u64>(), stream in any::<u64>(), cv in 0.0f64..0.3) {
+        let f = flowmark_sim::noise::noise_factor(seed, stream, cv);
+        prop_assert!(f >= 0.05 && f <= 1.0 + cv * 2.0,
+            "factor {} out of range for cv {}", f, cv);
+    }
+
+    /// HDFS remote-read fraction is a probability and shrinks with
+    /// replication.
+    #[test]
+    fn hdfs_fraction_bounded(nodes in 2u32..120, blocks in 1u64..100_000, slots in 1u32..64) {
+        use flowmark_sim::hdfs::HdfsModel;
+        let mut h = HdfsModel::new(nodes, 256);
+        let f3 = h.remote_read_fraction(blocks, slots);
+        prop_assert!((0.0..=0.3).contains(&f3));
+        h.replication = 1;
+        let f1 = h.remote_read_fraction(blocks, slots);
+        prop_assert!(f1 >= f3 - 1e-12, "r=1 {} < r=3 {}", f1, f3);
+    }
+
+    /// More nodes never slow a fixed-size simulated job down (both engines).
+    #[test]
+    fn sim_monotone_in_cluster_size(small in 2u32..8, extra in 1u32..8) {
+        use flowmark_core::config::Framework;
+        use flowmark_sim::{simulate, Calibration};
+        use flowmark_workloads::presets;
+        use flowmark_workloads::wordcount::{plan, WordCountScale};
+        let cal = Calibration::default();
+        let scale = WordCountScale { total_bytes: 100e9 };
+        let big = small + extra;
+        for fw in Framework::BOTH {
+            let t_small = simulate(&plan(fw, &scale), fw, &presets::wordcount_config(small), &cal, 1)
+                .unwrap()
+                .seconds;
+            let t_big = simulate(&plan(fw, &scale), fw, &presets::wordcount_config(big), &cal, 1)
+                .unwrap()
+                .seconds;
+            // Allow a small tolerance for dispatch/noise effects.
+            prop_assert!(t_big <= t_small * 1.05,
+                "{}: {} nodes took {}s, {} nodes took {}s", fw, small, t_small, big, t_big);
+        }
+    }
+}
+
+/// Every configuration any experiment uses passes framework validation.
+#[test]
+fn all_experiment_presets_validate() {
+    use flowmark_workloads::presets;
+    for n in [2u32, 4, 8, 16, 32] {
+        presets::wordcount_config(n).validate().unwrap();
+        presets::grep_config(n).validate().unwrap();
+    }
+    for n in [17u32, 27, 34, 55, 63, 73, 97] {
+        presets::terasort_config(n).validate().unwrap();
+    }
+    for n in [8u32, 14, 20, 27] {
+        presets::small_graph_config(n).validate().unwrap();
+    }
+    for n in [24u32, 27, 34, 55] {
+        presets::medium_graph_config(n).validate().unwrap();
+    }
+    for n in [27u32, 44, 97] {
+        presets::large_graph_config(n).validate().unwrap();
+    }
+    for n in [8u32, 14, 20, 24] {
+        presets::kmeans_config(n).validate().unwrap();
+    }
+}
