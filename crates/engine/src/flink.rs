@@ -13,7 +13,6 @@
 //!   Flink's Grep disadvantage;
 //! - native iteration operators live in [`crate::iterate`].
 
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,6 +24,8 @@ use parking_lot::Mutex;
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
 use crate::sortbuf::{CombineFn, SortCombineBuffer};
 
@@ -356,14 +357,17 @@ where
             PipelinedExchange::new(in_parts, out_parts, move |env: &FlinkEnv, senders, part| {
                 let records = parent.compute(env, part);
                 let partitioner = HashPartitioner::new(senders.len());
-                // Map-side combine per output channel.
+                // Map-side combine per output channel; one shared pool
+                // recycles run storage across all of this task's buffers.
+                let pool = Arc::new(BufferPool::new(2 * senders.len()));
                 let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..senders.len())
                     .map(|_| {
-                        SortCombineBuffer::new(
+                        SortCombineBuffer::with_pool(
                             combine_records,
                             record_bytes,
                             Arc::clone(&send_combine),
                             env.metrics().clone(),
+                            Arc::clone(&pool),
                         )
                     })
                     .collect();
@@ -372,9 +376,11 @@ where
                     buffers[p].insert(k, v);
                 }
                 for (p, buf) in buffers.into_iter().enumerate() {
-                    for kv in buf.finish() {
-                        env.metrics().add_records_shuffled(1);
-                        env.metrics().add_bytes_shuffled(record_bytes as u64);
+                    let combined = buf.finish();
+                    env.metrics().add_records_shuffled(combined.len() as u64);
+                    env.metrics()
+                        .add_bytes_shuffled((combined.len() * record_bytes) as u64);
+                    for kv in combined {
                         senders[p].send(kv).expect("receiver alive");
                     }
                 }
@@ -385,7 +391,7 @@ where
         let reduced = ChainOp {
             parent: Arc::new(exchange) as Arc<dyn DsOp<(K, V)>>,
             f: move |input: Vec<(K, V)>| {
-                let mut agg: HashMap<K, V> = HashMap::with_capacity(input.len());
+                let mut agg: FxHashMap<K, V> = fx_map_with_capacity(input.len());
                 for (k, v) in input {
                     match agg.entry(k) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {

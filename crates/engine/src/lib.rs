@@ -25,6 +25,7 @@ pub mod cache;
 pub mod flink;
 pub mod gelly;
 pub mod graphx;
+pub mod hash;
 pub mod iterate;
 pub mod memory;
 pub mod metrics;

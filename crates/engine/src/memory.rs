@@ -17,6 +17,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 /// Error returned when a heap allocation cannot be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutOfMemory {
@@ -279,6 +281,77 @@ impl ManagedPool {
     }
 }
 
+/// A pool of reusable `Vec` allocations for the shuffle/combine hot path.
+///
+/// [`crate::sortbuf::SortCombineBuffer`] emits one freshly-allocated run
+/// per buffer fill; a worker draining millions of records through small
+/// buffers churns through thousands of short-lived allocations. A
+/// `BufferPool` is the managed-memory answer (same spirit as
+/// [`ManagedPool`], but for real allocations): spent run storage is
+/// returned, cleared, and handed to the next drain instead of going back
+/// to the allocator. Bounded so a burst cannot pin memory forever.
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    buffers: Mutex<Vec<Vec<T>>>,
+    max_pooled: usize,
+    reuses: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl<T> BufferPool<T> {
+    /// Creates a pool retaining at most `max_pooled` idle buffers.
+    pub fn new(max_pooled: usize) -> Self {
+        Self {
+            buffers: Mutex::new(Vec::new()),
+            max_pooled,
+            reuses: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Hands out an empty buffer with at least `capacity` reserved,
+    /// recycling a pooled allocation when one is available.
+    pub fn take(&self, capacity: usize) -> Vec<T> {
+        if let Some(mut buf) = self.buffers.lock().pop() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            if buf.capacity() < capacity {
+                buf.reserve(capacity - buf.len());
+            }
+            return buf;
+        }
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(capacity)
+    }
+
+    /// Returns a spent buffer to the pool (cleared, allocation retained);
+    /// dropped instead when the pool is full.
+    pub fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return; // nothing worth keeping
+        }
+        let mut pool = self.buffers.lock();
+        if pool.len() < self.max_pooled {
+            pool.push(buf);
+        }
+    }
+
+    /// Idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.buffers.lock().len()
+    }
+
+    /// Times `take` was served from the pool.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Times `take` had to allocate fresh storage.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +443,39 @@ mod tests {
         let pool = ManagedPool::with_budget(1 << 20, 32 << 10);
         assert_eq!(pool.total_segments(), 32);
         assert_eq!(pool.segment_bytes(), 32 << 10);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_allocations() {
+        let pool: BufferPool<u64> = BufferPool::new(2);
+        let mut a = pool.take(64);
+        assert_eq!(pool.allocations(), 1);
+        a.extend(0..10);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.take(8);
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(b.as_ptr(), ptr, "allocation was not recycled");
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn buffer_pool_is_bounded() {
+        let pool: BufferPool<u8> = BufferPool::new(1);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8)); // over the bound — dropped
+        assert_eq!(pool.pooled(), 1);
+        pool.put(Vec::new()); // capacity 0 — not worth keeping
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn buffer_pool_take_grows_small_recycled_buffers() {
+        let pool: BufferPool<u8> = BufferPool::new(4);
+        pool.put(Vec::with_capacity(4));
+        let b = pool.take(1024);
+        assert!(b.capacity() >= 1024);
     }
 
     #[test]

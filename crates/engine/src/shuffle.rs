@@ -14,13 +14,23 @@ use std::sync::Arc;
 
 use flowmark_dataflow::partitioner::Partitioner;
 
+use crate::hash::sized_buckets;
+use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
 use crate::sortbuf::{CombineFn, SortCombineBuffer};
 
 /// Output of one map task: one bucket of records per reduce partition.
 pub type MapOutput<K, V> = Vec<Vec<(K, V)>>;
 
-/// Partitions one map task's records into per-reducer buckets.
+/// Unwraps a computed partition for the shuffle without copying when this
+/// task is the only holder — the common case for non-persisted lineage.
+/// Only a cached (shared) partition pays for a clone.
+pub fn take_partition<T: Clone>(partition: Arc<Vec<T>>) -> Vec<T> {
+    Arc::try_unwrap(partition).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// Partitions one map task's records into per-reducer buckets, each
+/// pre-sized to the expected fan-out (`count / n + 1`).
 pub fn partition_records<K, V, P>(
     records: Vec<(K, V)>,
     partitioner: &P,
@@ -32,8 +42,8 @@ where
     P: Partitioner<K> + ?Sized,
 {
     let n = partitioner.partitions();
-    let mut buckets: MapOutput<K, V> = (0..n).map(|_| Vec::new()).collect();
     let count = records.len();
+    let mut buckets: MapOutput<K, V> = sized_buckets(n, count);
     for (k, v) in records {
         let p = partitioner.partition(&k);
         buckets[p].push((k, v));
@@ -46,7 +56,9 @@ where
 /// Partitions with a map-side sort-based combine per bucket: the records of
 /// each bucket are collapsed before they would cross the network. Returns
 /// buckets in sorted-by-key order (a property the sort-based shuffle gives
-/// for free and TeraSort relies on).
+/// for free and TeraSort relies on). All buckets draw run storage from one
+/// shared [`BufferPool`], so run allocations are recycled across the whole
+/// map task.
 pub fn partition_combine<K, V, P>(
     records: Vec<(K, V)>,
     partitioner: &P,
@@ -60,13 +72,15 @@ where
     P: Partitioner<K> + ?Sized,
 {
     let n = partitioner.partitions();
+    let pool = Arc::new(BufferPool::new(2 * n));
     let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..n)
         .map(|_| {
-            SortCombineBuffer::new(
+            SortCombineBuffer::with_pool(
                 buffer_capacity,
                 bytes_per_record,
                 Arc::clone(&combine),
                 metrics.clone(),
+                Arc::clone(&pool),
             )
         })
         .collect();
@@ -83,17 +97,35 @@ where
 
 /// The staged (barrier) exchange: gathers every map task's buckets, then
 /// regroups them by reduce partition. Nothing is handed to reducers until
-/// *all* map outputs exist — the stage boundary in Fig 9 (right).
+/// *all* map outputs exist — the stage boundary in Fig 9 (right). The first
+/// map task's bucket seeds each reduce input (moved, not copied) and the
+/// rest are appended into storage reserved up front.
 pub fn exchange<K, V>(map_outputs: Vec<MapOutput<K, V>>) -> Vec<Vec<(K, V)>> {
     let partitions = map_outputs.first().map(Vec::len).unwrap_or(0);
     debug_assert!(
         map_outputs.iter().all(|m| m.len() == partitions),
         "all map tasks must produce the same partition count"
     );
-    let mut reduce_inputs: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
-    for mut output in map_outputs {
-        for (p, bucket) in output.drain(..).enumerate() {
-            reduce_inputs[p].extend(bucket);
+    let mut totals = vec![0usize; partitions];
+    for output in &map_outputs {
+        for (p, bucket) in output.iter().enumerate() {
+            totals[p] += bucket.len();
+        }
+    }
+    let mut reduce_inputs: Vec<Vec<(K, V)>> = Vec::with_capacity(partitions);
+    let mut tail = map_outputs.into_iter();
+    match tail.next() {
+        Some(first) => {
+            for (p, mut bucket) in first.into_iter().enumerate() {
+                bucket.reserve(totals[p] - bucket.len());
+                reduce_inputs.push(bucket);
+            }
+        }
+        None => return reduce_inputs,
+    }
+    for output in tail {
+        for (p, mut bucket) in output.into_iter().enumerate() {
+            reduce_inputs[p].append(&mut bucket);
         }
     }
     reduce_inputs
@@ -114,7 +146,7 @@ mod tests {
         let metrics = EngineMetrics::new();
         let part = HashPartitioner::new(4);
         let records: Vec<(String, u64)> = (0..100).map(|i| (format!("k{i}"), i)).collect();
-        let buckets = partition_records(records.clone(), &part, &metrics, 16);
+        let buckets = partition_records(records, &part, &metrics, 16);
         assert_eq!(buckets.len(), 4);
         assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
         // Every key landed where the partitioner says.
@@ -175,5 +207,32 @@ mod tests {
     fn exchange_of_nothing_is_empty() {
         let reduced: Vec<Vec<(u32, u32)>> = exchange(Vec::new());
         assert!(reduced.is_empty());
+    }
+
+    #[test]
+    fn take_partition_is_zero_copy_when_unique() {
+        let data = vec![1u32, 2, 3];
+        let ptr = data.as_ptr();
+        let unique = Arc::new(data);
+        let out = take_partition(unique);
+        assert_eq!(out.as_ptr(), ptr, "unique Arc must hand back its storage");
+
+        let shared = Arc::new(vec![4u32, 5]);
+        let keep = Arc::clone(&shared);
+        let cloned = take_partition(shared);
+        assert_eq!(cloned, *keep, "shared Arc falls back to a clone");
+    }
+
+    #[test]
+    fn partition_buckets_are_presized() {
+        let metrics = EngineMetrics::new();
+        let part = HashPartitioner::new(4);
+        let records: Vec<(u64, u64)> = (0..1000).map(|i| (i, i)).collect();
+        let buckets = partition_records(records, &part, &metrics, 16);
+        // Each bucket reserved ~count/n up front; a balanced hash shouldn't
+        // have pushed any of them far beyond it.
+        for b in &buckets {
+            assert!(b.capacity() >= 251, "bucket under-reserved: {}", b.capacity());
+        }
     }
 }

@@ -27,8 +27,9 @@ use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
 use crate::cache::{BlockCache, StorageLevel};
+use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
-use crate::shuffle::{exchange, partition_combine, partition_records};
+use crate::shuffle::{exchange, partition_combine, partition_records, take_partition};
 use crate::sortbuf::CombineFn;
 
 /// Shared driver state.
@@ -257,7 +258,13 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
             self.partitions,
             Arc::new(NarrowOp {
                 parent,
-                f: move |input: Arc<Vec<T>>| input.iter().filter(|t| f(t)).cloned().collect(),
+                // Retain in place: a uniquely-held partition is filtered
+                // with zero copies; only cached parents pay for a clone.
+                f: move |input: Arc<Vec<T>>| {
+                    let mut data = take_partition(input);
+                    data.retain(|t| f(t));
+                    data
+                },
             }),
         )
     }
@@ -285,7 +292,11 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     pub fn collect(&self) -> Vec<T> {
         let started = Instant::now();
         let parts = self.compute_all();
-        let out = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.append(&mut take_partition(p));
+        }
         self.ctx.record_span("collect", started);
         out
     }
@@ -311,7 +322,7 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         let out = self
             .compute_all()
             .into_iter()
-            .filter_map(|p| p.iter().cloned().reduce(&f))
+            .filter_map(|p| take_partition(p).into_iter().reduce(&f))
             .reduce(&f);
         self.ctx.record_span("reduce", started);
         out
@@ -371,7 +382,7 @@ where
                 .into_par_iter()
                 .map(|p| {
                     partition_combine(
-                        (*p).clone(),
+                        take_partition(p),
                         &partitioner,
                         Arc::clone(&combine),
                         combine_records,
@@ -385,7 +396,7 @@ where
             let out: Vec<Vec<(K, V)>> = reduce_inputs
                 .into_par_iter()
                 .map(|records| {
-                    let mut agg: HashMap<K, V> = HashMap::with_capacity(records.len());
+                    let mut agg: FxHashMap<K, V> = fx_map_with_capacity(records.len());
                     for (k, v) in records {
                         match agg.entry(k) {
                             std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -421,7 +432,7 @@ where
                 .into_par_iter()
                 .map(|p| {
                     partition_records(
-                        (*p).clone(),
+                        take_partition(p),
                         partitioner.as_ref(),
                         ctx.metrics(),
                         std::mem::size_of::<(K, V)>(),
@@ -455,7 +466,7 @@ where
                 .into_par_iter()
                 .map(|p| {
                     partition_records(
-                        (*p).clone(),
+                        take_partition(p),
                         &partitioner,
                         ctx.metrics(),
                         std::mem::size_of::<(K, V)>(),
@@ -467,7 +478,7 @@ where
                 .into_par_iter()
                 .map(|p| {
                     partition_records(
-                        (*p).clone(),
+                        take_partition(p),
                         &partitioner,
                         ctx.metrics(),
                         std::mem::size_of::<(K, W)>(),
@@ -480,7 +491,7 @@ where
                 .into_par_iter()
                 .zip(ri)
                 .map(|(lpart, rpart)| {
-                    let mut table: HashMap<K, Vec<V>> = HashMap::new();
+                    let mut table: FxHashMap<K, Vec<V>> = fx_map_with_capacity(lpart.len());
                     for (k, v) in lpart {
                         table.entry(k).or_default().push(v);
                     }
@@ -505,11 +516,12 @@ where
     /// `map->collectAsMap` waves).
     pub fn collect_as_map(&self) -> HashMap<K, V> {
         let started = Instant::now();
-        let out = self
-            .compute_all()
-            .iter()
-            .flat_map(|p| p.iter().cloned())
-            .collect();
+        let parts = self.compute_all();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut out = HashMap::with_capacity(total);
+        for p in parts {
+            out.extend(take_partition(p));
+        }
         self.ctx.record_span("collectAsMap", started);
         out
     }
@@ -617,11 +629,10 @@ where
 
     /// `sortByKey`: total sort via a sampled range partitioner.
     pub fn sort_by_key(&self) -> Rdd<(K, V)> {
+        // Sample inside each partition: only every 7th key is ever cloned,
+        // instead of materialising the full key column on the driver.
         let sample: Vec<K> = self
-            .map(|(k, _)| k.clone())
-            .collect()
-            .into_iter()
-            .step_by(7)
+            .map_partitions(|part| part.iter().step_by(7).map(|(k, _)| k.clone()).collect())
             .collect();
         let parts = self.ctx.default_parallelism();
         let partitioner = Arc::new(
@@ -683,9 +694,9 @@ struct UnionOp<T> {
 impl<T: Clone + Send + Sync + 'static> RddOp<T> for UnionOp<T> {
     fn compute(&self, part: usize) -> Vec<T> {
         if part < self.split {
-            (*self.left.compute(part)).clone()
+            take_partition(self.left.compute(part))
         } else {
-            (*self.right.compute(part - self.split)).clone()
+            take_partition(self.right.compute(part - self.split))
         }
     }
 }
@@ -730,7 +741,7 @@ impl<T: Clone + Send + Sync + 'static> RddOp<T> for CoalesceOp<T> {
         // Partition `part` owns the parent partitions ≡ part (mod n).
         let mut p = part;
         while p < parents {
-            out.extend(self.parent.compute(p).iter().cloned());
+            out.append(&mut take_partition(self.parent.compute(p)));
             p += self.n;
         }
         out

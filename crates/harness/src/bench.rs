@@ -1,0 +1,362 @@
+//! `repro bench --smoke`: wall-clock micro-benchmark of the real-engine
+//! shuffle/aggregation hot path.
+//!
+//! Runs Word Count, Grep and TeraSort on both engines at fixed seeds and
+//! fixed input sizes, verifies every output against the sequential oracle,
+//! and reports per-workload throughput. The smoke bench exists to keep the
+//! PR-level performance claims honest: `BENCH_PR1_SEED.json` captures the
+//! pre-optimization hot path, and later runs embed it as the baseline and
+//! report speedups against it (`BENCH_PR1.json`).
+
+use std::time::Instant;
+
+use flowmark_datagen::terasort::TeraGen;
+use flowmark_datagen::text::{TextGen, TextGenConfig};
+use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::spark::SparkContext;
+use flowmark_workloads::{grep, terasort, wordcount};
+use serde::{Deserialize, Serialize};
+
+/// Fixed seeds so every run measures the same dataset.
+const WC_SEED: u64 = 7;
+const GREP_SEED: u64 = 3;
+const TS_SEED: u64 = 11;
+
+/// One measured cell: a workload on one engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Workload id: `wordcount`, `grep` or `terasort`.
+    pub workload: String,
+    /// Engine id: `spark` (staged) or `flink` (pipelined).
+    pub engine: String,
+    /// Input records processed per iteration.
+    pub records: u64,
+    /// Best-of-N wall-clock seconds.
+    pub seconds: f64,
+    /// Input records per second at the best iteration.
+    pub records_per_sec: f64,
+    /// Records crossing the shuffle, from [`EngineMetrics`]; stable across
+    /// perf refactors by design (checked by tests).
+    pub records_shuffled: u64,
+    /// True when the output matched the sequential oracle.
+    pub verified: bool,
+}
+
+/// A full smoke-bench run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Free-form label, e.g. `seed` or `optimized`.
+    pub label: String,
+    /// Timed iterations per cell (best is kept).
+    pub iterations: u32,
+    /// Engine partitions/parallelism used.
+    pub partitions: usize,
+    /// All measured cells.
+    pub cells: Vec<BenchCell>,
+}
+
+/// A report plus an optional embedded baseline for speedup accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// The run being reported.
+    pub measured: BenchReport,
+    /// The committed seed baseline, when available.
+    pub seed_baseline: Option<BenchReport>,
+    /// `workload/engine → measured.records_per_sec / seed.records_per_sec`.
+    pub speedup_vs_seed: Vec<(String, f64)>,
+}
+
+/// Input sizes for one smoke run.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeScale {
+    /// Word Count / Grep corpus lines.
+    pub lines: usize,
+    /// TeraSort records.
+    pub ts_records: usize,
+    /// Timed iterations per cell (best-of-N).
+    pub iterations: u32,
+    /// Engine parallelism.
+    pub partitions: usize,
+}
+
+impl SmokeScale {
+    /// CLI scale: large enough for stable timings in release builds.
+    pub fn full() -> Self {
+        Self {
+            lines: 120_000,
+            ts_records: 150_000,
+            iterations: 3,
+            partitions: 8,
+        }
+    }
+
+    /// Test scale: completes in well under a second even in debug builds.
+    pub fn tiny() -> Self {
+        Self {
+            lines: 1_500,
+            ts_records: 1_500,
+            iterations: 1,
+            partitions: 4,
+        }
+    }
+}
+
+fn time_best<R>(iterations: u32, mut run: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iterations.max(1) {
+        let start = Instant::now();
+        let r = run();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn cell(
+    workload: &str,
+    engine: &str,
+    records: u64,
+    seconds: f64,
+    records_shuffled: u64,
+    verified: bool,
+) -> BenchCell {
+    BenchCell {
+        workload: workload.into(),
+        engine: engine.into(),
+        records,
+        seconds,
+        records_per_sec: if seconds > 0.0 {
+            records as f64 / seconds
+        } else {
+            0.0
+        },
+        records_shuffled,
+        verified,
+    }
+}
+
+/// Runs the smoke benchmark: WC + Grep + TeraSort on both engines, each
+/// cell verified against the sequential oracle.
+pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
+    let mut cells = Vec::new();
+    let parts = scale.partitions;
+
+    // --- Word Count -------------------------------------------------------
+    let wc_lines = TextGen::new(TextGenConfig::default(), WC_SEED).lines(scale.lines);
+    let wc_expect = wordcount::oracle(&wc_lines);
+    {
+        let lines = wc_lines.clone();
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            wordcount::run_spark(&sc, lines.clone(), parts)
+        });
+        cells.push(cell(
+            "wordcount",
+            "spark",
+            lines.len() as u64,
+            secs,
+            sc.metrics().records_shuffled(),
+            out == wc_expect,
+        ));
+    }
+    {
+        let lines = wc_lines.clone();
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            wordcount::run_flink(&env, lines.clone())
+        });
+        cells.push(cell(
+            "wordcount",
+            "flink",
+            lines.len() as u64,
+            secs,
+            env.metrics().records_shuffled(),
+            out == wc_expect,
+        ));
+    }
+
+    // --- Grep -------------------------------------------------------------
+    let grep_config = TextGenConfig {
+        needle_selectivity: 0.05,
+        ..TextGenConfig::default()
+    };
+    let needle = grep_config.needle.clone();
+    let grep_lines = TextGen::new(grep_config, GREP_SEED).lines(scale.lines);
+    let grep_expect = grep::oracle(&grep_lines, &needle);
+    {
+        let lines = grep_lines.clone();
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            grep::run_spark(&sc, lines.clone(), &needle, parts)
+        });
+        cells.push(cell(
+            "grep",
+            "spark",
+            lines.len() as u64,
+            secs,
+            sc.metrics().records_shuffled(),
+            out == grep_expect,
+        ));
+    }
+    {
+        let lines = grep_lines.clone();
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            grep::run_flink(&env, lines.clone(), &needle)
+        });
+        cells.push(cell(
+            "grep",
+            "flink",
+            lines.len() as u64,
+            secs,
+            env.metrics().records_shuffled(),
+            out == grep_expect,
+        ));
+    }
+
+    // --- TeraSort ---------------------------------------------------------
+    let ts_records = TeraGen::new(TS_SEED).records(scale.ts_records);
+    let ts_expect_keys: Vec<Vec<u8>> = {
+        let sorted = terasort::oracle(ts_records.clone());
+        sorted.iter().map(|r| r.key().to_vec()).collect()
+    };
+    let ts_ok = |out: &[Vec<flowmark_datagen::terasort::Record>]| {
+        terasort::validate_output(ts_records.len(), out).is_ok()
+            && out
+                .iter()
+                .flatten()
+                .map(|r| r.key().to_vec())
+                .eq(ts_expect_keys.iter().cloned())
+    };
+    {
+        let records = ts_records.clone();
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            terasort::run_spark(&sc, records.clone(), parts)
+        });
+        cells.push(cell(
+            "terasort",
+            "spark",
+            records.len() as u64,
+            secs,
+            sc.metrics().records_shuffled(),
+            ts_ok(&out),
+        ));
+    }
+    {
+        let records = ts_records.clone();
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            terasort::run_flink(&env, records.clone(), parts)
+        });
+        cells.push(cell(
+            "terasort",
+            "flink",
+            records.len() as u64,
+            secs,
+            env.metrics().records_shuffled(),
+            ts_ok(&out),
+        ));
+    }
+
+    BenchReport {
+        label: label.into(),
+        iterations: scale.iterations,
+        partitions: parts,
+        cells,
+    }
+}
+
+/// Pairs a run with a baseline and computes per-cell speedups.
+pub fn compare(measured: BenchReport, seed_baseline: Option<BenchReport>) -> ComparisonReport {
+    let mut speedup_vs_seed = Vec::new();
+    if let Some(base) = &seed_baseline {
+        for m in &measured.cells {
+            if let Some(b) = base
+                .cells
+                .iter()
+                .find(|b| b.workload == m.workload && b.engine == m.engine)
+            {
+                if b.records_per_sec > 0.0 {
+                    speedup_vs_seed.push((
+                        format!("{}/{}", m.workload, m.engine),
+                        m.records_per_sec / b.records_per_sec,
+                    ));
+                }
+            }
+        }
+    }
+    ComparisonReport {
+        measured,
+        seed_baseline,
+        speedup_vs_seed,
+    }
+}
+
+/// Renders a human-readable table of one report (plus speedups if present).
+pub fn render(report: &ComparisonReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "smoke bench [{}] — best of {} iteration(s), {} partitions\n",
+        report.measured.label, report.measured.iterations, report.measured.partitions
+    ));
+    out.push_str(&format!(
+        "{:<10} {:<6} {:>10} {:>10} {:>14} {:>9}\n",
+        "workload", "engine", "records", "seconds", "records/sec", "verified"
+    ));
+    for c in &report.measured.cells {
+        out.push_str(&format!(
+            "{:<10} {:<6} {:>10} {:>10.4} {:>14.0} {:>9}\n",
+            c.workload, c.engine, c.records, c.seconds, c.records_per_sec, c.verified
+        ));
+    }
+    if !report.speedup_vs_seed.is_empty() {
+        out.push_str("speedup vs seed baseline:\n");
+        for (k, s) in &report.speedup_vs_seed {
+            out.push_str(&format!("  {k:<18} {s:>6.2}x\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_smoke_verifies_all_cells() {
+        let report = run_smoke(SmokeScale::tiny(), "test");
+        assert_eq!(report.cells.len(), 6);
+        for c in &report.cells {
+            assert!(c.verified, "{}/{} diverged from oracle", c.workload, c.engine);
+            assert!(c.records > 0 && c.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn compare_computes_speedups() {
+        let mut a = run_smoke(SmokeScale::tiny(), "seed");
+        let b = a.clone();
+        for c in &mut a.cells {
+            c.records_per_sec /= 2.0;
+        }
+        let cmp = compare(b, Some(a));
+        assert_eq!(cmp.speedup_vs_seed.len(), 6);
+        for (_, s) in &cmp.speedup_vs_seed {
+            assert!((s - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = compare(run_smoke(SmokeScale::tiny(), "test"), None);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ComparisonReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.measured.cells.len(), report.measured.cells.len());
+        assert_eq!(back.measured.label, report.measured.label);
+    }
+}

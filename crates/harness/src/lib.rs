@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod experiments;
 pub mod paper;
 pub mod report;

@@ -6,6 +6,7 @@
 //! repro table7            # run Table VII
 //! repro calibration       # paper-vs-simulated calibration table
 //! repro all               # regenerate EXPERIMENTS.md content to stdout
+//! repro bench --smoke     # time the real-engine hot path, write BENCH_PR1.json
 //! ```
 
 use flowmark_core::report::{render_correlation, render_figure, render_series};
@@ -48,6 +49,49 @@ fn main() {
             println!("tables       : table1 table7");
             println!("ablations    : abl-delta abl-serde abl-par abl-part abl-mem");
             println!("meta         : calibration verify all export <figN>");
+            println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
+        }
+        "bench" => {
+            use flowmark_harness::bench::{self, SmokeScale};
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            if !rest.iter().any(|a| a == "--smoke") {
+                eprintln!("usage: repro bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
+                std::process::exit(2);
+            }
+            let flag = |name: &str| {
+                rest.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .cloned()
+            };
+            let label = flag("--label").unwrap_or_else(|| "optimized".into());
+            let out_path = flag("--out").unwrap_or_else(|| "BENCH_PR1.json".into());
+            let baseline_path =
+                flag("--seed-baseline").unwrap_or_else(|| "BENCH_PR1_SEED.json".into());
+            let report = bench::run_smoke(SmokeScale::full(), &label);
+            // A `seed`-labelled run IS the baseline capture; anything else
+            // embeds the committed baseline when present and reports
+            // per-cell speedups against it.
+            let baseline = if label == "seed" {
+                None
+            } else {
+                std::fs::read_to_string(&baseline_path)
+                    .ok()
+                    .and_then(|s| {
+                        serde_json::from_str::<bench::ComparisonReport>(&s)
+                            .map(|c| c.measured)
+                            .ok()
+                    })
+            };
+            let comparison = bench::compare(report, baseline);
+            print!("{}", bench::render(&comparison));
+            if comparison.measured.cells.iter().any(|c| !c.verified) {
+                eprintln!("bench output diverged from the sequential oracle");
+                std::process::exit(1);
+            }
+            let json = serde_json::to_string_pretty(&comparison).expect("bench report serialises");
+            std::fs::write(&out_path, json + "\n").expect("write bench report");
+            println!("wrote {out_path}");
         }
         "table1" => {
             use flowmark_core::config::Framework;

@@ -114,7 +114,12 @@ pub fn run_spark(
         .parallelize(keyed, partitions)
         .repartition_and_sort_within_partitions(partitioner);
     (0..rdd.num_partitions())
-        .map(|part| rdd.compute(part).iter().map(|(_, r)| r.clone()).collect())
+        .map(|part| {
+            flowmark_engine::shuffle::take_partition(rdd.compute(part))
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect()
+        })
         .collect()
 }
 

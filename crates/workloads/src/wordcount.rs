@@ -11,6 +11,7 @@ use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{CostAnnotation, LogicalPlan};
 use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::hash::{fx_map_with_capacity, FxHashMap};
 use flowmark_engine::spark::SparkContext;
 
 use crate::costs::*;
@@ -92,15 +93,35 @@ pub fn operator_table(fw: Framework) -> Vec<OperatorKind> {
     }
 }
 
-/// Splits a line into words (shared tokenizer).
-fn tokenize(line: &str) -> impl Iterator<Item = String> + '_ {
-    line.split_whitespace().map(str::to_owned)
+/// Counts one word occurrence, allocating a `String` only on first sight —
+/// the tokenizer works on `&str` subslices of the line, so a token costs an
+/// allocation once per *distinct* word instead of once per occurrence.
+fn count_word(counts: &mut FxHashMap<String, u64>, word: &str) {
+    match counts.get_mut(word) {
+        Some(c) => *c += 1,
+        None => {
+            counts.insert(word.to_owned(), 1);
+        }
+    }
+}
+
+/// Tokenizes and pre-aggregates one partition's lines (the map-side
+/// combiner's local half, run before records are even handed to the
+/// engine's shuffle machinery).
+fn count_partition<'a>(lines: impl IntoIterator<Item = &'a String>) -> Vec<(String, u64)> {
+    let mut counts: FxHashMap<String, u64> = fx_map_with_capacity(1024);
+    for line in lines {
+        for w in line.split_whitespace() {
+            count_word(&mut counts, w);
+        }
+    }
+    counts.into_iter().collect()
 }
 
 /// Runs Word Count on the staged engine.
 pub fn run_spark(sc: &SparkContext, lines: Vec<String>, partitions: usize) -> HashMap<String, u64> {
     sc.parallelize(lines, partitions)
-        .flat_map(|line| tokenize(line).map(|w| (w, 1u64)).collect::<Vec<_>>())
+        .map_partitions(|part| count_partition(part))
         .reduce_by_key(|a, b| *a += b)
         .collect_as_map()
 }
@@ -108,7 +129,7 @@ pub fn run_spark(sc: &SparkContext, lines: Vec<String>, partitions: usize) -> Ha
 /// Runs Word Count on the pipelined engine.
 pub fn run_flink(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
     env.from_collection(lines)
-        .flat_map(|line| tokenize(line).map(|w| (w, 1u64)).collect::<Vec<_>>())
+        .map_partition(|lines: Vec<String>| count_partition(&lines))
         .group_reduce(|a, b| *a += b)
         .collect()
         .into_iter()
@@ -119,8 +140,13 @@ pub fn run_flink(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
 pub fn oracle(lines: &[String]) -> HashMap<String, u64> {
     let mut m = HashMap::new();
     for line in lines {
-        for w in tokenize(line) {
-            *m.entry(w).or_insert(0) += 1;
+        for w in line.split_whitespace() {
+            match m.get_mut(w) {
+                Some(c) => *c += 1,
+                None => {
+                    m.insert(w.to_owned(), 1);
+                }
+            }
         }
     }
     m

@@ -1,0 +1,167 @@
+//! Integration smoke for `repro bench --smoke` (satellite of the PR-1
+//! shuffle hot-path overhaul).
+//!
+//! Runs the same benchmark the CLI runs — Word Count, Grep, TeraSort on
+//! both engines at fixed seeds — but at the tiny test scale, and fails the
+//! suite if any engine diverges from its sequential oracle. A second test
+//! pins the shuffle metrics to an engine-independent reference so the
+//! zero-copy rewrite can't silently change what the counters mean.
+
+use std::collections::HashSet;
+
+use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::spark::SparkContext;
+use flowmark_harness::bench::{compare, run_smoke, SmokeScale};
+
+/// The CLI benchmark, shrunk to test scale: every cell must verify against
+/// its oracle. This is the tripwire for the perf refactor — a hot-path
+/// change that alters results shows up here as `verified: false`.
+#[test]
+fn smoke_bench_verifies_every_cell() {
+    let report = run_smoke(SmokeScale::tiny(), "ci");
+    assert_eq!(report.cells.len(), 6, "3 workloads x 2 engines");
+    for c in &report.cells {
+        assert!(
+            c.verified,
+            "{}/{} diverged from the sequential oracle",
+            c.workload, c.engine
+        );
+        assert!(c.records > 0);
+        assert!(c.records_per_sec > 0.0);
+        // Grep is shuffle-free (narrow filter + count); the other two
+        // workloads must cross the exchange.
+        if c.workload != "grep" {
+            assert!(
+                c.records_shuffled > 0,
+                "{}/{} reported an empty shuffle",
+                c.workload,
+                c.engine
+            );
+        }
+    }
+}
+
+/// The committed BENCH_PR1 report (when present in the repo root) must be
+/// a parseable ComparisonReport whose cells all verified.
+#[test]
+fn committed_bench_reports_parse_and_verified() {
+    for name in ["BENCH_PR1_SEED.json", "BENCH_PR1.json"] {
+        let path = concat_root(name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // not committed (yet) — nothing to check
+        };
+        let report: flowmark_harness::bench::ComparisonReport =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!report.measured.cells.is_empty(), "{name} has no cells");
+        for c in &report.measured.cells {
+            assert!(c.verified, "{name}: {}/{} unverified", c.workload, c.engine);
+        }
+    }
+}
+
+fn concat_root(name: &str) -> std::path::PathBuf {
+    // tests run with CWD = crates/harness; the reports live at the repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+/// Speedup accounting pairs cells by workload/engine.
+#[test]
+fn speedups_pair_cells_with_the_baseline() {
+    let base = run_smoke(SmokeScale::tiny(), "seed");
+    let mut fast = base.clone();
+    fast.label = "optimized".into();
+    for c in &mut fast.cells {
+        c.records_per_sec = 3.0 * c.records_per_sec;
+    }
+    let cmp = compare(fast, Some(base));
+    assert_eq!(cmp.speedup_vs_seed.len(), 6);
+    for (k, s) in &cmp.speedup_vs_seed {
+        assert!((s - 3.0).abs() < 1e-9, "{k}: {s}");
+    }
+}
+
+/// Engine-independent reference for Word Count's `records_shuffled`: both
+/// engines chunk the input contiguously (`len.div_ceil(parallelism)`) and
+/// fully combine on the map side, so what crosses the shuffle is exactly
+/// the distinct words of each input chunk.
+fn expected_wc_shuffle(lines: &[String], parallelism: usize) -> u64 {
+    let chunk = lines.len().div_ceil(parallelism).max(1);
+    lines
+        .chunks(chunk)
+        .map(|part| {
+            let mut distinct: HashSet<&str> = HashSet::new();
+            for line in part {
+                distinct.extend(line.split_whitespace());
+            }
+            distinct.len() as u64
+        })
+        .sum()
+}
+
+/// The zero-copy/pooling rewrite must not change what the shuffle counters
+/// count: record and byte totals on both engines equal an independent
+/// reference computed with no engine code at all.
+#[test]
+fn shuffle_metrics_are_invariant_under_the_zero_copy_rewrite() {
+    use flowmark_datagen::text::{TextGen, TextGenConfig};
+    use flowmark_workloads::wordcount;
+
+    let parts = 4;
+    let lines = TextGen::new(TextGenConfig::default(), 7).lines(3_000);
+    let expect_records = expected_wc_shuffle(&lines, parts);
+    let record_bytes = std::mem::size_of::<(String, u64)>() as u64;
+
+    let sc = SparkContext::new(parts, 64 << 20);
+    let spark_out = wordcount::run_spark(&sc, lines.clone(), parts);
+    assert_eq!(
+        sc.metrics().records_shuffled(),
+        expect_records,
+        "staged engine shuffled a different record count than the reference"
+    );
+    assert_eq!(
+        sc.metrics().bytes_shuffled(),
+        expect_records * record_bytes,
+        "staged engine byte accounting drifted"
+    );
+
+    let env = FlinkEnv::new(parts);
+    let flink_out = wordcount::run_flink(&env, lines.clone());
+    assert_eq!(
+        env.metrics().records_shuffled(),
+        expect_records,
+        "pipelined engine shuffled a different record count than the reference"
+    );
+    assert_eq!(
+        env.metrics().bytes_shuffled(),
+        expect_records * record_bytes,
+        "pipelined engine byte accounting drifted"
+    );
+
+    // And the rewrite didn't change the answers either.
+    let expect = wordcount::oracle(&lines);
+    assert_eq!(spark_out, expect);
+    assert_eq!(flink_out, expect);
+}
+
+/// TeraSort shuffles every record exactly once on both engines — the
+/// range-partitioning exchange has no combiner to shrink it.
+#[test]
+fn terasort_shuffles_each_record_exactly_once() {
+    use flowmark_datagen::terasort::TeraGen;
+    use flowmark_workloads::terasort;
+
+    let records = TeraGen::new(11).records(2_000);
+    let n = records.len() as u64;
+
+    let sc = SparkContext::new(4, 64 << 20);
+    let out = terasort::run_spark(&sc, records.clone(), 4);
+    terasort::validate_output(records.len(), &out).unwrap();
+    assert_eq!(sc.metrics().records_shuffled(), n);
+
+    let env = FlinkEnv::new(4);
+    let out = terasort::run_flink(&env, records.clone(), 4);
+    terasort::validate_output(records.len(), &out).unwrap();
+    assert_eq!(env.metrics().records_shuffled(), n);
+}

@@ -241,6 +241,68 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both engines agree with the sequential oracle on Word Count for any
+    /// generator seed, corpus size and parallelism — the cross-engine
+    /// guarantee the shuffle hot-path refactor must preserve.
+    #[test]
+    fn engines_agree_on_wordcount_for_any_seed(
+        seed in any::<u64>(),
+        lines in 1usize..400,
+        partitions in 1usize..6,
+    ) {
+        use flowmark_datagen::text::{TextGen, TextGenConfig};
+        use flowmark_workloads::wordcount;
+        let corpus = TextGen::new(TextGenConfig::default(), seed).lines(lines);
+        let expect = wordcount::oracle(&corpus);
+        let sc = SparkContext::new(partitions, 16 << 20);
+        let spark = wordcount::run_spark(&sc, corpus.clone(), partitions);
+        prop_assert_eq!(&spark, &expect);
+        let env = FlinkEnv::new(partitions);
+        let flink = wordcount::run_flink(&env, corpus);
+        prop_assert_eq!(&flink, &expect);
+    }
+
+    /// Both engines produce the oracle's global key order on TeraSort for
+    /// any generator seed, record count and partition count.
+    #[test]
+    fn engines_agree_on_terasort_for_any_seed(
+        seed in any::<u64>(),
+        n in 1usize..600,
+        partitions in 1usize..8,
+    ) {
+        use flowmark_datagen::terasort::TeraGen;
+        use flowmark_workloads::terasort;
+        let records = TeraGen::new(seed).records(n);
+        let expect: Vec<Vec<u8>> = terasort::oracle(records.clone())
+            .iter()
+            .map(|r| r.key().to_vec())
+            .collect();
+        let sc = SparkContext::new(2, 16 << 20);
+        let spark = terasort::run_spark(&sc, records.clone(), partitions);
+        let check = terasort::validate_output(records.len(), &spark);
+        prop_assert!(check.is_ok(), "spark output invalid: {:?}", check);
+        let spark_keys: Vec<Vec<u8>> = spark
+            .iter()
+            .flatten()
+            .map(|r| r.key().to_vec())
+            .collect();
+        prop_assert_eq!(&spark_keys, &expect);
+        let env = FlinkEnv::new(2);
+        let flink = terasort::run_flink(&env, records.clone(), partitions);
+        let check = terasort::validate_output(records.len(), &flink);
+        prop_assert!(check.is_ok(), "flink output invalid: {:?}", check);
+        let flink_keys: Vec<Vec<u8>> = flink
+            .iter()
+            .flatten()
+            .map(|r| r.key().to_vec())
+            .collect();
+        prop_assert_eq!(&flink_keys, &expect);
+    }
+}
+
 /// Every configuration any experiment uses passes framework validation.
 #[test]
 fn all_experiment_presets_validate() {

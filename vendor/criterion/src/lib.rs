@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! `flowmark-bench` targets use: `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group` + `throughput`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//! No statistics engine — it reports mean wall-clock per iteration (and
+//! derived throughput) to stdout, which is all the repro harness needs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized; carried for API compatibility only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far below real criterion's 100: these are offline smoke runs.
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Builder stub: accepted and ignored (no statistics engine).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work size for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Builder stub mirroring `Criterion::sample_size` at group scope.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within this group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records per-iteration timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {name:<48} mean {mean:>12?}  {rate:>12.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {name:<48} mean {mean:>12?}  {rate:>12.0} B/s");
+        }
+        _ => println!("bench {name:<48} mean {mean:>12?}"),
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(name, target_a, target_b)` and the config form
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides real (thread-based) data parallelism for the small API surface
+//! this workspace uses: `into_par_iter()` / `par_iter_mut()` with `map`,
+//! `zip`, `for_each` and `collect`. Work is split into one contiguous chunk
+//! per available core and executed on scoped threads, so engine code that
+//! benchmarks parallel speedups still exercises genuine concurrency.
+//!
+//! Unlike real rayon this is eager: `map` runs its closure across a thread
+//! pool immediately and stores the results; `collect` then just moves them
+//! out. That preserves ordering and side-effect semantics for the
+//! fork-join patterns used here (independent per-partition tasks).
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Runs `f` over every element of `items` in parallel, returning outputs in
+/// input order. Elements are split into one contiguous chunk per worker.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+
+    // Collect per-chunk output vectors, then stitch them back in order.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator over an owned buffer of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for any owned
+/// `IntoIterator`, mirroring rayon's `into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Mirror of rayon's `par_iter_mut()` for slice-like containers.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut {
+            items: self.as_mut_slice(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` chunks of a slice.
+pub struct ParIterMut<'data, T: Send> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Applies `f` to every element in parallel (chunked by core count).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let workers = worker_count().min(n);
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            for part in self.items.chunks_mut(chunk) {
+                s.spawn(move || part.iter_mut().for_each(f));
+            }
+        });
+    }
+}
+
+/// The operations available on a [`ParIter`]; named after rayon's trait so
+/// `use rayon::prelude::*` brings the same methods into scope.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_inner_vec(self) -> Vec<Self::Item>;
+
+    /// Parallel map, preserving input order.
+    fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.into_inner_vec(), f),
+        }
+    }
+
+    /// Parallel for_each.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        parallel_map(self.into_inner_vec(), |t| f(t));
+    }
+
+    /// Pairs this iterator with another, truncating to the shorter side.
+    fn zip<J>(self, other: J) -> ParIter<(Self::Item, J::Item)>
+    where
+        J: IntoParallelIterator,
+    {
+        let items = self
+            .into_inner_vec()
+            .into_iter()
+            .zip(other.into_par_iter().items)
+            .collect();
+        ParIter { items }
+    }
+
+    /// Materialises the (already computed) results.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_inner_vec().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_inner_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<i64> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        (0..256).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        // With >1 core this should engage >1 worker; tolerate 1 on tiny CI.
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zip_then_map() {
+        let left = vec![1, 2, 3];
+        let right = vec![10, 20, 30];
+        let out: Vec<i32> = left
+            .into_par_iter()
+            .zip(right)
+            .map(|(a, b)| a + b)
+            .collect();
+        assert_eq!(out, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..101).collect::<Vec<u32>>());
+    }
+}

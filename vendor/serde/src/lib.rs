@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor architecture, this shim routes everything
+//! through one dynamic [`Value`] tree: `Serialize` renders a value into a
+//! `Value`, `Deserialize` rebuilds it from one. `serde_json` (also
+//! vendored) prints and parses that tree. The derive macros come from the
+//! vendored `serde_derive` and generate field-by-field `to_value` /
+//! `from_value` impls with serde's externally-tagged enum representation,
+//! which is enough for the config/figure/calibration round-trips this
+//! workspace performs.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (JSON data model).
+///
+/// `Object` keeps insertion order so serialized output matches field
+/// declaration order, like serde_json with preserve_order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a field up in an `Object`.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's fields, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let got = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Self(format!("expected {what}, got {got}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::expected("unsigned integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| DeError::msg(format!("integer {n} overflows i64")))?,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// `&'static str` fields (error-variant parameter names) leak one small
+    /// string per deserialization; acceptable for this offline harness.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+// ---- container impls ------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($s:ident . $idx:tt),+) => $len:literal),*) => {$(
+        impl<$($s: Serialize),+> Serialize for ($($s,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($s: Deserialize),+> Deserialize for ($($s,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($s::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected(
+                        concat!("array of length ", $len), v)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls!(
+    (A.0, B.1) => 2,
+    (A.0, B.1, C.2) => 3,
+    (A.0, B.1, C.2, D.3) => 4
+);
+
+/// Maps serialize as arrays of `[key, value]` pairs so non-string keys
+/// (enum-keyed telemetry tables) round-trip without a key-to-string rule.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    _ => Err(DeError::expected("[key, value] pair", pair)),
+                })
+                .collect(),
+            _ => Err(DeError::expected("array of pairs", v)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    _ => Err(DeError::expected("[key, value] pair", pair)),
+                })
+                .collect(),
+            _ => Err(DeError::expected("array of pairs", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_value(&Some(7u64).to_value()).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn range_checks_fail_cleanly() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's value-tree `Serialize`/`Deserialize`
+//! traits without `syn`/`quote` (unavailable offline): the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impl is emitted as
+//! a source string. Supported shapes are exactly what this workspace
+//! declares — non-generic named structs, tuple structs, and enums with
+//! unit / newtype / tuple / struct variants (externally tagged, like
+//! serde) — plus the `#[serde(default)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    /// One unnamed payload (serde's newtype representation).
+    Newtype,
+    /// `n` unnamed payloads, serialized as an array.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let body = g.stream().to_string();
+                // Matches `serde(default)` with arbitrary whitespace.
+                let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+                if compact.starts_with("serde(") && compact.contains("default") {
+                    has_default = true;
+                }
+            }
+            other => panic!("serde stub derive: malformed attribute near {other:?}"),
+        }
+    }
+    has_default
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes one type, i.e. tokens until a top-level `,` (angle-depth aware;
+/// parens/brackets/braces arrive pre-grouped). Returns false at end of input.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    loop {
+        match tokens.peek() {
+            None => return saw_any,
+            Some(TokenTree::Punct(p)) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    tokens.next();
+                    return true;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' {
+                    angle_depth -= 1;
+                }
+                tokens.next();
+                saw_any = true;
+            }
+            Some(_) => {
+                tokens.next();
+                saw_any = true;
+            }
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// enum variants).
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let has_default = skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+/// Counts the comma-separated type slots in a tuple struct/variant body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        if !skip_type(&mut tokens) {
+            break;
+        }
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminants (`= expr`) and the separating comma.
+        while let Some(tt) = tokens.peek() {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    tokens.next();
+                    break;
+                }
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported offline");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde stub derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__x0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_fields_build(ty: &str, path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fallback = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::DeError::missing_field(\"{ty}\", \"{0}\"))",
+                f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{0}: match {source}.get_field(\"{0}\") {{\n\
+                 ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                 ::std::option::Option::None => {fallback},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let build = gen_named_fields_build(name, name, fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if __v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"object for {name}\", __v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({build})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         _ => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"array for {name}\", __v)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged form `{"Variant": null}`.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                                     \"array payload for {name}::{vn}\", __payload)),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build = gen_named_fields_build(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__payload",
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 if __payload.as_object().is_none() {{\n\
+                                     return ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\
+                                         \"object payload for {name}::{vn}\", __payload));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({build})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{name} variant\", __v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl must parse")
+}
