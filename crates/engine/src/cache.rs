@@ -92,6 +92,13 @@ impl BlockCache {
             return;
         }
         let mut inner = self.inner.lock();
+        // Re-inserting an id (task retries and speculative backups put the
+        // same block again) must replace the old entry, not double-count
+        // its bytes or duplicate its LRU slot.
+        if let Some(old) = inner.memory.remove(&id) {
+            inner.memory_bytes -= old.bytes;
+            inner.lru.retain(|b| *b != id);
+        }
         if level == StorageLevel::DiskOnly {
             inner.disk.insert(
                 id,
@@ -211,6 +218,22 @@ mod tests {
         assert_eq!(cache.stats().memory_hits, 1);
         assert!(cache.get((1, 1)).is_none());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn repeated_put_of_same_block_does_not_double_count() {
+        // Task retries and speculative backups re-put the block they
+        // recomputed; accounting must not inflate.
+        let cache = BlockCache::new(1000);
+        for _ in 0..5 {
+            cache.put((1, 0), block_of(vec![1, 2, 3]), 400, StorageLevel::MemoryOnly);
+        }
+        assert_eq!(cache.memory_bytes(), 400);
+        // A second block still fits: no phantom occupancy, no evictions.
+        cache.put((1, 1), block_of(vec![4]), 400, StorageLevel::MemoryOnly);
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((1, 1)).is_some());
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

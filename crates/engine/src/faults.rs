@@ -1,0 +1,906 @@
+//! Seeded, deterministic fault injection and the shared recovery machinery.
+//!
+//! The paper's two frameworks embody opposite recovery architectures:
+//! Spark recomputes lost partitions from RDD lineage, Flink restarts
+//! pipelined regions from checkpoints (§II, and the fault-tolerance axis of
+//! the related framework surveys). This module supplies the *injection*
+//! half of that reproduction — a [`FaultPlan`] threaded through both
+//! engines — plus the engine-agnostic recovery wrapper
+//! [`run_recoverable`]: bounded attempts, exponential backoff, and (for the
+//! staged engine) speculative backup attempts raced against stragglers.
+//!
+//! Every injection decision is a pure function of `(seed, stage,
+//! partition, attempt)` via splitmix64, so a run with a given plan is
+//! reproducible and — because recovery re-executes deterministic task
+//! bodies — must produce results byte-identical to the fault-free run.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::metrics::EngineMetrics;
+
+/// Attempt-number offset marking a speculative backup attempt; backups are
+/// exempt from first-attempt probability injection so a backup never trips
+/// over the same injected fault as its straggling primary.
+pub const SPECULATIVE_ATTEMPT: u32 = 1 << 16;
+
+/// Configuration for a [`FaultPlan`]. All stochastic choices derive from
+/// `seed`, so two runs with the same config inject the same faults.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability a task's first attempt is killed.
+    pub task_failure_prob: f64,
+    /// Targeted kills: exact `(stage, partition, attempt)` triples. Unlike
+    /// probability kills (first attempt only) these can target retries.
+    pub kill_list: Vec<(u64, usize, u32)>,
+    /// Guarantee: kill the first `n` first-attempt tasks regardless of
+    /// probability (a global countdown shared by all stages).
+    pub fail_first_n: u64,
+    /// Probability a task's first attempt is slowed down.
+    pub straggler_prob: f64,
+    /// Guarantee: straggle the first `n` first-attempt tasks.
+    pub straggle_first_n: u64,
+    /// Injected straggler delay.
+    pub straggler_slowdown: Duration,
+    /// Probability a task's first attempt aborts with simulated memory
+    /// pressure (recovered exactly like a kill, counted separately).
+    pub memory_pressure_prob: f64,
+    /// Attempts per task before the failure is declared fatal.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff (doubled per retry).
+    pub backoff_base: Duration,
+    /// Straggler detector: speculate when an attempt runs longer than
+    /// `median × multiplier` of its stage's completed attempts.
+    pub speculation_multiplier: f64,
+    /// Floor on the speculation threshold so microsecond-scale stages do
+    /// not speculate on scheduler noise.
+    pub speculation_floor: Duration,
+    /// Pipelined exchanges emit an aligned checkpoint barrier every this
+    /// many records sent per producer (0 disables barriers).
+    pub checkpoint_interval_records: u64,
+    /// Iterative operators snapshot their state every this many rounds.
+    pub checkpoint_interval_rounds: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            task_failure_prob: 0.0,
+            kill_list: Vec::new(),
+            fail_first_n: 0,
+            straggler_prob: 0.0,
+            straggle_first_n: 0,
+            straggler_slowdown: Duration::from_millis(60),
+            memory_pressure_prob: 0.0,
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            speculation_multiplier: 4.0,
+            speculation_floor: Duration::from_millis(20),
+            checkpoint_interval_records: 256,
+            checkpoint_interval_rounds: 2,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A convenience chaos preset: seeded, guaranteed ≥1 kill and ≥1
+    /// straggler, plus background failure probability.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            task_failure_prob: 0.05,
+            fail_first_n: 1,
+            straggler_prob: 0.02,
+            straggle_first_n: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Payload type for injected panics; the filtering panic hook keeps these
+/// quiet while real panics still print.
+#[derive(Debug)]
+pub struct InjectedFault {
+    /// What kind of fault fired.
+    pub kind: &'static str,
+    /// `(stage, partition, attempt)` the fault was keyed on.
+    pub at: (u64, usize, u32),
+}
+
+struct PlanInner {
+    cfg: FaultConfig,
+    fail_budget: AtomicU64,
+    straggle_budget: AtomicU64,
+}
+
+/// A shareable, seeded fault-injection plan. `FaultPlan::disabled()` is the
+/// default everywhere and adds zero overhead to the hot path.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "FaultPlan(disabled)"),
+            Some(p) => write!(f, "FaultPlan(seed={})", p.cfg.seed),
+        }
+    }
+}
+
+/// splitmix64 — the same deterministic bit mixer the sampling operator
+/// uses; good enough to decorrelate `(seed, stage, partition, attempt)`.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic coin in `[0, 1)` for a `(salt, stage, partition,
+/// attempt)` key.
+fn coin(seed: u64, salt: u64, stage: u64, partition: usize, attempt: u32) -> f64 {
+    let mut h = splitmix(seed ^ salt);
+    h = splitmix(h ^ stage);
+    h = splitmix(h ^ partition as u64);
+    h = splitmix(h ^ u64::from(attempt));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const SALT_FAIL: u64 = 0xFA11;
+const SALT_STRAGGLE: u64 = 0x510;
+const SALT_MEM: u64 = 0x3E3;
+const SALT_POINT: u64 = 0x90127;
+
+fn take_budget(budget: &AtomicU64) -> bool {
+    let mut cur = budget.load(Ordering::Relaxed);
+    while cur > 0 {
+        match budget.compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+impl FaultPlan {
+    /// The no-op plan: nothing is injected, wrappers short-circuit.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Builds an active plan and installs the quiet panic hook for
+    /// injected faults.
+    pub fn new(cfg: FaultConfig) -> Self {
+        assert!(cfg.max_attempts > 0, "need at least one attempt");
+        install_quiet_hook();
+        Self {
+            inner: Some(Arc::new(PlanInner {
+                fail_budget: AtomicU64::new(cfg.fail_first_n),
+                straggle_budget: AtomicU64::new(cfg.straggle_first_n),
+                cfg,
+            })),
+        }
+    }
+
+    /// Whether any injection can happen.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Bounded attempts per task.
+    pub fn max_attempts(&self) -> u32 {
+        self.inner.as_ref().map_or(1, |p| p.cfg.max_attempts)
+    }
+
+    /// Exponential backoff before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let base = self
+            .inner
+            .as_ref()
+            .map_or(Duration::ZERO, |p| p.cfg.backoff_base);
+        base * 2u32.saturating_pow(retry.saturating_sub(1)).min(64)
+    }
+
+    /// Barrier interval for pipelined exchanges (0 = no barriers).
+    pub fn checkpoint_interval_records(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |p| p.cfg.checkpoint_interval_records)
+    }
+
+    /// Snapshot interval for iterative operators (0 = no checkpoints).
+    pub fn checkpoint_interval_rounds(&self) -> u32 {
+        self.inner
+            .as_ref()
+            .map_or(0, |p| p.cfg.checkpoint_interval_rounds)
+    }
+
+    /// Should this `(stage, partition, attempt)` be killed?
+    fn fail_decision(&self, stage: u64, partition: usize, attempt: u32) -> bool {
+        let Some(p) = &self.inner else { return false };
+        if p.cfg.kill_list.contains(&(stage, partition, attempt)) {
+            return true;
+        }
+        if attempt != 0 {
+            return false; // probability kills hit first attempts only
+        }
+        if coin(p.cfg.seed, SALT_FAIL, stage, partition, attempt) < p.cfg.task_failure_prob {
+            return true;
+        }
+        take_budget(&p.fail_budget)
+    }
+
+    /// Injected slowdown for this attempt, when it is a straggler.
+    fn straggle_decision(&self, stage: u64, partition: usize, attempt: u32) -> Option<Duration> {
+        let p = self.inner.as_ref()?;
+        if attempt != 0 {
+            return None; // retries and backups run at full speed
+        }
+        let hit = coin(p.cfg.seed, SALT_STRAGGLE, stage, partition, attempt)
+            < p.cfg.straggler_prob
+            || take_budget(&p.straggle_budget);
+        hit.then_some(p.cfg.straggler_slowdown)
+    }
+
+    fn memory_pressure_decision(&self, stage: u64, partition: usize, attempt: u32) -> bool {
+        let Some(p) = &self.inner else { return false };
+        attempt == 0
+            && coin(p.cfg.seed, SALT_MEM, stage, partition, attempt) < p.cfg.memory_pressure_prob
+    }
+
+    /// Runs the whole-task injection sequence: straggler sleep, then
+    /// memory-pressure abort, then kill. Panics (with an [`InjectedFault`]
+    /// payload) when a fault fires — callers catch it via `catch_unwind`.
+    pub fn inject_task(
+        &self,
+        metrics: &EngineMetrics,
+        stage: u64,
+        partition: usize,
+        attempt: u32,
+        cancel: &CancelToken,
+    ) {
+        if !self.active() {
+            return;
+        }
+        if let Some(delay) = self.straggle_decision(stage, partition, attempt) {
+            metrics.add_injected_stragglers(1);
+            cancel.sleep(delay);
+        }
+        if self.memory_pressure_decision(stage, partition, attempt) {
+            metrics.add_injected_failures(1);
+            metrics.add_memory_pressure_events(1);
+            panic::panic_any(InjectedFault {
+                kind: "memory pressure",
+                at: (stage, partition, attempt),
+            });
+        }
+        if self.fail_decision(stage, partition, attempt) {
+            metrics.add_injected_failures(1);
+            panic::panic_any(InjectedFault {
+                kind: "task kill",
+                at: (stage, partition, attempt),
+            });
+        }
+    }
+
+    /// Arms the mid-stream fault state for one streaming producer task:
+    /// kills and slowdowns fire at a deterministic send index instead of at
+    /// task start, leaving consumers holding partial channel state.
+    pub fn stream_fault(
+        &self,
+        metrics: &EngineMetrics,
+        stage: u64,
+        partition: usize,
+        attempt: u32,
+        cancel: Arc<AtomicBool>,
+    ) -> StreamFault {
+        let (fail_at, straggle_at, slowdown) = match &self.inner {
+            None => (None, None, Duration::ZERO),
+            Some(p) => {
+                let window = p.cfg.checkpoint_interval_records.max(8) * 2;
+                let point = |salt: u64| {
+                    1 + splitmix(
+                        p.cfg.seed
+                            ^ salt
+                            ^ splitmix(stage ^ splitmix(partition as u64 ^ u64::from(attempt))),
+                    ) % window
+                };
+                let fail_at = self
+                    .fail_decision(stage, partition, attempt)
+                    .then(|| point(SALT_POINT));
+                let straggle_at = self
+                    .straggle_decision(stage, partition, attempt)
+                    .map(|_| point(SALT_POINT ^ SALT_STRAGGLE));
+                let slowdown = p.cfg.straggler_slowdown;
+                (fail_at, straggle_at, slowdown)
+            }
+        };
+        StreamFault {
+            metrics: metrics.clone(),
+            at: (stage, partition, attempt),
+            fail_at,
+            straggle_at,
+            slowdown,
+            cancel,
+            sent: 0,
+        }
+    }
+
+    /// Should round `round` of an iterative operator fail on its
+    /// `attempt`-th try? (Probability and budget kills fire only on the
+    /// first try of a round, so replay always makes progress.)
+    pub fn round_failure(&self, stage: u64, round: u32, attempt: u32) -> bool {
+        self.fail_decision(stage, round as usize, attempt)
+    }
+
+    /// Injected straggler delay for an iteration round.
+    pub fn round_straggler(&self, stage: u64, round: u32) -> Option<Duration> {
+        self.straggle_decision(stage, round as usize, 0)
+    }
+
+    /// Speculation threshold for a stage: `max(floor, median × multiplier)`
+    /// once the stage has enough completed attempts. A cold stage (no
+    /// trusted median yet — e.g. every first-wave task started at once)
+    /// falls back to the floor alone, so a straggler in the very first
+    /// wave still races a backup.
+    pub fn speculation_threshold(&self, stats: &StageStats, stage: u64) -> Option<Duration> {
+        let p = self.inner.as_ref()?;
+        Some(match stats.median(stage) {
+            Some(median) => median
+                .mul_f64(p.cfg.speculation_multiplier)
+                .max(p.cfg.speculation_floor),
+            None => p.cfg.speculation_floor,
+        })
+    }
+}
+
+/// Mid-stream fault state for one producer attempt; see
+/// [`FaultPlan::stream_fault`].
+pub struct StreamFault {
+    metrics: EngineMetrics,
+    at: (u64, usize, u32),
+    fail_at: Option<u64>,
+    straggle_at: Option<u64>,
+    slowdown: Duration,
+    cancel: Arc<AtomicBool>,
+    sent: u64,
+}
+
+impl StreamFault {
+    /// Called once per streamed record (a producer's send or a consumer's
+    /// receive); panics with an [`InjectedFault`] at the armed kill point
+    /// and sleeps at the armed straggle point (cut short when `cancel` is
+    /// set).
+    pub fn on_event(&mut self) {
+        self.sent += 1;
+        if self.straggle_at == Some(self.sent) {
+            self.metrics.add_injected_stragglers(1);
+            let token = CancelToken(Arc::clone(&self.cancel));
+            token.sleep(self.slowdown);
+        }
+        if self.fail_at == Some(self.sent) {
+            self.fire();
+        }
+    }
+
+    /// Called when the producer finished its stream: a kill armed beyond
+    /// the stream's length still fires, so short streams cannot dodge an
+    /// injected failure.
+    pub fn on_finish(&mut self) {
+        if self.fail_at.is_some_and(|f| f > self.sent) {
+            self.fire();
+        }
+    }
+
+    fn fire(&mut self) -> ! {
+        self.fail_at = None;
+        self.metrics.add_injected_failures(1);
+        panic::panic_any(InjectedFault {
+            kind: "producer kill",
+            at: self.at,
+        });
+    }
+}
+
+/// A cooperative cancellation flag; injected straggler sleeps poll it so a
+/// speculative win releases the straggling loser early.
+#[derive(Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates an unset token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag, waking any polling sleep.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag is set.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Sleeps up to `total`, returning early once the flag is set.
+    pub fn sleep(&self, total: Duration) {
+        let started = Instant::now();
+        while !self.is_set() {
+            let elapsed = started.elapsed();
+            if elapsed >= total {
+                return;
+            }
+            std::thread::sleep((total - elapsed).min(Duration::from_millis(2)));
+        }
+    }
+}
+
+/// Per-stage completed-attempt durations feeding the straggler detector.
+#[derive(Default)]
+pub struct StageStats {
+    durations: Mutex<FxHashMap<u64, Vec<Duration>>>,
+}
+
+/// Completed attempts a stage needs before the detector trusts its median.
+const MIN_SAMPLES: usize = 3;
+
+impl StageStats {
+    /// Creates an empty stats table.
+    pub fn new() -> Self {
+        Self {
+            durations: Mutex::new(fx_map_with_capacity(16)),
+        }
+    }
+
+    /// Records one completed attempt.
+    pub fn record(&self, stage: u64, took: Duration) {
+        self.durations.lock().entry(stage).or_default().push(took);
+    }
+
+    /// Median completed-attempt duration, once enough samples exist.
+    pub fn median(&self, stage: u64) -> Option<Duration> {
+        let guard = self.durations.lock();
+        let samples = guard.get(&stage)?;
+        if samples.len() < MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Which recovery architecture is paying for a retry — decides the metric
+/// the retry lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Staged engine: the lost partition is recomputed from lineage.
+    Lineage,
+    /// Pipelined engine: the operator chain (region) is replayed.
+    Region,
+}
+
+type AttemptResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
+
+fn attempt_once<T>(
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stats: Option<&StageStats>,
+    stage: u64,
+    partition: usize,
+    attempt: u32,
+    cancel: &CancelToken,
+    body: &(dyn Fn() -> T + Sync),
+) -> AttemptResult<T> {
+    let started = Instant::now();
+    let out = panic::catch_unwind(AssertUnwindSafe(|| {
+        plan.inject_task(metrics, stage, partition, attempt, cancel);
+        body()
+    }));
+    match out {
+        Ok(v) => {
+            if let Some(stats) = stats {
+                stats.record(stage, started.elapsed());
+            }
+            Ok(v)
+        }
+        Err(payload) => Err(payload),
+    }
+}
+
+/// One attempt, raced against a speculative backup when the stage's
+/// straggler detector has a threshold and the primary overruns it.
+fn attempt_speculatively<T: Send>(
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stats: &StageStats,
+    stage: u64,
+    partition: usize,
+    attempt: u32,
+    body: &(dyn Fn() -> T + Sync),
+) -> AttemptResult<T> {
+    let cancel = CancelToken::new();
+    let Some(threshold) = plan.speculation_threshold(stats, stage) else {
+        return attempt_once(plan, metrics, Some(stats), stage, partition, attempt, &cancel, body);
+    };
+    let (tx, rx) = crossbeam::channel::bounded::<(bool, AttemptResult<T>)>(2);
+    std::thread::scope(|scope| {
+        let primary_tx = tx.clone();
+        let primary_cancel = cancel.clone();
+        scope.spawn(move || {
+            let r = attempt_once(
+                plan, metrics, Some(stats), stage, partition, attempt, &primary_cancel, body,
+            );
+            let _ = primary_tx.send((false, r));
+        });
+        let mut backup_launched = false;
+        let first = match rx.recv_timeout(threshold) {
+            Ok(report) => report,
+            Err(_) => {
+                // Straggler detected: launch the backup, first result wins.
+                metrics.add_speculative_launched(1);
+                backup_launched = true;
+                let backup_tx = tx.clone();
+                let backup_cancel = cancel.clone();
+                scope.spawn(move || {
+                    let r = attempt_once(
+                        plan,
+                        metrics,
+                        Some(stats),
+                        stage,
+                        partition,
+                        attempt + SPECULATIVE_ATTEMPT,
+                        &backup_cancel,
+                        body,
+                    );
+                    let _ = backup_tx.send((true, r));
+                });
+                rx.recv().expect("an attempt always reports")
+            }
+        };
+        let settled = match first {
+            (_, Ok(_)) => first,
+            (_, Err(_)) if backup_launched => {
+                // The first reporter failed; the other attempt may still
+                // deliver a good result.
+                rx.recv().expect("both attempts report")
+            }
+            failed => failed,
+        };
+        cancel.set();
+        if let (true, Ok(_)) = &settled {
+            metrics.add_speculative_wins(1);
+        }
+        settled.1
+    })
+}
+
+/// Runs a deterministic task body under the fault plan with bounded
+/// attempts, exponential backoff and (when `stats` is given) speculative
+/// execution. Real panics from the body are retried like injected ones; a
+/// task that fails `max_attempts` times resumes the final panic.
+pub fn run_recoverable<T: Send>(
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stats: Option<&StageStats>,
+    kind: RecoveryKind,
+    stage: u64,
+    partition: usize,
+    body: &(dyn Fn() -> T + Sync),
+) -> T {
+    if !plan.active() {
+        return body();
+    }
+    let max = plan.max_attempts();
+    let mut attempt = 0u32;
+    loop {
+        let outcome = match stats {
+            Some(stats) => {
+                attempt_speculatively(plan, metrics, stats, stage, partition, attempt, body)
+            }
+            None => attempt_once(
+                plan,
+                metrics,
+                None,
+                stage,
+                partition,
+                attempt,
+                &CancelToken::new(),
+                body,
+            ),
+        };
+        match outcome {
+            Ok(v) => return v,
+            Err(payload) => {
+                attempt += 1;
+                if attempt >= max {
+                    panic::resume_unwind(payload);
+                }
+                metrics.add_task_retries(1);
+                match kind {
+                    RecoveryKind::Lineage => metrics.add_partitions_recomputed(1),
+                    RecoveryKind::Region => metrics.add_region_restarts(1),
+                }
+                std::thread::sleep(plan.backoff(attempt));
+            }
+        }
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// [`InjectedFault`] payloads and delegates everything else to the
+/// previous hook — so chaos runs do not flood stderr while real panics
+/// still print.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn plan_with(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan::new(cfg)
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let a = plan_with(FaultConfig {
+            seed: 42,
+            task_failure_prob: 0.3,
+            ..FaultConfig::default()
+        });
+        let b = plan_with(FaultConfig {
+            seed: 42,
+            task_failure_prob: 0.3,
+            ..FaultConfig::default()
+        });
+        for stage in 0..10u64 {
+            for part in 0..16usize {
+                assert_eq!(a.fail_decision(stage, part, 0), b.fail_decision(stage, part, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn probability_kills_spare_retries() {
+        let plan = plan_with(FaultConfig {
+            seed: 7,
+            task_failure_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(plan.fail_decision(3, 1, 0));
+        assert!(!plan.fail_decision(3, 1, 1), "retries must succeed");
+    }
+
+    #[test]
+    fn kill_list_targets_exact_attempts() {
+        let plan = plan_with(FaultConfig {
+            seed: 0,
+            kill_list: vec![(5, 2, 1)],
+            ..FaultConfig::default()
+        });
+        assert!(!plan.fail_decision(5, 2, 0));
+        assert!(plan.fail_decision(5, 2, 1));
+        assert!(!plan.fail_decision(5, 2, 2));
+    }
+
+    #[test]
+    fn fail_budget_guarantees_then_exhausts() {
+        let plan = plan_with(FaultConfig {
+            seed: 1,
+            fail_first_n: 2,
+            ..FaultConfig::default()
+        });
+        let fired: u32 = (0..50)
+            .map(|p| u32::from(plan.fail_decision(0, p, 0)))
+            .sum();
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.active());
+        assert!(!plan.fail_decision(0, 0, 0));
+        assert_eq!(plan.checkpoint_interval_records(), 0);
+        let metrics = EngineMetrics::new();
+        let out = run_recoverable(
+            &plan,
+            &metrics,
+            None,
+            RecoveryKind::Lineage,
+            0,
+            0,
+            &|| 41 + 1,
+        );
+        assert_eq!(out, 42);
+        assert_eq!(metrics.recovery(), Default::default());
+    }
+
+    #[test]
+    fn run_recoverable_retries_injected_kills() {
+        let plan = plan_with(FaultConfig {
+            seed: 9,
+            task_failure_prob: 1.0, // every first attempt dies
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        let calls = AtomicU32::new(0);
+        let out = run_recoverable(
+            &plan,
+            &metrics,
+            None,
+            RecoveryKind::Region,
+            1,
+            0,
+            &|| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                "ok"
+            },
+        );
+        assert_eq!(out, "ok");
+        // First attempt was killed before the body ran, retry succeeded.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.injected_failures(), 1);
+        assert_eq!(metrics.task_retries(), 1);
+        assert_eq!(metrics.region_restarts(), 1);
+    }
+
+    #[test]
+    fn run_recoverable_retries_real_panics_then_gives_up() {
+        let plan = plan_with(FaultConfig {
+            seed: 2,
+            max_attempts: 3,
+            backoff_base: Duration::ZERO,
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        let calls = AtomicU32::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_recoverable(
+                &plan,
+                &metrics,
+                None,
+                RecoveryKind::Lineage,
+                0,
+                0,
+                &|| -> u32 {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    panic!("deterministic bug")
+                },
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "all attempts used");
+        assert_eq!(metrics.task_retries(), 2);
+    }
+
+    #[test]
+    fn speculation_beats_an_injected_straggler() {
+        let plan = plan_with(FaultConfig {
+            seed: 3,
+            straggle_first_n: 1,
+            straggler_slowdown: Duration::from_millis(400),
+            speculation_floor: Duration::from_millis(15),
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        let stats = StageStats::new();
+        // Prime the stage median with fast attempts.
+        for _ in 0..4 {
+            stats.record(9, Duration::from_millis(1));
+        }
+        let started = Instant::now();
+        let out = run_recoverable(
+            &plan,
+            &metrics,
+            Some(&stats),
+            RecoveryKind::Lineage,
+            9,
+            0,
+            &|| 7u32,
+        );
+        assert_eq!(out, 7);
+        assert_eq!(metrics.injected_stragglers(), 1);
+        assert_eq!(metrics.speculative_launched(), 1);
+        assert_eq!(metrics.speculative_wins(), 1);
+        // The win cancelled the straggler's 400 ms sleep.
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "speculation did not shorten the straggler: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn cold_stage_speculates_at_the_floor() {
+        let plan = plan_with(FaultConfig {
+            seed: 5,
+            straggle_first_n: 1,
+            straggler_slowdown: Duration::from_millis(400),
+            speculation_floor: Duration::from_millis(15),
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        // No samples recorded: the stage is cold, the floor alone applies.
+        let stats = StageStats::new();
+        let started = Instant::now();
+        let out = run_recoverable(
+            &plan,
+            &metrics,
+            Some(&stats),
+            RecoveryKind::Lineage,
+            9,
+            0,
+            &|| 7u32,
+        );
+        assert_eq!(out, 7);
+        assert_eq!(metrics.speculative_launched(), 1);
+        assert_eq!(metrics.speculative_wins(), 1);
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "cold-stage speculation did not shorten the straggler: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stream_fault_fires_at_end_of_short_streams() {
+        let plan = plan_with(FaultConfig {
+            seed: 4,
+            fail_first_n: 1,
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        let mut fault = plan.stream_fault(&metrics, 0, 0, 0, Arc::new(AtomicBool::new(false)));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // A 2-record stream: shorter than any plausible fail point.
+            fault.on_event();
+            fault.on_event();
+            fault.on_finish();
+        }));
+        assert!(result.is_err(), "armed kill must fire by stream end");
+        assert_eq!(metrics.injected_failures(), 1);
+    }
+
+    #[test]
+    fn cancel_token_cuts_sleep_short() {
+        let token = CancelToken::new();
+        token.set();
+        let started = Instant::now();
+        token.sleep(Duration::from_millis(200));
+        assert!(started.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn stage_stats_median_needs_samples() {
+        let stats = StageStats::new();
+        stats.record(1, Duration::from_millis(10));
+        stats.record(1, Duration::from_millis(20));
+        assert!(stats.median(1).is_none());
+        stats.record(1, Duration::from_millis(30));
+        assert_eq!(stats.median(1), Some(Duration::from_millis(20)));
+        assert!(stats.median(2).is_none());
+    }
+}

@@ -13,17 +13,21 @@
 //!   Flink's Grep disadvantage;
 //! - native iteration operators live in [`crate::iterate`].
 
+use std::any::Any;
+use std::collections::BTreeMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
+use crate::faults::{run_recoverable, FaultPlan, RecoveryKind, StreamFault};
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
@@ -43,6 +47,10 @@ struct EnvInner {
     /// measurement of pipelined deployment.
     live_tasks: AtomicU64,
     peak_tasks: AtomicU64,
+    /// Fault-injection plan; [`FaultPlan::disabled`] outside chaos runs.
+    faults: FaultPlan,
+    /// Monotone id source keying injection decisions per exchange/action.
+    next_stage: AtomicU64,
 }
 
 /// The execution environment ("ExecutionEnvironment"). Cheap to clone.
@@ -57,11 +65,31 @@ impl FlinkEnv {
         Self::with_buffers(parallelism, 1024, 4096)
     }
 
+    /// Creates an environment that executes every job under the given
+    /// fault plan, recovering via checkpointed region restarts.
+    pub fn with_faults(parallelism: usize, faults: FaultPlan) -> Self {
+        Self::build(parallelism, 1024, 4096, faults)
+    }
+
     /// Full control over buffering (used by backpressure tests).
     pub fn with_buffers(
         parallelism: usize,
         network_buffer_records: usize,
         combine_buffer_records: usize,
+    ) -> Self {
+        Self::build(
+            parallelism,
+            network_buffer_records,
+            combine_buffer_records,
+            FaultPlan::disabled(),
+        )
+    }
+
+    fn build(
+        parallelism: usize,
+        network_buffer_records: usize,
+        combine_buffer_records: usize,
+        faults: FaultPlan,
     ) -> Self {
         assert!(parallelism > 0 && network_buffer_records > 0);
         Self {
@@ -74,6 +102,8 @@ impl FlinkEnv {
                 start: Instant::now(),
                 live_tasks: AtomicU64::new(0),
                 peak_tasks: AtomicU64::new(0),
+                faults,
+                next_stage: AtomicU64::new(0),
             }),
         }
     }
@@ -81,6 +111,15 @@ impl FlinkEnv {
     /// Run metrics.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.inner.metrics
+    }
+
+    /// The environment's fault plan (disabled outside chaos runs).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
+    }
+
+    pub(crate) fn next_stage_id(&self) -> u64 {
+        self.inner.next_stage.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Operator spans recorded so far.
@@ -259,16 +298,32 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
     }
 
     /// Materialises every partition with one concurrently-deployed task per
-    /// partition (all tasks live at once — pipelined deployment).
+    /// partition (all tasks live at once — pipelined deployment). Under an
+    /// active fault plan each sink task runs recoverably: an injected (or
+    /// real) panic replays the operator chain for that partition.
     fn materialise(&self) -> Vec<Vec<T>> {
         let env = &self.env;
+        let plan = env.faults();
+        let stage = env.next_stage_id();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.partitions)
                 .map(|p| {
                     let op = Arc::clone(&self.op);
                     scope.spawn(move || {
                         env.task_started();
-                        let out = op.compute(env, p);
+                        let out = if plan.active() {
+                            run_recoverable(
+                                plan,
+                                env.metrics(),
+                                None,
+                                RecoveryKind::Region,
+                                stage,
+                                p,
+                                &|| op.compute(env, p),
+                            )
+                        } else {
+                            op.compute(env, p)
+                        };
                         env.task_finished();
                         out
                     })
@@ -316,16 +371,20 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
         let in_parts = self.partitions;
         let out_parts = partitioner.partitions();
         let record_bytes = std::mem::size_of::<T>();
-        let op = PipelinedExchange::new(in_parts, out_parts, move |env: &FlinkEnv, senders, part| {
-            let records = parent.compute(env, part);
-            env.metrics().add_records_shuffled(records.len() as u64);
-            env.metrics()
-                .add_bytes_shuffled((records.len() * record_bytes) as u64);
-            for r in records {
-                let p = partitioner.partition(&key_of(&r));
-                senders[p].send(r).expect("receiver alive");
-            }
-        });
+        let op = PipelinedExchange::new(
+            in_parts,
+            out_parts,
+            move |env: &FlinkEnv, out: &mut Outbox<T>, part| {
+                let records = parent.compute(env, part);
+                env.metrics().add_records_shuffled(records.len() as u64);
+                env.metrics()
+                    .add_bytes_shuffled((records.len() * record_bytes) as u64);
+                for r in records {
+                    let p = partitioner.partition(&key_of(&r));
+                    out.send(p, r);
+                }
+            },
+        );
         DataSet {
             env: self.env.clone(),
             op: Arc::new(op),
@@ -353,14 +412,19 @@ where
         let record_bytes = std::mem::size_of::<(K, V)>();
         let combine_records = self.env.inner.combine_buffer_records;
         let send_combine = Arc::clone(&combine);
-        let exchange =
-            PipelinedExchange::new(in_parts, out_parts, move |env: &FlinkEnv, senders, part| {
+        let exchange = PipelinedExchange::new(
+            in_parts,
+            out_parts,
+            move |env: &FlinkEnv, out: &mut Outbox<(K, V)>, part| {
                 let records = parent.compute(env, part);
-                let partitioner = HashPartitioner::new(senders.len());
+                let channels = out.channels();
+                let partitioner = HashPartitioner::new(channels);
                 // Map-side combine per output channel; one shared pool
-                // recycles run storage across all of this task's buffers.
-                let pool = Arc::new(BufferPool::new(2 * senders.len()));
-                let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..senders.len())
+                // recycles run storage across all of this task's buffers,
+                // and its outstanding cap turns run pile-ups into early
+                // merges (the managed-memory spill discipline).
+                let pool = Arc::new(BufferPool::with_limit(2 * channels, 4 * channels));
+                let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..channels)
                     .map(|_| {
                         SortCombineBuffer::with_pool(
                             combine_records,
@@ -381,10 +445,11 @@ where
                     env.metrics()
                         .add_bytes_shuffled((combined.len() * record_bytes) as u64);
                     for kv in combined {
-                        senders[p].send(kv).expect("receiver alive");
+                        out.send(p, kv);
                     }
                 }
-            });
+            },
+        );
         // Reduce side: the exchange delivers per-partition streams; fold
         // them with a final combine.
         let reduce_combine = combine;
@@ -542,13 +607,187 @@ where
     }
 }
 
+/// One message on an exchange channel: a record tagged with its producer, a
+/// channel-aligned checkpoint barrier, or a producer's end-of-stream marker.
+enum Msg<T> {
+    Record(usize, T),
+    Barrier(usize, u64),
+    Done(usize),
+}
+
+/// Producer-side handle over the exchange channels. Streams records, emits
+/// aligned checkpoint barriers every `interval` sends, suppresses the
+/// prefix a restored checkpoint already covers, and degrades gracefully
+/// when a consumer disappears mid-stream: a failed send flags the region
+/// for restart instead of panicking, so bounded-channel backpressure can
+/// never deadlock a producer against a dead receiver.
+pub(crate) struct Outbox<T> {
+    txs: Vec<Sender<Msg<T>>>,
+    producer: usize,
+    /// Sends between barriers; 0 disables checkpointing (fault-free runs).
+    interval: u64,
+    /// Sends covered by the restored checkpoint — replayed, not re-sent.
+    skip: u64,
+    sent: u64,
+    failed: Arc<AtomicBool>,
+    fault: StreamFault,
+}
+
+impl<T> Outbox<T> {
+    /// Number of output channels (consumer partitions).
+    pub(crate) fn channels(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Streams one record to `channel`, running the per-record fault hook
+    /// (which may inject a mid-stream kill or straggler slowdown).
+    pub(crate) fn send(&mut self, channel: usize, record: T) {
+        self.fault.on_event();
+        self.sent += 1;
+        if self.sent <= self.skip {
+            // Deterministic producers re-derive the same record sequence on
+            // every attempt, so the checkpointed prefix is simply skipped.
+            return;
+        }
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.txs[channel].send(Msg::Record(self.producer, record)).is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+            return;
+        }
+        if self.interval > 0 && self.sent % self.interval == 0 {
+            // Barrier k covers the first k×interval sends. Barriers for the
+            // restored prefix never re-fire: those sends return early above.
+            let k = self.sent / self.interval;
+            for tx in &self.txs {
+                if tx.send(Msg::Barrier(self.producer, k)).is_err() {
+                    self.failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ends the stream: fires any kill armed beyond the stream's length,
+    /// then delivers end-of-stream markers to every consumer. A producer
+    /// in a flagged (failing) region stays silent instead: it may have
+    /// suppressed records after the flag went up, and advertising
+    /// end-of-stream would let consumers pin a checkpoint over the
+    /// truncated stream — records the replay would then skip as "already
+    /// checkpointed". The attempt is doomed anyway; the channels just
+    /// close.
+    fn finish(mut self) {
+        self.fault.on_finish();
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        for tx in &self.txs {
+            let _ = tx.send(Msg::Done(self.producer));
+        }
+    }
+}
+
+/// One consumer partition's state, persistent across region restarts.
+struct ConsumerState<T> {
+    /// Received records, segregated per producer so a checkpoint is an
+    /// exact per-producer prefix regardless of channel interleaving.
+    bufs: Vec<Vec<T>>,
+    /// Barrier alignment in flight this attempt: checkpoint id → observed
+    /// prefix length per producer (`None` until that barrier arrives).
+    marks: BTreeMap<u64, Vec<Option<usize>>>,
+    /// Completed checkpoints: id → resolved prefix length per producer.
+    /// Survives restarts — restoring truncates `bufs` to one of these.
+    snapshots: BTreeMap<u64, Vec<usize>>,
+    done: Vec<bool>,
+    /// Highest checkpoint this consumer completed since the last restore.
+    completed: u64,
+}
+
+impl<T> ConsumerState<T> {
+    fn new(producers: usize) -> Self {
+        Self {
+            bufs: (0..producers).map(|_| Vec::new()).collect(),
+            marks: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            done: vec![false; producers],
+            completed: 0,
+        }
+    }
+
+    /// Completes every checkpoint whose barriers (or end-of-stream, which
+    /// pins the prefix at the full stream) have arrived from all producers,
+    /// in order, publishing progress for the restart coordinator.
+    fn try_complete(
+        &mut self,
+        me: usize,
+        progress: &Mutex<Vec<u64>>,
+        metrics: &EngineMetrics,
+        record_bytes: usize,
+    ) {
+        loop {
+            let next = self.completed + 1;
+            let Some(positions) = self.marks.get_mut(&next) else {
+                break;
+            };
+            if !positions
+                .iter()
+                .enumerate()
+                .all(|(p, m)| m.is_some() || self.done[p])
+            {
+                break;
+            }
+            let mut resolved = Vec::with_capacity(positions.len());
+            let mut snapshot_records = 0usize;
+            for (p, m) in positions.iter_mut().enumerate() {
+                let pos = *m.get_or_insert(self.bufs[p].len());
+                resolved.push(pos);
+                snapshot_records += pos;
+            }
+            self.snapshots.insert(next, resolved);
+            self.completed = next;
+            metrics.add_checkpoints_taken(1);
+            metrics.add_checkpoint_bytes((snapshot_records * record_bytes) as u64);
+            progress.lock()[me] = next;
+        }
+    }
+
+    /// Rewinds to the global restore point `g`: truncates every producer's
+    /// buffer to the checkpointed prefix and clears this attempt's
+    /// alignment state.
+    fn restore(&mut self, g: u64) {
+        for (p, buf) in self.bufs.iter_mut().enumerate() {
+            let keep = if g == 0 { 0 } else { self.snapshots[&g][p] };
+            buf.truncate(keep);
+        }
+        self.snapshots.split_off(&(g + 1));
+        self.marks.clear();
+        self.done.iter_mut().for_each(|d| *d = false);
+        self.completed = g;
+    }
+}
+
+fn remember_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+    let mut slot = slot.lock();
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+}
+
 /// A pipelined all-to-all exchange. Producer tasks (one per input
 /// partition) and the consuming operator run concurrently; per-channel
 /// bounded queues model Flink's network buffers, blocking producers when a
 /// consumer lags (backpressure).
+///
+/// Under an active fault plan the exchange is a **restartable region** with
+/// channel-aligned checkpoints: producers emit barriers every
+/// `checkpoint_interval_records` sends, consumers snapshot per-producer
+/// prefixes when a barrier has arrived from every producer, and an injected
+/// (or real) failure anywhere in the region replays it from the last
+/// globally-completed checkpoint instead of aborting the job.
 struct PipelinedExchange<T, P>
 where
-    P: Fn(&FlinkEnv, &[crossbeam::channel::Sender<T>], usize) + Send + Sync,
+    P: Fn(&FlinkEnv, &mut Outbox<T>, usize) + Send + Sync,
 {
     in_parts: usize,
     out_parts: usize,
@@ -560,7 +799,7 @@ where
 impl<T, P> PipelinedExchange<T, P>
 where
     T: Send + Sync,
-    P: Fn(&FlinkEnv, &[crossbeam::channel::Sender<T>], usize) + Send + Sync,
+    P: Fn(&FlinkEnv, &mut Outbox<T>, usize) + Send + Sync,
 {
     fn new(in_parts: usize, out_parts: usize, produce: P) -> Self {
         Self {
@@ -574,42 +813,133 @@ where
     fn run(&self, env: &FlinkEnv) -> Vec<Vec<T>> {
         let started = Instant::now();
         let cap = env.inner.network_buffer_records;
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..self.out_parts).map(|_| bounded::<T>(cap)).unzip();
-        let out = std::thread::scope(|scope| {
-            // Consumers deploy first — all tasks of the pipeline are live at
-            // the same time.
-            let consumers: Vec<_> = receivers
-                .into_iter()
-                .map(|rx| {
+        let record_bytes = std::mem::size_of::<T>();
+        let plan = env.faults().clone();
+        let stage = env.next_stage_id();
+        let interval = if plan.active() {
+            plan.checkpoint_interval_records()
+        } else {
+            0
+        };
+        let max_attempts = if plan.active() { plan.max_attempts() } else { 1 };
+
+        let mut states: Vec<ConsumerState<T>> = (0..self.out_parts)
+            .map(|_| ConsumerState::new(self.in_parts))
+            .collect();
+        // Per-consumer completed-checkpoint watermark; the restore point is
+        // its minimum (a checkpoint only counts once every channel has it).
+        let progress = Mutex::new(vec![0u64; self.out_parts]);
+        let mut attempt = 0u32;
+
+        loop {
+            let failed = Arc::new(AtomicBool::new(false));
+            let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+            let restore_point = *progress.lock().iter().min().expect("≥1 consumer");
+            let (senders, receivers): (Vec<_>, Vec<_>) =
+                (0..self.out_parts).map(|_| bounded::<Msg<T>>(cap)).unzip();
+            std::thread::scope(|scope| {
+                // Consumers deploy first — all tasks of the pipeline are
+                // live at the same time.
+                for (c, (rx, state)) in receivers.into_iter().zip(states.iter_mut()).enumerate() {
+                    let failed = Arc::clone(&failed);
+                    let (plan, metrics) = (&plan, env.metrics());
+                    let (progress, first_panic) = (&progress, &first_panic);
+                    let in_parts = self.in_parts;
                     scope.spawn(move || {
                         env.task_started();
-                        let data: Vec<T> = rx.iter().collect();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut fault = plan.stream_fault(
+                                metrics,
+                                stage,
+                                in_parts + c,
+                                attempt,
+                                Arc::clone(&failed),
+                            );
+                            // A panic from the fault hook unwinds past the
+                            // receiver, dropping it mid-stream: blocked
+                            // producers see a disconnect, not a deadlock.
+                            for msg in rx.iter() {
+                                fault.on_event();
+                                match msg {
+                                    Msg::Record(p, t) => state.bufs[p].push(t),
+                                    Msg::Barrier(p, k) => {
+                                        let n = state.bufs.len();
+                                        state.marks.entry(k).or_insert_with(|| vec![None; n])
+                                            [p] = Some(state.bufs[p].len());
+                                        state.try_complete(c, progress, metrics, record_bytes);
+                                    }
+                                    Msg::Done(p) => {
+                                        state.done[p] = true;
+                                        state.try_complete(c, progress, metrics, record_bytes);
+                                    }
+                                }
+                            }
+                            fault.on_finish();
+                        }));
+                        if let Err(payload) = result {
+                            failed.store(true, Ordering::Relaxed);
+                            remember_panic(first_panic, payload);
+                        }
                         env.task_finished();
-                        data
-                    })
-                })
-                .collect();
-            let producers: Vec<_> = (0..self.in_parts)
-                .map(|p| {
-                    let senders = senders.clone();
+                    });
+                }
+                for p in 0..self.in_parts {
+                    let txs = senders.clone();
+                    let failed = Arc::clone(&failed);
+                    let (plan, metrics) = (&plan, env.metrics());
+                    let first_panic = &first_panic;
                     let produce = &self.produce;
                     scope.spawn(move || {
                         env.task_started();
-                        produce(env, &senders, p);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let fault =
+                                plan.stream_fault(metrics, stage, p, attempt, Arc::clone(&failed));
+                            let mut outbox = Outbox {
+                                txs,
+                                producer: p,
+                                interval,
+                                skip: restore_point * interval,
+                                sent: 0,
+                                failed: Arc::clone(&failed),
+                                fault,
+                            };
+                            produce(env, &mut outbox, p);
+                            outbox.finish();
+                        }));
+                        if let Err(payload) = result {
+                            // The dead producer never sends `Done`; dropping
+                            // its channel handles lets consumers drain out.
+                            failed.store(true, Ordering::Relaxed);
+                            remember_panic(first_panic, payload);
+                        }
                         env.task_finished();
-                    })
-                })
-                .collect();
-            for h in producers {
-                h.join().expect("producer panicked");
+                    });
+                }
+                drop(senders); // close channels so consumers finish
+            });
+            if !failed.load(Ordering::Relaxed) {
+                break;
             }
-            drop(senders); // close channels so consumers finish
-            consumers
-                .into_iter()
-                .map(|h| h.join().expect("consumer panicked"))
-                .collect::<Vec<_>>()
-        });
+            attempt += 1;
+            if attempt >= max_attempts {
+                match first_panic.into_inner() {
+                    Some(payload) => resume_unwind(payload),
+                    None => panic!("pipelined region failed after {attempt} attempts"),
+                }
+            }
+            env.metrics().add_task_retries(1);
+            env.metrics().add_region_restarts(1);
+            let g = *progress.lock().iter().min().expect("≥1 consumer");
+            for state in &mut states {
+                state.restore(g);
+            }
+            *progress.lock() = vec![g; self.out_parts];
+            std::thread::sleep(plan.backoff(attempt));
+        }
+        let out: Vec<Vec<T>> = states
+            .into_iter()
+            .map(|s| s.bufs.into_iter().flatten().collect())
+            .collect();
         env.record_span("pipelined-exchange", started);
         out
     }
@@ -618,7 +948,7 @@ where
 impl<T, P> DsOp<T> for PipelinedExchange<T, P>
 where
     T: Clone + Send + Sync,
-    P: Fn(&FlinkEnv, &[crossbeam::channel::Sender<T>], usize) + Send + Sync,
+    P: Fn(&FlinkEnv, &mut Outbox<T>, usize) + Send + Sync,
 {
     fn compute(&self, env: &FlinkEnv, part: usize) -> Vec<T> {
         let all = self.output.get_or_init(|| self.run(env));
@@ -802,6 +1132,104 @@ mod tests {
         assert_eq!(ws, vec![7]);
         assert!(cg[&9].0.is_empty());
         assert_eq!(cg[&9].1, vec![9]);
+    }
+
+    #[test]
+    fn injected_failures_recover_from_aligned_checkpoints() {
+        use crate::faults::FaultConfig;
+        let cfg = FaultConfig {
+            seed: 3,
+            task_failure_prob: 0.35,
+            fail_first_n: 1,
+            straggle_first_n: 1,
+            straggler_slowdown: std::time::Duration::from_millis(5),
+            checkpoint_interval_records: 32,
+            ..FaultConfig::default()
+        };
+        let env = FlinkEnv::with_faults(4, FaultPlan::new(cfg));
+        let pairs: Vec<(u32, u64)> = (0..6000).map(|i| (i % 97, 1)).collect();
+        let faulted = env
+            .from_collection(pairs.clone())
+            .group_reduce(|a, b| *a += b)
+            .collect();
+        let clean = FlinkEnv::new(4)
+            .from_collection(pairs)
+            .group_reduce(|a, b| *a += b)
+            .collect();
+        assert_eq!(faulted, clean, "recovery must reproduce the fault-free result");
+        let rec = env.metrics().recovery();
+        assert!(rec.injected_failures >= 1);
+        assert!(rec.injected_stragglers >= 1);
+        assert!(rec.task_retries >= 1);
+        assert!(rec.checkpoints_taken >= 1, "barriers every 32 records must align");
+    }
+
+    #[test]
+    fn dropped_receiver_mid_stream_does_not_deadlock_senders() {
+        use crate::faults::FaultConfig;
+        // Kill consumer 0 of the first exchange (stage 1, partition
+        // in_parts + 0 = 4) on its first attempt, mid-drain. With capacity-2
+        // channels the producers are blocked in `send` when the receiver
+        // drops; they must observe the disconnect, flag the region, and let
+        // the restart replay — not deadlock or crash the job.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            kill_list: vec![(1, 4, 0)],
+            ..FaultConfig::default()
+        });
+        let env = FlinkEnv::build(4, 2, 64, plan);
+        let part = Arc::new(flowmark_dataflow::partitioner::RangePartitioner::new(vec![
+            5_000u32, 10_000, 15_000,
+        ]));
+        let all: Vec<u32> = env
+            .from_collection((0..20_000u32).collect::<Vec<_>>())
+            .partition_custom(part, |x| *x)
+            .sort_partition(|a, b| a.cmp(b))
+            .collect_partitions()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(all, (0..20_000u32).collect::<Vec<_>>());
+        let rec = env.metrics().recovery();
+        assert!(rec.injected_failures >= 1, "the targeted consumer kill must fire");
+        assert!(rec.region_restarts >= 1, "the region must have been replayed");
+    }
+
+    #[test]
+    fn flagged_producer_finishes_without_end_of_stream_marker() {
+        // Regression: once the region is flagged, a producer that may have
+        // suppressed records must NOT send `Done` — consumers would pin a
+        // checkpoint over the truncated stream and the replay would skip
+        // records the snapshot never held (silent data loss under
+        // concurrent kills).
+        let metrics = EngineMetrics::new();
+        let plan = FaultPlan::disabled();
+        let count_done = |failed: bool| {
+            let (tx, rx) = bounded::<Msg<u32>>(16);
+            let flag = Arc::new(AtomicBool::new(failed));
+            let mut outbox = Outbox {
+                txs: vec![tx],
+                producer: 0,
+                interval: 4,
+                skip: 0,
+                sent: 0,
+                failed: Arc::clone(&flag),
+                fault: plan.stream_fault(&metrics, 0, 0, 0, Arc::new(AtomicBool::new(false))),
+            };
+            outbox.send(0, 1u32);
+            outbox.finish();
+            rx.iter().filter(|m| matches!(m, Msg::Done(_))).count()
+        };
+        assert_eq!(count_done(false), 1, "healthy producers advertise end-of-stream");
+        assert_eq!(count_done(true), 0, "flagged producers must stay silent");
+    }
+
+    #[test]
+    fn fault_plan_accessor_defaults_to_disabled() {
+        assert!(!FlinkEnv::new(2).faults().active());
+        assert!(FlinkEnv::with_faults(2, FaultPlan::new(crate::faults::FaultConfig::chaos(1)))
+            .faults()
+            .active());
     }
 
     #[test]

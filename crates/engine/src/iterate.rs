@@ -28,7 +28,56 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use flowmark_dataflow::partitioner::fxhash;
 
+use crate::faults::FaultPlan;
 use crate::flink::FlinkEnv;
+use crate::metrics::EngineMetrics;
+
+/// Driver-side fault handling shared by both iteration runtimes: decides,
+/// per superstep, whether to inject a straggler pause or a failure that
+/// rewinds to the last checkpoint. Tracks per-round attempts so replay
+/// always makes progress (probability kills fire on first tries only).
+struct RoundFaults {
+    plan: FaultPlan,
+    stage: u64,
+    attempts: HashMap<u32, u32>,
+}
+
+impl RoundFaults {
+    fn new(plan: FaultPlan, stage: u64) -> Self {
+        Self {
+            plan,
+            stage,
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Runs the pre-round injection sequence. Returns `true` when an
+    /// injected failure fired and the caller must restore the last
+    /// checkpoint and replay.
+    fn before_round(&mut self, metrics: &EngineMetrics, round: u32) -> bool {
+        if !self.plan.active() {
+            return false;
+        }
+        if let Some(delay) = self.plan.round_straggler(self.stage, round) {
+            metrics.add_injected_stragglers(1);
+            std::thread::sleep(delay);
+        }
+        let attempt = self.attempts.entry(round).or_insert(0);
+        if !self.plan.round_failure(self.stage, round, *attempt) {
+            return false;
+        }
+        *attempt += 1;
+        metrics.add_injected_failures(1);
+        assert!(
+            *attempt < self.plan.max_attempts(),
+            "iteration round {round} failed {attempt} times"
+        );
+        metrics.add_task_retries(1);
+        metrics.add_region_restarts(1);
+        std::thread::sleep(self.plan.backoff(*attempt));
+        true
+    }
+}
 
 /// Errors surfaced by the iteration runtimes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,8 +147,21 @@ where
             });
         }
         drop(results_tx);
+        let plan = env.faults().clone();
+        let stage = env.next_stage_id();
+        let interval = plan.checkpoint_interval_rounds();
+        let mut faults = RoundFaults::new(plan, stage);
+        // Superstep checkpoint: (completed rounds, broadcast state). The
+        // state is the whole inter-round dataflow, so restoring it replays
+        // the iteration exactly from that barrier.
+        let mut checkpoint: (u32, S) = (0, initial.clone());
         let mut state = initial;
-        for _ in 0..rounds {
+        let mut round = 0u32;
+        while round < rounds {
+            if faults.before_round(env.metrics(), round) {
+                (round, state) = (checkpoint.0, checkpoint.1.clone());
+                continue;
+            }
             for tx in &to_workers {
                 tx.send(state.clone()).expect("worker alive");
             }
@@ -117,6 +179,13 @@ where
                     .expect("n > 0"),
             );
             env.metrics().add_iterations_run(1);
+            round += 1;
+            if interval > 0 && round % interval == 0 {
+                checkpoint = (round, state.clone());
+                env.metrics().add_checkpoints_taken(1);
+                env.metrics()
+                    .add_checkpoint_bytes(std::mem::size_of::<S>() as u64);
+            }
         }
         drop(to_workers); // shut workers down
         state
@@ -221,6 +290,11 @@ where
     // Messages exchanged between driver and workers each superstep.
     enum ToWorker<M> {
         Round(Vec<(u64, M)>),
+        /// Checkpoint the worker-local solution set (kept worker-side, like
+        /// Flink snapshotting operator state to a state backend).
+        Snapshot,
+        /// Rewind the solution set to the last snapshot.
+        Restore,
         Finish,
     }
     struct FromWorker<M, VV> {
@@ -250,9 +324,30 @@ where
                     part.iter().map(|(v, ns)| (*v, ns.as_slice())).collect();
                 let is_delta = matches!(mode, IterationMode::Delta { .. });
                 let mut first_round = true;
+                // Last snapshot of (solution set, first-round flag); armed
+                // with the initial state so a failure before any checkpoint
+                // restarts the iteration from scratch.
+                let mut saved = env2
+                    .faults()
+                    .active()
+                    .then(|| (values.clone(), first_round));
                 for msg in rx.iter() {
                     let incoming = match msg {
                         ToWorker::Round(m) => m,
+                        ToWorker::Snapshot => {
+                            env2.metrics().add_checkpoints_taken(1);
+                            env2.metrics().add_checkpoint_bytes(
+                                (values.len() * std::mem::size_of::<(u64, VV)>()) as u64,
+                            );
+                            saved = Some((values.clone(), first_round));
+                            continue;
+                        }
+                        ToWorker::Restore => {
+                            let (v, f) = saved.clone().expect("snapshot armed at start");
+                            values = v;
+                            first_round = f;
+                            continue;
+                        }
                         ToWorker::Finish => break,
                     };
                     let mut inbox: HashMap<u64, Vec<M>> = HashMap::new();
@@ -301,12 +396,31 @@ where
         drop(from_tx);
 
         // Superstep loop: route messages at the barrier.
+        let plan = env.faults().clone();
+        let stage = env.next_stage_id();
+        let interval = plan.checkpoint_interval_rounds();
+        let mut faults = RoundFaults::new(plan, stage);
+        // Driver-side half of the checkpoint: (completed rounds, routed but
+        // undelivered messages). The worker-side half is the solution set.
+        let mut checkpoint: (u32, Vec<Vec<(u64, M)>>) =
+            (0, (0..n).map(|_| Vec::new()).collect());
         let mut pending: Vec<Vec<(u64, M)>> = (0..n).map(|_| Vec::new()).collect();
-        for round in 0..max_rounds {
+        let mut round = 0u32;
+        while round < max_rounds {
             let is_delta = matches!(mode, IterationMode::Delta { .. });
             let total_pending: usize = pending.iter().map(Vec::len).sum();
             if is_delta && round > 0 && total_pending == 0 {
                 break; // delta convergence: nothing changed
+            }
+            if faults.before_round(env.metrics(), round) {
+                // Injected superstep failure: rewind both halves of the
+                // checkpoint and replay from that barrier.
+                for tx in &to_workers {
+                    tx.send(ToWorker::Restore).expect("worker alive");
+                }
+                round = checkpoint.0;
+                pending = checkpoint.1.clone();
+                continue;
             }
             for (p, tx) in to_workers.iter().enumerate() {
                 tx.send(ToWorker::Round(std::mem::take(&mut pending[p])))
@@ -320,6 +434,13 @@ where
                 }
             }
             env.metrics().add_iterations_run(1);
+            round += 1;
+            if interval > 0 && round % interval == 0 {
+                for tx in &to_workers {
+                    tx.send(ToWorker::Snapshot).expect("worker alive");
+                }
+                checkpoint = (round, pending.clone());
+            }
         }
         for tx in &to_workers {
             tx.send(ToWorker::Finish).expect("worker alive");
@@ -498,6 +619,70 @@ mod tests {
                 budget: 50
             }
         );
+    }
+
+    #[test]
+    fn bulk_iterate_replays_failed_round_from_checkpoint() {
+        use crate::faults::FaultConfig;
+        // Kill round 3's first attempt (stage 0: the iteration allocates the
+        // env's first stage id). With checkpoints every 2 rounds the restore
+        // point is round 2, and the replay must land on the exact fault-free
+        // trajectory.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            kill_list: vec![(0, 3, 0)],
+            checkpoint_interval_rounds: 2,
+            backoff_base: std::time::Duration::from_micros(100),
+            ..FaultConfig::default()
+        });
+        let env = FlinkEnv::with_faults(4, plan);
+        let data: Vec<Vec<u64>> = (0..4).map(|i| vec![i, i + 1]).collect();
+        let step = |s: &u64, part: &[u64]| s + part.iter().sum::<u64>();
+        let faulted = bulk_iterate(&env, data.clone(), 0u64, 6, step, |a, b| a + b, |s| s);
+        let clean = bulk_iterate(&FlinkEnv::new(4), data, 0u64, 6, step, |a, b| a + b, |s| s);
+        assert_eq!(faulted, clean);
+        let rec = env.metrics().recovery();
+        assert_eq!(rec.injected_failures, 1);
+        assert_eq!(rec.region_restarts, 1);
+        assert!(rec.checkpoints_taken >= 1);
+        // Rounds 2..3 replayed once: 6 clean rounds + 1 replayed.
+        assert_eq!(env.metrics().iterations_run(), 7);
+    }
+
+    #[test]
+    fn vertex_centric_restores_solution_set_from_snapshot() {
+        use crate::faults::FaultConfig;
+        let edges: Vec<(u64, u64)> = (0..40).flat_map(|i| {
+            let j = (i + 1) % 40;
+            [(i, j), (j, i)]
+        })
+        .collect();
+        let g = PartitionedGraph::from_edges(&edges, 4);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 9,
+            kill_list: vec![(0, 3, 0)],
+            checkpoint_interval_rounds: 2,
+            backoff_base: std::time::Duration::from_micros(100),
+            ..FaultConfig::default()
+        });
+        let env = FlinkEnv::with_faults(4, plan);
+        let faulted =
+            vertex_centric(&env, &g, |v, _| v, &*cc_compute(), 60, IterationMode::Bulk).unwrap();
+        let clean = vertex_centric(
+            &FlinkEnv::new(4),
+            &g,
+            |v, _| v,
+            &*cc_compute(),
+            60,
+            IterationMode::Bulk,
+        )
+        .unwrap();
+        assert_eq!(faulted, clean);
+        assert!(faulted.values().all(|c| *c == 0), "one 40-cycle, one component");
+        let rec = env.metrics().recovery();
+        assert_eq!(rec.injected_failures, 1);
+        assert_eq!(rec.region_restarts, 1);
+        assert!(rec.checkpoints_taken >= 4, "4 workers × ≥1 snapshot each");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod faults;
 pub mod flink;
 pub mod gelly;
 pub mod graphx;
@@ -36,6 +37,7 @@ pub mod spark;
 pub mod streaming;
 
 pub use cache::StorageLevel;
+pub use faults::{FaultConfig, FaultPlan};
 pub use flink::{DataSet, FlinkEnv};
 pub use iterate::{
     bulk_iterate, vertex_centric, IterationError, IterationMode, PartitionedGraph,

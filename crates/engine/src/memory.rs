@@ -281,6 +281,30 @@ impl ManagedPool {
     }
 }
 
+/// Error returned by [`BufferPool::try_take`] when the pool's outstanding
+/// budget is spent: the caller must free storage (merge or spill its runs)
+/// before drawing more — the spill-don't-die discipline of [`ManagedPool`]
+/// applied to real allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Buffers currently checked out.
+    pub outstanding: usize,
+    /// Maximum buffers that may be checked out at once.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "buffer pool exhausted: {}/{} buffers outstanding",
+            self.outstanding, self.limit
+        )
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
 /// A pool of reusable `Vec` allocations for the shuffle/combine hot path.
 ///
 /// [`crate::sortbuf::SortCombineBuffer`] emits one freshly-allocated run
@@ -290,28 +314,74 @@ impl ManagedPool {
 /// [`ManagedPool`], but for real allocations): spent run storage is
 /// returned, cleared, and handed to the next drain instead of going back
 /// to the allocator. Bounded so a burst cannot pin memory forever.
+///
+/// A pool built with [`BufferPool::with_limit`] additionally caps how many
+/// buffers may be *outstanding* (taken, not yet returned) at once;
+/// [`BufferPool::try_take`] then reports [`PoolExhausted`] instead of
+/// allocating past the cap.
 #[derive(Debug)]
 pub struct BufferPool<T> {
     buffers: Mutex<Vec<Vec<T>>>,
     max_pooled: usize,
+    max_outstanding: usize,
+    outstanding: AtomicUsize,
     reuses: AtomicU64,
     allocations: AtomicU64,
 }
 
 impl<T> BufferPool<T> {
-    /// Creates a pool retaining at most `max_pooled` idle buffers.
+    /// Creates a pool retaining at most `max_pooled` idle buffers, with no
+    /// bound on outstanding buffers.
     pub fn new(max_pooled: usize) -> Self {
+        Self::with_limit(max_pooled, usize::MAX)
+    }
+
+    /// Creates a pool that retains at most `max_pooled` idle buffers and
+    /// allows at most `max_outstanding` checked-out buffers at once.
+    pub fn with_limit(max_pooled: usize, max_outstanding: usize) -> Self {
+        assert!(max_outstanding > 0, "need at least one outstanding buffer");
         Self {
             buffers: Mutex::new(Vec::new()),
             max_pooled,
+            max_outstanding,
+            outstanding: AtomicUsize::new(0),
             reuses: AtomicU64::new(0),
             allocations: AtomicU64::new(0),
         }
     }
 
     /// Hands out an empty buffer with at least `capacity` reserved,
-    /// recycling a pooled allocation when one is available.
+    /// recycling a pooled allocation when one is available. Ignores the
+    /// outstanding cap — use [`BufferPool::try_take`] to respect it.
     pub fn take(&self, capacity: usize) -> Vec<T> {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.take_inner(capacity)
+    }
+
+    /// Like [`BufferPool::take`], but fails with [`PoolExhausted`] when the
+    /// outstanding cap is reached instead of allocating past it.
+    pub fn try_take(&self, capacity: usize) -> Result<Vec<T>, PoolExhausted> {
+        let mut cur = self.outstanding.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_outstanding {
+                return Err(PoolExhausted {
+                    outstanding: cur,
+                    limit: self.max_outstanding,
+                });
+            }
+            match self.outstanding.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(self.take_inner(capacity)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn take_inner(&self, capacity: usize) -> Vec<T> {
         if let Some(mut buf) = self.buffers.lock().pop() {
             self.reuses.fetch_add(1, Ordering::Relaxed);
             if buf.capacity() < capacity {
@@ -324,8 +394,14 @@ impl<T> BufferPool<T> {
     }
 
     /// Returns a spent buffer to the pool (cleared, allocation retained);
-    /// dropped instead when the pool is full.
+    /// dropped instead when the pool is full. Releases one outstanding
+    /// slot either way.
     pub fn put(&self, mut buf: Vec<T>) {
+        let _ = self
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
         buf.clear();
         if buf.capacity() == 0 {
             return; // nothing worth keeping
@@ -334,6 +410,11 @@ impl<T> BufferPool<T> {
         if pool.len() < self.max_pooled {
             pool.push(buf);
         }
+    }
+
+    /// Buffers currently checked out (taken and not yet returned).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
     }
 
     /// Idle buffers currently pooled.
@@ -476,6 +557,33 @@ mod tests {
         pool.put(Vec::with_capacity(4));
         let b = pool.take(1024);
         assert!(b.capacity() >= 1024);
+    }
+
+    #[test]
+    fn buffer_pool_try_take_reports_exhaustion() {
+        let pool: BufferPool<u64> = BufferPool::with_limit(4, 2);
+        let a = pool.try_take(8).unwrap();
+        let b = pool.try_take(8).unwrap();
+        assert_eq!(pool.outstanding(), 2);
+        let err = pool.try_take(8).unwrap_err();
+        assert_eq!(err, PoolExhausted { outstanding: 2, limit: 2 });
+        assert!(err.to_string().contains("exhausted"));
+        // Returning a buffer frees a slot.
+        pool.put(a);
+        assert_eq!(pool.outstanding(), 1);
+        assert!(pool.try_take(8).is_ok());
+        pool.put(b);
+    }
+
+    #[test]
+    fn buffer_pool_unbounded_take_never_exhausts() {
+        let pool: BufferPool<u8> = BufferPool::new(2);
+        let held: Vec<Vec<u8>> = (0..100).map(|_| pool.take(4)).collect();
+        assert_eq!(pool.outstanding(), 100);
+        assert!(pool.try_take(4).is_ok(), "default pool has no cap");
+        for buf in held {
+            pool.put(buf);
+        }
     }
 
     #[test]

@@ -29,6 +29,47 @@ struct Counters {
     cache_misses: AtomicU64,
     tasks_launched: AtomicU64,
     iterations_run: AtomicU64,
+    // Recovery section (engine::faults): what failure injection cost the run.
+    injected_failures: AtomicU64,
+    injected_stragglers: AtomicU64,
+    task_retries: AtomicU64,
+    partitions_recomputed: AtomicU64,
+    region_restarts: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    speculative_launched: AtomicU64,
+    speculative_wins: AtomicU64,
+    memory_pressure_events: AtomicU64,
+    pool_exhausted: AtomicU64,
+}
+
+/// Point-in-time copy of the recovery counters, the per-run payload of the
+/// `repro chaos` comparison axis (recovery cost under identical injected
+/// faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Task kills and memory-pressure aborts the fault plan injected.
+    pub injected_failures: u64,
+    /// Straggler slowdowns the fault plan injected.
+    pub injected_stragglers: u64,
+    /// Failed attempts that were retried (both engines).
+    pub task_retries: u64,
+    /// Partitions recomputed from lineage (staged engine).
+    pub partitions_recomputed: u64,
+    /// Pipelined regions restarted from a checkpoint (pipelined engine).
+    pub region_restarts: u64,
+    /// Aligned checkpoints completed.
+    pub checkpoints_taken: u64,
+    /// Cumulative bytes snapshotted across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Speculative backup attempts launched against stragglers.
+    pub speculative_launched: u64,
+    /// Backup attempts that beat the straggling primary.
+    pub speculative_wins: u64,
+    /// Injected memory-pressure aborts (subset of `injected_failures`).
+    pub memory_pressure_events: u64,
+    /// Buffer-pool exhaustion events that forced an early merge-spill.
+    pub pool_exhausted: u64,
 }
 
 macro_rules! counter_api {
@@ -65,6 +106,34 @@ impl EngineMetrics {
         cache_misses => add_cache_misses, cache_misses;
         tasks_launched => add_tasks_launched, tasks_launched;
         iterations_run => add_iterations_run, iterations_run;
+        injected_failures => add_injected_failures, injected_failures;
+        injected_stragglers => add_injected_stragglers, injected_stragglers;
+        task_retries => add_task_retries, task_retries;
+        partitions_recomputed => add_partitions_recomputed, partitions_recomputed;
+        region_restarts => add_region_restarts, region_restarts;
+        checkpoints_taken => add_checkpoints_taken, checkpoints_taken;
+        checkpoint_bytes => add_checkpoint_bytes, checkpoint_bytes;
+        speculative_launched => add_speculative_launched, speculative_launched;
+        speculative_wins => add_speculative_wins, speculative_wins;
+        memory_pressure_events => add_memory_pressure_events, memory_pressure_events;
+        pool_exhausted => add_pool_exhausted, pool_exhausted;
+    }
+
+    /// Copies the recovery counters out as one struct.
+    pub fn recovery(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            injected_failures: self.injected_failures(),
+            injected_stragglers: self.injected_stragglers(),
+            task_retries: self.task_retries(),
+            partitions_recomputed: self.partitions_recomputed(),
+            region_restarts: self.region_restarts(),
+            checkpoints_taken: self.checkpoints_taken(),
+            checkpoint_bytes: self.checkpoint_bytes(),
+            speculative_launched: self.speculative_launched(),
+            speculative_wins: self.speculative_wins(),
+            memory_pressure_events: self.memory_pressure_events(),
+            pool_exhausted: self.pool_exhausted(),
+        }
     }
 
     /// Map-side combine effectiveness: output/input record ratio, 1.0 when

@@ -72,7 +72,10 @@ where
     P: Partitioner<K> + ?Sized,
 {
     let n = partitioner.partitions();
-    let pool = Arc::new(BufferPool::new(2 * n));
+    // Bounded outstanding-run budget: a skewed bucket that piles up runs
+    // gets an early merge (PoolExhausted → compact) instead of unbounded
+    // run storage.
+    let pool = Arc::new(BufferPool::with_limit(2 * n, 4 * n));
     let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..n)
         .map(|_| {
             SortCombineBuffer::with_pool(

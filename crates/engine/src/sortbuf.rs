@@ -90,11 +90,36 @@ impl<K: Ord + Clone, V> SortCombineBuffer<K, V> {
         self.runs.len()
     }
 
-    fn take_run_storage(&self, capacity: usize) -> Vec<(K, V)> {
-        match &self.pool {
-            Some(pool) => pool.take(capacity),
-            None => Vec::with_capacity(capacity),
+    fn take_run_storage(&mut self, capacity: usize) -> Vec<(K, V)> {
+        let Some(pool) = &self.pool else {
+            return Vec::with_capacity(capacity);
+        };
+        match pool.try_take(capacity) {
+            Ok(buf) => buf,
+            Err(_) => {
+                // Pool exhausted: the managed-memory discipline is to free
+                // storage ourselves, not allocate past the budget. Merging
+                // the completed runs early returns their shells to the pool,
+                // then the request is retried (falling back to a fresh
+                // allocation only when even compaction freed nothing).
+                self.metrics.add_pool_exhausted(1);
+                self.compact_runs();
+                let pool = self.pool.as_ref().expect("checked above");
+                pool.try_take(capacity)
+                    .unwrap_or_else(|_| Vec::with_capacity(capacity))
+            }
         }
+    }
+
+    /// Early merge of all completed runs into one, freeing their storage —
+    /// the spill response to [`crate::memory::PoolExhausted`].
+    fn compact_runs(&mut self) {
+        if self.runs.len() < 2 {
+            return;
+        }
+        let runs = std::mem::take(&mut self.runs);
+        let merged = merge_combine(runs, &self.combine, self.pool.as_deref());
+        self.runs.push(merged);
     }
 
     fn drain_run(&mut self) {
@@ -297,6 +322,47 @@ mod tests {
         // Metrics are identical to the unpooled path by construction.
         assert_eq!(metrics.combine_input(), 200);
         assert!(metrics.spill_events() >= 25);
+    }
+
+    #[test]
+    fn pool_exhaustion_triggers_early_merge_not_allocation() {
+        use crate::memory::BufferPool;
+        // At most 2 outstanding run buffers: the third drain must compact
+        // the existing runs (freeing their shells) instead of growing.
+        let pool = Arc::new(BufferPool::with_limit(8, 2));
+        let metrics = EngineMetrics::new();
+        let mut buf = SortCombineBuffer::with_pool(
+            4,
+            16,
+            sum_combiner(),
+            metrics.clone(),
+            Arc::clone(&pool),
+        );
+        let pairs: Vec<(String, u64)> = (0..200).map(|i| (format!("k{i}"), 1)).collect();
+        for (k, v) in &pairs {
+            buf.insert(k.clone(), *v);
+        }
+        assert!(
+            metrics.pool_exhausted() >= 1,
+            "50 distinct-key runs through a 2-buffer budget must exhaust"
+        );
+        assert!(
+            buf.runs() <= 3,
+            "compaction must keep the run count near the budget, got {}",
+            buf.runs()
+        );
+        let out = buf.finish();
+        let expect = oracle(&pairs);
+        assert_eq!(out.len(), expect.len());
+        for (k, v) in &out {
+            assert_eq!(expect[k], *v, "key {k}");
+        }
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "output stays sorted");
+        assert!(
+            pool.outstanding() <= 2 + 1,
+            "outstanding stayed near the cap, got {}",
+            pool.outstanding()
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
 use crate::cache::{BlockCache, StorageLevel};
+use crate::faults::{run_recoverable, FaultPlan, RecoveryKind, StageStats};
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
 use crate::shuffle::{exchange, partition_combine, partition_records, take_partition};
@@ -41,6 +42,8 @@ struct CtxInner {
     combine_buffer_records: usize,
     trace: Mutex<PlanTrace>,
     start: Instant,
+    faults: FaultPlan,
+    stage_stats: StageStats,
 }
 
 /// The driver ("SparkContext"). Cheap to clone.
@@ -53,6 +56,18 @@ impl SparkContext {
     /// Creates a context with a storage-cache budget and default
     /// parallelism (`spark.default.parallelism`).
     pub fn new(default_parallelism: usize, cache_bytes: u64) -> Self {
+        Self::with_faults(default_parallelism, cache_bytes, FaultPlan::disabled())
+    }
+
+    /// Like [`SparkContext::new`], but tasks run under `faults`: injected
+    /// (and real) task panics are recovered by lineage re-execution —
+    /// recomputing only the lost partition, reusing persisted ancestors
+    /// from the block cache — and stragglers race speculative backups.
+    pub fn with_faults(
+        default_parallelism: usize,
+        cache_bytes: u64,
+        faults: FaultPlan,
+    ) -> Self {
         assert!(default_parallelism > 0);
         Self {
             inner: Arc::new(CtxInner {
@@ -63,8 +78,15 @@ impl SparkContext {
                 combine_buffer_records: 4096,
                 trace: Mutex::new(PlanTrace::new()),
                 start: Instant::now(),
+                faults,
+                stage_stats: StageStats::new(),
             }),
         }
+    }
+
+    /// The fault plan tasks run under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
     }
 
     /// Run metrics handle.
@@ -204,9 +226,29 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         self.ctx
             .metrics()
             .add_tasks_launched(self.partitions as u64);
+        let plan = self.ctx.faults();
+        if !plan.active() {
+            return (0..self.partitions)
+                .into_par_iter()
+                .map(|p| self.compute(p))
+                .collect();
+        }
+        // Stage = this RDD; one recoverable task per partition. A retry
+        // walks the RddOp chain again, so persisted ancestors come back
+        // from the cache instead of being recomputed (lineage recovery).
         (0..self.partitions)
             .into_par_iter()
-            .map(|p| self.compute(p))
+            .map(|p| {
+                run_recoverable(
+                    plan,
+                    self.ctx.metrics(),
+                    Some(&self.ctx.inner.stage_stats),
+                    RecoveryKind::Lineage,
+                    self.id as u64,
+                    p,
+                    &|| self.compute(p),
+                )
+            })
             .collect()
     }
 
@@ -1090,5 +1132,69 @@ mod tests {
         let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"shuffle:reduceByKey"));
         assert!(names.contains(&"collect"));
+    }
+
+    #[test]
+    fn lineage_recovery_reproduces_the_fault_free_result() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let pairs: Vec<(u32, u64)> = (0..2000).map(|i| (i % 37, 1)).collect();
+        let clean = ctx()
+            .parallelize(pairs.clone(), 4)
+            .reduce_by_key(|a, b| *a += b)
+            .collect_as_map();
+
+        let sc = SparkContext::with_faults(
+            4,
+            64 << 20,
+            FaultPlan::new(FaultConfig {
+                seed: 11,
+                task_failure_prob: 0.5,
+                ..FaultConfig::default()
+            }),
+        );
+        let faulted = sc
+            .parallelize(pairs, 4)
+            .reduce_by_key(|a, b| *a += b)
+            .collect_as_map();
+        assert_eq!(faulted, clean);
+        assert!(sc.metrics().injected_failures() > 0, "no fault fired");
+        assert!(sc.metrics().partitions_recomputed() > 0);
+        assert_eq!(
+            sc.metrics().task_retries(),
+            sc.metrics().partitions_recomputed(),
+            "staged-engine retries are lineage recomputations"
+        );
+    }
+
+    #[test]
+    fn lineage_recovery_reuses_persisted_ancestors() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // Kill every first attempt of every task: the persisted parent's
+        // tasks retry once and cache; the child's retries then hit the
+        // cache instead of recomputing the parent partitions.
+        let sc = SparkContext::with_faults(
+            2,
+            64 << 20,
+            FaultPlan::new(FaultConfig {
+                seed: 5,
+                task_failure_prob: 1.0,
+                ..FaultConfig::default()
+            }),
+        );
+        let parent = sc
+            .parallelize((0..100u64).collect::<Vec<_>>(), 2)
+            .map(|x| x * 2)
+            .persist(StorageLevel::MemoryOnly);
+        let _ = parent.count(); // materialise + cache the parent
+        let hits_before = sc.metrics().cache_hits();
+        let total: u64 = {
+            let child = parent.map(|x| x + 1);
+            child.collect().into_iter().sum()
+        };
+        assert_eq!(total, (0..100u64).map(|x| 2 * x + 1).sum());
+        assert!(
+            sc.metrics().cache_hits() > hits_before,
+            "retried child tasks should reuse the persisted parent"
+        );
     }
 }

@@ -9,6 +9,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bench;
+pub mod chaos;
 pub mod experiments;
 pub mod paper;
 pub mod report;

@@ -7,6 +7,7 @@
 //! repro calibration       # paper-vs-simulated calibration table
 //! repro all               # regenerate EXPERIMENTS.md content to stdout
 //! repro bench --smoke     # time the real-engine hot path, write BENCH_PR1.json
+//! repro chaos             # fault-injection drill: kill + straggle every workload
 //! ```
 
 use flowmark_core::report::{render_correlation, render_figure, render_series};
@@ -50,6 +51,49 @@ fn main() {
             println!("ablations    : abl-delta abl-serde abl-par abl-part abl-mem");
             println!("meta         : calibration verify all export <figN>");
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
+            println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--tiny] [--out FILE]");
+        }
+        "chaos" => {
+            use flowmark_harness::chaos::{self, ChaosConfig, ChaosScale};
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            let flag = |name: &str| {
+                rest.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .cloned()
+            };
+            fn parsed<T: std::str::FromStr>(name: &str, value: Option<String>) -> Option<T> {
+                value.map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad {name}: '{v}'");
+                        std::process::exit(2);
+                    })
+                })
+            }
+            let mut config =
+                ChaosConfig::new(parsed("--seed", flag("--seed")).unwrap_or(1u64));
+            if let Some(p) = parsed("--fail-prob", flag("--fail-prob")) {
+                config.task_failure_prob = p;
+            }
+            if let Some(p) = parsed("--straggler-prob", flag("--straggler-prob")) {
+                config.straggler_prob = p;
+            }
+            let scale = if rest.iter().any(|a| a == "--tiny") {
+                ChaosScale::tiny()
+            } else {
+                ChaosScale::full()
+            };
+            let report = chaos::run_chaos(config, scale);
+            print!("{}", chaos::render(&report));
+            if let Some(out_path) = flag("--out") {
+                let json = serde_json::to_string_pretty(&report).expect("chaos report serialises");
+                std::fs::write(&out_path, json + "\n").expect("write chaos report");
+                println!("wrote {out_path}");
+            }
+            if report.cells.iter().any(|c| !c.verified) {
+                eprintln!("chaos drill diverged from the sequential oracle");
+                std::process::exit(1);
+            }
         }
         "bench" => {
             use flowmark_harness::bench::{self, SmokeScale};

@@ -1,0 +1,54 @@
+//! Tier-1 chaos drill: every workload, on both engines, survives a
+//! guaranteed injected task kill and straggler and still reproduces the
+//! fault-free answer — the staged engine via lineage re-execution and
+//! speculative backups, the pipelined engine via checkpoint restarts.
+
+use flowmark_harness::chaos::{run_chaos, ChaosConfig, ChaosScale};
+
+#[test]
+fn chaos_drill_recovers_every_workload_on_both_engines() {
+    let report = run_chaos(ChaosConfig::new(1), ChaosScale::tiny());
+    assert_eq!(report.cells.len(), 12, "six workloads × two engines");
+
+    let mut task_retries = 0;
+    let mut speculative_wins = 0;
+    let mut checkpoints = 0;
+    for c in &report.cells {
+        let r = &c.recovery;
+        let id = format!("{}/{}", c.workload, c.engine);
+        assert!(c.verified, "{id} diverged from the oracle under faults");
+        assert!(r.injected_failures >= 1, "{id}: the guaranteed kill never fired");
+        assert!(r.injected_stragglers >= 1, "{id}: the guaranteed straggler never fired");
+        match c.engine.as_str() {
+            "spark" => {
+                // Lineage recovery: the kill was either retried (recomputing
+                // the lost partition) or absorbed by a speculative backup
+                // that was already racing the straggling primary.
+                assert!(
+                    r.partitions_recomputed + r.speculative_wins >= 1,
+                    "{id}: kill recovered by neither lineage nor speculation"
+                );
+                assert_eq!(r.region_restarts, 0, "{id}: staged engine restarted a region");
+                speculative_wins += r.speculative_wins;
+            }
+            _ => {
+                // Checkpoint recovery: the region containing the killed task
+                // restarted from the last completed snapshot.
+                assert!(r.region_restarts >= 1, "{id}: kill did not restart the region");
+                assert_eq!(
+                    r.partitions_recomputed, 0,
+                    "{id}: pipelined engine recomputed from lineage"
+                );
+                checkpoints += r.checkpoints_taken;
+            }
+        }
+        task_retries += r.task_retries;
+    }
+
+    assert!(task_retries >= 1, "no failed attempt was ever retried");
+    assert!(checkpoints >= 1, "no aligned checkpoint completed anywhere");
+    assert!(
+        speculative_wins >= 1,
+        "no speculative backup beat a straggler anywhere in the drill"
+    );
+}

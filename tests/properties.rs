@@ -303,6 +303,103 @@ proptest! {
     }
 }
 
+/// An arbitrary (always-recoverable) fault plan: any seed, background kill
+/// and straggler probabilities, guaranteed-injection budgets and checkpoint
+/// intervals. Probability and budget kills only fire on first attempts, so
+/// retries always succeed and no plan here is fatal. The straggler delay is
+/// kept tiny so cases stay fast.
+fn arb_fault_plan() -> impl Strategy<Value = flowmark_engine::FaultPlan> {
+    use flowmark_engine::{FaultConfig, FaultPlan};
+    (
+        any::<u64>(),
+        0.0f64..0.4,
+        0u64..3,
+        0.0f64..0.1,
+        0u64..2,
+        8u64..128,
+        1u32..4,
+    )
+        .prop_map(
+            |(seed, kill_p, kill_n, straggle_p, straggle_n, ckpt_records, ckpt_rounds)| {
+                FaultPlan::new(FaultConfig {
+                    seed,
+                    task_failure_prob: kill_p,
+                    fail_first_n: kill_n,
+                    straggler_prob: straggle_p,
+                    straggle_first_n: straggle_n,
+                    straggler_slowdown: std::time::Duration::from_millis(2),
+                    speculation_floor: std::time::Duration::from_millis(5),
+                    checkpoint_interval_records: ckpt_records,
+                    checkpoint_interval_rounds: ckpt_rounds,
+                    ..FaultConfig::default()
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Word Count under any fault plan is byte-identical to the fault-free
+    /// run on both engines: lineage re-execution, speculation and
+    /// checkpoint restarts must never change the answer.
+    #[test]
+    fn wordcount_is_fault_oblivious(plan in arb_fault_plan(), seed in any::<u64>(), partitions in 2usize..5) {
+        use flowmark_datagen::text::{TextGen, TextGenConfig};
+        use flowmark_workloads::wordcount;
+        let corpus = TextGen::new(TextGenConfig::default(), seed).lines(300);
+        let clean_sc = SparkContext::new(partitions, 16 << 20);
+        let clean_spark = wordcount::run_spark(&clean_sc, corpus.clone(), partitions);
+        let sc = SparkContext::with_faults(partitions, 16 << 20, plan.clone());
+        prop_assert_eq!(&wordcount::run_spark(&sc, corpus.clone(), partitions), &clean_spark, "spark diverged");
+        let clean_env = FlinkEnv::new(partitions);
+        let clean_flink = wordcount::run_flink(&clean_env, corpus.clone());
+        let env = FlinkEnv::with_faults(partitions, plan);
+        prop_assert_eq!(&wordcount::run_flink(&env, corpus), &clean_flink, "flink diverged");
+    }
+
+    /// TeraSort under any fault plan is byte-identical to the fault-free
+    /// run on both engines.
+    #[test]
+    fn terasort_is_fault_oblivious(plan in arb_fault_plan(), seed in any::<u64>(), partitions in 2usize..5) {
+        use flowmark_datagen::terasort::TeraGen;
+        use flowmark_workloads::terasort;
+        let records = TeraGen::new(seed).records(400);
+        let clean_sc = SparkContext::new(2, 16 << 20);
+        let clean_spark = terasort::run_spark(&clean_sc, records.clone(), partitions);
+        let sc = SparkContext::with_faults(2, 16 << 20, plan.clone());
+        prop_assert_eq!(terasort::run_spark(&sc, records.clone(), partitions), clean_spark, "spark diverged");
+        let clean_env = FlinkEnv::new(2);
+        let clean_flink = terasort::run_flink(&clean_env, records.clone(), partitions);
+        let env = FlinkEnv::with_faults(2, plan);
+        prop_assert_eq!(terasort::run_flink(&env, records, partitions), clean_flink, "flink diverged");
+    }
+
+    /// K-Means under any fault plan is byte-identical (exact f64 equality)
+    /// to the fault-free run on both engines: recomputed partitions, backup
+    /// attempts and round replays from checkpoints reproduce the identical
+    /// floating-point reduction order.
+    #[test]
+    fn kmeans_is_fault_oblivious(plan in arb_fault_plan(), seed in any::<u64>(), partitions in 2usize..5) {
+        use flowmark_datagen::points::{Point, PointsConfig, PointsGen};
+        use flowmark_workloads::kmeans;
+        let mut gen = PointsGen::new(PointsConfig::default(), seed);
+        let init: Vec<Point> = gen.true_centers().to_vec();
+        let points = gen.points(600);
+        let clean_sc = SparkContext::new(partitions, 16 << 20);
+        let clean_spark = kmeans::run_spark(&clean_sc, points.clone(), init.clone(), 4, partitions);
+        let sc = SparkContext::with_faults(partitions, 16 << 20, plan.clone());
+        prop_assert_eq!(
+            kmeans::run_spark(&sc, points.clone(), init.clone(), 4, partitions),
+            clean_spark
+        );
+        let clean_env = FlinkEnv::new(partitions);
+        let clean_flink = kmeans::run_flink(&clean_env, points.clone(), init.clone(), 4);
+        let env = FlinkEnv::with_faults(partitions, plan);
+        prop_assert_eq!(kmeans::run_flink(&env, points, init, 4), clean_flink);
+    }
+}
+
 /// Every configuration any experiment uses passes framework validation.
 #[test]
 fn all_experiment_presets_validate() {
@@ -327,3 +424,4 @@ fn all_experiment_presets_validate() {
         presets::kmeans_config(n).validate().unwrap();
     }
 }
+

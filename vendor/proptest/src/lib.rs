@@ -72,6 +72,27 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps sampled values through `f` (upstream's `prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, func: f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.func)(self.source.sample(rng))
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -128,7 +149,11 @@ pub mod strategy {
     tuple_strategy!(
         (A.0, B.1),
         (A.0, B.1, C.2),
-        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     );
 
     /// Strategy for "any value of T" — see [`crate::arbitrary`].
