@@ -353,9 +353,160 @@ impl RunConfig {
     }
 }
 
+/// Which partitioner a shuffle uses to route keys to reducers.
+///
+/// The paper notes the asymmetry (§II): Spark exposes partitioner control
+/// to the user while Flink's aggregation path always hash-partitions, so
+/// the pipelined engine honours this knob only where an explicit
+/// partitioner is accepted (e.g. TeraSort's `partition_custom`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionerChoice {
+    /// Hash-partitioned shuffle (both engines' default).
+    Hash,
+    /// Range-partitioned shuffle from a key sample; yields globally sorted
+    /// reduce output and balances skewed key spaces (staged engine only).
+    Range,
+}
+
+/// A unified, serializable configuration for the *real* engines (the
+/// staged `SparkContext` and the pipelined `FlinkEnv`), replacing the
+/// per-engine constructor sprawl. Every knob maps to one of the paper's
+/// §IV "most impactful parameters"; `flowmark-tune` searches this space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Task/partition parallelism (`spark.default.parallelism`, Flink
+    /// operator parallelism).
+    pub parallelism: usize,
+    /// Records a bounded exchange channel holds before the producer blocks
+    /// — the per-channel network-buffer pool (`flink.nw.buffers`; the
+    /// staged engine has no pipelined channels so it ignores this).
+    pub network_buffer_records: usize,
+    /// Sort/combine buffer budget in records: how many records a map task
+    /// buffers per reduce channel before sorting a run out (the managed
+    /// sort memory of §IV-C).
+    pub combine_buffer_records: usize,
+    /// Spill threshold expressed as outstanding sorted runs per channel
+    /// before the buffer pool forces an early merge-compaction.
+    pub spill_run_budget: usize,
+    /// Map-side combine on/off (§VI-A's aggregation component).
+    pub combine_enabled: bool,
+    /// Shuffle partitioner choice (staged engine only; see
+    /// [`PartitionerChoice`]).
+    pub partitioner: PartitionerChoice,
+    /// Storage-cache budget in bytes (staged engine's block cache;
+    /// the pipelined engine has no persistence layer, §VI-B).
+    pub cache_bytes: u64,
+}
+
+impl EngineConfig {
+    /// Default task parallelism (the paper's per-node slot count scaled to
+    /// one local machine).
+    pub const DEFAULT_PARALLELISM: usize = 8;
+    /// Default per-channel network-buffer capacity in records.
+    pub const DEFAULT_NETWORK_BUFFER_RECORDS: usize = 1024;
+    /// Default sort/combine buffer capacity in records.
+    pub const DEFAULT_COMBINE_BUFFER_RECORDS: usize = 4096;
+    /// Default outstanding-run budget per channel before a forced merge.
+    pub const DEFAULT_SPILL_RUN_BUDGET: usize = 4;
+    /// Default block-cache budget in bytes.
+    pub const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+    /// The default configuration at an explicit parallelism.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        Self {
+            parallelism,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the knobs the engines would otherwise assert on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (value, parameter) in [
+            (self.parallelism, "parallelism"),
+            (self.network_buffer_records, "network_buffer_records"),
+            (self.combine_buffer_records, "combine_buffer_records"),
+            (self.spill_run_budget, "spill_run_budget"),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::Degenerate { parameter });
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of every knob (FNV-1a), the run-cache
+    /// key used by `flowmark-tune`: identical configs always collide,
+    /// across processes and runs.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.parallelism as u64);
+        eat(self.network_buffer_records as u64);
+        eat(self.combine_buffer_records as u64);
+        eat(self.spill_run_budget as u64);
+        eat(u64::from(self.combine_enabled));
+        eat(match self.partitioner {
+            PartitionerChoice::Hash => 0,
+            PartitionerChoice::Range => 1,
+        });
+        eat(self.cache_bytes);
+        h
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: Self::DEFAULT_PARALLELISM,
+            network_buffer_records: Self::DEFAULT_NETWORK_BUFFER_RECORDS,
+            combine_buffer_records: Self::DEFAULT_COMBINE_BUFFER_RECORDS,
+            spill_run_budget: Self::DEFAULT_SPILL_RUN_BUDGET,
+            combine_enabled: true,
+            partitioner: PartitionerChoice::Hash,
+            cache_bytes: Self::DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_config_default_validates_and_fingerprints_stably() {
+        let c = EngineConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.fingerprint(), EngineConfig::default().fingerprint());
+        let mut other = c;
+        other.combine_enabled = false;
+        assert_ne!(c.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn engine_config_rejects_zero_knobs() {
+        let mut c = EngineConfig::default();
+        c.network_buffer_records = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::Degenerate { .. })));
+    }
+
+    #[test]
+    fn engine_config_round_trips_through_json() {
+        let c = EngineConfig {
+            partitioner: PartitionerChoice::Range,
+            combine_enabled: false,
+            ..EngineConfig::with_parallelism(3)
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
 
     #[test]
     fn canonical_follows_paper_formulas() {

@@ -65,7 +65,8 @@ pub mod timeseries;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::config::{
-        ClusterConfig, ConfigError, FlinkConfig, Framework, RunConfig, Serializer, SparkConfig,
+        ClusterConfig, ConfigError, EngineConfig, FlinkConfig, Framework, PartitionerChoice,
+        RunConfig, Serializer, SparkConfig,
     };
     pub use crate::correlate::{correlate, Bound, CorrelationConfig, CorrelationReport};
     pub use crate::experiment::{CellOutcome, Experiment, Figure, FigurePoint, FigureSeries};

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 
+use flowmark_core::config::EngineConfig;
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
@@ -35,11 +36,10 @@ use crate::sortbuf::{CombineFn, SortCombineBuffer};
 
 /// Shared environment state.
 struct EnvInner {
-    parallelism: usize,
-    /// Records a bounded channel holds before the producer blocks — the
-    /// network-buffer pool per logical channel (§IV-B).
-    network_buffer_records: usize,
-    combine_buffer_records: usize,
+    /// Every tunable knob, unified: parallelism, the per-channel
+    /// network-buffer pool (§IV-B), the sort/combine budget and spill
+    /// discipline.
+    config: EngineConfig,
     metrics: EngineMetrics,
     trace: Mutex<PlanTrace>,
     start: Instant,
@@ -60,15 +60,16 @@ pub struct FlinkEnv {
 }
 
 impl FlinkEnv {
-    /// Creates an environment with the given default parallelism.
+    /// Creates an environment with the given default parallelism; every
+    /// other knob takes its [`EngineConfig`] default.
     pub fn new(parallelism: usize) -> Self {
-        Self::with_buffers(parallelism, 1024, 4096)
+        Self::with_config(&EngineConfig::with_parallelism(parallelism))
     }
 
     /// Creates an environment that executes every job under the given
     /// fault plan, recovering via checkpointed region restarts.
     pub fn with_faults(parallelism: usize, faults: FaultPlan) -> Self {
-        Self::build(parallelism, 1024, 4096, faults)
+        Self::with_config_and_faults(&EngineConfig::with_parallelism(parallelism), faults)
     }
 
     /// Full control over buffering (used by backpressure tests).
@@ -77,26 +78,26 @@ impl FlinkEnv {
         network_buffer_records: usize,
         combine_buffer_records: usize,
     ) -> Self {
-        Self::build(
+        Self::with_config(&EngineConfig {
             parallelism,
             network_buffer_records,
             combine_buffer_records,
-            FaultPlan::disabled(),
-        )
+            ..EngineConfig::default()
+        })
     }
 
-    fn build(
-        parallelism: usize,
-        network_buffer_records: usize,
-        combine_buffer_records: usize,
-        faults: FaultPlan,
-    ) -> Self {
-        assert!(parallelism > 0 && network_buffer_records > 0);
+    /// The unified constructor: every knob comes from one serializable
+    /// [`EngineConfig`] (the surface `flowmark-tune` searches).
+    pub fn with_config(config: &EngineConfig) -> Self {
+        Self::with_config_and_faults(config, FaultPlan::disabled())
+    }
+
+    /// [`FlinkEnv::with_config`] plus a fault-injection plan.
+    pub fn with_config_and_faults(config: &EngineConfig, faults: FaultPlan) -> Self {
+        config.validate().expect("invalid engine config");
         Self {
             inner: Arc::new(EnvInner {
-                parallelism,
-                network_buffer_records,
-                combine_buffer_records,
+                config: *config,
                 metrics: EngineMetrics::new(),
                 trace: Mutex::new(PlanTrace::new()),
                 start: Instant::now(),
@@ -106,6 +107,11 @@ impl FlinkEnv {
                 next_stage: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The configuration this environment runs under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
     }
 
     /// Run metrics.
@@ -129,7 +135,7 @@ impl FlinkEnv {
 
     /// Default parallelism.
     pub fn parallelism(&self) -> usize {
-        self.inner.parallelism
+        self.inner.config.parallelism
     }
 
     /// Peak concurrently-live pipeline tasks observed.
@@ -410,7 +416,9 @@ where
         let in_parts = self.partitions;
         let out_parts = self.env.parallelism();
         let record_bytes = std::mem::size_of::<(K, V)>();
-        let combine_records = self.env.inner.combine_buffer_records;
+        let combine_records = self.env.inner.config.combine_buffer_records;
+        let combine_enabled = self.env.inner.config.combine_enabled;
+        let spill_run_budget = self.env.inner.config.spill_run_budget;
         let send_combine = Arc::clone(&combine);
         let exchange = PipelinedExchange::new(
             in_parts,
@@ -419,11 +427,27 @@ where
                 let records = parent.compute(env, part);
                 let channels = out.channels();
                 let partitioner = HashPartitioner::new(channels);
+                if !combine_enabled {
+                    // Combine switched off: every raw record crosses the
+                    // exchange (the §VI-A "aggregation component" without
+                    // its map-side half).
+                    env.metrics().add_records_shuffled(records.len() as u64);
+                    env.metrics()
+                        .add_bytes_shuffled((records.len() * record_bytes) as u64);
+                    for (k, v) in records {
+                        let p = partitioner.partition(&k);
+                        out.send(p, (k, v));
+                    }
+                    return;
+                }
                 // Map-side combine per output channel; one shared pool
                 // recycles run storage across all of this task's buffers,
                 // and its outstanding cap turns run pile-ups into early
                 // merges (the managed-memory spill discipline).
-                let pool = Arc::new(BufferPool::with_limit(2 * channels, 4 * channels));
+                let pool = Arc::new(BufferPool::with_limit(
+                    2 * channels,
+                    spill_run_budget * channels,
+                ));
                 let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..channels)
                     .map(|_| {
                         SortCombineBuffer::with_pool(
@@ -631,6 +655,8 @@ pub(crate) struct Outbox<T> {
     sent: u64,
     failed: Arc<AtomicBool>,
     fault: StreamFault,
+    /// Counts sends that found the channel full (backpressure stalls).
+    metrics: EngineMetrics,
 }
 
 impl<T> Outbox<T> {
@@ -652,9 +678,25 @@ impl<T> Outbox<T> {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
-        if self.txs[channel].send(Msg::Record(self.producer, record)).is_err() {
-            self.failed.store(true, Ordering::Relaxed);
-            return;
+        // Try the fast non-blocking path first; a full channel is the
+        // backpressure signal (§IV-B) — counted, then waited out with a
+        // blocking send.
+        let msg = match self.txs[channel].try_send(Msg::Record(self.producer, record)) {
+            Ok(()) => None,
+            Err(TrySendError::Full(msg)) => {
+                self.metrics.add_backpressure_waits(1);
+                Some(msg)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.failed.store(true, Ordering::Relaxed);
+                return;
+            }
+        };
+        if let Some(msg) = msg {
+            if self.txs[channel].send(msg).is_err() {
+                self.failed.store(true, Ordering::Relaxed);
+                return;
+            }
         }
         if self.interval > 0 && self.sent % self.interval == 0 {
             // Barrier k covers the first k×interval sends. Barriers for the
@@ -812,7 +854,7 @@ where
 
     fn run(&self, env: &FlinkEnv) -> Vec<Vec<T>> {
         let started = Instant::now();
-        let cap = env.inner.network_buffer_records;
+        let cap = env.inner.config.network_buffer_records;
         let record_bytes = std::mem::size_of::<T>();
         let plan = env.faults().clone();
         let stage = env.next_stage_id();
@@ -902,6 +944,7 @@ where
                                 sent: 0,
                                 failed: Arc::clone(&failed),
                                 fault,
+                                metrics: metrics.clone(),
                             };
                             produce(env, &mut outbox, p);
                             outbox.finish();
@@ -1177,7 +1220,15 @@ mod tests {
             kill_list: vec![(1, 4, 0)],
             ..FaultConfig::default()
         });
-        let env = FlinkEnv::build(4, 2, 64, plan);
+        let env = FlinkEnv::with_config_and_faults(
+            &EngineConfig {
+                parallelism: 4,
+                network_buffer_records: 2,
+                combine_buffer_records: 64,
+                ..EngineConfig::default()
+            },
+            plan,
+        );
         let part = Arc::new(flowmark_dataflow::partitioner::RangePartitioner::new(vec![
             5_000u32, 10_000, 15_000,
         ]));
@@ -1215,6 +1266,7 @@ mod tests {
                 sent: 0,
                 failed: Arc::clone(&flag),
                 fault: plan.stream_fault(&metrics, 0, 0, 0, Arc::new(AtomicBool::new(false))),
+                metrics: metrics.clone(),
             };
             outbox.send(0, 1u32);
             outbox.finish();

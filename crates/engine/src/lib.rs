@@ -42,6 +42,7 @@ pub use flink::{DataSet, FlinkEnv};
 pub use iterate::{
     bulk_iterate, vertex_centric, IterationError, IterationMode, PartitionedGraph,
 };
-pub use metrics::EngineMetrics;
+pub use flowmark_core::config::{EngineConfig, PartitionerChoice};
+pub use metrics::{EngineMetrics, MetricsSnapshot, RecoverySnapshot};
 pub use spark::{Rdd, SparkContext};
 pub use streaming::{run_continuous, run_micro_batch, StreamStats};

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 /// Shared run metrics. Cheap to clone (Arc inside).
 #[derive(Debug, Clone, Default)]
 pub struct EngineMetrics {
@@ -29,6 +31,7 @@ struct Counters {
     cache_misses: AtomicU64,
     tasks_launched: AtomicU64,
     iterations_run: AtomicU64,
+    backpressure_waits: AtomicU64,
     // Recovery section (engine::faults): what failure injection cost the run.
     injected_failures: AtomicU64,
     injected_stragglers: AtomicU64,
@@ -43,10 +46,45 @@ struct Counters {
     pool_exhausted: AtomicU64,
 }
 
+/// Point-in-time copy of *every* counter, serializable so tune/chaos/bench
+/// reports can embed the raw numbers behind a run in their JSON artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Records ingested from sources.
+    pub records_read: u64,
+    /// Records that crossed a shuffle (post-combine).
+    pub records_shuffled: u64,
+    /// Bytes that crossed a shuffle.
+    pub bytes_shuffled: u64,
+    /// Bytes written by sort-buffer spills.
+    pub bytes_spilled: u64,
+    /// Individual spill (sorted-run flush) events.
+    pub spill_events: u64,
+    /// Records entering map-side combine.
+    pub combine_input: u64,
+    /// Records leaving map-side combine.
+    pub combine_output: u64,
+    /// Partition compute invocations (lineage or pipeline).
+    pub compute_calls: u64,
+    /// Block-cache hits.
+    pub cache_hits: u64,
+    /// Block-cache misses.
+    pub cache_misses: u64,
+    /// Tasks launched.
+    pub tasks_launched: u64,
+    /// Iterations driven (iterative workloads).
+    pub iterations_run: u64,
+    /// Pipelined sends that found the bounded channel full and had to
+    /// block — the backpressure signal the network-buffer knob relieves.
+    pub backpressure_waits: u64,
+    /// Recovery counters (fault injection and its repair costs).
+    pub recovery: RecoverySnapshot,
+}
+
 /// Point-in-time copy of the recovery counters, the per-run payload of the
 /// `repro chaos` comparison axis (recovery cost under identical injected
 /// faults).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoverySnapshot {
     /// Task kills and memory-pressure aborts the fault plan injected.
     pub injected_failures: u64,
@@ -106,6 +144,7 @@ impl EngineMetrics {
         cache_misses => add_cache_misses, cache_misses;
         tasks_launched => add_tasks_launched, tasks_launched;
         iterations_run => add_iterations_run, iterations_run;
+        backpressure_waits => add_backpressure_waits, backpressure_waits;
         injected_failures => add_injected_failures, injected_failures;
         injected_stragglers => add_injected_stragglers, injected_stragglers;
         task_retries => add_task_retries, task_retries;
@@ -117,6 +156,26 @@ impl EngineMetrics {
         speculative_wins => add_speculative_wins, speculative_wins;
         memory_pressure_events => add_memory_pressure_events, memory_pressure_events;
         pool_exhausted => add_pool_exhausted, pool_exhausted;
+    }
+
+    /// Copies every counter out as one serializable struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            records_read: self.records_read(),
+            records_shuffled: self.records_shuffled(),
+            bytes_shuffled: self.bytes_shuffled(),
+            bytes_spilled: self.bytes_spilled(),
+            spill_events: self.spill_events(),
+            combine_input: self.combine_input(),
+            combine_output: self.combine_output(),
+            compute_calls: self.compute_calls(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            tasks_launched: self.tasks_launched(),
+            iterations_run: self.iterations_run(),
+            backpressure_waits: self.backpressure_waits(),
+            recovery: self.recovery(),
+        }
     }
 
     /// Copies the recovery counters out as one struct.
@@ -176,6 +235,21 @@ mod tests {
         m.add_combine_input(100);
         m.add_combine_output(10);
         assert!((m.combine_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = EngineMetrics::new();
+        m.add_records_shuffled(12);
+        m.add_backpressure_waits(3);
+        m.add_region_restarts(2);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.records_shuffled, 12);
+        assert_eq!(back.backpressure_waits, 3);
+        assert_eq!(back.recovery.region_restarts, 2);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn partition_combine<K, V, P>(
     partitioner: &P,
     combine: CombineFn<V>,
     buffer_capacity: usize,
+    spill_run_budget: usize,
     metrics: &EngineMetrics,
     bytes_per_record: usize,
 ) -> MapOutput<K, V>
@@ -72,10 +73,10 @@ where
     P: Partitioner<K> + ?Sized,
 {
     let n = partitioner.partitions();
-    // Bounded outstanding-run budget: a skewed bucket that piles up runs
-    // gets an early merge (PoolExhausted → compact) instead of unbounded
-    // run storage.
-    let pool = Arc::new(BufferPool::with_limit(2 * n, 4 * n));
+    // Bounded outstanding-run budget: a skewed bucket that piles up more
+    // than `spill_run_budget` runs per channel gets an early merge
+    // (PoolExhausted → compact) instead of unbounded run storage.
+    let pool = Arc::new(BufferPool::with_limit(2 * n, spill_run_budget * n));
     let mut buffers: Vec<SortCombineBuffer<K, V>> = (0..n)
         .map(|_| {
             SortCombineBuffer::with_pool(
@@ -169,7 +170,7 @@ mod tests {
         // 1000 records over 10 hot keys.
         let records: Vec<(String, u64)> =
             (0..1000).map(|i| (format!("k{}", i % 10), 1)).collect();
-        let buckets = partition_combine(records, &part, sum(), 64, &metrics, 16);
+        let buckets = partition_combine(records, &part, sum(), 64, 4, &metrics, 16);
         let total: usize = buckets.iter().map(Vec::len).sum();
         assert!(total <= 10 * 16, "combine left too many records: {total}");
         // Counts preserved.
@@ -188,7 +189,7 @@ mod tests {
         let part = HashPartitioner::new(2);
         let records: Vec<(String, u64)> =
             (0..500).map(|i| (format!("w{:03}", (i * 17) % 100), 1)).collect();
-        let buckets = partition_combine(records, &part, sum(), 32, &metrics, 16);
+        let buckets = partition_combine(records, &part, sum(), 32, 4, &metrics, 16);
         for bucket in &buckets {
             assert!(bucket.windows(2).all(|w| w[0].0 < w[1].0));
         }

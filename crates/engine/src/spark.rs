@@ -23,8 +23,9 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use flowmark_core::config::{EngineConfig, PartitionerChoice};
 use flowmark_core::spans::PlanTrace;
-use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
+use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 
 use crate::cache::{BlockCache, StorageLevel};
 use crate::faults::{run_recoverable, FaultPlan, RecoveryKind, StageStats};
@@ -38,8 +39,9 @@ struct CtxInner {
     cache: BlockCache,
     metrics: EngineMetrics,
     next_id: AtomicUsize,
-    default_parallelism: usize,
-    combine_buffer_records: usize,
+    /// Every tunable knob, unified (parallelism, buffers, combine,
+    /// partitioner, cache budget).
+    config: EngineConfig,
     trace: Mutex<PlanTrace>,
     start: Instant,
     faults: FaultPlan,
@@ -54,7 +56,8 @@ pub struct SparkContext {
 
 impl SparkContext {
     /// Creates a context with a storage-cache budget and default
-    /// parallelism (`spark.default.parallelism`).
+    /// parallelism (`spark.default.parallelism`); every other knob takes
+    /// its [`EngineConfig`] default.
     pub fn new(default_parallelism: usize, cache_bytes: u64) -> Self {
         Self::with_faults(default_parallelism, cache_bytes, FaultPlan::disabled())
     }
@@ -68,20 +71,40 @@ impl SparkContext {
         cache_bytes: u64,
         faults: FaultPlan,
     ) -> Self {
-        assert!(default_parallelism > 0);
+        let config = EngineConfig {
+            parallelism: default_parallelism,
+            cache_bytes,
+            ..EngineConfig::default()
+        };
+        Self::with_config_and_faults(&config, faults)
+    }
+
+    /// The unified constructor: every knob comes from one serializable
+    /// [`EngineConfig`] (the surface `flowmark-tune` searches).
+    pub fn with_config(config: &EngineConfig) -> Self {
+        Self::with_config_and_faults(config, FaultPlan::disabled())
+    }
+
+    /// [`SparkContext::with_config`] plus a fault-injection plan.
+    pub fn with_config_and_faults(config: &EngineConfig, faults: FaultPlan) -> Self {
+        config.validate().expect("invalid engine config");
         Self {
             inner: Arc::new(CtxInner {
-                cache: BlockCache::new(cache_bytes),
+                cache: BlockCache::new(config.cache_bytes),
                 metrics: EngineMetrics::new(),
                 next_id: AtomicUsize::new(0),
-                default_parallelism,
-                combine_buffer_records: 4096,
+                config: *config,
                 trace: Mutex::new(PlanTrace::new()),
                 start: Instant::now(),
                 faults,
                 stage_stats: StageStats::new(),
             }),
         }
+    }
+
+    /// The configuration this context runs under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
     }
 
     /// The fault plan tasks run under.
@@ -101,7 +124,7 @@ impl SparkContext {
 
     /// Default number of partitions for shuffles.
     pub fn default_parallelism(&self) -> usize {
-        self.inner.default_parallelism
+        self.inner.config.parallelism
     }
 
     fn next_id(&self) -> usize {
@@ -415,22 +438,52 @@ where
         let combine: CombineFn<V> = Arc::new(f);
         let parent = self.clone();
         let ctx = self.ctx.clone();
-        let combine_records = ctx.inner.combine_buffer_records;
+        let config = *self.ctx.config();
         let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
             let started = Instant::now();
-            let partitioner = HashPartitioner::new(partitions);
-            let map_outputs: Vec<_> = parent
-                .compute_all()
+            let parts = parent.compute_all();
+            // Partitioner choice (§IV): hash routing by default; a
+            // sampled range partitioner balances skewed key spaces and
+            // sorts reducer inputs. Built once per shuffle so every map
+            // task routes identically.
+            let partitioner: Arc<dyn Partitioner<K> + Send + Sync> = match config.partitioner {
+                PartitionerChoice::Hash => Arc::new(HashPartitioner::new(partitions)),
+                PartitionerChoice::Range => {
+                    let sample: Vec<K> = parts
+                        .iter()
+                        .flat_map(|p| p.iter().step_by(7).map(|(k, _)| k.clone()))
+                        .collect();
+                    Arc::new(RangePartitioner::from_sample(sample, partitions))
+                }
+            };
+            let map_outputs: Vec<_> = parts
                 .into_par_iter()
                 .map(|p| {
-                    partition_combine(
-                        take_partition(p),
-                        &partitioner,
-                        Arc::clone(&combine),
-                        combine_records,
-                        ctx.metrics(),
-                        std::mem::size_of::<(K, V)>(),
-                    )
+                    let records = take_partition(p);
+                    let mut out = if config.combine_enabled {
+                        partition_combine(
+                            records,
+                            partitioner.as_ref(),
+                            Arc::clone(&combine),
+                            config.combine_buffer_records,
+                            config.spill_run_budget,
+                            ctx.metrics(),
+                            std::mem::size_of::<(K, V)>(),
+                        )
+                    } else {
+                        partition_records(
+                            records,
+                            partitioner.as_ref(),
+                            ctx.metrics(),
+                            std::mem::size_of::<(K, V)>(),
+                        )
+                    };
+                    // A deduplicated range sample can yield fewer buckets
+                    // than the declared partition count.
+                    if out.len() < partitions {
+                        out.resize_with(partitions, Vec::new);
+                    }
+                    out
                 })
                 .collect();
             let reduce_inputs = exchange(map_outputs);

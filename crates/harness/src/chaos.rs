@@ -109,53 +109,9 @@ impl ChaosScale {
     }
 }
 
-/// Serializable mirror of [`RecoverySnapshot`] (the engine crate does not
-/// depend on serde).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct RecoveryCell {
-    /// Task kills and memory-pressure aborts injected.
-    pub injected_failures: u64,
-    /// Straggler slowdowns injected.
-    pub injected_stragglers: u64,
-    /// Failed attempts that were retried.
-    pub task_retries: u64,
-    /// Partitions recomputed from lineage (staged engine).
-    pub partitions_recomputed: u64,
-    /// Regions restarted from a checkpoint (pipelined engine).
-    pub region_restarts: u64,
-    /// Aligned checkpoints completed.
-    pub checkpoints_taken: u64,
-    /// Cumulative bytes snapshotted.
-    pub checkpoint_bytes: u64,
-    /// Speculative backups launched against stragglers.
-    pub speculative_launched: u64,
-    /// Backups that beat the straggling primary.
-    pub speculative_wins: u64,
-    /// Injected memory-pressure aborts.
-    pub memory_pressure_events: u64,
-    /// Buffer-pool exhaustion spill events.
-    pub pool_exhausted: u64,
-}
-
-impl From<RecoverySnapshot> for RecoveryCell {
-    fn from(r: RecoverySnapshot) -> Self {
-        Self {
-            injected_failures: r.injected_failures,
-            injected_stragglers: r.injected_stragglers,
-            task_retries: r.task_retries,
-            partitions_recomputed: r.partitions_recomputed,
-            region_restarts: r.region_restarts,
-            checkpoints_taken: r.checkpoints_taken,
-            checkpoint_bytes: r.checkpoint_bytes,
-            speculative_launched: r.speculative_launched,
-            speculative_wins: r.speculative_wins,
-            memory_pressure_events: r.memory_pressure_events,
-            pool_exhausted: r.pool_exhausted,
-        }
-    }
-}
-
 /// One drilled cell: a workload on one engine under injected faults.
+/// ([`RecoverySnapshot`] serialises directly now that the engine's metrics
+/// are serde types.)
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChaosCell {
     /// Workload id.
@@ -165,7 +121,7 @@ pub struct ChaosCell {
     /// True when the faulted output matched the sequential oracle.
     pub verified: bool,
     /// The engine's recovery counters after the run.
-    pub recovery: RecoveryCell,
+    pub recovery: RecoverySnapshot,
 }
 
 /// A full drill: twelve cells plus the knobs that produced them.
@@ -188,7 +144,7 @@ fn cell(workload: &str, engine: &str, verified: bool, recovery: RecoverySnapshot
         workload: workload.into(),
         engine: engine.into(),
         verified,
-        recovery: recovery.into(),
+        recovery,
     }
 }
 
@@ -387,7 +343,7 @@ pub fn render(report: &ChaosReport) -> String {
     }
     let spark: Vec<&ChaosCell> = report.cells.iter().filter(|c| c.engine == "spark").collect();
     let flink: Vec<&ChaosCell> = report.cells.iter().filter(|c| c.engine == "flink").collect();
-    let sum = |cs: &[&ChaosCell], f: fn(&RecoveryCell) -> u64| -> u64 {
+    let sum = |cs: &[&ChaosCell], f: fn(&RecoverySnapshot) -> u64| -> u64 {
         cs.iter().map(|c| f(&c.recovery)).sum()
     };
     out.push_str(&format!(

@@ -13,6 +13,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod tune;
 
 use flowmark_core::config::Framework;
 use flowmark_core::experiment::Figure;

@@ -8,6 +8,7 @@
 //! repro all               # regenerate EXPERIMENTS.md content to stdout
 //! repro bench --smoke     # time the real-engine hot path, write BENCH_PR1.json
 //! repro chaos             # fault-injection drill: kill + straggle every workload
+//! repro tune --smoke      # bottleneck-guided auto-tune of both engines, write BENCH_PR3.json
 //! ```
 
 use flowmark_core::report::{render_correlation, render_figure, render_series};
@@ -52,6 +53,42 @@ fn main() {
             println!("meta         : calibration verify all export <figN>");
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
             println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--tiny] [--out FILE]");
+            println!("tuning       : tune [--smoke] [--seed N] [--out FILE]");
+        }
+        "tune" => {
+            use flowmark_harness::tune::{self, TuneOptions};
+            use flowmark_tune::TuneScale;
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            let flag = |name: &str| {
+                rest.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .cloned()
+            };
+            let seed: u64 = flag("--seed")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --seed: '{v}'");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(1);
+            let smoke = rest.iter().any(|a| a == "--smoke");
+            let (opts, scale) = if smoke {
+                (TuneOptions::smoke(seed), TuneScale::smoke())
+            } else {
+                (TuneOptions::full(seed), TuneScale::full())
+            };
+            let report = tune::run_tune(&opts, scale);
+            print!("{}", tune::render(&report));
+            let out_path = flag("--out").unwrap_or_else(|| "BENCH_PR3.json".into());
+            let json = serde_json::to_string_pretty(&report).expect("tune report serialises");
+            std::fs::write(&out_path, json + "\n").expect("write tune report");
+            println!("wrote {out_path}");
+            if report.cells.iter().any(|c| !c.all_verified) {
+                eprintln!("a tuning trial diverged from the sequential oracle");
+                std::process::exit(1);
+            }
         }
         "chaos" => {
             use flowmark_harness::chaos::{self, ChaosConfig, ChaosScale};

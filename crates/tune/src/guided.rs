@@ -1,0 +1,193 @@
+//! Bottleneck-guided hill-climbing: move the knob the paper would move.
+//!
+//! The paper's tuning narrative is causal, not exhaustive: observe what a
+//! run is bound by, then open exactly that resource's knob (§IV, §VI). The
+//! climb starts at the most-constrained corner of the space, reads the
+//! [`Bottleneck`] verdict of the incumbent best trial, proposes the
+//! verdict's knob moves in priority order, and takes the first proposal
+//! that strictly improves verified throughput. It stops when no proposal
+//! improves (or the trial budget runs out) — every step in the trajectory
+//! is labelled with the verdict that caused it.
+
+use flowmark_core::config::{EngineConfig, PartitionerChoice};
+
+use crate::profile::Bottleneck;
+use crate::search::{Budget, Measure, Trial, Tuner};
+use crate::space::ParamSpace;
+
+/// The configs a verdict proposes, in the order the paper's methodology
+/// would try them. Every proposal stays inside `space`; knobs already at
+/// their limit (or pinned for this engine) propose nothing.
+pub fn knob_moves(
+    bottleneck: Bottleneck,
+    config: &EngineConfig,
+    space: &ParamSpace,
+) -> Vec<EngineConfig> {
+    let mut moves: Vec<EngineConfig> = Vec::new();
+    let mut push = |cfg: EngineConfig| {
+        if cfg != *config && !moves.contains(&cfg) {
+            moves.push(cfg);
+        }
+    };
+
+    let grow_combine = |c: &EngineConfig| {
+        ParamSpace::next_up(&space.combine_buffer_records, c.combine_buffer_records)
+            .map(|v| EngineConfig { combine_buffer_records: v, ..*c })
+    };
+    let grow_spill = |c: &EngineConfig| {
+        ParamSpace::next_up(&space.spill_run_budget, c.spill_run_budget)
+            .map(|v| EngineConfig { spill_run_budget: v, ..*c })
+    };
+    let grow_network = |c: &EngineConfig| {
+        ParamSpace::next_up(&space.network_buffer_records, c.network_buffer_records)
+            .map(|v| EngineConfig { network_buffer_records: v, ..*c })
+    };
+    let grow_parallelism = |c: &EngineConfig| {
+        ParamSpace::next_up(&space.parallelism, c.parallelism)
+            .map(|v| EngineConfig { parallelism: v, ..*c })
+    };
+    let enable_combine = |c: &EngineConfig| {
+        (!c.combine_enabled && space.combine_enabled.contains(&true))
+            .then(|| EngineConfig { combine_enabled: true, ..*c })
+    };
+    let flip_partitioner = |c: &EngineConfig| {
+        let other = match c.partitioner {
+            PartitionerChoice::Hash => PartitionerChoice::Range,
+            PartitionerChoice::Range => PartitionerChoice::Hash,
+        };
+        space
+            .partitioner
+            .contains(&other)
+            .then(|| EngineConfig { partitioner: other, ..*c })
+    };
+
+    let proposals: Vec<Option<EngineConfig>> = match bottleneck {
+        // Sort buffers overflowing: give the combiner memory before anything
+        // else (§VI-A — Flink's spill/merge cycles serialise behind the disk).
+        Bottleneck::Spill => vec![grow_combine(config), grow_spill(config), enable_combine(config)],
+        // Producers blocked on full channels: more in-flight buffers first
+        // (§IV-B), then shrink the traffic itself with a combiner.
+        Bottleneck::Network => {
+            vec![grow_network(config), enable_combine(config), grow_combine(config)]
+        }
+        // Disk throughput dominates: cut what crosses the disk — combine
+        // harder — then allow more runs before early merges.
+        Bottleneck::Disk => {
+            vec![enable_combine(config), grow_combine(config), grow_spill(config)]
+        }
+        // Compute-bound: more workers (§IV-A); at the parallelism limit try
+        // the other partitioner (skew can masquerade as compute).
+        Bottleneck::Cpu => vec![grow_parallelism(config), flip_partitioner(config)],
+        // Nothing dominates: mild exploration in the same order.
+        Bottleneck::Balanced => {
+            vec![grow_parallelism(config), flip_partitioner(config), grow_network(config)]
+        }
+    };
+    for cfg in proposals.into_iter().flatten() {
+        push(cfg);
+    }
+    moves
+}
+
+/// Climbs from `start`: evaluate, read the verdict, try its knob moves,
+/// adopt the first strict improvement, repeat. Returns the full trajectory
+/// in evaluation order.
+pub fn hill_climb(
+    tuner: &mut Tuner,
+    space: &ParamSpace,
+    runner: &mut dyn Measure,
+    start: EngineConfig,
+    max_trials: usize,
+) -> Vec<Trial> {
+    let mut trials = Vec::new();
+    let mut best = tuner.evaluate(&start, Budget::FULL, runner);
+    trials.push(best.clone());
+
+    while trials.len() < max_trials {
+        let mut improved = false;
+        for proposal in knob_moves(best.bottleneck, &best.config, space) {
+            if trials.len() >= max_trials {
+                break;
+            }
+            let trial = tuner.evaluate(&proposal, Budget::FULL, runner);
+            let better = trial.verified && trial.throughput > best.throughput;
+            trials.push(trial.clone());
+            if better {
+                best = trial;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    trials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_core::config::Framework;
+
+    #[test]
+    fn spill_verdict_grows_the_sort_budget_first() {
+        let space = ParamSpace::full();
+        let cfg = space.start();
+        let moves = knob_moves(Bottleneck::Spill, &cfg, &space);
+        assert!(!moves.is_empty());
+        assert!(
+            moves[0].combine_buffer_records > cfg.combine_buffer_records,
+            "first spill move must grow the combine buffer"
+        );
+    }
+
+    #[test]
+    fn network_verdict_grows_buffers_only_where_they_exist() {
+        let flink = ParamSpace::full().for_engine(Framework::Flink);
+        let cfg = flink.start();
+        let moves = knob_moves(Bottleneck::Network, &cfg, &flink);
+        assert!(moves[0].network_buffer_records > cfg.network_buffer_records);
+
+        // On the staged engine the axis is pinned, so the network verdict
+        // falls through to traffic-shrinking moves.
+        let spark = ParamSpace::full().for_engine(Framework::Spark);
+        let cfg = spark.start();
+        for m in knob_moves(Bottleneck::Network, &cfg, &spark) {
+            assert_eq!(m.network_buffer_records, cfg.network_buffer_records);
+        }
+    }
+
+    #[test]
+    fn cpu_verdict_at_max_parallelism_flips_the_partitioner() {
+        let space = ParamSpace::full().for_engine(Framework::Spark);
+        let mut cfg = space.start();
+        cfg.parallelism = *space.parallelism.last().unwrap();
+        let moves = knob_moves(Bottleneck::Cpu, &cfg, &space);
+        assert_eq!(moves.len(), 1);
+        assert_ne!(moves[0].partitioner, cfg.partitioner);
+    }
+
+    #[test]
+    fn exhausted_knobs_propose_nothing() {
+        let space = ParamSpace {
+            parallelism: vec![4],
+            network_buffer_records: vec![1024],
+            combine_buffer_records: vec![4096],
+            spill_run_budget: vec![4],
+            combine_enabled: vec![true],
+            partitioner: vec![PartitionerChoice::Hash],
+            cache_bytes: vec![1 << 20],
+        };
+        let cfg = space.start();
+        for b in [
+            Bottleneck::Spill,
+            Bottleneck::Network,
+            Bottleneck::Disk,
+            Bottleneck::Cpu,
+            Bottleneck::Balanced,
+        ] {
+            assert!(knob_moves(b, &cfg, &space).is_empty(), "{b:?} proposed a move");
+        }
+    }
+}

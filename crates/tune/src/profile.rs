@@ -1,0 +1,208 @@
+//! Trial profiling: from engine counters to a bottleneck verdict.
+//!
+//! The paper's methodology classifies each operator span by what it is
+//! *bound* by (§V). The real engines run too fast and too locally for OS
+//! telemetry, but their counters carry the same information: spilled bytes
+//! are disk writes, backpressured sends are a saturated network, and the
+//! residual is compute. This module synthesises a
+//! [`ClusterTelemetry`] from one trial's [`MetricsSnapshot`], runs the real
+//! [`correlate`] pass over the trial's [`PlanTrace`], and folds the
+//! resulting [`Bound`]s into a single actionable [`Bottleneck`].
+
+use flowmark_core::correlate::{correlate, Bound, CorrelationConfig, CorrelationReport};
+use flowmark_core::spans::PlanTrace;
+use flowmark_core::telemetry::{ClusterTelemetry, ResourceKind};
+use flowmark_engine::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// The single dominant limit of a trial, in the order the guided tuner
+/// prioritises fixes (§VI): spills first (they serialise everything behind
+/// the disk), then network, then disk reads, then compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Sort buffers overflowed to disk; memory budget is the limit (§VI-A).
+    Spill,
+    /// Producers blocked on full channels; buffers are the limit (§IV-B).
+    Network,
+    /// Disk throughput dominates the span (§VI-A).
+    Disk,
+    /// Compute dominates; parallelism is the lever (§IV-A).
+    Cpu,
+    /// Nothing dominates — the config is balanced for this workload.
+    Balanced,
+}
+
+impl Bottleneck {
+    /// Short id used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bottleneck::Spill => "spill",
+            Bottleneck::Network => "network",
+            Bottleneck::Disk => "disk",
+            Bottleneck::Cpu => "cpu",
+            Bottleneck::Balanced => "balanced",
+        }
+    }
+}
+
+/// One trial's classification: the folded verdict plus the raw correlate
+/// output it came from.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The folded, actionable verdict.
+    pub bottleneck: Bottleneck,
+    /// All bounds the correlate pass saw across spans.
+    pub bounds: Vec<Bound>,
+    /// The full per-span report.
+    pub report: CorrelationReport,
+}
+
+/// Synthesises telemetry from a trial's counters and classifies it.
+///
+/// Channel levels, held over the whole run:
+/// - **Memory %** — spill pressure: the fraction of shuffle traffic that
+///   overflowed to disk, amplified when the buffer pool itself was
+///   exhausted. Crossing the bound threshold means the managed memory
+///   budget, not the machine, limited the run.
+/// - **Network MiB/s** — effective wire saturation: the fraction of
+///   shuffled records whose send blocked on a full channel, scaled to
+///   capacity (a quarter of sends blocking reads as a saturated NIC).
+/// - **Disk util/IO** — actual spill throughput against the device model.
+/// - **CPU %** — the residual: full burn minus what spilling and
+///   backpressure stole.
+pub fn classify(
+    trace: &PlanTrace,
+    metrics: &MetricsSnapshot,
+    elapsed_secs: f64,
+    config: &CorrelationConfig,
+) -> Verdict {
+    // A trace is required for correlate to have spans to classify; a run
+    // that recorded none still gets a single whole-run span.
+    let mut effective = trace.clone();
+    if effective.is_empty() {
+        effective.record("run", 0.0, elapsed_secs.max(1e-6));
+    }
+    let end = effective
+        .spans()
+        .iter()
+        .map(|s| s.end)
+        .fold(elapsed_secs.max(1e-6), f64::max);
+
+    let spilled = metrics.bytes_spilled as f64;
+    let shuffled = metrics.bytes_shuffled as f64;
+    let spill_frac = spilled / (spilled + shuffled + 1.0);
+    let pool_bump = if metrics.recovery.pool_exhausted > 0 { 0.25 } else { 0.0 };
+    let mem_pressure = (1.5 * spill_frac + pool_bump).min(1.0);
+
+    let blocked_frac =
+        metrics.backpressure_waits as f64 / (metrics.records_shuffled.max(1) as f64);
+    let wire_saturation = (4.0 * blocked_frac).min(1.0);
+
+    const MIB: f64 = 1024.0 * 1024.0;
+    let spilled_mib = spilled / MIB;
+    let shuffled_mib = shuffled / MIB;
+    let disk_util = (100.0 * (spilled_mib / end) / config.disk_capacity_mibs).min(100.0);
+    let network_mib = (config.network_capacity_mibs * wire_saturation * end)
+        .max(shuffled_mib);
+
+    // Compute is the residual once stalls are accounted for.
+    let cpu = (100.0 - 70.0 * mem_pressure - 50.0 * wire_saturation).clamp(5.0, 100.0);
+
+    let mut telemetry = ClusterTelemetry::new(1, (end / 64.0).max(1e-6));
+    let node = telemetry.node_mut(0);
+    node.deposit(ResourceKind::Cpu, 0.0, end, cpu * end);
+    node.deposit(ResourceKind::Memory, 0.0, end, 100.0 * mem_pressure * end);
+    node.deposit(ResourceKind::DiskUtil, 0.0, end, disk_util * end);
+    node.deposit(ResourceKind::DiskIo, 0.0, end, spilled_mib);
+    node.deposit(ResourceKind::Network, 0.0, end, network_mib);
+
+    let report = correlate(&effective, &telemetry, config);
+    let bounds = report.dominant_bounds();
+    let bottleneck = fold(&bounds);
+    Verdict {
+        bottleneck,
+        bounds,
+        report,
+    }
+}
+
+/// Folds the set of observed bounds into the one the tuner should act on.
+fn fold(bounds: &[Bound]) -> Bottleneck {
+    if bounds.contains(&Bound::Memory) {
+        Bottleneck::Spill
+    } else if bounds.contains(&Bound::Network) {
+        Bottleneck::Network
+    } else if bounds.contains(&Bound::Disk) {
+        Bottleneck::Disk
+    } else if bounds.contains(&Bound::Cpu) {
+        Bottleneck::Cpu
+    } else {
+        Bottleneck::Balanced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_engine::EngineMetrics;
+
+    fn snapshot(f: impl FnOnce(&EngineMetrics)) -> MetricsSnapshot {
+        let m = EngineMetrics::new();
+        f(&m);
+        m.snapshot()
+    }
+
+    #[test]
+    fn clean_run_is_cpu_bound() {
+        let metrics = snapshot(|m| {
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+        });
+        let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
+        assert_eq!(v.bottleneck, Bottleneck::Cpu);
+        assert_eq!(v.bounds, vec![Bound::Cpu]);
+    }
+
+    #[test]
+    fn heavy_spilling_reads_as_spill_bound() {
+        let metrics = snapshot(|m| {
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(1_000_000);
+            m.add_bytes_spilled(4_000_000);
+            m.add_spill_events(50);
+        });
+        let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
+        assert_eq!(v.bottleneck, Bottleneck::Spill);
+        assert!(v.bounds.contains(&Bound::Memory));
+    }
+
+    #[test]
+    fn backpressure_reads_as_network_bound() {
+        let metrics = snapshot(|m| {
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+            // 40% of sends blocked on a full channel.
+            m.add_backpressure_waits(4_000);
+        });
+        let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
+        assert_eq!(v.bottleneck, Bottleneck::Network);
+    }
+
+    #[test]
+    fn verdict_uses_the_real_trace_spans() {
+        let mut trace = PlanTrace::new();
+        trace.record("map", 0.0, 0.4);
+        trace.record("reduce", 0.4, 1.0);
+        let metrics = snapshot(|m| m.add_records_shuffled(100));
+        let v = classify(&trace, &metrics, 1.0, &CorrelationConfig::default());
+        assert_eq!(v.report.profiles.len(), 2);
+        assert!(v.report.profile("reduce").is_some());
+    }
+
+    #[test]
+    fn spill_outranks_network_in_the_fold() {
+        assert_eq!(fold(&[Bound::Network, Bound::Memory]), Bottleneck::Spill);
+        assert_eq!(fold(&[Bound::Cpu, Bound::Network]), Bottleneck::Network);
+        assert_eq!(fold(&[]), Bottleneck::Balanced);
+    }
+}

@@ -1,0 +1,471 @@
+//! Deterministic search strategies behind one caching [`Tuner`].
+//!
+//! All strategies funnel through [`Tuner::evaluate`], which owns the run
+//! cache: a config (at a given input budget) is executed at most once, and
+//! later requests replay the recorded trial. Every strategy is seeded and
+//! free of wall-clock decisions, so the same seed over the same space
+//! replays the same trajectory of proposed configs.
+
+use std::collections::HashMap;
+
+use flowmark_core::config::EngineConfig;
+use flowmark_core::correlate::CorrelationConfig;
+use flowmark_core::spans::PlanTrace;
+use flowmark_engine::MetricsSnapshot;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::guided;
+use crate::profile::{classify, Bottleneck};
+use crate::space::ParamSpace;
+
+/// Input budget of one trial, as an exact fraction (successive halving runs
+/// early rungs on prefixes of the input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Budget {
+    /// Fraction numerator.
+    pub numer: u32,
+    /// Fraction denominator.
+    pub denom: u32,
+}
+
+impl Budget {
+    /// The whole input.
+    pub const FULL: Budget = Budget { numer: 1, denom: 1 };
+
+    /// `1/denom` of the input.
+    pub fn fraction_of(denom: u32) -> Budget {
+        Budget {
+            numer: 1,
+            denom: denom.max(1),
+        }
+    }
+
+    /// The fraction as a float.
+    pub fn fraction(self) -> f64 {
+        self.numer as f64 / self.denom.max(1) as f64
+    }
+
+    /// True when this is the whole input.
+    pub fn is_full(self) -> bool {
+        self.numer == self.denom
+    }
+}
+
+/// What one execution of a config produced.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Input records processed (scales with the budget fraction).
+    pub records: u64,
+    /// True when the output matched the sequential oracle.
+    pub verified: bool,
+    /// Engine counters after the run.
+    pub metrics: MetricsSnapshot,
+    /// The operator plan trace of the run.
+    pub trace: PlanTrace,
+}
+
+/// Anything that can execute a config and measure it — the real
+/// [`crate::workbench::Workbench`], or a synthetic cost model in tests.
+pub trait Measure {
+    /// Executes `config` on `budget` of the input and reports the result.
+    fn measure(&mut self, config: &EngineConfig, budget: Budget) -> Measurement;
+}
+
+impl<F> Measure for F
+where
+    F: FnMut(&EngineConfig, Budget) -> Measurement,
+{
+    fn measure(&mut self, config: &EngineConfig, budget: Budget) -> Measurement {
+        self(config, budget)
+    }
+}
+
+/// One evaluated (or cache-replayed) config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// The config measured.
+    pub config: EngineConfig,
+    /// [`EngineConfig::fingerprint`] of that config (the cache key).
+    pub fingerprint: u64,
+    /// Input fraction this trial ran on.
+    pub budget_fraction: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Records per second — the metric every strategy maximises.
+    pub throughput: f64,
+    /// True when the output matched the oracle.
+    pub verified: bool,
+    /// The correlate verdict for this trial.
+    pub bottleneck: Bottleneck,
+    /// True when replayed from the run cache instead of executed.
+    pub cached: bool,
+    /// Engine counters of the (original) execution.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A search strategy over a [`ParamSpace`].
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Exhaustive sweep of the grid, in grid order.
+    Grid,
+    /// `samples` seeded uniform draws (repeats hit the cache).
+    Random {
+        /// Number of draws.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Successive halving: start `candidates` seeded distinct configs on a
+    /// small input fraction, keep the faster half each rung, finish the
+    /// winner on the full input.
+    Halving {
+        /// Initial cohort size.
+        candidates: usize,
+        /// RNG seed for the cohort draw.
+        seed: u64,
+    },
+    /// Bottleneck-guided hill-climb from the space's most-constrained
+    /// corner (see [`crate::guided`]).
+    Guided {
+        /// Max configs to evaluate, including the start.
+        max_trials: usize,
+    },
+}
+
+/// The result of one strategy run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Every trial, in evaluation order (cache replays included, flagged).
+    pub trials: Vec<Trial>,
+    /// The winner: best verified full-budget throughput.
+    pub best: Trial,
+}
+
+/// Executes strategies, caching every measured config.
+pub struct Tuner {
+    /// Thresholds for the per-trial correlate pass.
+    pub correlation: CorrelationConfig,
+    cache: HashMap<(u64, Budget), Trial>,
+    executions: u64,
+    cache_hits: u64,
+}
+
+impl Default for Tuner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tuner {
+    /// A tuner with the paper's default correlation thresholds and an empty
+    /// cache.
+    pub fn new() -> Self {
+        Self {
+            correlation: CorrelationConfig::default(),
+            cache: HashMap::new(),
+            executions: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Configs actually executed (cache misses).
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Trials served from the cache without executing.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Measures one config at one budget, through the cache.
+    pub fn evaluate(
+        &mut self,
+        config: &EngineConfig,
+        budget: Budget,
+        runner: &mut dyn Measure,
+    ) -> Trial {
+        let key = (config.fingerprint(), budget);
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            let mut replay = hit.clone();
+            replay.cached = true;
+            return replay;
+        }
+        self.executions += 1;
+        let m = runner.measure(config, budget);
+        let verdict = classify(&m.trace, &m.metrics, m.seconds, &self.correlation);
+        let trial = Trial {
+            config: *config,
+            fingerprint: config.fingerprint(),
+            budget_fraction: budget.fraction(),
+            seconds: m.seconds,
+            throughput: m.records as f64 / m.seconds.max(1e-9),
+            verified: m.verified,
+            bottleneck: verdict.bottleneck,
+            cached: false,
+            metrics: m.metrics,
+        };
+        self.cache.insert(key, trial.clone());
+        trial
+    }
+
+    /// Runs one strategy to completion.
+    pub fn run(
+        &mut self,
+        strategy: &Strategy,
+        space: &ParamSpace,
+        runner: &mut dyn Measure,
+    ) -> TuneOutcome {
+        assert!(!space.is_empty(), "cannot search an empty space");
+        let trials = match strategy {
+            Strategy::Grid => self.run_grid(space, runner),
+            Strategy::Random { samples, seed } => {
+                self.run_random(space, runner, (*samples).max(1), *seed)
+            }
+            Strategy::Halving { candidates, seed } => {
+                self.run_halving(space, runner, (*candidates).max(2), *seed)
+            }
+            Strategy::Guided { max_trials } => {
+                guided::hill_climb(self, space, runner, space.start(), (*max_trials).max(1))
+            }
+        };
+        let best = best_of(&trials).expect("every strategy evaluates at least one config");
+        TuneOutcome { trials, best }
+    }
+
+    fn run_grid(&mut self, space: &ParamSpace, runner: &mut dyn Measure) -> Vec<Trial> {
+        space
+            .grid()
+            .iter()
+            .map(|cfg| self.evaluate(cfg, Budget::FULL, runner))
+            .collect()
+    }
+
+    fn run_random(
+        &mut self,
+        space: &ParamSpace,
+        runner: &mut dyn Measure,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<Trial> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..samples)
+            .map(|_| {
+                let cfg = space.sample(&mut rng);
+                self.evaluate(&cfg, Budget::FULL, runner)
+            })
+            .collect()
+    }
+
+    fn run_halving(
+        &mut self,
+        space: &ParamSpace,
+        runner: &mut dyn Measure,
+        candidates: usize,
+        seed: u64,
+    ) -> Vec<Trial> {
+        // Draw a distinct cohort (bounded retries; a small space just yields
+        // a smaller cohort).
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cohort: Vec<EngineConfig> = Vec::new();
+        let mut attempts = 0;
+        while cohort.len() < candidates && attempts < candidates * 32 {
+            let cfg = space.sample(&mut rng);
+            if !cohort.iter().any(|c| c.fingerprint() == cfg.fingerprint()) {
+                cohort.push(cfg);
+            }
+            attempts += 1;
+        }
+
+        let mut trials = Vec::new();
+        let mut denom = cohort.len().next_power_of_two() as u32;
+        while cohort.len() > 1 {
+            denom = (denom / 2).max(1);
+            let mut rung: Vec<Trial> = cohort
+                .iter()
+                .map(|cfg| self.evaluate(cfg, Budget::fraction_of(denom), runner))
+                .collect();
+            trials.extend(rung.iter().cloned());
+            // Keep the verified-and-fastest half (stable sort keeps draw
+            // order on ties, so the rung is deterministic).
+            rung.sort_by(|a, b| {
+                b.verified
+                    .cmp(&a.verified)
+                    .then(b.throughput.partial_cmp(&a.throughput).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            let keep = rung.len().div_ceil(2);
+            cohort = rung.into_iter().take(keep).map(|t| t.config).collect();
+        }
+        // The survivor always gets a full-budget measurement.
+        if let Some(winner) = cohort.first() {
+            trials.push(self.evaluate(winner, Budget::FULL, runner));
+        }
+        trials
+    }
+}
+
+/// The best trial: verified full-budget throughput first, then any verified
+/// trial, then raw throughput.
+pub fn best_of(trials: &[Trial]) -> Option<Trial> {
+    let pick = |pred: &dyn Fn(&Trial) -> bool| -> Option<Trial> {
+        trials
+            .iter()
+            .filter(|t| pred(t))
+            .max_by(|a, b| {
+                a.throughput
+                    .partial_cmp(&b.throughput)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .cloned()
+    };
+    pick(&|t: &Trial| t.verified && t.budget_fraction >= 1.0)
+        .or_else(|| pick(&|t: &Trial| t.verified))
+        .or_else(|| pick(&|_| true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmark_engine::EngineMetrics;
+
+    /// A deterministic cost model: bigger buffers stop synthetic spilling,
+    /// bigger network buffers stop synthetic backpressure, more parallelism
+    /// is mildly faster. No randomness, no wall clock.
+    fn synthetic(config: &EngineConfig, budget: Budget) -> Measurement {
+        let records = (100_000.0 * budget.fraction()) as u64;
+        let metrics = EngineMetrics::new();
+        metrics.add_records_shuffled(records);
+        metrics.add_bytes_shuffled(records * 16);
+        let mut seconds = 2.0 - 0.1 * (config.parallelism as f64).log2();
+        if config.combine_buffer_records < 1024 {
+            metrics.add_bytes_spilled(records * 64);
+            metrics.add_spill_events(records / 100);
+            seconds += 1.5;
+        }
+        if config.network_buffer_records < 256 {
+            metrics.add_backpressure_waits(records / 2);
+            seconds += 0.8;
+        }
+        Measurement {
+            seconds: seconds * budget.fraction(),
+            records,
+            verified: true,
+            metrics: metrics.snapshot(),
+            trace: PlanTrace::new(),
+        }
+    }
+
+    fn fingerprints(trials: &[Trial]) -> Vec<(u64, bool)> {
+        trials.iter().map(|t| (t.fingerprint, t.cached)).collect()
+    }
+
+    #[test]
+    fn cache_never_reexecutes_a_config() {
+        let mut tuner = Tuner::new();
+        let cfg = EngineConfig::default();
+        let a = tuner.evaluate(&cfg, Budget::FULL, &mut synthetic);
+        let b = tuner.evaluate(&cfg, Budget::FULL, &mut synthetic);
+        assert_eq!(tuner.executions(), 1);
+        assert_eq!(tuner.cache_hits(), 1);
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(a.throughput, b.throughput);
+        // A different budget is a different cache entry.
+        tuner.evaluate(&cfg, Budget::fraction_of(2), &mut synthetic);
+        assert_eq!(tuner.executions(), 2);
+    }
+
+    #[test]
+    fn random_search_replays_bit_for_bit_under_one_seed() {
+        let space = ParamSpace::full();
+        let run = |seed: u64| {
+            let mut tuner = Tuner::new();
+            let out = tuner.run(
+                &Strategy::Random { samples: 12, seed },
+                &space,
+                &mut synthetic,
+            );
+            fingerprints(&out.trials)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn halving_replays_and_finishes_on_the_full_input() {
+        let space = ParamSpace::full();
+        let run = |seed: u64| {
+            let mut tuner = Tuner::new();
+            tuner.run(
+                &Strategy::Halving {
+                    candidates: 8,
+                    seed,
+                },
+                &space,
+                &mut synthetic,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(fingerprints(&a.trials), fingerprints(&b.trials));
+        assert!(a.best.budget_fraction >= 1.0, "winner must run on the full input");
+        // Early rungs really ran on fractions.
+        assert!(a.trials.iter().any(|t| t.budget_fraction < 1.0));
+    }
+
+    #[test]
+    fn guided_replays_and_unspills_the_start_config() {
+        let space = ParamSpace::full();
+        let run = || {
+            let mut tuner = Tuner::new();
+            let out = tuner.run(&Strategy::Guided { max_trials: 10 }, &space, &mut synthetic);
+            (fingerprints(&out.trials), out)
+        };
+        let (fa, a) = run();
+        let (fb, _) = run();
+        assert_eq!(fa, fb);
+        // The start corner spills and backpressures under the synthetic
+        // model; the climb must have fixed both.
+        assert_eq!(a.trials[0].bottleneck, Bottleneck::Spill);
+        assert!(a.best.config.combine_buffer_records >= 1024);
+        assert!(a.best.config.network_buffer_records >= 256);
+        assert!(a.best.throughput > a.trials[0].throughput);
+    }
+
+    #[test]
+    fn grid_visits_every_config_exactly_once() {
+        let mut space = ParamSpace::smoke();
+        space.combine_buffer_records = vec![4096];
+        space.spill_run_budget = vec![8];
+        space.partitioner = vec![flowmark_core::config::PartitionerChoice::Hash];
+        let space = space.normalized();
+        let mut tuner = Tuner::new();
+        let out = tuner.run(&Strategy::Grid, &space, &mut synthetic);
+        assert_eq!(out.trials.len(), space.len());
+        assert_eq!(tuner.executions(), space.len() as u64);
+        assert_eq!(tuner.cache_hits(), 0);
+    }
+
+    #[test]
+    fn best_prefers_verified_full_budget_trials() {
+        let mk = |throughput: f64, verified: bool, frac: f64| Trial {
+            config: EngineConfig::default(),
+            fingerprint: 0,
+            budget_fraction: frac,
+            seconds: 1.0,
+            throughput,
+            verified,
+            bottleneck: Bottleneck::Balanced,
+            cached: false,
+            metrics: EngineMetrics::new().snapshot(),
+        };
+        let best = best_of(&[mk(500.0, false, 1.0), mk(100.0, true, 1.0), mk(900.0, true, 0.5)])
+            .unwrap();
+        assert_eq!(best.throughput, 100.0);
+    }
+}

@@ -13,6 +13,25 @@ pub mod channel {
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 
+    /// Error returned by a failed non-blocking send: the channel was full
+    /// or disconnected; either way the value comes back to the caller.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; a blocking send would wait.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
     /// Error returned when sending on a disconnected channel.
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
@@ -51,6 +70,15 @@ pub mod channel {
         /// Blocking send; fails only when all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send: hands the value back instead of waiting when
+        /// the channel is full, letting callers observe backpressure.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -135,6 +163,18 @@ pub mod channel {
                 let got: Vec<i32> = rx.iter().collect();
                 assert_eq!(got.len(), 100);
             });
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            drop(rx);
+            assert!(matches!(
+                tx.try_send(3),
+                Err(TrySendError::Disconnected(3))
+            ));
         }
 
         #[test]
