@@ -8,7 +8,7 @@ use flowmark_sim::Calibration;
 
 fn ablation_delta_vs_bulk(c: &mut Criterion) {
     let cal = Calibration::default();
-    let (bulk, delta) = experiments::ablation_delta(&cal);
+    let (bulk, delta) = experiments::ablation_delta(&cal).expect("valid experiment config");
     println!(
         "\n== abl-delta: CC Medium 27n — bulk {bulk:.0}s vs delta {delta:.0}s ({:.2}x; \
          paper: delta drives the up-to-30% CC advantage) ==",
@@ -21,7 +21,7 @@ fn ablation_delta_vs_bulk(c: &mut Criterion) {
 
 fn ablation_serializer(c: &mut Criterion) {
     let cal = Calibration::default();
-    let (java, kryo) = experiments::ablation_serializer(&cal);
+    let (java, kryo) = experiments::ablation_serializer(&cal).expect("valid experiment config");
     println!(
         "\n== abl-serde: Spark WC 16n — Java {java:.0}s vs Kryo {kryo:.0}s \
          (§IV-D: Kryo \"can be more efficient\") =="
@@ -33,7 +33,7 @@ fn ablation_serializer(c: &mut Criterion) {
 
 fn ablation_parallelism(c: &mut Criterion) {
     let cal = Calibration::default();
-    let (tuned, reduced) = experiments::ablation_parallelism(&cal);
+    let (tuned, reduced) = experiments::ablation_parallelism(&cal).expect("valid experiment config");
     println!(
         "\n== abl-par: Spark WC 8n — tuned {tuned:.0}s vs 2×cores {reduced:.0}s \
          ({:+.1}%; paper: +10% — see EXPERIMENTS.md for the known deviation) ==",
@@ -46,7 +46,7 @@ fn ablation_parallelism(c: &mut Criterion) {
 
 fn ablation_terasort_memory(c: &mut Criterion) {
     let cal = Calibration::default();
-    let (s, f) = experiments::ablation_terasort_memory(&cal);
+    let (s, f) = experiments::ablation_terasort_memory(&cal).expect("valid experiment config");
     println!(
         "\n== abl-mem: TeraSort 27n × 75 GB/node, 102 GB memory — Spark {s:.0}s vs \
          Flink {f:.0}s ({:.1}% gain; paper: 15%) ==",

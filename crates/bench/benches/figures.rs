@@ -237,7 +237,7 @@ fn table7_large_graph(c: &mut Criterion) {
     // Print Table VII via the harness, then bench the 97-node PR cell.
     let cal = Calibration::default();
     println!("\n== table7 — Large graph (Table VII) ==");
-    for r in flowmark_harness::experiments::table7(&cal) {
+    for r in flowmark_harness::experiments::table7(&cal).expect("valid experiment config") {
         println!(
             "| {} | Flink PR {}/{} | Spark PR {}/{} | Flink CC {}/{} | Spark CC {}/{} |",
             r.nodes,

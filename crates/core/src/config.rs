@@ -459,6 +459,25 @@ impl EngineConfig {
         eat(self.cache_bytes);
         h
     }
+
+    /// Coarse upper bound on the bytes a job under this config can pin at
+    /// once: the block-cache budget plus the sort/combine spill buffers and
+    /// the bounded network channels, all at full occupancy. This is the
+    /// byte-denominated cost the serve layer's admission controller charges
+    /// against its memory budget — deliberately pessimistic, because
+    /// admission must never over-commit.
+    pub fn memory_footprint_bytes(&self) -> u64 {
+        /// Per-record footprint estimate for buffer sizing (pointer-sized
+        /// key + value + bookkeeping).
+        const RECORD_BYTES: u64 = 64;
+        let combine = self.parallelism as u64
+            * self.combine_buffer_records as u64
+            * self.spill_run_budget as u64
+            * RECORD_BYTES;
+        let network =
+            self.parallelism as u64 * self.network_buffer_records as u64 * RECORD_BYTES;
+        self.cache_bytes + combine + network
+    }
 }
 
 impl Default for EngineConfig {
@@ -475,9 +494,136 @@ impl Default for EngineConfig {
     }
 }
 
+/// Configuration for the supervised job service (`flowmark-serve`): the
+/// admission, queueing, deadline, retry and circuit-breaker policies that
+/// sit *above* both engines. Durations are milliseconds so the struct
+/// serializes with the same plain-integer discipline as every other
+/// config here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Bounded job-queue capacity; an admission beyond it is shed with
+    /// `Rejected::QueueFull` rather than buffered without bound.
+    pub queue_capacity: usize,
+    /// Byte-denominated memory budget shared by all in-flight jobs; a job
+    /// charges [`EngineConfig::memory_footprint_bytes`] on admission and
+    /// releases it on resolution.
+    pub memory_budget_bytes: u64,
+    /// Deadline applied to jobs that do not bring their own, in
+    /// milliseconds; expiry cancels the job cooperatively.
+    pub default_deadline_ms: u64,
+    /// Retries a job may consume after its first attempt fails (0 = one
+    /// attempt only).
+    pub retry_budget: u32,
+    /// Base of the exponential retry backoff, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Cap on any single backoff delay, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic backoff jitter and the breaker's
+    /// half-open probe choice.
+    pub seed: u64,
+    /// Consecutive per-engine job failures that open that engine's
+    /// circuit breaker.
+    pub breaker_threshold: u32,
+    /// Rejections a breaker serves while open before it goes half-open
+    /// and admits a probe job (count-based, so tests stay deterministic).
+    pub breaker_cooldown: u32,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl ServiceConfig {
+    /// Default bounded queue capacity.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 32;
+    /// Default shared memory budget: four default engine footprints.
+    pub const DEFAULT_MEMORY_BUDGET_BYTES: u64 = 4 << 30;
+    /// Default per-job deadline (generous: local jobs run in seconds).
+    pub const DEFAULT_DEADLINE_MS: u64 = 60_000;
+    /// Default retry budget per job.
+    pub const DEFAULT_RETRY_BUDGET: u32 = 2;
+    /// Default backoff base.
+    pub const DEFAULT_BACKOFF_BASE_MS: u64 = 5;
+    /// Default backoff cap.
+    pub const DEFAULT_BACKOFF_CAP_MS: u64 = 100;
+    /// Default consecutive-failure threshold opening a breaker.
+    pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
+    /// Default open-state rejection count before a half-open probe.
+    pub const DEFAULT_BREAKER_COOLDOWN: u32 = 2;
+    /// Default worker-thread count.
+    pub const DEFAULT_WORKERS: usize = 4;
+
+    /// Validates the knobs the service would otherwise assert on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (value, parameter) in [
+            (self.queue_capacity, "queue_capacity"),
+            (self.workers, "workers"),
+            (self.breaker_threshold as usize, "breaker_threshold"),
+            (self.default_deadline_ms as usize, "default_deadline_ms"),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::Degenerate { parameter });
+            }
+        }
+        if self.memory_budget_bytes == 0 {
+            return Err(ConfigError::Degenerate {
+                parameter: "memory_budget_bytes",
+            });
+        }
+        if self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(ConfigError::Degenerate {
+                parameter: "backoff_cap_ms",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
+            memory_budget_bytes: Self::DEFAULT_MEMORY_BUDGET_BYTES,
+            default_deadline_ms: Self::DEFAULT_DEADLINE_MS,
+            retry_budget: Self::DEFAULT_RETRY_BUDGET,
+            backoff_base_ms: Self::DEFAULT_BACKOFF_BASE_MS,
+            backoff_cap_ms: Self::DEFAULT_BACKOFF_CAP_MS,
+            seed: 0,
+            breaker_threshold: Self::DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown: Self::DEFAULT_BREAKER_COOLDOWN,
+            workers: Self::DEFAULT_WORKERS,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_config_default_validates() {
+        let c = ServiceConfig::default();
+        assert!(c.validate().is_ok());
+        let mut bad = c;
+        bad.queue_capacity = 0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::Degenerate { parameter: "queue_capacity" })
+        ));
+        let mut inverted = c;
+        inverted.backoff_cap_ms = c.backoff_base_ms.saturating_sub(1);
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_buffers_and_cache() {
+        let base = EngineConfig::default();
+        let mut bigger = base;
+        bigger.cache_bytes *= 2;
+        assert!(bigger.memory_footprint_bytes() > base.memory_footprint_bytes());
+        let mut buffered = base;
+        buffered.combine_buffer_records *= 4;
+        assert!(buffered.memory_footprint_bytes() > base.memory_footprint_bytes());
+        assert!(base.memory_footprint_bytes() >= base.cache_bytes);
+    }
 
     #[test]
     fn engine_config_default_validates_and_fingerprints_stably() {

@@ -66,7 +66,7 @@ pub mod timeseries;
 pub mod prelude {
     pub use crate::config::{
         ClusterConfig, ConfigError, EngineConfig, FlinkConfig, Framework, PartitionerChoice,
-        RunConfig, Serializer, SparkConfig,
+        RunConfig, Serializer, ServiceConfig, SparkConfig,
     };
     pub use crate::correlate::{correlate, Bound, CorrelationConfig, CorrelationReport};
     pub use crate::experiment::{CellOutcome, Experiment, Figure, FigurePoint, FigureSeries};

@@ -115,6 +115,30 @@ pub struct InjectedFault {
     pub at: (u64, usize, u32),
 }
 
+/// Panic payload raised when a job-level [`CancelToken`] fires mid-task:
+/// the job was cancelled (deadline expiry or an explicit cancel), so the
+/// task tears itself down instead of completing. Unlike [`InjectedFault`],
+/// this payload is **never retried** by [`run_recoverable`] — cancellation
+/// must win over recovery, or a cancelled job would burn its full attempt
+/// budget before dying. The quiet panic hook silences it like an injected
+/// fault: teardown is an expected path, not a bug.
+#[derive(Debug)]
+pub struct JobCancelled {
+    /// `(stage, partition)` where the token was observed.
+    pub at: (u64, usize),
+}
+
+/// Observes `cancel` and panics with a [`JobCancelled`] payload when it is
+/// set — the single teardown point both engines call from their task loops.
+pub fn check_cancelled(cancel: &CancelToken, metrics: &EngineMetrics, stage: u64, partition: usize) {
+    if cancel.is_set() {
+        metrics.add_tasks_cancelled(1);
+        panic::panic_any(JobCancelled {
+            at: (stage, partition),
+        });
+    }
+}
+
 struct PlanInner {
     cfg: FaultConfig,
     fail_budget: AtomicU64,
@@ -385,7 +409,7 @@ impl StreamFault {
         self.sent += 1;
         if self.straggle_at == Some(self.sent) {
             self.metrics.add_injected_stragglers(1);
-            let token = CancelToken(Arc::clone(&self.cancel));
+            let token = CancelToken::from_flag(Arc::clone(&self.cancel));
             token.sleep(self.slowdown);
         }
         if self.fail_at == Some(self.sent) {
@@ -412,28 +436,66 @@ impl StreamFault {
     }
 }
 
-/// A cooperative cancellation flag; injected straggler sleeps poll it so a
-/// speculative win releases the straggling loser early.
+/// A cooperative cancellation token. Two layers share it:
+///
+/// - **task scope** — injected straggler sleeps poll it so a speculative
+///   win releases the straggling loser early (PR 2's original use);
+/// - **job scope** — the serve layer hands each job one token and sets it
+///   on deadline expiry or an explicit cancel; the engines observe it in
+///   their task loops and tear the whole job down via [`JobCancelled`].
+///
+/// Tokens form a parent chain: [`CancelToken::child_of`] builds a scoped
+/// token whose `is_set` also observes every ancestor, while `set` marks
+/// only its own flag. A speculation race token is a *child* of the job
+/// token — settling the race frees the loser without cancelling the job,
+/// but cancelling the job interrupts every straggler sleep underneath it.
 #[derive(Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
+
+/// Polling slice for cooperative sleeps: short enough that cancellation
+/// interrupts even a multi-second straggler within ~one slice.
+const SLEEP_SLICE: Duration = Duration::from_millis(25);
 
 impl CancelToken {
-    /// Creates an unset token.
+    /// Creates an unset root token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sets the flag, waking any polling sleep.
+    /// Wraps a raw shared flag as a root token (no parent).
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        Self { flag, parent: None }
+    }
+
+    /// Creates an unset token scoped under `parent`: `is_set` also
+    /// observes the parent chain, `set` marks only this token.
+    pub fn child_of(parent: &CancelToken) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(parent.clone())),
+        }
+    }
+
+    /// Sets this token's own flag (children observe it, parents do not),
+    /// waking any polling sleep scoped at or under it.
     pub fn set(&self) {
-        self.0.store(true, Ordering::Release);
+        self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether the flag is set.
+    /// Whether this token or any ancestor is set.
     pub fn is_set(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.is_set())
     }
 
-    /// Sleeps up to `total`, returning early once the flag is set.
+    /// Sleeps up to `total`, returning early once the token (or an
+    /// ancestor) is set. Polls in `min(25ms, remaining)` slices so a
+    /// cancel interrupts even a 10 s straggler sleep within ~one slice.
     pub fn sleep(&self, total: Duration) {
         let started = Instant::now();
         while !self.is_set() {
@@ -441,7 +503,7 @@ impl CancelToken {
             if elapsed >= total {
                 return;
             }
-            std::thread::sleep((total - elapsed).min(Duration::from_millis(2)));
+            std::thread::sleep((total - elapsed).min(SLEEP_SLICE));
         }
     }
 }
@@ -520,7 +582,10 @@ fn attempt_once<T>(
 }
 
 /// One attempt, raced against a speculative backup when the stage's
-/// straggler detector has a threshold and the primary overruns it.
+/// straggler detector has a threshold and the primary overruns it. The
+/// race token is a child of the job token, so settling the race frees the
+/// losing attempt without cancelling the job, while a job cancel still
+/// interrupts straggler sleeps inside either attempt.
 fn attempt_speculatively<T: Send>(
     plan: &FaultPlan,
     metrics: &EngineMetrics,
@@ -528,9 +593,10 @@ fn attempt_speculatively<T: Send>(
     stage: u64,
     partition: usize,
     attempt: u32,
+    job_cancel: &CancelToken,
     body: &(dyn Fn() -> T + Sync),
 ) -> AttemptResult<T> {
-    let cancel = CancelToken::new();
+    let cancel = CancelToken::child_of(job_cancel);
     let Some(threshold) = plan.speculation_threshold(stats, stage) else {
         return attempt_once(plan, metrics, Some(stats), stage, partition, attempt, &cancel, body);
     };
@@ -590,6 +656,11 @@ fn attempt_speculatively<T: Send>(
 /// attempts, exponential backoff and (when `stats` is given) speculative
 /// execution. Real panics from the body are retried like injected ones; a
 /// task that fails `max_attempts` times resumes the final panic.
+///
+/// `cancel` is the **job-level** token: a set token aborts before the next
+/// attempt, and a [`JobCancelled`] payload escaping the body is resumed
+/// immediately rather than retried — task-level recovery must never keep a
+/// cancelled job alive.
 pub fn run_recoverable<T: Send>(
     plan: &FaultPlan,
     metrics: &EngineMetrics,
@@ -597,8 +668,10 @@ pub fn run_recoverable<T: Send>(
     kind: RecoveryKind,
     stage: u64,
     partition: usize,
+    cancel: &CancelToken,
     body: &(dyn Fn() -> T + Sync),
 ) -> T {
+    check_cancelled(cancel, metrics, stage, partition);
     if !plan.active() {
         return body();
     }
@@ -606,23 +679,19 @@ pub fn run_recoverable<T: Send>(
     let mut attempt = 0u32;
     loop {
         let outcome = match stats {
-            Some(stats) => {
-                attempt_speculatively(plan, metrics, stats, stage, partition, attempt, body)
-            }
+            Some(stats) => attempt_speculatively(
+                plan, metrics, stats, stage, partition, attempt, cancel, body,
+            ),
             None => attempt_once(
-                plan,
-                metrics,
-                None,
-                stage,
-                partition,
-                attempt,
-                &CancelToken::new(),
-                body,
+                plan, metrics, None, stage, partition, attempt, cancel, body,
             ),
         };
         match outcome {
             Ok(v) => return v,
             Err(payload) => {
+                if payload.downcast_ref::<JobCancelled>().is_some() {
+                    panic::resume_unwind(payload);
+                }
                 attempt += 1;
                 if attempt >= max {
                     panic::resume_unwind(payload);
@@ -633,21 +702,24 @@ pub fn run_recoverable<T: Send>(
                     RecoveryKind::Region => metrics.add_region_restarts(1),
                 }
                 std::thread::sleep(plan.backoff(attempt));
+                check_cancelled(cancel, metrics, stage, partition);
             }
         }
     }
 }
 
 /// Installs (once, process-wide) a panic hook that stays silent for
-/// [`InjectedFault`] payloads and delegates everything else to the
-/// previous hook — so chaos runs do not flood stderr while real panics
-/// still print.
-fn install_quiet_hook() {
+/// [`InjectedFault`] and [`JobCancelled`] payloads and delegates
+/// everything else to the previous hook — so chaos runs and cooperative
+/// job teardown do not flood stderr while real panics still print.
+pub fn install_quiet_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let previous = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+            if info.payload().downcast_ref::<InjectedFault>().is_none()
+                && info.payload().downcast_ref::<JobCancelled>().is_none()
+            {
                 previous(info);
             }
         }));
@@ -732,6 +804,7 @@ mod tests {
             RecoveryKind::Lineage,
             0,
             0,
+            &CancelToken::new(),
             &|| 41 + 1,
         );
         assert_eq!(out, 42);
@@ -754,6 +827,7 @@ mod tests {
             RecoveryKind::Region,
             1,
             0,
+            &CancelToken::new(),
             &|| {
                 calls.fetch_add(1, Ordering::Relaxed);
                 "ok"
@@ -785,6 +859,7 @@ mod tests {
                 RecoveryKind::Lineage,
                 0,
                 0,
+                &CancelToken::new(),
                 &|| -> u32 {
                     calls.fetch_add(1, Ordering::Relaxed);
                     panic!("deterministic bug")
@@ -819,6 +894,7 @@ mod tests {
             RecoveryKind::Lineage,
             9,
             0,
+            &CancelToken::new(),
             &|| 7u32,
         );
         assert_eq!(out, 7);
@@ -853,6 +929,7 @@ mod tests {
             RecoveryKind::Lineage,
             9,
             0,
+            &CancelToken::new(),
             &|| 7u32,
         );
         assert_eq!(out, 7);
@@ -891,6 +968,94 @@ mod tests {
         let started = Instant::now();
         token.sleep(Duration::from_millis(200));
         assert!(started.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cancel_interrupts_a_long_straggler_sleep_quickly() {
+        // The satellite's contract: a 10 s straggler sleep must unwind in
+        // < 100 ms once the token fires, i.e. within ~one 25 ms slice.
+        let token = CancelToken::new();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let sleeper = token.clone();
+            s.spawn(move || sleeper.sleep(Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(10));
+            token.set();
+        });
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "cancellation took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn child_token_observes_parent_but_not_vice_versa() {
+        let job = CancelToken::new();
+        let race = CancelToken::child_of(&job);
+        assert!(!race.is_set());
+        race.set();
+        assert!(race.is_set(), "own flag visible");
+        assert!(!job.is_set(), "settling a race must not cancel the job");
+        let race2 = CancelToken::child_of(&job);
+        job.set();
+        assert!(race2.is_set(), "job cancel reaches every child");
+    }
+
+    #[test]
+    fn run_recoverable_never_retries_a_cancelled_job() {
+        let plan = plan_with(FaultConfig {
+            seed: 11,
+            max_attempts: 4,
+            backoff_base: Duration::ZERO,
+            ..FaultConfig::default()
+        });
+        let metrics = EngineMetrics::new();
+        let cancel = CancelToken::new();
+        let calls = AtomicU32::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_recoverable(
+                &plan,
+                &metrics,
+                None,
+                RecoveryKind::Lineage,
+                0,
+                0,
+                &cancel,
+                &|| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    cancel.set();
+                    check_cancelled(&cancel, &metrics, 0, 0);
+                },
+            )
+        }));
+        let payload = result.expect_err("cancelled job must unwind");
+        assert!(payload.downcast_ref::<JobCancelled>().is_some());
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry after cancel");
+        assert_eq!(metrics.task_retries(), 0);
+        assert_eq!(metrics.tasks_cancelled(), 1);
+    }
+
+    #[test]
+    fn run_recoverable_refuses_to_start_when_cancelled() {
+        let metrics = EngineMetrics::new();
+        let cancel = CancelToken::new();
+        cancel.set();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_recoverable(
+                &FaultPlan::disabled(),
+                &metrics,
+                None,
+                RecoveryKind::Region,
+                3,
+                1,
+                &cancel,
+                &|| unreachable!("body must not run"),
+            )
+        }));
+        let payload = result.expect_err("must unwind before the body");
+        assert!(payload.downcast_ref::<JobCancelled>().is_some());
+        assert_eq!(metrics.tasks_cancelled(), 1);
     }
 
     #[test]

@@ -28,7 +28,10 @@ use flowmark_core::config::EngineConfig;
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
-use crate::faults::{run_recoverable, FaultPlan, RecoveryKind, StreamFault};
+use crate::faults::{
+    check_cancelled, run_recoverable, CancelToken, FaultPlan, JobCancelled, RecoveryKind,
+    StreamFault,
+};
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
@@ -51,6 +54,9 @@ struct EnvInner {
     faults: FaultPlan,
     /// Monotone id source keying injection decisions per exchange/action.
     next_stage: AtomicU64,
+    /// Job-level cancellation: set by the serve layer on deadline expiry
+    /// or explicit cancel; producers, consumers and sink tasks observe it.
+    cancel: CancelToken,
 }
 
 /// The execution environment ("ExecutionEnvironment"). Cheap to clone.
@@ -94,6 +100,19 @@ impl FlinkEnv {
 
     /// [`FlinkEnv::with_config`] plus a fault-injection plan.
     pub fn with_config_and_faults(config: &EngineConfig, faults: FaultPlan) -> Self {
+        Self::with_config_faults_cancel(config, faults, CancelToken::new())
+    }
+
+    /// The full constructor: config, fault plan, and a job-level
+    /// [`CancelToken`]. Setting the token tears down any in-flight job on
+    /// this environment: pipeline pumps unwind with a
+    /// [`crate::faults::JobCancelled`] payload and channels drain as the
+    /// task scope joins.
+    pub fn with_config_faults_cancel(
+        config: &EngineConfig,
+        faults: FaultPlan,
+        cancel: CancelToken,
+    ) -> Self {
         config.validate().expect("invalid engine config");
         Self {
             inner: Arc::new(EnvInner {
@@ -105,6 +124,7 @@ impl FlinkEnv {
                 peak_tasks: AtomicU64::new(0),
                 faults,
                 next_stage: AtomicU64::new(0),
+                cancel,
             }),
         }
     }
@@ -122,6 +142,11 @@ impl FlinkEnv {
     /// The environment's fault plan (disabled outside chaos runs).
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.faults
+    }
+
+    /// The job-level cancellation token every pipeline task polls.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.inner.cancel
     }
 
     pub(crate) fn next_stage_id(&self) -> u64 {
@@ -317,6 +342,7 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
                     let op = Arc::clone(&self.op);
                     scope.spawn(move || {
                         env.task_started();
+                        let cancel = env.cancel_token();
                         let out = if plan.active() {
                             run_recoverable(
                                 plan,
@@ -325,9 +351,11 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
                                 RecoveryKind::Region,
                                 stage,
                                 p,
+                                cancel,
                                 &|| op.compute(env, p),
                             )
                         } else {
+                            check_cancelled(cancel, env.metrics(), stage, p);
                             op.compute(env, p)
                         };
                         env.task_finished();
@@ -335,7 +363,14 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("task panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    // Preserve the panic payload (JobCancelled must reach
+                    // the serve layer intact, not as a joined-thread Any).
+                    h.join().unwrap_or_else(|p| resume_unwind(p))
+                })
+                .collect()
         })
     }
 
@@ -657,6 +692,10 @@ pub(crate) struct Outbox<T> {
     fault: StreamFault,
     /// Counts sends that found the channel full (backpressure stalls).
     metrics: EngineMetrics,
+    /// Exchange stage id, for the cancellation teardown payload.
+    stage: u64,
+    /// Job-level token: a set token unwinds the producer mid-stream.
+    cancel: CancelToken,
 }
 
 impl<T> Outbox<T> {
@@ -668,6 +707,7 @@ impl<T> Outbox<T> {
     /// Streams one record to `channel`, running the per-record fault hook
     /// (which may inject a mid-stream kill or straggler slowdown).
     pub(crate) fn send(&mut self, channel: usize, record: T) {
+        check_cancelled(&self.cancel, &self.metrics, self.stage, self.producer);
         self.fault.on_event();
         self.sent += 1;
         if self.sent <= self.skip {
@@ -901,6 +941,15 @@ where
                             // receiver, dropping it mid-stream: blocked
                             // producers see a disconnect, not a deadlock.
                             for msg in rx.iter() {
+                                // A set job token unwinds the pump here;
+                                // the dropped receiver disconnects blocked
+                                // producers, so teardown cannot deadlock.
+                                check_cancelled(
+                                    env.cancel_token(),
+                                    metrics,
+                                    stage,
+                                    in_parts + c,
+                                );
                                 fault.on_event();
                                 match msg {
                                     Msg::Record(p, t) => state.bufs[p].push(t),
@@ -945,6 +994,8 @@ where
                                 failed: Arc::clone(&failed),
                                 fault,
                                 metrics: metrics.clone(),
+                                stage,
+                                cancel: env.cancel_token().clone(),
                             };
                             produce(env, &mut outbox, p);
                             outbox.finish();
@@ -963,9 +1014,19 @@ where
             if !failed.load(Ordering::Relaxed) {
                 break;
             }
+            let payload = first_panic.into_inner();
+            // A job-level cancel is teardown, not a fault: the scope has
+            // already joined every task and dropped the channels, so
+            // resume the JobCancelled unwind instead of restarting.
+            if payload
+                .as_ref()
+                .is_some_and(|p| p.downcast_ref::<JobCancelled>().is_some())
+            {
+                resume_unwind(payload.expect("checked above"));
+            }
             attempt += 1;
             if attempt >= max_attempts {
-                match first_panic.into_inner() {
+                match payload {
                     Some(payload) => resume_unwind(payload),
                     None => panic!("pipelined region failed after {attempt} attempts"),
                 }
@@ -1267,6 +1328,8 @@ mod tests {
                 failed: Arc::clone(&flag),
                 fault: plan.stream_fault(&metrics, 0, 0, 0, Arc::new(AtomicBool::new(false))),
                 metrics: metrics.clone(),
+                stage: 0,
+                cancel: CancelToken::new(),
             };
             outbox.send(0, 1u32);
             outbox.finish();

@@ -37,7 +37,7 @@ pub mod spark;
 pub mod streaming;
 
 pub use cache::StorageLevel;
-pub use faults::{FaultConfig, FaultPlan};
+pub use faults::{CancelToken, FaultConfig, FaultPlan, JobCancelled};
 pub use flink::{DataSet, FlinkEnv};
 pub use iterate::{
     bulk_iterate, vertex_centric, IterationError, IterationMode, PartitionedGraph,

@@ -44,6 +44,7 @@ struct Counters {
     speculative_wins: AtomicU64,
     memory_pressure_events: AtomicU64,
     pool_exhausted: AtomicU64,
+    tasks_cancelled: AtomicU64,
 }
 
 /// Point-in-time copy of *every* counter, serializable so tune/chaos/bench
@@ -108,6 +109,10 @@ pub struct RecoverySnapshot {
     pub memory_pressure_events: u64,
     /// Buffer-pool exhaustion events that forced an early merge-spill.
     pub pool_exhausted: u64,
+    /// Tasks torn down by a job-level cancel (deadline or explicit);
+    /// `default` keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub tasks_cancelled: u64,
 }
 
 macro_rules! counter_api {
@@ -156,6 +161,7 @@ impl EngineMetrics {
         speculative_wins => add_speculative_wins, speculative_wins;
         memory_pressure_events => add_memory_pressure_events, memory_pressure_events;
         pool_exhausted => add_pool_exhausted, pool_exhausted;
+        tasks_cancelled => add_tasks_cancelled, tasks_cancelled;
     }
 
     /// Copies every counter out as one serializable struct.
@@ -192,6 +198,7 @@ impl EngineMetrics {
             speculative_wins: self.speculative_wins(),
             memory_pressure_events: self.memory_pressure_events(),
             pool_exhausted: self.pool_exhausted(),
+            tasks_cancelled: self.tasks_cancelled(),
         }
     }
 

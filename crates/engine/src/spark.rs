@@ -28,7 +28,9 @@ use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 
 use crate::cache::{BlockCache, StorageLevel};
-use crate::faults::{run_recoverable, FaultPlan, RecoveryKind, StageStats};
+use crate::faults::{
+    check_cancelled, run_recoverable, CancelToken, FaultPlan, RecoveryKind, StageStats,
+};
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
 use crate::shuffle::{exchange, partition_combine, partition_records, take_partition};
@@ -46,6 +48,9 @@ struct CtxInner {
     start: Instant,
     faults: FaultPlan,
     stage_stats: StageStats,
+    /// Job-level cancellation: set by the serve layer on deadline expiry
+    /// or explicit cancel; every staged task observes it at launch.
+    cancel: CancelToken,
 }
 
 /// The driver ("SparkContext"). Cheap to clone.
@@ -87,6 +92,18 @@ impl SparkContext {
 
     /// [`SparkContext::with_config`] plus a fault-injection plan.
     pub fn with_config_and_faults(config: &EngineConfig, faults: FaultPlan) -> Self {
+        Self::with_config_faults_cancel(config, faults, CancelToken::new())
+    }
+
+    /// The full constructor: config, fault plan, and a job-level
+    /// [`CancelToken`]. Setting the token tears down any in-flight action
+    /// on this context (tasks unwind with a
+    /// [`crate::faults::JobCancelled`] payload).
+    pub fn with_config_faults_cancel(
+        config: &EngineConfig,
+        faults: FaultPlan,
+        cancel: CancelToken,
+    ) -> Self {
         config.validate().expect("invalid engine config");
         Self {
             inner: Arc::new(CtxInner {
@@ -98,6 +115,7 @@ impl SparkContext {
                 start: Instant::now(),
                 faults,
                 stage_stats: StageStats::new(),
+                cancel,
             }),
         }
     }
@@ -110,6 +128,11 @@ impl SparkContext {
     /// The fault plan tasks run under.
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.faults
+    }
+
+    /// The job-level cancellation token every task on this context polls.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.inner.cancel
     }
 
     /// Run metrics handle.
@@ -250,10 +273,14 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
             .metrics()
             .add_tasks_launched(self.partitions as u64);
         let plan = self.ctx.faults();
+        let cancel = self.ctx.cancel_token();
         if !plan.active() {
             return (0..self.partitions)
                 .into_par_iter()
-                .map(|p| self.compute(p))
+                .map(|p| {
+                    check_cancelled(cancel, self.ctx.metrics(), self.id as u64, p);
+                    self.compute(p)
+                })
                 .collect();
         }
         // Stage = this RDD; one recoverable task per partition. A retry
@@ -269,6 +296,7 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
                     RecoveryKind::Lineage,
                     self.id as u64,
                     p,
+                    cancel,
                     &|| self.compute(p),
                 )
             })

@@ -1,0 +1,109 @@
+//! Typed harness errors.
+//!
+//! The experiment runners and the `repro` binary used to `.expect()` their
+//! way through config validation and filesystem writes, so a bad `--out`
+//! path or a malformed experiment config died with a panic and a
+//! backtrace. Every fallible harness path now threads a [`HarnessError`]
+//! up to `main`, which prints the message and exits non-zero.
+
+use flowmark_sim::SimError;
+
+/// Any error a harness entry point can surface.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// An experiment preset failed simulator validation.
+    Sim(SimError),
+    /// A filesystem read/write failed; `path` says where.
+    Io {
+        /// The path the operation targeted.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A report failed to (de)serialize.
+    Json(serde_json::Error),
+    /// A CLI flag's value did not parse.
+    BadFlag {
+        /// The flag name, e.g. `--seed`.
+        flag: String,
+        /// The rejected value.
+        value: String,
+    },
+    /// The command line itself was malformed.
+    Usage(String),
+}
+
+impl HarnessError {
+    /// Attaches path context to an I/O error.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        Self::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this error maps to: `2` for operator mistakes
+    /// (bad flags, unknown commands), `1` for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::BadFlag { .. } | Self::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "experiment config rejected: {e}"),
+            Self::Io { path, source } => write!(f, "{path}: {source}"),
+            Self::Json(e) => write!(f, "report serialization failed: {e}"),
+            Self::BadFlag { flag, value } => write!(f, "bad {flag}: '{value}'"),
+            Self::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sim(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            Self::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for HarnessError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<serde_json::Error> for HarnessError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_exit_codes() {
+        let bad = HarnessError::BadFlag {
+            flag: "--seed".into(),
+            value: "xyz".into(),
+        };
+        assert_eq!(bad.to_string(), "bad --seed: 'xyz'");
+        assert_eq!(bad.exit_code(), 2);
+        let io = HarnessError::io(
+            "/no/such/dir/out.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing"),
+        );
+        assert!(io.to_string().starts_with("/no/such/dir/out.json: "));
+        assert_eq!(io.exit_code(), 1);
+    }
+}

@@ -7,17 +7,22 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bench;
 pub mod chaos;
+pub mod error;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod soak;
 pub mod tune;
 
 use flowmark_core::config::Framework;
 use flowmark_core::experiment::Figure;
 use flowmark_sim::Calibration;
+
+pub use error::HarnessError;
 
 /// How a reproduced figure compares with the paper.
 #[derive(Debug, Clone)]
@@ -67,7 +72,7 @@ pub fn check_shape(fig: &Figure, expected: paper::ExpectedWinner) -> ShapeCheck 
 /// Prints a compact paper-vs-simulated table for the experiments with
 /// caption-exact reference totals — the tool used to calibrate
 /// [`Calibration`] once.
-pub fn calibration_report(cal: &Calibration) -> String {
+pub fn calibration_report(cal: &Calibration) -> Result<String, HarnessError> {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
@@ -95,33 +100,33 @@ pub fn calibration_report(cal: &Calibration) -> String {
             s / f
         );
     };
-    row("WC 32n (fig1)", paper::WC_32_NODES, &experiments::fig1(cal), 32.0);
-    row("Grep 32n (fig4)", paper::GREP_32_NODES, &experiments::fig4(cal), 32.0);
+    row("WC 32n (fig1)", paper::WC_32_NODES, &experiments::fig1(cal)?, 32.0);
+    row("Grep 32n (fig4)", paper::GREP_32_NODES, &experiments::fig4(cal)?, 32.0);
     row(
         "TeraSort 55n (fig8)",
         paper::TERASORT_55_NODES,
-        &experiments::fig8(cal),
+        &experiments::fig8(cal)?,
         55.0,
     );
     row(
         "KMeans 24n (fig11)",
         paper::KMEANS_24_NODES,
-        &experiments::fig11(cal),
+        &experiments::fig11(cal)?,
         24.0,
     );
     row(
         "PR small 27n (fig12)",
         paper::PAGERANK_SMALL_27_NODES,
-        &experiments::fig12(cal),
+        &experiments::fig12(cal)?,
         27.0,
     );
     row(
         "CC medium 27n (fig15)",
         paper::CC_MEDIUM_27_NODES,
-        &experiments::fig15(cal),
+        &experiments::fig15(cal)?,
         27.0,
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -9,12 +9,18 @@
 //! repro bench --smoke     # time the real-engine hot path, write BENCH_PR1.json
 //! repro chaos             # fault-injection drill: kill + straggle every workload
 //! repro tune --smoke      # bottleneck-guided auto-tune of both engines, write BENCH_PR3.json
+//! repro soak --smoke      # chaos-soak the supervised job service, write BENCH_PR4.json
 //! ```
+//!
+//! Every fallible path (bad flags, unwritable `--out`, invalid experiment
+//! configs) surfaces a [`HarnessError`] and a non-zero exit, never a panic.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use flowmark_core::report::{render_correlation, render_figure, render_series};
 use flowmark_core::telemetry::ResourceKind;
 use flowmark_harness::experiments::{self, ResourceFigure};
-use flowmark_harness::{calibration_report, check_shape, paper, report};
+use flowmark_harness::{calibration_report, check_shape, paper, report, HarnessError};
 use flowmark_sim::Calibration;
 
 fn print_resource_figure(rf: &ResourceFigure) {
@@ -41,7 +47,41 @@ fn print_resource_figure(rf: &ResourceFigure) {
     }
 }
 
+/// Looks up `--name value` in the argument rest.
+fn flag_value(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+/// Parses `--name value`, surfacing a typed error on garbage.
+fn parsed_flag<T: std::str::FromStr>(
+    rest: &[String],
+    name: &str,
+) -> Result<Option<T>, HarnessError> {
+    match flag_value(rest, name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| HarnessError::BadFlag {
+            flag: name.into(),
+            value: v,
+        }),
+    }
+}
+
+/// Writes a file with path context on failure.
+fn write_file(path: &str, contents: String) -> Result<(), HarnessError> {
+    std::fs::write(path, contents).map_err(|e| HarnessError::io(path, e))
+}
+
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("repro: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let cal = Calibration::default();
     let arg = std::env::args().nth(1).unwrap_or_else(|| "list".into());
     match arg.as_str() {
@@ -53,26 +93,35 @@ fn main() {
             println!("meta         : calibration verify all export <figN>");
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
             println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--tiny] [--out FILE]");
+            println!("             : soak [--smoke] [--seed N] [--out FILE]");
             println!("tuning       : tune [--smoke] [--seed N] [--out FILE]");
+        }
+        "soak" => {
+            use flowmark_harness::soak::{self, SoakConfig, SoakScale};
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            let seed: u64 = parsed_flag(&rest, "--seed")?.unwrap_or(1);
+            let scale = if rest.iter().any(|a| a == "--smoke") {
+                SoakScale::smoke()
+            } else {
+                SoakScale::full()
+            };
+            let report = soak::run_soak(SoakConfig::new(seed), scale);
+            print!("{}", soak::render(&report));
+            if let Some(out_path) = flag_value(&rest, "--out") {
+                let json = serde_json::to_string_pretty(&report)?;
+                write_file(&out_path, json + "\n")?;
+                println!("wrote {out_path}");
+            }
+            if !report.passed() {
+                eprintln!("soak invariants violated");
+                std::process::exit(1);
+            }
         }
         "tune" => {
             use flowmark_harness::tune::{self, TuneOptions};
             use flowmark_tune::TuneScale;
             let rest: Vec<String> = std::env::args().skip(2).collect();
-            let flag = |name: &str| {
-                rest.iter()
-                    .position(|a| a == name)
-                    .and_then(|i| rest.get(i + 1))
-                    .cloned()
-            };
-            let seed: u64 = flag("--seed")
-                .map(|v| {
-                    v.parse().unwrap_or_else(|_| {
-                        eprintln!("bad --seed: '{v}'");
-                        std::process::exit(2);
-                    })
-                })
-                .unwrap_or(1);
+            let seed: u64 = parsed_flag(&rest, "--seed")?.unwrap_or(1);
             let smoke = rest.iter().any(|a| a == "--smoke");
             let (opts, scale) = if smoke {
                 (TuneOptions::smoke(seed), TuneScale::smoke())
@@ -81,9 +130,9 @@ fn main() {
             };
             let report = tune::run_tune(&opts, scale);
             print!("{}", tune::render(&report));
-            let out_path = flag("--out").unwrap_or_else(|| "BENCH_PR3.json".into());
-            let json = serde_json::to_string_pretty(&report).expect("tune report serialises");
-            std::fs::write(&out_path, json + "\n").expect("write tune report");
+            let out_path = flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR3.json".into());
+            let json = serde_json::to_string_pretty(&report)?;
+            write_file(&out_path, json + "\n")?;
             println!("wrote {out_path}");
             if report.cells.iter().any(|c| !c.all_verified) {
                 eprintln!("a tuning trial diverged from the sequential oracle");
@@ -93,26 +142,11 @@ fn main() {
         "chaos" => {
             use flowmark_harness::chaos::{self, ChaosConfig, ChaosScale};
             let rest: Vec<String> = std::env::args().skip(2).collect();
-            let flag = |name: &str| {
-                rest.iter()
-                    .position(|a| a == name)
-                    .and_then(|i| rest.get(i + 1))
-                    .cloned()
-            };
-            fn parsed<T: std::str::FromStr>(name: &str, value: Option<String>) -> Option<T> {
-                value.map(|v| {
-                    v.parse().unwrap_or_else(|_| {
-                        eprintln!("bad {name}: '{v}'");
-                        std::process::exit(2);
-                    })
-                })
-            }
-            let mut config =
-                ChaosConfig::new(parsed("--seed", flag("--seed")).unwrap_or(1u64));
-            if let Some(p) = parsed("--fail-prob", flag("--fail-prob")) {
+            let mut config = ChaosConfig::new(parsed_flag(&rest, "--seed")?.unwrap_or(1u64));
+            if let Some(p) = parsed_flag(&rest, "--fail-prob")? {
                 config.task_failure_prob = p;
             }
-            if let Some(p) = parsed("--straggler-prob", flag("--straggler-prob")) {
+            if let Some(p) = parsed_flag(&rest, "--straggler-prob")? {
                 config.straggler_prob = p;
             }
             let scale = if rest.iter().any(|a| a == "--tiny") {
@@ -122,9 +156,9 @@ fn main() {
             };
             let report = chaos::run_chaos(config, scale);
             print!("{}", chaos::render(&report));
-            if let Some(out_path) = flag("--out") {
-                let json = serde_json::to_string_pretty(&report).expect("chaos report serialises");
-                std::fs::write(&out_path, json + "\n").expect("write chaos report");
+            if let Some(out_path) = flag_value(&rest, "--out") {
+                let json = serde_json::to_string_pretty(&report)?;
+                write_file(&out_path, json + "\n")?;
                 println!("wrote {out_path}");
             }
             if report.cells.iter().any(|c| !c.verified) {
@@ -136,19 +170,15 @@ fn main() {
             use flowmark_harness::bench::{self, SmokeScale};
             let rest: Vec<String> = std::env::args().skip(2).collect();
             if !rest.iter().any(|a| a == "--smoke") {
-                eprintln!("usage: repro bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
-                std::process::exit(2);
+                return Err(HarnessError::Usage(
+                    "usage: repro bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]"
+                        .into(),
+                ));
             }
-            let flag = |name: &str| {
-                rest.iter()
-                    .position(|a| a == name)
-                    .and_then(|i| rest.get(i + 1))
-                    .cloned()
-            };
-            let label = flag("--label").unwrap_or_else(|| "optimized".into());
-            let out_path = flag("--out").unwrap_or_else(|| "BENCH_PR1.json".into());
+            let label = flag_value(&rest, "--label").unwrap_or_else(|| "optimized".into());
+            let out_path = flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR1.json".into());
             let baseline_path =
-                flag("--seed-baseline").unwrap_or_else(|| "BENCH_PR1_SEED.json".into());
+                flag_value(&rest, "--seed-baseline").unwrap_or_else(|| "BENCH_PR1_SEED.json".into());
             let report = bench::run_smoke(SmokeScale::full(), &label);
             // A `seed`-labelled run IS the baseline capture; anything else
             // embeds the committed baseline when present and reports
@@ -170,8 +200,8 @@ fn main() {
                 eprintln!("bench output diverged from the sequential oracle");
                 std::process::exit(1);
             }
-            let json = serde_json::to_string_pretty(&comparison).expect("bench report serialises");
-            std::fs::write(&out_path, json + "\n").expect("write bench report");
+            let json = serde_json::to_string_pretty(&comparison)?;
+            write_file(&out_path, json + "\n")?;
             println!("wrote {out_path}");
         }
         "table1" => {
@@ -193,43 +223,44 @@ fn main() {
             use flowmark_core::export::{figure_to_csv, figure_to_json};
             let which = std::env::args().nth(2).unwrap_or_else(|| "fig1".into());
             let fig = match which.as_str() {
-                "fig1" => experiments::fig1(&cal),
-                "fig2" => experiments::fig2(&cal),
-                "fig4" => experiments::fig4(&cal),
-                "fig5" => experiments::fig5(&cal),
-                "fig7" => experiments::fig7(&cal),
-                "fig8" => experiments::fig8(&cal),
-                "fig11" => experiments::fig11(&cal),
-                "fig12" => experiments::fig12(&cal),
-                "fig13" => experiments::fig13(&cal),
-                "fig14" => experiments::fig14(&cal),
-                "fig15" => experiments::fig15(&cal),
+                "fig1" => experiments::fig1(&cal)?,
+                "fig2" => experiments::fig2(&cal)?,
+                "fig4" => experiments::fig4(&cal)?,
+                "fig5" => experiments::fig5(&cal)?,
+                "fig7" => experiments::fig7(&cal)?,
+                "fig8" => experiments::fig8(&cal)?,
+                "fig11" => experiments::fig11(&cal)?,
+                "fig12" => experiments::fig12(&cal)?,
+                "fig13" => experiments::fig13(&cal)?,
+                "fig14" => experiments::fig14(&cal)?,
+                "fig15" => experiments::fig15(&cal)?,
                 other => {
-                    eprintln!("cannot export '{other}' (time figures only)");
-                    std::process::exit(2);
+                    return Err(HarnessError::Usage(format!(
+                        "cannot export '{other}' (time figures only)"
+                    )));
                 }
             };
-            std::fs::create_dir_all("artifacts").expect("mkdir artifacts");
+            std::fs::create_dir_all("artifacts").map_err(|e| HarnessError::io("artifacts", e))?;
             let json_path = format!("artifacts/{which}.json");
             let csv_path = format!("artifacts/{which}.csv");
-            std::fs::write(&json_path, figure_to_json(&fig)).expect("write json");
-            std::fs::write(&csv_path, figure_to_csv(&fig)).expect("write csv");
+            write_file(&json_path, figure_to_json(&fig))?;
+            write_file(&csv_path, figure_to_csv(&fig))?;
             println!("wrote {json_path} and {csv_path}");
         }
         "fig1" | "fig2" | "fig4" | "fig5" | "fig7" | "fig8" | "fig11" | "fig12" | "fig13"
         | "fig14" | "fig15" => {
             let fig = match arg.as_str() {
-                "fig1" => experiments::fig1(&cal),
-                "fig2" => experiments::fig2(&cal),
-                "fig4" => experiments::fig4(&cal),
-                "fig5" => experiments::fig5(&cal),
-                "fig7" => experiments::fig7(&cal),
-                "fig8" => experiments::fig8(&cal),
-                "fig11" => experiments::fig11(&cal),
-                "fig12" => experiments::fig12(&cal),
-                "fig13" => experiments::fig13(&cal),
-                "fig14" => experiments::fig14(&cal),
-                _ => experiments::fig15(&cal),
+                "fig1" => experiments::fig1(&cal)?,
+                "fig2" => experiments::fig2(&cal)?,
+                "fig4" => experiments::fig4(&cal)?,
+                "fig5" => experiments::fig5(&cal)?,
+                "fig7" => experiments::fig7(&cal)?,
+                "fig8" => experiments::fig8(&cal)?,
+                "fig11" => experiments::fig11(&cal)?,
+                "fig12" => experiments::fig12(&cal)?,
+                "fig13" => experiments::fig13(&cal)?,
+                "fig14" => experiments::fig14(&cal)?,
+                _ => experiments::fig15(&cal)?,
             };
             print!("{}", render_figure(&fig));
             let expect_id = if arg == "fig1" { "fig1-large" } else { arg.as_str() };
@@ -244,14 +275,14 @@ fn main() {
                 }
             );
         }
-        "fig3" => print_resource_figure(&experiments::fig3(&cal)),
-        "fig6" => print_resource_figure(&experiments::fig6(&cal)),
-        "fig9" => print_resource_figure(&experiments::fig9(&cal)),
-        "fig10" => print_resource_figure(&experiments::fig10(&cal)),
-        "fig16" => print_resource_figure(&experiments::fig16(&cal)),
-        "fig17" => print_resource_figure(&experiments::fig17(&cal)),
+        "fig3" => print_resource_figure(&experiments::fig3(&cal)?),
+        "fig6" => print_resource_figure(&experiments::fig6(&cal)?),
+        "fig9" => print_resource_figure(&experiments::fig9(&cal)?),
+        "fig10" => print_resource_figure(&experiments::fig10(&cal)?),
+        "fig16" => print_resource_figure(&experiments::fig16(&cal)?),
+        "fig17" => print_resource_figure(&experiments::fig17(&cal)?),
         "table7" => {
-            for r in experiments::table7(&cal) {
+            for r in experiments::table7(&cal)? {
                 println!(
                     "{:>3} nodes | Flink PR {}/{} | Spark PR {}/{} | Flink CC {}/{} | Spark CC {}/{}",
                     r.nodes,
@@ -267,44 +298,44 @@ fn main() {
             }
         }
         "abl-delta" => {
-            let (bulk, delta) = experiments::ablation_delta(&cal);
+            let (bulk, delta) = experiments::ablation_delta(&cal)?;
             println!("CC Medium 27n: bulk {bulk:.0}s, delta {delta:.0}s ({:.2}x)", bulk / delta);
         }
         "abl-serde" => {
-            let (java, kryo) = experiments::ablation_serializer(&cal);
+            let (java, kryo) = experiments::ablation_serializer(&cal)?;
             println!("Spark WC 16n: Java {java:.0}s, Kryo {kryo:.0}s");
         }
         "abl-par" => {
-            let (tuned, reduced) = experiments::ablation_parallelism(&cal);
+            let (tuned, reduced) = experiments::ablation_parallelism(&cal)?;
             println!(
                 "Spark WC 8n: tuned {tuned:.0}s, 2xcores {reduced:.0}s ({:+.1}%)",
                 (reduced - tuned) / tuned * 100.0
             );
         }
         "abl-part" => {
-            for (ep, t) in experiments::ablation_partitions(&cal) {
+            for (ep, t) in experiments::ablation_partitions(&cal)? {
                 println!("PR Medium 24n, spark.edge.partition = {ep:>5}: {t:.0}s");
             }
         }
         "abl-mem" => {
-            let (s, f) = experiments::ablation_terasort_memory(&cal);
+            let (s, f) = experiments::ablation_terasort_memory(&cal)?;
             println!("TeraSort 27n x 75GB: Spark {s:.0}s, Flink {f:.0}s");
         }
         "verify" => {
             // CI-style check: every time figure's winner must match the
             // paper's expectation; exits non-zero otherwise.
             let checks = [
-                ("fig1-large", experiments::fig1(&cal)),
-                ("fig2", experiments::fig2(&cal)),
-                ("fig4", experiments::fig4(&cal)),
-                ("fig5", experiments::fig5(&cal)),
-                ("fig7", experiments::fig7(&cal)),
-                ("fig8", experiments::fig8(&cal)),
-                ("fig11", experiments::fig11(&cal)),
-                ("fig12", experiments::fig12(&cal)),
-                ("fig13", experiments::fig13(&cal)),
-                ("fig14", experiments::fig14(&cal)),
-                ("fig15", experiments::fig15(&cal)),
+                ("fig1-large", experiments::fig1(&cal)?),
+                ("fig2", experiments::fig2(&cal)?),
+                ("fig4", experiments::fig4(&cal)?),
+                ("fig5", experiments::fig5(&cal)?),
+                ("fig7", experiments::fig7(&cal)?),
+                ("fig8", experiments::fig8(&cal)?),
+                ("fig11", experiments::fig11(&cal)?),
+                ("fig12", experiments::fig12(&cal)?),
+                ("fig13", experiments::fig13(&cal)?),
+                ("fig14", experiments::fig14(&cal)?),
+                ("fig15", experiments::fig15(&cal)?),
             ];
             let mut failures = 0;
             for (id, fig) in checks {
@@ -320,7 +351,7 @@ fn main() {
                 }
             }
             // Table VII failure pattern.
-            let rows = experiments::table7(&cal);
+            let rows = experiments::table7(&cal)?;
             let t7_ok = rows.iter().all(|r| match r.nodes {
                 27 | 44 => {
                     r.flink_pr.0.is_failure()
@@ -344,11 +375,13 @@ fn main() {
             }
             println!("all shapes match the paper");
         }
-        "calibration" => print!("{}", calibration_report(&cal)),
-        "all" => print!("{}", report::experiments_markdown(&cal)),
+        "calibration" => print!("{}", calibration_report(&cal)?),
+        "all" => print!("{}", report::experiments_markdown(&cal)?),
         other => {
-            eprintln!("unknown experiment '{other}'; try `repro list`");
-            std::process::exit(2);
+            return Err(HarnessError::Usage(format!(
+                "unknown experiment '{other}'; try `repro list`"
+            )));
         }
     }
+    Ok(())
 }

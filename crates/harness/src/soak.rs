@@ -1,0 +1,943 @@
+//! `repro soak`: a seeded chaos-soak drill of the supervised job service.
+//!
+//! Where `repro chaos` exercises *task-level* recovery inside a single
+//! job, the soak drives the whole [`flowmark_serve::JobService`] stack:
+//! admission control, deadlines, explicit cancellation, retry budgets and
+//! per-engine circuit breakers — all while the jobs themselves run the six
+//! paper workloads on both engines under `FaultConfig::chaos` injection
+//! and verify every completion against the sequential oracle.
+//!
+//! The drill is phased so each supervision mechanism is *guaranteed* to
+//! fire at least once for any seed, then a seeded randomized mix of
+//! workload × engine cells soaks the service. At exit it asserts the
+//! ledger: every submission resolved (none lost), oracle checks clean,
+//! memory budget drained to zero, workers joined.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowmark_core::config::{EngineConfig, Framework, ServiceConfig};
+use flowmark_datagen::graph::{RmatGen, RmatParams};
+use flowmark_datagen::points::{Point, PointsConfig, PointsGen};
+use flowmark_datagen::terasort::{Record, TeraGen};
+use flowmark_datagen::text::{TextGen, TextGenConfig};
+use flowmark_engine::faults::check_cancelled;
+use flowmark_engine::flink::FlinkEnv;
+use flowmark_engine::spark::SparkContext;
+use flowmark_engine::{CancelToken, EngineMetrics, FaultConfig, FaultPlan};
+use flowmark_serve::{BreakerState, HealthSnapshot, JobRequest, JobService, Rejected, Resolution};
+use flowmark_workloads::connected::{self, CcVariant};
+use flowmark_workloads::{grep, kmeans, pagerank, terasort, wordcount};
+use serde::{Deserialize, Serialize};
+
+/// Fixed dataset seeds, mirroring the chaos drill and the smoke bench.
+const WC_SEED: u64 = 7;
+const GREP_SEED: u64 = 3;
+const TS_SEED: u64 = 11;
+const KM_SEED: u64 = 5;
+const PR_SEED: u64 = 21;
+const CC_SEED: u64 = 33;
+
+/// The six workload ids, in mix-phase selection order.
+const WORKLOADS: [&str; 6] = [
+    "wordcount",
+    "grep",
+    "terasort",
+    "kmeans",
+    "pagerank",
+    "connected",
+];
+
+/// splitmix64, the workspace-standard deterministic bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+}
+
+/// Soak knobs, settable from the `repro soak` CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Root seed: drives the service's breaker/backoff jitter, every mix
+    /// cell's workload choice, and every injected fault plan.
+    pub seed: u64,
+}
+
+impl SoakConfig {
+    /// The default drill at a given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The service the soak supervises: a deliberately tight queue (so
+    /// overload sheds are reachable), two workers, a generous default
+    /// deadline, and breakers that trip after two consecutive failures.
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 4,
+            memory_budget_bytes: 8 << 30,
+            default_deadline_ms: 120_000,
+            retry_budget: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 8,
+            seed: self.seed,
+            breaker_threshold: 2,
+            // Cooldown 2 jitters to a shed target in [2, 4], so an open
+            // breaker always sheds at least one submission before probing.
+            breaker_cooldown: 2,
+            workers: 2,
+        }
+    }
+}
+
+/// Input sizes and mix length for one soak.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakScale {
+    /// Word Count / Grep corpus lines.
+    pub lines: usize,
+    /// TeraSort records.
+    pub ts_records: usize,
+    /// K-Means points.
+    pub points: usize,
+    /// Page Rank / Connected Components edges.
+    pub edges: usize,
+    /// Iterations for the iterative workloads.
+    pub rounds: u32,
+    /// Engine parallelism.
+    pub partitions: usize,
+    /// Mixed-phase jobs (each a seeded workload × engine cell under
+    /// chaos injection).
+    pub mix_jobs: usize,
+}
+
+impl SoakScale {
+    /// CLI scale.
+    pub fn full() -> Self {
+        Self {
+            lines: 20_000,
+            ts_records: 20_000,
+            points: 12_000,
+            edges: 6_000,
+            rounds: 6,
+            partitions: 8,
+            mix_jobs: 36,
+        }
+    }
+
+    /// Smoke scale: small datasets, few mix jobs, still enough tasks per
+    /// cell for the guaranteed kill and straggler to land.
+    pub fn smoke() -> Self {
+        Self {
+            lines: 1_200,
+            ts_records: 1_200,
+            points: 1_500,
+            edges: 1_000,
+            rounds: 4,
+            partitions: 4,
+            mix_jobs: 12,
+        }
+    }
+}
+
+/// Per-engine job ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineTally {
+    /// Jobs admitted for this engine.
+    pub submitted: u64,
+    /// Jobs that ran to completion (oracle-verified for mix cells).
+    pub completed: u64,
+    /// Jobs whose every attempt failed.
+    pub failed: u64,
+    /// Jobs torn down by deadline expiry.
+    pub timed_out: u64,
+    /// Jobs torn down by explicit cancellation.
+    pub cancelled: u64,
+    /// Submissions shed at admission for this engine.
+    pub shed: u64,
+}
+
+/// The soak artifact: the ledger, the exercised-mechanism counters, and
+/// the service's final health snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// Root seed of the drill.
+    pub seed: u64,
+    /// Engine parallelism inside each job.
+    pub partitions: usize,
+    /// Mixed-phase jobs run.
+    pub mix_jobs: usize,
+    /// Staged-engine ledger.
+    pub spark: EngineTally,
+    /// Pipelined-engine ledger.
+    pub flink: EngineTally,
+    /// Submissions shed because the bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Submissions shed because they would overcommit the memory budget.
+    pub shed_over_budget: u64,
+    /// Submissions shed by an open circuit breaker.
+    pub shed_breaker_open: u64,
+    /// Jobs that timed out at their deadline.
+    pub timeouts: u64,
+    /// Jobs cancelled explicitly via their handle.
+    pub explicit_cancels: u64,
+    /// Jobs that failed at least one whole attempt and then completed.
+    pub retries_then_success: u64,
+    /// Whether a circuit breaker opened (and was later healed by a probe).
+    pub breaker_opened: bool,
+    /// Completions whose output diverged from the sequential oracle.
+    pub oracle_failures: u64,
+    /// Whether `JobService::shutdown` returned, i.e. every worker thread
+    /// was joined.
+    pub workers_joined: bool,
+    /// The service's final health snapshot, taken at shutdown.
+    pub health: HealthSnapshot,
+}
+
+impl SoakReport {
+    /// The exit invariants, as human-readable violations; empty means the
+    /// soak passed.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.health.drained() {
+            v.push(format!(
+                "ledger does not balance: {} admitted vs {} resolved ({} queued, {} in flight)",
+                self.health.jobs_admitted,
+                self.health.jobs_completed
+                    + self.health.jobs_failed
+                    + self.health.jobs_timed_out
+                    + self.health.jobs_cancelled,
+                self.health.queue_depth,
+                self.health.in_flight,
+            ));
+        }
+        if self.health.budget_in_use_bytes != 0 {
+            v.push(format!(
+                "memory budget not drained: {} B still reserved",
+                self.health.budget_in_use_bytes
+            ));
+        }
+        if self.oracle_failures != 0 {
+            v.push(format!(
+                "{} completion(s) diverged from the oracle",
+                self.oracle_failures
+            ));
+        }
+        if !self.workers_joined {
+            v.push("worker threads were not joined".into());
+        }
+        let must_fire = [
+            (self.shed_queue_full, "queue-full shed"),
+            (self.shed_over_budget, "over-budget shed"),
+            (self.shed_breaker_open, "breaker-open shed"),
+            (self.timeouts, "deadline timeout"),
+            (self.explicit_cancels, "explicit cancel"),
+            (self.retries_then_success, "retry-then-success"),
+        ];
+        for (count, what) in must_fire {
+            if count == 0 {
+                v.push(format!("mechanism never exercised: {what}"));
+            }
+        }
+        if !self.breaker_opened {
+            v.push("mechanism never exercised: breaker open".into());
+        }
+        v
+    }
+
+    /// Whether every exit invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+/// Datasets and oracles shared by every mix-phase job (generated once;
+/// attempts clone out of the `Arc`).
+struct SoakData {
+    wc_lines: Vec<String>,
+    wc_expect: std::collections::HashMap<String, u64>,
+    needle: String,
+    grep_lines: Vec<String>,
+    grep_expect: u64,
+    ts_records: Vec<Record>,
+    ts_expect: Vec<Vec<u8>>,
+    km_points: Vec<Point>,
+    km_init: Vec<Point>,
+    km_expect: Vec<Point>,
+    pr_edges: Vec<(u64, u64)>,
+    pr_expect: std::collections::HashMap<u64, f64>,
+    cc_edges: Vec<(u64, u64)>,
+    cc_expect: std::collections::HashMap<u64, u64>,
+    rounds: u32,
+}
+
+impl SoakData {
+    fn generate(scale: SoakScale) -> Self {
+        let wc_lines = TextGen::new(TextGenConfig::default(), WC_SEED).lines(scale.lines);
+        let wc_expect = wordcount::oracle(&wc_lines);
+
+        let grep_config = TextGenConfig {
+            needle_selectivity: 0.05,
+            ..TextGenConfig::default()
+        };
+        let needle = grep_config.needle.clone();
+        let grep_lines = TextGen::new(grep_config, GREP_SEED).lines(scale.lines);
+        let grep_expect = grep::oracle(&grep_lines, &needle);
+
+        let ts_records = TeraGen::new(TS_SEED).records(scale.ts_records);
+        let ts_expect: Vec<Vec<u8>> = terasort::oracle(ts_records.clone())
+            .iter()
+            .map(|r| r.key().to_vec())
+            .collect();
+
+        let mut km_gen = PointsGen::new(
+            PointsConfig {
+                clusters: 4,
+                box_half_width: 100.0,
+                sigma: 3.0,
+            },
+            KM_SEED,
+        );
+        let km_init: Vec<Point> = km_gen
+            .true_centers()
+            .iter()
+            .map(|c| Point {
+                x: c.x + 10.0,
+                y: c.y - 8.0,
+            })
+            .collect();
+        let km_points = km_gen.points(scale.points);
+        let km_expect = kmeans::oracle(&km_points, km_init.clone(), scale.rounds);
+
+        let mut pr_edges = RmatGen::new(9, RmatParams::default(), PR_SEED).edges(scale.edges);
+        pr_edges.dedup();
+        let pr_expect = pagerank::oracle(&pr_edges, scale.rounds);
+
+        let cc_edges = RmatGen::new(8, RmatParams::default(), CC_SEED).edges(scale.edges);
+        let cc_expect = connected::oracle(&cc_edges);
+
+        Self {
+            wc_lines,
+            wc_expect,
+            needle,
+            grep_lines,
+            grep_expect,
+            ts_records,
+            ts_expect,
+            km_points,
+            km_init,
+            km_expect,
+            pr_edges,
+            pr_expect,
+            cc_edges,
+            cc_expect,
+            rounds: scale.rounds,
+        }
+    }
+
+    /// Runs one workload on one engine under the given fault plan and the
+    /// job's cancel token, verifying against the oracle. `Err` means a
+    /// divergence (the message says so) or an engine-fatal error.
+    fn run_cell(
+        &self,
+        workload: usize,
+        engine: Framework,
+        parts: usize,
+        plan: FaultPlan,
+        cancel: &CancelToken,
+    ) -> Result<(), String> {
+        let config = EngineConfig::with_parallelism(parts);
+        let name = WORKLOADS[workload % WORKLOADS.len()];
+        let diverged = || Err(format!("{name}/{engine:?} diverged from oracle"));
+        let ok = match (workload % WORKLOADS.len(), engine) {
+            (0, Framework::Spark) => {
+                let sc = SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                wordcount::run_spark(&sc, self.wc_lines.clone(), parts) == self.wc_expect
+            }
+            (0, Framework::Flink) => {
+                let env = FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                wordcount::run_flink(&env, self.wc_lines.clone()) == self.wc_expect
+            }
+            (1, Framework::Spark) => {
+                let sc = SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                grep::run_spark(&sc, self.grep_lines.clone(), &self.needle, parts)
+                    == self.grep_expect
+            }
+            (1, Framework::Flink) => {
+                let env = FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                grep::run_flink(&env, self.grep_lines.clone(), &self.needle) == self.grep_expect
+            }
+            (2, fw) => {
+                let out = match fw {
+                    Framework::Spark => {
+                        let sc =
+                            SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                        terasort::run_spark(&sc, self.ts_records.clone(), parts)
+                    }
+                    Framework::Flink => {
+                        let env =
+                            FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                        terasort::run_flink(&env, self.ts_records.clone(), parts)
+                    }
+                };
+                terasort::validate_output(self.ts_records.len(), &out).is_ok()
+                    && out
+                        .iter()
+                        .flatten()
+                        .map(|r| r.key().to_vec())
+                        .eq(self.ts_expect.iter().cloned())
+            }
+            (3, fw) => {
+                let out = match fw {
+                    Framework::Spark => {
+                        let sc =
+                            SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                        kmeans::run_spark(
+                            &sc,
+                            self.km_points.clone(),
+                            self.km_init.clone(),
+                            self.rounds,
+                            parts,
+                        )
+                    }
+                    Framework::Flink => {
+                        let env =
+                            FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                        kmeans::run_flink(
+                            &env,
+                            self.km_points.clone(),
+                            self.km_init.clone(),
+                            self.rounds,
+                        )
+                    }
+                };
+                out.len() == self.km_expect.len()
+                    && out
+                        .iter()
+                        .zip(&self.km_expect)
+                        .all(|(p, q)| close(p.x, q.x) && close(p.y, q.y))
+            }
+            (4, fw) => {
+                let out = match fw {
+                    Framework::Spark => {
+                        let sc =
+                            SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                        pagerank::run_spark(&sc, &self.pr_edges, self.rounds, parts)
+                    }
+                    Framework::Flink => {
+                        let env =
+                            FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                        match pagerank::run_flink(&env, &self.pr_edges, self.rounds, parts) {
+                            Ok(out) => out,
+                            Err(_) => return Err(format!("{name}/flink: engine-fatal error")),
+                        }
+                    }
+                };
+                out.len() == self.pr_expect.len()
+                    && out
+                        .iter()
+                        .all(|(v, r)| close(*r, self.pr_expect.get(v).copied().unwrap_or(f64::NAN)))
+            }
+            (5, fw) => {
+                let out = match fw {
+                    Framework::Spark => {
+                        let sc =
+                            SparkContext::with_config_faults_cancel(&config, plan, cancel.clone());
+                        connected::run_spark(&sc, &self.cc_edges, 200, parts)
+                    }
+                    Framework::Flink => {
+                        let env =
+                            FlinkEnv::with_config_faults_cancel(&config, plan, cancel.clone());
+                        match connected::run_flink(
+                            &env,
+                            &self.cc_edges,
+                            200,
+                            parts,
+                            CcVariant::Delta,
+                            None,
+                        ) {
+                            Ok(out) => out,
+                            Err(_) => return Err(format!("{name}/flink: engine-fatal error")),
+                        }
+                    }
+                };
+                out == self.cc_expect
+            }
+            _ => unreachable!("workload index is taken modulo 6"),
+        };
+        if ok {
+            Ok(())
+        } else {
+            diverged()
+        }
+    }
+}
+
+/// A job body that sleeps cooperatively until cancelled (by deadline or
+/// handle), then tears down through the engine's cancellation point.
+fn straggler_body() -> flowmark_serve::JobFn {
+    Arc::new(|_, cancel: &CancelToken| {
+        cancel.sleep(Duration::from_secs(600));
+        check_cancelled(cancel, &EngineMetrics::new(), 0, 0);
+        Ok(())
+    })
+}
+
+fn trivial(name: &str, engine: Framework) -> JobRequest {
+    JobRequest::new(
+        name,
+        engine,
+        EngineConfig::default(),
+        Arc::new(|_, _| Ok(())),
+    )
+}
+
+/// Tracks a resolution into the report's ledgers.
+fn settle(report: &mut SoakReport, engine: Framework, resolution: &Resolution) {
+    let tally = match engine {
+        Framework::Spark => &mut report.spark,
+        Framework::Flink => &mut report.flink,
+    };
+    match resolution {
+        Resolution::Completed { attempts } => {
+            tally.completed += 1;
+            if *attempts > 1 {
+                report.retries_then_success += 1;
+            }
+        }
+        Resolution::Failed { error, .. } => {
+            tally.failed += 1;
+            if error.contains("diverged") {
+                report.oracle_failures += 1;
+            }
+        }
+        Resolution::TimedOut => {
+            tally.timed_out += 1;
+            report.timeouts += 1;
+        }
+        Resolution::Cancelled => {
+            tally.cancelled += 1;
+            report.explicit_cancels += 1;
+        }
+    }
+}
+
+fn shed(report: &mut SoakReport, engine: Framework, rejected: &Rejected) {
+    let tally = match engine {
+        Framework::Spark => &mut report.spark,
+        Framework::Flink => &mut report.flink,
+    };
+    tally.shed += 1;
+    match rejected {
+        Rejected::QueueFull => report.shed_queue_full += 1,
+        Rejected::OverBudget { .. } => report.shed_over_budget += 1,
+        Rejected::BreakerOpen => report.shed_breaker_open += 1,
+        Rejected::ShuttingDown => {}
+    }
+}
+
+/// Spin-waits (cancellation-free, bounded) until `pred` holds on the
+/// service's health; used to make phase boundaries deterministic.
+fn await_health(service: &JobService, what: &str, pred: impl Fn(&HealthSnapshot) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if pred(&service.health()) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "soak phase barrier timed out waiting for: {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Runs the full soak: five mechanism phases, then the seeded mix, then
+/// shutdown and the exit ledger.
+pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
+    let service_cfg = config.service_config();
+    let workers = service_cfg.workers;
+    let queue_capacity = service_cfg.queue_capacity;
+    let service = JobService::start(service_cfg);
+    let data = Arc::new(SoakData::generate(scale));
+    let parts = scale.partitions;
+
+    let mut report = SoakReport {
+        seed: config.seed,
+        partitions: parts,
+        mix_jobs: scale.mix_jobs,
+        spark: EngineTally::default(),
+        flink: EngineTally::default(),
+        shed_queue_full: 0,
+        shed_over_budget: 0,
+        shed_breaker_open: 0,
+        timeouts: 0,
+        explicit_cancels: 0,
+        retries_then_success: 0,
+        breaker_opened: false,
+        oracle_failures: 0,
+        workers_joined: false,
+        health: service.health(),
+    };
+
+    let submit = |report: &mut SoakReport, service: &JobService, job: JobRequest| {
+        let engine = job.engine;
+        match service.submit(job) {
+            Ok(handle) => {
+                match engine {
+                    Framework::Spark => report.spark.submitted += 1,
+                    Framework::Flink => report.flink.submitted += 1,
+                }
+                Some(handle)
+            }
+            Err(rejected) => {
+                shed(report, engine, &rejected);
+                None
+            }
+        }
+    };
+
+    // --- Phase 1: overload → queue-full shed ------------------------------
+    // Stragglers pin every worker, quick jobs fill the bounded queue, and
+    // one more submission must shed with `QueueFull`.
+    let blockers: Vec<_> = (0..workers)
+        .filter_map(|i| {
+            let mut job = JobRequest::new(
+                format!("blocker-{i}"),
+                Framework::Spark,
+                EngineConfig::default(),
+                straggler_body(),
+            );
+            job.deadline = Some(Duration::from_secs(300));
+            submit(&mut report, &service, job)
+        })
+        .collect();
+    assert_eq!(blockers.len(), workers, "blockers must admit");
+    await_health(&service, "workers pinned by blockers", |h| {
+        h.in_flight == workers
+    });
+    let queued: Vec<_> = (0..queue_capacity)
+        .filter_map(|i| submit(&mut report, &service, trivial(&format!("queued-{i}"), Framework::Spark)))
+        .collect();
+    assert_eq!(queued.len(), queue_capacity, "queue must fill exactly");
+    let overflow = submit(&mut report, &service, trivial("overflow", Framework::Spark));
+    assert!(overflow.is_none(), "overflow submission must shed");
+    for b in &blockers {
+        b.cancel();
+    }
+    for b in &blockers {
+        let r = b.wait();
+        settle(&mut report, Framework::Spark, &r);
+    }
+    for q in &queued {
+        let r = q.wait();
+        settle(&mut report, Framework::Spark, &r);
+    }
+
+    // --- Phase 2: over-budget shed ----------------------------------------
+    let mut fat = trivial("fat", Framework::Flink);
+    fat.config.cache_bytes = u64::MAX / 2;
+    let fat = submit(&mut report, &service, fat);
+    assert!(fat.is_none(), "oversized job must shed");
+    assert!(report.shed_over_budget >= 1);
+
+    // --- Phase 3: deadline timeout ----------------------------------------
+    let mut slow = JobRequest::new(
+        "deadline-straggler",
+        Framework::Flink,
+        EngineConfig::default(),
+        straggler_body(),
+    );
+    slow.deadline = Some(Duration::from_millis(40));
+    if let Some(h) = submit(&mut report, &service, slow) {
+        let r = h.wait();
+        assert_eq!(r, Resolution::TimedOut, "tiny deadline must expire");
+        settle(&mut report, Framework::Flink, &r);
+    }
+    // Reset the pipelined breaker's consecutive-failure count (a timeout
+    // counts as a failure) before the mix phase.
+    if let Some(h) = submit(&mut report, &service, trivial("flink-reset", Framework::Flink)) {
+        let r = h.wait();
+        settle(&mut report, Framework::Flink, &r);
+    }
+
+    // --- Phase 4: explicit cancellation -----------------------------------
+    if let Some(h) = submit(
+        &mut report,
+        &service,
+        JobRequest::new(
+            "cancel-target",
+            Framework::Spark,
+            EngineConfig::default(),
+            straggler_body(),
+        ),
+    ) {
+        await_health(&service, "cancel target claimed", |hs| hs.in_flight >= 1);
+        h.cancel();
+        let r = h.wait();
+        assert_eq!(r, Resolution::Cancelled, "explicit cancel must win");
+        settle(&mut report, Framework::Spark, &r);
+    }
+
+    // --- Phase 5: breaker open → shed → probe heals ------------------------
+    for i in 0..2 {
+        let mut bad = JobRequest::new(
+            format!("poisoned-{i}"),
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, _| Err("poisoned (injected)".into())),
+        );
+        bad.retry_budget = Some(0);
+        if let Some(h) = submit(&mut report, &service, bad) {
+            let r = h.wait();
+            settle(&mut report, Framework::Spark, &r);
+        }
+    }
+    report.breaker_opened = service.health().spark_breaker == BreakerState::Open;
+    assert!(report.breaker_opened, "two consecutive failures must trip");
+    // Shed against the open breaker until the seeded cooldown admits a
+    // healthy probe, which closes it.
+    let mut probes = 0u32;
+    loop {
+        probes += 1;
+        assert!(probes <= 8, "breaker cooldown must end");
+        match submit(&mut report, &service, trivial("probe", Framework::Spark)) {
+            Some(h) => {
+                let r = h.wait();
+                assert_eq!(r, Resolution::Completed { attempts: 1 });
+                settle(&mut report, Framework::Spark, &r);
+                break;
+            }
+            None => continue,
+        }
+    }
+    assert_eq!(service.health().spark_breaker, BreakerState::Closed);
+
+    // --- Phase 6: seeded chaos mix -----------------------------------------
+    // Each cell: a seeded workload choice, alternating engines, a fresh
+    // chaos fault plan (guaranteed ≥1 kill and ≥1 straggler), verified
+    // against the oracle inside the job body. Submitted sequentially so
+    // the phase never contends with its own queue bound.
+    for i in 0..scale.mix_jobs {
+        let workload = (splitmix(config.seed ^ (i as u64)) % 6) as usize;
+        let engine = if i % 2 == 0 {
+            Framework::Spark
+        } else {
+            Framework::Flink
+        };
+        let plan_seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(i as u64);
+        let cell_data = Arc::clone(&data);
+        let job = JobRequest::new(
+            format!("mix-{i}-{}", WORKLOADS[workload]),
+            engine,
+            EngineConfig::with_parallelism(parts),
+            Arc::new(move |attempt, cancel: &CancelToken| {
+                let plan = FaultPlan::new(FaultConfig::chaos(
+                    plan_seed.wrapping_add(u64::from(attempt) << 32),
+                ));
+                cell_data.run_cell(workload, engine, parts, plan, cancel)
+            }),
+        );
+        if let Some(h) = submit(&mut report, &service, job) {
+            let r = h.wait();
+            settle(&mut report, engine, &r);
+        }
+    }
+
+    // --- Phase 7: retry-then-success (guaranteed) --------------------------
+    // The mix can already retry (an engine-fatal plan fails one attempt),
+    // but the mechanism must fire for *every* seed, so one job fails its
+    // first whole attempt by construction and verifies on the second.
+    {
+        let cell_data = Arc::clone(&data);
+        let job = JobRequest::new(
+            "retry-then-success",
+            Framework::Spark,
+            EngineConfig::with_parallelism(parts),
+            Arc::new(move |attempt, cancel: &CancelToken| {
+                if attempt == 0 {
+                    return Err("first attempt poisoned (injected)".into());
+                }
+                cell_data.run_cell(0, Framework::Spark, parts, FaultPlan::disabled(), cancel)
+            }),
+        );
+        if let Some(h) = submit(&mut report, &service, job) {
+            let r = h.wait();
+            assert_eq!(r, Resolution::Completed { attempts: 2 });
+            settle(&mut report, Framework::Spark, &r);
+        }
+    }
+
+    // --- Shutdown: drain, join workers, final ledger -----------------------
+    report.health = service.shutdown();
+    report.workers_joined = true;
+    report
+}
+
+/// Renders the soak as a human-readable table.
+pub fn render(report: &SoakReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chaos soak — seed {}, {} mix jobs, {} partitions\n",
+        report.seed, report.mix_jobs, report.partitions
+    ));
+    out.push_str(&format!(
+        "{:<8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>5}\n",
+        "engine", "submitted", "completed", "failed", "timed-out", "cancelled", "shed"
+    ));
+    for (name, t) in [("spark", &report.spark), ("flink", &report.flink)] {
+        out.push_str(&format!(
+            "{:<8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>5}\n",
+            name, t.submitted, t.completed, t.failed, t.timed_out, t.cancelled, t.shed
+        ));
+    }
+    out.push_str(&format!(
+        "sheds: {} queue-full, {} over-budget, {} breaker-open; \
+         {} timeout(s), {} cancel(s), {} retry-then-success, breaker opened: {}\n",
+        report.shed_queue_full,
+        report.shed_over_budget,
+        report.shed_breaker_open,
+        report.timeouts,
+        report.explicit_cancels,
+        report.retries_then_success,
+        report.breaker_opened,
+    ));
+    out.push_str(&format!(
+        "exit ledger: {} admitted = {} completed + {} failed + {} timed-out + {} cancelled; \
+         budget in use {} B; oracle failures {}\n",
+        report.health.jobs_admitted,
+        report.health.jobs_completed,
+        report.health.jobs_failed,
+        report.health.jobs_timed_out,
+        report.health.jobs_cancelled,
+        report.health.budget_in_use_bytes,
+        report.oracle_failures,
+    ));
+    match report.violations().as_slice() {
+        [] => out.push_str("soak PASSED: every invariant held\n"),
+        violations => {
+            out.push_str("soak FAILED:\n");
+            for v in violations {
+                out.push_str(&format!("  - {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+// The soak itself is exercised (at smoke scale, every invariant asserted)
+// by the tier-1 integration test `tests/soak_smoke.rs`.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json_and_renders() {
+        let report = SoakReport {
+            seed: 7,
+            partitions: 4,
+            mix_jobs: 12,
+            spark: EngineTally {
+                submitted: 10,
+                completed: 8,
+                failed: 2,
+                ..Default::default()
+            },
+            flink: EngineTally {
+                submitted: 8,
+                completed: 7,
+                timed_out: 1,
+                ..Default::default()
+            },
+            shed_queue_full: 1,
+            shed_over_budget: 1,
+            shed_breaker_open: 1,
+            timeouts: 1,
+            explicit_cancels: 2,
+            retries_then_success: 1,
+            breaker_opened: true,
+            oracle_failures: 0,
+            workers_joined: true,
+            health: HealthSnapshot {
+                queue_depth: 0,
+                in_flight: 0,
+                budget_in_use_bytes: 0,
+                budget_capacity_bytes: 8 << 30,
+                spark_breaker: BreakerState::Closed,
+                flink_breaker: BreakerState::Closed,
+                jobs_admitted: 18,
+                jobs_shed: 3,
+                jobs_completed: 15,
+                jobs_failed: 2,
+                jobs_timed_out: 1,
+                jobs_cancelled: 0,
+                job_retries: 1,
+                breaker_rejections: 1,
+            },
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        let back: SoakReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.seed, 7);
+        assert!(back.passed(), "{:?}", back.violations());
+        assert!(render(&back).contains("soak PASSED"));
+    }
+
+    #[test]
+    fn violations_catch_a_lost_job_and_an_unfired_mechanism() {
+        let mut health = HealthSnapshot {
+            queue_depth: 0,
+            in_flight: 0,
+            budget_in_use_bytes: 64,
+            budget_capacity_bytes: 8 << 30,
+            spark_breaker: BreakerState::Closed,
+            flink_breaker: BreakerState::Closed,
+            jobs_admitted: 5,
+            jobs_shed: 0,
+            jobs_completed: 4,
+            jobs_failed: 0,
+            jobs_timed_out: 0,
+            jobs_cancelled: 0,
+            job_retries: 0,
+            breaker_rejections: 0,
+        };
+        let report = SoakReport {
+            seed: 1,
+            partitions: 4,
+            mix_jobs: 0,
+            spark: EngineTally::default(),
+            flink: EngineTally::default(),
+            shed_queue_full: 0,
+            shed_over_budget: 1,
+            shed_breaker_open: 1,
+            timeouts: 1,
+            explicit_cancels: 1,
+            retries_then_success: 1,
+            breaker_opened: true,
+            oracle_failures: 1,
+            workers_joined: true,
+            health,
+        };
+        let v = report.violations();
+        assert!(v.iter().any(|m| m.contains("ledger does not balance")));
+        assert!(v.iter().any(|m| m.contains("budget not drained")));
+        assert!(v.iter().any(|m| m.contains("diverged")));
+        assert!(v.iter().any(|m| m.contains("queue-full shed")));
+        health.jobs_completed = 5;
+        health.budget_in_use_bytes = 0;
+        let fixed = SoakReport {
+            health,
+            oracle_failures: 0,
+            shed_queue_full: 1,
+            ..report
+        };
+        assert!(fixed.passed(), "{:?}", fixed.violations());
+    }
+}

@@ -1,0 +1,155 @@
+//! Admission control: a byte-denominated memory budget plus a bounded
+//! FIFO queue, with explicit typed load shedding.
+//!
+//! The budget is charged at admission (not at dequeue) so the queue can
+//! never hold more work than the service has memory to run — the same
+//! over-commit discipline §IV of the paper applies to executor memory,
+//! lifted to the job level. Every refusal is a typed [`Rejected`]; no
+//! submission is ever dropped silently.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::job::Rejected;
+
+/// A shared byte budget with reserve/release accounting.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    capacity: u64,
+    used: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `capacity` bytes, all free.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Attempts to reserve `bytes`; on refusal reports how much was free.
+    pub fn try_reserve(&self, bytes: u64) -> Result<(), Rejected> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let available = self.capacity.saturating_sub(cur);
+            if bytes > available {
+                return Err(Rejected::OverBudget {
+                    needed: bytes,
+                    available,
+                });
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Returns a reservation. Releasing more than was reserved is a
+    /// service-layer accounting bug and panics loudly.
+    pub fn release(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
+        assert!(prev >= bytes, "budget release underflow: {prev} < {bytes}");
+    }
+}
+
+/// A bounded FIFO of admitted-but-not-yet-running work. Pure data
+/// structure (no locking) so admission ordering is directly testable; the
+/// service wraps it in a mutex + condvar.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues at the tail, or sheds with [`Rejected::QueueFull`].
+    pub fn push(&mut self, item: T) -> Result<(), Rejected> {
+        if self.items.len() >= self.capacity {
+            return Err(Rejected::QueueFull);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeues from the head — strict FIFO among admitted items.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_reserve_release_round_trips_to_zero() {
+        let budget = MemoryBudget::new(100);
+        assert!(budget.try_reserve(60).is_ok());
+        assert!(budget.try_reserve(50).is_err(), "over-commit refused");
+        assert!(budget.try_reserve(40).is_ok());
+        assert_eq!(budget.in_use(), 100);
+        budget.release(60);
+        budget.release(40);
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn over_budget_reports_availability() {
+        let budget = MemoryBudget::new(10);
+        budget.try_reserve(7).expect("fits");
+        match budget.try_reserve(5) {
+            Err(Rejected::OverBudget { needed, available }) => {
+                assert_eq!((needed, available), (5, 3));
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_sheds_beyond_capacity_and_stays_fifo() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(Rejected::QueueFull));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok(), "shedding frees no slot, popping does");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+}

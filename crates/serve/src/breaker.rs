@@ -1,0 +1,208 @@
+//! Per-engine circuit breaker: consecutive-failure threshold → open →
+//! seeded half-open probe.
+//!
+//! A poisoned engine configuration (every job on it failing) must not
+//! keep consuming queue slots, memory budget and retry time. After
+//! `threshold` consecutive failures the breaker opens and sheds that
+//! engine's submissions with `Rejected::BreakerOpen`. The open state is
+//! **count-based**, not wall-clock-based: after a seeded number of shed
+//! submissions the breaker goes half-open and admits exactly one probe
+//! job — success closes it, failure re-opens it. Counting rejections
+//! instead of elapsed time keeps soak runs deterministic for a fixed seed.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Observable breaker state, exported in health snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: submissions pass through.
+    Closed,
+    /// Shedding: submissions are rejected until the cooldown elapses.
+    Open,
+    /// One probe job is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Rejections served since the breaker last opened.
+    shed_while_open: u32,
+    /// Rejections the current open period requires before half-open.
+    cooldown_target: u32,
+    /// How many times the breaker has opened (salts the seeded cooldown).
+    openings: u64,
+}
+
+/// A consecutive-failure circuit breaker for one engine.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    seed: u64,
+    inner: Mutex<BreakerInner>,
+}
+
+/// splitmix64, the workspace-standard deterministic bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl CircuitBreaker {
+    /// A closed breaker opening after `threshold` consecutive failures and
+    /// probing after a seeded `[cooldown, 2×cooldown]` shed submissions.
+    pub fn new(threshold: u32, cooldown: u32, seed: u64) -> Self {
+        assert!(threshold > 0, "threshold 0 would never close");
+        Self {
+            threshold,
+            cooldown,
+            seed,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                shed_while_open: 0,
+                cooldown_target: 0,
+                openings: 0,
+            }),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Gate for one submission: `true` admits (closed, or the half-open
+    /// probe slot), `false` sheds. An open breaker counts the rejection
+    /// toward its cooldown and flips to half-open when the seeded target
+    /// is reached — the *next* submission after the flip is the probe.
+    pub fn admit(&self) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false, // probe already in flight
+            BreakerState::Open => {
+                inner.shed_while_open += 1;
+                if inner.shed_while_open >= inner.cooldown_target {
+                    // Cooldown served: admit this submission as the probe.
+                    inner.state = BreakerState::HalfOpen;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Reports a job success on this engine.
+    pub fn on_success(&self) {
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        if inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Closed;
+        }
+    }
+
+    /// Reports a job failure on this engine.
+    pub fn on_failure(&self) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::HalfOpen => Self::open(&mut inner, self.seed, self.cooldown),
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    Self::open(&mut inner, self.seed, self.cooldown);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(inner: &mut BreakerInner, seed: u64, cooldown: u32) {
+        inner.state = BreakerState::Open;
+        inner.consecutive_failures = 0;
+        inner.shed_while_open = 0;
+        inner.openings += 1;
+        // Seeded jitter on the cooldown length: [cooldown, 2×cooldown],
+        // deterministic per (seed, opening number).
+        let span = u64::from(cooldown.max(1));
+        let jitter = splitmix(seed ^ inner.openings) % (span + 1);
+        inner.cooldown_target = cooldown.max(1) + jitter as u32;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, 2, 1);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(2, 2, 1);
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_sheds_then_admits_one_probe() {
+        let b = CircuitBreaker::new(1, 2, 42);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Shed until the seeded cooldown target (within [2, 4]) is served.
+        let mut sheds = 0;
+        while !b.admit() {
+            sheds += 1;
+            assert!(sheds <= 4, "cooldown must end within 2×cooldown sheds");
+        }
+        assert!(sheds >= 1, "an open breaker sheds before probing");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, 1, 7);
+        b.on_failure();
+        while !b.admit() {}
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_is_deterministic_per_seed() {
+        let sheds_for = |seed: u64| {
+            let b = CircuitBreaker::new(1, 3, seed);
+            b.on_failure();
+            let mut sheds = 0u32;
+            while !b.admit() {
+                sheds += 1;
+            }
+            sheds
+        };
+        assert_eq!(sheds_for(9), sheds_for(9));
+    }
+}

@@ -1,0 +1,298 @@
+//! # flowmark-serve
+//!
+//! The job-level robustness layer above both engines: a supervised,
+//! multi-tenant job runner implementing the supervisor/backpressure shape
+//! any serving stack needs on the road to the ROADMAP's "serve heavy
+//! traffic" north star.
+//!
+//! PR 2 made a *single job* survive task kills, stragglers and memory
+//! pressure (lineage re-execution, checkpointed region restarts,
+//! speculation). This crate supervises *many jobs*:
+//!
+//! - **admission control** ([`admission`]) — a byte-denominated memory
+//!   budget charged from `EngineConfig::memory_footprint_bytes`, plus a
+//!   bounded FIFO queue; refusals are typed [`Rejected`] values, never
+//!   silent drops;
+//! - **deadlines + cooperative cancellation** ([`service`]) — every job
+//!   carries a `CancelToken`; a watchdog fires it on deadline expiry and
+//!   [`JobHandle::cancel`] fires it on demand, after which engine task
+//!   loops unwind with a `JobCancelled` payload, channels drain, and the
+//!   job's budget is released;
+//! - **retry with deterministic backoff** ([`retry`]) — exponential
+//!   envelope, splitmix jitter, per-job retry budget, never sleeping past
+//!   the deadline;
+//! - **per-engine circuit breakers** ([`breaker`]) — consecutive-failure
+//!   threshold, count-based seeded cooldown, half-open probe;
+//! - **health snapshots** ([`health`]) — queue depth, in-flight count,
+//!   budget occupancy, breaker states and outcome counters, serializable
+//!   next to `MetricsSnapshot`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod breaker;
+pub mod health;
+pub mod job;
+pub mod retry;
+pub mod service;
+
+pub use admission::MemoryBudget;
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use health::HealthSnapshot;
+pub use job::{JobFn, JobHandle, JobRequest, Rejected, Resolution};
+pub use retry::BackoffSchedule;
+pub use service::JobService;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use flowmark_core::config::{EngineConfig, Framework, ServiceConfig};
+
+    use super::*;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: 8,
+            memory_budget_bytes: 64 << 30,
+            default_deadline_ms: 5_000,
+            retry_budget: 1,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            seed: 7,
+            breaker_threshold: 2,
+            breaker_cooldown: 1,
+            workers: 2,
+        }
+    }
+
+    fn ok_job(name: &str) -> JobRequest {
+        JobRequest::new(
+            name,
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, _| Ok(())),
+        )
+    }
+
+    #[test]
+    fn jobs_complete_and_the_service_drains() {
+        let service = JobService::start(tiny_config());
+        let handles: Vec<_> = (0..5)
+            .map(|i| service.submit(ok_job(&format!("job-{i}"))).expect("admitted"))
+            .collect();
+        for h in &handles {
+            assert_eq!(h.wait(), Resolution::Completed { attempts: 1 });
+        }
+        let final_health = service.shutdown();
+        assert!(final_health.drained(), "all jobs accounted: {final_health:?}");
+        assert_eq!(final_health.budget_in_use_bytes, 0);
+        assert_eq!(final_health.jobs_completed, 5);
+    }
+
+    #[test]
+    fn failing_job_retries_then_succeeds() {
+        let service = JobService::start(tiny_config());
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let job = JobRequest::new(
+            "flaky",
+            Framework::Flink,
+            EngineConfig::default(),
+            Arc::new(move |attempt, _| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if attempt == 0 {
+                    Err("first attempt poisoned".into())
+                } else {
+                    Ok(())
+                }
+            }),
+        );
+        let handle = service.submit(job).expect("admitted");
+        assert_eq!(handle.wait(), Resolution::Completed { attempts: 2 });
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        let health = service.shutdown();
+        assert_eq!(health.job_retries, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job() {
+        let service = JobService::start(tiny_config());
+        let job = JobRequest::new(
+            "doomed",
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, _| Err("always fails".into())),
+        );
+        let handle = service.submit(job).expect("admitted");
+        match handle.wait() {
+            Resolution::Failed { attempts, error } => {
+                assert_eq!(attempts, 2, "1 try + 1 retry");
+                assert_eq!(error, "always fails");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_times_the_job_out() {
+        let service = JobService::start(tiny_config());
+        let mut job = JobRequest::new(
+            "slow",
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, cancel: &flowmark_engine::CancelToken| {
+                cancel.sleep(Duration::from_secs(30));
+                // A cooperative body surfaces the cancel as teardown.
+                flowmark_engine::faults::check_cancelled(
+                    cancel,
+                    &flowmark_engine::EngineMetrics::new(),
+                    0,
+                    0,
+                );
+                Ok(())
+            }),
+        );
+        job.deadline = Some(Duration::from_millis(50));
+        let started = Instant::now();
+        let handle = service.submit(job).expect("admitted");
+        assert_eq!(handle.wait(), Resolution::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must not wait for the 30 s sleep"
+        );
+        let health = service.shutdown();
+        assert_eq!(health.jobs_timed_out, 1);
+        assert_eq!(health.budget_in_use_bytes, 0);
+    }
+
+    #[test]
+    fn explicit_cancel_resolves_cancelled() {
+        let service = JobService::start(tiny_config());
+        let job = JobRequest::new(
+            "cancel-me",
+            Framework::Flink,
+            EngineConfig::default(),
+            Arc::new(|_, cancel: &flowmark_engine::CancelToken| {
+                cancel.sleep(Duration::from_secs(30));
+                flowmark_engine::faults::check_cancelled(
+                    cancel,
+                    &flowmark_engine::EngineMetrics::new(),
+                    0,
+                    0,
+                );
+                Ok(())
+            }),
+        );
+        let handle = service.submit(job).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20));
+        handle.cancel();
+        assert_eq!(handle.wait(), Resolution::Cancelled);
+        let health = service.shutdown();
+        assert_eq!(health.jobs_cancelled, 1);
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_queue_full() {
+        let mut cfg = tiny_config();
+        cfg.queue_capacity = 1;
+        cfg.workers = 1;
+        let service = JobService::start(cfg);
+        // One long job occupies the worker; the queue then takes exactly 1.
+        let blocker = JobRequest::new(
+            "blocker",
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, cancel: &flowmark_engine::CancelToken| {
+                cancel.sleep(Duration::from_millis(300));
+                Ok(())
+            }),
+        );
+        let b = service.submit(blocker).expect("admitted");
+        std::thread::sleep(Duration::from_millis(30)); // let the worker claim it
+        let _queued = service.submit(ok_job("queued")).expect("fits in queue");
+        let shed = service.submit(ok_job("shed"));
+        assert!(matches!(shed, Err(Rejected::QueueFull)), "{shed:?}");
+        b.cancel();
+        let health = service.shutdown();
+        assert_eq!(health.jobs_shed, 1);
+        assert!(health.drained());
+    }
+
+    #[test]
+    fn over_budget_sheds_typed() {
+        let mut cfg = tiny_config();
+        cfg.memory_budget_bytes = 1; // nothing fits
+        let service = JobService::start(cfg);
+        match service.submit(ok_job("fat")) {
+            Err(Rejected::OverBudget { available, .. }) => assert_eq!(available, 1),
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        let health = service.shutdown();
+        assert_eq!(health.jobs_shed, 1);
+        assert_eq!(health.jobs_admitted, 0);
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker_then_probe_heals_it() {
+        let mut cfg = tiny_config();
+        cfg.workers = 1;
+        cfg.retry_budget = 0;
+        let service = JobService::start(cfg);
+        let fail = |name: &str| {
+            JobRequest::new(
+                name,
+                Framework::Spark,
+                EngineConfig::default(),
+                Arc::new(|_, _| Err("poisoned".into())),
+            )
+        };
+        for i in 0..2 {
+            let h = service.submit(fail(&format!("bad-{i}"))).expect("admitted");
+            h.wait();
+        }
+        assert_eq!(service.health().spark_breaker, BreakerState::Open);
+        // The other engine is unaffected.
+        let ok_flink = JobRequest::new(
+            "healthy",
+            Framework::Flink,
+            EngineConfig::default(),
+            Arc::new(|_, _| Ok(())),
+        );
+        assert!(service.submit(ok_flink).is_ok());
+        // Shed against the open breaker until the seeded cooldown admits a
+        // healthy probe, which closes it.
+        let mut breaker_sheds = 0;
+        loop {
+            match service.submit(ok_job("probe")) {
+                Ok(h) => {
+                    assert_eq!(h.wait(), Resolution::Completed { attempts: 1 });
+                    break;
+                }
+                Err(Rejected::BreakerOpen) => breaker_sheds += 1,
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+            assert!(breaker_sheds <= 4, "cooldown must end");
+        }
+        assert_eq!(service.health().spark_breaker, BreakerState::Closed);
+        let health = service.shutdown();
+        assert!(health.breaker_rejections >= 1);
+        assert!(health.drained());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let service = JobService::start(tiny_config());
+        let health = service.shutdown();
+        assert!(health.drained());
+        // A fresh service refuses after shutdown is initiated — modelled
+        // here by the accepting flag, exercised via the soak harness; the
+        // typed variant exists:
+        assert_eq!(Rejected::ShuttingDown.to_string(), "service shutting down");
+    }
+}

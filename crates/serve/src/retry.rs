@@ -1,0 +1,107 @@
+//! Job-level retry policy: exponential backoff with deterministic jitter.
+//!
+//! This layers *above* PR 2's task-level recovery: `run_recoverable`
+//! retries a single task inside one job attempt, while this schedule
+//! paces whole-job re-submissions after an attempt fails outright. Jitter
+//! is a pure function of `(seed, job, attempt)` via splitmix64 — the same
+//! discipline the fault plan uses — so a soak run replays byte-identically
+//! for a fixed seed.
+
+use std::time::Duration;
+
+/// Deterministic exponential-backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffSchedule {
+    /// First-retry delay cap.
+    pub base: Duration,
+    /// Upper bound on any delay.
+    pub cap: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+/// splitmix64, the workspace-standard deterministic bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl BackoffSchedule {
+    /// Builds a schedule; `cap` is clamped up to at least `base` so the
+    /// envelope is always well-formed.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap: cap.max(base),
+            seed,
+        }
+    }
+
+    /// Envelope for retry number `retry` (1-based): `min(cap, base ×
+    /// 2^(retry-1))`. Monotone non-decreasing in `retry` by construction.
+    pub fn envelope(&self, retry: u32) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(2u32.saturating_pow(retry.saturating_sub(1).min(32)));
+        doubled.min(self.cap)
+    }
+
+    /// The actual delay before retry `retry` of job `job`: a
+    /// deterministically jittered point in `[envelope/2, envelope]`,
+    /// clamped so the sleep never outlives `remaining` (the time left
+    /// until the job's deadline).
+    pub fn delay(&self, job: u64, retry: u32, remaining: Duration) -> Duration {
+        let envelope = self.envelope(retry);
+        let half = envelope / 2;
+        let span_ns = envelope.saturating_sub(half).as_nanos() as u64;
+        let jitter_ns = if span_ns == 0 {
+            0
+        } else {
+            splitmix(self.seed ^ splitmix(job ^ u64::from(retry))) % (span_ns + 1)
+        };
+        (half + Duration::from_nanos(jitter_ns)).min(remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> BackoffSchedule {
+        BackoffSchedule::new(Duration::from_millis(4), Duration::from_millis(64), 77)
+    }
+
+    #[test]
+    fn envelope_doubles_until_the_cap() {
+        let s = schedule();
+        assert_eq!(s.envelope(1), Duration::from_millis(4));
+        assert_eq!(s.envelope(2), Duration::from_millis(8));
+        assert_eq!(s.envelope(5), Duration::from_millis(64));
+        assert_eq!(s.envelope(40), Duration::from_millis(64), "capped");
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_inside_the_envelope() {
+        let s = schedule();
+        for job in 0..20u64 {
+            for retry in 1..6u32 {
+                let d = s.delay(job, retry, Duration::from_secs(10));
+                assert_eq!(d, s.delay(job, retry, Duration::from_secs(10)));
+                assert!(d <= s.envelope(retry));
+                assert!(d >= s.envelope(retry) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_never_exceeds_the_remaining_deadline() {
+        let s = schedule();
+        let remaining = Duration::from_millis(3);
+        for retry in 1..8u32 {
+            assert!(s.delay(9, retry, remaining) <= remaining);
+        }
+        assert_eq!(s.delay(9, 3, Duration::ZERO), Duration::ZERO);
+    }
+}

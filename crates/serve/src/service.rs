@@ -1,0 +1,385 @@
+//! The supervisor: a bounded worker pool draining a FIFO queue of
+//! admitted jobs, enforcing deadlines by cooperative cancellation and
+//! pacing whole-job retries with deterministic backoff.
+//!
+//! State machine of one submission:
+//!
+//! ```text
+//! submitted ── admission ──► queued ──► running ──► done
+//!     │ QueueFull/OverBudget/            │  │  ▲       (Completed/Failed)
+//!     │ BreakerOpen/ShuttingDown         │  │  └─ retrying (backoff)
+//!     ▼                                  │  ▼
+//!   shed (typed Rejected)                │ timed-out (deadline → cancel)
+//!                                        ▼
+//!                                    cancelled (explicit cancel)
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flowmark_core::config::{Framework, ServiceConfig};
+use flowmark_engine::faults::{install_quiet_hook, CancelToken, JobCancelled};
+
+use crate::admission::{BoundedQueue, MemoryBudget};
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::health::HealthSnapshot;
+use crate::job::{JobCell, JobHandle, JobRequest, Rejected, Resolution};
+use crate::retry::BackoffSchedule;
+
+/// Watchdog polling slice while an attempt runs.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(2);
+
+struct QueuedJob {
+    id: u64,
+    request: JobRequest,
+    cell: Arc<JobCell>,
+    /// Bytes reserved against the memory budget at admission.
+    charge: u64,
+}
+
+#[derive(Default)]
+struct OutcomeCounters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    retries: AtomicU64,
+    breaker_rejections: AtomicU64,
+}
+
+struct ServiceInner {
+    cfg: ServiceConfig,
+    backoff: BackoffSchedule,
+    queue: Mutex<BoundedQueue<QueuedJob>>,
+    queue_cv: Condvar,
+    budget: MemoryBudget,
+    spark_breaker: CircuitBreaker,
+    flink_breaker: CircuitBreaker,
+    in_flight: AtomicUsize,
+    accepting: AtomicBool,
+    stop: AtomicBool,
+    next_job: AtomicU64,
+    counters: OutcomeCounters,
+}
+
+impl ServiceInner {
+    fn breaker(&self, engine: Framework) -> &CircuitBreaker {
+        match engine {
+            Framework::Spark => &self.spark_breaker,
+            Framework::Flink => &self.flink_breaker,
+        }
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, BoundedQueue<QueuedJob>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn snapshot(&self) -> HealthSnapshot {
+        let queue_depth = self.lock_queue().len();
+        HealthSnapshot {
+            queue_depth,
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            budget_in_use_bytes: self.budget.in_use(),
+            budget_capacity_bytes: self.budget.capacity(),
+            spark_breaker: self.spark_breaker.state(),
+            flink_breaker: self.flink_breaker.state(),
+            jobs_admitted: self.counters.admitted.load(Ordering::Relaxed),
+            jobs_shed: self.counters.shed.load(Ordering::Relaxed),
+            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
+            jobs_failed: self.counters.failed.load(Ordering::Relaxed),
+            jobs_timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            job_retries: self.counters.retries.load(Ordering::Relaxed),
+            breaker_rejections: self.counters.breaker_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The supervised multi-tenant job runner. Owns its worker threads;
+/// [`JobService::shutdown`] drains the queue, joins every worker, and
+/// proves the budget returned to zero.
+pub struct JobService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Starts the service: validates the config and spawns the worker
+    /// pool. Panics on a degenerate config (the same contract as the
+    /// engine constructors).
+    pub fn start(cfg: ServiceConfig) -> Self {
+        cfg.validate().expect("invalid service config");
+        // Job teardown unwinds with JobCancelled payloads; keep them off
+        // stderr like injected faults.
+        install_quiet_hook();
+        let inner = Arc::new(ServiceInner {
+            backoff: BackoffSchedule::new(
+                Duration::from_millis(cfg.backoff_base_ms),
+                Duration::from_millis(cfg.backoff_cap_ms),
+                cfg.seed,
+            ),
+            queue: Mutex::new(BoundedQueue::new(cfg.queue_capacity)),
+            queue_cv: Condvar::new(),
+            budget: MemoryBudget::new(cfg.memory_budget_bytes),
+            spark_breaker: CircuitBreaker::new(
+                cfg.breaker_threshold,
+                cfg.breaker_cooldown,
+                cfg.seed ^ 0x5A,
+            ),
+            flink_breaker: CircuitBreaker::new(
+                cfg.breaker_threshold,
+                cfg.breaker_cooldown,
+                cfg.seed ^ 0xF1,
+            ),
+            in_flight: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+            counters: OutcomeCounters::default(),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submits a job. A rejection is an explicit, typed shed — the job
+    /// never entered the queue and holds no budget.
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, Rejected> {
+        let inner = &self.inner;
+        let shed = |why: Rejected| {
+            inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+            if why == Rejected::BreakerOpen {
+                inner
+                    .counters
+                    .breaker_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(why)
+        };
+        if !inner.accepting.load(Ordering::Acquire) {
+            return shed(Rejected::ShuttingDown);
+        }
+        let charge = request.config.memory_footprint_bytes();
+        // Queue bound, budget and breaker are checked under the queue
+        // lock: a successful breaker probe admission is always followed by
+        // a real enqueue, and FIFO order among admitted jobs is the lock
+        // acquisition order.
+        let mut queue = inner.lock_queue();
+        if queue.len() >= inner.cfg.queue_capacity {
+            drop(queue);
+            return shed(Rejected::QueueFull);
+        }
+        if let Err(why) = inner.budget.try_reserve(charge) {
+            drop(queue);
+            return shed(why);
+        }
+        if !inner.breaker(request.engine).admit() {
+            inner.budget.release(charge);
+            drop(queue);
+            return shed(Rejected::BreakerOpen);
+        }
+        let cell = Arc::new(JobCell::new(CancelToken::new()));
+        let job = QueuedJob {
+            id: inner.next_job.fetch_add(1, Ordering::Relaxed),
+            request,
+            cell: Arc::clone(&cell),
+            charge,
+        };
+        queue
+            .push(job)
+            .expect("capacity was checked under this lock");
+        drop(queue);
+        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.queue_cv.notify_one();
+        Ok(JobHandle { cell })
+    }
+
+    /// Current health/readiness snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Stops accepting work, waits for every queued and in-flight job to
+    /// resolve, joins every worker thread, and returns the final
+    /// snapshot. The caller can assert `snapshot.drained()` and
+    /// `budget_in_use_bytes == 0` — the soak harness does.
+    pub fn shutdown(self) -> HealthSnapshot {
+        let JobService { inner, workers } = self;
+        inner.accepting.store(false, Ordering::Release);
+        {
+            let mut queue = inner.lock_queue();
+            while !(queue.is_empty() && inner.in_flight.load(Ordering::Acquire) == 0) {
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            inner.stop.store(true, Ordering::Release);
+        }
+        inner.queue_cv.notify_all();
+        for worker in workers {
+            worker.join().expect("worker threads never panic");
+        }
+        inner.snapshot()
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    loop {
+        let job = {
+            let mut queue = inner.lock_queue();
+            loop {
+                if let Some(job) = queue.pop() {
+                    // Claim in-flight status under the lock so a drain
+                    // waiter never observes "queue empty, nothing running"
+                    // while a job is in hand-off.
+                    inner.in_flight.fetch_add(1, Ordering::AcqRel);
+                    break job;
+                }
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let resolution = execute(inner, &job);
+        settle_breaker(inner.breaker(job.request.engine), &resolution);
+        let counter = match &resolution {
+            Resolution::Completed { .. } => &inner.counters.completed,
+            Resolution::Failed { .. } => &inner.counters.failed,
+            Resolution::TimedOut => &inner.counters.timed_out,
+            Resolution::Cancelled => &inner.counters.cancelled,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        inner.budget.release(job.charge);
+        job.cell.resolve(resolution);
+        inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+        // Lock-then-notify so a drain waiter between its condition check
+        // and its wait cannot miss this wakeup.
+        drop(inner.lock_queue());
+        inner.queue_cv.notify_all();
+    }
+}
+
+/// Feeds a job outcome into the engine's breaker. A missed deadline
+/// counts as a failure (the engine did not deliver); an explicit cancel
+/// is neutral — unless it consumed the half-open probe slot, which must
+/// not stay wedged, so the breaker re-opens.
+fn settle_breaker(breaker: &CircuitBreaker, resolution: &Resolution) {
+    match resolution {
+        Resolution::Completed { .. } => breaker.on_success(),
+        Resolution::Failed { .. } | Resolution::TimedOut => breaker.on_failure(),
+        Resolution::Cancelled => {
+            if breaker.state() == BreakerState::HalfOpen {
+                breaker.on_failure();
+            }
+        }
+    }
+}
+
+/// Runs one job to resolution: attempts under a deadline watchdog, paced
+/// whole-job retries, cooperative cancellation throughout.
+fn execute(inner: &ServiceInner, job: &QueuedJob) -> Resolution {
+    let cancel = &job.cell.cancel;
+    let deadline_in = job
+        .request
+        .deadline
+        .unwrap_or(Duration::from_millis(inner.cfg.default_deadline_ms));
+    let deadline = Instant::now() + deadline_in;
+    let retry_budget = job.request.retry_budget.unwrap_or(inner.cfg.retry_budget);
+    let mut attempt = 0u32;
+    loop {
+        if cancel.is_set() {
+            // Cancelled while queued or during backoff.
+            return Resolution::Cancelled;
+        }
+        let deadline_fired = AtomicBool::new(false);
+        let outcome = run_attempt(job, attempt, cancel, deadline, &deadline_fired);
+        let error = match outcome {
+            Ok(Ok(())) => return Resolution::Completed { attempts: attempt + 1 },
+            Ok(Err(message)) => message,
+            Err(payload) => {
+                if payload.downcast_ref::<JobCancelled>().is_some() || cancel.is_set() {
+                    return if deadline_fired.load(Ordering::Acquire) {
+                        Resolution::TimedOut
+                    } else {
+                        Resolution::Cancelled
+                    };
+                }
+                describe_panic(&payload)
+            }
+        };
+        if attempt >= retry_budget {
+            return Resolution::Failed {
+                attempts: attempt + 1,
+                error,
+            };
+        }
+        attempt += 1;
+        inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Resolution::TimedOut;
+        }
+        // The backoff sleep itself is cancellable and deadline-clamped.
+        cancel.sleep(inner.backoff.delay(job.id, attempt, remaining));
+        if deadline.saturating_duration_since(Instant::now()).is_zero() {
+            return Resolution::TimedOut;
+        }
+    }
+}
+
+type AttemptOutcome = Result<Result<(), String>, Box<dyn std::any::Any + Send>>;
+
+/// One attempt on a watchdog-supervised scoped thread: the worker polls
+/// the deadline while the body runs and fires the job's cancel token on
+/// expiry; the body observes the token at its next cancellation point and
+/// unwinds, which drains channels and joins engine task scopes on the way
+/// out.
+fn run_attempt(
+    job: &QueuedJob,
+    attempt: u32,
+    cancel: &CancelToken,
+    deadline: Instant,
+    deadline_fired: &AtomicBool,
+) -> AttemptOutcome {
+    std::thread::scope(|scope| {
+        let body = scope.spawn(|| {
+            catch_unwind(AssertUnwindSafe(|| (job.request.run)(attempt, cancel)))
+        });
+        while !body.is_finished() {
+            if Instant::now() >= deadline && !cancel.is_set() {
+                deadline_fired.store(true, Ordering::Release);
+                cancel.set();
+            }
+            std::thread::sleep(WATCHDOG_SLICE);
+        }
+        match body.join() {
+            Ok(caught) => caught,
+            Err(payload) => Err(payload),
+        }
+    })
+}
+
+fn describe_panic(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "attempt panicked".to_string()
+    }
+}

@@ -12,7 +12,7 @@ fn cal() -> Calibration {
 
 #[test]
 fn fig3_wordcount_is_cpu_and_disk_bound_with_anticyclic_flink_combine() {
-    let rf = experiments::fig3(&cal());
+    let rf = experiments::fig3(&cal()).expect("valid experiment config");
     // "For this workload both Flink and Spark are CPU and disk-bound."
     for report in [&rf.spark_report, &rf.flink_report] {
         let bounds = report.dominant_bounds();
@@ -38,7 +38,7 @@ fn fig3_wordcount_is_cpu_and_disk_bound_with_anticyclic_flink_combine() {
 
 #[test]
 fn fig6_grep_flink_pays_a_sink_phase_spark_does_not() {
-    let rf = experiments::fig6(&cal());
+    let rf = experiments::fig6(&cal()).expect("valid experiment config");
     assert!(
         rf.flink_report.profile("DataSink").is_some()
             || rf
@@ -60,7 +60,7 @@ fn fig6_grep_flink_pays_a_sink_phase_spark_does_not() {
 
 #[test]
 fn fig9_terasort_pipelining_is_visible_in_the_spans() {
-    let rf = experiments::fig9(&cal());
+    let rf = experiments::fig9(&cal()).expect("valid experiment config");
     // "Flink pipelines the execution, hence it is visualized in a single
     // stage, while in Spark the separation between stages is very clear."
     assert!(
@@ -87,7 +87,7 @@ fn fig9_terasort_pipelining_is_visible_in_the_spans() {
 
 #[test]
 fn fig10_kmeans_is_cpu_bound_and_spark_shows_per_iteration_waves() {
-    let rf = experiments::fig10(&cal());
+    let rf = experiments::fig10(&cal()).expect("valid experiment config");
     for report in [&rf.spark_report, &rf.flink_report] {
         assert!(report.dominant_bounds().contains(&Bound::Cpu));
         // "memory and disk utilization are less than 10%" — no disk bound.
@@ -113,7 +113,7 @@ fn fig10_kmeans_is_cpu_bound_and_spark_shows_per_iteration_waves() {
 
 #[test]
 fn fig16_pagerank_has_two_phases_with_different_bounds() {
-    let rf = experiments::fig16(&cal());
+    let rf = experiments::fig16(&cal()).expect("valid experiment config");
     // "the first stage both Flink and Spark are CPU- and disk-bound, while
     // in the second stage they are CPU- and network-bound."
     for (name, report) in [("spark", &rf.spark_report), ("flink", &rf.flink_report)] {
@@ -164,7 +164,7 @@ fn fig16_pagerank_has_two_phases_with_different_bounds() {
 
 #[test]
 fn fig17_cc_flink_delta_wins_with_similar_overall_usage() {
-    let rf = experiments::fig17(&cal());
+    let rf = experiments::fig17(&cal()).expect("valid experiment config");
     assert!(rf.flink.seconds < rf.spark.seconds, "Flink wins CC medium");
     // Both CPU-bound overall.
     assert!(rf.spark_report.dominant_bounds().contains(&Bound::Cpu));

@@ -425,3 +425,85 @@ fn all_experiment_presets_validate() {
     }
 }
 
+
+// ---- serve-layer properties (PR 4) -------------------------------------
+
+proptest! {
+    /// Backoff envelopes are monotone non-decreasing in the retry number
+    /// and never exceed the cap.
+    #[test]
+    fn backoff_envelope_monotone_and_capped(
+        base_ms in 1u64..50,
+        cap_ms in 1u64..500,
+        seed in any::<u64>(),
+    ) {
+        let s = flowmark_serve::BackoffSchedule::new(
+            std::time::Duration::from_millis(base_ms),
+            std::time::Duration::from_millis(cap_ms),
+            seed,
+        );
+        let mut prev = std::time::Duration::ZERO;
+        for retry in 1..40u32 {
+            let env = s.envelope(retry);
+            prop_assert!(env >= prev, "envelope shrank at retry {}", retry);
+            prop_assert!(env <= s.cap);
+            prev = env;
+        }
+    }
+
+    /// Jittered delays are deterministic per (seed, job, retry) and never
+    /// exceed the remaining deadline.
+    #[test]
+    fn backoff_delay_deterministic_and_deadline_bounded(
+        base_ms in 1u64..50,
+        cap_ms in 1u64..500,
+        seed in any::<u64>(),
+        job in any::<u64>(),
+        retry in 1u32..20,
+        remaining_ms in 0u64..1000,
+    ) {
+        let mk = || flowmark_serve::BackoffSchedule::new(
+            std::time::Duration::from_millis(base_ms),
+            std::time::Duration::from_millis(cap_ms),
+            seed,
+        );
+        let remaining = std::time::Duration::from_millis(remaining_ms);
+        let d1 = mk().delay(job, retry, remaining);
+        let d2 = mk().delay(job, retry, remaining);
+        prop_assert_eq!(d1, d2, "same seed must give the same delay");
+        prop_assert!(d1 <= remaining, "delay must never outlive the deadline");
+        prop_assert!(d1 <= mk().envelope(retry));
+    }
+
+    /// The bounded admission queue preserves FIFO order among admitted
+    /// items under arbitrary push/pop interleavings: pops always observe
+    /// admitted (non-shed) items in admission order.
+    #[test]
+    fn admission_queue_is_fifo_among_admitted(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut queue = flowmark_serve::admission::BoundedQueue::new(capacity);
+        let mut admitted = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                match queue.push(next) {
+                    Ok(()) => admitted.push_back(next),
+                    Err(flowmark_serve::Rejected::QueueFull) => {
+                        prop_assert_eq!(queue.len(), capacity, "shed only when full");
+                    }
+                    Err(other) => prop_assert!(false, "unexpected rejection {:?}", other),
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(queue.pop(), admitted.pop_front());
+            }
+        }
+        // Drain: the remainder still comes out in admission order.
+        while let Some(item) = queue.pop() {
+            prop_assert_eq!(Some(item), admitted.pop_front());
+        }
+        prop_assert!(admitted.is_empty());
+    }
+}

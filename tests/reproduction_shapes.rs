@@ -22,7 +22,7 @@ fn mean_at(fig: &flowmark_core::experiment::Figure, fw: Framework, x: f64) -> f6
 
 #[test]
 fn fig1_wordcount_flink_ahead_at_scale_and_absolutes_close() {
-    let fig = experiments::fig1(&cal());
+    let fig = experiments::fig1(&cal()).expect("valid experiment config");
     for &nodes in &[16.0, 32.0] {
         let s = mean_at(&fig, Framework::Spark, nodes);
         let f = mean_at(&fig, Framework::Flink, nodes);
@@ -39,7 +39,7 @@ fn fig1_wordcount_flink_ahead_at_scale_and_absolutes_close() {
 
 #[test]
 fn fig2_wordcount_flink_wins_every_dataset_size() {
-    let fig = experiments::fig2(&cal());
+    let fig = experiments::fig2(&cal()).expect("valid experiment config");
     let h = fig.head_to_head().expect("both series");
     assert_eq!(h.flink_wins(), h.scales.len());
     assert!(h.max_flink_advantage() > 1.05 && h.max_flink_advantage() < 1.3);
@@ -47,7 +47,7 @@ fn fig2_wordcount_flink_wins_every_dataset_size() {
 
 #[test]
 fn fig4_fig5_grep_spark_wins_up_to_about_20_percent() {
-    for fig in [experiments::fig4(&cal()), experiments::fig5(&cal())] {
+    for fig in [experiments::fig4(&cal()).expect("valid experiment config"), experiments::fig5(&cal()).expect("valid experiment config")] {
         let h = fig.head_to_head().expect("both series");
         assert_eq!(h.spark_wins(), h.scales.len(), "{}", fig.id);
         let adv = h.max_spark_advantage();
@@ -57,7 +57,7 @@ fn fig4_fig5_grep_spark_wins_up_to_about_20_percent() {
 
 #[test]
 fn fig7_terasort_flink_faster_with_higher_variance() {
-    let fig = experiments::fig7(&cal());
+    let fig = experiments::fig7(&cal()).expect("valid experiment config");
     let h = fig.head_to_head().expect("both series");
     assert_eq!(h.flink_wins(), h.scales.len());
     // The paper: "although Flink is performing on average better than
@@ -81,7 +81,7 @@ fn fig7_terasort_flink_faster_with_higher_variance() {
 
 #[test]
 fn fig8_terasort_flink_advantage_grows_with_cluster() {
-    let fig = experiments::fig8(&cal());
+    let fig = experiments::fig8(&cal()).expect("valid experiment config");
     let h = fig.head_to_head().expect("both series");
     assert_eq!(h.flink_wins(), 3);
     let r55 = mean_at(&fig, Framework::Spark, 55.0) / mean_at(&fig, Framework::Flink, 55.0);
@@ -99,7 +99,7 @@ fn fig8_terasort_flink_advantage_grows_with_cluster() {
 
 #[test]
 fn fig11_kmeans_flink_wins_by_more_than_10_percent() {
-    let fig = experiments::fig11(&cal());
+    let fig = experiments::fig11(&cal()).expect("valid experiment config");
     let h = fig.head_to_head().expect("both series");
     assert_eq!(h.flink_wins(), h.scales.len());
     assert!(h.max_flink_advantage() > 1.10, "{}", h.max_flink_advantage());
@@ -114,8 +114,8 @@ fn fig11_kmeans_flink_wins_by_more_than_10_percent() {
 #[test]
 fn fig12_fig14_small_graph_flink_wins() {
     for (fig, max_adv) in [
-        (experiments::fig12(&cal()), 1.35),
-        (experiments::fig14(&cal()), 2.3),
+        (experiments::fig12(&cal()).expect("valid experiment config"), 1.35),
+        (experiments::fig14(&cal()).expect("valid experiment config"), 2.3),
     ] {
         let h = fig.head_to_head().expect("both series");
         assert_eq!(h.flink_wins(), h.scales.len(), "{}", fig.id);
@@ -125,8 +125,8 @@ fn fig12_fig14_small_graph_flink_wins() {
 
 #[test]
 fn fig15_cc_medium_flink_wins_by_a_larger_factor_than_small() {
-    let small = experiments::fig14(&cal()).head_to_head().unwrap();
-    let medium = experiments::fig15(&cal()).head_to_head().unwrap();
+    let small = experiments::fig14(&cal()).expect("valid experiment config").head_to_head().unwrap();
+    let medium = experiments::fig15(&cal()).expect("valid experiment config").head_to_head().unwrap();
     assert_eq!(medium.flink_wins(), medium.scales.len());
     // "by a much larger factor than in the case of Small Graphs (up to
     // 30%)": at least 25 % somewhere on the medium curve.
@@ -140,7 +140,7 @@ fn fig15_cc_medium_flink_wins_by_a_larger_factor_than_small() {
 
 #[test]
 fn table7_failure_pattern_matches_paper() {
-    let rows = experiments::table7(&cal());
+    let rows = experiments::table7(&cal()).expect("valid experiment config");
     assert_eq!(rows.len(), 3);
     let by_nodes = |n: u32| rows.iter().find(|r| r.nodes == n).unwrap();
 
@@ -175,13 +175,13 @@ fn table7_failure_pattern_matches_paper() {
 #[test]
 fn ablations_match_paper_directions() {
     let c = cal();
-    let (bulk, delta) = experiments::ablation_delta(&c);
+    let (bulk, delta) = experiments::ablation_delta(&c).expect("valid experiment config");
     assert!(delta < bulk * 0.6, "delta {delta:.0} vs bulk {bulk:.0}");
 
-    let (java, kryo) = experiments::ablation_serializer(&c);
+    let (java, kryo) = experiments::ablation_serializer(&c).expect("valid experiment config");
     assert!(kryo < java, "Kryo {kryo:.0} must beat Java {java:.0}");
 
-    let (spark_ts, flink_ts) = experiments::ablation_terasort_memory(&c);
+    let (spark_ts, flink_ts) = experiments::ablation_terasort_memory(&c).expect("valid experiment config");
     let gain = (spark_ts - flink_ts) / spark_ts;
     assert!(
         gain > 0.08 && gain < 0.25,
