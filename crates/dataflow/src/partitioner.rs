@@ -25,26 +25,34 @@ impl Default for FxHasher64 {
 }
 
 impl Hasher for FxHasher64 {
+    // `#[inline]` matters here: these non-generic methods otherwise stay
+    // opaque across the crate boundary, and `fxhash` sits on the per-message
+    // routing path of the iteration runtimes (`PartitionedGraph::owner`).
+    #[inline]
     fn finish(&self) -> u64 {
         self.state
     }
 
+    #[inline]
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
         }
     }
 
+    #[inline]
     fn write_u64(&mut self, i: u64) {
         self.state = (self.state.rotate_left(5) ^ i).wrapping_mul(SEED);
     }
 
+    #[inline]
     fn write_usize(&mut self, i: usize) {
         self.write_u64(i as u64);
     }
 }
 
 /// Hashes one value with [`FxHasher64`].
+#[inline]
 pub fn fxhash<T: Hash>(value: &T) -> u64 {
     let mut h = FxHasher64::default();
     value.hash(&mut h);

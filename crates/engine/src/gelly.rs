@@ -12,17 +12,15 @@
 use std::collections::HashMap;
 
 use crate::flink::FlinkEnv;
-use crate::iterate::{vertex_centric, IterationError, IterationMode, PartitionedGraph};
+use crate::iterate::{
+    vertex_centric_with_combiner, IterationError, IterationMode, PartitionedGraph,
+};
 
 /// Out-degree of every vertex (Gelly's `outDegrees`, used by Page Rank's
-/// setup phase).
+/// setup phase). Thin wrapper over the degrees CSR construction already
+/// computes — see [`PartitionedGraph::out_degrees`].
 pub fn out_degrees(edges: &[(u64, u64)]) -> HashMap<u64, u64> {
-    let mut d: HashMap<u64, u64> = HashMap::new();
-    for &(s, t) in edges {
-        *d.entry(s).or_insert(0) += 1;
-        d.entry(t).or_insert(0);
-    }
-    d
+    PartitionedGraph::from_edges(edges, 1).out_degrees()
 }
 
 /// Single-source shortest paths on an unweighted directed graph, as a
@@ -38,7 +36,7 @@ pub fn sssp(
     max_rounds: u32,
 ) -> Result<HashMap<u64, u64>, IterationError> {
     let graph = PartitionedGraph::from_edges(edges, partitions);
-    let values = vertex_centric(
+    let values = vertex_centric_with_combiner(
         env,
         &graph,
         |v, _| if v == source { 0u64 } else { u64::MAX },
@@ -54,6 +52,8 @@ pub fn sssp(
             };
             (candidate, changed, out)
         },
+        // Distances fold with `min`: combine before the channel.
+        Some(u64::min),
         max_rounds,
         IterationMode::Delta {
             solution_set_budget: None,

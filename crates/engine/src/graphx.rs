@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cache::StorageLevel;
+use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::spark::{Rdd, SparkContext};
 
 /// A Pregel vertex program for the staged engine.
@@ -54,51 +55,69 @@ where
     let edge_rdd: Rdd<(u64, u64)> = sc
         .parallelize(edges.to_vec(), partitions)
         .persist(StorageLevel::MemoryOnly);
-    let mut vertices: HashMap<u64, VV> = HashMap::new();
+    // Dense vertex universe: sorted ids + id → dense-index dictionary, so
+    // values and inboxes live in flat arrays instead of per-round maps.
+    let mut ids: Vec<u64> = Vec::with_capacity(edges.len() * 2);
     for &(s, t) in edges {
-        vertices.entry(s).or_insert_with(|| (program.init)(s));
-        vertices.entry(t).or_insert_with(|| (program.init)(t));
+        ids.push(s);
+        ids.push(t);
     }
+    ids.sort_unstable();
+    ids.dedup();
+    let nv = ids.len();
+    let mut index: FxHashMap<u64, u32> = fx_map_with_capacity(nv);
+    index.extend(ids.iter().enumerate().map(|(i, &v)| (v, i as u32)));
+    let index = Arc::new(index);
+    let mut values: Vec<VV> = ids.iter().map(|&v| (program.init)(v)).collect();
 
     // Superstep 0: deliver the initial message everywhere.
-    let mut inbox: HashMap<u64, M> = vertices
-        .keys()
-        .map(|&v| (v, program.initial_message.clone()))
+    let mut inbox: Vec<Option<M>> = (0..nv)
+        .map(|_| Some(program.initial_message.clone()))
         .collect();
+    let mut inbox_count = nv;
 
     let mut first_round = true;
     for _ in 0..max_rounds {
-        if inbox.is_empty() {
+        if inbox_count == 0 {
             break;
         }
         // Apply messages (driver-side, like GraphX's joinVertices); only
         // vertices whose value actually changed scatter next — Pregel's
         // halting rule (round 0 scatters unconditionally).
-        let mut changed: HashMap<u64, VV> = HashMap::with_capacity(inbox.len());
-        for (v, m) in &inbox {
-            let old = vertices.get(v).expect("vertex exists");
-            let new = (program.apply)(*v, old, m);
+        let mut changed: Vec<Option<VV>> = vec![None; nv];
+        let mut changed_count = 0usize;
+        for i in 0..nv {
+            let Some(m) = inbox[i].take() else { continue };
+            let old = &values[i];
+            let new = (program.apply)(ids[i], old, &m);
             if first_round || new != *old {
-                changed.insert(*v, new);
+                changed[i] = Some(new);
+                changed_count += 1;
             }
         }
         first_round = false;
-        for (v, value) in &changed {
-            vertices.insert(*v, value.clone());
-        }
-        if changed.is_empty() {
+        if changed_count == 0 {
             break;
+        }
+        for (i, c) in changed.iter().enumerate() {
+            if let Some(value) = c {
+                values[i] = value.clone();
+            }
         }
 
         // Scatter along edges whose source changed: a distributed
-        // join(edges, changed) → flatMap → reduceByKey wave.
+        // join(edges, changed) → flatMap → reduceByKey wave. The wave's
+        // map-side combine is the staged engine's sender-side combining,
+        // measured via the combine counter deltas.
         let changed = Arc::new(changed);
         let scatter = Arc::clone(&program.scatter);
-        let changed2 = Arc::clone(&changed);
+        let index2 = Arc::clone(&index);
+        let combine_in = sc.metrics().combine_input();
+        let combine_out = sc.metrics().combine_output();
         let messages = edge_rdd
             .flat_map(move |&(s, t)| {
-                changed2
-                    .get(&s)
+                changed[index2[&s] as usize]
+                    .as_ref()
                     .and_then(|value| scatter(s, value, t).map(|m| (t, m)))
                     .into_iter()
                     .collect::<Vec<_>>()
@@ -110,10 +129,17 @@ where
                 },
                 partitions,
             );
-        inbox = messages.collect_as_map();
+        inbox_count = 0;
+        for (t, m) in messages.collect_as_map() {
+            inbox[index[&t] as usize] = Some(m);
+            inbox_count += 1;
+        }
+        let eliminated = (sc.metrics().combine_input() - combine_in)
+            .saturating_sub(sc.metrics().combine_output() - combine_out);
+        sc.metrics().add_messages_combined(eliminated);
         sc.metrics().add_iterations_run(1);
     }
-    vertices
+    ids.into_iter().zip(values).collect()
 }
 
 /// Single-source shortest paths via [`pregel`] (unweighted).

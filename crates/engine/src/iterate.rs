@@ -22,6 +22,7 @@
 //! therefore stays at the worker count no matter how many rounds run — the
 //! observable difference from the staged engine's loop unrolling.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -30,6 +31,8 @@ use flowmark_dataflow::partitioner::fxhash;
 
 use crate::faults::FaultPlan;
 use crate::flink::FlinkEnv;
+use crate::hash::{fx_map_with_capacity, FxHashMap};
+use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
 
 /// Driver-side fault handling shared by both iteration runtimes: decides,
@@ -192,29 +195,106 @@ where
     })
 }
 
-/// A hash-partitioned adjacency representation.
+/// One partition's adjacency in CSR (compressed sparse row) form: vertex
+/// `i` of the partition owns out-neighbours
+/// `targets[offsets[i]..offsets[i + 1]]`. Two flat arrays replace the old
+/// per-vertex `Vec<u64>` lists, so a superstep walks contiguous memory
+/// instead of chasing one heap allocation per vertex.
+#[derive(Debug, Clone)]
+pub struct CsrPart {
+    /// Owned vertex ids, ascending; position = dense index.
+    pub vertex_ids: Vec<u64>,
+    /// CSR row starts into `targets`; `len == vertex_ids.len() + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated out-neighbour lists, edge-list order per source.
+    pub targets: Vec<u64>,
+    /// Vertex id → dense index dictionary for message delivery.
+    index: FxHashMap<u64, u32>,
+}
+
+impl CsrPart {
+    /// Vertices owned by this partition.
+    pub fn len(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// True when the partition owns no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_ids.is_empty()
+    }
+
+    /// Out-neighbours of the vertex at dense index `i`.
+    pub fn neighbours(&self, i: usize) -> &[u64] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Dense index of a vertex id, when owned here.
+    pub fn dense_index(&self, vertex: u64) -> Option<u32> {
+        self.index.get(&vertex).copied()
+    }
+}
+
+/// A hash-partitioned CSR adjacency representation.
 #[derive(Debug, Clone)]
 pub struct PartitionedGraph {
-    /// Per partition: `(vertex, out-neighbours)` lists.
-    pub parts: Vec<Vec<(u64, Vec<u64>)>>,
+    /// Per-partition CSR adjacency.
+    pub parts: Vec<CsrPart>,
 }
 
 impl PartitionedGraph {
-    /// Builds the partitioned out-adjacency from an edge list. Vertices
-    /// that appear only as targets get an empty adjacency entry so that
-    /// vertex programs see them.
+    /// Builds the partitioned CSR out-adjacency from an edge list in two
+    /// passes: degree count, then cursor fill. Vertices that appear only
+    /// as targets get an empty row so that vertex programs see them.
+    /// Every map and array is pre-sized from the known edge/vertex counts.
     pub fn from_edges(edges: &[(u64, u64)], partitions: usize) -> Self {
         assert!(partitions > 0);
-        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        // Pass 1: out-degrees (sinks registered at degree 0).
+        let mut deg: FxHashMap<u64, u32> = fx_map_with_capacity(edges.len() * 2);
         for &(s, t) in edges {
-            adj.entry(s).or_default().push(t);
-            adj.entry(t).or_default();
+            *deg.entry(s).or_insert(0) += 1;
+            deg.entry(t).or_insert(0);
         }
-        let mut parts: Vec<Vec<(u64, Vec<u64>)>> = (0..partitions).map(|_| Vec::new()).collect();
-        let mut vertices: Vec<_> = adj.into_iter().collect();
-        vertices.sort_unstable_by_key(|(v, _)| *v);
-        for (v, ns) in vertices {
-            parts[Self::owner(v, partitions)].push((v, ns));
+        let mut ids: Vec<u64> = Vec::with_capacity(deg.len());
+        ids.extend(deg.keys().copied());
+        ids.sort_unstable();
+        // Distribute in ascending id order so each partition's vertex list
+        // comes out sorted (dense index order = id order).
+        let per_part = ids.len() / partitions + 1;
+        let mut parts: Vec<CsrPart> = (0..partitions)
+            .map(|_| CsrPart {
+                vertex_ids: Vec::with_capacity(per_part),
+                offsets: Vec::with_capacity(per_part + 1),
+                targets: Vec::new(),
+                index: fx_map_with_capacity(per_part),
+            })
+            .collect();
+        for &v in &ids {
+            let p = &mut parts[Self::owner(v, partitions)];
+            p.index.insert(v, p.vertex_ids.len() as u32);
+            p.vertex_ids.push(v);
+        }
+        // Offsets: per-partition prefix sums over the out-degrees.
+        for p in &mut parts {
+            p.offsets.push(0);
+            let mut total = 0u32;
+            for &v in &p.vertex_ids {
+                total += deg[&v];
+                p.offsets.push(total);
+            }
+            p.targets = vec![0; total as usize];
+        }
+        // Pass 2: place targets with per-row write cursors, preserving the
+        // edge-list order per source (same adjacency order as before).
+        let mut cursors: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|p| p.offsets[..p.len()].to_vec())
+            .collect();
+        for &(s, t) in edges {
+            let pi = Self::owner(s, partitions);
+            let row = parts[pi].index[&s] as usize;
+            let c = &mut cursors[pi][row];
+            parts[pi].targets[*c as usize] = t;
+            *c += 1;
         }
         Self { parts }
     }
@@ -226,12 +306,24 @@ impl PartitionedGraph {
 
     /// Total vertex count.
     pub fn vertex_count(&self) -> usize {
-        self.parts.iter().map(Vec::len).sum()
+        self.parts.iter().map(CsrPart::len).sum()
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Out-degree of every vertex, read straight off the CSR offsets
+    /// (the degrees `from_edges` already computed).
+    pub fn out_degrees(&self) -> HashMap<u64, u64> {
+        let mut out: HashMap<u64, u64> = HashMap::with_capacity(self.vertex_count());
+        for p in &self.parts {
+            for (i, &v) in p.vertex_ids.iter().enumerate() {
+                out.insert(v, (p.offsets[i + 1] - p.offsets[i]) as u64);
+            }
+        }
+        out
     }
 }
 
@@ -255,20 +347,50 @@ pub enum IterationMode {
 pub type VertexCompute<VV, M> =
     dyn Fn(u64, &VV, &[M], &[u64]) -> (VV, bool, Vec<(u64, M)>) + Send + Sync;
 
-/// Runs a vertex-centric iteration over a partitioned graph.
-///
-/// Workers (one per partition) are deployed once and keep their vertex
-/// values — the solution set — in local state across supersteps. Message
-/// routing happens at a per-round barrier (Flink's iteration sync, the
-/// "Sync Bulk Iteration" span of Fig 10).
-///
-/// Returns the final vertex values, or [`IterationError::SolutionSetOom`]
-/// when a delta iteration's solution set exceeds its budget.
+/// An associative, commutative message combiner (Pregel's `Combiner`):
+/// folds two messages bound for the same vertex into one *before* they
+/// cross the channel. `sum` for Page Rank, `min` for CC/SSSP.
+pub type MessageCombiner<M> = fn(M, M) -> M;
+
+/// Runs a vertex-centric iteration without a message combiner; see
+/// [`vertex_centric_with_combiner`].
 pub fn vertex_centric<VV, M>(
     env: &FlinkEnv,
     graph: &PartitionedGraph,
     init: impl Fn(u64, &[u64]) -> VV + Send + Sync,
     compute: &VertexCompute<VV, M>,
+    max_rounds: u32,
+    mode: IterationMode,
+) -> Result<HashMap<u64, VV>, IterationError>
+where
+    VV: Clone + Send + Sync,
+    M: Clone + Send + Sync,
+{
+    vertex_centric_with_combiner(env, graph, init, compute, None, max_rounds, mode)
+}
+
+/// Runs a vertex-centric iteration over a partitioned CSR graph.
+///
+/// Workers (one per partition) are deployed once and keep their vertex
+/// values — the solution set — as a flat `Vec` indexed by the CSR dense
+/// id. Message routing happens at a per-round barrier (Flink's iteration
+/// sync, the "Sync Bulk Iteration" span of Fig 10); all superstep buffers
+/// circulate through [`BufferPool`]s so steady-state rounds allocate
+/// nothing.
+///
+/// When `combiner` is given, each worker pre-combines its outgoing
+/// messages per destination vertex in per-destination-partition outboxes
+/// before they cross the channel, and the messages eliminated are counted
+/// in the `messages_combined` metric.
+///
+/// Returns the final vertex values, or [`IterationError::SolutionSetOom`]
+/// when a delta iteration's solution set exceeds its budget.
+pub fn vertex_centric_with_combiner<VV, M>(
+    env: &FlinkEnv,
+    graph: &PartitionedGraph,
+    init: impl Fn(u64, &[u64]) -> VV + Send + Sync,
+    compute: &VertexCompute<VV, M>,
+    combiner: Option<MessageCombiner<M>>,
     max_rounds: u32,
     mode: IterationMode,
 ) -> Result<HashMap<u64, VV>, IterationError>
@@ -298,11 +420,19 @@ where
         Finish,
     }
     struct FromWorker<M, VV> {
-        #[allow(dead_code)] // diagnostic identity, useful in panics
         part: usize,
-        outgoing: Vec<(u64, M)>,
+        /// Outgoing messages, pre-routed per destination partition.
+        outgoing: Vec<Vec<(u64, M)>>,
         values: Option<Vec<(u64, VV)>>,
     }
+
+    // Superstep buffers circulate driver ↔ workers through these pools:
+    // `msg_pool` recycles the flat `(target, message)` vectors, `box_pool`
+    // the per-destination carriers.
+    let msg_pool: BufferPool<(u64, M)> = BufferPool::new(n * (n + 2));
+    let box_pool: BufferPool<Vec<(u64, M)>> = BufferPool::new(n);
+    let msg_pool = &msg_pool;
+    let box_pool = &box_pool;
 
     let init = &init;
     std::thread::scope(|scope| {
@@ -315,13 +445,15 @@ where
             let env2 = env.clone();
             scope.spawn(move || {
                 env2.metrics().add_tasks_launched(1);
-                // Worker-local solution set, maintained across rounds.
-                let mut values: HashMap<u64, VV> = part
+                let nv = part.len();
+                // Worker-local solution set, maintained across rounds:
+                // a dense array indexed by the CSR dense id.
+                let mut values: Vec<VV> = part
+                    .vertex_ids
                     .iter()
-                    .map(|(v, ns)| (*v, init(*v, ns)))
+                    .enumerate()
+                    .map(|(i, &v)| init(v, part.neighbours(i)))
                     .collect();
-                let adjacency: HashMap<u64, &[u64]> =
-                    part.iter().map(|(v, ns)| (*v, ns.as_slice())).collect();
                 let is_delta = matches!(mode, IterationMode::Delta { .. });
                 let mut first_round = true;
                 // Last snapshot of (solution set, first-round flag); armed
@@ -331,11 +463,24 @@ where
                     .faults()
                     .active()
                     .then(|| (values.clone(), first_round));
+                // Dense inboxes, allocated once; each slot is cleared right
+                // after its vertex computes, so capacity carries over and
+                // steady-state supersteps stay allocation-free.
+                let mut inbox: Vec<Vec<M>> = (0..nv).map(|_| Vec::new()).collect();
+                // Sender-side combining state: one pre-combine map per
+                // destination partition, drained (capacity kept) per round.
+                let mut combine_boxes: Vec<FxHashMap<u64, M>> =
+                    (0..if combiner.is_some() { n } else { 0 })
+                        .map(|_| FxHashMap::default())
+                        .collect();
                 for msg in rx.iter() {
-                    let incoming = match msg {
+                    let mut incoming = match msg {
                         ToWorker::Round(m) => m,
                         ToWorker::Snapshot => {
                             env2.metrics().add_checkpoints_taken(1);
+                            // Byte-accounted as logical (id, value) entries,
+                            // exactly like the old map-backed solution set,
+                            // so Table VII budgets are unchanged.
                             env2.metrics().add_checkpoint_bytes(
                                 (values.len() * std::mem::size_of::<(u64, VV)>()) as u64,
                             );
@@ -350,28 +495,60 @@ where
                         }
                         ToWorker::Finish => break,
                     };
-                    let mut inbox: HashMap<u64, Vec<M>> = HashMap::new();
-                    for (v, m) in incoming {
-                        inbox.entry(v).or_default().push(m);
+                    // Deliver into the dense inbox slots.
+                    for (v, m) in incoming.drain(..) {
+                        let i = part.index[&v] as usize;
+                        inbox[i].push(m);
                     }
-                    let mut outgoing: Vec<(u64, M)> = Vec::new();
-                    // Deterministic vertex order within the partition.
-                    for (v, _ns) in part {
-                        let active = !is_delta || first_round || inbox.contains_key(v);
+                    msg_pool.put(incoming);
+                    let mut outgoing: Vec<Vec<(u64, M)>> = box_pool.take(n);
+                    for _ in 0..n {
+                        outgoing.push(msg_pool.take(0));
+                    }
+                    let mut raw_sent = 0u64;
+                    // Dense-index order == ascending vertex-id order.
+                    for i in 0..nv {
+                        let active = !is_delta || first_round || !inbox[i].is_empty();
                         if !active {
                             continue;
                         }
-                        let empty: Vec<M> = Vec::new();
-                        let msgs = inbox.get(v).unwrap_or(&empty);
-                        let value = values.get(v).expect("vertex owned here");
+                        let v = part.vertex_ids[i];
                         let (new_value, changed, out) =
-                            compute(*v, value, msgs, adjacency[v]);
+                            compute(v, &values[i], &inbox[i], part.neighbours(i));
+                        inbox[i].clear();
                         if changed || !is_delta {
-                            values.insert(*v, new_value);
+                            values[i] = new_value;
                         }
                         if changed || !is_delta || first_round {
-                            outgoing.extend(out);
+                            if let Some(c) = combiner {
+                                raw_sent += out.len() as u64;
+                                for (t, m) in out {
+                                    let dest = PartitionedGraph::owner(t, n);
+                                    match combine_boxes[dest].entry(t) {
+                                        Entry::Occupied(mut e) => {
+                                            let prev = e.get().clone();
+                                            e.insert(c(prev, m));
+                                        }
+                                        Entry::Vacant(e) => {
+                                            e.insert(m);
+                                        }
+                                    }
+                                }
+                            } else {
+                                for (t, m) in out {
+                                    outgoing[PartitionedGraph::owner(t, n)].push((t, m));
+                                }
+                            }
                         }
+                    }
+                    if combiner.is_some() {
+                        let mut combined_sent = 0u64;
+                        for (dest, cbox) in combine_boxes.iter_mut().enumerate() {
+                            combined_sent += cbox.len() as u64;
+                            outgoing[dest].extend(cbox.drain());
+                        }
+                        env2.metrics()
+                            .add_messages_combined(raw_sent - combined_sent);
                     }
                     first_round = false;
                     from_tx
@@ -383,7 +560,8 @@ where
                         .expect("driver alive");
                 }
                 // Final value dump.
-                let dump: Vec<(u64, VV)> = values.into_iter().collect();
+                let dump: Vec<(u64, VV)> =
+                    part.vertex_ids.iter().copied().zip(values).collect();
                 from_tx
                     .send(FromWorker {
                         part: p,
@@ -404,7 +582,10 @@ where
         // undelivered messages). The worker-side half is the solution set.
         let mut checkpoint: (u32, Vec<Vec<(u64, M)>>) =
             (0, (0..n).map(|_| Vec::new()).collect());
-        let mut pending: Vec<Vec<(u64, M)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut pending: Vec<Vec<(u64, M)>> = (0..n).map(|_| msg_pool.take(0)).collect();
+        // Arrival slots, reused every round so worker outputs always merge
+        // in partition order (deterministic routing) without reallocating.
+        let mut arrived: Vec<Option<Vec<Vec<(u64, M)>>>> = (0..n).map(|_| None).collect();
         let mut round = 0u32;
         while round < max_rounds {
             let is_delta = matches!(mode, IterationMode::Delta { .. });
@@ -423,15 +604,21 @@ where
                 continue;
             }
             for (p, tx) in to_workers.iter().enumerate() {
-                tx.send(ToWorker::Round(std::mem::take(&mut pending[p])))
-                    .expect("worker alive");
+                let buf = std::mem::replace(&mut pending[p], msg_pool.take(0));
+                tx.send(ToWorker::Round(buf)).expect("worker alive");
             }
             for _ in 0..n {
                 let out = from_rx.recv().expect("workers alive");
                 debug_assert!(out.values.is_none());
-                for (target, m) in out.outgoing {
-                    pending[PartitionedGraph::owner(target, n)].push((target, m));
+                arrived[out.part] = Some(out.outgoing);
+            }
+            for slot in &mut arrived {
+                let mut boxes = slot.take().expect("every worker reported");
+                for (dest, mut buf) in boxes.drain(..).enumerate() {
+                    pending[dest].append(&mut buf);
+                    msg_pool.put(buf);
                 }
+                box_pool.put(boxes);
             }
             env.metrics().add_iterations_run(1);
             round += 1;

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod faults;
@@ -40,7 +41,8 @@ pub use cache::StorageLevel;
 pub use faults::{CancelToken, FaultConfig, FaultPlan, JobCancelled};
 pub use flink::{DataSet, FlinkEnv};
 pub use iterate::{
-    bulk_iterate, vertex_centric, IterationError, IterationMode, PartitionedGraph,
+    bulk_iterate, vertex_centric, vertex_centric_with_combiner, CsrPart, IterationError,
+    IterationMode, MessageCombiner, PartitionedGraph,
 };
 pub use flowmark_core::config::{EngineConfig, PartitionerChoice};
 pub use metrics::{EngineMetrics, MetricsSnapshot, RecoverySnapshot};

@@ -32,6 +32,7 @@ struct Counters {
     tasks_launched: AtomicU64,
     iterations_run: AtomicU64,
     backpressure_waits: AtomicU64,
+    messages_combined: AtomicU64,
     // Recovery section (engine::faults): what failure injection cost the run.
     injected_failures: AtomicU64,
     injected_stragglers: AtomicU64,
@@ -78,6 +79,11 @@ pub struct MetricsSnapshot {
     /// Pipelined sends that found the bounded channel full and had to
     /// block — the backpressure signal the network-buffer knob relieves.
     pub backpressure_waits: u64,
+    /// Iteration messages eliminated by sender-side combining before they
+    /// crossed a channel (raw messages − combined messages); `default`
+    /// keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub messages_combined: u64,
     /// Recovery counters (fault injection and its repair costs).
     pub recovery: RecoverySnapshot,
 }
@@ -150,6 +156,7 @@ impl EngineMetrics {
         tasks_launched => add_tasks_launched, tasks_launched;
         iterations_run => add_iterations_run, iterations_run;
         backpressure_waits => add_backpressure_waits, backpressure_waits;
+        messages_combined => add_messages_combined, messages_combined;
         injected_failures => add_injected_failures, injected_failures;
         injected_stragglers => add_injected_stragglers, injected_stragglers;
         task_retries => add_task_retries, task_retries;
@@ -180,6 +187,7 @@ impl EngineMetrics {
             tasks_launched: self.tasks_launched(),
             iterations_run: self.iterations_run(),
             backpressure_waits: self.backpressure_waits(),
+            messages_combined: self.messages_combined(),
             recovery: self.recovery(),
         }
     }

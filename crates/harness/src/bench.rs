@@ -1,31 +1,40 @@
 //! `repro bench --smoke`: wall-clock micro-benchmark of the real-engine
-//! shuffle/aggregation hot path.
+//! hot paths.
 //!
-//! Runs Word Count, Grep and TeraSort on both engines at fixed seeds and
-//! fixed input sizes, verifies every output against the sequential oracle,
-//! and reports per-workload throughput. The smoke bench exists to keep the
-//! PR-level performance claims honest: `BENCH_PR1_SEED.json` captures the
-//! pre-optimization hot path, and later runs embed it as the baseline and
-//! report speedups against it (`BENCH_PR1.json`).
+//! Runs the batch workloads (Word Count, Grep, TeraSort) *and* the
+//! iterative workloads (K-Means, Page Rank, Connected Components) on both
+//! engines at fixed seeds and fixed input sizes, verifies every output
+//! against the sequential oracle, and reports per-workload throughput. The
+//! smoke bench exists to keep the PR-level performance claims honest:
+//! `BENCH_PR1_SEED.json` captures the pre-optimization shuffle path
+//! (`BENCH_PR1.json` reports against it), and `BENCH_PR5.json` embeds the
+//! pre-CSR iteration baseline the same way.
 
 use std::time::Instant;
 
+use flowmark_datagen::graph::{RmatGen, RmatParams};
+use flowmark_datagen::points::{PointsConfig, PointsGen};
 use flowmark_datagen::terasort::TeraGen;
 use flowmark_datagen::text::{TextGen, TextGenConfig};
 use flowmark_engine::flink::FlinkEnv;
 use flowmark_engine::spark::SparkContext;
-use flowmark_workloads::{grep, terasort, wordcount};
+use flowmark_workloads::connected::{self, CcVariant};
+use flowmark_workloads::{grep, kmeans, pagerank, terasort, wordcount};
 use serde::{Deserialize, Serialize};
 
 /// Fixed seeds so every run measures the same dataset.
 const WC_SEED: u64 = 7;
 const GREP_SEED: u64 = 3;
 const TS_SEED: u64 = 11;
+const KM_SEED: u64 = 13;
+const PR_SEED: u64 = 17;
+const CC_SEED: u64 = 19;
 
 /// One measured cell: a workload on one engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchCell {
-    /// Workload id: `wordcount`, `grep` or `terasort`.
+    /// Workload id: `wordcount`, `grep`, `terasort`, `kmeans`, `pagerank`
+    /// or `connected`.
     pub workload: String,
     /// Engine id: `spark` (staged) or `flink` (pipelined).
     pub engine: String,
@@ -38,6 +47,11 @@ pub struct BenchCell {
     /// Records crossing the shuffle, from [`EngineMetrics`]; stable across
     /// perf refactors by design (checked by tests).
     pub records_shuffled: u64,
+    /// Iteration messages removed by sender-side combining before they
+    /// crossed a channel; 0 for the batch workloads (`default` keeps
+    /// pre-existing JSON artifacts parseable).
+    #[serde(default)]
+    pub messages_combined: u64,
     /// True when the output matched the sequential oracle.
     pub verified: bool,
 }
@@ -73,6 +87,13 @@ pub struct SmokeScale {
     pub lines: usize,
     /// TeraSort records.
     pub ts_records: usize,
+    /// R-MAT edges for Page Rank / Connected Components.
+    pub graph_edges: usize,
+    /// K-Means sample points.
+    pub kmeans_points: usize,
+    /// Supersteps for the iterative workloads (PR iterations, K-Means
+    /// rounds; CC always runs to its fixpoint).
+    pub rounds: u32,
     /// Timed iterations per cell (best-of-N).
     pub iterations: u32,
     /// Engine parallelism.
@@ -85,6 +106,9 @@ impl SmokeScale {
         Self {
             lines: 120_000,
             ts_records: 150_000,
+            graph_edges: 120_000,
+            kmeans_points: 200_000,
+            rounds: 10,
             iterations: 3,
             partitions: 8,
         }
@@ -95,6 +119,9 @@ impl SmokeScale {
         Self {
             lines: 1_500,
             ts_records: 1_500,
+            graph_edges: 1_200,
+            kmeans_points: 1_500,
+            rounds: 3,
             iterations: 1,
             partitions: 4,
         }
@@ -121,7 +148,7 @@ fn cell(
     engine: &str,
     records: u64,
     seconds: f64,
-    records_shuffled: u64,
+    metrics: &flowmark_engine::EngineMetrics,
     verified: bool,
 ) -> BenchCell {
     BenchCell {
@@ -134,13 +161,15 @@ fn cell(
         } else {
             0.0
         },
-        records_shuffled,
+        records_shuffled: metrics.records_shuffled(),
+        messages_combined: metrics.messages_combined(),
         verified,
     }
 }
 
-/// Runs the smoke benchmark: WC + Grep + TeraSort on both engines, each
-/// cell verified against the sequential oracle.
+/// Runs the smoke benchmark: WC + Grep + TeraSort + K-Means + Page Rank +
+/// Connected Components on both engines, each cell verified against the
+/// sequential oracle.
 pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
     let mut cells = Vec::new();
     let parts = scale.partitions;
@@ -159,7 +188,7 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "spark",
             lines.len() as u64,
             secs,
-            sc.metrics().records_shuffled(),
+            sc.metrics(),
             out == wc_expect,
         ));
     }
@@ -174,7 +203,7 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "flink",
             lines.len() as u64,
             secs,
-            env.metrics().records_shuffled(),
+            env.metrics(),
             out == wc_expect,
         ));
     }
@@ -198,7 +227,7 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "spark",
             lines.len() as u64,
             secs,
-            sc.metrics().records_shuffled(),
+            sc.metrics(),
             out == grep_expect,
         ));
     }
@@ -213,7 +242,7 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "flink",
             lines.len() as u64,
             secs,
-            env.metrics().records_shuffled(),
+            env.metrics(),
             out == grep_expect,
         ));
     }
@@ -243,7 +272,7 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "spark",
             records.len() as u64,
             secs,
-            sc.metrics().records_shuffled(),
+            sc.metrics(),
             ts_ok(&out),
         ));
     }
@@ -258,8 +287,121 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
             "flink",
             records.len() as u64,
             secs,
-            env.metrics().records_shuffled(),
+            env.metrics(),
             ts_ok(&out),
+        ));
+    }
+
+    // --- K-Means ----------------------------------------------------------
+    let mut km_gen = PointsGen::new(PointsConfig::default(), KM_SEED);
+    let km_init: Vec<_> = km_gen.true_centers().to_vec();
+    let km_points = km_gen.points(scale.kmeans_points);
+    let km_expect = kmeans::oracle(&km_points, km_init.clone(), scale.rounds);
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    let km_ok = |out: &[flowmark_datagen::points::Point]| {
+        out.len() == km_expect.len()
+            && out
+                .iter()
+                .zip(&km_expect)
+                .all(|(p, q)| close(p.x, q.x) && close(p.y, q.y))
+    };
+    {
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            kmeans::run_spark(&sc, km_points.clone(), km_init.clone(), scale.rounds, parts)
+        });
+        cells.push(cell(
+            "kmeans",
+            "spark",
+            km_points.len() as u64,
+            secs,
+            sc.metrics(),
+            km_ok(&out),
+        ));
+    }
+    {
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            kmeans::run_flink(&env, km_points.clone(), km_init.clone(), scale.rounds)
+        });
+        cells.push(cell(
+            "kmeans",
+            "flink",
+            km_points.len() as u64,
+            secs,
+            env.metrics(),
+            km_ok(&out),
+        ));
+    }
+
+    // --- Page Rank --------------------------------------------------------
+    let pr_edges = RmatGen::new(10, RmatParams::default(), PR_SEED).edges(scale.graph_edges);
+    let pr_expect = pagerank::oracle(&pr_edges, scale.rounds);
+    let pr_ok = |out: &std::collections::HashMap<u64, f64>| {
+        out.len() == pr_expect.len()
+            && out
+                .iter()
+                .all(|(v, r)| close(*r, pr_expect.get(v).copied().unwrap_or(f64::NAN)))
+    };
+    {
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            pagerank::run_spark(&sc, &pr_edges, scale.rounds, parts)
+        });
+        cells.push(cell(
+            "pagerank",
+            "spark",
+            pr_edges.len() as u64,
+            secs,
+            sc.metrics(),
+            pr_ok(&out),
+        ));
+    }
+    {
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            pagerank::run_flink(&env, &pr_edges, scale.rounds, parts)
+        });
+        cells.push(cell(
+            "pagerank",
+            "flink",
+            pr_edges.len() as u64,
+            secs,
+            env.metrics(),
+            out.as_ref().map(|m| pr_ok(m)).unwrap_or(false),
+        ));
+    }
+
+    // --- Connected Components ---------------------------------------------
+    let cc_edges = RmatGen::new(10, RmatParams::default(), CC_SEED).edges(scale.graph_edges);
+    let cc_expect = connected::oracle(&cc_edges);
+    {
+        let sc = SparkContext::new(parts, 256 << 20);
+        let (secs, out) = time_best(scale.iterations, || {
+            connected::run_spark(&sc, &cc_edges, 200, parts)
+        });
+        cells.push(cell(
+            "connected",
+            "spark",
+            cc_edges.len() as u64,
+            secs,
+            sc.metrics(),
+            out == cc_expect,
+        ));
+    }
+    {
+        // Delta variant: exercises the dense solution-set path.
+        let env = FlinkEnv::new(parts);
+        let (secs, out) = time_best(scale.iterations, || {
+            connected::run_flink(&env, &cc_edges, 200, parts, CcVariant::Delta, None)
+        });
+        cells.push(cell(
+            "connected",
+            "flink",
+            cc_edges.len() as u64,
+            secs,
+            env.metrics(),
+            out.map(|m| m == cc_expect).unwrap_or(false),
         ));
     }
 
@@ -330,7 +472,7 @@ mod tests {
     #[test]
     fn tiny_smoke_verifies_all_cells() {
         let report = run_smoke(SmokeScale::tiny(), "test");
-        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.cells.len(), 12);
         for c in &report.cells {
             assert!(c.verified, "{}/{} diverged from oracle", c.workload, c.engine);
             assert!(c.records > 0 && c.seconds >= 0.0);
@@ -345,7 +487,7 @@ mod tests {
             c.records_per_sec /= 2.0;
         }
         let cmp = compare(b, Some(a));
-        assert_eq!(cmp.speedup_vs_seed.len(), 6);
+        assert_eq!(cmp.speedup_vs_seed.len(), 12);
         for (_, s) in &cmp.speedup_vs_seed {
             assert!((s - 2.0).abs() < 1e-9);
         }

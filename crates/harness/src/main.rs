@@ -176,7 +176,7 @@ fn run() -> Result<(), HarnessError> {
                 ));
             }
             let label = flag_value(&rest, "--label").unwrap_or_else(|| "optimized".into());
-            let out_path = flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR1.json".into());
+            let out_path = flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR5.json".into());
             let baseline_path =
                 flag_value(&rest, "--seed-baseline").unwrap_or_else(|| "BENCH_PR1_SEED.json".into());
             let report = bench::run_smoke(SmokeScale::full(), &label);

@@ -94,8 +94,11 @@ pub fn classify(
     let pool_bump = if metrics.recovery.pool_exhausted > 0 { 0.25 } else { 0.0 };
     let mem_pressure = (1.5 * spill_frac + pool_bump).min(1.0);
 
-    let blocked_frac =
-        metrics.backpressure_waits as f64 / (metrics.records_shuffled.max(1) as f64);
+    // Messages eliminated by sender-side combining never hit the wire but
+    // were still produced by the job: counting them in the denominator
+    // keeps a well-combined iteration from reading as network-bound.
+    let blocked_frac = metrics.backpressure_waits as f64
+        / ((metrics.records_shuffled + metrics.messages_combined).max(1) as f64);
     let wire_saturation = (4.0 * blocked_frac).min(1.0);
 
     const MIB: f64 = 1024.0 * 1024.0;
@@ -186,6 +189,22 @@ mod tests {
         });
         let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
         assert_eq!(v.bottleneck, Bottleneck::Network);
+    }
+
+    #[test]
+    fn combined_messages_dilute_the_network_signal() {
+        // Same 4 000 blocked sends as `backpressure_reads_as_network_bound`,
+        // but a combiner eliminated 90 000 messages before the wire — the
+        // iteration is doing far more work per blocked send than the raw
+        // shuffle count suggests, so the verdict must not be Network.
+        let metrics = snapshot(|m| {
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+            m.add_backpressure_waits(4_000);
+            m.add_messages_combined(90_000);
+        });
+        let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
+        assert_ne!(v.bottleneck, Bottleneck::Network);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{IterationKind, LogicalPlan};
 use flowmark_engine::flink::FlinkEnv;
-use flowmark_engine::iterate::{vertex_centric, IterationMode, PartitionedGraph};
+use flowmark_engine::iterate::{vertex_centric_with_combiner, IterationMode, PartitionedGraph};
 use flowmark_engine::spark::SparkContext;
 use flowmark_engine::IterationError;
 
@@ -103,7 +103,16 @@ pub fn run_flink(
             solution_set_budget: budget,
         },
     };
-    vertex_centric(env, &graph, |v, _| v, &propagate, max_rounds, mode)
+    // Component labels fold with `min`: combine before the channel.
+    vertex_centric_with_combiner(
+        env,
+        &graph,
+        |v, _| v,
+        &propagate,
+        Some(u64::min),
+        max_rounds,
+        mode,
+    )
 }
 
 /// Runs Connected Components on the staged engine: RDD label propagation
@@ -133,7 +142,14 @@ pub fn run_spark(
             let l = current.get(v).copied().unwrap_or(*v);
             ns.iter().map(|&t| (t, l)).collect::<Vec<_>>()
         });
+        // Map-side combine == sender-side message combining (counter delta).
+        let combine_in = sc.metrics().combine_input();
+        let combine_out = sc.metrics().combine_output();
         let mins = msgs.reduce_by_key(|a, b| *a = (*a).min(b)).collect_as_map();
+        sc.metrics().add_messages_combined(
+            (sc.metrics().combine_input() - combine_in)
+                .saturating_sub(sc.metrics().combine_output() - combine_out),
+        );
         let mut changed = false;
         for (v, l) in labels.iter_mut() {
             if let Some(m) = mins.get(v) {

@@ -14,7 +14,7 @@ use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{CostAnnotation, ExchangeMode, IterationKind, LogicalPlan};
 use flowmark_engine::flink::FlinkEnv;
-use flowmark_engine::iterate::{vertex_centric, IterationMode, PartitionedGraph};
+use flowmark_engine::iterate::{vertex_centric_with_combiner, IterationMode, PartitionedGraph};
 use flowmark_engine::spark::SparkContext;
 use flowmark_engine::IterationError;
 
@@ -201,7 +201,7 @@ pub fn run_flink(
     // scatters the initial ranks; each later superstep recomputes the rank
     // from the gathered shares — zero shares still re-rank to `base`, like
     // the oracle's dangling-in-degree vertices.
-    let values = vertex_centric(
+    let values = vertex_centric_with_combiner(
         env,
         &graph,
         |_, _| (1.0 / n, 0u32),
@@ -220,6 +220,8 @@ pub fn run_flink(
             };
             ((new_rank, round + 1), true, out)
         },
+        // Rank shares fold with `+`: combine before the channel.
+        Some(|a: f64, b: f64| a + b),
         iterations + 1, // superstep 0 is the initial scatter
         IterationMode::Bulk,
     )?;
@@ -260,7 +262,15 @@ pub fn run_spark(
                 ns.iter().map(|&t| (t, share)).collect::<Vec<_>>()
             }
         });
+        // The wave's map-side combine is the staged engine's sender-side
+        // message combining; the counter deltas measure what it eliminated.
+        let combine_in = sc.metrics().combine_input();
+        let combine_out = sc.metrics().combine_output();
         let sums = contribs.reduce_by_key(|a, b| *a += b).collect_as_map();
+        sc.metrics().add_messages_combined(
+            (sc.metrics().combine_input() - combine_in)
+                .saturating_sub(sc.metrics().combine_output() - combine_out),
+        );
         for (v, r) in ranks.iter_mut() {
             *r = base + DAMPING * sums.get(v).copied().unwrap_or(0.0);
         }

@@ -1,11 +1,13 @@
 //! Integration smoke for `repro bench --smoke` (satellite of the PR-1
-//! shuffle hot-path overhaul).
+//! shuffle hot-path overhaul, extended by the PR-5 iteration rework).
 //!
-//! Runs the same benchmark the CLI runs — Word Count, Grep, TeraSort on
-//! both engines at fixed seeds — but at the tiny test scale, and fails the
-//! suite if any engine diverges from its sequential oracle. A second test
-//! pins the shuffle metrics to an engine-independent reference so the
-//! zero-copy rewrite can't silently change what the counters mean.
+//! Runs the same benchmark the CLI runs — Word Count, Grep, TeraSort plus
+//! the iterative K-Means, Page Rank, Connected Components on both engines
+//! at fixed seeds — but at the tiny test scale, and fails the suite if any
+//! engine diverges from its sequential oracle. Further tests pin the
+//! shuffle metrics to an engine-independent reference, assert that the
+//! declared message combiners actually fire, and hold the engines to their
+//! architectural `tasks_launched` signatures across the CSR rewrite.
 
 use std::collections::HashSet;
 
@@ -19,7 +21,7 @@ use flowmark_harness::bench::{compare, run_smoke, SmokeScale};
 #[test]
 fn smoke_bench_verifies_every_cell() {
     let report = run_smoke(SmokeScale::tiny(), "ci");
-    assert_eq!(report.cells.len(), 6, "3 workloads x 2 engines");
+    assert_eq!(report.cells.len(), 12, "6 workloads x 2 engines");
     for c in &report.cells {
         assert!(
             c.verified,
@@ -28,9 +30,12 @@ fn smoke_bench_verifies_every_cell() {
         );
         assert!(c.records > 0);
         assert!(c.records_per_sec > 0.0);
-        // Grep is shuffle-free (narrow filter + count); the other two
-        // workloads must cross the exchange.
-        if c.workload != "grep" {
+        // Grep is shuffle-free (narrow filter + count), and the pipelined
+        // engine's iterative cells exchange vertex messages rather than
+        // shuffle records; every other cell must cross the exchange.
+        let iterative_flink = c.engine == "flink"
+            && matches!(c.workload.as_str(), "kmeans" | "pagerank" | "connected");
+        if c.workload != "grep" && !iterative_flink {
             assert!(
                 c.records_shuffled > 0,
                 "{}/{} reported an empty shuffle",
@@ -38,14 +43,63 @@ fn smoke_bench_verifies_every_cell() {
                 c.engine
             );
         }
+        // A declared combiner must actually fire: Page Rank (sum) and CC
+        // (min) pre-combine on both engines.
+        if matches!(c.workload.as_str(), "pagerank" | "connected") {
+            assert!(
+                c.messages_combined > 0,
+                "{}/{} declared a combiner but combined nothing",
+                c.workload,
+                c.engine
+            );
+        }
     }
+}
+
+/// The architectural `tasks_launched` signatures (§II-C) survive the CSR
+/// rewrite: the pipelined engine schedules its iteration workers exactly
+/// once, while the staged engine unrolls a task wave per superstep.
+#[test]
+fn iteration_task_signatures_survive_the_csr_rewrite() {
+    use flowmark_workloads::connected::{self, CcVariant};
+
+    let parts = 4;
+    // A star into vertex 0 plus a tail: every partition owns many spokes,
+    // so the min-combiner provably folds their messages to the hub.
+    let mut edges: Vec<(u64, u64)> = (1..90u64).map(|i| (i, 0)).collect();
+    edges.extend((90..120u64).map(|i| (i - 1, i)));
+    let expect = connected::oracle(&edges);
+
+    let env = FlinkEnv::new(parts);
+    let before = env.metrics().tasks_launched();
+    let out = connected::run_flink(&env, &edges, 200, parts, CcVariant::Bulk, None).unwrap();
+    assert_eq!(out, expect);
+    assert_eq!(
+        env.metrics().tasks_launched() - before,
+        parts as u64,
+        "pipelined iteration must schedule each worker exactly once"
+    );
+    assert!(
+        env.metrics().messages_combined() > 0,
+        "CC declares a min combiner; it must eliminate messages"
+    );
+
+    let sc = SparkContext::new(parts, 64 << 20);
+    let before = sc.metrics().tasks_launched();
+    let out = connected::run_spark(&sc, &edges, 200, parts);
+    assert_eq!(out, expect);
+    let rounds = sc.metrics().iterations_run();
+    assert!(
+        sc.metrics().tasks_launched() - before >= rounds * parts as u64,
+        "staged iteration must unroll at least one task wave per superstep"
+    );
 }
 
 /// The committed BENCH_PR1 report (when present in the repo root) must be
 /// a parseable ComparisonReport whose cells all verified.
 #[test]
 fn committed_bench_reports_parse_and_verified() {
-    for name in ["BENCH_PR1_SEED.json", "BENCH_PR1.json"] {
+    for name in ["BENCH_PR1_SEED.json", "BENCH_PR1.json", "BENCH_PR5.json"] {
         let path = concat_root(name);
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue; // not committed (yet) — nothing to check
@@ -76,7 +130,7 @@ fn speedups_pair_cells_with_the_baseline() {
         c.records_per_sec = 3.0 * c.records_per_sec;
     }
     let cmp = compare(fast, Some(base));
-    assert_eq!(cmp.speedup_vs_seed.len(), 6);
+    assert_eq!(cmp.speedup_vs_seed.len(), 12);
     for (k, s) in &cmp.speedup_vs_seed {
         assert!((s - 3.0).abs() < 1e-9, "{k}: {s}");
     }

@@ -507,3 +507,75 @@ proptest! {
         prop_assert!(admitted.is_empty());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Page Rank agrees across the staged RDD join loop, the pipelined
+    /// vertex-centric runtime (sum combiner active) and the sequential
+    /// oracle on random graphs — the cross-engine guarantee the CSR /
+    /// message-combining rewrite must preserve.
+    #[test]
+    fn engines_agree_on_pagerank_for_any_graph(
+        edges in prop::collection::vec((0u64..40, 0u64..40), 1..200),
+        partitions in 1usize..5,
+        iterations in 1u32..6,
+    ) {
+        use flowmark_workloads::pagerank;
+        let expect = pagerank::oracle(&edges, iterations);
+        let sc = SparkContext::new(partitions, 16 << 20);
+        let spark = pagerank::run_spark(&sc, &edges, iterations, partitions);
+        prop_assert_eq!(spark.len(), expect.len());
+        for (v, r) in &spark {
+            prop_assert!((r - expect[v]).abs() < 1e-9, "spark rank({}) drifted", v);
+        }
+        let env = FlinkEnv::new(partitions);
+        let flink = pagerank::run_flink(&env, &edges, iterations, partitions).unwrap();
+        prop_assert_eq!(flink.len(), expect.len());
+        for (v, r) in &flink {
+            prop_assert!((r - expect[v]).abs() < 1e-9, "flink rank({}) drifted", v);
+        }
+    }
+
+    /// Connected Components agrees across spark label propagation, the
+    /// GraphX-style pregel layer, flink bulk AND delta vertex-centric
+    /// iterations (min combiner active), and the union-find oracle.
+    #[test]
+    fn engines_agree_on_connected_components_for_any_graph(
+        edges in prop::collection::vec((0u64..40, 0u64..40), 1..200),
+        partitions in 1usize..5,
+    ) {
+        use flowmark_workloads::connected::{self, CcVariant};
+        let expect = connected::oracle(&edges);
+        let sc = SparkContext::new(partitions, 16 << 20);
+        let spark = connected::run_spark(&sc, &edges, 200, partitions);
+        prop_assert_eq!(&spark, &expect);
+        let pregel =
+            flowmark_engine::graphx::connected_components(&sc, &edges, partitions, 200);
+        prop_assert_eq!(&pregel, &expect);
+        let env = FlinkEnv::new(partitions);
+        let bulk = connected::run_flink(&env, &edges, 200, partitions, CcVariant::Bulk, None)
+            .unwrap();
+        prop_assert_eq!(&bulk, &expect);
+        let delta = connected::run_flink(&env, &edges, 200, partitions, CcVariant::Delta, None)
+            .unwrap();
+        prop_assert_eq!(&delta, &expect);
+    }
+
+    /// SSSP agrees between the Gelly-style delta iteration (min combiner),
+    /// the GraphX-style pregel driver, and a BFS oracle.
+    #[test]
+    fn graph_libraries_agree_on_sssp_for_any_graph(
+        edges in prop::collection::vec((0u64..30, 0u64..30), 1..150),
+        partitions in 1usize..5,
+    ) {
+        use flowmark_engine::{gelly, graphx};
+        let expect = gelly::bfs_oracle(&edges, 0);
+        let env = FlinkEnv::new(partitions);
+        let pipelined = gelly::sssp(&env, &edges, 0, partitions, 200).unwrap();
+        prop_assert_eq!(&pipelined, &expect);
+        let sc = SparkContext::new(partitions, 16 << 20);
+        let staged = graphx::sssp(&sc, &edges, 0, partitions, 200);
+        prop_assert_eq!(&staged, &expect);
+    }
+}
