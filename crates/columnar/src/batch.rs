@@ -1,0 +1,551 @@
+//! Typed column batches: the storage layer of the columnar core.
+//!
+//! A batch holds a fixed number of rows as flat, typed column vectors.
+//! Variable-width data ([`BytesColumn`], [`StrColumn`]) lives in one
+//! contiguous byte buffer plus a `u32` offset array — no per-row `String`
+//! or `Vec<u8>` allocation anywhere. Filters produce [`SelVec`] selection
+//! vectors (row indices into the unchanged batch) instead of copying
+//! survivors out, and [`Validity`] bitmasks mark rows a kernel must skip.
+
+/// Default number of rows per batch.
+///
+/// 4096 rows of ~80-byte text is ~320 KiB of flat payload — big enough to
+/// amortise per-batch dispatch to nothing, small enough that a batch's
+/// working set stays cache-friendly while it is scanned.
+pub const DEFAULT_BATCH_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Validity
+// ---------------------------------------------------------------------------
+
+/// A row-validity bitmask: bit `i` set ⇔ row `i` is live.
+///
+/// Kernels treat an absent mask (`Option<&Validity>::None`) as all-valid,
+/// so fully-dense batches never pay for mask storage or testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validity {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Validity {
+    /// A mask of `len` rows, all valid.
+    pub fn all_valid(len: usize) -> Self {
+        let mut bits = vec![u64::MAX; len.div_ceil(64)];
+        // Keep bits beyond `len` clear so masks compare by value.
+        let tail = len % 64;
+        if tail > 0 {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        Self { bits, len }
+    }
+
+    /// Builds a mask from per-row booleans.
+    pub fn from_bools(rows: &[bool]) -> Self {
+        let mut v = Self {
+            bits: vec![0u64; rows.len().div_ceil(64)],
+            len: rows.len(),
+        };
+        for (i, &ok) in rows.iter().enumerate() {
+            if ok {
+                v.bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        v
+    }
+
+    /// Number of rows covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether row `i` is valid.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Marks row `i` invalid.
+    pub fn set_invalid(&mut self, i: usize) {
+        assert!(i < self.len, "row {i} out of {} mask rows", self.len);
+        self.bits[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of valid rows (popcount over the mask words).
+    pub fn count_valid(&self) -> usize {
+        let full = self.len / 64;
+        let mut n: u32 = self.bits[..full].iter().map(|w| w.count_ones()).sum();
+        let tail = self.len % 64;
+        if tail > 0 {
+            n += (self.bits[full] & ((1u64 << tail) - 1)).count_ones();
+        }
+        n as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection vectors
+// ---------------------------------------------------------------------------
+
+/// A selection vector: strictly-increasing row indices into a batch.
+///
+/// This is how filters avoid copying: a predicate kernel scans a column
+/// and emits the qualifying row indices; downstream kernels (project,
+/// hash-agg, another filter) iterate the selection instead of the whole
+/// batch. Chaining filters is selection-vector composition — the data
+/// itself is never rewritten until a final gather materialises it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    idx: Vec<u32>,
+}
+
+impl SelVec {
+    /// An empty selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty selection with room for `cap` rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            idx: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The identity selection over `rows` rows.
+    pub fn identity(rows: usize) -> Self {
+        Self {
+            idx: (0..rows as u32).collect(),
+        }
+    }
+
+    /// Builds from indices; they must be strictly increasing.
+    pub fn from_indices(idx: Vec<u32>) -> Self {
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "selection not sorted");
+        Self { idx }
+    }
+
+    /// Appends a row index (must exceed the last one pushed).
+    #[inline]
+    pub fn push(&mut self, row: u32) {
+        debug_assert!(self.idx.last().is_none_or(|&l| l < row));
+        self.idx.push(row);
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The selected row indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Iterates the selected rows as `usize`.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.idx.iter().map(|&i| i as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variable-width columns
+// ---------------------------------------------------------------------------
+
+/// Flat variable-width byte storage: one data buffer, `rows + 1` offsets.
+///
+/// Row `i` is `data[offsets[i] .. offsets[i + 1]]`. Appending is one
+/// `extend_from_slice`; reading is two offset loads and a slice — no
+/// per-row heap object ever exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytesColumn {
+    data: Vec<u8>,
+    /// `rows + 1` cumulative byte offsets; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+}
+
+impl Default for BytesColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BytesColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self {
+            data: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty column with reserved storage for `rows` rows totalling
+    /// `bytes` payload bytes.
+    pub fn with_capacity(rows: usize, bytes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Self {
+            data: Vec::with_capacity(bytes),
+            offsets,
+        }
+    }
+
+    /// Appends one row.
+    #[inline]
+    pub fn push(&mut self, row: &[u8]) {
+        self.data.extend_from_slice(row);
+        assert!(
+            self.data.len() <= u32::MAX as usize,
+            "BytesColumn overflows u32 offsets"
+        );
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    /// Row `i` as a byte slice.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[u8] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole flat payload buffer.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The cumulative offsets (`len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates rows as byte slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Copies the selected rows into a new column (the gather half of a
+    /// filter-then-materialise pipeline).
+    pub fn gather(&self, sel: &SelVec) -> BytesColumn {
+        let bytes: usize = sel.iter().map(|i| self.get(i).len()).sum();
+        let mut out = BytesColumn::with_capacity(sel.len(), bytes);
+        for i in sel.iter() {
+            out.push(self.get(i));
+        }
+        out
+    }
+}
+
+/// A [`BytesColumn`] whose rows are guaranteed valid UTF-8.
+///
+/// Rows can only enter through `&str` (`push`, `from_lines`), so reads
+/// skip re-validation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrColumn {
+    raw: BytesColumn,
+}
+
+impl StrColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty column with reserved storage.
+    pub fn with_capacity(rows: usize, bytes: usize) -> Self {
+        Self {
+            raw: BytesColumn::with_capacity(rows, bytes),
+        }
+    }
+
+    /// Builds one column from a slice of lines.
+    pub fn from_lines<S: AsRef<str>>(lines: &[S]) -> Self {
+        let bytes: usize = lines.iter().map(|l| l.as_ref().len()).sum();
+        let mut col = Self::with_capacity(lines.len(), bytes);
+        for l in lines {
+            col.push(l.as_ref());
+        }
+        col
+    }
+
+    /// Splits a corpus into columns of at most `batch_rows` rows each —
+    /// the batching step a source runs once, before the engine ever sees
+    /// the data. An empty corpus yields one empty batch so downstream
+    /// plans always have at least one partition seed.
+    pub fn batches_from_lines<S: AsRef<str>>(lines: &[S], batch_rows: usize) -> Vec<StrColumn> {
+        assert!(batch_rows > 0);
+        if lines.is_empty() {
+            return vec![StrColumn::new()];
+        }
+        lines.chunks(batch_rows).map(Self::from_lines).collect()
+    }
+
+    /// Appends one row.
+    #[inline]
+    pub fn push(&mut self, row: &str) {
+        self.raw.push(row.as_bytes());
+    }
+
+    /// Row `i` as `&str`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        // SAFETY: rows are only ever appended from `&str` and offsets only
+        // ever mark push boundaries, so every row slice is valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(self.raw.get(i)) }
+    }
+
+    /// Row `i` as raw bytes (for byte-window kernels).
+    #[inline]
+    pub fn get_bytes(&self, i: usize) -> &[u8] {
+        self.raw.get(i)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The whole flat payload buffer.
+    pub fn data(&self) -> &[u8] {
+        self.raw.data()
+    }
+
+    /// The cumulative offsets (`len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        self.raw.offsets()
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.raw.total_bytes()
+    }
+
+    /// Row iterator — the record-adapter view of the column.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Copies the selected rows into a new column.
+    pub fn gather(&self, sel: &SelVec) -> StrColumn {
+        StrColumn {
+            raw: self.raw.gather(sel),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column + batch
+// ---------------------------------------------------------------------------
+
+/// One typed column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Unsigned 64-bit integers.
+    U64(Vec<u64>),
+    /// Signed 64-bit integers.
+    I64(Vec<i64>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// Variable-width raw bytes.
+    Bytes(BytesColumn),
+    /// Variable-width UTF-8 strings.
+    Str(StrColumn),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::U64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Bytes(c) => c.len(),
+            Column::Str(c) => c.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the selected rows into a new column of the same type.
+    pub fn gather(&self, sel: &SelVec) -> Column {
+        match self {
+            Column::U64(v) => Column::U64(sel.iter().map(|i| v[i]).collect()),
+            Column::I64(v) => Column::I64(sel.iter().map(|i| v[i]).collect()),
+            Column::F64(v) => Column::F64(sel.iter().map(|i| v[i]).collect()),
+            Column::Bytes(c) => Column::Bytes(c.gather(sel)),
+            Column::Str(c) => Column::Str(c.gather(sel)),
+        }
+    }
+}
+
+/// A batch: equal-length typed columns plus an optional validity mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    columns: Vec<Column>,
+    validity: Option<Validity>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Builds a batch from columns; all columns must have the same length.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let rows = columns.first().map_or(0, Column::len);
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "all batch columns must have equal row counts"
+        );
+        Self {
+            columns,
+            validity: None,
+            rows,
+        }
+    }
+
+    /// Attaches a validity mask (length must match the row count).
+    pub fn with_validity(mut self, validity: Validity) -> Self {
+        assert_eq!(validity.len(), self.rows, "validity mask length mismatch");
+        self.validity = Some(validity);
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// The validity mask, if any.
+    pub fn validity(&self) -> Option<&Validity> {
+        self.validity.as_ref()
+    }
+
+    /// Materialises the selected rows of every column into a dense batch
+    /// (no validity mask: a gather output is fully live by construction).
+    pub fn gather(&self, sel: &SelVec) -> ColumnBatch {
+        ColumnBatch {
+            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
+            validity: None,
+            rows: sel.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_popcount_and_flags() {
+        let mut v = Validity::all_valid(100);
+        assert_eq!(v.count_valid(), 100);
+        v.set_invalid(0);
+        v.set_invalid(63);
+        v.set_invalid(64);
+        v.set_invalid(99);
+        assert_eq!(v.count_valid(), 96);
+        assert!(!v.is_valid(0) && !v.is_valid(64) && v.is_valid(1));
+        let bools: Vec<bool> = (0..100).map(|i| ![0, 63, 64, 99].contains(&i)).collect();
+        assert_eq!(Validity::from_bools(&bools), v);
+    }
+
+    #[test]
+    fn str_column_round_trips_rows() {
+        let lines = vec!["hello world", "", "naïve café", "x"];
+        let col = StrColumn::from_lines(&lines);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.total_bytes(), lines.iter().map(|l| l.len()).sum());
+        for (i, l) in lines.iter().enumerate() {
+            assert_eq!(col.get(i), *l);
+        }
+        assert_eq!(col.iter().collect::<Vec<_>>(), lines);
+    }
+
+    #[test]
+    fn batches_split_and_preserve_order() {
+        let lines: Vec<String> = (0..10).map(|i| format!("line{i}")).collect();
+        let batches = StrColumn::batches_from_lines(&lines, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches.iter().map(StrColumn::len).sum::<usize>(), 10);
+        let flat: Vec<&str> = batches.iter().flat_map(StrColumn::iter).collect();
+        assert_eq!(flat, lines.iter().map(String::as_str).collect::<Vec<_>>());
+        // Empty corpus still yields one (empty) batch.
+        let empty = StrColumn::batches_from_lines(&Vec::<String>::new(), 4);
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].is_empty());
+    }
+
+    #[test]
+    fn gather_materialises_selection() {
+        let col = StrColumn::from_lines(&["a", "bb", "ccc", "dddd"]);
+        let sel = SelVec::from_indices(vec![1, 3]);
+        let out = col.gather(&sel);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec!["bb", "dddd"]);
+
+        let batch = ColumnBatch::new(vec![
+            Column::U64(vec![10, 20, 30, 40]),
+            Column::Str(col.clone()),
+        ]);
+        let g = batch.gather(&sel);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.column(0), &Column::U64(vec![20, 40]));
+    }
+
+    #[test]
+    fn selvec_identity_and_iteration() {
+        let sel = SelVec::identity(3);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(SelVec::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal row counts")]
+    fn mismatched_columns_panic() {
+        let _ = ColumnBatch::new(vec![
+            Column::U64(vec![1, 2]),
+            Column::U64(vec![1]),
+        ]);
+    }
+}

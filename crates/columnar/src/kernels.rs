@@ -1,0 +1,408 @@
+//! Vectorized kernels over column batches.
+//!
+//! Every kernel follows the same contract:
+//!
+//! - input rows are the batch rows, narrowed by an optional [`Validity`]
+//!   mask and an optional incoming [`SelVec`] (chained selections compose —
+//!   the output selection indexes the *original* batch rows);
+//! - filters emit a [`SelVec`] and never copy payload bytes;
+//! - hash-aggregation probes a **caller-supplied** map batch-at-a-time, so
+//!   the engines pass their own pre-sized FxHash maps and this crate stays
+//!   dependency-free.
+
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+
+use crate::batch::{ColumnBatch, SelVec, StrColumn, Validity};
+
+// ---------------------------------------------------------------------------
+// Byte search primitives
+// ---------------------------------------------------------------------------
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// First position of `byte` in `hay`, scanning 8 bytes per step (SWAR:
+/// a word has a zero byte iff `(w - LO) & !w & HI != 0` after xoring the
+/// broadcast needle in).
+#[inline]
+fn find_byte(hay: &[u8], byte: u8) -> Option<usize> {
+    let broadcast = SWAR_LO.wrapping_mul(byte as u64);
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]) ^ broadcast;
+        let hit = w.wrapping_sub(SWAR_LO) & !w & SWAR_HI;
+        if hit != 0 {
+            return Some(base + (hit.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == byte)
+        .map(|p| base + p)
+}
+
+/// Substring test on raw bytes: first-byte SWAR scan, then a window
+/// compare per candidate. The batch equivalent of `str::contains`, minus
+/// any per-row `String`.
+#[inline]
+pub fn contains_bytes(hay: &[u8], needle: &[u8]) -> bool {
+    let Some(&first) = needle.first() else {
+        return true;
+    };
+    if hay.len() < needle.len() {
+        return false;
+    }
+    let mut from = 0usize;
+    let last_start = hay.len() - needle.len();
+    while from <= last_start {
+        match find_byte(&hay[from..=last_start], first) {
+            Some(off) => {
+                let start = from + off;
+                if &hay[start..start + needle.len()] == needle {
+                    return true;
+                }
+                from = start + 1;
+            }
+            None => return false,
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Candidate iteration (validity × chained selection)
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn for_each_candidate(
+    rows: usize,
+    validity: Option<&Validity>,
+    sel: Option<&SelVec>,
+    mut f: impl FnMut(usize),
+) {
+    match sel {
+        Some(sel) => {
+            for i in sel.iter() {
+                debug_assert!(i < rows);
+                if validity.is_none_or(|v| v.is_valid(i)) {
+                    f(i);
+                }
+            }
+        }
+        None => {
+            for i in 0..rows {
+                if validity.is_none_or(|v| v.is_valid(i)) {
+                    f(i);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------------
+
+/// Vectorized substring filter over a string column: rows containing
+/// `needle` → selection vector. No payload byte is copied.
+///
+/// The dense case (no mask, no incoming selection) scans the column's
+/// *flat* buffer once — one sequential pass over contiguous memory,
+/// whatever the row count — and maps each verified occurrence back to its
+/// row through the offset array. Masked or pre-selected batches fall back
+/// to a per-row window scan over the candidate rows only.
+pub fn filter_str_contains(
+    col: &StrColumn,
+    needle: &[u8],
+    validity: Option<&Validity>,
+    sel: Option<&SelVec>,
+) -> SelVec {
+    let rows = col.len();
+    if needle.is_empty() {
+        // Empty needle matches every candidate row.
+        let mut out = SelVec::with_capacity(rows);
+        for_each_candidate(rows, validity, sel, |i| out.push(i as u32));
+        return out;
+    }
+    if validity.is_none() && sel.is_none() {
+        return filter_contains_flat(col, needle);
+    }
+    let mut out = SelVec::new();
+    for_each_candidate(rows, validity, sel, |i| {
+        if contains_bytes(col.get_bytes(i), needle) {
+            out.push(i as u32);
+        }
+    });
+    out
+}
+
+/// Dense flat-buffer scan: find candidate first bytes across the whole
+/// payload, verify the window, check it does not straddle a row boundary,
+/// then skip to the matched row's end (one hit per row).
+fn filter_contains_flat(col: &StrColumn, needle: &[u8]) -> SelVec {
+    let data = col.data();
+    let offsets = col.offsets();
+    let first = needle[0];
+    let mut out = SelVec::new();
+    if data.len() < needle.len() {
+        return out;
+    }
+    let last_start = data.len() - needle.len();
+    let mut pos = 0usize;
+    let mut row = 0usize;
+    while pos <= last_start {
+        let Some(off) = find_byte(&data[pos..=last_start], first) else {
+            break;
+        };
+        let start = pos + off;
+        if &data[start..start + needle.len()] != needle {
+            pos = start + 1;
+            continue;
+        }
+        // Map the occurrence to its row (offsets ascend with `start`).
+        while offsets[row + 1] as usize <= start {
+            row += 1;
+        }
+        let row_end = offsets[row + 1] as usize;
+        if start + needle.len() <= row_end {
+            out.push(row as u32);
+            // One hit per row is enough — resume at the row boundary.
+            pos = row_end;
+        } else {
+            // The window straddles a row boundary: not a real match.
+            pos = start + 1;
+        }
+    }
+    out
+}
+
+/// Vectorized predicate filter over a `u64` column.
+pub fn filter_u64(
+    col: &[u64],
+    validity: Option<&Validity>,
+    sel: Option<&SelVec>,
+    mut pred: impl FnMut(u64) -> bool,
+) -> SelVec {
+    let mut out = SelVec::new();
+    for_each_candidate(col.len(), validity, sel, |i| {
+        if pred(col[i]) {
+            out.push(i as u32);
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+/// Projection: keeps the named columns, materialising only the selected
+/// (and valid) rows. The one place a filter pipeline actually copies.
+pub fn project(batch: &ColumnBatch, cols: &[usize], sel: Option<&SelVec>) -> ColumnBatch {
+    let full: SelVec;
+    let effective: &SelVec = match sel {
+        Some(s) if batch.validity().is_none() => s,
+        _ => {
+            // Materialise the candidate set (validity ∩ selection).
+            let mut v = SelVec::new();
+            for_each_candidate(batch.rows(), batch.validity(), sel, |i| v.push(i as u32));
+            full = v;
+            &full
+        }
+    };
+    ColumnBatch::new(
+        cols.iter()
+            .map(|&c| batch.column(c).gather(effective))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregation
+// ---------------------------------------------------------------------------
+
+/// Batch-at-a-time hash aggregation over string keys: probes the
+/// caller-supplied map (the engines pass their FxHash maps) row by row,
+/// allocating a key `String` only on first sight — repeat keys combine
+/// through a borrowed `&str` probe.
+pub fn hash_agg_str<S: BuildHasher>(
+    keys: &StrColumn,
+    vals: &[u64],
+    validity: Option<&Validity>,
+    sel: Option<&SelVec>,
+    agg: &mut HashMap<String, u64, S>,
+    combine: impl Fn(&mut u64, u64),
+) {
+    assert_eq!(keys.len(), vals.len(), "key/value column length mismatch");
+    for_each_candidate(keys.len(), validity, sel, |i| {
+        let k = keys.get(i);
+        match agg.get_mut(k) {
+            Some(acc) => combine(acc, vals[i]),
+            None => {
+                agg.insert(k.to_owned(), vals[i]);
+            }
+        }
+    });
+}
+
+/// Batch-at-a-time hash aggregation over fixed-width keys.
+pub fn hash_agg_u64<S: BuildHasher>(
+    keys: &[u64],
+    vals: &[u64],
+    validity: Option<&Validity>,
+    sel: Option<&SelVec>,
+    agg: &mut HashMap<u64, u64, S>,
+    combine: impl Fn(&mut u64, u64),
+) {
+    assert_eq!(keys.len(), vals.len(), "key/value column length mismatch");
+    for_each_candidate(keys.len(), validity, sel, |i| {
+        match agg.entry(keys[i]) {
+            std::collections::hash_map::Entry::Occupied(mut e) => combine(e.get_mut(), vals[i]),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vals[i]);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Column;
+
+    #[test]
+    fn find_byte_matches_position() {
+        let hay = b"abcdefghijklmnop_qrstuvwxyz";
+        for (i, &b) in hay.iter().enumerate() {
+            assert_eq!(find_byte(hay, b), Some(i), "byte {b}");
+        }
+        assert_eq!(find_byte(hay, b'0'), None);
+        assert_eq!(find_byte(b"", b'a'), None);
+        assert_eq!(find_byte(b"short", b't'), Some(4));
+    }
+
+    #[test]
+    fn contains_bytes_matches_str_contains() {
+        let cases = [
+            ("hello world", "world", true),
+            ("hello world", "worlds", false),
+            ("", "", true),
+            ("x", "", true),
+            ("", "x", false),
+            ("aaaab", "aab", true),
+            ("abababac", "abac", true),
+            ("abababab", "abac", false),
+        ];
+        for (hay, needle, expect) in cases {
+            assert_eq!(
+                contains_bytes(hay.as_bytes(), needle.as_bytes()),
+                expect,
+                "{hay:?} contains {needle:?}"
+            );
+            assert_eq!(hay.contains(needle), expect, "oracle disagrees");
+        }
+    }
+
+    #[test]
+    fn dense_flat_filter_matches_per_row_scan() {
+        let lines: Vec<String> = (0..500)
+            .map(|i| {
+                if i % 7 == 0 {
+                    format!("row {i} has the needle inside")
+                } else {
+                    format!("row {i} is plain")
+                }
+            })
+            .collect();
+        let col = StrColumn::from_lines(&lines);
+        let sel = filter_str_contains(&col, b"needle", None, None);
+        let expect: Vec<u32> = (0..500u32).filter(|i| i % 7 == 0).collect();
+        assert_eq!(sel.indices(), expect.as_slice());
+    }
+
+    #[test]
+    fn flat_filter_does_not_match_across_row_boundaries() {
+        // "ab" + "cd" adjacent in the flat buffer must not match "bc".
+        let col = StrColumn::from_lines(&["ab", "cd", "xbcx"]);
+        let sel = filter_str_contains(&col, b"bc", None, None);
+        assert_eq!(sel.indices(), &[2]);
+    }
+
+    #[test]
+    fn chained_selection_composes() {
+        let col = StrColumn::from_lines(&["ax", "bx", "a", "axx", "b"]);
+        let first = filter_str_contains(&col, b"a", None, None);
+        assert_eq!(first.indices(), &[0, 2, 3]);
+        let second = filter_str_contains(&col, b"x", None, Some(&first));
+        assert_eq!(second.indices(), &[0, 3]);
+    }
+
+    #[test]
+    fn validity_mask_excludes_rows() {
+        let col = StrColumn::from_lines(&["hit", "hit", "hit"]);
+        let mut v = Validity::all_valid(3);
+        v.set_invalid(1);
+        let sel = filter_str_contains(&col, b"hit", Some(&v), None);
+        assert_eq!(sel.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn filter_u64_with_chain() {
+        let col = vec![1u64, 4, 9, 16, 25, 36];
+        let even = filter_u64(&col, None, None, |x| x % 2 == 0);
+        assert_eq!(even.indices(), &[1, 3, 5]);
+        let big = filter_u64(&col, None, Some(&even), |x| x > 10);
+        assert_eq!(big.indices(), &[3, 5]);
+    }
+
+    #[test]
+    fn project_gathers_selected_rows() {
+        let batch = ColumnBatch::new(vec![
+            Column::U64(vec![1, 2, 3, 4]),
+            Column::Str(StrColumn::from_lines(&["a", "b", "c", "d"])),
+        ]);
+        let sel = SelVec::from_indices(vec![0, 2]);
+        let out = project(&batch, &[1], Some(&sel));
+        assert_eq!(out.rows(), 2);
+        match out.column(0) {
+            Column::Str(c) => assert_eq!(c.iter().collect::<Vec<_>>(), vec!["a", "c"]),
+            other => panic!("wrong column type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn project_respects_validity() {
+        let mut v = Validity::all_valid(3);
+        v.set_invalid(0);
+        let batch = ColumnBatch::new(vec![Column::U64(vec![7, 8, 9])]).with_validity(v);
+        let out = project(&batch, &[0], None);
+        assert_eq!(out.column(0), &Column::U64(vec![8, 9]));
+    }
+
+    #[test]
+    fn hash_agg_str_combines_repeats() {
+        let keys = StrColumn::from_lines(&["a", "b", "a", "a", "b"]);
+        let vals = vec![1u64, 10, 2, 3, 20];
+        let mut agg: HashMap<String, u64> = HashMap::new();
+        hash_agg_str(&keys, &vals, None, None, &mut agg, |a, v| *a += v);
+        assert_eq!(agg["a"], 6);
+        assert_eq!(agg["b"], 30);
+    }
+
+    #[test]
+    fn hash_agg_u64_respects_selection() {
+        let keys = vec![1u64, 2, 1, 2];
+        let vals = vec![10u64, 20, 30, 40];
+        let sel = SelVec::from_indices(vec![0, 3]);
+        let mut agg: HashMap<u64, u64> = HashMap::new();
+        hash_agg_u64(&keys, &vals, None, Some(&sel), &mut agg, |a, v| *a += v);
+        assert_eq!(agg[&1], 10);
+        assert_eq!(agg[&2], 40);
+    }
+}

@@ -1,0 +1,207 @@
+//! Key/value batches for the shuffle data plane.
+//!
+//! The record-at-a-time shuffle clones one `(K, V)` pair per record into
+//! per-reducer buckets — an allocation and a hash per pair. A
+//! [`StrU64Batch`] keeps keys in one flat [`StrColumn`] and values in one
+//! `Vec<u64>`; routing appends each row's key bytes and value straight
+//! into the target reducer's flat buffers (pre-sized by a counting pass),
+//! and the exchange then moves those *whole batches* between tasks instead
+//! of per-record messages.
+
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+
+use crate::batch::StrColumn;
+use crate::kernels;
+
+/// A batch of `(String key, u64 value)` rows in columnar layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrU64Batch {
+    keys: StrColumn,
+    vals: Vec<u64>,
+}
+
+impl StrU64Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with reserved storage for `rows` rows totalling
+    /// `key_bytes` key payload bytes.
+    pub fn with_capacity(rows: usize, key_bytes: usize) -> Self {
+        Self {
+            keys: StrColumn::with_capacity(rows, key_bytes),
+            vals: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Drains any `(String, u64)` stream (typically a freshly-aggregated
+    /// hash map) into one batch.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, u64)>) -> Self {
+        let mut b = Self::new();
+        for (k, v) in pairs {
+            b.push(&k, v);
+        }
+        b
+    }
+
+    /// Appends one row.
+    #[inline]
+    pub fn push(&mut self, key: &str, val: u64) {
+        self.keys.push(key);
+        self.vals.push(val);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The key column.
+    pub fn keys(&self) -> &StrColumn {
+        &self.keys
+    }
+
+    /// The value column.
+    pub fn vals(&self) -> &[u64] {
+        &self.vals
+    }
+
+    /// Total key payload bytes (for shuffle byte accounting).
+    pub fn key_bytes(&self) -> usize {
+        self.keys.total_bytes()
+    }
+
+    /// Row iterator — the record-adapter view of the batch.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        (0..self.len()).map(move |i| (self.keys.get(i), self.vals[i]))
+    }
+
+    /// Routes rows into `parts` per-reducer batches.
+    ///
+    /// Two passes: a counting pass sizes every target batch exactly (rows
+    /// *and* key bytes), then the placement pass appends each row's key
+    /// bytes and value into its reducer's flat buffers — one `memcpy` per
+    /// key, no per-pair allocation, no rehash of already-built storage.
+    pub fn partition_by(&self, parts: usize, part_of: impl Fn(&str) -> usize) -> Vec<StrU64Batch> {
+        assert!(parts > 0);
+        let mut rows = vec![0usize; parts];
+        let mut bytes = vec![0usize; parts];
+        let mut route: Vec<u32> = Vec::with_capacity(self.len());
+        for (k, _) in self.iter() {
+            let p = part_of(k);
+            debug_assert!(p < parts, "partition function out of range");
+            rows[p] += 1;
+            bytes[p] += k.len();
+            route.push(p as u32);
+        }
+        let mut out: Vec<StrU64Batch> = rows
+            .iter()
+            .zip(&bytes)
+            .map(|(&r, &b)| StrU64Batch::with_capacity(r, b))
+            .collect();
+        for (i, (k, v)) in self.iter().enumerate() {
+            out[route[i] as usize].push(k, v);
+        }
+        out
+    }
+
+    /// Batch-at-a-time merge into a caller-supplied hash map (the reduce
+    /// side of a shuffled aggregation) via the hash-agg kernel.
+    pub fn merge_into<S: BuildHasher>(
+        &self,
+        agg: &mut HashMap<String, u64, S>,
+        combine: impl Fn(&mut u64, u64),
+    ) {
+        kernels::hash_agg_str(&self.keys, &self.vals, None, None, agg, combine);
+    }
+}
+
+/// Routes owned fixed-width rows into `parts` pre-sized buckets: counting
+/// pass, then placement. The generic sibling of
+/// [`StrU64Batch::partition_by`] for row types that are already flat
+/// (e.g. 100-byte sort records).
+pub fn route_rows<T>(rows: Vec<T>, parts: usize, part_of: impl Fn(&T) -> usize) -> Vec<Vec<T>> {
+    assert!(parts > 0);
+    let mut counts = vec![0usize; parts];
+    for r in &rows {
+        counts[part_of(r)] += 1;
+    }
+    let mut out: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for r in rows {
+        let p = part_of(&r);
+        out[p].push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_round_trip() {
+        let mut b = StrU64Batch::new();
+        b.push("alpha", 1);
+        b.push("beta", 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![("alpha", 1), ("beta", 2)]
+        );
+        assert_eq!(b.key_bytes(), 9);
+    }
+
+    #[test]
+    fn partition_by_is_complete_and_consistent() {
+        let b = StrU64Batch::from_pairs((0..100).map(|i| (format!("k{i}"), i as u64)));
+        let part_of = |k: &str| k.len() % 3;
+        let parts = b.partition_by(3, part_of);
+        assert_eq!(parts.iter().map(StrU64Batch::len).sum::<usize>(), 100);
+        for (p, part) in parts.iter().enumerate() {
+            for (k, _) in part.iter() {
+                assert_eq!(part_of(k), p, "key {k} routed to wrong partition");
+            }
+        }
+        // Order within a bucket follows the input order.
+        let keys0: Vec<&str> = parts[0].iter().map(|(k, _)| k).collect();
+        let mut sorted_by_input: Vec<&str> = keys0.clone();
+        sorted_by_input.sort_by_key(|k| k[1..].parse::<u32>().unwrap_or(0));
+        assert_eq!(keys0, sorted_by_input);
+    }
+
+    #[test]
+    fn partition_of_empty_batch_yields_empty_parts() {
+        let parts = StrU64Batch::new().partition_by(4, |_| 0);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(StrU64Batch::is_empty));
+    }
+
+    #[test]
+    fn merge_into_combines_across_batches() {
+        let a = StrU64Batch::from_pairs(vec![("x".into(), 1), ("y".into(), 2)]);
+        let b = StrU64Batch::from_pairs(vec![("x".into(), 10)]);
+        let mut agg: HashMap<String, u64> = HashMap::new();
+        a.merge_into(&mut agg, |acc, v| *acc += v);
+        b.merge_into(&mut agg, |acc, v| *acc += v);
+        assert_eq!(agg["x"], 11);
+        assert_eq!(agg["y"], 2);
+    }
+
+    #[test]
+    fn route_rows_presizes_and_preserves_order() {
+        let rows: Vec<u32> = (0..20).collect();
+        let parts = route_rows(rows, 4, |r| (*r as usize) % 4);
+        for (p, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), 5);
+            assert!(part.windows(2).all(|w| w[0] < w[1]), "order lost");
+            assert!(part.iter().all(|r| (*r as usize) % 4 == p));
+        }
+    }
+}

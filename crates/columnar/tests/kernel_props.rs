@@ -1,0 +1,207 @@
+//! Property tests: every vectorized kernel must match a scalar reference
+//! implementation on arbitrary batches — empty batches, full and partial
+//! validity masks, and chained selection vectors included.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use flowmark_columnar::{kernels, Column, ColumnBatch, SelVec, StrColumn, Validity};
+
+/// Strings over a tiny alphabet so substrings collide often (boundary
+/// straddles, repeated prefixes) and needles actually match sometimes.
+const ALPHABET: [char; 4] = ['a', 'b', 'x', ' '];
+
+fn arb_string(alphabet_size: usize, max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..alphabet_size, 0..max_len + 1)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_string(4, 12), 0..40)
+}
+
+fn arb_needle() -> impl Strategy<Value = String> {
+    arb_string(3, 3)
+}
+
+/// Scalar reference for candidate iteration: validity ∩ selection, in
+/// ascending row order.
+fn candidates(rows: usize, validity: Option<&Validity>, sel: Option<&SelVec>) -> Vec<usize> {
+    let base: Vec<usize> = match sel {
+        Some(s) => s.iter().collect(),
+        None => (0..rows).collect(),
+    };
+    base.into_iter()
+        .filter(|&i| validity.map(|v| v.is_valid(i)).unwrap_or(true))
+        .collect()
+}
+
+/// Builds a validity mask over `rows` from a bool seed vector (cycled), or
+/// `None` when the seed is empty — exercising the unmasked fast path.
+fn mask_from(seed: &[bool], rows: usize) -> Option<Validity> {
+    if seed.is_empty() {
+        return None;
+    }
+    let bools: Vec<bool> = (0..rows).map(|i| seed[i % seed.len()]).collect();
+    Some(Validity::from_bools(&bools))
+}
+
+/// Builds an incoming selection over `rows` by keeping every `step`-th row,
+/// or `None` (dense) when `step == 0`.
+fn sel_from(step: usize, rows: usize) -> Option<SelVec> {
+    if step == 0 {
+        return None;
+    }
+    Some(SelVec::from_indices(
+        (0..rows).step_by(step).map(|i| i as u32).collect(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The substring filter (dense flat scan or masked per-row scan) equals
+    /// `str::contains` over the candidate rows.
+    #[test]
+    fn filter_str_contains_matches_scalar(
+        rows in arb_rows(),
+        needle in arb_needle(),
+        mask_seed in prop::collection::vec(any::<bool>(), 0..8),
+        sel_step in 0usize..5,
+    ) {
+        let col = StrColumn::from_lines(&rows);
+        let validity = mask_from(&mask_seed, rows.len());
+        let sel = sel_from(sel_step, rows.len());
+        let got = kernels::filter_str_contains(&col, needle.as_bytes(), validity.as_ref(), sel.as_ref());
+        let expect: Vec<u32> = candidates(rows.len(), validity.as_ref(), sel.as_ref())
+            .into_iter()
+            .filter(|&i| rows[i].contains(&needle))
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(got.indices(), expect.as_slice());
+    }
+
+    /// Chaining two filters equals filtering by the conjunction.
+    #[test]
+    fn chained_filters_compose(rows in arb_rows(), n1 in arb_needle(), n2 in arb_needle()) {
+        let col = StrColumn::from_lines(&rows);
+        let first = kernels::filter_str_contains(&col, n1.as_bytes(), None, None);
+        let second = kernels::filter_str_contains(&col, n2.as_bytes(), None, Some(&first));
+        let expect: Vec<u32> = (0..rows.len())
+            .filter(|&i| rows[i].contains(&n1) && rows[i].contains(&n2))
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(second.indices(), expect.as_slice());
+    }
+
+    /// The u64 predicate filter equals a scalar scan.
+    #[test]
+    fn filter_u64_matches_scalar(
+        vals in prop::collection::vec(any::<u64>(), 0..60),
+        mask_seed in prop::collection::vec(any::<bool>(), 0..8),
+        sel_step in 0usize..5,
+        threshold in any::<u64>(),
+    ) {
+        let validity = mask_from(&mask_seed, vals.len());
+        let sel = sel_from(sel_step, vals.len());
+        let got = kernels::filter_u64(&vals, validity.as_ref(), sel.as_ref(), |x| x >= threshold);
+        let expect: Vec<u32> = candidates(vals.len(), validity.as_ref(), sel.as_ref())
+            .into_iter()
+            .filter(|&i| vals[i] >= threshold)
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(got.indices(), expect.as_slice());
+    }
+
+    /// Projection materialises exactly the candidate rows, in order.
+    #[test]
+    fn project_matches_scalar_gather(
+        rows in arb_rows(),
+        mask_seed in prop::collection::vec(any::<bool>(), 0..8),
+        sel_step in 0usize..5,
+    ) {
+        let vals: Vec<u64> = (0..rows.len() as u64).collect();
+        let mut batch = ColumnBatch::new(vec![
+            Column::U64(vals.clone()),
+            Column::Str(StrColumn::from_lines(&rows)),
+        ]);
+        let validity = mask_from(&mask_seed, rows.len());
+        if let Some(v) = validity.clone() {
+            batch = batch.with_validity(v);
+        }
+        let sel = sel_from(sel_step, rows.len());
+        let out = kernels::project(&batch, &[0, 1], sel.as_ref());
+        let keep = candidates(rows.len(), validity.as_ref(), sel.as_ref());
+        prop_assert_eq!(out.rows(), keep.len());
+        let expect_vals: Vec<u64> = keep.iter().map(|&i| vals[i]).collect();
+        prop_assert_eq!(out.column(0), &Column::U64(expect_vals));
+        match out.column(1) {
+            Column::Str(c) => {
+                let got: Vec<&str> = c.iter().collect();
+                let expect: Vec<&str> = keep.iter().map(|&i| rows[i].as_str()).collect();
+                prop_assert_eq!(got, expect);
+            }
+            other => prop_assert!(false, "wrong column type: {:?}", other),
+        }
+    }
+
+    /// Batch hash-agg over string keys equals a scalar HashMap fold.
+    #[test]
+    fn hash_agg_str_matches_scalar(
+        pairs in prop::collection::vec((arb_string(2, 3), any::<u64>()), 0..60),
+        mask_seed in prop::collection::vec(any::<bool>(), 0..8),
+        sel_step in 0usize..5,
+    ) {
+        let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let vals: Vec<u64> = pairs.iter().map(|(_, v)| *v).collect();
+        let col = StrColumn::from_lines(&keys);
+        let validity = mask_from(&mask_seed, keys.len());
+        let sel = sel_from(sel_step, keys.len());
+        let mut got: HashMap<String, u64> = HashMap::new();
+        kernels::hash_agg_str(&col, &vals, validity.as_ref(), sel.as_ref(), &mut got,
+            |a, v| *a = a.wrapping_add(v));
+        let mut expect: HashMap<String, u64> = HashMap::new();
+        for i in candidates(keys.len(), validity.as_ref(), sel.as_ref()) {
+            match expect.get_mut(&keys[i]) {
+                Some(a) => *a = a.wrapping_add(vals[i]),
+                None => { expect.insert(keys[i].clone(), vals[i]); }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Batch hash-agg over u64 keys equals a scalar HashMap fold.
+    #[test]
+    fn hash_agg_u64_matches_scalar(
+        pairs in prop::collection::vec((0u64..16, any::<u64>()), 0..60),
+        mask_seed in prop::collection::vec(any::<bool>(), 0..8),
+        sel_step in 0usize..5,
+    ) {
+        let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
+        let vals: Vec<u64> = pairs.iter().map(|(_, v)| *v).collect();
+        let validity = mask_from(&mask_seed, keys.len());
+        let sel = sel_from(sel_step, keys.len());
+        let mut got: HashMap<u64, u64> = HashMap::new();
+        kernels::hash_agg_u64(&keys, &vals, validity.as_ref(), sel.as_ref(), &mut got,
+            |a, v| *a = a.wrapping_add(v));
+        let mut expect: HashMap<u64, u64> = HashMap::new();
+        for i in candidates(keys.len(), validity.as_ref(), sel.as_ref()) {
+            match expect.get_mut(&keys[i]) {
+                Some(a) => *a = a.wrapping_add(vals[i]),
+                None => { expect.insert(keys[i], vals[i]); }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `contains_bytes` equals `str::contains` for arbitrary haystacks and
+    /// needles (SWAR first-byte scan included).
+    #[test]
+    fn contains_bytes_matches_str(hay in arb_string(3, 24), needle in arb_string(3, 5)) {
+        prop_assert_eq!(
+            kernels::contains_bytes(hay.as_bytes(), needle.as_bytes()),
+            hay.contains(&needle)
+        );
+    }
+}

@@ -35,6 +35,7 @@ use crate::faults::{
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
+use crate::shuffle::ShuffleBatch;
 use crate::sortbuf::{CombineFn, SortCombineBuffer};
 
 /// Shared environment state.
@@ -423,6 +424,46 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
                 for r in records {
                     let p = partitioner.partition(&key_of(&r));
                     out.send(p, r);
+                }
+            },
+        );
+        DataSet {
+            env: self.env.clone(),
+            op: Arc::new(op),
+            partitions: out_parts,
+        }
+    }
+}
+
+impl<B> DataSet<(usize, B)>
+where
+    B: ShuffleBatch + Clone + Send + Sync + 'static,
+{
+    /// Batch-granularity pipelined exchange: each element is a whole
+    /// pre-routed batch tagged with its target partition index, and one
+    /// channel send moves the entire batch — thousands of rows per bounded-
+    /// channel operation instead of one, collapsing per-record send
+    /// overhead (and backpressure churn) on the hot path. Map tasks route
+    /// rows into per-reducer batches themselves and tag them; this operator
+    /// only streams.
+    pub fn exchange_by_index(&self, out_parts: usize) -> DataSet<B> {
+        let parent = Arc::clone(&self.op);
+        let in_parts = self.partitions;
+        let op = PipelinedExchange::new(
+            in_parts,
+            out_parts,
+            move |env: &FlinkEnv, out: &mut Outbox<B>, part| {
+                let batches = parent.compute(env, part);
+                for (idx, batch) in batches {
+                    assert!(
+                        idx < out.channels(),
+                        "batch routed to partition {idx} of {}",
+                        out.channels()
+                    );
+                    env.metrics().add_records_shuffled(batch.rows() as u64);
+                    env.metrics().add_bytes_shuffled(batch.bytes() as u64);
+                    env.metrics().add_batches_processed(1);
+                    out.send(idx, batch);
                 }
             },
         );

@@ -46,5 +46,6 @@ pub use iterate::{
 };
 pub use flowmark_core::config::{EngineConfig, PartitionerChoice};
 pub use metrics::{EngineMetrics, MetricsSnapshot, RecoverySnapshot};
+pub use shuffle::ShuffleBatch;
 pub use spark::{Rdd, SparkContext};
 pub use streaming::{run_continuous, run_micro_batch, StreamStats};

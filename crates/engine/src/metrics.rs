@@ -33,6 +33,8 @@ struct Counters {
     iterations_run: AtomicU64,
     backpressure_waits: AtomicU64,
     messages_combined: AtomicU64,
+    batches_processed: AtomicU64,
+    rows_selected: AtomicU64,
     // Recovery section (engine::faults): what failure injection cost the run.
     injected_failures: AtomicU64,
     injected_stragglers: AtomicU64,
@@ -84,6 +86,17 @@ pub struct MetricsSnapshot {
     /// keeps pre-existing JSON artifacts parseable.
     #[serde(default)]
     pub messages_combined: u64,
+    /// Column batches pushed through a vectorized kernel or a
+    /// batch-granularity exchange; zero on the record-at-a-time path, so
+    /// tests can assert which path actually executed. `default` keeps
+    /// pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub batches_processed: u64,
+    /// Rows that passed a vectorized selection (filter/hash-agg probe) —
+    /// the batch-path sibling of `records_read`; `default` keeps
+    /// pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub rows_selected: u64,
     /// Recovery counters (fault injection and its repair costs).
     pub recovery: RecoverySnapshot,
 }
@@ -157,6 +170,8 @@ impl EngineMetrics {
         iterations_run => add_iterations_run, iterations_run;
         backpressure_waits => add_backpressure_waits, backpressure_waits;
         messages_combined => add_messages_combined, messages_combined;
+        batches_processed => add_batches_processed, batches_processed;
+        rows_selected => add_rows_selected, rows_selected;
         injected_failures => add_injected_failures, injected_failures;
         injected_stragglers => add_injected_stragglers, injected_stragglers;
         task_retries => add_task_retries, task_retries;
@@ -188,6 +203,8 @@ impl EngineMetrics {
             iterations_run: self.iterations_run(),
             backpressure_waits: self.backpressure_waits(),
             messages_combined: self.messages_combined(),
+            batches_processed: self.batches_processed(),
+            rows_selected: self.rows_selected(),
             recovery: self.recovery(),
         }
     }

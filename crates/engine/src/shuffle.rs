@@ -22,6 +22,36 @@ use crate::sortbuf::{CombineFn, SortCombineBuffer};
 /// Output of one map task: one bucket of records per reduce partition.
 pub type MapOutput<K, V> = Vec<Vec<(K, V)>>;
 
+/// Anything the batch-granularity shuffle can account for: a unit that
+/// crosses the exchange whole, carrying `rows()` records in `bytes()`
+/// payload bytes. Implemented for plain record vectors (the record
+/// adapter) and for columnar key/value batches, so the same exchange and
+/// metrics code serves both data planes.
+pub trait ShuffleBatch {
+    /// Records carried by this batch.
+    fn rows(&self) -> usize;
+    /// Payload bytes carried by this batch (for shuffle byte accounting).
+    fn bytes(&self) -> usize;
+}
+
+impl<T> ShuffleBatch for Vec<T> {
+    fn rows(&self) -> usize {
+        self.len()
+    }
+    fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl ShuffleBatch for flowmark_columnar::StrU64Batch {
+    fn rows(&self) -> usize {
+        self.len()
+    }
+    fn bytes(&self) -> usize {
+        self.key_bytes() + self.len() * std::mem::size_of::<u64>()
+    }
+}
+
 /// Unwraps a computed partition for the shuffle without copying when this
 /// task is the only holder — the common case for non-persisted lineage.
 /// Only a cached (shared) partition pays for a clone.
@@ -104,7 +134,11 @@ where
 /// *all* map outputs exist — the stage boundary in Fig 9 (right). The first
 /// map task's bucket seeds each reduce input (moved, not copied) and the
 /// rest are appended into storage reserved up front.
-pub fn exchange<K, V>(map_outputs: Vec<MapOutput<K, V>>) -> Vec<Vec<(K, V)>> {
+///
+/// Element-generic: `E` is whatever a map task emits per reducer — a
+/// `(K, V)` pair on the record path, or a whole column batch on the
+/// batch-granularity path (where one "element" moves thousands of rows).
+pub fn exchange<E>(map_outputs: Vec<Vec<Vec<E>>>) -> Vec<Vec<E>> {
     let partitions = map_outputs.first().map(Vec::len).unwrap_or(0);
     debug_assert!(
         map_outputs.iter().all(|m| m.len() == partitions),
@@ -116,7 +150,7 @@ pub fn exchange<K, V>(map_outputs: Vec<MapOutput<K, V>>) -> Vec<Vec<(K, V)>> {
             totals[p] += bucket.len();
         }
     }
-    let mut reduce_inputs: Vec<Vec<(K, V)>> = Vec::with_capacity(partitions);
+    let mut reduce_inputs: Vec<Vec<E>> = Vec::with_capacity(partitions);
     let mut tail = map_outputs.into_iter();
     match tail.next() {
         Some(first) => {

@@ -33,7 +33,9 @@ use crate::faults::{
 };
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
-use crate::shuffle::{exchange, partition_combine, partition_records, take_partition};
+use crate::shuffle::{
+    exchange, partition_combine, partition_records, take_partition, ShuffleBatch,
+};
 use crate::sortbuf::CombineFn;
 
 /// Shared driver state.
@@ -650,6 +652,59 @@ where
     }
 }
 
+// ---- batch-granularity shuffle --------------------------------------------
+
+impl<B> Rdd<(usize, B)>
+where
+    B: ShuffleBatch + Clone + Send + Sync + 'static,
+{
+    /// Batch-granularity shuffle: each element is a whole pre-routed batch
+    /// tagged with its reduce partition index, and the exchange moves the
+    /// batch as one unit — one clone-free `Vec` push per *batch* instead of
+    /// one `(K, V)` clone per *record*. Map tasks route rows into per-reducer
+    /// batches themselves (e.g. [`flowmark_columnar::StrU64Batch::partition_by`])
+    /// and tag them; this op only regroups.
+    pub fn exchange_by_index(&self, partitions: usize) -> Rdd<B> {
+        self.exchange_by_index_with(partitions, |b| b)
+    }
+
+    /// [`Rdd::exchange_by_index`] plus a per-partition `finish` step (merge,
+    /// sort, compact) that runs *inside* the shuffle materialisation — its
+    /// output, not the raw batch list, is what the `OnceLock` stores and
+    /// recomputations clone, so heavy post-processing never pays the
+    /// per-partition serve copy twice.
+    pub fn exchange_by_index_with<F>(&self, partitions: usize, finish: F) -> Rdd<B>
+    where
+        F: Fn(Vec<B>) -> Vec<B> + Send + Sync + 'static,
+    {
+        let parent = self.clone();
+        let ctx = self.ctx.clone();
+        let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
+            let started = Instant::now();
+            let map_outputs: Vec<Vec<Vec<B>>> = parent
+                .compute_all()
+                .into_par_iter()
+                .map(|p| {
+                    let mut out: Vec<Vec<B>> = (0..partitions).map(|_| Vec::new()).collect();
+                    for (idx, batch) in take_partition(p) {
+                        assert!(idx < partitions, "batch routed to partition {idx} of {partitions}");
+                        ctx.metrics().add_records_shuffled(batch.rows() as u64);
+                        ctx.metrics().add_bytes_shuffled(batch.bytes() as u64);
+                        ctx.metrics().add_batches_processed(1);
+                        out[idx].push(batch);
+                    }
+                    out
+                })
+                .collect();
+            let reduce_inputs = exchange(map_outputs);
+            let out: Vec<Vec<B>> = reduce_inputs.into_par_iter().map(&finish).collect();
+            ctx.record_span("shuffle:exchangeByIndex", started);
+            out
+        }));
+        Rdd::new(self.ctx.clone(), partitions, shuffled)
+    }
+}
+
 // ---- additional narrow/wide transformations -------------------------------
 
 impl<T: Clone + Send + Sync + 'static> Rdd<T> {
@@ -892,16 +947,18 @@ where
 
 /// A shuffle dependency: materialised exactly once, then served per
 /// partition — Spark's shuffle files outliving the stage that wrote them.
-struct ShuffleOp<K, V> {
+/// Element-generic: `T` is a `(K, V)` pair on the record path or a whole
+/// column batch on the batch-granularity path.
+struct ShuffleOp<T> {
     partitions: usize,
-    materialise: Box<dyn Fn() -> Vec<Vec<(K, V)>> + Send + Sync>,
-    output: OnceLock<Vec<Vec<(K, V)>>>,
+    materialise: Box<dyn Fn() -> Vec<Vec<T>> + Send + Sync>,
+    output: OnceLock<Vec<Vec<T>>>,
 }
 
-impl<K, V> ShuffleOp<K, V> {
+impl<T> ShuffleOp<T> {
     fn new<F>(partitions: usize, materialise: F) -> Self
     where
-        F: Fn() -> Vec<Vec<(K, V)>> + Send + Sync + 'static,
+        F: Fn() -> Vec<Vec<T>> + Send + Sync + 'static,
     {
         Self {
             partitions,
@@ -911,12 +968,11 @@ impl<K, V> ShuffleOp<K, V> {
     }
 }
 
-impl<K, V> RddOp<(K, V)> for ShuffleOp<K, V>
+impl<T> RddOp<T> for ShuffleOp<T>
 where
-    K: Clone + Send + Sync,
-    V: Clone + Send + Sync,
+    T: Clone + Send + Sync,
 {
-    fn compute(&self, part: usize) -> Vec<(K, V)> {
+    fn compute(&self, part: usize) -> Vec<T> {
         debug_assert!(part < self.partitions);
         let all = self.output.get_or_init(|| (self.materialise)());
         all[part].clone()

@@ -52,6 +52,11 @@ pub struct BenchCell {
     /// pre-existing JSON artifacts parseable).
     #[serde(default)]
     pub messages_combined: u64,
+    /// Column batches processed by vectorized kernels and the
+    /// batch-granularity exchange; 0 on the record-at-a-time path
+    /// (`default` keeps pre-existing JSON artifacts parseable).
+    #[serde(default)]
+    pub batches_processed: u64,
     /// True when the output matched the sequential oracle.
     pub verified: bool,
 }
@@ -163,6 +168,7 @@ fn cell(
         },
         records_shuffled: metrics.records_shuffled(),
         messages_combined: metrics.messages_combined(),
+        batches_processed: metrics.batches_processed(),
         verified,
     }
 }

@@ -93,9 +93,146 @@ pub fn operator_table(fw: Framework) -> Vec<OperatorKind> {
     }
 }
 
+/// Partition index for one record under the shared range partitioner.
+fn range_part(partitioner: &KeyRange, r: &Record) -> usize {
+    use flowmark_dataflow::partitioner::Partitioner;
+    let mut k = [0u8; KEY_BYTES];
+    k.copy_from_slice(r.key());
+    partitioner.partition(&k)
+}
+
+/// Chunks a record vector into fixed-size batches, moving each record
+/// exactly once: batches split off the *tail* (so `split_off` copies one
+/// batch, not the whole remainder) and the list is reversed at the end.
+fn batch_records(records: Vec<Record>, batch_rows: usize) -> Vec<Vec<Record>> {
+    let mut batches = Vec::with_capacity(records.len().div_ceil(batch_rows).max(1));
+    let mut rest = records;
+    while rest.len() > batch_rows {
+        batches.push(rest.split_off(rest.len() - batch_rows));
+    }
+    batches.push(rest);
+    batches.reverse();
+    batches
+}
+
+/// Routes one map partition's record batches into per-reducer batches
+/// tagged with their target partition: one counting pass pre-sizes every
+/// bucket, then each record moves exactly once.
+fn route_batches(
+    chunks: &[Vec<Record>],
+    partitioner: &KeyRange,
+) -> Vec<(usize, Vec<Record>)> {
+    use flowmark_dataflow::partitioner::Partitioner;
+    let parts = partitioner.partitions();
+    let mut counts = vec![0usize; parts];
+    for chunk in chunks {
+        for r in chunk {
+            counts[range_part(partitioner, r)] += 1;
+        }
+    }
+    let mut buckets: Vec<Vec<Record>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for chunk in chunks {
+        for r in chunk {
+            buckets[range_part(partitioner, r)].push(r.clone());
+        }
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect()
+}
+
+/// Concatenates a reducer's routed batches into one pre-sized buffer and
+/// sorts it by key (the reduce half, run inside the shuffle on the staged
+/// engine). The cached-key sort moves 10-byte keys through the comparison
+/// loop and permutes the 100-byte records exactly once at the end.
+fn merge_sort_batches(batches: Vec<Vec<Record>>) -> Vec<Record> {
+    let total: usize = batches.iter().map(Vec::len).sum();
+    let mut all = Vec::with_capacity(total);
+    for mut b in batches {
+        all.append(&mut b);
+    }
+    all.sort_by_cached_key(|r| {
+        let mut k = [0u8; KEY_BYTES];
+        k.copy_from_slice(r.key());
+        k
+    });
+    all
+}
+
 /// Runs TeraSort on the staged engine; returns the per-partition sorted
-/// output (concatenation is globally sorted).
+/// output (concatenation is globally sorted). Records move through the
+/// shuffle as whole routed batches; the per-partition sort runs inside the
+/// shuffle materialisation.
 pub fn run_spark(
+    sc: &SparkContext,
+    records: Vec<Record>,
+    partitions: usize,
+) -> Vec<Vec<Record>> {
+    use flowmark_dataflow::partitioner::Partitioner;
+    let splits = sample_split_points(&records, partitions, 10_000);
+    let partitioner = std::sync::Arc::new(KeyRange::new(splits));
+    let out_parts = partitioner.partitions();
+    let rows = records.len();
+    let batches = batch_records(records, flowmark_columnar::DEFAULT_BATCH_ROWS);
+    sc.metrics()
+        .add_records_read((rows - batches.len().min(rows)) as u64);
+    let rdd = sc
+        .parallelize(batches, partitions)
+        .map_partitions(move |chunks| route_batches(chunks, &partitioner))
+        .exchange_by_index_with(out_parts, |bs| vec![merge_sort_batches(bs)]);
+    (0..rdd.num_partitions())
+        .map(|part| {
+            flowmark_engine::shuffle::take_partition(rdd.compute(part))
+                .into_iter()
+                .flatten()
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs TeraSort on the pipelined engine: whole routed batches stream
+/// through the bounded channels (one send per batch), then each partition
+/// sorts locally.
+pub fn run_flink(env: &FlinkEnv, records: Vec<Record>, partitions: usize) -> Vec<Vec<Record>> {
+    use flowmark_dataflow::partitioner::Partitioner;
+    let splits = sample_split_points(&records, partitions, 10_000);
+    let partitioner = std::sync::Arc::new(KeyRange::new(splits));
+    let out_parts = partitioner.partitions();
+    let rows = records.len();
+    let batches = batch_records(records, flowmark_columnar::DEFAULT_BATCH_ROWS);
+    env.metrics()
+        .add_records_read((rows - batches.len().min(rows)) as u64);
+    env.from_collection(batches)
+        .map_partition(move |chunks: Vec<Vec<Record>>| {
+            let mut counts = vec![0usize; partitioner.partitions()];
+            for chunk in &chunks {
+                for r in chunk {
+                    counts[range_part(&partitioner, r)] += 1;
+                }
+            }
+            let mut routed: Vec<Vec<Record>> =
+                counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+            for chunk in chunks {
+                for r in chunk {
+                    routed[range_part(&partitioner, &r)].push(r);
+                }
+            }
+            routed
+                .into_iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .collect::<Vec<(usize, Vec<Record>)>>()
+        })
+        .exchange_by_index(out_parts)
+        .map_partition(|bs: Vec<Vec<Record>>| merge_sort_batches(bs))
+        .collect_partitions()
+}
+
+/// Runs TeraSort on the staged engine record-at-a-time (the pre-columnar
+/// plan, kept as the scalar reference for parity tests).
+pub fn run_spark_records(
     sc: &SparkContext,
     records: Vec<Record>,
     partitions: usize,
@@ -123,8 +260,13 @@ pub fn run_spark(
         .collect()
 }
 
-/// Runs TeraSort on the pipelined engine.
-pub fn run_flink(env: &FlinkEnv, records: Vec<Record>, partitions: usize) -> Vec<Vec<Record>> {
+/// Runs TeraSort on the pipelined engine record-at-a-time (scalar
+/// reference).
+pub fn run_flink_records(
+    env: &FlinkEnv,
+    records: Vec<Record>,
+    partitions: usize,
+) -> Vec<Vec<Record>> {
     let splits = sample_split_points(&records, partitions, 10_000);
     let partitioner = std::sync::Arc::new(KeyRange::new(splits));
     env.from_collection(records)

@@ -6,12 +6,15 @@
 //! - Spark: `flatMap → mapToPair → reduceByKey → saveAsTextFile`
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
+use flowmark_columnar::{StrColumn, StrU64Batch, DEFAULT_BATCH_ROWS};
 use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{CostAnnotation, LogicalPlan};
 use flowmark_engine::flink::FlinkEnv;
-use flowmark_engine::hash::{fx_map_with_capacity, FxHashMap};
+use flowmark_engine::hash::{fx_map_with_capacity, FxHasher64, FxHashMap};
+use flowmark_engine::metrics::EngineMetrics;
 use flowmark_engine::spark::SparkContext;
 
 use crate::costs::*;
@@ -118,16 +121,115 @@ fn count_partition<'a>(lines: impl IntoIterator<Item = &'a String>) -> Vec<(Stri
     counts.into_iter().collect()
 }
 
-/// Runs Word Count on the staged engine.
+/// Shuffle routing for word keys: plain FxHash of the word's bytes, modulo
+/// the reducer count. Only self-consistency across map tasks matters.
+fn word_partition(word: &str, parts: usize) -> usize {
+    let mut h = FxHasher64::default();
+    word.hash(&mut h);
+    (h.finish() as usize) % parts
+}
+
+/// Tokenizes and locally aggregates one partition's column batches, then
+/// routes the aggregate into per-reducer [`StrU64Batch`]es tagged with
+/// their target partition — the map half of the batch-granularity shuffle.
+fn count_batches(
+    cols: &[StrColumn],
+    out_parts: usize,
+    metrics: &EngineMetrics,
+) -> Vec<(usize, StrU64Batch)> {
+    let mut counts: FxHashMap<String, u64> = fx_map_with_capacity(1024);
+    for col in cols {
+        for i in 0..col.len() {
+            for w in col.get(i).split_whitespace() {
+                count_word(&mut counts, w);
+            }
+        }
+        metrics.add_batches_processed(1);
+        metrics.add_rows_selected(col.len() as u64);
+    }
+    StrU64Batch::from_pairs(counts)
+        .partition_by(out_parts, |w| word_partition(w, out_parts))
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect()
+}
+
+/// Merges one reducer's routed batches with the batch-at-a-time hash-agg
+/// kernel (a `String` is allocated only the first time a key is seen).
+fn merge_batches(batches: &[StrU64Batch], metrics: &EngineMetrics) -> FxHashMap<String, u64> {
+    let total: usize = batches.iter().map(StrU64Batch::len).sum();
+    let mut agg: FxHashMap<String, u64> = fx_map_with_capacity(total);
+    for b in batches {
+        b.merge_into(&mut agg, |a, v| *a += v);
+    }
+    metrics.add_rows_selected(total as u64);
+    agg
+}
+
+/// Splits a line corpus into column batches plus the row count the source
+/// metric misses (sources count batch *elements*, not the rows inside).
+fn batch_lines(lines: Vec<String>) -> (Vec<StrColumn>, u64) {
+    let rows = lines.len();
+    let batches = StrColumn::batches_from_lines(&lines, DEFAULT_BATCH_ROWS);
+    let extra = (rows - batches.len().min(rows)) as u64;
+    (batches, extra)
+}
+
+/// Runs Word Count on the staged engine: columnar tokenize + local
+/// aggregation, then a batch-granularity shuffle whose reduce-side merge
+/// runs inside the shuffle materialisation.
 pub fn run_spark(sc: &SparkContext, lines: Vec<String>, partitions: usize) -> HashMap<String, u64> {
+    let metrics = sc.metrics().clone();
+    let merge_metrics = sc.metrics().clone();
+    let (batches, extra_rows) = batch_lines(lines);
+    metrics.add_records_read(extra_rows);
+    sc.parallelize(batches, partitions)
+        .map_partitions(move |cols| count_batches(cols, partitions, &metrics))
+        .exchange_by_index_with(partitions, move |bs| {
+            vec![StrU64Batch::from_pairs(merge_batches(&bs, &merge_metrics))]
+        })
+        .collect()
+        .into_iter()
+        .flat_map(|b| b.iter().map(|(k, v)| (k.to_owned(), v)).collect::<Vec<_>>())
+        .collect()
+}
+
+/// Runs Word Count on the pipelined engine, on the same batch path (whole
+/// routed batches stream through the bounded channels).
+pub fn run_flink(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
+    let metrics = env.metrics().clone();
+    let merge_metrics = env.metrics().clone();
+    let out_parts = env.parallelism();
+    let (batches, extra_rows) = batch_lines(lines);
+    metrics.add_records_read(extra_rows);
+    env.from_collection(batches)
+        .map_partition(move |cols: Vec<StrColumn>| count_batches(&cols, out_parts, &metrics))
+        .exchange_by_index(out_parts)
+        .map_partition(move |bs: Vec<StrU64Batch>| {
+            merge_batches(&bs, &merge_metrics).into_iter().collect::<Vec<_>>()
+        })
+        .collect()
+        .into_iter()
+        .collect()
+}
+
+/// Runs Word Count on the staged engine record-at-a-time (the pre-columnar
+/// plan, kept as the scalar reference for parity tests).
+pub fn run_spark_records(
+    sc: &SparkContext,
+    lines: Vec<String>,
+    partitions: usize,
+) -> HashMap<String, u64> {
     sc.parallelize(lines, partitions)
         .map_partitions(|part| count_partition(part))
         .reduce_by_key(|a, b| *a += b)
         .collect_as_map()
 }
 
-/// Runs Word Count on the pipelined engine.
-pub fn run_flink(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
+/// Runs Word Count on the pipelined engine record-at-a-time (scalar
+/// reference).
+pub fn run_flink_records(env: &FlinkEnv, lines: Vec<String>) -> HashMap<String, u64> {
     env.from_collection(lines)
         .map_partition(|lines: Vec<String>| count_partition(&lines))
         .group_reduce(|a, b| *a += b)

@@ -137,21 +137,27 @@ fn speedups_pair_cells_with_the_baseline() {
 }
 
 /// Engine-independent reference for Word Count's `records_shuffled`: both
-/// engines chunk the input contiguously (`len.div_ceil(parallelism)`) and
-/// fully combine on the map side, so what crosses the shuffle is exactly
-/// the distinct words of each input chunk.
-fn expected_wc_shuffle(lines: &[String], parallelism: usize) -> u64 {
-    let chunk = lines.len().div_ceil(parallelism).max(1);
-    lines
-        .chunks(chunk)
-        .map(|part| {
-            let mut distinct: HashSet<&str> = HashSet::new();
-            for line in part {
+/// engines pack lines into `DEFAULT_BATCH_ROWS`-row column batches, chunk
+/// the *batches* contiguously (`len.div_ceil(parallelism)`) and fully
+/// combine on the map side, so what crosses the shuffle is exactly the
+/// distinct words of each map task's rows — each costing its UTF-8 length
+/// plus a u64 count in the routed batch's columns.
+fn expected_wc_shuffle(lines: &[String], parallelism: usize) -> (u64, u64) {
+    let batches: Vec<&[String]> = lines.chunks(flowmark_columnar::DEFAULT_BATCH_ROWS).collect();
+    let chunk = batches.len().div_ceil(parallelism).max(1);
+    let (mut records, mut bytes) = (0u64, 0u64);
+    for task in batches.chunks(chunk) {
+        let mut distinct: HashSet<&str> = HashSet::new();
+        for batch in task {
+            for line in *batch {
                 distinct.extend(line.split_whitespace());
             }
-            distinct.len() as u64
-        })
-        .sum()
+        }
+        records += distinct.len() as u64;
+        bytes += distinct.iter().map(|w| w.len() as u64).sum::<u64>()
+            + 8 * distinct.len() as u64;
+    }
+    (records, bytes)
 }
 
 /// The zero-copy/pooling rewrite must not change what the shuffle counters
@@ -163,9 +169,10 @@ fn shuffle_metrics_are_invariant_under_the_zero_copy_rewrite() {
     use flowmark_workloads::wordcount;
 
     let parts = 4;
-    let lines = TextGen::new(TextGenConfig::default(), 7).lines(3_000);
-    let expect_records = expected_wc_shuffle(&lines, parts);
-    let record_bytes = std::mem::size_of::<(String, u64)>() as u64;
+    // Enough lines for several column batches, so the reference exercises
+    // batch-granularity chunking across map tasks, not just one chunk.
+    let lines = TextGen::new(TextGenConfig::default(), 7).lines(10_000);
+    let (expect_records, expect_bytes) = expected_wc_shuffle(&lines, parts);
 
     let sc = SparkContext::new(parts, 64 << 20);
     let spark_out = wordcount::run_spark(&sc, lines.clone(), parts);
@@ -176,7 +183,7 @@ fn shuffle_metrics_are_invariant_under_the_zero_copy_rewrite() {
     );
     assert_eq!(
         sc.metrics().bytes_shuffled(),
-        expect_records * record_bytes,
+        expect_bytes,
         "staged engine byte accounting drifted"
     );
 
@@ -189,7 +196,7 @@ fn shuffle_metrics_are_invariant_under_the_zero_copy_rewrite() {
     );
     assert_eq!(
         env.metrics().bytes_shuffled(),
-        expect_records * record_bytes,
+        expect_bytes,
         "pipelined engine byte accounting drifted"
     );
 

@@ -303,6 +303,95 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The columnar batch path and the record-at-a-time adapter produce
+    /// identical Word Count answers on both engines for any corpus.
+    #[test]
+    fn wordcount_batch_path_matches_record_path(
+        seed in any::<u64>(),
+        lines in 0usize..400,
+        partitions in 1usize..6,
+    ) {
+        use flowmark_datagen::text::{TextGen, TextGenConfig};
+        use flowmark_workloads::wordcount;
+        let corpus = TextGen::new(TextGenConfig::default(), seed).lines(lines);
+        let batch_sc = SparkContext::new(partitions, 16 << 20);
+        let record_sc = SparkContext::new(partitions, 16 << 20);
+        prop_assert_eq!(
+            wordcount::run_spark(&batch_sc, corpus.clone(), partitions),
+            wordcount::run_spark_records(&record_sc, corpus.clone(), partitions),
+            "spark batch path diverged from record path"
+        );
+        let batch_env = FlinkEnv::new(partitions);
+        let record_env = FlinkEnv::new(partitions);
+        prop_assert_eq!(
+            wordcount::run_flink(&batch_env, corpus.clone()),
+            wordcount::run_flink_records(&record_env, corpus),
+            "flink batch path diverged from record path"
+        );
+    }
+
+    /// The vectorized substring filter and the scalar `contains` adapter
+    /// count the same matches on both engines for any corpus and needle
+    /// selectivity.
+    #[test]
+    fn grep_batch_path_matches_record_path(
+        seed in any::<u64>(),
+        lines in 0usize..400,
+        partitions in 1usize..6,
+        selectivity in 0.0f64..0.5,
+    ) {
+        use flowmark_datagen::text::{TextGen, TextGenConfig};
+        use flowmark_workloads::grep;
+        let config = TextGenConfig { needle_selectivity: selectivity, ..TextGenConfig::default() };
+        let needle = config.needle.clone();
+        let corpus = TextGen::new(config, seed).lines(lines);
+        let batch_sc = SparkContext::new(partitions, 16 << 20);
+        let record_sc = SparkContext::new(partitions, 16 << 20);
+        prop_assert_eq!(
+            grep::run_spark(&batch_sc, corpus.clone(), &needle, partitions),
+            grep::run_spark_records(&record_sc, corpus.clone(), &needle, partitions),
+            "spark batch path diverged from record path"
+        );
+        let batch_env = FlinkEnv::new(partitions);
+        let record_env = FlinkEnv::new(partitions);
+        prop_assert_eq!(
+            grep::run_flink(&batch_env, corpus.clone(), &needle),
+            grep::run_flink_records(&record_env, corpus, &needle),
+            "flink batch path diverged from record path"
+        );
+    }
+
+    /// Batch-granularity shuffle routing and the keyed-tuple adapter produce
+    /// byte-identical TeraSort partitions on both engines.
+    #[test]
+    fn terasort_batch_path_matches_record_path(
+        seed in any::<u64>(),
+        n in 0usize..600,
+        partitions in 1usize..8,
+    ) {
+        use flowmark_datagen::terasort::TeraGen;
+        use flowmark_workloads::terasort;
+        let records = TeraGen::new(seed).records(n);
+        let batch_sc = SparkContext::new(2, 16 << 20);
+        let record_sc = SparkContext::new(2, 16 << 20);
+        prop_assert_eq!(
+            terasort::run_spark(&batch_sc, records.clone(), partitions),
+            terasort::run_spark_records(&record_sc, records.clone(), partitions),
+            "spark batch path diverged from record path"
+        );
+        let batch_env = FlinkEnv::new(2);
+        let record_env = FlinkEnv::new(2);
+        prop_assert_eq!(
+            terasort::run_flink(&batch_env, records.clone(), partitions),
+            terasort::run_flink_records(&record_env, records, partitions),
+            "flink batch path diverged from record path"
+        );
+    }
+}
+
 /// An arbitrary (always-recoverable) fault plan: any seed, background kill
 /// and straggler probabilities, guaranteed-injection budgets and checkpoint
 /// intervals. Probability and budget kills only fire on first attempts, so
