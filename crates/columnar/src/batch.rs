@@ -7,6 +7,8 @@
 //! vectors (row indices into the unchanged batch) instead of copying
 //! survivors out, and [`Validity`] bitmasks mark rows a kernel must skip.
 
+use crate::checksum::{Checksummable, CorruptionKind, Xxh64};
+
 /// Default number of rows per batch.
 ///
 /// 4096 rows of ~80-byte text is ~320 KiB of flat payload — big enough to
@@ -88,6 +90,27 @@ impl Validity {
             n += (self.bits[full] & ((1u64 << tail) - 1)).count_ones();
         }
         n as usize
+    }
+
+    /// The raw mask words (bit `i` of word `i / 64` covers row `i`).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+impl Checksummable for Validity {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        h.write_u64(self.len as u64);
+        h.write_u64s(&self.bits);
+    }
+
+    fn corrupt(&mut self, _kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = (salt as usize) % self.len;
+        self.bits[bit / 64] ^= 1 << (bit % 64);
+        Some(CorruptionKind::ValidityFlip)
     }
 }
 
@@ -260,6 +283,49 @@ impl BytesColumn {
         }
         out
     }
+
+    /// Removes the last row, if any (the truncated-block corruption shape).
+    pub fn pop(&mut self) -> bool {
+        if self.len() == 0 {
+            return false;
+        }
+        self.offsets.pop();
+        let end = *self.offsets.last().expect("offsets keep their 0 sentinel") as usize;
+        self.data.truncate(end);
+        true
+    }
+}
+
+impl Checksummable for BytesColumn {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        h.write_u64(self.offsets.len() as u64);
+        h.write_u32s(&self.offsets);
+        h.write(&self.data);
+    }
+
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        if kind == CorruptionKind::Truncate && self.pop() {
+            return Some(CorruptionKind::Truncate);
+        }
+        // Bit-flip path (also the fallback for validity flips on an
+        // unmasked column and truncation of an empty one): the salt
+        // addresses one bit across the payload *and* the non-sentinel
+        // offsets, so both storage planes get corruption coverage.
+        let data_bits = self.data.len() * 8;
+        let offset_bits = (self.offsets.len() - 1) * 32;
+        let total = data_bits + offset_bits;
+        if total == 0 {
+            return None;
+        }
+        let bit = (salt as usize) % total;
+        if bit < data_bits {
+            self.data[bit / 8] ^= 1 << (bit % 8);
+        } else {
+            let bit = bit - data_bits;
+            self.offsets[1 + bit / 32] ^= 1 << (bit % 32);
+        }
+        Some(CorruptionKind::BitFlip)
+    }
 }
 
 /// A [`BytesColumn`] whose rows are guaranteed valid UTF-8.
@@ -362,6 +428,24 @@ impl StrColumn {
             raw: self.raw.gather(sel),
         }
     }
+
+    /// Removes the last row, if any.
+    pub fn pop(&mut self) -> bool {
+        self.raw.pop()
+    }
+}
+
+impl Checksummable for StrColumn {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        self.raw.write_checksum(h);
+    }
+
+    /// Corruption may break the UTF-8 invariant of the payload; a column
+    /// this has been applied to must be verified-and-discarded, never
+    /// row-accessed (see the [`crate::checksum`] module contract).
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        self.raw.corrupt(kind, salt)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +492,66 @@ impl Column {
             Column::F64(v) => Column::F64(sel.iter().map(|i| v[i]).collect()),
             Column::Bytes(c) => Column::Bytes(c.gather(sel)),
             Column::Str(c) => Column::Str(c.gather(sel)),
+        }
+    }
+}
+
+impl Checksummable for Column {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        // A variant tag keeps an empty U64 column from colliding with an
+        // empty Str column.
+        match self {
+            Column::U64(v) => {
+                h.write_u64(1);
+                h.write_u64(v.len() as u64);
+                h.write_u64s(v);
+            }
+            Column::I64(v) => {
+                h.write_u64(2);
+                h.write_u64(v.len() as u64);
+                for &x in v {
+                    h.write_u64(x as u64);
+                }
+            }
+            Column::F64(v) => {
+                h.write_u64(3);
+                h.write_u64(v.len() as u64);
+                for &x in v {
+                    h.write_u64(x.to_bits());
+                }
+            }
+            Column::Bytes(c) => {
+                h.write_u64(4);
+                c.write_checksum(h);
+            }
+            Column::Str(c) => {
+                h.write_u64(5);
+                c.write_checksum(h);
+            }
+        }
+    }
+
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        match self {
+            Column::U64(v) => v.corrupt(kind, salt),
+            Column::I64(v) => {
+                if v.is_empty() {
+                    return None;
+                }
+                let i = (salt as usize) % v.len();
+                v[i] ^= 1 << (salt.rotate_right(7) % 64);
+                Some(CorruptionKind::BitFlip)
+            }
+            Column::F64(v) => {
+                if v.is_empty() {
+                    return None;
+                }
+                let i = (salt as usize) % v.len();
+                v[i] = f64::from_bits(v[i].to_bits() ^ (1 << (salt.rotate_right(7) % 64)));
+                Some(CorruptionKind::BitFlip)
+            }
+            Column::Bytes(c) => c.corrupt(kind, salt),
+            Column::Str(c) => c.corrupt(kind, salt),
         }
     }
 }
@@ -470,6 +614,47 @@ impl ColumnBatch {
             validity: None,
             rows: sel.len(),
         }
+    }
+}
+
+impl Checksummable for ColumnBatch {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        h.write_u64(self.rows as u64);
+        h.write_u64(self.columns.len() as u64);
+        for c in &self.columns {
+            c.write_checksum(h);
+        }
+        match &self.validity {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.write_checksum(h);
+            }
+        }
+    }
+
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        if kind == CorruptionKind::ValidityFlip {
+            if let Some(v) = &mut self.validity {
+                if let Some(applied) = v.corrupt(kind, salt) {
+                    return Some(applied);
+                }
+            }
+        }
+        // Bit-flip (and every fallback) walks the columns starting at the
+        // salt-addressed one until something has bits to flip.
+        let n = self.columns.len();
+        for step in 0..n {
+            let i = ((salt as usize) + step) % n.max(1);
+            if let Some(applied) = self
+                .columns
+                .get_mut(i)
+                .and_then(|c| c.corrupt(CorruptionKind::BitFlip, salt.rotate_right(9)))
+            {
+                return Some(applied);
+            }
+        }
+        None
     }
 }
 

@@ -1,0 +1,338 @@
+//! Seeded checksums and deterministic corruption hooks for batch types.
+//!
+//! Both real frameworks checksum every shuffle block — silent corruption
+//! would otherwise survive into the final answer — so the columnar data
+//! plane carries a cheap seeded 64-bit checksum with every batch. [`Xxh64`]
+//! is an xxhash-style one-accumulator hasher implemented locally (no
+//! dependency): each 8-byte lane passes through a bijective
+//! multiply-rotate round, so *any* single-bit flip inside a lane is
+//! **guaranteed** (not just probabilistically) to change the digest, and
+//! the final avalanche makes unrelated batches collide with probability
+//! ~2⁻⁶⁴.
+//!
+//! [`Checksummable`] is the pairing of that digest with a *corruption*
+//! hook: `corrupt` applies one deterministic, salt-addressed mutation —
+//! a payload/offset bit-flip, a validity-mask flip, or a truncated row —
+//! and reports which [`CorruptionKind`] it actually managed to apply
+//! (falling back down the chain requested → bit-flip → truncate when a
+//! shape cannot express the requested kind, e.g. a validity flip on a
+//! maskless batch). The fault layer in `flowmark-engine` drives this hook
+//! at seeded `(stage, partition, attempt)` points exactly like its task
+//! kills.
+//!
+//! **A corrupted batch exists only to be detected.** Corruption may break
+//! internal invariants (UTF-8 of string payloads, offset monotonicity), so
+//! after calling `corrupt` the batch must never be row-accessed — verify
+//! the checksum first and discard on mismatch, which is precisely what
+//! both engines do.
+
+use std::fmt;
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// A streaming seeded 64-bit hasher in the xxhash style: one accumulator,
+/// a bijective multiply-rotate round per 8-byte lane, length folded in at
+/// the end, avalanche finalisation.
+#[derive(Debug, Clone)]
+pub struct Xxh64 {
+    acc: u64,
+    total: u64,
+    buf: [u8; 8],
+    fill: usize,
+}
+
+impl Xxh64 {
+    /// A fresh hasher; equal seeds replay equal digests.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            acc: seed.wrapping_add(P5),
+            total: 0,
+            buf: [0; 8],
+            fill: 0,
+        }
+    }
+
+    #[inline]
+    fn mix(lane: u64) -> u64 {
+        lane.wrapping_mul(P2).rotate_left(31).wrapping_mul(P1)
+    }
+
+    #[inline]
+    fn absorb(&mut self, lane: u64) {
+        self.acc ^= Self::mix(lane);
+        self.acc = self.acc.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+    }
+
+    /// Feeds raw bytes into the digest.
+    pub fn write(&mut self, mut bytes: &[u8]) {
+        self.total = self.total.wrapping_add(bytes.len() as u64);
+        if self.fill > 0 {
+            let take = (8 - self.fill).min(bytes.len());
+            self.buf[self.fill..self.fill + take].copy_from_slice(&bytes[..take]);
+            self.fill += take;
+            bytes = &bytes[take..];
+            if self.fill < 8 {
+                return;
+            }
+            self.absorb(u64::from_le_bytes(self.buf));
+            self.fill = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let lane = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.absorb(lane);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.fill = rem.len();
+    }
+
+    /// Feeds one `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds one `u32` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a slice of `u64` values, equivalent to writing each with
+    /// [`Self::write_u64`] but absorbing whole lanes directly when the
+    /// stream is lane-aligned — the hot path for offset arrays and value
+    /// columns, where byte-at-a-time buffering would dominate the digest
+    /// cost.
+    pub fn write_u64s(&mut self, vs: &[u64]) {
+        if self.fill != 0 {
+            for &v in vs {
+                self.write_u64(v);
+            }
+            return;
+        }
+        self.total = self.total.wrapping_add(8 * vs.len() as u64);
+        for &v in vs {
+            // from_le_bytes(to_le_bytes(v)) == v, so the lane is the value.
+            self.absorb(v);
+        }
+    }
+
+    /// Feeds a slice of `u32` values, equivalent to writing each with
+    /// [`Self::write_u32`] but packing pairs into whole lanes when the
+    /// stream is lane-aligned.
+    pub fn write_u32s(&mut self, vs: &[u32]) {
+        if self.fill != 0 || vs.len() < 2 {
+            for &v in vs {
+                self.write_u32(v);
+            }
+            return;
+        }
+        let pairs = vs.len() / 2;
+        self.total = self.total.wrapping_add(8 * pairs as u64);
+        for p in vs.chunks_exact(2) {
+            self.absorb(u64::from(p[0]) | (u64::from(p[1]) << 32));
+        }
+        if vs.len() % 2 == 1 {
+            self.write_u32(vs[vs.len() - 1]);
+        }
+    }
+
+    /// Finalises the digest: pads the tail lane, folds in the total length
+    /// (so `"ab"` and `"ab\0"` differ), then avalanches.
+    pub fn finish(mut self) -> u64 {
+        if self.fill > 0 {
+            let mut tail = [0u8; 8];
+            tail[..self.fill].copy_from_slice(&self.buf[..self.fill]);
+            self.absorb(u64::from_le_bytes(tail));
+        }
+        let mut h = self.acc.wrapping_add(self.total);
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// The corruption shapes the fault layer can inject into a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one bit of payload or offset storage.
+    BitFlip,
+    /// Flip one bit of a validity mask.
+    ValidityFlip,
+    /// Drop the trailing row (a short write / truncated block).
+    Truncate,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionKind::BitFlip => write!(f, "bit-flip"),
+            CorruptionKind::ValidityFlip => write!(f, "validity-flip"),
+            CorruptionKind::Truncate => write!(f, "truncate"),
+        }
+    }
+}
+
+/// A value that can be checksummed at shuffle-write / verified at read,
+/// and deterministically corrupted by the fault layer.
+pub trait Checksummable {
+    /// Feeds every detection-relevant byte of `self` into the hasher —
+    /// payload, structural offsets, row counts and validity words alike.
+    fn write_checksum(&self, h: &mut Xxh64);
+
+    /// Applies one deterministic mutation addressed by `salt`. Returns the
+    /// kind actually applied (which may differ from the request when the
+    /// shape cannot express it), or `None` when the value has nothing to
+    /// corrupt (e.g. it is empty). After a `Some` return the value must
+    /// only ever be checksummed or dropped — never row-accessed.
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind>;
+
+    /// The seeded digest of `self`.
+    fn checksum(&self, seed: u64) -> u64 {
+        let mut h = Xxh64::new(seed);
+        self.write_checksum(&mut h);
+        h.finish()
+    }
+}
+
+impl Checksummable for u64 {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        h.write_u64(*self);
+    }
+
+    fn corrupt(&mut self, _kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        *self ^= 1u64 << (salt % 64);
+        Some(CorruptionKind::BitFlip)
+    }
+}
+
+impl<T: Checksummable> Checksummable for Vec<T> {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        h.write_u64(self.len() as u64);
+        for e in self {
+            e.write_checksum(h);
+        }
+    }
+
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        if self.is_empty() {
+            return None;
+        }
+        if kind == CorruptionKind::Truncate {
+            self.pop();
+            return Some(CorruptionKind::Truncate);
+        }
+        let i = (salt as usize) % self.len();
+        match self[i].corrupt(kind, salt.rotate_right(7)) {
+            Some(applied) => Some(applied),
+            None => {
+                self.pop();
+                Some(CorruptionKind::Truncate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(seed: u64, bytes: &[u8]) -> u64 {
+        let mut h = Xxh64::new(seed);
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn bulk_lane_writes_match_scalar_writes() {
+        let us: Vec<u64> = (0..37u64).map(|i| i.wrapping_mul(P1)).collect();
+        let os: Vec<u32> = (0..41u32).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for misalign in [0usize, 3] {
+            let prefix = vec![0xABu8; misalign];
+            let mut bulk = Xxh64::new(9);
+            bulk.write(&prefix);
+            bulk.write_u64s(&us);
+            bulk.write_u32s(&os);
+            let mut scalar = Xxh64::new(9);
+            scalar.write(&prefix);
+            for &v in &us {
+                scalar.write_u64(v);
+            }
+            for &v in &os {
+                scalar.write_u32(v);
+            }
+            assert_eq!(bulk.finish(), scalar.finish(), "misalign {misalign}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(digest(7, data), digest(7, data));
+        assert_ne!(digest(7, data), digest(8, data));
+        assert_ne!(digest(7, data), digest(7, b"the quick brown fox"));
+    }
+
+    #[test]
+    fn split_writes_match_one_write() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = digest(3, &data);
+        for split in [1usize, 7, 8, 9, 63, 500] {
+            let mut h = Xxh64::new(3);
+            for chunk in data.chunks(split) {
+                h.write(chunk);
+            }
+            assert_eq!(h.finish(), whole, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn trailing_zero_differs_from_absence() {
+        assert_ne!(digest(1, b"ab"), digest(1, b"ab\0"));
+        assert_ne!(digest(1, b""), digest(1, b"\0"));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = digest(11, &data);
+        for bit in 0..data.len() * 8 {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(digest(11, &flipped), clean, "flip of bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn vec_checksum_and_corruption() {
+        let v: Vec<u64> = (0..32).collect();
+        let clean = v.checksum(5);
+        assert_eq!(v.checksum(5), clean);
+
+        let mut flipped = v.clone();
+        assert_eq!(
+            flipped.corrupt(CorruptionKind::BitFlip, 123),
+            Some(CorruptionKind::BitFlip)
+        );
+        assert_ne!(flipped.checksum(5), clean);
+
+        let mut short = v.clone();
+        assert_eq!(
+            short.corrupt(CorruptionKind::Truncate, 0),
+            Some(CorruptionKind::Truncate)
+        );
+        assert_eq!(short.len(), 31);
+        assert_ne!(short.checksum(5), clean);
+
+        let mut empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.corrupt(CorruptionKind::BitFlip, 9), None);
+    }
+}

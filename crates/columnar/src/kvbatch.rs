@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasher;
 
 use crate::batch::StrColumn;
+use crate::checksum::{Checksummable, CorruptionKind, Xxh64};
 use crate::kernels;
 
 /// A batch of `(String key, u64 value)` rows in columnar layout.
@@ -112,6 +113,15 @@ impl StrU64Batch {
         out
     }
 
+    /// Removes the last row, if any.
+    pub fn pop(&mut self) -> bool {
+        if self.vals.pop().is_none() {
+            return false;
+        }
+        self.keys.pop();
+        true
+    }
+
     /// Batch-at-a-time merge into a caller-supplied hash map (the reduce
     /// side of a shuffled aggregation) via the hash-agg kernel.
     pub fn merge_into<S: BuildHasher>(
@@ -120,6 +130,25 @@ impl StrU64Batch {
         combine: impl Fn(&mut u64, u64),
     ) {
         kernels::hash_agg_str(&self.keys, &self.vals, None, None, agg, combine);
+    }
+}
+
+impl Checksummable for StrU64Batch {
+    fn write_checksum(&self, h: &mut Xxh64) {
+        self.keys.write_checksum(h);
+        h.write_u64(self.vals.len() as u64);
+        h.write_u64s(&self.vals);
+    }
+
+    /// Bit-flips land in the value column (plain `u64`s — the corrupted
+    /// batch stays memory-safe to checksum even if someone were to row-read
+    /// it before verification); truncation pops the trailing row from both
+    /// columns.
+    fn corrupt(&mut self, kind: CorruptionKind, salt: u64) -> Option<CorruptionKind> {
+        if kind == CorruptionKind::Truncate && self.pop() {
+            return Some(CorruptionKind::Truncate);
+        }
+        self.vals.corrupt(CorruptionKind::BitFlip, salt)
     }
 }
 

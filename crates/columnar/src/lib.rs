@@ -32,8 +32,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod batch;
+pub mod checksum;
 pub mod kernels;
 pub mod kvbatch;
 
 pub use batch::{BytesColumn, Column, ColumnBatch, SelVec, StrColumn, Validity, DEFAULT_BATCH_ROWS};
+pub use checksum::{Checksummable, CorruptionKind, Xxh64};
 pub use kvbatch::{route_rows, StrU64Batch};

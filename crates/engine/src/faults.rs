@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
+use flowmark_columnar::CorruptionKind;
 use parking_lot::Mutex;
 
 use crate::hash::{fx_map_with_capacity, FxHashMap};
@@ -67,6 +68,22 @@ pub struct FaultConfig {
     pub checkpoint_interval_records: u64,
     /// Iterative operators snapshot their state every this many rounds.
     pub checkpoint_interval_rounds: u32,
+    /// Probability a first-attempt shuffle task corrupts one of the
+    /// batches it ships (bit-flip / validity-flip / truncate, chosen
+    /// deterministically per site).
+    pub corruption_prob: f64,
+    /// Guarantee: arm corruption until the first `n` detections land. The
+    /// budget is consumed by *detection* (see
+    /// [`FaultPlan::confirm_corruption`]), not by injection, so a corrupt
+    /// batch whose task was killed before delivery re-arms on the replay —
+    /// a guaranteed corruption can never be dodged by a racing kill.
+    pub corrupt_first_n: u64,
+    /// Probability a stored pipelined checkpoint snapshot reads back
+    /// rotten on a first attempt (detected at restore/scrub time).
+    pub checkpoint_corruption_prob: f64,
+    /// Guarantee: the first `n` checkpoint reads rot regardless of
+    /// probability.
+    pub checkpoint_corrupt_first_n: u64,
 }
 
 impl Default for FaultConfig {
@@ -86,6 +103,10 @@ impl Default for FaultConfig {
             speculation_floor: Duration::from_millis(20),
             checkpoint_interval_records: 256,
             checkpoint_interval_rounds: 2,
+            corruption_prob: 0.0,
+            corrupt_first_n: 0,
+            checkpoint_corruption_prob: 0.0,
+            checkpoint_corrupt_first_n: 0,
         }
     }
 }
@@ -101,6 +122,22 @@ impl FaultConfig {
             straggler_prob: 0.02,
             straggle_first_n: 1,
             ..Self::default()
+        }
+    }
+
+    /// The chaos preset plus data corruption: a guaranteed shuffle-batch
+    /// corruption and a guaranteed rotten checkpoint read, with background
+    /// probability on top. The tight barrier interval makes even tiny
+    /// pipelined exchanges complete enough checkpoints for the rot to have
+    /// something to land on.
+    pub fn corruption(seed: u64) -> Self {
+        Self {
+            corruption_prob: 0.05,
+            corrupt_first_n: 1,
+            checkpoint_corruption_prob: 0.05,
+            checkpoint_corrupt_first_n: 1,
+            checkpoint_interval_records: 2,
+            ..Self::chaos(seed)
         }
     }
 }
@@ -139,10 +176,27 @@ pub fn check_cancelled(cancel: &CancelToken, metrics: &EngineMetrics, stage: u64
     }
 }
 
+/// Panic payload raised when batch verification fails: a checksum
+/// mismatch at shuffle-read, a rotten checkpoint snapshot, or a sealed
+/// source batch that no longer matches its digest. The staged engine
+/// answers it with a lineage recompute of the poisoned partition, the
+/// pipelined engine with a region restart from the last *verified*
+/// checkpoint; when the corruption survives the whole retry budget the
+/// payload escapes as the job's typed failure.
+#[derive(Debug)]
+pub struct IntegrityError {
+    /// `(stage, partition, attempt)` where verification failed.
+    pub at: (u64, usize, u32),
+    /// What the verifier concluded about the damage.
+    pub detail: &'static str,
+}
+
 struct PlanInner {
     cfg: FaultConfig,
     fail_budget: AtomicU64,
     straggle_budget: AtomicU64,
+    corrupt_budget: AtomicU64,
+    ckpt_corrupt_budget: AtomicU64,
 }
 
 /// A shareable, seeded fault-injection plan. `FaultPlan::disabled()` is the
@@ -184,6 +238,12 @@ const SALT_FAIL: u64 = 0xFA11;
 const SALT_STRAGGLE: u64 = 0x510;
 const SALT_MEM: u64 = 0x3E3;
 const SALT_POINT: u64 = 0x90127;
+const SALT_CORRUPT: u64 = 0xC0_44E7;
+const SALT_CKPT: u64 = 0xCC_9047;
+
+/// Stable checksum seed for runs without an active plan, so the fault-free
+/// hot path checksums (and verifies) deterministically too.
+const DEFAULT_CHECKSUM_SEED: u64 = 0x5EED_C0DE;
 
 fn take_budget(budget: &AtomicU64) -> bool {
     let mut cur = budget.load(Ordering::Relaxed);
@@ -211,6 +271,8 @@ impl FaultPlan {
             inner: Some(Arc::new(PlanInner {
                 fail_budget: AtomicU64::new(cfg.fail_first_n),
                 straggle_budget: AtomicU64::new(cfg.straggle_first_n),
+                corrupt_budget: AtomicU64::new(cfg.corrupt_first_n),
+                ckpt_corrupt_budget: AtomicU64::new(cfg.checkpoint_corrupt_first_n),
                 cfg,
             })),
         }
@@ -247,6 +309,98 @@ impl FaultPlan {
         self.inner
             .as_ref()
             .map_or(0, |p| p.cfg.checkpoint_interval_rounds)
+    }
+
+    /// Seed every batch checksum on this run derives from. Stable for a
+    /// disabled plan, plan-seeded otherwise — either way checksumming is
+    /// always on, so the fault-free bench pays the same verification cost
+    /// a chaos run does.
+    pub fn checksum_seed(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(DEFAULT_CHECKSUM_SEED, |p| splitmix(p.cfg.seed ^ DEFAULT_CHECKSUM_SEED))
+    }
+
+    /// Should this shuffle task corrupt one of the batches it ships?
+    /// Returns the corruption shape plus an addressing salt.
+    ///
+    /// The guaranteed `corrupt_first_n` budget *arms* injection here but
+    /// is only consumed when a verifier detects the damage
+    /// ([`Self::confirm_corruption`]). That closes the race with task
+    /// kills: if the corrupt batch dies with its producer before any
+    /// verifier sees it, the replay re-arms and corrupts again, so a
+    /// guaranteed corruption always ends in a detection — and the first
+    /// detection disarms the budget, so retries after it run clean and
+    /// recovery terminates within the attempt bound.
+    pub fn corrupt_decision(
+        &self,
+        stage: u64,
+        partition: usize,
+        attempt: u32,
+    ) -> Option<(CorruptionKind, u64)> {
+        let p = self.inner.as_ref()?;
+        let armed = p.corrupt_budget.load(Ordering::Acquire) > 0
+            || (attempt == 0
+                && coin(p.cfg.seed, SALT_CORRUPT, stage, partition, attempt)
+                    < p.cfg.corruption_prob);
+        if !armed {
+            return None;
+        }
+        let mut h = splitmix(p.cfg.seed ^ SALT_CORRUPT);
+        h = splitmix(h ^ stage);
+        h = splitmix(h ^ partition as u64);
+        h = splitmix(h ^ u64::from(attempt));
+        let kind = match h % 3 {
+            0 => CorruptionKind::BitFlip,
+            1 => CorruptionKind::ValidityFlip,
+            _ => CorruptionKind::Truncate,
+        };
+        Some((kind, splitmix(h)))
+    }
+
+    /// Consumes one unit of the guaranteed-corruption budget; called by
+    /// the verifier that detected damage (see [`Self::corrupt_decision`]).
+    pub fn confirm_corruption(&self) {
+        if let Some(p) = &self.inner {
+            take_budget(&p.corrupt_budget);
+        }
+    }
+
+    /// Should this task's read of a sealed *source* batch observe rot?
+    /// Budget-only, consumed at the decision: source batches are sealed
+    /// once at the driver and shared by reference, so a task body (which
+    /// is attempt-blind under [`run_recoverable`]) cannot key a
+    /// probability coin without re-observing the same rot on every retry
+    /// and starving recovery. Detection is simultaneous with the decision
+    /// — the read itself is the verifier — so the next read of the same
+    /// data runs clean, like a re-fetch from durable storage.
+    pub fn source_rot_decision(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|p| take_budget(&p.corrupt_budget))
+    }
+
+    /// Should stored checkpoint snapshot `ckpt` of `(stage, partition)`
+    /// read back rotten? Rot is decided at *read* time — at-rest damage is
+    /// only ever observed by a reader — so detection is simultaneous with
+    /// the decision and the guaranteed budget is consumed here directly.
+    /// The probability path fires on first attempts only (a replayed
+    /// region re-snapshots under the same ids; re-rotting every replay
+    /// would starve recovery).
+    pub fn checkpoint_rot_decision(
+        &self,
+        stage: u64,
+        partition: usize,
+        ckpt: u64,
+        attempt: u32,
+    ) -> bool {
+        let Some(p) = &self.inner else { return false };
+        if take_budget(&p.ckpt_corrupt_budget) {
+            return true;
+        }
+        attempt == 0
+            && coin(p.cfg.seed, SALT_CKPT, stage ^ splitmix(ckpt), partition, 0)
+                < p.cfg.checkpoint_corruption_prob
     }
 
     /// Should this `(stage, partition, attempt)` be killed?
@@ -635,16 +789,38 @@ fn attempt_speculatively<T: Send>(
                 rx.recv().expect("an attempt always reports")
             }
         };
+        let mut outstanding = backup_launched;
         let settled = match first {
             (_, Ok(_)) => first,
-            (_, Err(_)) if backup_launched => {
+            (_, Err(payload)) if backup_launched => {
                 // The first reporter failed; the other attempt may still
-                // deliver a good result.
+                // deliver a good result. When the absorbed failure was a
+                // detected corruption, the recompute answering it happens
+                // either way — the twin delivers it, or the twin's own
+                // failure reaches the retry loop and the next attempt does
+                // — but the retry loop only ever sees the twin's payload,
+                // so the corruption must be accounted here.
+                if payload.downcast_ref::<IntegrityError>().is_some() {
+                    metrics.add_integrity_recomputes(1);
+                }
+                outstanding = false;
                 rx.recv().expect("both attempts report")
             }
             failed => failed,
         };
         cancel.set();
+        if outstanding {
+            // A good result settled the race while the twin was still out.
+            // The scope joins the twin anyway; drain its report so a twin
+            // that died on a detected corruption is accounted the same
+            // way — the winner's clean run answered the rot.
+            let loser = rx.recv().expect("both attempts report");
+            if let (_, Err(payload)) = &loser {
+                if payload.downcast_ref::<IntegrityError>().is_some() {
+                    metrics.add_integrity_recomputes(1);
+                }
+            }
+        }
         if let (true, Ok(_)) = &settled {
             metrics.add_speculative_wins(1);
         }
@@ -697,6 +873,9 @@ pub fn run_recoverable<T: Send>(
                     panic::resume_unwind(payload);
                 }
                 metrics.add_task_retries(1);
+                if payload.downcast_ref::<IntegrityError>().is_some() {
+                    metrics.add_integrity_recomputes(1);
+                }
                 match kind {
                     RecoveryKind::Lineage => metrics.add_partitions_recomputed(1),
                     RecoveryKind::Region => metrics.add_region_restarts(1),
@@ -709,9 +888,10 @@ pub fn run_recoverable<T: Send>(
 }
 
 /// Installs (once, process-wide) a panic hook that stays silent for
-/// [`InjectedFault`] and [`JobCancelled`] payloads and delegates
-/// everything else to the previous hook — so chaos runs and cooperative
-/// job teardown do not flood stderr while real panics still print.
+/// [`InjectedFault`], [`JobCancelled`] and [`IntegrityError`] payloads and
+/// delegates everything else to the previous hook — so chaos runs,
+/// cooperative job teardown and corruption recovery do not flood stderr
+/// while real panics still print.
 pub fn install_quiet_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
@@ -719,6 +899,7 @@ pub fn install_quiet_hook() {
         panic::set_hook(Box::new(move |info| {
             if info.payload().downcast_ref::<InjectedFault>().is_none()
                 && info.payload().downcast_ref::<JobCancelled>().is_none()
+                && info.payload().downcast_ref::<IntegrityError>().is_none()
             {
                 previous(info);
             }
@@ -1056,6 +1237,65 @@ mod tests {
         let payload = result.expect_err("must unwind before the body");
         assert!(payload.downcast_ref::<JobCancelled>().is_some());
         assert_eq!(metrics.tasks_cancelled(), 1);
+    }
+
+    #[test]
+    fn corruption_budget_arms_until_confirmed() {
+        let plan = plan_with(FaultConfig {
+            seed: 13,
+            corrupt_first_n: 1,
+            ..FaultConfig::default()
+        });
+        // Armed on every attempt while the budget is unconsumed (a racing
+        // kill must not let a guaranteed corruption escape detection).
+        assert!(plan.corrupt_decision(0, 0, 0).is_some());
+        assert!(plan.corrupt_decision(0, 0, 1).is_some());
+        assert!(plan.corrupt_decision(4, 2, 3).is_some());
+        // Deterministic shape + salt per site.
+        assert_eq!(plan.corrupt_decision(4, 2, 3), plan.corrupt_decision(4, 2, 3));
+        plan.confirm_corruption();
+        assert!(
+            plan.corrupt_decision(0, 0, 1).is_none(),
+            "confirmed corruption must disarm retries"
+        );
+        assert!(plan.corrupt_decision(0, 0, 0).is_none(), "budget spent, prob 0");
+    }
+
+    #[test]
+    fn corruption_probability_hits_first_attempts_only() {
+        let plan = plan_with(FaultConfig {
+            seed: 17,
+            corruption_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(plan.corrupt_decision(2, 5, 0).is_some());
+        assert!(plan.corrupt_decision(2, 5, 1).is_none(), "retries ship clean");
+    }
+
+    #[test]
+    fn checkpoint_rot_budget_guarantees_one_read() {
+        let plan = plan_with(FaultConfig {
+            seed: 19,
+            checkpoint_corrupt_first_n: 1,
+            ..FaultConfig::default()
+        });
+        let rots: u32 = (0..20)
+            .map(|c| u32::from(plan.checkpoint_rot_decision(1, 0, c, 0)))
+            .sum();
+        assert_eq!(rots, 1, "budget fires exactly once with prob 0");
+    }
+
+    #[test]
+    fn disabled_plan_never_corrupts_but_still_seeds_checksums() {
+        let plan = FaultPlan::disabled();
+        assert!(plan.corrupt_decision(0, 0, 0).is_none());
+        assert!(!plan.checkpoint_rot_decision(0, 0, 0, 0));
+        assert_eq!(plan.checksum_seed(), FaultPlan::disabled().checksum_seed());
+        let active = plan_with(FaultConfig {
+            seed: 23,
+            ..FaultConfig::default()
+        });
+        assert_ne!(active.checksum_seed(), plan.checksum_seed());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::hash::Hash;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,14 +28,16 @@ use flowmark_core::config::EngineConfig;
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner};
 
+use flowmark_columnar::{Checksummable, Xxh64};
+
 use crate::faults::{
-    check_cancelled, run_recoverable, CancelToken, FaultPlan, JobCancelled, RecoveryKind,
-    StreamFault,
+    check_cancelled, run_recoverable, CancelToken, FaultPlan, IntegrityError, JobCancelled,
+    RecoveryKind, StreamFault,
 };
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
-use crate::shuffle::ShuffleBatch;
+use crate::shuffle::{seal, verify, Sealed, ShuffleBatch};
 use crate::sortbuf::{CombineFn, SortCombineBuffer};
 
 /// Shared environment state.
@@ -437,7 +439,7 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
 
 impl<B> DataSet<(usize, B)>
 where
-    B: ShuffleBatch + Clone + Send + Sync + 'static,
+    B: ShuffleBatch + Checksummable + Clone + Send + Sync + 'static,
 {
     /// Batch-granularity pipelined exchange: each element is a whole
     /// pre-routed batch tagged with its target partition index, and one
@@ -446,14 +448,23 @@ where
     /// overhead (and backpressure churn) on the hot path. Map tasks route
     /// rows into per-reducer batches themselves and tag them; this operator
     /// only streams.
+    ///
+    /// Every batch crosses the channels sealed with a write-time digest and
+    /// is verified at receive, *before* it enters the consumer's buffers —
+    /// so no corrupted batch can ever be captured by a checkpoint. A
+    /// mismatch fails the region, which restarts from the last verified
+    /// checkpoint; corruption that survives the retry budget escapes as a
+    /// typed [`IntegrityError`].
     pub fn exchange_by_index(&self, out_parts: usize) -> DataSet<B> {
         let parent = Arc::clone(&self.op);
         let in_parts = self.partitions;
-        let op = PipelinedExchange::new(
+        let seed = self.env.faults().checksum_seed();
+        let op = PipelinedExchange::with_verify(
             in_parts,
             out_parts,
-            move |env: &FlinkEnv, out: &mut Outbox<B>, part| {
+            move |env: &FlinkEnv, out: &mut Outbox<Sealed<B>>, part| {
                 let batches = parent.compute(env, part);
+                let mut sealed: Vec<(usize, Sealed<B>)> = Vec::with_capacity(batches.len());
                 for (idx, batch) in batches {
                     assert!(
                         idx < out.channels(),
@@ -463,13 +474,36 @@ where
                     env.metrics().add_records_shuffled(batch.rows() as u64);
                     env.metrics().add_bytes_shuffled(batch.bytes() as u64);
                     env.metrics().add_batches_processed(1);
-                    out.send(idx, batch);
+                    sealed.push((idx, seal(batch, seed, env.metrics())));
+                }
+                // Inject transit damage *after* the digests were taken, and
+                // only into a batch this attempt will actually send — a
+                // victim inside the replay-suppressed restored prefix could
+                // never reach a verifier.
+                if let Some((kind, salt)) =
+                    env.faults().corrupt_decision(out.stage(), part, out.attempt())
+                {
+                    let first_live = out.pending_skip() as usize;
+                    if first_live < sealed.len() {
+                        let victim = first_live + (salt as usize) % (sealed.len() - first_live);
+                        sealed[victim].1 .1.corrupt(kind, salt.rotate_right(13));
+                    }
+                }
+                for (idx, s) in sealed {
+                    out.send(idx, s);
                 }
             },
+            Arc::new(move |s: &Sealed<B>| verify(s, seed)),
         );
+        // Receive-time verification already vouched for every batch; what
+        // flows downstream is the batch alone.
+        let unwrap = ChainOp {
+            parent: Arc::new(op) as Arc<dyn DsOp<Sealed<B>>>,
+            f: |input: Vec<Sealed<B>>| input.into_iter().map(|(_, b)| b).collect(),
+        };
         DataSet {
             env: self.env.clone(),
-            op: Arc::new(op),
+            op: Arc::new(unwrap),
             partitions: out_parts,
         }
     }
@@ -735,6 +769,9 @@ pub(crate) struct Outbox<T> {
     metrics: EngineMetrics,
     /// Exchange stage id, for the cancellation teardown payload.
     stage: u64,
+    /// Region attempt this producer runs under (0 on the first deployment,
+    /// incremented per restart) — the key fault-injection decisions use.
+    attempt: u32,
     /// Job-level token: a set token unwinds the producer mid-stream.
     cancel: CancelToken,
 }
@@ -743,6 +780,23 @@ impl<T> Outbox<T> {
     /// Number of output channels (consumer partitions).
     pub(crate) fn channels(&self) -> usize {
         self.txs.len()
+    }
+
+    /// The exchange's stage id (the injection key for this region).
+    pub(crate) fn stage(&self) -> u64 {
+        self.stage
+    }
+
+    /// The region attempt this producer belongs to.
+    pub(crate) fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Sends the restored checkpoint already covers: this attempt's first
+    /// `pending_skip()` sends are replay-suppressed, never reaching a
+    /// consumer.
+    pub(crate) fn pending_skip(&self) -> u64 {
+        self.skip
     }
 
     /// Streams one record to `channel`, running the per-record fault hook
@@ -811,6 +865,26 @@ impl<T> Outbox<T> {
     }
 }
 
+/// One completed checkpoint as *stored*: the resolved per-producer prefix
+/// lengths plus the digest taken at store time. Every reader recomputes
+/// the digest before trusting the prefix ([`snapshot_digest`]), so at-rest
+/// rot is detected instead of replayed into the output.
+struct Snapshot {
+    prefix: Vec<usize>,
+    digest: u64,
+}
+
+/// Digest of a checkpoint snapshot as stored: the checkpoint id plus every
+/// per-producer prefix length, keyed by the run's checksum seed.
+fn snapshot_digest(seed: u64, ckpt: u64, prefix: &[usize]) -> u64 {
+    let mut h = Xxh64::new(seed);
+    h.write_u64(ckpt);
+    for &p in prefix {
+        h.write_u64(p as u64);
+    }
+    h.finish()
+}
+
 /// One consumer partition's state, persistent across region restarts.
 struct ConsumerState<T> {
     /// Received records, segregated per producer so a checkpoint is an
@@ -819,9 +893,9 @@ struct ConsumerState<T> {
     /// Barrier alignment in flight this attempt: checkpoint id → observed
     /// prefix length per producer (`None` until that barrier arrives).
     marks: BTreeMap<u64, Vec<Option<usize>>>,
-    /// Completed checkpoints: id → resolved prefix length per producer.
-    /// Survives restarts — restoring truncates `bufs` to one of these.
-    snapshots: BTreeMap<u64, Vec<usize>>,
+    /// Completed checkpoints: id → stored snapshot. Survives restarts —
+    /// restoring truncates `bufs` to one of these, after verification.
+    snapshots: BTreeMap<u64, Snapshot>,
     done: Vec<bool>,
     /// Highest checkpoint this consumer completed since the last restore.
     completed: u64,
@@ -841,12 +915,23 @@ impl<T> ConsumerState<T> {
     /// Completes every checkpoint whose barriers (or end-of-stream, which
     /// pins the prefix at the full stream) have arrived from all producers,
     /// in order, publishing progress for the restart coordinator.
+    ///
+    /// Completing checkpoint `k` also *scrubs* snapshot `k − 1`: the older
+    /// snapshot is read back and its digest re-verified (with injected rot
+    /// applied at this read, where at-rest damage is observed) while the
+    /// newer one can still serve as the restore point. A failed read-back
+    /// discards the snapshot and counts a rejection.
+    #[allow(clippy::too_many_arguments)]
     fn try_complete(
         &mut self,
         me: usize,
         progress: &Mutex<Vec<u64>>,
         metrics: &EngineMetrics,
         record_bytes: usize,
+        plan: &FaultPlan,
+        stage: u64,
+        attempt: u32,
+        seed: u64,
     ) {
         loop {
             let next = self.completed + 1;
@@ -867,20 +952,41 @@ impl<T> ConsumerState<T> {
                 resolved.push(pos);
                 snapshot_records += pos;
             }
-            self.snapshots.insert(next, resolved);
+            let digest = snapshot_digest(seed, next, &resolved);
+            self.snapshots.insert(
+                next,
+                Snapshot {
+                    prefix: resolved,
+                    digest,
+                },
+            );
             self.completed = next;
             metrics.add_checkpoints_taken(1);
             metrics.add_checkpoint_bytes((snapshot_records * record_bytes) as u64);
             progress.lock()[me] = next;
+            let producers = self.bufs.len();
+            let prev = next - 1;
+            if prev > 0 {
+                if let Some(snap) = self.snapshots.get(&prev) {
+                    let rotten =
+                        plan.checkpoint_rot_decision(stage, producers + me, prev, attempt)
+                            || snap.digest != snapshot_digest(seed, prev, &snap.prefix);
+                    if rotten {
+                        self.snapshots.remove(&prev);
+                        metrics.add_checkpoints_rejected(1);
+                        metrics.add_corruptions_detected(1);
+                    }
+                }
+            }
         }
     }
 
     /// Rewinds to the global restore point `g`: truncates every producer's
     /// buffer to the checkpointed prefix and clears this attempt's
-    /// alignment state.
+    /// alignment state. `g` must have been verified (or be 0).
     fn restore(&mut self, g: u64) {
         for (p, buf) in self.bufs.iter_mut().enumerate() {
-            let keep = if g == 0 { 0 } else { self.snapshots[&g][p] };
+            let keep = if g == 0 { 0 } else { self.snapshots[&g].prefix[p] };
             buf.truncate(keep);
         }
         self.snapshots.split_off(&(g + 1));
@@ -915,6 +1021,11 @@ where
     in_parts: usize,
     out_parts: usize,
     produce: P,
+    /// Receive-time integrity check, run on every record *before* it can
+    /// enter a consumer's buffers (and therefore before any checkpoint can
+    /// capture it). `false` fails the region with a typed
+    /// [`IntegrityError`].
+    verify: Option<Arc<dyn Fn(&T) -> bool + Send + Sync>>,
     /// Materialised output, built on first access (one deployment).
     output: std::sync::OnceLock<Vec<Vec<T>>>,
 }
@@ -929,6 +1040,22 @@ where
             in_parts,
             out_parts,
             produce,
+            verify: None,
+            output: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn with_verify(
+        in_parts: usize,
+        out_parts: usize,
+        produce: P,
+        verify: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+    ) -> Self {
+        Self {
+            in_parts,
+            out_parts,
+            produce,
+            verify: Some(verify),
             output: std::sync::OnceLock::new(),
         }
     }
@@ -939,6 +1066,7 @@ where
         let record_bytes = std::mem::size_of::<T>();
         let plan = env.faults().clone();
         let stage = env.next_stage_id();
+        let seed = plan.checksum_seed();
         let interval = if plan.active() {
             plan.checkpoint_interval_records()
         } else {
@@ -968,6 +1096,7 @@ where
                     let (plan, metrics) = (&plan, env.metrics());
                     let (progress, first_panic) = (&progress, &first_panic);
                     let in_parts = self.in_parts;
+                    let verify = self.verify.clone();
                     scope.spawn(move || {
                         env.task_started();
                         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -993,16 +1122,38 @@ where
                                 );
                                 fault.on_event();
                                 match msg {
-                                    Msg::Record(p, t) => state.bufs[p].push(t),
+                                    Msg::Record(p, t) => {
+                                        // Verify before buffering: a batch
+                                        // that fails its digest must never
+                                        // be checkpointable.
+                                        if let Some(check) = verify.as_ref() {
+                                            if !check(&t) {
+                                                metrics.add_corruptions_detected(1);
+                                                plan.confirm_corruption();
+                                                panic_any(IntegrityError {
+                                                    at: (stage, in_parts + c, attempt),
+                                                    detail: "pipelined batch failed checksum \
+                                                             verification at receive",
+                                                });
+                                            }
+                                        }
+                                        state.bufs[p].push(t);
+                                    }
                                     Msg::Barrier(p, k) => {
                                         let n = state.bufs.len();
                                         state.marks.entry(k).or_insert_with(|| vec![None; n])
                                             [p] = Some(state.bufs[p].len());
-                                        state.try_complete(c, progress, metrics, record_bytes);
+                                        state.try_complete(
+                                            c, progress, metrics, record_bytes, plan, stage,
+                                            attempt, seed,
+                                        );
                                     }
                                     Msg::Done(p) => {
                                         state.done[p] = true;
-                                        state.try_complete(c, progress, metrics, record_bytes);
+                                        state.try_complete(
+                                            c, progress, metrics, record_bytes, plan, stage,
+                                            attempt, seed,
+                                        );
                                     }
                                 }
                             }
@@ -1036,6 +1187,7 @@ where
                                 fault,
                                 metrics: metrics.clone(),
                                 stage,
+                                attempt,
                                 cancel: env.cancel_token().clone(),
                             };
                             produce(env, &mut outbox, p);
@@ -1074,7 +1226,36 @@ where
             }
             env.metrics().add_task_retries(1);
             env.metrics().add_region_restarts(1);
-            let g = *progress.lock().iter().min().expect("≥1 consumer");
+            // Walk the restore point down past every snapshot that fails
+            // its read-back: injected rot is observed at this read, a
+            // digest mismatch means the stored prefix is not what was
+            // written. Either way the snapshot is discarded (and counted)
+            // and the next-older checkpoint is tried — down to 0, a replay
+            // from scratch, if nothing verifiable remains.
+            let mut g = *progress.lock().iter().min().expect("≥1 consumer");
+            while g > 0 {
+                let mut ok = true;
+                for (c, state) in states.iter_mut().enumerate() {
+                    let Some(snap) = state.snapshots.get(&g) else {
+                        // Discarded by an earlier scrub (already counted).
+                        ok = false;
+                        continue;
+                    };
+                    let rotten = plan
+                        .checkpoint_rot_decision(stage, self.in_parts + c, g, attempt)
+                        || snap.digest != snapshot_digest(seed, g, &snap.prefix);
+                    if rotten {
+                        state.snapshots.remove(&g);
+                        env.metrics().add_checkpoints_rejected(1);
+                        env.metrics().add_corruptions_detected(1);
+                        ok = false;
+                    }
+                }
+                if ok {
+                    break;
+                }
+                g -= 1;
+            }
             for state in &mut states {
                 state.restore(g);
             }
@@ -1370,6 +1551,7 @@ mod tests {
                 fault: plan.stream_fault(&metrics, 0, 0, 0, Arc::new(AtomicBool::new(false))),
                 metrics: metrics.clone(),
                 stage: 0,
+                attempt: 0,
                 cancel: CancelToken::new(),
             };
             outbox.send(0, 1u32);
@@ -1378,6 +1560,97 @@ mod tests {
         };
         assert_eq!(count_done(false), 1, "healthy producers advertise end-of-stream");
         assert_eq!(count_done(true), 0, "flagged producers must stay silent");
+    }
+
+    /// Routes `0..n` into per-consumer `Vec<u64>` batches of 8 rows each
+    /// and streams them through the batch-granularity exchange.
+    fn routed(env: &FlinkEnv, n: u64, parts: usize) -> DataSet<Vec<u64>> {
+        let batches: Vec<(usize, Vec<u64>)> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(8)
+            .map(|c| ((c[0] as usize / 8) % parts, c.to_vec()))
+            .collect();
+        env.from_collection(batches).exchange_by_index(parts)
+    }
+
+    #[test]
+    fn batch_exchange_seals_and_verifies_fault_free() {
+        let env = FlinkEnv::new(4);
+        let mut all: Vec<u64> = routed(&env, 160, 4).collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..160).collect::<Vec<u64>>());
+        let rec = env.metrics().recovery();
+        assert_eq!(rec.batches_checksummed, 20, "one digest per shipped batch");
+        assert_eq!(rec.corruptions_detected, 0);
+    }
+
+    #[test]
+    fn batch_exchange_corruption_fails_the_region_and_recovers() {
+        use crate::faults::FaultConfig;
+        let env = FlinkEnv::with_faults(
+            4,
+            FaultPlan::new(FaultConfig {
+                seed: 17,
+                corrupt_first_n: 1,
+                checkpoint_interval_records: 2,
+                ..FaultConfig::default()
+            }),
+        );
+        let mut all: Vec<u64> = routed(&env, 400, 4).collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<u64>>(), "recovery must restore the data");
+        let rec = env.metrics().recovery();
+        assert!(rec.corruptions_detected >= 1, "armed corruption must be caught at receive");
+        assert!(rec.region_restarts >= 1, "a failed digest must fail the region");
+        assert_eq!(rec.partitions_recomputed, 0, "pipelined recovery is regions, not lineage");
+    }
+
+    #[test]
+    fn rotten_checkpoint_snapshot_is_rejected_at_read_back() {
+        use crate::faults::FaultConfig;
+        // Tight barriers complete many checkpoints; the guaranteed rot
+        // budget makes one of the read-backs (scrub or restore) fail its
+        // digest and be discarded.
+        let env = FlinkEnv::with_faults(
+            4,
+            FaultPlan::new(FaultConfig {
+                seed: 23,
+                checkpoint_corrupt_first_n: 1,
+                checkpoint_interval_records: 2,
+                ..FaultConfig::default()
+            }),
+        );
+        let mut all: Vec<u64> = routed(&env, 400, 4).collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<u64>>());
+        let rec = env.metrics().recovery();
+        assert!(rec.checkpoints_taken >= 2, "need ≥2 checkpoints for a scrub to fire");
+        assert!(rec.checkpoints_rejected >= 1, "the rotten snapshot must be discarded");
+    }
+
+    #[test]
+    fn kill_during_batch_exchange_restarts_from_verified_checkpoint() {
+        use crate::faults::FaultConfig;
+        // Kill producer 0 of the batch exchange (stage 1 — the sink
+        // materialise takes stage 0) mid-stream on its first attempt, with
+        // barriers every 2 sends: the region must restart, replay only the
+        // unsnapshotted suffix, and reproduce the oracle byte-for-byte.
+        let env = FlinkEnv::with_faults(
+            4,
+            FaultPlan::new(FaultConfig {
+                seed: 29,
+                kill_list: vec![(1, 0, 0)],
+                checkpoint_interval_records: 2,
+                ..FaultConfig::default()
+            }),
+        );
+        let mut all: Vec<u64> = routed(&env, 400, 4).collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<u64>>());
+        let rec = env.metrics().recovery();
+        assert!(rec.injected_failures >= 1, "the targeted producer kill must fire");
+        assert!(rec.region_restarts >= 1);
+        assert!(rec.checkpoints_taken >= 1, "barriers must align at batch granularity");
     }
 
     #[test]

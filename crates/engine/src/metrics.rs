@@ -48,6 +48,10 @@ struct Counters {
     memory_pressure_events: AtomicU64,
     pool_exhausted: AtomicU64,
     tasks_cancelled: AtomicU64,
+    batches_checksummed: AtomicU64,
+    corruptions_detected: AtomicU64,
+    integrity_recomputes: AtomicU64,
+    checkpoints_rejected: AtomicU64,
 }
 
 /// Point-in-time copy of *every* counter, serializable so tune/chaos/bench
@@ -132,6 +136,25 @@ pub struct RecoverySnapshot {
     /// `default` keeps pre-existing JSON artifacts parseable.
     #[serde(default)]
     pub tasks_cancelled: u64,
+    /// Batches digested at a shuffle-write, checkpoint store or source
+    /// seal; `default` keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub batches_checksummed: u64,
+    /// Verifications that failed — a shuffled batch, checkpoint snapshot
+    /// or sealed source batch whose digest no longer matched; `default`
+    /// keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Poisoned-partition recomputes the staged engine ran (and retries
+    /// either engine spent) answering a detected corruption; `default`
+    /// keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub integrity_recomputes: u64,
+    /// Checkpoint snapshots the pipelined engine discarded as
+    /// unverifiable before restarting from an older verified one;
+    /// `default` keeps pre-existing JSON artifacts parseable.
+    #[serde(default)]
+    pub checkpoints_rejected: u64,
 }
 
 macro_rules! counter_api {
@@ -184,6 +207,10 @@ impl EngineMetrics {
         memory_pressure_events => add_memory_pressure_events, memory_pressure_events;
         pool_exhausted => add_pool_exhausted, pool_exhausted;
         tasks_cancelled => add_tasks_cancelled, tasks_cancelled;
+        batches_checksummed => add_batches_checksummed, batches_checksummed;
+        corruptions_detected => add_corruptions_detected, corruptions_detected;
+        integrity_recomputes => add_integrity_recomputes, integrity_recomputes;
+        checkpoints_rejected => add_checkpoints_rejected, checkpoints_rejected;
     }
 
     /// Copies every counter out as one serializable struct.
@@ -224,6 +251,10 @@ impl EngineMetrics {
             memory_pressure_events: self.memory_pressure_events(),
             pool_exhausted: self.pool_exhausted(),
             tasks_cancelled: self.tasks_cancelled(),
+            batches_checksummed: self.batches_checksummed(),
+            corruptions_detected: self.corruptions_detected(),
+            integrity_recomputes: self.integrity_recomputes(),
+            checkpoints_rejected: self.checkpoints_rejected(),
         }
     }
 
@@ -282,6 +313,25 @@ mod tests {
         assert_eq!(back.records_shuffled, 12);
         assert_eq!(back.backpressure_waits, 3);
         assert_eq!(back.recovery.region_restarts, 2);
+    }
+
+    #[test]
+    fn old_recovery_json_without_integrity_fields_still_parses() {
+        // A pre-integrity artifact: none of the four new counters present.
+        let old = r#"{
+            "injected_failures": 2, "injected_stragglers": 1,
+            "task_retries": 3, "partitions_recomputed": 2,
+            "region_restarts": 0, "checkpoints_taken": 4,
+            "checkpoint_bytes": 512, "speculative_launched": 1,
+            "speculative_wins": 1, "memory_pressure_events": 0,
+            "pool_exhausted": 0
+        }"#;
+        let back: RecoverySnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(back.task_retries, 3);
+        assert_eq!(back.batches_checksummed, 0);
+        assert_eq!(back.corruptions_detected, 0);
+        assert_eq!(back.integrity_recomputes, 0);
+        assert_eq!(back.checkpoints_rejected, 0);
     }
 
     #[test]

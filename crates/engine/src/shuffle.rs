@@ -12,6 +12,7 @@
 use std::hash::Hash;
 use std::sync::Arc;
 
+use flowmark_columnar::{Checksummable, CorruptionKind};
 use flowmark_dataflow::partitioner::Partitioner;
 
 use crate::hash::sized_buckets;
@@ -50,6 +51,97 @@ impl ShuffleBatch for flowmark_columnar::StrU64Batch {
     fn bytes(&self) -> usize {
         self.key_bytes() + self.len() * std::mem::size_of::<u64>()
     }
+}
+
+/// A shuffle unit plus the digest taken at write time. The pair crosses
+/// the exchange (or the pipelined channels) as one element, so the read
+/// side can recompute the digest before any reducer touches the rows.
+pub type Sealed<B> = (u64, B);
+
+/// Checksums `batch` at shuffle-write time and pairs it with its digest.
+/// Always on — the fault-free path pays the same verification cost a chaos
+/// run does, which is what the bench budget in the integrity drill holds
+/// to ≤ 5%.
+pub fn seal<B: Checksummable>(batch: B, seed: u64, metrics: &EngineMetrics) -> Sealed<B> {
+    metrics.add_batches_checksummed(1);
+    (batch.checksum(seed), batch)
+}
+
+/// Seals a whole source collection in parallel, preserving batch order.
+/// Digesting is the cost of admission to the verified path, so the
+/// driver-side seal of a large source spreads across cores instead of
+/// serialising in front of the job.
+pub fn seal_all<B>(batches: Vec<B>, seed: u64, metrics: &EngineMetrics) -> Vec<Sealed<B>>
+where
+    B: Checksummable + Send,
+{
+    use rayon::prelude::*;
+    batches
+        .into_par_iter()
+        .map(|b| seal(b, seed, metrics))
+        .into_inner_vec()
+}
+
+/// Recomputes a sealed batch's digest at read time; `false` means the
+/// bytes no longer match what the writer hashed and the batch must be
+/// discarded unread (corrupted variable-width columns are not safe to
+/// row-access — see `flowmark_columnar::checksum`).
+pub fn verify<B: Checksummable>(sealed: &Sealed<B>, seed: u64) -> bool {
+    sealed.1.checksum(seed) == sealed.0
+}
+
+/// Verifies a sealed batch read from a (simulated) durable source inside a
+/// task body and hands back the batch. Under an armed
+/// [`FaultPlan::source_rot_decision`](crate::faults::FaultPlan::source_rot_decision)
+/// the recomputed digest is perturbed — modelling at-rest rot on data the
+/// driver sealed once and shares by `Arc` (a retry re-reads clean bytes,
+/// as a re-fetch from durable storage would) — and the mismatch unwinds as
+/// a typed [`IntegrityError`](crate::faults::IntegrityError) for the
+/// engine's recovery wrapper ([`crate::faults::run_recoverable`]) to
+/// answer with a lineage recompute or region restart.
+pub fn read_verified<'a, B: Checksummable>(
+    sealed: &'a Sealed<B>,
+    seed: u64,
+    plan: &crate::faults::FaultPlan,
+    metrics: &EngineMetrics,
+) -> &'a B {
+    let mut digest = sealed.1.checksum(seed);
+    if plan.source_rot_decision() {
+        // The read observed different bytes than were sealed.
+        digest ^= 1;
+    }
+    if digest != sealed.0 {
+        metrics.add_corruptions_detected(1);
+        std::panic::panic_any(crate::faults::IntegrityError {
+            at: (0, 0, 0),
+            detail: "sealed source batch failed checksum at read",
+        });
+    }
+    &sealed.1
+}
+
+/// Damages one sealed batch in a map task's routed output *after* its
+/// digest was taken, leaving the digest stale — the transit-corruption
+/// injection point for the integrity drill. The salt picks the victim
+/// among every shipped batch; returns what was actually damaged (`None`
+/// when nothing is corruptible, e.g. every batch is empty).
+pub fn corrupt_one<B: Checksummable>(
+    out: &mut [Vec<Sealed<B>>],
+    kind: CorruptionKind,
+    salt: u64,
+) -> Option<CorruptionKind> {
+    let total: usize = out.iter().map(Vec::len).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut i = (salt as usize) % total;
+    for bucket in out.iter_mut() {
+        if i < bucket.len() {
+            return bucket[i].1.corrupt(kind, salt.rotate_right(13));
+        }
+        i -= bucket.len();
+    }
+    None
 }
 
 /// Unwraps a computed partition for the shuffle without copying when this
@@ -259,6 +351,38 @@ mod tests {
         let keep = Arc::clone(&shared);
         let cloned = take_partition(shared);
         assert_eq!(cloned, *keep, "shared Arc falls back to a clone");
+    }
+
+    #[test]
+    fn seal_verify_round_trips_and_counts() {
+        let metrics = EngineMetrics::new();
+        let sealed = seal(vec![1u64, 2, 3], 7, &metrics);
+        assert!(verify(&sealed, 7));
+        assert!(!verify(&sealed, 8), "digest must be seed-bound");
+        assert_eq!(metrics.recovery().batches_checksummed, 1);
+    }
+
+    #[test]
+    fn corrupt_one_breaks_exactly_one_digest() {
+        let metrics = EngineMetrics::new();
+        let mut out: Vec<Vec<Sealed<Vec<u64>>>> = vec![
+            vec![seal(vec![1u64, 2], 9, &metrics)],
+            vec![seal(vec![3u64], 9, &metrics), seal(vec![4u64, 5], 9, &metrics)],
+        ];
+        let hit = corrupt_one(&mut out, CorruptionKind::BitFlip, 0xDEAD_BEEF);
+        assert!(hit.is_some());
+        let bad: usize = out
+            .iter()
+            .flatten()
+            .filter(|s| !verify(s, 9))
+            .count();
+        assert_eq!(bad, 1, "exactly one batch must fail verification");
+    }
+
+    #[test]
+    fn corrupt_one_of_nothing_is_none() {
+        let mut out: Vec<Vec<Sealed<Vec<u64>>>> = vec![Vec::new(), Vec::new()];
+        assert!(corrupt_one(&mut out, CorruptionKind::Truncate, 3).is_none());
     }
 
     #[test]

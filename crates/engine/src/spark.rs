@@ -28,13 +28,17 @@ use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 
 use crate::cache::{BlockCache, StorageLevel};
+use flowmark_columnar::Checksummable;
+
 use crate::faults::{
-    check_cancelled, run_recoverable, CancelToken, FaultPlan, RecoveryKind, StageStats,
+    check_cancelled, run_recoverable, CancelToken, FaultPlan, IntegrityError, RecoveryKind,
+    StageStats,
 };
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
 use crate::shuffle::{
-    exchange, partition_combine, partition_records, take_partition, ShuffleBatch,
+    corrupt_one, exchange, partition_combine, partition_records, seal, take_partition, verify,
+    Sealed, ShuffleBatch,
 };
 use crate::sortbuf::CombineFn;
 
@@ -656,7 +660,7 @@ where
 
 impl<B> Rdd<(usize, B)>
 where
-    B: ShuffleBatch + Clone + Send + Sync + 'static,
+    B: ShuffleBatch + Checksummable + Clone + Send + Sync + 'static,
 {
     /// Batch-granularity shuffle: each element is a whole pre-routed batch
     /// tagged with its reduce partition index, and the exchange moves the
@@ -664,6 +668,12 @@ where
     /// one `(K, V)` clone per *record*. Map tasks route rows into per-reducer
     /// batches themselves (e.g. [`flowmark_columnar::StrU64Batch::partition_by`])
     /// and tag them; this op only regroups.
+    ///
+    /// Every batch is checksummed at write and verified at read: a batch
+    /// whose digest no longer matches poisons its reduce partition, which
+    /// is recomputed from lineage (the whole map side re-runs — its output
+    /// was discarded with the stage). Corruption that survives the retry
+    /// budget escapes as a typed [`IntegrityError`].
     pub fn exchange_by_index(&self, partitions: usize) -> Rdd<B> {
         self.exchange_by_index_with(partitions, |b| b)
     }
@@ -672,32 +682,88 @@ where
     /// sort, compact) that runs *inside* the shuffle materialisation — its
     /// output, not the raw batch list, is what the `OnceLock` stores and
     /// recomputations clone, so heavy post-processing never pays the
-    /// per-partition serve copy twice.
+    /// per-partition serve copy twice. `finish` only ever sees batches that
+    /// passed digest verification.
     pub fn exchange_by_index_with<F>(&self, partitions: usize, finish: F) -> Rdd<B>
     where
         F: Fn(Vec<B>) -> Vec<B> + Send + Sync + 'static,
     {
         let parent = self.clone();
         let ctx = self.ctx.clone();
+        let stage = self.id as u64;
         let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
             let started = Instant::now();
-            let map_outputs: Vec<Vec<Vec<B>>> = parent
-                .compute_all()
+            let plan = ctx.faults().clone();
+            let seed = plan.checksum_seed();
+            let mut attempt: u32 = 0;
+            let reduce_inputs = loop {
+                // Map side: digest every routed batch at write time, then
+                // (under an active plan) damage one shipped batch *after*
+                // its digest was taken — the stale digest is what the read
+                // side must catch.
+                let map_outputs: Vec<Vec<Vec<Sealed<B>>>> = parent
+                    .compute_all()
+                    .into_iter()
+                    .enumerate()
+                    .into_par_iter()
+                    .map(|(mp, p)| {
+                        let mut out: Vec<Vec<Sealed<B>>> =
+                            (0..partitions).map(|_| Vec::new()).collect();
+                        for (idx, batch) in take_partition(p) {
+                            assert!(idx < partitions, "batch routed to partition {idx} of {partitions}");
+                            ctx.metrics().add_records_shuffled(batch.rows() as u64);
+                            ctx.metrics().add_bytes_shuffled(batch.bytes() as u64);
+                            ctx.metrics().add_batches_processed(1);
+                            out[idx].push(seal(batch, seed, ctx.metrics()));
+                        }
+                        if let Some((kind, salt)) = plan.corrupt_decision(stage, mp, attempt) {
+                            corrupt_one(&mut out, kind, salt);
+                        }
+                        out
+                    })
+                    .collect();
+                let reduce_inputs = exchange(map_outputs);
+                // Read side: recompute every digest before any reducer
+                // touches the rows. A mismatch poisons the whole reduce
+                // partition — its other batches are fine, but the lineage
+                // recompute regenerates all of them anyway.
+                let poisoned: Vec<usize> = {
+                    let parts = &reduce_inputs;
+                    (0..parts.len())
+                        .into_par_iter()
+                        .map(|r| {
+                            let bad = parts[r].iter().filter(|s| !verify(s, seed)).count();
+                            (bad > 0).then(|| {
+                                ctx.metrics().add_corruptions_detected(bad as u64);
+                                for _ in 0..bad {
+                                    plan.confirm_corruption();
+                                }
+                                r
+                            })
+                        })
+                        .collect::<Vec<Option<usize>>>()
+                        .into_iter()
+                        .flatten()
+                        .collect()
+                };
+                if poisoned.is_empty() {
+                    break reduce_inputs;
+                }
+                attempt += 1;
+                if attempt >= plan.max_attempts() {
+                    std::panic::panic_any(IntegrityError {
+                        at: (stage, poisoned[0], attempt - 1),
+                        detail: "shuffle-read checksum mismatch survived the retry budget",
+                    });
+                }
+                ctx.metrics().add_integrity_recomputes(poisoned.len() as u64);
+                ctx.metrics().add_partitions_recomputed(poisoned.len() as u64);
+                ctx.metrics().add_task_retries(poisoned.len() as u64);
+            };
+            let out: Vec<Vec<B>> = reduce_inputs
                 .into_par_iter()
-                .map(|p| {
-                    let mut out: Vec<Vec<B>> = (0..partitions).map(|_| Vec::new()).collect();
-                    for (idx, batch) in take_partition(p) {
-                        assert!(idx < partitions, "batch routed to partition {idx} of {partitions}");
-                        ctx.metrics().add_records_shuffled(batch.rows() as u64);
-                        ctx.metrics().add_bytes_shuffled(batch.bytes() as u64);
-                        ctx.metrics().add_batches_processed(1);
-                        out[idx].push(batch);
-                    }
-                    out
-                })
+                .map(|part| finish(part.into_iter().map(|(_, b)| b).collect()))
                 .collect();
-            let reduce_inputs = exchange(map_outputs);
-            let out: Vec<Vec<B>> = reduce_inputs.into_par_iter().map(&finish).collect();
             ctx.record_span("shuffle:exchangeByIndex", started);
             out
         }));
@@ -1333,5 +1399,76 @@ mod tests {
             sc.metrics().cache_hits() > hits_before,
             "retried child tasks should reuse the persisted parent"
         );
+    }
+
+    /// Routes `0..n` into per-reducer `Vec<u64>` batches of 8 rows each.
+    fn routed_batches(sc: &SparkContext, n: u64, parts: usize) -> Rdd<Vec<u64>> {
+        let batches: Vec<(usize, Vec<u64>)> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(8)
+            .map(|c| ((c[0] as usize / 8) % parts, c.to_vec()))
+            .collect();
+        sc.parallelize(batches, parts).exchange_by_index(parts)
+    }
+
+    #[test]
+    fn batch_exchange_checksums_every_batch_fault_free() {
+        let sc = ctx();
+        let rdd = routed_batches(&sc, 160, 4);
+        let mut all: Vec<u64> = rdd.collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..160).collect::<Vec<u64>>());
+        let rec = sc.metrics().recovery();
+        assert_eq!(rec.batches_checksummed, 20, "one digest per shipped batch");
+        assert_eq!(rec.corruptions_detected, 0);
+        assert_eq!(rec.integrity_recomputes, 0);
+    }
+
+    #[test]
+    fn batch_exchange_detects_and_recovers_from_corruption() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let sc = SparkContext::with_faults(
+            4,
+            64 << 20,
+            FaultPlan::new(FaultConfig {
+                seed: 11,
+                corrupt_first_n: 1,
+                ..FaultConfig::default()
+            }),
+        );
+        let rdd = routed_batches(&sc, 160, 4);
+        let mut all: Vec<u64> = rdd.collect().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..160).collect::<Vec<u64>>(), "recovery must restore the data");
+        let rec = sc.metrics().recovery();
+        assert!(rec.corruptions_detected >= 1, "armed corruption must be caught");
+        assert!(rec.integrity_recomputes >= 1, "detection must trigger a recompute");
+        assert!(rec.partitions_recomputed >= 1);
+        assert_eq!(rec.region_restarts, 0, "staged recovery is lineage, not regions");
+    }
+
+    #[test]
+    fn corruption_surviving_the_retry_budget_is_a_typed_failure() {
+        use crate::faults::{FaultConfig, FaultPlan, IntegrityError};
+        use std::panic::AssertUnwindSafe;
+        // A budget far above max_attempts × map tasks keeps injection armed
+        // through every retry, so the exchange must escalate.
+        let sc = SparkContext::with_faults(
+            4,
+            64 << 20,
+            FaultPlan::new(FaultConfig {
+                seed: 13,
+                corrupt_first_n: 1_000,
+                max_attempts: 3,
+                ..FaultConfig::default()
+            }),
+        );
+        let rdd = routed_batches(&sc, 160, 4);
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| rdd.collect()))
+            .expect_err("unrecoverable corruption must fail the job");
+        let err = payload
+            .downcast_ref::<IntegrityError>()
+            .expect("failure payload must be the typed IntegrityError");
+        assert_eq!(err.detail, "shuffle-read checksum mismatch survived the retry budget");
     }
 }

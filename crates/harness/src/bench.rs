@@ -57,6 +57,11 @@ pub struct BenchCell {
     /// (`default` keeps pre-existing JSON artifacts parseable).
     #[serde(default)]
     pub batches_processed: u64,
+    /// Column batches sealed with a digest at shuffle-write or source-seal
+    /// time; 0 on the record-at-a-time path (`default` keeps pre-integrity
+    /// JSON artifacts such as `BENCH_PR6.json` parseable).
+    #[serde(default)]
+    pub batches_checksummed: u64,
     /// True when the output matched the sequential oracle.
     pub verified: bool,
 }
@@ -169,6 +174,7 @@ fn cell(
         records_shuffled: metrics.records_shuffled(),
         messages_combined: metrics.messages_combined(),
         batches_processed: metrics.batches_processed(),
+        batches_checksummed: metrics.recovery().batches_checksummed,
         verified,
     }
 }

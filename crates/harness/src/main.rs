@@ -92,7 +92,7 @@ fn run() -> Result<(), HarnessError> {
             println!("ablations    : abl-delta abl-serde abl-par abl-part abl-mem");
             println!("meta         : calibration verify all export <figN>");
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
-            println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--tiny] [--out FILE]");
+            println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--corruption] [--tiny] [--out FILE]");
             println!("             : soak [--smoke] [--seed N] [--out FILE]");
             println!("tuning       : tune [--smoke] [--seed N] [--out FILE]");
         }
@@ -149,6 +149,10 @@ fn run() -> Result<(), HarnessError> {
             if let Some(p) = parsed_flag(&rest, "--straggler-prob")? {
                 config.straggler_prob = p;
             }
+            // Corruption mode layers deterministic bit rot — in-flight batch
+            // damage plus a rotten checkpoint snapshot — on top of the
+            // kill/straggler plan for every batch-migrated cell.
+            config.corruption = rest.iter().any(|a| a == "--corruption");
             let scale = if rest.iter().any(|a| a == "--tiny") {
                 ChaosScale::tiny()
             } else {
@@ -161,8 +165,11 @@ fn run() -> Result<(), HarnessError> {
                 write_file(&out_path, json + "\n")?;
                 println!("wrote {out_path}");
             }
-            if report.cells.iter().any(|c| !c.verified) {
-                eprintln!("chaos drill diverged from the sequential oracle");
+            let violations = chaos::integrity_violations(&report);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("chaos: {v}");
+                }
                 std::process::exit(1);
             }
         }

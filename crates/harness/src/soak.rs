@@ -720,8 +720,12 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
     // --- Phase 6: seeded chaos mix -----------------------------------------
     // Each cell: a seeded workload choice, alternating engines, a fresh
     // chaos fault plan (guaranteed ≥1 kill and ≥1 straggler), verified
-    // against the oracle inside the job body. Submitted sequentially so
-    // the phase never contends with its own queue bound.
+    // against the oracle inside the job body. Every other batch-migrated
+    // cell upgrades to the corruption preset, so the service also soaks
+    // integrity recovery — detected bit rot answered by recompute or
+    // checkpoint rejection — under the same admission/retry supervision.
+    // Submitted sequentially so the phase never contends with its own
+    // queue bound.
     for i in 0..scale.mix_jobs {
         let workload = (splitmix(config.seed ^ (i as u64)) % 6) as usize;
         let engine = if i % 2 == 0 {
@@ -729,6 +733,7 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
         } else {
             Framework::Flink
         };
+        let corrupt = workload < 3 && (i / 2) % 2 == 0;
         let plan_seed = config
             .seed
             .wrapping_mul(0x9E37_79B9)
@@ -739,9 +744,12 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
             engine,
             EngineConfig::with_parallelism(parts),
             Arc::new(move |attempt, cancel: &CancelToken| {
-                let plan = FaultPlan::new(FaultConfig::chaos(
-                    plan_seed.wrapping_add(u64::from(attempt) << 32),
-                ));
+                let seed = plan_seed.wrapping_add(u64::from(attempt) << 32);
+                let plan = FaultPlan::new(if corrupt {
+                    FaultConfig::corruption(seed)
+                } else {
+                    FaultConfig::chaos(seed)
+                });
                 cell_data.run_cell(workload, engine, parts, plan, cancel)
             }),
         );

@@ -140,6 +140,37 @@ mod tests {
     }
 
     #[test]
+    fn escalated_integrity_error_is_a_named_typed_failure() {
+        flowmark_engine::faults::install_quiet_hook();
+        let service = JobService::start(tiny_config());
+        let job = JobRequest::new(
+            "rotten",
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, _| {
+                // A corruption that survived the engine's retry budget
+                // escapes run_recoverable as a typed panic payload.
+                std::panic::panic_any(flowmark_engine::faults::IntegrityError {
+                    at: (3, 1, 4),
+                    detail: "checksum mismatch survived the retry budget",
+                })
+            }),
+        );
+        let handle = service.submit(job).expect("admitted");
+        match handle.wait() {
+            Resolution::Failed { error, .. } => {
+                assert!(
+                    error.contains("integrity failure at stage 3 partition 1 attempt 4"),
+                    "{error}"
+                );
+                assert!(error.contains("checksum mismatch"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
     fn deadline_expiry_times_the_job_out() {
         let service = JobService::start(tiny_config());
         let mut job = JobRequest::new(

@@ -379,6 +379,14 @@ fn describe_panic(payload: &Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(e) = payload.downcast_ref::<flowmark_engine::faults::IntegrityError>() {
+        // A corruption that survived the engine's retry budget escalates
+        // here as a typed failure; name it so operators can tell data rot
+        // from an ordinary crash.
+        format!(
+            "integrity failure at stage {} partition {} attempt {}: {}",
+            e.at.0, e.at.1, e.at.2, e.detail
+        )
     } else {
         "attempt panicked".to_string()
     }

@@ -116,8 +116,17 @@ pub fn classify(
     // verdicts don't flip — the discount shifts magnitude, not class.
     let vector_frac =
         (metrics.rows_selected as f64 / (metrics.records_read.max(1) as f64)).min(1.0);
+    // Integrity repair — poisoned-partition recomputes and checkpoint
+    // snapshots discarded as unverifiable — re-runs work that was already
+    // paid for once, so it surfaces as extra CPU burn rather than a new
+    // stall class. Mirrors `pool_bump`'s shape: a flat bump, zero on clean
+    // runs, so no existing verdict moves unless corruption actually hit.
+    let rec = &metrics.recovery;
+    let integrity_bump =
+        if rec.integrity_recomputes + rec.checkpoints_rejected > 0 { 25.0 } else { 0.0 };
     let cpu = ((100.0 - 70.0 * mem_pressure - 50.0 * wire_saturation)
-        * (1.0 - 0.3 * vector_frac))
+        * (1.0 - 0.3 * vector_frac)
+        + integrity_bump)
         .clamp(5.0, 100.0);
 
     let mut telemetry = ClusterTelemetry::new(1, (end / 64.0).max(1e-6));
@@ -198,6 +207,31 @@ mod tests {
         });
         let v = classify(&PlanTrace::new(), &metrics, 1.0, &CorrelationConfig::default());
         assert_eq!(v.bottleneck, Bottleneck::Network);
+    }
+
+    #[test]
+    fn integrity_repair_reads_as_extra_cpu_burn() {
+        // A backpressured run whose CPU residual sits below the bound
+        // threshold stays that way when clean, but the same run that also
+        // paid for corruption repair shows the recompute burn as a CPU
+        // bound — without displacing the stall verdict the tuner acts on.
+        let stalled = |m: &EngineMetrics| {
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+            m.add_backpressure_waits(4_000);
+        };
+        let clean = snapshot(stalled);
+        let repaired = snapshot(|m| {
+            stalled(m);
+            m.add_corruptions_detected(2);
+            m.add_integrity_recomputes(2);
+        });
+        let cfg = CorrelationConfig::default();
+        let v0 = classify(&PlanTrace::new(), &clean, 1.0, &cfg);
+        let v1 = classify(&PlanTrace::new(), &repaired, 1.0, &cfg);
+        assert!(!v0.bounds.contains(&Bound::Cpu), "{:?}", v0.bounds);
+        assert!(v1.bounds.contains(&Bound::Cpu), "{:?}", v1.bounds);
+        assert_eq!(v1.bottleneck, Bottleneck::Network, "stall verdict must survive");
     }
 
     #[test]

@@ -12,8 +12,10 @@ use flowmark_columnar::{kernels, StrColumn, DEFAULT_BATCH_ROWS};
 use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{CostAnnotation, LogicalPlan};
+use flowmark_engine::faults::FaultPlan;
 use flowmark_engine::flink::FlinkEnv;
 use flowmark_engine::metrics::EngineMetrics;
+use flowmark_engine::shuffle::{read_verified, seal_all, Sealed};
 use flowmark_engine::spark::SparkContext;
 
 use crate::costs::*;
@@ -79,12 +81,23 @@ pub fn operator_table(fw: Framework) -> Vec<OperatorKind> {
     }
 }
 
-/// Counts matches in a run of column batches with the vectorized substring
-/// kernel: one flat scan over each batch's byte payload, zero per-line
-/// `String` allocations or `&str` re-slicing in the hot loop.
-fn count_matches(cols: &[StrColumn], needle: &[u8], metrics: &EngineMetrics) -> u64 {
+/// Counts matches in a run of *sealed* column batches with the vectorized
+/// substring kernel: one flat scan over each batch's byte payload, zero
+/// per-line `String` allocations or `&str` re-slicing in the hot loop.
+/// Every batch's digest is re-verified before the kernel touches its bytes
+/// — Grep has no exchange, so the sealed source read is its integrity
+/// surface (a mismatch unwinds for the engine's recovery wrapper to
+/// re-run this task against the clean bytes).
+fn count_matches(
+    cols: &[Sealed<StrColumn>],
+    needle: &[u8],
+    seed: u64,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+) -> u64 {
     let mut hits = 0u64;
-    for col in cols {
+    for sealed in cols {
+        let col = read_verified(sealed, seed, plan, metrics);
         let sel = kernels::filter_str_contains(col, needle, None, None);
         metrics.add_batches_processed(1);
         metrics.add_rows_selected(sel.len() as u64);
@@ -109,10 +122,13 @@ fn batch_lines(lines: Vec<String>) -> (Vec<StrColumn>, u64) {
 pub fn run_spark(sc: &SparkContext, lines: Vec<String>, needle: &str, partitions: usize) -> u64 {
     let needle = needle.as_bytes().to_vec();
     let metrics = sc.metrics().clone();
+    let plan = sc.faults().clone();
+    let seed = plan.checksum_seed();
     let (batches, extra_rows) = batch_lines(lines);
     metrics.add_records_read(extra_rows);
-    sc.parallelize(batches, partitions)
-        .map_partitions(move |cols| vec![count_matches(cols, &needle, &metrics)])
+    let sealed: Vec<Sealed<StrColumn>> = seal_all(batches, seed, &metrics);
+    sc.parallelize(sealed, partitions)
+        .map_partitions(move |cols| vec![count_matches(cols, &needle, seed, &plan, &metrics)])
         .collect()
         .into_iter()
         .sum()
@@ -122,10 +138,15 @@ pub fn run_spark(sc: &SparkContext, lines: Vec<String>, needle: &str, partitions
 pub fn run_flink(env: &FlinkEnv, lines: Vec<String>, needle: &str) -> u64 {
     let needle = needle.as_bytes().to_vec();
     let metrics = env.metrics().clone();
+    let plan = env.faults().clone();
+    let seed = plan.checksum_seed();
     let (batches, extra_rows) = batch_lines(lines);
     metrics.add_records_read(extra_rows);
-    env.from_collection(batches)
-        .map_partition(move |cols: Vec<StrColumn>| vec![count_matches(&cols, &needle, &metrics)])
+    let sealed: Vec<Sealed<StrColumn>> = seal_all(batches, seed, &metrics);
+    env.from_collection(sealed)
+        .map_partition(move |cols: Vec<Sealed<StrColumn>>| {
+            vec![count_matches(&cols, &needle, seed, &plan, &metrics)]
+        })
         .collect()
         .into_iter()
         .sum()
@@ -177,6 +198,40 @@ mod tests {
         assert_eq!(run_spark(&sc, lines.clone(), &needle, 4), expect);
         let env = FlinkEnv::new(4);
         assert_eq!(run_flink(&env, lines, &needle), expect);
+    }
+
+    #[test]
+    fn sealed_source_corruption_recovers_on_both_engines() {
+        use flowmark_engine::faults::{install_quiet_hook, FaultConfig};
+        install_quiet_hook();
+        let config = TextGenConfig {
+            needle_selectivity: 0.05,
+            ..TextGenConfig::default()
+        };
+        let needle = config.needle.clone();
+        let lines = TextGen::new(config, 7).lines(3000);
+        let expect = oracle(&lines, &needle);
+        let plan = |seed| {
+            FaultPlan::new(FaultConfig {
+                seed,
+                corrupt_first_n: 1,
+                ..FaultConfig::default()
+            })
+        };
+
+        let sc = SparkContext::with_faults(4, 64 << 20, plan(41));
+        assert_eq!(run_spark(&sc, lines.clone(), &needle, 4), expect);
+        let rec = sc.metrics().recovery();
+        assert!(rec.corruptions_detected >= 1, "spark must detect the rot");
+        assert!(rec.integrity_recomputes >= 1, "spark recovers by recompute");
+        assert_eq!(rec.region_restarts, 0);
+
+        let env = FlinkEnv::with_faults(4, plan(43));
+        assert_eq!(run_flink(&env, lines, &needle), expect);
+        let rec = env.metrics().recovery();
+        assert!(rec.corruptions_detected >= 1, "flink must detect the rot");
+        assert!(rec.region_restarts >= 1, "flink recovers by region restart");
+        assert_eq!(rec.partitions_recomputed, 0);
     }
 
     #[test]

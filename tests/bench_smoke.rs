@@ -95,11 +95,18 @@ fn iteration_task_signatures_survive_the_csr_rewrite() {
     );
 }
 
-/// The committed BENCH_PR1 report (when present in the repo root) must be
-/// a parseable ComparisonReport whose cells all verified.
+/// The committed bench reports (when present in the repo root) must be
+/// parseable ComparisonReports whose cells all verified. BENCH_PR6.json
+/// predates the integrity counters, so it also pins that the new
+/// serde-default fields keep old artifacts loadable (defaulting to zero).
 #[test]
 fn committed_bench_reports_parse_and_verified() {
-    for name in ["BENCH_PR1_SEED.json", "BENCH_PR1.json", "BENCH_PR5.json"] {
+    for name in [
+        "BENCH_PR1_SEED.json",
+        "BENCH_PR1.json",
+        "BENCH_PR5.json",
+        "BENCH_PR6.json",
+    ] {
         let path = concat_root(name);
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue; // not committed (yet) — nothing to check
@@ -109,6 +116,12 @@ fn committed_bench_reports_parse_and_verified() {
         assert!(!report.measured.cells.is_empty(), "{name} has no cells");
         for c in &report.measured.cells {
             assert!(c.verified, "{name}: {}/{} unverified", c.workload, c.engine);
+            if name == "BENCH_PR6.json" {
+                assert_eq!(
+                    c.batches_checksummed, 0,
+                    "{name}: pre-integrity artifact must default the new counter"
+                );
+            }
         }
     }
 }

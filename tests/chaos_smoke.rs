@@ -3,12 +3,19 @@
 //! fault-free answer — the staged engine via lineage re-execution and
 //! speculative backups, the pipelined engine via checkpoint restarts.
 
-use flowmark_harness::chaos::{run_chaos, ChaosConfig, ChaosScale};
+use flowmark_harness::chaos::{
+    integrity_violations, run_chaos, ChaosConfig, ChaosScale, BATCH_MIGRATED,
+};
 
 #[test]
 fn chaos_drill_recovers_every_workload_on_both_engines() {
     let report = run_chaos(ChaosConfig::new(1), ChaosScale::tiny());
     assert_eq!(report.cells.len(), 12, "six workloads × two engines");
+    assert!(
+        integrity_violations(&report).is_empty(),
+        "{:?}",
+        integrity_violations(&report)
+    );
 
     let mut task_retries = 0;
     let mut speculative_wins = 0;
@@ -19,6 +26,9 @@ fn chaos_drill_recovers_every_workload_on_both_engines() {
         assert!(c.verified, "{id} diverged from the oracle under faults");
         assert!(r.injected_failures >= 1, "{id}: the guaranteed kill never fired");
         assert!(r.injected_stragglers >= 1, "{id}: the guaranteed straggler never fired");
+        if BATCH_MIGRATED.contains(&c.workload.as_str()) {
+            assert!(c.batches_processed >= 1, "{id}: columnar batch path never ran");
+        }
         match c.engine.as_str() {
             "spark" => {
                 // Lineage recovery: the kill was either retried (recomputing
@@ -51,4 +61,39 @@ fn chaos_drill_recovers_every_workload_on_both_engines() {
         speculative_wins >= 1,
         "no speculative backup beat a straggler anywhere in the drill"
     );
+}
+
+#[test]
+fn chaos_drill_with_corruption_detects_and_recovers_on_the_batch_path() {
+    let mut config = ChaosConfig::new(1);
+    config.corruption = true;
+    let report = run_chaos(config, ChaosScale::tiny());
+    assert_eq!(report.cells.len(), 12, "six workloads × two engines");
+    assert!(report.corruption, "report must record that corruption was armed");
+
+    // `integrity_violations` carries the hard per-cell expectations: every
+    // cell oracle-verified, every batch-migrated cell detected its armed
+    // corruption, staged cells recovered by recompute, pipelined cells with
+    // an exchange rejected a rotten checkpoint snapshot.
+    let violations = integrity_violations(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    for c in &report.cells {
+        let r = &c.recovery;
+        let id = format!("{}/{}", c.workload, c.engine);
+        let batch = BATCH_MIGRATED.contains(&c.workload.as_str());
+        if batch {
+            assert!(r.batches_checksummed >= 1, "{id}: nothing was ever sealed");
+        } else {
+            // Corruption must stay confined to the batch path: the
+            // unmigrated cells run the plain chaos plan.
+            assert_eq!(r.corruptions_detected, 0, "{id}: corruption leaked");
+            assert_eq!(r.checkpoints_rejected, 0, "{id}: rejection leaked");
+        }
+        // The engine dichotomy survives the combined kill+corruption plan.
+        match c.engine.as_str() {
+            "spark" => assert_eq!(r.region_restarts, 0, "{id}: staged engine restarted"),
+            _ => assert_eq!(r.partitions_recomputed, 0, "{id}: pipelined engine recomputed"),
+        }
+    }
 }
