@@ -368,6 +368,27 @@ pub enum PartitionerChoice {
     Range,
 }
 
+/// How an engine obtains threads for its stage/partition tasks.
+///
+/// Historically both engines spawned their own threads per job (scoped
+/// chunk threads in the staged engine, one thread per partition per
+/// operator in the pipelined one). That remains the default — it is the
+/// measured baseline — but under concurrent multi-job load the shared
+/// work-stealing pool (`flowmark-sched::TaskPool::global`) keeps a fixed
+/// core set busy across jobs instead of oversubscribing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ExecutorMode {
+    /// Legacy per-job thread spawning (the bench baseline).
+    #[default]
+    PerJob,
+    /// Submit stage tasks to the process-wide work-stealing pool.
+    ///
+    /// The pipelined engine's exchange producers/consumers keep their
+    /// dedicated threads in this mode too: they block on bounded
+    /// channels, which a fixed-size pool must never absorb.
+    SharedPool,
+}
+
 /// A unified, serializable configuration for the *real* engines (the
 /// staged `SparkContext` and the pipelined `FlinkEnv`), replacing the
 /// per-engine constructor sprawl. Every knob maps to one of the paper's
@@ -396,6 +417,10 @@ pub struct EngineConfig {
     /// Storage-cache budget in bytes (staged engine's block cache;
     /// the pipelined engine has no persistence layer, §VI-B).
     pub cache_bytes: u64,
+    /// Where stage/partition tasks execute (defaults to the legacy
+    /// per-job spawning; serde-defaulted so older artifacts parse).
+    #[serde(default)]
+    pub executor: ExecutorMode,
 }
 
 impl EngineConfig {
@@ -457,6 +482,10 @@ impl EngineConfig {
             PartitionerChoice::Range => 1,
         });
         eat(self.cache_bytes);
+        eat(match self.executor {
+            ExecutorMode::PerJob => 0,
+            ExecutorMode::SharedPool => 1,
+        });
         h
     }
 
@@ -490,6 +519,7 @@ impl Default for EngineConfig {
             combine_enabled: true,
             partitioner: PartitionerChoice::Hash,
             cache_bytes: Self::DEFAULT_CACHE_BYTES,
+            executor: ExecutorMode::default(),
         }
     }
 }
@@ -590,6 +620,97 @@ impl Default for ServiceConfig {
             breaker_threshold: Self::DEFAULT_BREAKER_THRESHOLD,
             breaker_cooldown: Self::DEFAULT_BREAKER_COOLDOWN,
             workers: Self::DEFAULT_WORKERS,
+        }
+    }
+}
+
+/// One tenant of the fair-share scheduler: an identity plus the weight
+/// and byte/core budgets its jobs are arbitrated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant identity jobs name via `JobRequest::tenant`.
+    pub tenant: u32,
+    /// Deficit-round-robin weight: per dequeue round a tenant's lane
+    /// earns `quantum_bytes * weight` of credit, so a weight-4 tenant
+    /// drains jobs four times as fast as a weight-1 tenant under
+    /// contention.
+    pub weight: u32,
+    /// Per-tenant byte budget charged with
+    /// [`EngineConfig::memory_footprint_bytes`] on admission, on top of
+    /// the service-wide budget.
+    pub memory_budget_bytes: u64,
+    /// Per-tenant in-flight job cap (the "core budget"): the dequeue
+    /// skips a lane whose tenant already runs this many jobs.
+    pub max_in_flight: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and effectively unbounded budgets —
+    /// useful as the single default lane, which reduces DRR to FIFO.
+    pub fn unbounded(tenant: u32) -> Self {
+        Self {
+            tenant,
+            weight: 1,
+            memory_budget_bytes: u64::MAX,
+            max_in_flight: usize::MAX,
+        }
+    }
+}
+
+/// Fair-share admission policy for `flowmark-serve`: the tenant table
+/// plus the DRR quantum. The default — one unbounded tenant 0 — makes
+/// the scheduler byte-for-byte equivalent to the old FIFO queue, which
+/// is exactly the bench baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FairShareConfig {
+    /// The tenant lanes. Jobs naming an unlisted tenant are rejected.
+    pub tenants: Vec<TenantSpec>,
+    /// Bytes of deficit credit a weight-1 lane earns per dequeue round.
+    pub quantum_bytes: u64,
+}
+
+impl FairShareConfig {
+    /// Default DRR quantum: one default engine-config footprint, so a
+    /// weight-1 tenant dequeues about one typical job per round.
+    pub const DEFAULT_QUANTUM_BYTES: u64 = 1 << 30;
+
+    /// Validates tenant uniqueness and degenerate knobs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tenants.is_empty() {
+            return Err(ConfigError::Degenerate { parameter: "tenants" });
+        }
+        if self.quantum_bytes == 0 {
+            return Err(ConfigError::Degenerate {
+                parameter: "quantum_bytes",
+            });
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return Err(ConfigError::Degenerate { parameter: "weight" });
+            }
+            if t.max_in_flight == 0 {
+                return Err(ConfigError::Degenerate {
+                    parameter: "max_in_flight",
+                });
+            }
+            if t.memory_budget_bytes == 0 {
+                return Err(ConfigError::Degenerate {
+                    parameter: "memory_budget_bytes",
+                });
+            }
+            if self.tenants[..i].iter().any(|o| o.tenant == t.tenant) {
+                return Err(ConfigError::Degenerate { parameter: "tenant" });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FairShareConfig {
+    fn default() -> Self {
+        Self {
+            tenants: vec![TenantSpec::unbounded(0)],
+            quantum_bytes: Self::DEFAULT_QUANTUM_BYTES,
         }
     }
 }

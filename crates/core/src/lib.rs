@@ -66,8 +66,9 @@ pub mod timeseries;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::config::{
-        ClusterConfig, ConfigError, EngineConfig, FlinkConfig, Framework, PartitionerChoice,
-        RunConfig, Serializer, ServiceConfig, SparkConfig,
+        ClusterConfig, ConfigError, EngineConfig, ExecutorMode, FairShareConfig, FlinkConfig,
+        Framework, PartitionerChoice, RunConfig, Serializer, ServiceConfig, SparkConfig,
+        TenantSpec,
     };
     pub use crate::correlate::{correlate, Bound, CorrelationConfig, CorrelationReport};
     pub use crate::experiment::{CellOutcome, Experiment, Figure, FigurePoint, FigureSeries};

@@ -140,6 +140,48 @@ impl FaultConfig {
             ..Self::chaos(seed)
         }
     }
+
+    /// A stable 64-bit fingerprint of every fault knob (FNV-1a, same
+    /// discipline as `EngineConfig::fingerprint`). The cross-job
+    /// fragment cache folds this into its key: two jobs under different
+    /// fault plans seal under different checksum seeds and may corrupt
+    /// different batches, so their stage outputs must **miss** each
+    /// other, never alias.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.seed);
+        eat(self.task_failure_prob.to_bits());
+        eat(self.kill_list.len() as u64);
+        for &(stage, partition, attempt) in &self.kill_list {
+            eat(stage);
+            eat(partition as u64);
+            eat(u64::from(attempt));
+        }
+        eat(self.fail_first_n);
+        eat(self.straggler_prob.to_bits());
+        eat(self.straggle_first_n);
+        eat(self.straggler_slowdown.as_micros() as u64);
+        eat(self.memory_pressure_prob.to_bits());
+        eat(u64::from(self.max_attempts));
+        eat(self.backoff_base.as_micros() as u64);
+        eat(self.speculation_multiplier.to_bits());
+        eat(self.speculation_floor.as_micros() as u64);
+        eat(self.checkpoint_interval_records);
+        eat(u64::from(self.checkpoint_interval_rounds));
+        eat(self.corruption_prob.to_bits());
+        eat(self.corrupt_first_n);
+        eat(self.checkpoint_corruption_prob.to_bits());
+        eat(self.checkpoint_corrupt_first_n);
+        h
+    }
 }
 
 /// Payload type for injected panics; the filtering panic hook keeps these

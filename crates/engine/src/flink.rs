@@ -37,8 +37,10 @@ use crate::faults::{
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::memory::BufferPool;
 use crate::metrics::EngineMetrics;
+use crate::runtime::{self, FragmentHandle};
 use crate::shuffle::{seal, verify, Sealed, ShuffleBatch};
 use crate::sortbuf::{CombineFn, SortCombineBuffer};
+use flowmark_sched::{FragmentCache, FragmentKey};
 
 /// Shared environment state.
 struct EnvInner {
@@ -60,6 +62,9 @@ struct EnvInner {
     /// Job-level cancellation: set by the serve layer on deadline expiry
     /// or explicit cancel; producers, consumers and sink tasks observe it.
     cancel: CancelToken,
+    /// Pending fragment-cache attachment; the next batch exchange on this
+    /// environment claims it (at most one per registration).
+    fragment: Mutex<Option<FragmentHandle>>,
 }
 
 /// The execution environment ("ExecutionEnvironment"). Cheap to clone.
@@ -128,6 +133,7 @@ impl FlinkEnv {
                 faults,
                 next_stage: AtomicU64::new(0),
                 cancel,
+                fragment: Mutex::new(None),
             }),
         }
     }
@@ -150,6 +156,17 @@ impl FlinkEnv {
     /// The job-level cancellation token every pipeline task polls.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.inner.cancel
+    }
+
+    /// Attaches a cross-job fragment-cache handle: the next batch exchange
+    /// on this environment consults `cache` under `key` (every reuse
+    /// re-verified against its stored checksum) and populates it on miss.
+    pub fn register_fragment(&self, cache: Arc<FragmentCache>, key: FragmentKey) {
+        *self.inner.fragment.lock() = Some((cache, key));
+    }
+
+    fn take_fragment(&self) -> Option<FragmentHandle> {
+        self.inner.fragment.lock().take()
     }
 
     pub(crate) fn next_stage_id(&self) -> u64 {
@@ -339,41 +356,32 @@ impl<T: Clone + Send + Sync + 'static> DataSet<T> {
         let env = &self.env;
         let plan = env.faults();
         let stage = env.next_stage_id();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.partitions)
-                .map(|p| {
-                    let op = Arc::clone(&self.op);
-                    scope.spawn(move || {
-                        env.task_started();
-                        let cancel = env.cancel_token();
-                        let out = if plan.active() {
-                            run_recoverable(
-                                plan,
-                                env.metrics(),
-                                None,
-                                RecoveryKind::Region,
-                                stage,
-                                p,
-                                cancel,
-                                &|| op.compute(env, p),
-                            )
-                        } else {
-                            check_cancelled(cancel, env.metrics(), stage, p);
-                            op.compute(env, p)
-                        };
-                        env.task_finished();
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    // Preserve the panic payload (JobCancelled must reach
-                    // the serve layer intact, not as a joined-thread Any).
-                    h.join().unwrap_or_else(|p| resume_unwind(p))
-                })
-                .collect()
+        let op = &self.op;
+        // `PerJob` keeps the legacy shape (one scoped thread per partition,
+        // join in order, first panic payload re-raised intact — JobCancelled
+        // must reach the serve layer typed, not as a joined-thread Any);
+        // `SharedPool` submits the same tasks as one work-stealing batch
+        // with the identical payload contract.
+        runtime::run_stage_per_task(env.config().executor, env.metrics(), self.partitions, |p| {
+            env.task_started();
+            let cancel = env.cancel_token();
+            let out = if plan.active() {
+                run_recoverable(
+                    plan,
+                    env.metrics(),
+                    None,
+                    RecoveryKind::Region,
+                    stage,
+                    p,
+                    cancel,
+                    &|| op.compute(env, p),
+                )
+            } else {
+                check_cancelled(cancel, env.metrics(), stage, p);
+                op.compute(env, p)
+            };
+            env.task_finished();
+            out
         })
     }
 
@@ -459,6 +467,9 @@ where
         let parent = Arc::clone(&self.op);
         let in_parts = self.partitions;
         let seed = self.env.faults().checksum_seed();
+        // Claim any registered fragment-cache attachment now, at plan
+        // construction: only the job that registered one pays gate overhead.
+        let fragment = self.env.take_fragment();
         let op = PipelinedExchange::with_verify(
             in_parts,
             out_parts,
@@ -497,15 +508,65 @@ where
         );
         // Receive-time verification already vouched for every batch; what
         // flows downstream is the batch alone.
-        let unwrap = ChainOp {
-            parent: Arc::new(op) as Arc<dyn DsOp<Sealed<B>>>,
-            f: |input: Vec<Sealed<B>>| input.into_iter().map(|(_, b)| b).collect(),
+        let sealed_op = Arc::new(op) as Arc<dyn DsOp<Sealed<B>>>;
+        let op: Arc<dyn DsOp<B>> = match fragment {
+            Some(handle) => Arc::new(FragmentGateOp {
+                inner: sealed_op,
+                handle,
+                seed,
+                out_parts,
+                resolved: std::sync::OnceLock::new(),
+            }),
+            None => Arc::new(ChainOp {
+                parent: sealed_op,
+                f: |input: Vec<Sealed<B>>| input.into_iter().map(|(_, b)| b).collect(),
+            }),
         };
         DataSet {
             env: self.env.clone(),
-            op: Arc::new(unwrap),
+            op,
             partitions: out_parts,
         }
+    }
+}
+
+/// Gate in front of a sealed batch exchange, wired to the cross-job
+/// fragment cache. Resolves once per job: a checksum-verified cache hit
+/// skips the exchange (and all of its producer/consumer threads)
+/// entirely; a miss runs it, stores the sealed output for future jobs,
+/// and serves the unwrapped batches.
+struct FragmentGateOp<B> {
+    inner: Arc<dyn DsOp<Sealed<B>>>,
+    handle: FragmentHandle,
+    seed: u64,
+    out_parts: usize,
+    resolved: std::sync::OnceLock<Vec<Vec<B>>>,
+}
+
+impl<B> DsOp<B> for FragmentGateOp<B>
+where
+    B: ShuffleBatch + Checksummable + Clone + Send + Sync + 'static,
+{
+    fn compute(&self, env: &FlinkEnv, part: usize) -> Vec<B> {
+        let all = self.resolved.get_or_init(|| {
+            let started = Instant::now();
+            if let Some(cached) = runtime::fragment_lookup::<B>(&self.handle, env.metrics()) {
+                env.record_span("pipelined-exchange(cached)", started);
+                return cached
+                    .into_iter()
+                    .map(|p| p.into_iter().map(|(_, b)| b).collect())
+                    .collect();
+            }
+            let sealed: Vec<Vec<Sealed<B>>> = (0..self.out_parts)
+                .map(|p| self.inner.compute(env, p))
+                .collect();
+            runtime::fragment_store(&self.handle, env.metrics(), self.seed, &sealed);
+            sealed
+                .into_iter()
+                .map(|p| p.into_iter().map(|(_, b)| b).collect())
+                .collect()
+        });
+        all[part].clone()
     }
 }
 

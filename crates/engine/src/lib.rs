@@ -31,6 +31,7 @@ pub mod hash;
 pub mod iterate;
 pub mod memory;
 pub mod metrics;
+pub mod runtime;
 pub mod sampler;
 pub mod shuffle;
 pub mod sortbuf;
@@ -44,8 +45,9 @@ pub use iterate::{
     bulk_iterate, vertex_centric, vertex_centric_with_combiner, CsrPart, IterationError,
     IterationMode, MessageCombiner, PartitionedGraph,
 };
-pub use flowmark_core::config::{EngineConfig, PartitionerChoice};
+pub use flowmark_core::config::{EngineConfig, ExecutorMode, PartitionerChoice};
 pub use metrics::{EngineMetrics, MetricsSnapshot, RecoverySnapshot};
+pub use runtime::{CachedStage, FragmentHandle};
 pub use shuffle::ShuffleBatch;
 pub use spark::{Rdd, SparkContext};
 pub use streaming::{run_continuous, run_micro_batch, StreamStats};

@@ -35,6 +35,11 @@ struct Counters {
     messages_combined: AtomicU64,
     batches_processed: AtomicU64,
     rows_selected: AtomicU64,
+    tasks_stolen: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    queue_wait_tasks: AtomicU64,
+    fragment_cache_hits: AtomicU64,
+    fragment_cache_evictions: AtomicU64,
     // Recovery section (engine::faults): what failure injection cost the run.
     injected_failures: AtomicU64,
     injected_stragglers: AtomicU64,
@@ -101,6 +106,30 @@ pub struct MetricsSnapshot {
     /// pre-existing JSON artifacts parseable.
     #[serde(default)]
     pub rows_selected: u64,
+    /// Stage tasks a shared-pool worker took from another worker's
+    /// deque (`ExecutorMode::SharedPool` only); `default` keeps
+    /// BENCH_PR6/PR7 artifacts parseable.
+    #[serde(default)]
+    pub tasks_stolen: u64,
+    /// Microseconds stage tasks spent queued in the shared pool before
+    /// execution began; `default` keeps pre-existing artifacts
+    /// parseable.
+    #[serde(default)]
+    pub queue_wait_micros: u64,
+    /// Stage tasks whose queue wait is accumulated in
+    /// `queue_wait_micros` (denominator for a mean wait); `default`
+    /// keeps pre-existing artifacts parseable.
+    #[serde(default)]
+    pub queue_wait_tasks: u64,
+    /// Cross-job fragment-cache reuses that passed checksum
+    /// re-verification (distinct from `cache_hits`, the staged engine's
+    /// block cache); `default` keeps pre-existing artifacts parseable.
+    #[serde(default)]
+    pub fragment_cache_hits: u64,
+    /// Fragments this job's inserts evicted from the cross-job cache;
+    /// `default` keeps pre-existing artifacts parseable.
+    #[serde(default)]
+    pub fragment_cache_evictions: u64,
     /// Recovery counters (fault injection and its repair costs).
     pub recovery: RecoverySnapshot,
 }
@@ -195,6 +224,11 @@ impl EngineMetrics {
         messages_combined => add_messages_combined, messages_combined;
         batches_processed => add_batches_processed, batches_processed;
         rows_selected => add_rows_selected, rows_selected;
+        tasks_stolen => add_tasks_stolen, tasks_stolen;
+        queue_wait_micros => add_queue_wait_micros, queue_wait_micros;
+        queue_wait_tasks => add_queue_wait_tasks, queue_wait_tasks;
+        fragment_cache_hits => add_fragment_cache_hits, fragment_cache_hits;
+        fragment_cache_evictions => add_fragment_cache_evictions, fragment_cache_evictions;
         injected_failures => add_injected_failures, injected_failures;
         injected_stragglers => add_injected_stragglers, injected_stragglers;
         task_retries => add_task_retries, task_retries;
@@ -232,6 +266,11 @@ impl EngineMetrics {
             messages_combined: self.messages_combined(),
             batches_processed: self.batches_processed(),
             rows_selected: self.rows_selected(),
+            tasks_stolen: self.tasks_stolen(),
+            queue_wait_micros: self.queue_wait_micros(),
+            queue_wait_tasks: self.queue_wait_tasks(),
+            fragment_cache_hits: self.fragment_cache_hits(),
+            fragment_cache_evictions: self.fragment_cache_evictions(),
             recovery: self.recovery(),
         }
     }
@@ -332,6 +371,30 @@ mod tests {
         assert_eq!(back.corruptions_detected, 0);
         assert_eq!(back.integrity_recomputes, 0);
         assert_eq!(back.checkpoints_rejected, 0);
+    }
+
+    #[test]
+    fn old_snapshot_json_without_sched_fields_still_parses() {
+        // A BENCH_PR6/PR7-era snapshot: none of the five sched counters
+        // present. Field-by-field round trip via a modern snapshot with
+        // the sched counters zeroed.
+        let m = EngineMetrics::new();
+        m.add_records_shuffled(7);
+        let snap = m.snapshot();
+        let mut json = serde_json::to_string(&snap).unwrap();
+        for gone in [
+            "\"tasks_stolen\":0,",
+            "\"queue_wait_micros\":0,",
+            "\"queue_wait_tasks\":0,",
+            "\"fragment_cache_hits\":0,",
+            "\"fragment_cache_evictions\":0,",
+        ] {
+            assert!(json.contains(gone), "{json}");
+            json = json.replace(gone, "");
+        }
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.tasks_stolen, 0);
     }
 
     #[test]

@@ -21,9 +21,9 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use rayon::prelude::*;
 
 use flowmark_core::config::{EngineConfig, PartitionerChoice};
+use flowmark_sched::{FragmentCache, FragmentKey};
 use flowmark_core::spans::PlanTrace;
 use flowmark_dataflow::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
 
@@ -36,6 +36,7 @@ use crate::faults::{
 };
 use crate::hash::{fx_map_with_capacity, FxHashMap};
 use crate::metrics::EngineMetrics;
+use crate::runtime::{self, FragmentHandle};
 use crate::shuffle::{
     corrupt_one, exchange, partition_combine, partition_records, seal, take_partition, verify,
     Sealed, ShuffleBatch,
@@ -57,6 +58,9 @@ struct CtxInner {
     /// Job-level cancellation: set by the serve layer on deadline expiry
     /// or explicit cancel; every staged task observes it at launch.
     cancel: CancelToken,
+    /// Pending cross-job fragment-cache attachment, consumed by the
+    /// first batch exchange built on this context.
+    fragment: Mutex<Option<FragmentHandle>>,
 }
 
 /// The driver ("SparkContext"). Cheap to clone.
@@ -122,8 +126,23 @@ impl SparkContext {
                 faults,
                 stage_stats: StageStats::new(),
                 cancel,
+                fragment: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach a cross-job fragment-cache handle: the next batch
+    /// exchange ([`Rdd::exchange_by_index`]) built on this context
+    /// looks `key` up in `cache` before computing — a checksum-verified
+    /// hit reuses the cached sealed stage output and skips the whole
+    /// map+exchange — and stores its own verified output there on a
+    /// miss.
+    pub fn register_fragment(&self, cache: Arc<FragmentCache>, key: FragmentKey) {
+        *self.inner.fragment.lock() = Some((cache, key));
+    }
+
+    fn take_fragment(&self) -> Option<FragmentHandle> {
+        self.inner.fragment.lock().take()
     }
 
     /// The configuration this context runs under.
@@ -280,33 +299,28 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
             .add_tasks_launched(self.partitions as u64);
         let plan = self.ctx.faults();
         let cancel = self.ctx.cancel_token();
+        let mode = self.ctx.config().executor;
         if !plan.active() {
-            return (0..self.partitions)
-                .into_par_iter()
-                .map(|p| {
-                    check_cancelled(cancel, self.ctx.metrics(), self.id as u64, p);
-                    self.compute(p)
-                })
-                .collect();
+            return runtime::run_stage(mode, self.ctx.metrics(), self.partitions, |p| {
+                check_cancelled(cancel, self.ctx.metrics(), self.id as u64, p);
+                self.compute(p)
+            });
         }
         // Stage = this RDD; one recoverable task per partition. A retry
         // walks the RddOp chain again, so persisted ancestors come back
         // from the cache instead of being recomputed (lineage recovery).
-        (0..self.partitions)
-            .into_par_iter()
-            .map(|p| {
-                run_recoverable(
-                    plan,
-                    self.ctx.metrics(),
-                    Some(&self.ctx.inner.stage_stats),
-                    RecoveryKind::Lineage,
-                    self.id as u64,
-                    p,
-                    cancel,
-                    &|| self.compute(p),
-                )
-            })
-            .collect()
+        runtime::run_stage(mode, self.ctx.metrics(), self.partitions, |p| {
+            run_recoverable(
+                plan,
+                self.ctx.metrics(),
+                Some(&self.ctx.inner.stage_stats),
+                RecoveryKind::Lineage,
+                self.id as u64,
+                p,
+                cancel,
+                &|| self.compute(p),
+            )
+        })
     }
 
     // ---- narrow transformations -----------------------------------------
@@ -490,9 +504,8 @@ where
                     Arc::new(RangePartitioner::from_sample(sample, partitions))
                 }
             };
-            let map_outputs: Vec<_> = parts
-                .into_par_iter()
-                .map(|p| {
+            let map_outputs: Vec<_> =
+                runtime::run_stage_items(config.executor, ctx.metrics(), parts, |_, p| {
                     let records = take_partition(p);
                     let mut out = if config.combine_enabled {
                         partition_combine(
@@ -518,13 +531,11 @@ where
                         out.resize_with(partitions, Vec::new);
                     }
                     out
-                })
-                .collect();
+                });
             let reduce_inputs = exchange(map_outputs);
             let combine = Arc::clone(&combine);
-            let out: Vec<Vec<(K, V)>> = reduce_inputs
-                .into_par_iter()
-                .map(|records| {
+            let out: Vec<Vec<(K, V)>> =
+                runtime::run_stage_items(config.executor, ctx.metrics(), reduce_inputs, |_, records| {
                     let mut agg: FxHashMap<K, V> = fx_map_with_capacity(records.len());
                     for (k, v) in records {
                         match agg.entry(k) {
@@ -537,8 +548,7 @@ where
                         }
                     }
                     agg.into_iter().collect()
-                })
-                .collect();
+                });
             ctx.record_span("shuffle:reduceByKey", started);
             out
         }));
@@ -556,22 +566,22 @@ where
         let partitions = partitioner.partitions();
         let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
             let started = Instant::now();
-            let map_outputs: Vec<_> = parent
-                .compute_all()
-                .into_par_iter()
-                .map(|p| {
+            let mode = ctx.config().executor;
+            let map_outputs: Vec<_> =
+                runtime::run_stage_items(mode, ctx.metrics(), parent.compute_all(), |_, p| {
                     partition_records(
                         take_partition(p),
                         partitioner.as_ref(),
                         ctx.metrics(),
                         std::mem::size_of::<(K, V)>(),
                     )
-                })
-                .collect();
-            let mut reduce_inputs = exchange(map_outputs);
-            reduce_inputs.par_iter_mut().for_each(|part| {
-                part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            });
+                });
+            let reduce_inputs = exchange(map_outputs);
+            let reduce_inputs =
+                runtime::run_stage_items(mode, ctx.metrics(), reduce_inputs, |_, mut part| {
+                    part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    part
+                });
             ctx.record_span("shuffle:repartitionAndSort", started);
             reduce_inputs
         }));
@@ -590,36 +600,30 @@ where
         let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
             let started = Instant::now();
             let partitioner = HashPartitioner::new(partitions);
-            let lo: Vec<_> = left
-                .compute_all()
-                .into_par_iter()
-                .map(|p| {
+            let mode = ctx.config().executor;
+            let lo: Vec<_> =
+                runtime::run_stage_items(mode, ctx.metrics(), left.compute_all(), |_, p| {
                     partition_records(
                         take_partition(p),
                         &partitioner,
                         ctx.metrics(),
                         std::mem::size_of::<(K, V)>(),
                     )
-                })
-                .collect();
-            let ro: Vec<_> = right
-                .compute_all()
-                .into_par_iter()
-                .map(|p| {
+                });
+            let ro: Vec<_> =
+                runtime::run_stage_items(mode, ctx.metrics(), right.compute_all(), |_, p| {
                     partition_records(
                         take_partition(p),
                         &partitioner,
                         ctx.metrics(),
                         std::mem::size_of::<(K, W)>(),
                     )
-                })
-                .collect();
+                });
             let li = exchange(lo);
             let ri = exchange(ro);
-            let out: Vec<Vec<(K, (V, W))>> = li
-                .into_par_iter()
-                .zip(ri)
-                .map(|(lpart, rpart)| {
+            let pairs: Vec<_> = li.into_iter().zip(ri).collect();
+            let out: Vec<Vec<(K, (V, W))>> =
+                runtime::run_stage_items(mode, ctx.metrics(), pairs, |_, (lpart, rpart)| {
                     let mut table: FxHashMap<K, Vec<V>> = fx_map_with_capacity(lpart.len());
                     for (k, v) in lpart {
                         table.entry(k).or_default().push(v);
@@ -633,8 +637,7 @@ where
                         }
                     }
                     joined
-                })
-                .collect();
+                });
             ctx.record_span("shuffle:join", started);
             out
         }));
@@ -691,22 +694,36 @@ where
         let parent = self.clone();
         let ctx = self.ctx.clone();
         let stage = self.id as u64;
+        // Claimed at plan-construction time: the first batch exchange
+        // built after `register_fragment` owns the cache attachment.
+        let fragment = ctx.take_fragment();
         let shuffled = Arc::new(ShuffleOp::new(partitions, move || {
             let started = Instant::now();
             let plan = ctx.faults().clone();
             let seed = plan.checksum_seed();
+            let mode = ctx.config().executor;
+            // A checksum-verified cache hit replaces the whole
+            // map+exchange with the cached sealed reduce inputs; only
+            // `finish` still runs. A failed verification invalidated the
+            // entry inside the lookup, so falling through recomputes.
+            if let Some(handle) = &fragment {
+                if let Some(cached) = runtime::fragment_lookup::<B>(handle, ctx.metrics()) {
+                    let out: Vec<Vec<B>> =
+                        runtime::run_stage_items(mode, ctx.metrics(), cached, |_, part| {
+                            finish(part.into_iter().map(|(_, b)| b).collect())
+                        });
+                    ctx.record_span("shuffle:exchangeByIndex(cached)", started);
+                    return out;
+                }
+            }
             let mut attempt: u32 = 0;
             let reduce_inputs = loop {
                 // Map side: digest every routed batch at write time, then
                 // (under an active plan) damage one shipped batch *after*
                 // its digest was taken — the stale digest is what the read
                 // side must catch.
-                let map_outputs: Vec<Vec<Vec<Sealed<B>>>> = parent
-                    .compute_all()
-                    .into_iter()
-                    .enumerate()
-                    .into_par_iter()
-                    .map(|(mp, p)| {
+                let map_outputs: Vec<Vec<Vec<Sealed<B>>>> =
+                    runtime::run_stage_items(mode, ctx.metrics(), parent.compute_all(), |mp, p| {
                         let mut out: Vec<Vec<Sealed<B>>> =
                             (0..partitions).map(|_| Vec::new()).collect();
                         for (idx, batch) in take_partition(p) {
@@ -720,8 +737,7 @@ where
                             corrupt_one(&mut out, kind, salt);
                         }
                         out
-                    })
-                    .collect();
+                    });
                 let reduce_inputs = exchange(map_outputs);
                 // Read side: recompute every digest before any reducer
                 // touches the rows. A mismatch poisons the whole reduce
@@ -729,22 +745,19 @@ where
                 // recompute regenerates all of them anyway.
                 let poisoned: Vec<usize> = {
                     let parts = &reduce_inputs;
-                    (0..parts.len())
-                        .into_par_iter()
-                        .map(|r| {
-                            let bad = parts[r].iter().filter(|s| !verify(s, seed)).count();
-                            (bad > 0).then(|| {
-                                ctx.metrics().add_corruptions_detected(bad as u64);
-                                for _ in 0..bad {
-                                    plan.confirm_corruption();
-                                }
-                                r
-                            })
+                    runtime::run_stage(mode, ctx.metrics(), parts.len(), |r| {
+                        let bad = parts[r].iter().filter(|s| !verify(s, seed)).count();
+                        (bad > 0).then(|| {
+                            ctx.metrics().add_corruptions_detected(bad as u64);
+                            for _ in 0..bad {
+                                plan.confirm_corruption();
+                            }
+                            r
                         })
-                        .collect::<Vec<Option<usize>>>()
-                        .into_iter()
-                        .flatten()
-                        .collect()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
                 };
                 if poisoned.is_empty() {
                     break reduce_inputs;
@@ -760,10 +773,16 @@ where
                 ctx.metrics().add_partitions_recomputed(poisoned.len() as u64);
                 ctx.metrics().add_task_retries(poisoned.len() as u64);
             };
-            let out: Vec<Vec<B>> = reduce_inputs
-                .into_par_iter()
-                .map(|part| finish(part.into_iter().map(|(_, b)| b).collect()))
-                .collect();
+            // Every batch just verified clean: this is the reusable
+            // fragment, stored pre-`finish` so a hit can re-verify the
+            // digests before trusting it.
+            if let Some(handle) = &fragment {
+                runtime::fragment_store(handle, ctx.metrics(), seed, &reduce_inputs);
+            }
+            let out: Vec<Vec<B>> =
+                runtime::run_stage_items(mode, ctx.metrics(), reduce_inputs, |_, part| {
+                    finish(part.into_iter().map(|(_, b)| b).collect())
+                });
             ctx.record_span("shuffle:exchangeByIndex", started);
             out
         }));

@@ -13,6 +13,7 @@ pub mod bench;
 pub mod chaos;
 pub mod error;
 pub mod experiments;
+pub mod mix;
 pub mod paper;
 pub mod report;
 pub mod soak;

@@ -94,12 +94,43 @@ fn run() -> Result<(), HarnessError> {
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
             println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--corruption] [--tiny] [--out FILE]");
             println!("             : soak [--smoke] [--seed N] [--out FILE]");
+            println!("             : soak --mix-concurrent N [--smoke] [--seed S] [--out FILE]");
             println!("tuning       : tune [--smoke] [--seed N] [--out FILE]");
         }
         "soak" => {
             use flowmark_harness::soak::{self, SoakConfig, SoakScale};
             let rest: Vec<String> = std::env::args().skip(2).collect();
             let seed: u64 = parsed_flag(&rest, "--seed")?.unwrap_or(1);
+            if let Some(jobs) = parsed_flag::<usize>(&rest, "--mix-concurrent")? {
+                use flowmark_harness::mix::{self, MixScale};
+                let scale = if rest.iter().any(|a| a == "--smoke") {
+                    MixScale::smoke()
+                } else {
+                    MixScale::full(jobs)
+                };
+                let report = mix::run_mix(seed, scale);
+                print!("{}", mix::render(&report));
+                let out_path =
+                    flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR8.json".into());
+                let json = serde_json::to_string_pretty(&report)?;
+                write_file(&out_path, json + "\n")?;
+                println!("wrote {out_path}");
+                // The throughput gate is an artifact-scale claim; smoke
+                // runs keep the structural gates only.
+                let min_speedup = if rest.iter().any(|a| a == "--smoke") {
+                    0.0
+                } else {
+                    1.3
+                };
+                let violations = report.violations(min_speedup);
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("mix-concurrent violation: {v}");
+                    }
+                    std::process::exit(1);
+                }
+                return Ok(());
+            }
             let scale = if rest.iter().any(|a| a == "--smoke") {
                 SoakScale::smoke()
             } else {

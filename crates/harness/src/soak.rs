@@ -533,10 +533,10 @@ fn shed(report: &mut SoakReport, engine: Framework, rejected: &Rejected) {
     };
     tally.shed += 1;
     match rejected {
-        Rejected::QueueFull => report.shed_queue_full += 1,
+        Rejected::QueueFull { .. } => report.shed_queue_full += 1,
         Rejected::OverBudget { .. } => report.shed_over_budget += 1,
-        Rejected::BreakerOpen => report.shed_breaker_open += 1,
-        Rejected::ShuttingDown => {}
+        Rejected::BreakerOpen { .. } => report.shed_breaker_open += 1,
+        Rejected::ShuttingDown { .. } | Rejected::UnknownTenant { .. } => {}
     }
 }
 
@@ -889,6 +889,7 @@ mod tests {
                 jobs_cancelled: 0,
                 job_retries: 1,
                 breaker_rejections: 1,
+                tenants: vec![],
             },
         };
         let json = serde_json::to_string_pretty(&report).expect("serializes");
@@ -915,6 +916,7 @@ mod tests {
             jobs_cancelled: 0,
             job_retries: 0,
             breaker_rejections: 0,
+            tenants: vec![],
         };
         let report = SoakReport {
             seed: 1,
@@ -931,7 +933,7 @@ mod tests {
             breaker_opened: true,
             oracle_failures: 1,
             workers_joined: true,
-            health,
+            health: health.clone(),
         };
         let v = report.violations();
         assert!(v.iter().any(|m| m.contains("ledger does not balance")));

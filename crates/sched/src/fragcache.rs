@@ -1,0 +1,392 @@
+//! Fingerprint-keyed cross-job fragment cache.
+//!
+//! `tune`'s run cache memoises *whole trial runs* inside one tuning
+//! session, keyed by config fingerprint. This generalizes the idea
+//! across jobs and tenants: a **fragment** is the materialized, sealed
+//! output of a stage (the engines store the PR 7 `Sealed<B>` batches —
+//! digest + batch), keyed by everything that could change its bytes:
+//!
+//! - `plan` — fingerprint of the plan prefix that produced the stage
+//!   (which workload, which stage boundary);
+//! - `input` — the dataset seed the plan prefix consumed;
+//! - `config` — `EngineConfig::fingerprint()` (parallelism, buffers,
+//!   partitioner… all change routing and therefore bytes);
+//! - `faults` — `FaultConfig::fingerprint()`; two jobs under different
+//!   fault plans must **miss**, not alias, because injected corruption
+//!   and checksum seeds differ.
+//!
+//! The cache itself is engine-agnostic: it stores `Arc<dyn Any>` and
+//! never inspects payloads. **Trust stays with the reader** — engines
+//! re-verify the PR 7 checksum of every cached batch at reuse time and
+//! call [`FragmentCache::invalidate`] on mismatch, so a rotten cache
+//! entry degrades to a recompute, never a wrong answer.
+//!
+//! Capacity is byte-denominated with LRU eviction. An optional
+//! [`BytesLedger`] charges resident bytes against an external budget
+//! (the serve `MemoryBudget`), so cached fragments compete with
+//! admitted jobs for the same memory envelope.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// External byte accounting a cache can charge its residency against.
+///
+/// `flowmark-serve` implements this for `MemoryBudget`; tests use a
+/// plain atomic. Implementations must be cheap and lock-free-ish: the
+/// cache calls them while holding its own lock.
+pub trait BytesLedger: Send + Sync {
+    /// Try to reserve `bytes`; `false` means the budget refused.
+    fn try_reserve_bytes(&self, bytes: u64) -> bool;
+    /// Return `bytes` previously reserved.
+    fn release_bytes(&self, bytes: u64);
+}
+
+/// Identity of a cached fragment. Equal keys ⇒ byte-identical sealed
+/// stage output (given the engines' deterministic execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    /// Plan-prefix fingerprint (workload + stage boundary).
+    pub plan: u64,
+    /// Input dataset seed consumed by the prefix.
+    pub input: u64,
+    /// `EngineConfig::fingerprint()` of the producing job.
+    pub config: u64,
+    /// `FaultConfig::fingerprint()` of the producing job.
+    pub faults: u64,
+}
+
+struct Entry {
+    value: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    tick: u64,
+}
+
+struct CacheInner {
+    map: HashMap<FragmentKey, Entry>,
+    bytes_used: u64,
+    tick: u64,
+}
+
+/// Counter snapshot for reporting (see `repro soak --mix-concurrent`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FragmentCacheStats {
+    /// Lookups that found a fragment (before engine re-verification).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Fragments stored.
+    pub insertions: u64,
+    /// Fragments evicted to make room.
+    pub evictions: u64,
+    /// Fragments removed because re-verification failed.
+    pub invalidations: u64,
+    /// Resident fragment count.
+    pub entries: u64,
+    /// Resident bytes.
+    pub bytes_used: u64,
+}
+
+/// Byte-budgeted LRU cache of type-erased stage fragments.
+pub struct FragmentCache {
+    budget_bytes: u64,
+    ledger: Option<Arc<dyn BytesLedger>>,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FragmentCache {
+    /// A cache holding at most `budget_bytes` of fragment payload.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self::build(budget_bytes, None)
+    }
+
+    /// Like [`FragmentCache::new`], additionally charging resident
+    /// bytes against `ledger`. If the ledger refuses a reservation even
+    /// after the cache has evicted everything, the insert is skipped —
+    /// the cache never overdraws the shared budget.
+    pub fn with_ledger(budget_bytes: u64, ledger: Arc<dyn BytesLedger>) -> Self {
+        Self::build(budget_bytes, Some(ledger))
+    }
+
+    fn build(budget_bytes: u64, ledger: Option<Arc<dyn BytesLedger>>) -> Self {
+        FragmentCache {
+            budget_bytes,
+            ledger,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                bytes_used: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a fragment, refreshing its recency on hit. The caller
+    /// (an engine) must re-verify checksums before trusting the value.
+    pub fn get(&self, key: &FragmentKey) -> Option<Arc<dyn Any + Send + Sync>> {
+        let mut inner = lock_ignore_poison(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a fragment of `bytes` payload bytes, evicting LRU entries
+    /// until it fits the byte budget (and the ledger accepts the
+    /// charge). Returns the number of evictions performed. A fragment
+    /// larger than the whole budget is not cached.
+    pub fn insert(
+        &self,
+        key: FragmentKey,
+        value: Arc<dyn Any + Send + Sync>,
+        bytes: u64,
+    ) -> u64 {
+        if bytes > self.budget_bytes {
+            return 0;
+        }
+        let mut inner = lock_ignore_poison(&self.inner);
+        let mut evicted = 0;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes_used -= old.bytes;
+            self.release_ledger(old.bytes);
+        }
+        while inner.bytes_used + bytes > self.budget_bytes {
+            if !self.evict_lru(&mut inner) {
+                break;
+            }
+            evicted += 1;
+        }
+        if let Some(ledger) = &self.ledger {
+            while !ledger.try_reserve_bytes(bytes) {
+                if !self.evict_lru(&mut inner) {
+                    // Budget is contended by live jobs and the cache is
+                    // already empty: skip caching rather than overdraw.
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    return evicted;
+                }
+                evicted += 1;
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.bytes_used += bytes;
+        inner.map.insert(key, Entry { value, bytes, tick });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Remove every fragment and return the whole ledger reservation.
+    /// Not counted as evictions — clearing is a lifecycle event, not a
+    /// pressure signal.
+    pub fn clear(&self) {
+        let mut inner = lock_ignore_poison(&self.inner);
+        inner.map.clear();
+        let bytes = std::mem::take(&mut inner.bytes_used);
+        drop(inner);
+        self.release_ledger(bytes);
+    }
+
+    /// Drop a fragment whose re-verification failed.
+    pub fn invalidate(&self, key: &FragmentKey) {
+        let mut inner = lock_ignore_poison(&self.inner);
+        if let Some(entry) = inner.map.remove(key) {
+            inner.bytes_used -= entry.bytes;
+            self.release_ledger(entry.bytes);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Evict the least-recently-used entry; `false` if the cache is
+    /// empty.
+    fn evict_lru(&self, inner: &mut CacheInner) -> bool {
+        let victim = inner
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(k) => {
+                if let Some(entry) = inner.map.remove(&k) {
+                    inner.bytes_used -= entry.bytes;
+                    self.release_ledger(entry.bytes);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn release_ledger(&self, bytes: u64) {
+        if let Some(ledger) = &self.ledger {
+            ledger.release_bytes(bytes);
+        }
+    }
+}
+
+impl Drop for FragmentCache {
+    /// Return any outstanding reservation to the ledger so a cache that
+    /// dies with a shared `MemoryBudget` leaves it balanced.
+    fn drop(&mut self) {
+        let bytes = std::mem::take(&mut lock_ignore_poison(&self.inner).bytes_used);
+        self.release_ledger(bytes);
+    }
+}
+
+impl FragmentCache {
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> FragmentCacheStats {
+        let inner = lock_ignore_poison(&self.inner);
+        FragmentCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: inner.map.len() as u64,
+            bytes_used: inner.bytes_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> FragmentKey {
+        FragmentKey {
+            plan: n,
+            input: 1,
+            config: 2,
+            faults: 3,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_value_and_key_fields_all_discriminate() {
+        let cache = FragmentCache::new(1 << 20);
+        cache.insert(key(1), Arc::new(vec![1u64, 2, 3]), 24);
+        let got = cache.get(&key(1)).expect("hit");
+        let v = got.downcast_ref::<Vec<u64>>().expect("typed");
+        assert_eq!(v, &vec![1, 2, 3]);
+        for miss in [
+            FragmentKey { plan: 9, ..key(1) },
+            FragmentKey { input: 9, ..key(1) },
+            FragmentKey { config: 9, ..key(1) },
+            FragmentKey { faults: 9, ..key(1) },
+        ] {
+            assert!(cache.get(&miss).is_none(), "{miss:?} must miss");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 4));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let cache = FragmentCache::new(100);
+        cache.insert(key(1), Arc::new(1u8), 40);
+        cache.insert(key(2), Arc::new(2u8), 40);
+        cache.get(&key(1)); // refresh 1 → 2 is now LRU
+        let evicted = cache.insert(key(3), Arc::new(3u8), 40);
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU victim");
+        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.stats().bytes_used <= 100);
+    }
+
+    #[test]
+    fn oversized_fragment_is_not_cached() {
+        let cache = FragmentCache::new(10);
+        assert_eq!(cache.insert(key(1), Arc::new(0u8), 11), 0);
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let cache = FragmentCache::new(100);
+        cache.insert(key(1), Arc::new(0u8), 10);
+        cache.invalidate(&key(1));
+        assert!(cache.get(&key(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.bytes_used, 0);
+    }
+
+    #[test]
+    fn ledger_is_charged_and_released() {
+        struct Ledger {
+            used: AtomicU64,
+            cap: u64,
+        }
+        impl BytesLedger for Ledger {
+            fn try_reserve_bytes(&self, bytes: u64) -> bool {
+                let mut cur = self.used.load(Ordering::Relaxed);
+                loop {
+                    if cur + bytes > self.cap {
+                        return false;
+                    }
+                    match self.used.compare_exchange(
+                        cur,
+                        cur + bytes,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return true,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+            fn release_bytes(&self, bytes: u64) {
+                self.used.fetch_sub(bytes, Ordering::Relaxed);
+            }
+        }
+        let ledger = Arc::new(Ledger {
+            used: AtomicU64::new(0),
+            cap: 50,
+        });
+        let cache = FragmentCache::with_ledger(1 << 20, Arc::clone(&ledger) as Arc<dyn BytesLedger>);
+        cache.insert(key(1), Arc::new(0u8), 30);
+        assert_eq!(ledger.used.load(Ordering::Relaxed), 30);
+        // 30 resident + 30 requested > 50 cap → the cache evicts its own
+        // LRU entry to satisfy the ledger rather than overdrawing.
+        cache.insert(key(2), Arc::new(0u8), 30);
+        assert_eq!(ledger.used.load(Ordering::Relaxed), 30);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        // Ledger full with the cache empty → insert skipped.
+        ledger.used.store(45, Ordering::Relaxed);
+        cache.invalidate(&key(2));
+        assert_eq!(ledger.used.load(Ordering::Relaxed), 15);
+        let cache2 = FragmentCache::with_ledger(1 << 20, Arc::new(Ledger {
+            used: AtomicU64::new(50),
+            cap: 50,
+        }) as Arc<dyn BytesLedger>);
+        assert_eq!(cache2.insert(key(9), Arc::new(0u8), 10), 0);
+        assert_eq!(cache2.stats().entries, 0);
+    }
+}

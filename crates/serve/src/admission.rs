@@ -1,14 +1,27 @@
 //! Admission control: a byte-denominated memory budget plus a bounded
-//! FIFO queue, with explicit typed load shedding.
+//! multi-tenant queue with deficit-round-robin dequeue, with explicit
+//! typed load shedding.
 //!
 //! The budget is charged at admission (not at dequeue) so the queue can
 //! never hold more work than the service has memory to run — the same
 //! over-commit discipline §IV of the paper applies to executor memory,
 //! lifted to the job level. Every refusal is a typed [`Rejected`]; no
 //! submission is ever dropped silently.
+//!
+//! Dequeue order is **deficit round robin** over per-tenant lanes
+//! ([`FairQueue`]): each dequeue pass grants every backlogged, eligible
+//! lane `quantum_bytes × weight` of credit, and a lane's head job pops
+//! once its credit covers the job's byte cost. The construction is
+//! starvation-free: a backlogged lane's credit grows every pass, so its
+//! head is served within `⌈cost / (quantum × weight)⌉` passes no matter
+//! what the other tenants submit — a bound
+//! [`FairQueue::pop_with_rounds`] exposes for the property tests. One
+//! unbounded weight-1 lane reduces DRR to the old FIFO exactly.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use flowmark_core::config::{FairShareConfig, TenantSpec};
 
 use crate::job::Rejected;
 
@@ -38,16 +51,15 @@ impl MemoryBudget {
         self.used.load(Ordering::Acquire)
     }
 
-    /// Attempts to reserve `bytes`; on refusal reports how much was free.
-    pub fn try_reserve(&self, bytes: u64) -> Result<(), Rejected> {
+    /// Attempts to reserve `bytes`; on refusal reports how much was
+    /// free. The caller owns shaping the refusal into a typed
+    /// [`Rejected`] (which names the refused tenant).
+    pub fn try_reserve(&self, bytes: u64) -> Result<(), u64> {
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
             let available = self.capacity.saturating_sub(cur);
             if bytes > available {
-                return Err(Rejected::OverBudget {
-                    needed: bytes,
-                    available,
-                });
+                return Err(available);
             }
             match self.used.compare_exchange_weak(
                 cur,
@@ -69,52 +81,220 @@ impl MemoryBudget {
     }
 }
 
-/// A bounded FIFO of admitted-but-not-yet-running work. Pure data
-/// structure (no locking) so admission ordering is directly testable; the
-/// service wraps it in a mutex + condvar.
-#[derive(Debug)]
-pub struct BoundedQueue<T> {
-    items: VecDeque<T>,
-    capacity: usize,
+/// The serve budget doubles as the external ledger the cross-job
+/// fragment cache charges its residency against: cached fragments
+/// compete with admitted jobs for the same memory envelope.
+impl flowmark_sched::BytesLedger for MemoryBudget {
+    fn try_reserve_bytes(&self, bytes: u64) -> bool {
+        self.try_reserve(bytes).is_ok()
+    }
+
+    fn release_bytes(&self, bytes: u64) {
+        self.release(bytes);
+    }
 }
 
-impl<T> BoundedQueue<T> {
-    /// An empty queue holding at most `capacity` items.
-    pub fn new(capacity: usize) -> Self {
+/// One tenant's lane: its spec, backlog, DRR credit, and running count.
+struct Lane<T> {
+    spec: TenantSpec,
+    /// Backlogged jobs with their byte cost, FIFO within the lane.
+    items: VecDeque<(u64, T)>,
+    /// Accumulated DRR credit in bytes.
+    deficit: u64,
+    /// Whether the lane was already granted its quantum for the current
+    /// cursor arrival; cleared whenever the cursor advances past it, so
+    /// credit accrues exactly once per round-robin visit.
+    credited: bool,
+    /// Jobs of this tenant currently executing (the "core budget"); a
+    /// lane at `spec.max_in_flight` is skipped by the dequeue.
+    in_flight: usize,
+}
+
+/// Occupancy of one lane, for health snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneDepth {
+    /// Tenant identity.
+    pub tenant: u32,
+    /// Backlogged jobs.
+    pub queued: usize,
+    /// Currently executing jobs.
+    pub in_flight: usize,
+}
+
+/// A bounded multi-tenant queue with deficit-round-robin dequeue. Pure
+/// data structure (no locking) so scheduling order is directly
+/// testable; the service wraps it in a mutex + condvar.
+pub struct FairQueue<T> {
+    lanes: Vec<Lane<T>>,
+    quantum: u64,
+    capacity: usize,
+    len: usize,
+    /// Ring position the next dequeue pass starts from; advanced past
+    /// each served lane so visits rotate and every backlogged lane is
+    /// inspected at least once every `lanes.len()` pops.
+    cursor: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// An empty queue holding at most `capacity` jobs total, with one
+    /// lane per tenant of `fair` (assumed validated).
+    pub fn new(fair: &FairShareConfig, capacity: usize) -> Self {
         Self {
-            items: VecDeque::with_capacity(capacity),
+            lanes: fair
+                .tenants
+                .iter()
+                .map(|spec| Lane {
+                    spec: *spec,
+                    items: VecDeque::new(),
+                    deficit: 0,
+                    credited: false,
+                    in_flight: 0,
+                })
+                .collect(),
+            quantum: fair.quantum_bytes,
             capacity,
+            len: 0,
+            cursor: 0,
         }
     }
 
-    /// Current depth.
+    /// Total backlogged jobs across all lanes.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
-    /// Whether the queue is empty.
+    /// Whether no job is backlogged.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
-    /// Enqueues at the tail, or sheds with [`Rejected::QueueFull`].
-    pub fn push(&mut self, item: T) -> Result<(), Rejected> {
-        if self.items.len() >= self.capacity {
-            return Err(Rejected::QueueFull);
+    /// Whether the queue is at its global capacity.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Lane index serving `tenant`, if it is in the tenant table.
+    pub fn lane_of(&self, tenant: u32) -> Option<usize> {
+        self.lanes.iter().position(|l| l.spec.tenant == tenant)
+    }
+
+    /// Enqueues a job of byte cost `cost` at the tail of `lane`, or
+    /// sheds with [`Rejected::QueueFull`] when the global bound is hit.
+    pub fn push(&mut self, lane: usize, cost: u64, item: T) -> Result<(), Rejected> {
+        if self.is_full() {
+            return Err(Rejected::QueueFull {
+                tenant: self.lanes[lane].spec.tenant,
+            });
         }
-        self.items.push_back(item);
+        self.lanes[lane].items.push_back((cost, item));
+        self.len += 1;
         Ok(())
     }
 
-    /// Dequeues from the head — strict FIFO among admitted items.
-    pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+    /// Dequeues the next job under DRR, marking its lane in-flight.
+    /// `None` when nothing is backlogged *or* every backlogged lane is
+    /// at its in-flight cap (call again after [`FairQueue::job_finished`]).
+    pub fn pop(&mut self) -> Option<(usize, T)> {
+        self.pop_with_rounds().map(|(lane, item, _)| (lane, item))
+    }
+
+    /// [`FairQueue::pop`] exposing how many full lane passes the DRR
+    /// scan needed — classic packet-at-a-time DRR:
+    ///
+    /// * a lane earns `quantum × weight` once per cursor *arrival*
+    ///   (tracked by `credited`), not per inspection;
+    /// * a lane that pops and stays backlogged keeps the cursor and its
+    ///   remaining deficit, so it serves its whole grant as a burst
+    ///   before yielding — that is what makes long-run service
+    ///   proportional to weight;
+    /// * a lane that cannot afford its head yields the cursor and gets a
+    ///   fresh grant on the next arrival.
+    ///
+    /// Starvation-freedom bound the property tests assert: a pop never
+    /// needs more than `⌈max_cost / (quantum × min_weight)⌉ + 1` passes,
+    /// because every pass grants each backlogged eligible lane at least
+    /// `quantum × min_weight` credit.
+    pub fn pop_with_rounds(&mut self) -> Option<(usize, T, u64)> {
+        // Nothing can pop when every backlogged lane is at its in-flight
+        // cap; credit must not accrue while blocked, and eligibility
+        // cannot change inside this call.
+        if !self
+            .lanes
+            .iter()
+            .any(|l| !l.items.is_empty() && l.in_flight < l.spec.max_in_flight)
+        {
+            return None;
+        }
+        let n = self.lanes.len();
+        let mut visits = 0u64;
+        loop {
+            let i = self.cursor;
+            let lane = &mut self.lanes[i];
+            if lane.items.is_empty() || lane.in_flight >= lane.spec.max_in_flight {
+                lane.credited = false;
+                self.cursor = (i + 1) % n;
+                visits += 1;
+                continue;
+            }
+            if !lane.credited {
+                lane.credited = true;
+                lane.deficit = lane
+                    .deficit
+                    .saturating_add(self.quantum.saturating_mul(u64::from(lane.spec.weight)));
+            }
+            let head_cost = lane.items.front().map(|(c, _)| *c).unwrap_or(0);
+            if head_cost <= lane.deficit {
+                let (cost, item) = lane.items.pop_front()?;
+                lane.deficit -= cost;
+                lane.in_flight += 1;
+                self.len -= 1;
+                if lane.items.is_empty() {
+                    // Standard DRR: an idle lane banks no credit.
+                    lane.deficit = 0;
+                    lane.credited = false;
+                    self.cursor = (i + 1) % n;
+                }
+                // A still-backlogged lane keeps the cursor and its
+                // remaining (already-granted) deficit for the next pop.
+                return Some((i, item, visits / n as u64 + 1));
+            }
+            lane.credited = false;
+            self.cursor = (i + 1) % n;
+            visits += 1;
+        }
+    }
+
+    /// Records that a job dequeued from `lane` finished, freeing one
+    /// in-flight slot (which may make the lane eligible again).
+    pub fn job_finished(&mut self, lane: usize) {
+        let l = &mut self.lanes[lane];
+        assert!(l.in_flight > 0, "in-flight underflow for lane {lane}");
+        l.in_flight -= 1;
+    }
+
+    /// Per-lane occupancy for health snapshots.
+    pub fn depths(&self) -> Vec<LaneDepth> {
+        self.lanes
+            .iter()
+            .map(|l| LaneDepth {
+                tenant: l.spec.tenant,
+                queued: l.items.len(),
+                in_flight: l.in_flight,
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fair(tenants: Vec<TenantSpec>, quantum: u64) -> FairShareConfig {
+        FairShareConfig {
+            tenants,
+            quantum_bytes: quantum,
+        }
+    }
 
     #[test]
     fn budget_reserve_release_round_trips_to_zero() {
@@ -132,24 +312,91 @@ mod tests {
     fn over_budget_reports_availability() {
         let budget = MemoryBudget::new(10);
         budget.try_reserve(7).expect("fits");
-        match budget.try_reserve(5) {
-            Err(Rejected::OverBudget { needed, available }) => {
-                assert_eq!((needed, available), (5, 3));
-            }
-            other => panic!("expected OverBudget, got {other:?}"),
-        }
+        assert_eq!(budget.try_reserve(5), Err(3));
     }
 
     #[test]
-    fn queue_sheds_beyond_capacity_and_stays_fifo() {
-        let mut q = BoundedQueue::new(2);
-        assert!(q.push(1).is_ok());
-        assert!(q.push(2).is_ok());
-        assert_eq!(q.push(3), Err(Rejected::QueueFull));
-        assert_eq!(q.pop(), Some(1));
-        assert!(q.push(3).is_ok(), "shedding frees no slot, popping does");
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
+    fn single_unbounded_lane_is_fifo_and_bounded() {
+        let mut q = FairQueue::new(&FairShareConfig::default(), 2);
+        assert!(q.push(0, 1, 1).is_ok());
+        assert!(q.push(0, 1, 2).is_ok());
+        assert_eq!(q.push(0, 1, 3), Err(Rejected::QueueFull { tenant: 0 }));
+        assert_eq!(q.pop(), Some((0, 1)));
+        assert!(q.push(0, 1, 3).is_ok(), "shedding frees no slot, popping does");
+        assert_eq!(q.pop(), Some((0, 2)));
+        assert_eq!(q.pop(), Some((0, 3)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn weights_bias_the_dequeue_share() {
+        // Tenant 1 has weight 3, tenant 2 weight 1; with equal unit
+        // costs and a deep backlog, the first 8 pops split 6:2.
+        let specs = vec![
+            TenantSpec {
+                weight: 3,
+                ..TenantSpec::unbounded(1)
+            },
+            TenantSpec::unbounded(2),
+        ];
+        let mut q = FairQueue::new(&fair(specs, 1), 64);
+        let (a, b) = (q.lane_of(1).expect("lane"), q.lane_of(2).expect("lane"));
+        for i in 0..16 {
+            q.push(a, 3, format!("a{i}")).expect("fits");
+            q.push(b, 3, format!("b{i}")).expect("fits");
+        }
+        let mut share = [0usize; 2];
+        for _ in 0..8 {
+            let (lane, _) = q.pop().expect("backlogged");
+            share[lane] += 1;
+            q.job_finished(lane); // no cap pressure in this test
+        }
+        assert_eq!(share, [6, 2], "3:1 weights → 3:1 dequeue share");
+    }
+
+    #[test]
+    fn lane_at_in_flight_cap_is_skipped_until_a_job_finishes() {
+        let specs = vec![
+            TenantSpec {
+                max_in_flight: 1,
+                ..TenantSpec::unbounded(1)
+            },
+            TenantSpec::unbounded(2),
+        ];
+        let mut q = FairQueue::new(&fair(specs, 100), 64);
+        q.push(0, 1, "a0").expect("fits");
+        q.push(0, 1, "a1").expect("fits");
+        q.push(1, 1, "b0").expect("fits");
+        assert_eq!(q.pop(), Some((0, "a0")), "lane 0 first in ring order");
+        // Lane 0 is now at its cap: its second job must wait even
+        // though the lane has credit; lane 1 proceeds.
+        assert_eq!(q.pop(), Some((1, "b0")));
+        assert_eq!(q.pop(), None, "all backlogged lanes capped");
+        q.job_finished(0);
+        assert_eq!(q.pop(), Some((0, "a1")));
+    }
+
+    #[test]
+    fn expensive_job_waits_bounded_rounds_not_forever() {
+        // A 10-byte job on a quantum-1 weight-1 lane needs exactly 10
+        // passes of credit; cheap traffic on the other lane must not
+        // push that bound out.
+        let specs = vec![TenantSpec::unbounded(1), TenantSpec::unbounded(2)];
+        let mut q = FairQueue::new(&fair(specs, 1), 64);
+        q.push(0, 10, "fat".to_string()).expect("fits");
+        for i in 0..32 {
+            q.push(1, 1, format!("thin{i}")).expect("fits");
+        }
+        let mut pops = 0;
+        loop {
+            let (lane, _, rounds) = q.pop_with_rounds().expect("backlogged");
+            assert!(rounds <= 10, "bounded wait violated: {rounds} rounds");
+            pops += 1;
+            q.job_finished(lane);
+            if lane == 0 {
+                break;
+            }
+            assert!(pops <= 16, "fat job starved behind thin traffic");
+        }
     }
 }

@@ -6,9 +6,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::breaker::BreakerState;
 
+/// One tenant's slice of service state: lane occupancy plus cumulative
+/// per-tenant outcome counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantHealth {
+    /// Tenant identity (a lane of the service's `FairShareConfig`).
+    pub tenant: u32,
+    /// Jobs backlogged in this tenant's lane.
+    pub queued: usize,
+    /// Jobs of this tenant currently executing.
+    pub in_flight: usize,
+    /// Bytes of this tenant's own budget currently reserved.
+    pub budget_in_use_bytes: u64,
+    /// Submissions accepted into the lane.
+    pub admitted: u64,
+    /// Submissions shed (any typed `Rejected` naming this tenant).
+    pub rejected: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Cumulative microseconds this tenant's jobs spent queued before a
+    /// worker picked them up.
+    pub queue_wait_micros: u64,
+}
+
 /// Point-in-time service state: queue, budget, breakers, and the
 /// cumulative outcome counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HealthSnapshot {
     /// Jobs admitted but not yet started.
     pub queue_depth: usize,
@@ -39,6 +62,10 @@ pub struct HealthSnapshot {
     /// Submissions shed specifically by an open breaker (subset of
     /// `jobs_shed`).
     pub breaker_rejections: u64,
+    /// Per-tenant lane state, one entry per fair-share tenant. Defaults
+    /// to empty so pre-PR-8 snapshots still parse.
+    #[serde(default)]
+    pub tenants: Vec<TenantHealth>,
 }
 
 impl HealthSnapshot {
@@ -82,6 +109,12 @@ mod tests {
             jobs_cancelled: 0,
             job_retries: 4,
             breaker_rejections: 1,
+            tenants: vec![TenantHealth {
+                tenant: 7,
+                admitted: 5,
+                completed: 3,
+                ..TenantHealth::default()
+            }],
         }
     }
 
@@ -90,6 +123,23 @@ mod tests {
         let snap = snapshot();
         let json = serde_json::to_string(&snap).expect("serializes");
         let back: HealthSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn pre_tenant_snapshot_json_still_parses() {
+        let mut snap = snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let legacy = json.replace(
+            &format!(
+                ",\"tenants\":{}",
+                serde_json::to_string(&snap.tenants).expect("serializes")
+            ),
+            "",
+        );
+        assert!(!legacy.contains("tenants"), "field stripped: {legacy}");
+        let back: HealthSnapshot = serde_json::from_str(&legacy).expect("legacy parses");
+        snap.tenants.clear();
         assert_eq!(back, snap);
     }
 

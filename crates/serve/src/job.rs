@@ -22,6 +22,10 @@ pub type JobFn = Arc<dyn Fn(u32, &CancelToken) -> Result<(), String> + Send + Sy
 pub struct JobRequest {
     /// Human-readable label carried into reports.
     pub name: String,
+    /// Tenant this job bills against; must name a lane of the service's
+    /// `FairShareConfig`. The default tenant 0 is the single lane of
+    /// the default (FIFO-equivalent) policy.
+    pub tenant: u32,
     /// Which engine the job runs on (selects the circuit breaker).
     pub engine: Framework,
     /// The engine configuration the job will run under; its
@@ -45,12 +49,19 @@ impl JobRequest {
     ) -> Self {
         Self {
             name: name.into(),
+            tenant: 0,
             engine,
             config,
             deadline: None,
             retry_budget: None,
             run,
         }
+    }
+
+    /// The same request billed to `tenant`.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -59,30 +70,72 @@ impl JobRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rejected {
     /// The bounded job queue is full.
-    QueueFull,
+    QueueFull {
+        /// Tenant whose submission was shed.
+        tenant: u32,
+    },
     /// Admitting the job would overcommit the byte-denominated memory
-    /// budget.
+    /// budget — the service-wide one, or the named tenant's own.
     OverBudget {
+        /// Tenant whose submission was shed.
+        tenant: u32,
         /// Bytes the job's config would pin.
         needed: u64,
-        /// Bytes currently uncommitted.
+        /// Bytes currently uncommitted in the refusing budget.
         available: u64,
     },
     /// The target engine's circuit breaker is open.
-    BreakerOpen,
+    BreakerOpen {
+        /// Tenant whose submission was shed.
+        tenant: u32,
+    },
     /// The service is shutting down and no longer accepts work.
-    ShuttingDown,
+    ShuttingDown {
+        /// Tenant whose submission was shed.
+        tenant: u32,
+    },
+    /// The request names a tenant absent from the service's fair-share
+    /// tenant table.
+    UnknownTenant {
+        /// The unrecognized tenant id.
+        tenant: u32,
+    },
+}
+
+impl Rejected {
+    /// The tenant whose submission was refused.
+    pub fn tenant(&self) -> u32 {
+        match self {
+            Rejected::QueueFull { tenant }
+            | Rejected::OverBudget { tenant, .. }
+            | Rejected::BreakerOpen { tenant }
+            | Rejected::ShuttingDown { tenant }
+            | Rejected::UnknownTenant { tenant } => *tenant,
+        }
+    }
 }
 
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Rejected::QueueFull => write!(f, "queue full"),
-            Rejected::OverBudget { needed, available } => {
-                write!(f, "over budget (needed {needed} B, available {available} B)")
+            Rejected::QueueFull { tenant } => write!(f, "queue full (tenant {tenant})"),
+            Rejected::OverBudget {
+                tenant,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "over budget (tenant {tenant}, needed {needed} B, available {available} B)"
+                )
             }
-            Rejected::BreakerOpen => write!(f, "circuit breaker open"),
-            Rejected::ShuttingDown => write!(f, "service shutting down"),
+            Rejected::BreakerOpen { tenant } => {
+                write!(f, "circuit breaker open (tenant {tenant})")
+            }
+            Rejected::ShuttingDown { tenant } => {
+                write!(f, "service shutting down (tenant {tenant})")
+            }
+            Rejected::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
         }
     }
 }

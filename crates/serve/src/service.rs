@@ -20,12 +20,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use flowmark_core::config::{Framework, ServiceConfig};
+use flowmark_core::config::{FairShareConfig, Framework, ServiceConfig};
 use flowmark_engine::faults::{install_quiet_hook, CancelToken, JobCancelled};
 
-use crate::admission::{BoundedQueue, MemoryBudget};
+use crate::admission::{FairQueue, MemoryBudget};
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::health::HealthSnapshot;
+use crate::health::{HealthSnapshot, TenantHealth};
 use crate::job::{JobCell, JobHandle, JobRequest, Rejected, Resolution};
 use crate::retry::BackoffSchedule;
 
@@ -34,10 +34,14 @@ const WATCHDOG_SLICE: Duration = Duration::from_millis(2);
 
 struct QueuedJob {
     id: u64,
+    /// Lane index into the fair-share tenant table.
+    lane: usize,
     request: JobRequest,
     cell: Arc<JobCell>,
     /// Bytes reserved against the memory budget at admission.
     charge: u64,
+    /// When the job entered the queue (feeds per-tenant queue-wait).
+    enqueued: Instant,
 }
 
 #[derive(Default)]
@@ -52,12 +56,27 @@ struct OutcomeCounters {
     breaker_rejections: AtomicU64,
 }
 
+/// Per-tenant slice of the outcome counters, indexed by lane.
+#[derive(Default)]
+struct TenantCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    queue_wait_micros: AtomicU64,
+}
+
 struct ServiceInner {
     cfg: ServiceConfig,
+    fair: FairShareConfig,
     backoff: BackoffSchedule,
-    queue: Mutex<BoundedQueue<QueuedJob>>,
+    queue: Mutex<FairQueue<QueuedJob>>,
     queue_cv: Condvar,
-    budget: MemoryBudget,
+    /// Service-wide budget, shared with the fragment cache (the ledger
+    /// side of [`crate::admission::MemoryBudget`]).
+    budget: Arc<MemoryBudget>,
+    /// Per-tenant budgets, indexed by lane.
+    tenant_budgets: Vec<MemoryBudget>,
+    tenant_counters: Vec<TenantCounters>,
     spark_breaker: CircuitBreaker,
     flink_breaker: CircuitBreaker,
     in_flight: AtomicUsize,
@@ -75,12 +94,31 @@ impl ServiceInner {
         }
     }
 
-    fn lock_queue(&self) -> MutexGuard<'_, BoundedQueue<QueuedJob>> {
+    fn lock_queue(&self) -> MutexGuard<'_, FairQueue<QueuedJob>> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn snapshot(&self) -> HealthSnapshot {
-        let queue_depth = self.lock_queue().len();
+        let (queue_depth, depths) = {
+            let queue = self.lock_queue();
+            (queue.len(), queue.depths())
+        };
+        let tenants = depths
+            .into_iter()
+            .enumerate()
+            .map(|(lane, d)| TenantHealth {
+                tenant: d.tenant,
+                queued: d.queued,
+                in_flight: d.in_flight,
+                budget_in_use_bytes: self.tenant_budgets[lane].in_use(),
+                admitted: self.tenant_counters[lane].admitted.load(Ordering::Relaxed),
+                rejected: self.tenant_counters[lane].rejected.load(Ordering::Relaxed),
+                completed: self.tenant_counters[lane].completed.load(Ordering::Relaxed),
+                queue_wait_micros: self.tenant_counters[lane]
+                    .queue_wait_micros
+                    .load(Ordering::Relaxed),
+            })
+            .collect();
         HealthSnapshot {
             queue_depth,
             in_flight: self.in_flight.load(Ordering::Acquire),
@@ -96,6 +134,7 @@ impl ServiceInner {
             jobs_cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             job_retries: self.counters.retries.load(Ordering::Relaxed),
             breaker_rejections: self.counters.breaker_rejections.load(Ordering::Relaxed),
+            tenants,
         }
     }
 }
@@ -109,11 +148,19 @@ pub struct JobService {
 }
 
 impl JobService {
-    /// Starts the service: validates the config and spawns the worker
-    /// pool. Panics on a degenerate config (the same contract as the
-    /// engine constructors).
+    /// Starts the service with the default fair-share policy — one
+    /// unbounded tenant 0, which makes the DRR dequeue byte-for-byte
+    /// equivalent to the old FIFO queue.
     pub fn start(cfg: ServiceConfig) -> Self {
+        Self::start_fair(cfg, FairShareConfig::default())
+    }
+
+    /// Starts the service with an explicit fair-share tenant table:
+    /// validates both configs and spawns the worker pool. Panics on a
+    /// degenerate config (the same contract as the engine constructors).
+    pub fn start_fair(cfg: ServiceConfig, fair: FairShareConfig) -> Self {
         cfg.validate().expect("invalid service config");
+        fair.validate().expect("invalid fair-share config");
         // Job teardown unwinds with JobCancelled payloads; keep them off
         // stderr like injected faults.
         install_quiet_hook();
@@ -123,9 +170,15 @@ impl JobService {
                 Duration::from_millis(cfg.backoff_cap_ms),
                 cfg.seed,
             ),
-            queue: Mutex::new(BoundedQueue::new(cfg.queue_capacity)),
+            queue: Mutex::new(FairQueue::new(&fair, cfg.queue_capacity)),
             queue_cv: Condvar::new(),
-            budget: MemoryBudget::new(cfg.memory_budget_bytes),
+            budget: Arc::new(MemoryBudget::new(cfg.memory_budget_bytes)),
+            tenant_budgets: fair
+                .tenants
+                .iter()
+                .map(|t| MemoryBudget::new(t.memory_budget_bytes))
+                .collect(),
+            tenant_counters: fair.tenants.iter().map(|_| TenantCounters::default()).collect(),
             spark_breaker: CircuitBreaker::new(
                 cfg.breaker_threshold,
                 cfg.breaker_cooldown,
@@ -142,6 +195,7 @@ impl JobService {
             next_job: AtomicU64::new(0),
             counters: OutcomeCounters::default(),
             cfg,
+            fair,
         });
         let workers = (0..inner.cfg.workers)
             .map(|_| {
@@ -153,12 +207,20 @@ impl JobService {
     }
 
     /// Submits a job. A rejection is an explicit, typed shed — the job
-    /// never entered the queue and holds no budget.
+    /// never entered the queue and holds no budget. Every refusal names
+    /// the tenant it was billed against.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, Rejected> {
         let inner = &self.inner;
+        let tenant = request.tenant;
+        let lane = inner.fair.tenants.iter().position(|t| t.tenant == tenant);
         let shed = |why: Rejected| {
             inner.counters.shed.fetch_add(1, Ordering::Relaxed);
-            if why == Rejected::BreakerOpen {
+            if let Some(lane) = lane {
+                inner.tenant_counters[lane]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(why, Rejected::BreakerOpen { .. }) {
                 inner
                     .counters
                     .breaker_rejections
@@ -166,42 +228,71 @@ impl JobService {
             }
             Err(why)
         };
+        let Some(lane_idx) = lane else {
+            return shed(Rejected::UnknownTenant { tenant });
+        };
         if !inner.accepting.load(Ordering::Acquire) {
-            return shed(Rejected::ShuttingDown);
+            return shed(Rejected::ShuttingDown { tenant });
         }
         let charge = request.config.memory_footprint_bytes();
-        // Queue bound, budget and breaker are checked under the queue
+        // Queue bound, budgets and breaker are checked under the queue
         // lock: a successful breaker probe admission is always followed by
-        // a real enqueue, and FIFO order among admitted jobs is the lock
-        // acquisition order.
+        // a real enqueue, and admission order is the lock acquisition
+        // order.
         let mut queue = inner.lock_queue();
-        if queue.len() >= inner.cfg.queue_capacity {
+        if queue.is_full() {
             drop(queue);
-            return shed(Rejected::QueueFull);
+            return shed(Rejected::QueueFull { tenant });
         }
-        if let Err(why) = inner.budget.try_reserve(charge) {
+        if let Err(available) = inner.budget.try_reserve(charge) {
             drop(queue);
-            return shed(why);
+            return shed(Rejected::OverBudget {
+                tenant,
+                needed: charge,
+                available,
+            });
         }
-        if !inner.breaker(request.engine).admit() {
+        if let Err(available) = inner.tenant_budgets[lane_idx].try_reserve(charge) {
             inner.budget.release(charge);
             drop(queue);
-            return shed(Rejected::BreakerOpen);
+            return shed(Rejected::OverBudget {
+                tenant,
+                needed: charge,
+                available,
+            });
+        }
+        if !inner.breaker(request.engine).admit() {
+            inner.tenant_budgets[lane_idx].release(charge);
+            inner.budget.release(charge);
+            drop(queue);
+            return shed(Rejected::BreakerOpen { tenant });
         }
         let cell = Arc::new(JobCell::new(CancelToken::new()));
         let job = QueuedJob {
             id: inner.next_job.fetch_add(1, Ordering::Relaxed),
+            lane: lane_idx,
             request,
             cell: Arc::clone(&cell),
             charge,
+            enqueued: Instant::now(),
         };
         queue
-            .push(job)
+            .push(lane_idx, charge, job)
             .expect("capacity was checked under this lock");
         drop(queue);
         inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.tenant_counters[lane_idx]
+            .admitted
+            .fetch_add(1, Ordering::Relaxed);
         inner.queue_cv.notify_one();
         Ok(JobHandle { cell })
+    }
+
+    /// The service-wide memory budget. The soak harness hands this to
+    /// `FragmentCache::with_ledger` so cached fragments are charged
+    /// against the same envelope admitted jobs reserve from.
+    pub fn budget(&self) -> Arc<MemoryBudget> {
+        Arc::clone(&self.inner.budget)
     }
 
     /// Current health/readiness snapshot.
@@ -239,7 +330,11 @@ fn worker_loop(inner: &ServiceInner) {
         let job = {
             let mut queue = inner.lock_queue();
             loop {
-                if let Some(job) = queue.pop() {
+                // DRR dequeue; `None` covers both "no backlog" and
+                // "every backlogged lane is at its in-flight cap" — in
+                // either case the completion notify re-runs the pop.
+                if let Some((lane, job)) = queue.pop() {
+                    debug_assert_eq!(lane, job.lane);
                     // Claim in-flight status under the lock so a drain
                     // waiter never observes "queue empty, nothing running"
                     // while a job is in hand-off.
@@ -255,21 +350,33 @@ fn worker_loop(inner: &ServiceInner) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        let waited = job.enqueued.elapsed();
+        inner.tenant_counters[job.lane]
+            .queue_wait_micros
+            .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
         let resolution = execute(inner, &job);
         settle_breaker(inner.breaker(job.request.engine), &resolution);
         let counter = match &resolution {
-            Resolution::Completed { .. } => &inner.counters.completed,
+            Resolution::Completed { .. } => {
+                inner.tenant_counters[job.lane]
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
+                &inner.counters.completed
+            }
             Resolution::Failed { .. } => &inner.counters.failed,
             Resolution::TimedOut => &inner.counters.timed_out,
             Resolution::Cancelled => &inner.counters.cancelled,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        inner.tenant_budgets[job.lane].release(job.charge);
         inner.budget.release(job.charge);
         job.cell.resolve(resolution);
         inner.in_flight.fetch_sub(1, Ordering::AcqRel);
-        // Lock-then-notify so a drain waiter between its condition check
-        // and its wait cannot miss this wakeup.
-        drop(inner.lock_queue());
+        // Free the lane's in-flight slot under the lock, then notify:
+        // a drain waiter between its condition check and its wait
+        // cannot miss this wakeup, and a worker parked on a capped lane
+        // re-runs its pop against the freed slot.
+        inner.lock_queue().job_finished(job.lane);
         inner.queue_cv.notify_all();
     }
 }

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod calibration;
 pub mod cluster;

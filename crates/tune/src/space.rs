@@ -125,6 +125,7 @@ impl ParamSpace {
             combine_enabled: self.combine_enabled[0],
             partitioner: self.partitioner[0],
             cache_bytes: self.cache_bytes[0],
+            executor: Default::default(),
         }
     }
 
@@ -146,6 +147,7 @@ impl ParamSpace {
                                         combine_enabled,
                                         partitioner,
                                         cache_bytes,
+                                        executor: Default::default(),
                                     });
                                 }
                             }
@@ -171,6 +173,7 @@ impl ParamSpace {
             combine_enabled: pick(rng, &self.combine_enabled),
             partitioner: pick(rng, &self.partitioner),
             cache_bytes: pick(rng, &self.cache_bytes),
+            executor: Default::default(),
         }
     }
 

@@ -1,0 +1,46 @@
+//! Smoke test for `repro soak --mix-concurrent`: a small A/B drill must
+//! satisfy every structural invariant — all jobs oracle-verified in both
+//! passes, at least one task steal and one checksum-verified fragment
+//! hit in the fair pass, all seeded tenants served — and the report must
+//! survive a JSON round trip. The throughput gate is not asserted at
+//! smoke scale (timing under CI load is not a correctness claim).
+
+use flowmark_harness::mix::{self, MixReport, MixScale};
+
+#[test]
+fn mix_concurrent_smoke_holds_every_structural_invariant() {
+    let report = mix::run_mix(1, MixScale::smoke());
+    let violations = report.violations(0.0);
+    assert!(
+        violations.is_empty(),
+        "mix-concurrent violations:\n{}",
+        violations.join("\n")
+    );
+
+    // Both passes drained the same workload list.
+    assert_eq!(report.baseline.jobs, report.fair.jobs);
+    assert_eq!(report.baseline.completed, report.fair.completed);
+
+    // The fair pass exercised the new machinery.
+    assert!(report.fair.tasks_stolen >= 1);
+    assert!(report.fair.fragment_cache_hits >= 1);
+    assert!(report.cache.insertions >= 1);
+    assert_eq!(report.cache.invalidations, 0);
+    // Per-tenant ledgers balance against the pass total.
+    let admitted: u64 = report.fair.health.tenants.iter().map(|t| t.admitted).sum();
+    let completed: u64 = report.fair.health.tenants.iter().map(|t| t.completed).sum();
+    assert_eq!(admitted, report.fair.jobs as u64);
+    assert_eq!(completed, report.fair.completed);
+
+    // The baseline pass never touched tenant machinery beyond lane 0.
+    assert_eq!(report.baseline.health.tenants.len(), 1);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: MixReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(back.jobs, report.jobs);
+    assert_eq!(back.fair.fragment_cache_hits, report.fair.fragment_cache_hits);
+
+    let rendered = mix::render(&report);
+    assert!(rendered.contains("speedup"));
+    assert!(rendered.contains("fair-shared-pool"));
+}

@@ -564,33 +564,40 @@ proptest! {
         prop_assert!(d1 <= mk().envelope(retry));
     }
 
-    /// The bounded admission queue preserves FIFO order among admitted
-    /// items under arbitrary push/pop interleavings: pops always observe
-    /// admitted (non-shed) items in admission order.
+    /// The fair queue under the default policy — one unbounded tenant —
+    /// preserves FIFO order among admitted items under arbitrary
+    /// push/pop interleavings: the DRR degenerate case the service
+    /// relies on for backward compatibility with the old bounded queue.
     #[test]
     fn admission_queue_is_fifo_among_admitted(
         capacity in 1usize..8,
         ops in prop::collection::vec(any::<bool>(), 1..100),
     ) {
-        let mut queue = flowmark_serve::admission::BoundedQueue::new(capacity);
+        let fair = flowmark_core::config::FairShareConfig::default();
+        let mut queue = flowmark_serve::FairQueue::new(&fair, capacity);
         let mut admitted = std::collections::VecDeque::new();
         let mut next = 0u32;
         for push in ops {
             if push {
-                match queue.push(next) {
+                match queue.push(0, 1, next) {
                     Ok(()) => admitted.push_back(next),
-                    Err(flowmark_serve::Rejected::QueueFull) => {
+                    Err(flowmark_serve::Rejected::QueueFull { tenant: 0 }) => {
                         prop_assert_eq!(queue.len(), capacity, "shed only when full");
                     }
                     Err(other) => prop_assert!(false, "unexpected rejection {:?}", other),
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(queue.pop(), admitted.pop_front());
+                let popped = queue.pop();
+                if let Some((lane, _)) = popped {
+                    queue.job_finished(lane);
+                }
+                prop_assert_eq!(popped.map(|(_, item)| item), admitted.pop_front());
             }
         }
         // Drain: the remainder still comes out in admission order.
-        while let Some(item) = queue.pop() {
+        while let Some((lane, item)) = queue.pop() {
+            queue.job_finished(lane);
             prop_assert_eq!(Some(item), admitted.pop_front());
         }
         prop_assert!(admitted.is_empty());
