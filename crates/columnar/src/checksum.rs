@@ -142,6 +142,12 @@ impl Xxh64 {
         }
     }
 
+    /// Bytes hashed so far — lets checkpoint writers account snapshot
+    /// sizes from the same pass that seals them.
+    pub fn bytes_written(&self) -> u64 {
+        self.total
+    }
+
     /// Finalises the digest: pads the tail lane, folds in the total length
     /// (so `"ab"` and `"ab\0"` differ), then avalanches.
     pub fn finish(mut self) -> u64 {

@@ -15,13 +15,16 @@
 //!   10-byte keys (range-partitioner interaction);
 //! - [`points`] — Gaussian clusters in 2-D (K-Means convergence structure);
 //! - [`graph`] — R-MAT power-law graphs with presets matching Table IV's
-//!   node/edge counts and sizes.
+//!   node/edge counts and sizes;
+//! - [`nexmark`] — Nexmark-style auction streams (persons / auctions /
+//!   bids with logical event times) for the streaming workload family.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod graph;
+pub mod nexmark;
 pub mod points;
 pub mod terasort;
 pub mod text;

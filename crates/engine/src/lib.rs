@@ -50,4 +50,8 @@ pub use metrics::{EngineMetrics, MetricsSnapshot, RecoverySnapshot};
 pub use runtime::{CachedStage, FragmentHandle};
 pub use shuffle::ShuffleBatch;
 pub use spark::{Rdd, SparkContext};
-pub use streaming::{run_continuous, run_micro_batch, StreamStats};
+pub use streaming::{
+    run_continuous, run_continuous_checkpointed, run_micro_batch, run_micro_batch_checkpointed,
+    shuffle_bounded, SourceConfig, StreamEvent, StreamJobConfig, StreamOperator, StreamRunResult,
+    StreamSource, StreamStats, WindowAssigner, WindowResult, WindowedAggregate,
+};

@@ -40,6 +40,10 @@ struct Counters {
     queue_wait_tasks: AtomicU64,
     fragment_cache_hits: AtomicU64,
     fragment_cache_evictions: AtomicU64,
+    // Streaming section (engine::streaming): event-time behaviour.
+    watermark_lag_events: AtomicU64,
+    windows_emitted: AtomicU64,
+    late_events_dropped: AtomicU64,
     // Recovery section (engine::faults): what failure injection cost the run.
     injected_failures: AtomicU64,
     injected_stragglers: AtomicU64,
@@ -57,6 +61,7 @@ struct Counters {
     corruptions_detected: AtomicU64,
     integrity_recomputes: AtomicU64,
     checkpoints_rejected: AtomicU64,
+    stream_checkpoints_restored: AtomicU64,
 }
 
 /// Point-in-time copy of *every* counter, serializable so tune/chaos/bench
@@ -130,6 +135,20 @@ pub struct MetricsSnapshot {
     /// `default` keeps pre-existing artifacts parseable.
     #[serde(default)]
     pub fragment_cache_evictions: u64,
+    /// Streaming events that arrived behind their task's event-time
+    /// frontier (out-of-order but not yet late); `default` keeps
+    /// pre-existing artifacts parseable.
+    #[serde(default)]
+    pub watermark_lag_events: u64,
+    /// Window results fired by watermark advances across all streaming
+    /// tasks; `default` keeps pre-existing artifacts parseable.
+    #[serde(default)]
+    pub windows_emitted: u64,
+    /// Streaming events dropped because they arrived behind the
+    /// watermark (older than the allowance permits); `default` keeps
+    /// pre-existing artifacts parseable.
+    #[serde(default)]
+    pub late_events_dropped: u64,
     /// Recovery counters (fault injection and its repair costs).
     pub recovery: RecoverySnapshot,
 }
@@ -184,6 +203,11 @@ pub struct RecoverySnapshot {
     /// `default` keeps pre-existing JSON artifacts parseable.
     #[serde(default)]
     pub checkpoints_rejected: u64,
+    /// Streaming tasks restored from a digest-verified checkpoint
+    /// snapshot after a region restart; `default` keeps pre-existing
+    /// JSON artifacts parseable.
+    #[serde(default)]
+    pub stream_checkpoints_restored: u64,
 }
 
 macro_rules! counter_api {
@@ -229,6 +253,9 @@ impl EngineMetrics {
         queue_wait_tasks => add_queue_wait_tasks, queue_wait_tasks;
         fragment_cache_hits => add_fragment_cache_hits, fragment_cache_hits;
         fragment_cache_evictions => add_fragment_cache_evictions, fragment_cache_evictions;
+        watermark_lag_events => add_watermark_lag_events, watermark_lag_events;
+        windows_emitted => add_windows_emitted, windows_emitted;
+        late_events_dropped => add_late_events_dropped, late_events_dropped;
         injected_failures => add_injected_failures, injected_failures;
         injected_stragglers => add_injected_stragglers, injected_stragglers;
         task_retries => add_task_retries, task_retries;
@@ -245,6 +272,7 @@ impl EngineMetrics {
         corruptions_detected => add_corruptions_detected, corruptions_detected;
         integrity_recomputes => add_integrity_recomputes, integrity_recomputes;
         checkpoints_rejected => add_checkpoints_rejected, checkpoints_rejected;
+        stream_checkpoints_restored => add_stream_checkpoints_restored, stream_checkpoints_restored;
     }
 
     /// Copies every counter out as one serializable struct.
@@ -271,6 +299,9 @@ impl EngineMetrics {
             queue_wait_tasks: self.queue_wait_tasks(),
             fragment_cache_hits: self.fragment_cache_hits(),
             fragment_cache_evictions: self.fragment_cache_evictions(),
+            watermark_lag_events: self.watermark_lag_events(),
+            windows_emitted: self.windows_emitted(),
+            late_events_dropped: self.late_events_dropped(),
             recovery: self.recovery(),
         }
     }
@@ -294,6 +325,7 @@ impl EngineMetrics {
             corruptions_detected: self.corruptions_detected(),
             integrity_recomputes: self.integrity_recomputes(),
             checkpoints_rejected: self.checkpoints_rejected(),
+            stream_checkpoints_restored: self.stream_checkpoints_restored(),
         }
     }
 

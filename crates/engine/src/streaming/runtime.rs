@@ -1,0 +1,1128 @@
+//! Checkpointed streaming runtimes: exactly-once under chaos.
+//!
+//! Two runtimes execute the same `(source, operator)` job:
+//!
+//! - [`run_continuous_checkpointed`] — record-at-a-time. A source thread
+//!   routes events to `parallelism` task threads over bounded channels
+//!   and broadcasts `Watermark` / `Barrier` control messages at fixed
+//!   stream positions (the `flink::Msg::Barrier` pattern). Tasks
+//!   snapshot operator state when a barrier arrives — sealed with an
+//!   xxHash64 digest under the fault plan's checksum seed — and forward
+//!   the barrier to a transactional sink.
+//! - [`run_micro_batch_checkpointed`] — discretized: the driver
+//!   processes events sequentially and treats every checkpoint interval
+//!   as one batch, checkpointing at batch boundaries.
+//!
+//! Because watermarks and barriers are assigned by *position in the
+//! global event order* (never by wall clock), the two runtimes commit
+//! byte-identical output sequences — one deterministic oracle verifies
+//! both.
+//!
+//! ## Failure and recovery
+//!
+//! Faults arrive through the [`FaultPlan`]: seeded kills and stragglers
+//! per `(stage, partition, attempt)`, plus checkpoint rot injected at
+//! *read* time. On any task/source/sink panic the attempt tears down
+//! (first panic wins, siblings drain cooperatively), and the job
+//! restarts from the newest complete checkpoint whose every per-task
+//! digest still verifies — rotten snapshots are rejected
+//! (`checkpoints_rejected`, `corruptions_detected`) and the walk
+//! continues downward. The source then replays the stream from index
+//! zero, silently skipping the restored prefix; the sink refuses to
+//! commit any epoch at or below the last committed one, so replayed
+//! results are suppressed and every window result is emitted exactly
+//! once.
+//!
+//! A **bootstrap barrier** (`Barrier(start)`) precedes the first event
+//! of every attempt, so a complete, digest-sealed checkpoint exists
+//! before any fault can fire — recovery always has a floor to stand on.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use flowmark_columnar::checksum::Xxh64;
+
+use crate::faults::{check_cancelled, CancelToken, FaultPlan, JobCancelled, StreamFault};
+use crate::metrics::EngineMetrics;
+
+use super::source::{SourceConfig, StreamSource};
+use super::window::StreamOperator;
+
+/// Checkpoint interval (events per epoch) when the fault plan does not
+/// set `checkpoint_interval_records`.
+const DEFAULT_INTERVAL: u64 = 64;
+/// Poll slice for cooperative receive loops (checks the shared failure
+/// flag between waits).
+const POLL: Duration = Duration::from_millis(2);
+
+/// Deployment shape of a streaming job.
+#[derive(Debug, Clone)]
+pub struct StreamJobConfig {
+    /// Task parallelism (≥ 1). Events are routed by `route(payload) %
+    /// parallelism`.
+    pub parallelism: usize,
+    /// Bounded channel capacity per task (continuous runtime only).
+    pub channel_capacity: usize,
+    /// Base stage id for fault addressing: the source is `stage`, tasks
+    /// are `stage + 1`.
+    pub stage: u64,
+    /// Watermark-lag gauge (`frontier − watermark`, in ticks), updated
+    /// at every watermark decision — the serve layer's liveness SLO
+    /// polls this.
+    pub lag_gauge: Option<Arc<AtomicU64>>,
+}
+
+impl Default for StreamJobConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: 2,
+            channel_capacity: 256,
+            stage: 900,
+            lag_gauge: None,
+        }
+    }
+}
+
+/// What a streaming run committed.
+#[derive(Debug, Clone)]
+pub struct StreamRunResult<Out> {
+    /// Every committed output, tagged with the epoch that committed it,
+    /// in commit order (epoch, then partition, then generation order).
+    /// Deterministic: identical across runtimes and across replays.
+    pub committed: Vec<(u64, Out)>,
+    /// Highest committed epoch.
+    pub epochs_committed: u64,
+}
+
+/// One task's sealed checkpoint snapshot.
+struct TaskSnapshot<S> {
+    state: S,
+    watermark: u64,
+    frontier: u64,
+    digest: u64,
+}
+
+/// Checkpoint store: `ckpt id → per-task snapshot slots`. A checkpoint
+/// is complete when every slot is filled.
+type Store<S> = BTreeMap<u64, Vec<Option<TaskSnapshot<S>>>>;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Seals a snapshot: digest over `(ckpt, partition, watermark,
+/// frontier, state)` under the plan's checksum seed. Returns the digest
+/// and the number of bytes hashed.
+fn seal<Op: StreamOperator>(
+    seed: u64,
+    ckpt: u64,
+    part: usize,
+    watermark: u64,
+    frontier: u64,
+    state: &Op::State,
+) -> (u64, u64) {
+    let mut h = Xxh64::new(seed);
+    h.write_u64(ckpt);
+    h.write_u64(part as u64);
+    h.write_u64(watermark);
+    h.write_u64(frontier);
+    Op::write_state(state, &mut h);
+    let bytes = h.bytes_written();
+    (h.finish(), bytes)
+}
+
+/// Stores one task's snapshot for checkpoint `ckpt`.
+fn snapshot_task<Op: StreamOperator>(
+    store: &Mutex<Store<Op::State>>,
+    metrics: &EngineMetrics,
+    seed: u64,
+    parts: usize,
+    ckpt: u64,
+    part: usize,
+    watermark: u64,
+    frontier: u64,
+    state: Op::State,
+) {
+    let (digest, bytes) = seal::<Op>(seed, ckpt, part, watermark, frontier, &state);
+    metrics.add_checkpoint_bytes(bytes);
+    metrics.add_batches_checksummed(1);
+    let mut g = lock(store);
+    let slots = g.entry(ckpt).or_insert_with(|| {
+        let mut v = Vec::new();
+        v.resize_with(parts, || None);
+        v
+    });
+    slots[part] = Some(TaskSnapshot {
+        state,
+        watermark,
+        frontier,
+        digest,
+    });
+}
+
+/// Re-digests a stored snapshot, applying the plan's read-time rot
+/// decision to the *stored* digest (rot models bytes decaying at rest —
+/// it is injected when the snapshot is read back, and detected because
+/// the recomputed digest no longer matches).
+fn snapshot_rotten<Op: StreamOperator>(
+    snaps: &[Option<TaskSnapshot<Op::State>>],
+    plan: &FaultPlan,
+    stage: u64,
+    seed: u64,
+    ckpt: u64,
+    attempt: u32,
+) -> bool {
+    for (p, slot) in snaps.iter().enumerate() {
+        let Some(s) = slot.as_ref() else {
+            return true;
+        };
+        let mut stored = s.digest;
+        if plan.checkpoint_rot_decision(stage, p, ckpt, attempt) {
+            stored ^= 1 << (p as u64 % 63);
+        }
+        let (recomputed, _) = seal::<Op>(seed, ckpt, p, s.watermark, s.frontier, &s.state);
+        if recomputed != stored {
+            return true;
+        }
+    }
+    false
+}
+
+/// Background integrity scrub, run whenever checkpoint `completed`
+/// finishes: re-verify the previous complete checkpoint and evict it if
+/// its digests no longer match. This is what guarantees an armed
+/// corruption budget fires even when the kill lands before any restore
+/// walk happens.
+fn scrub_previous<Op: StreamOperator>(
+    store: &Mutex<Store<Op::State>>,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stage: u64,
+    seed: u64,
+    attempt: u32,
+    completed: u64,
+) {
+    if !plan.active() {
+        return;
+    }
+    let mut g = lock(store);
+    let Some(&prev) = g.range(..completed).next_back().map(|(k, _)| k) else {
+        return;
+    };
+    let Some(snaps) = g.get(&prev) else { return };
+    if snaps.iter().any(Option::is_none) {
+        return;
+    }
+    metrics.add_integrity_recomputes(1);
+    if snapshot_rotten::<Op>(snaps, plan, stage, seed, prev, attempt) {
+        metrics.add_corruptions_detected(1);
+        metrics.add_checkpoints_rejected(1);
+        g.remove(&prev);
+    }
+}
+
+/// Picks the newest complete checkpoint whose digests all verify,
+/// evicting incomplete and rotten candidates along the way. `None`
+/// means no clean checkpoint survives — restart from scratch.
+///
+/// Candidates newer than `committed_floor` (the sink's last committed
+/// epoch) are discarded too: tasks snapshot barrier `k` *before* the
+/// sink has gathered every barrier `k` and committed the epoch, so a
+/// failure in that window leaves a complete, clean snapshot whose
+/// outputs were never committed. Restoring from it would skip the
+/// replay that regenerates them — silent data loss. Replay from the
+/// committed floor recreates both the snapshot and the outputs.
+fn select_restore_point<Op: StreamOperator>(
+    store: &Mutex<Store<Op::State>>,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stage: u64,
+    seed: u64,
+    attempt: u32,
+    committed_floor: u64,
+) -> Option<u64> {
+    let mut g = lock(store);
+    loop {
+        let k = *g.keys().next_back()?;
+        if k > committed_floor {
+            g.remove(&k);
+            continue;
+        }
+        let torn = g
+            .get(&k)
+            .map(|snaps| snaps.iter().any(Option::is_none))
+            .unwrap_or(true);
+        if torn {
+            // A barrier some task never reached — a torn checkpoint, not
+            // a corruption.
+            g.remove(&k);
+            continue;
+        }
+        metrics.add_integrity_recomputes(1);
+        let rotten = g
+            .get(&k)
+            .map(|snaps| snapshot_rotten::<Op>(snaps, plan, stage, seed, k, attempt))
+            .unwrap_or(true);
+        if rotten {
+            metrics.add_corruptions_detected(1);
+            metrics.add_checkpoints_rejected(1);
+            g.remove(&k);
+            continue;
+        }
+        return Some(k);
+    }
+}
+
+/// Appends epoch `k`'s buffered outputs to the committed log — unless
+/// `k` is at or below the last committed epoch (a replayed prefix after
+/// recovery), in which case the regenerated outputs are suppressed.
+fn commit_epoch<Out>(
+    k: u64,
+    pending: &mut BTreeMap<u64, Vec<Vec<Out>>>,
+    committed: &Mutex<Vec<(u64, Out)>>,
+    last_committed: &AtomicU64,
+    metrics: &EngineMetrics,
+) {
+    let outs = pending.remove(&k).unwrap_or_default();
+    let mut log = lock(committed);
+    if k > last_committed.load(Ordering::Acquire) {
+        for part_outs in outs {
+            for o in part_outs {
+                log.push((k, o));
+            }
+        }
+        last_committed.store(k, Ordering::Release);
+        metrics.add_checkpoints_taken(1);
+    }
+}
+
+fn remember_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+    let mut g = lock(slot);
+    if g.is_none() {
+        *g = Some(payload);
+    }
+}
+
+/// Cooperative bounded send: spins (with a backpressure count on first
+/// block) until delivered, the attempt fails, or the receiver is gone.
+fn send_coop<M>(tx: &Sender<M>, msg: M, failed: &AtomicBool, metrics: &EngineMetrics) -> bool {
+    let mut msg = msg;
+    let mut blocked = false;
+    loop {
+        if failed.load(Ordering::Acquire) {
+            return false;
+        }
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(m)) => {
+                if !blocked {
+                    blocked = true;
+                    metrics.add_backpressure_waits(1);
+                }
+                msg = m;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// Cooperative receive: `None` once the attempt failed or the channel
+/// closed.
+fn recv_coop<M>(rx: &Receiver<M>, failed: &AtomicBool) -> Option<M> {
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(m) => return Some(m),
+            Err(RecvTimeoutError::Timeout) => {
+                if failed.load(Ordering::Acquire) {
+                    return None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// Control-plane messages on a task's input channel.
+enum TaskMsg<T> {
+    Event(super::StreamEvent<T>),
+    Watermark(u64),
+    Barrier(u64),
+    Done,
+}
+
+/// Messages into the transactional sink, tagged with the producing
+/// partition.
+enum SinkMsg<Out> {
+    Item(usize, Out),
+    Barrier(usize, u64),
+    Done(usize),
+}
+
+fn stalled(cfg: &SourceConfig, emitted: u64) -> bool {
+    cfg.stall_watermark_after.is_some_and(|cut| emitted > cut)
+}
+
+/// Classifies a recovery step shared by both runtimes: rethrows
+/// cancellations and exhausted attempts, otherwise picks the restore
+/// point and backs off.
+#[allow(clippy::too_many_arguments)]
+fn recover_or_rethrow<Op: StreamOperator>(
+    payload: Box<dyn Any + Send>,
+    attempt: &mut u32,
+    max_attempts: u32,
+    store: &Mutex<Store<Op::State>>,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    stage_op: u64,
+    seed: u64,
+    cancel: &CancelToken,
+    committed_floor: u64,
+) -> Option<u64> {
+    if payload.downcast_ref::<JobCancelled>().is_some() {
+        resume_unwind(payload);
+    }
+    let failed_attempt = *attempt;
+    *attempt += 1;
+    if *attempt >= max_attempts {
+        resume_unwind(payload);
+    }
+    metrics.add_task_retries(1);
+    metrics.add_region_restarts(1);
+    let restore = select_restore_point::<Op>(
+        store,
+        plan,
+        metrics,
+        stage_op,
+        seed,
+        failed_attempt,
+        committed_floor,
+    );
+    cancel.sleep(plan.backoff(*attempt));
+    restore
+}
+
+/// Runs a streaming job record-at-a-time with channel-aligned
+/// checkpoints: source thread → `parallelism` task threads →
+/// transactional sink. See the module docs for the recovery contract.
+pub fn run_continuous_checkpointed<Op, F>(
+    source: &StreamSource<Op::In>,
+    make_op: F,
+    route: fn(&Op::In) -> u64,
+    cfg: &StreamJobConfig,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    cancel: &CancelToken,
+) -> StreamRunResult<Op::Out>
+where
+    Op: StreamOperator,
+    F: Fn(usize) -> Op + Sync,
+{
+    let parts = cfg.parallelism.max(1);
+    let interval = match plan.checkpoint_interval_records() {
+        0 => DEFAULT_INTERVAL,
+        n => n,
+    };
+    let n = source.events.len() as u64;
+    let final_epoch = n / interval + 1;
+    let seed = plan.checksum_seed();
+    let (stage_src, stage_op) = (cfg.stage, cfg.stage + 1);
+    let max_attempts = plan.max_attempts().max(1);
+
+    let store: Mutex<Store<Op::State>> = Mutex::new(BTreeMap::new());
+    let committed: Mutex<Vec<(u64, Op::Out)>> = Mutex::new(Vec::new());
+    let last_committed = AtomicU64::new(0);
+    let mut restore_from: Option<u64> = None;
+    let mut attempt = 0u32;
+    let make_op = &make_op;
+
+    loop {
+        let failed = Arc::new(AtomicBool::new(false));
+        let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let start = restore_from.unwrap_or(0);
+
+        // Deterministic fault arming order: tasks 0..P, then the source.
+        let mut task_faults: Vec<StreamFault> = (0..parts)
+            .map(|p| plan.stream_fault(metrics, stage_op, p, attempt, Arc::clone(&failed)))
+            .collect();
+        let mut src_fault =
+            plan.stream_fault(metrics, stage_src, parts, attempt, Arc::clone(&failed));
+
+        // Clone restored state out of the store before spawning.
+        let restored: Vec<Option<(Op::State, u64, u64)>> = match restore_from {
+            Some(g) => {
+                let st = lock(&store);
+                (0..parts)
+                    .map(|p| {
+                        st.get(&g).and_then(|snaps| {
+                            snaps[p]
+                                .as_ref()
+                                .map(|s| (s.state.clone(), s.watermark, s.frontier))
+                        })
+                    })
+                    .collect()
+            }
+            None => (0..parts).map(|_| None).collect(),
+        };
+
+        let (sink_tx, sink_rx) = bounded::<SinkMsg<Op::Out>>(cfg.channel_capacity.max(1) * parts);
+        let mut txs = Vec::with_capacity(parts);
+        let mut rxs = Vec::with_capacity(parts);
+        for _ in 0..parts {
+            let (tx, rx) = bounded::<TaskMsg<Op::In>>(cfg.channel_capacity.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        std::thread::scope(|s| {
+            // Transactional sink.
+            {
+                let failed = Arc::clone(&failed);
+                let first_panic = &first_panic;
+                let store = &store;
+                let committed = &committed;
+                let last_committed = &last_committed;
+                s.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        sink_loop::<Op>(
+                            &sink_rx,
+                            parts,
+                            start,
+                            committed,
+                            last_committed,
+                            store,
+                            plan,
+                            attempt,
+                            seed,
+                            stage_op,
+                            &failed,
+                            metrics,
+                        );
+                    }));
+                    if let Err(p) = r {
+                        failed.store(true, Ordering::Release);
+                        remember_panic(first_panic, p);
+                    }
+                });
+            }
+            // Window tasks.
+            for (p, (rx, (mut fault, restored_p))) in rxs
+                .drain(..)
+                .zip(task_faults.drain(..).zip(restored.into_iter()))
+                .enumerate()
+            {
+                let sink_tx = sink_tx.clone();
+                let failed = Arc::clone(&failed);
+                let first_panic = &first_panic;
+                let store = &store;
+                s.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let mut op = make_op(p);
+                        task_loop(
+                            &mut op, p, &rx, &sink_tx, restored_p, store, parts, seed,
+                            &mut fault, &failed, cancel, metrics, stage_op,
+                        );
+                    }));
+                    if let Err(pl) = r {
+                        failed.store(true, Ordering::Release);
+                        remember_panic(first_panic, pl);
+                    }
+                });
+            }
+            drop(sink_tx);
+            // Source runs on the scope's own thread.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                source_loop(
+                    source, route, &txs, start, interval, final_epoch, &mut src_fault,
+                    &failed, cancel, metrics, stage_src,
+                    cfg.lag_gauge.as_ref(),
+                );
+            }));
+            if let Err(p) = r {
+                failed.store(true, Ordering::Release);
+                remember_panic(&first_panic, p);
+            }
+            txs.clear();
+        });
+
+        let payload = lock(&first_panic).take();
+        match payload {
+            None => {
+                return StreamRunResult {
+                    committed: std::mem::take(&mut *lock(&committed)),
+                    epochs_committed: last_committed.load(Ordering::Acquire),
+                };
+            }
+            Some(payload) => {
+                restore_from = recover_or_rethrow::<Op>(
+                    payload,
+                    &mut attempt,
+                    max_attempts,
+                    &store,
+                    plan,
+                    metrics,
+                    stage_op,
+                    seed,
+                    cancel,
+                    last_committed.load(Ordering::Acquire),
+                );
+            }
+        }
+    }
+}
+
+/// Source thread body: replays the event vector, skipping the restored
+/// prefix, broadcasting watermarks and barriers at fixed positions.
+#[allow(clippy::too_many_arguments)]
+fn source_loop<T: Clone + Send>(
+    src: &StreamSource<T>,
+    route: fn(&T) -> u64,
+    txs: &[Sender<TaskMsg<T>>],
+    start: u64,
+    interval: u64,
+    final_epoch: u64,
+    fault: &mut StreamFault,
+    failed: &AtomicBool,
+    cancel: &CancelToken,
+    metrics: &EngineMetrics,
+    stage: u64,
+    lag_gauge: Option<&Arc<AtomicU64>>,
+) {
+    let cfg = &src.config;
+    let wm_every = cfg.watermark_every.max(1);
+    let parts = txs.len();
+    let skip = (start * interval).min(src.events.len() as u64);
+    let mut frontier = 0u64;
+    let mut wm = 0u64;
+
+    // Bootstrap barrier: seal the starting state before any event.
+    for tx in txs {
+        if !send_coop(tx, TaskMsg::Barrier(start), failed, metrics) {
+            return;
+        }
+    }
+    for (idx, ev) in src.events.iter().enumerate() {
+        let idx = idx as u64;
+        let emitted = idx + 1;
+        if idx < skip {
+            // Silent replay of the restored prefix: fold the watermark
+            // state the restored tasks already embody, send nothing.
+            frontier = frontier.max(ev.time);
+            if emitted % wm_every == 0 && !stalled(cfg, emitted) {
+                wm = frontier.saturating_sub(cfg.allowance);
+            }
+            continue;
+        }
+        check_cancelled(cancel, metrics, stage, parts);
+        fault.on_event();
+        frontier = frontier.max(ev.time);
+        metrics.add_records_read(1);
+        let p = (route(&ev.payload) % parts as u64) as usize;
+        if !send_coop(&txs[p], TaskMsg::Event(ev.clone()), failed, metrics) {
+            return;
+        }
+        if emitted % wm_every == 0 {
+            if !stalled(cfg, emitted) {
+                wm = frontier.saturating_sub(cfg.allowance);
+            }
+            if let Some(g) = lag_gauge {
+                g.store(frontier.saturating_sub(wm), Ordering::Release);
+            }
+            for tx in txs {
+                if !send_coop(tx, TaskMsg::Watermark(wm), failed, metrics) {
+                    return;
+                }
+            }
+        }
+        if emitted % interval == 0 {
+            for tx in txs {
+                if !send_coop(tx, TaskMsg::Barrier(emitted / interval), failed, metrics) {
+                    return;
+                }
+            }
+        }
+    }
+    fault.on_finish();
+    if cfg.hold_at_end {
+        // A long-running tenant: park cancellably with the lag gauge
+        // live. Only a cancel (deadline, SLO watchdog) or a sibling
+        // failure ends the job.
+        loop {
+            check_cancelled(cancel, metrics, stage, parts);
+            if failed.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(g) = lag_gauge {
+                g.store(frontier.saturating_sub(wm), Ordering::Release);
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+    // Final flush: a MAX watermark fires every open window, the final
+    // barrier commits the flush epoch, Done closes the stream.
+    for tx in txs {
+        if !send_coop(tx, TaskMsg::Watermark(u64::MAX), failed, metrics) {
+            return;
+        }
+    }
+    for tx in txs {
+        if !send_coop(tx, TaskMsg::Barrier(final_epoch), failed, metrics) {
+            return;
+        }
+    }
+    for tx in txs {
+        let _ = send_coop(tx, TaskMsg::Done, failed, metrics);
+    }
+}
+
+/// Task thread body: folds events, fires windows on watermarks, seals
+/// snapshots on barriers. After a sibling failure it keeps *draining*
+/// buffered messages (alignment: a snapshot at barrier `k` must reflect
+/// every event before `k` in channel order) but stops forwarding.
+#[allow(clippy::too_many_arguments)]
+fn task_loop<Op: StreamOperator>(
+    op: &mut Op,
+    part: usize,
+    rx: &Receiver<TaskMsg<Op::In>>,
+    sink: &Sender<SinkMsg<Op::Out>>,
+    restored: Option<(Op::State, u64, u64)>,
+    store: &Mutex<Store<Op::State>>,
+    parts: usize,
+    seed: u64,
+    fault: &mut StreamFault,
+    failed: &AtomicBool,
+    cancel: &CancelToken,
+    metrics: &EngineMetrics,
+    stage: u64,
+) {
+    let mut watermark = 0u64;
+    let mut frontier = 0u64;
+    if let Some((state, wm, fr)) = restored {
+        op.restore(state);
+        watermark = wm;
+        frontier = fr;
+        metrics.add_stream_checkpoints_restored(1);
+    }
+    metrics.add_tasks_launched(1);
+    let mut buf: Vec<Op::Out> = Vec::new();
+    let mut live = true;
+    loop {
+        let msg = if live {
+            match recv_coop(rx, failed) {
+                Some(m) => m,
+                None => {
+                    live = false;
+                    continue;
+                }
+            }
+        } else {
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
+        match msg {
+            TaskMsg::Event(ev) => {
+                if live {
+                    check_cancelled(cancel, metrics, stage, part);
+                    fault.on_event();
+                }
+                if ev.time < watermark {
+                    metrics.add_late_events_dropped(1);
+                    continue;
+                }
+                if ev.time < frontier {
+                    metrics.add_watermark_lag_events(1);
+                }
+                frontier = frontier.max(ev.time);
+                op.on_event(&ev, &mut buf);
+                metrics.add_compute_calls(1);
+                for o in buf.drain(..) {
+                    if live && !send_coop(sink, SinkMsg::Item(part, o), failed, metrics) {
+                        live = false;
+                    }
+                }
+            }
+            TaskMsg::Watermark(w) => {
+                if w > watermark {
+                    watermark = w;
+                    op.on_watermark(w, &mut buf);
+                    metrics.add_windows_emitted(buf.len() as u64);
+                    for o in buf.drain(..) {
+                        if live && !send_coop(sink, SinkMsg::Item(part, o), failed, metrics) {
+                            live = false;
+                        }
+                    }
+                }
+            }
+            TaskMsg::Barrier(k) => {
+                snapshot_task::<Op>(
+                    store, metrics, seed, parts, k, part, watermark, frontier,
+                    op.state(),
+                );
+                if live && !send_coop(sink, SinkMsg::Barrier(part, k), failed, metrics) {
+                    live = false;
+                }
+            }
+            TaskMsg::Done => {
+                if live {
+                    let _ = send_coop(sink, SinkMsg::Done(part), failed, metrics);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Transactional sink body: buffers outputs per epoch, commits an epoch
+/// when its barrier has arrived from every task, suppresses replayed
+/// epochs, and scrubs the previous checkpoint after each completion.
+#[allow(clippy::too_many_arguments)]
+fn sink_loop<Op: StreamOperator>(
+    rx: &Receiver<SinkMsg<Op::Out>>,
+    parts: usize,
+    start: u64,
+    committed: &Mutex<Vec<(u64, Op::Out)>>,
+    last_committed: &AtomicU64,
+    store: &Mutex<Store<Op::State>>,
+    plan: &FaultPlan,
+    attempt: u32,
+    seed: u64,
+    stage_op: u64,
+    failed: &AtomicBool,
+    metrics: &EngineMetrics,
+) {
+    let mut cur = vec![start; parts];
+    let mut pending: BTreeMap<u64, Vec<Vec<Op::Out>>> = BTreeMap::new();
+    let mut done = vec![false; parts];
+    while let Some(msg) = recv_coop(rx, failed) {
+        match msg {
+            SinkMsg::Item(p, o) => {
+                pending
+                    .entry(cur[p])
+                    .or_insert_with(|| (0..parts).map(|_| Vec::new()).collect())[p]
+                    .push(o);
+            }
+            SinkMsg::Barrier(p, k) => {
+                debug_assert_eq!(k, cur[p], "barrier misalignment on partition {p}");
+                cur[p] = k + 1;
+                if cur.iter().all(|&c| c > k) {
+                    commit_epoch(k, &mut pending, committed, last_committed, metrics);
+                    scrub_previous::<Op>(store, plan, metrics, stage_op, seed, attempt, k);
+                }
+            }
+            SinkMsg::Done(p) => {
+                done[p] = true;
+                if done.iter().all(|&d| d) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the same job discretized: the driver processes events
+/// sequentially, one checkpoint interval per micro-batch, snapshotting
+/// and committing at every batch boundary. Commits are byte-identical
+/// to [`run_continuous_checkpointed`] on the same source.
+pub fn run_micro_batch_checkpointed<Op, F>(
+    source: &StreamSource<Op::In>,
+    make_op: F,
+    route: fn(&Op::In) -> u64,
+    cfg: &StreamJobConfig,
+    plan: &FaultPlan,
+    metrics: &EngineMetrics,
+    cancel: &CancelToken,
+) -> StreamRunResult<Op::Out>
+where
+    Op: StreamOperator,
+    F: Fn(usize) -> Op,
+{
+    let parts = cfg.parallelism.max(1);
+    let interval = match plan.checkpoint_interval_records() {
+        0 => DEFAULT_INTERVAL,
+        n => n,
+    };
+    let n = source.events.len() as u64;
+    let final_epoch = n / interval + 1;
+    let seed = plan.checksum_seed();
+    let (stage_src, stage_op) = (cfg.stage, cfg.stage + 1);
+    let max_attempts = plan.max_attempts().max(1);
+    let scfg = &source.config;
+    let wm_every = scfg.watermark_every.max(1);
+
+    let store: Mutex<Store<Op::State>> = Mutex::new(BTreeMap::new());
+    let committed: Mutex<Vec<(u64, Op::Out)>> = Mutex::new(Vec::new());
+    let last_committed = AtomicU64::new(0);
+    let mut restore_from: Option<u64> = None;
+    let mut attempt = 0u32;
+
+    loop {
+        let failed = Arc::new(AtomicBool::new(false));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let start = restore_from.unwrap_or(0);
+            let skip = (start * interval).min(n);
+            let mut ops: Vec<Op> = (0..parts).map(&make_op).collect();
+            let mut wms = vec![0u64; parts];
+            let mut frontiers = vec![0u64; parts];
+            if let Some(g) = restore_from {
+                let st = lock(&store);
+                for (p, op) in ops.iter_mut().enumerate() {
+                    if let Some(s) = st.get(&g).and_then(|snaps| snaps[p].as_ref()) {
+                        op.restore(s.state.clone());
+                        wms[p] = s.watermark;
+                        frontiers[p] = s.frontier;
+                        metrics.add_stream_checkpoints_restored(1);
+                    }
+                }
+            }
+            metrics.add_tasks_launched(parts as u64);
+            let mut task_faults: Vec<StreamFault> = (0..parts)
+                .map(|p| plan.stream_fault(metrics, stage_op, p, attempt, Arc::clone(&failed)))
+                .collect();
+            let mut src_fault =
+                plan.stream_fault(metrics, stage_src, parts, attempt, Arc::clone(&failed));
+
+            let mut src_frontier = 0u64;
+            let mut wm = 0u64;
+            let mut pending: BTreeMap<u64, Vec<Vec<Op::Out>>> = BTreeMap::new();
+            let mut buf: Vec<Op::Out> = Vec::new();
+
+            // Bootstrap checkpoint (mirrors the continuous bootstrap
+            // barrier).
+            for (p, op) in ops.iter().enumerate() {
+                snapshot_task::<Op>(
+                    &store, metrics, seed, parts, start, p, wms[p], frontiers[p],
+                    op.state(),
+                );
+            }
+            commit_epoch(start, &mut pending, &committed, &last_committed, metrics);
+            scrub_previous::<Op>(&store, plan, metrics, stage_op, seed, attempt, start);
+
+            for (idx, ev) in source.events.iter().enumerate() {
+                let idx = idx as u64;
+                let emitted = idx + 1;
+                if idx < skip {
+                    src_frontier = src_frontier.max(ev.time);
+                    if emitted % wm_every == 0 && !stalled(scfg, emitted) {
+                        wm = src_frontier.saturating_sub(scfg.allowance);
+                    }
+                    continue;
+                }
+                check_cancelled(cancel, metrics, stage_src, parts);
+                src_fault.on_event();
+                src_frontier = src_frontier.max(ev.time);
+                metrics.add_records_read(1);
+                let epoch = idx / interval + 1;
+                let p = (route(&ev.payload) % parts as u64) as usize;
+                task_faults[p].on_event();
+                if ev.time < wms[p] {
+                    metrics.add_late_events_dropped(1);
+                } else {
+                    if ev.time < frontiers[p] {
+                        metrics.add_watermark_lag_events(1);
+                    }
+                    frontiers[p] = frontiers[p].max(ev.time);
+                    ops[p].on_event(ev, &mut buf);
+                    metrics.add_compute_calls(1);
+                    stash(&mut pending, epoch, parts, p, &mut buf);
+                }
+                if emitted % wm_every == 0 {
+                    if !stalled(scfg, emitted) {
+                        wm = src_frontier.saturating_sub(scfg.allowance);
+                    }
+                    if let Some(g) = cfg.lag_gauge.as_ref() {
+                        g.store(src_frontier.saturating_sub(wm), Ordering::Release);
+                    }
+                    for (p, op) in ops.iter_mut().enumerate() {
+                        if wm > wms[p] {
+                            wms[p] = wm;
+                            op.on_watermark(wm, &mut buf);
+                            metrics.add_windows_emitted(buf.len() as u64);
+                            stash(&mut pending, epoch, parts, p, &mut buf);
+                        }
+                    }
+                }
+                if emitted % interval == 0 {
+                    let k = emitted / interval;
+                    for (p, op) in ops.iter().enumerate() {
+                        snapshot_task::<Op>(
+                            &store, metrics, seed, parts, k, p, wms[p], frontiers[p],
+                            op.state(),
+                        );
+                    }
+                    commit_epoch(k, &mut pending, &committed, &last_committed, metrics);
+                    scrub_previous::<Op>(&store, plan, metrics, stage_op, seed, attempt, k);
+                }
+            }
+            src_fault.on_finish();
+            for f in &mut task_faults {
+                f.on_finish();
+            }
+            // Final flush epoch.
+            for (p, op) in ops.iter_mut().enumerate() {
+                wms[p] = u64::MAX;
+                op.on_watermark(u64::MAX, &mut buf);
+                metrics.add_windows_emitted(buf.len() as u64);
+                stash(&mut pending, final_epoch, parts, p, &mut buf);
+            }
+            for (p, op) in ops.iter().enumerate() {
+                snapshot_task::<Op>(
+                    &store, metrics, seed, parts, final_epoch, p, wms[p], frontiers[p],
+                    op.state(),
+                );
+            }
+            commit_epoch(final_epoch, &mut pending, &committed, &last_committed, metrics);
+            scrub_previous::<Op>(&store, plan, metrics, stage_op, seed, attempt, final_epoch);
+        }));
+        match outcome {
+            Ok(()) => {
+                return StreamRunResult {
+                    committed: std::mem::take(&mut *lock(&committed)),
+                    epochs_committed: last_committed.load(Ordering::Acquire),
+                };
+            }
+            Err(payload) => {
+                restore_from = recover_or_rethrow::<Op>(
+                    payload,
+                    &mut attempt,
+                    max_attempts,
+                    &store,
+                    plan,
+                    metrics,
+                    stage_op,
+                    seed,
+                    cancel,
+                    last_committed.load(Ordering::Acquire),
+                );
+            }
+        }
+    }
+}
+
+/// Moves buffered outputs into the given epoch's per-partition slot.
+fn stash<Out>(
+    pending: &mut BTreeMap<u64, Vec<Vec<Out>>>,
+    epoch: u64,
+    parts: usize,
+    part: usize,
+    buf: &mut Vec<Out>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    pending
+        .entry(epoch)
+        .or_insert_with(|| (0..parts).map(|_| Vec::new()).collect())[part]
+        .append(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{install_quiet_hook, FaultConfig};
+    use crate::streaming::source::shuffle_bounded;
+    use crate::streaming::window::{WindowAssigner, WindowResult, WindowedAggregate};
+    use crate::streaming::StreamEvent;
+
+    fn kv(v: &u64) -> Option<(u64, u64)> {
+        Some((*v % 4, *v))
+    }
+
+    fn route(v: &u64) -> u64 {
+        *v % 4
+    }
+
+    fn events(n: u64) -> Vec<StreamEvent<u64>> {
+        (0..n).map(|i| StreamEvent::new(i * 3, i)).collect()
+    }
+
+    fn make_op(_p: usize) -> WindowedAggregate<u64> {
+        WindowedAggregate::new(WindowAssigner::Tumbling { size: 30 }, kv)
+    }
+
+    fn run(
+        continuous: bool,
+        events: Vec<StreamEvent<u64>>,
+        plan: &FaultPlan,
+    ) -> StreamRunResult<WindowResult> {
+        let source = StreamSource::with_config(
+            events,
+            SourceConfig {
+                allowance: 40,
+                watermark_every: 8,
+                stall_watermark_after: None,
+                hold_at_end: false,
+            },
+        );
+        let cfg = StreamJobConfig {
+            parallelism: 3,
+            ..StreamJobConfig::default()
+        };
+        let metrics = EngineMetrics::new();
+        let cancel = CancelToken::new();
+        if continuous {
+            run_continuous_checkpointed(&source, make_op, route, &cfg, plan, &metrics, &cancel)
+        } else {
+            run_micro_batch_checkpointed(&source, make_op, route, &cfg, plan, &metrics, &cancel)
+        }
+    }
+
+    #[test]
+    fn runtimes_commit_identical_outputs_clean() {
+        let plan = FaultPlan::disabled();
+        let ct = run(true, events(200), &plan);
+        let mb = run(false, events(200), &plan);
+        assert!(!ct.committed.is_empty());
+        assert_eq!(ct.committed, mb.committed, "runtimes must be byte-equal");
+        assert_eq!(ct.epochs_committed, mb.epochs_committed);
+    }
+
+    #[test]
+    fn chaos_run_is_exactly_once_on_both_runtimes() {
+        install_quiet_hook();
+        let plan = FaultPlan::new(FaultConfig::corruption(41));
+        let ct = run(true, events(200), &plan);
+        let mb = run(false, events(200), &plan);
+        // Exactly-once: the committed payload sequence survives kills,
+        // stragglers and rotten checkpoints byte-for-byte.
+        assert_eq!(ct.committed, mb.committed);
+        // And it matches the clean run's payloads as a sorted multiset
+        // (epoch tags differ because the corruption preset shortens the
+        // checkpoint interval).
+        let clean = run(true, events(200), &FaultPlan::disabled());
+        let mut a: Vec<WindowResult> = clean.committed.into_iter().map(|(_, w)| w).collect();
+        let mut b: Vec<WindowResult> = ct.committed.into_iter().map(|(_, w)| w).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "chaos changed the committed window results");
+    }
+
+    #[test]
+    fn bounded_disorder_within_allowance_changes_nothing() {
+        let plan = FaultPlan::disabled();
+        let base = run(true, events(200), &plan);
+        let shuffled = run(true, shuffle_bounded(events(200), 7, 5), &plan);
+        let mut a: Vec<WindowResult> = base.committed.into_iter().map(|(_, w)| w).collect();
+        let mut b: Vec<WindowResult> = shuffled.committed.into_iter().map(|(_, w)| w).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "bounded disorder within the allowance must be invisible");
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        install_quiet_hook();
+        let plan = FaultPlan::new(FaultConfig::chaos(9));
+        let a = run(false, events(160), &plan);
+        let plan = FaultPlan::new(FaultConfig::chaos(9));
+        let b = run(false, events(160), &plan);
+        assert_eq!(a.committed, b.committed);
+    }
+}

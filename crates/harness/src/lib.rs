@@ -17,6 +17,7 @@ pub mod mix;
 pub mod paper;
 pub mod report;
 pub mod soak;
+pub mod stream;
 pub mod tune;
 
 use flowmark_core::config::Framework;

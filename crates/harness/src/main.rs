@@ -92,9 +92,10 @@ fn run() -> Result<(), HarnessError> {
             println!("ablations    : abl-delta abl-serde abl-par abl-part abl-mem");
             println!("meta         : calibration verify all export <figN>");
             println!("perf         : bench --smoke [--label L] [--out FILE] [--seed-baseline FILE]");
-            println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--corruption] [--tiny] [--out FILE]");
+            println!("robustness   : chaos [--seed N] [--fail-prob P] [--straggler-prob P] [--corruption] [--streaming] [--tiny] [--out FILE]");
             println!("             : soak [--smoke] [--seed N] [--out FILE]");
             println!("             : soak --mix-concurrent N [--smoke] [--seed S] [--out FILE]");
+            println!("streaming    : stream [--smoke] [--seed N] [--out FILE]");
             println!("tuning       : tune [--smoke] [--seed N] [--out FILE]");
         }
         "soak" => {
@@ -170,9 +171,59 @@ fn run() -> Result<(), HarnessError> {
                 std::process::exit(1);
             }
         }
+        "stream" => {
+            use flowmark_harness::stream::{self, StreamScale};
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            let seed: u64 = parsed_flag(&rest, "--seed")?.unwrap_or(1);
+            let scale = if rest.iter().any(|a| a == "--smoke") {
+                StreamScale::smoke()
+            } else {
+                StreamScale::full()
+            };
+            let report = stream::run_stream(seed, scale);
+            print!("{}", stream::render(&report));
+            let out_path = flag_value(&rest, "--out").unwrap_or_else(|| "BENCH_PR9.json".into());
+            let json = serde_json::to_string_pretty(&report)?;
+            write_file(&out_path, json + "\n")?;
+            println!("wrote {out_path}");
+            let violations = report.violations();
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("stream: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
         "chaos" => {
             use flowmark_harness::chaos::{self, ChaosConfig, ChaosScale};
             let rest: Vec<String> = std::env::args().skip(2).collect();
+            // The streaming drill is its own cell grid: q3/q6 on both
+            // checkpointed runtimes, every cell armed with the corruption
+            // preset and held to the full detect-and-recover chain.
+            if rest.iter().any(|a| a == "--streaming") {
+                use flowmark_harness::stream::{self, StreamScale};
+                let seed: u64 = parsed_flag(&rest, "--seed")?.unwrap_or(1);
+                let scale = if rest.iter().any(|a| a == "--tiny") {
+                    StreamScale::smoke()
+                } else {
+                    StreamScale::full()
+                };
+                let report = stream::run_stream_chaos(seed, scale);
+                print!("{}", stream::render(&report));
+                if let Some(out_path) = flag_value(&rest, "--out") {
+                    let json = serde_json::to_string_pretty(&report)?;
+                    write_file(&out_path, json + "\n")?;
+                    println!("wrote {out_path}");
+                }
+                let violations = report.violations();
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("chaos: {v}");
+                    }
+                    std::process::exit(1);
+                }
+                return Ok(());
+            }
             let mut config = ChaosConfig::new(parsed_flag(&rest, "--seed")?.unwrap_or(1u64));
             if let Some(p) = parsed_flag(&rest, "--fail-prob")? {
                 config.task_failure_prob = p;

@@ -13,20 +13,28 @@
 //! ledger: every submission resolved (none lost), oracle checks clean,
 //! memory budget drained to zero, workers joined.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
-use flowmark_core::config::{EngineConfig, Framework, ServiceConfig};
+use flowmark_core::config::{EngineConfig, FairShareConfig, Framework, ServiceConfig, TenantSpec};
 use flowmark_datagen::graph::{RmatGen, RmatParams};
+use flowmark_datagen::nexmark::{generate, NexmarkConfig};
 use flowmark_datagen::points::{Point, PointsConfig, PointsGen};
 use flowmark_datagen::terasort::{Record, TeraGen};
 use flowmark_datagen::text::{TextGen, TextGenConfig};
 use flowmark_engine::faults::check_cancelled;
 use flowmark_engine::flink::FlinkEnv;
 use flowmark_engine::spark::SparkContext;
+use flowmark_engine::streaming::{
+    run_continuous_checkpointed, run_micro_batch_checkpointed, SourceConfig, StreamJobConfig,
+};
 use flowmark_engine::{CancelToken, EngineMetrics, FaultConfig, FaultPlan};
-use flowmark_serve::{BreakerState, HealthSnapshot, JobRequest, JobService, Rejected, Resolution};
+use flowmark_serve::{
+    BreakerState, HealthSnapshot, JobRequest, JobService, LivenessSlo, Rejected, Resolution,
+};
 use flowmark_workloads::connected::{self, CcVariant};
+use flowmark_workloads::stream::{canonical, nexmark_source, q6_operator, q6_oracle, route_nexmark};
 use flowmark_workloads::{grep, kmeans, pagerank, terasort, wordcount};
 use serde::{Deserialize, Serialize};
 
@@ -189,6 +197,16 @@ pub struct SoakReport {
     pub retries_then_success: u64,
     /// Whether a circuit breaker opened (and was later healed by a probe).
     pub breaker_opened: bool,
+    /// Whether a streaming tenant's liveness SLO fired (watermark lag
+    /// held above the ceiling and the watchdog failed the job);
+    /// `default` keeps pre-existing soak artifacts parseable.
+    #[serde(default)]
+    pub stream_slo_fired: bool,
+    /// Whether consecutive SLO violations tripped the pipelined engine's
+    /// circuit breaker (the lag breaker) before a probe healed it;
+    /// `default` keeps pre-existing soak artifacts parseable.
+    #[serde(default)]
+    pub stream_lag_breaker_opened: bool,
     /// Completions whose output diverged from the sequential oracle.
     pub oracle_failures: u64,
     /// Whether `JobService::shutdown` returned, i.e. every worker thread
@@ -245,6 +263,12 @@ impl SoakReport {
         }
         if !self.breaker_opened {
             v.push("mechanism never exercised: breaker open".into());
+        }
+        if !self.stream_slo_fired {
+            v.push("mechanism never exercised: streaming liveness SLO".into());
+        }
+        if !self.stream_lag_breaker_opened {
+            v.push("mechanism never exercised: lag breaker open".into());
         }
         v
     }
@@ -562,7 +586,15 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
     let service_cfg = config.service_config();
     let workers = service_cfg.workers;
     let queue_capacity = service_cfg.queue_capacity;
-    let service = JobService::start(service_cfg);
+    // Two fair-share lanes: batch jobs bill tenant 0, streaming tenants
+    // bill tenant 1, so the long-running lane cannot starve the batch mix.
+    let service = JobService::start_fair(
+        service_cfg,
+        FairShareConfig {
+            tenants: vec![TenantSpec::unbounded(0), TenantSpec::unbounded(1)],
+            quantum_bytes: FairShareConfig::DEFAULT_QUANTUM_BYTES,
+        },
+    );
     let data = Arc::new(SoakData::generate(scale));
     let parts = scale.partitions;
 
@@ -579,6 +611,8 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
         explicit_cancels: 0,
         retries_then_success: 0,
         breaker_opened: false,
+        stream_slo_fired: false,
+        stream_lag_breaker_opened: false,
         oracle_failures: 0,
         workers_joined: false,
         health: service.health(),
@@ -717,6 +751,87 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
     }
     assert_eq!(service.health().spark_breaker, BreakerState::Closed);
 
+    // --- Phase 5b: streaming tenant → liveness SLO → lag breaker ------------
+    // A long-running streaming tenant whose upstream watermark stalls: the
+    // stream keeps flowing (the frontier advances) but the watermark
+    // freezes, so lag grows while the job neither finishes nor fails on
+    // its own. Completion-based supervision is blind here — only the
+    // liveness SLO's watchdog can catch it. Two consecutive violations on
+    // the pipelined engine must trip its circuit breaker (the lag
+    // breaker), which a healthy probe then heals before the mix.
+    for i in 0..2u64 {
+        let stream_seed = splitmix(config.seed ^ 0x57EA_4D00 ^ i);
+        let gauge = Arc::new(AtomicU64::new(0));
+        let slo = LivenessSlo {
+            lag: Arc::clone(&gauge),
+            max_lag_ticks: 200,
+            grace_polls: 3,
+        };
+        let mut job = JobRequest::new(
+            format!("stream-tenant-{i}"),
+            Framework::Flink,
+            EngineConfig::default(),
+            Arc::new(move |_, cancel: &CancelToken| {
+                let src = nexmark_source(
+                    generate(stream_seed, 600, &NexmarkConfig::default()),
+                    SourceConfig {
+                        allowance: 8,
+                        watermark_every: 8,
+                        stall_watermark_after: Some(150),
+                        hold_at_end: true,
+                    },
+                );
+                let cfg = StreamJobConfig {
+                    parallelism: 2,
+                    lag_gauge: Some(Arc::clone(&gauge)),
+                    ..StreamJobConfig::default()
+                };
+                run_continuous_checkpointed(
+                    &src,
+                    |_| q6_operator(),
+                    route_nexmark,
+                    &cfg,
+                    &FaultPlan::disabled(),
+                    &EngineMetrics::new(),
+                    cancel,
+                );
+                Ok(())
+            }),
+        )
+        .with_tenant(1)
+        .with_liveness(slo);
+        job.retry_budget = Some(0);
+        if let Some(h) = submit(&mut report, &service, job) {
+            let r = h.wait();
+            if matches!(&r, Resolution::Failed { error, .. } if error.contains("liveness SLO violated"))
+            {
+                report.stream_slo_fired = true;
+            }
+            settle(&mut report, Framework::Flink, &r);
+        }
+    }
+    assert!(report.stream_slo_fired, "stalled watermark must violate the SLO");
+    report.stream_lag_breaker_opened = service.health().flink_breaker == BreakerState::Open;
+    assert!(
+        report.stream_lag_breaker_opened,
+        "two SLO violations must trip the lag breaker"
+    );
+    let mut probes = 0u32;
+    loop {
+        probes += 1;
+        assert!(probes <= 8, "lag-breaker cooldown must end");
+        match submit(&mut report, &service, trivial("stream-probe", Framework::Flink)) {
+            Some(h) => {
+                let r = h.wait();
+                assert_eq!(r, Resolution::Completed { attempts: 1 });
+                settle(&mut report, Framework::Flink, &r);
+                break;
+            }
+            None => continue,
+        }
+    }
+    assert_eq!(service.health().flink_breaker, BreakerState::Closed);
+
     // --- Phase 6: seeded chaos mix -----------------------------------------
     // Each cell: a seeded workload choice, alternating engines, a fresh
     // chaos fault plan (guaranteed ≥1 kill and ≥1 straggler), verified
@@ -738,6 +853,60 @@ pub fn run_soak(config: SoakConfig, scale: SoakScale) -> SoakReport {
             .seed
             .wrapping_mul(0x9E37_79B9)
             .wrapping_add(i as u64);
+        // Every sixth mix slot is a bounded streaming tenant: a q6
+        // windowed aggregate under chaos injection, oracle-verified,
+        // billed to the streaming lane and supervised by a (healthy)
+        // liveness SLO — the staged-engine slots run the micro-batch
+        // runtime, the pipelined ones the continuous runtime.
+        if i % 6 == 3 {
+            let micro = engine == Framework::Spark;
+            let gauge = Arc::new(AtomicU64::new(0));
+            let slo = LivenessSlo {
+                lag: Arc::clone(&gauge),
+                max_lag_ticks: 100_000,
+                grace_polls: 3,
+            };
+            let job = JobRequest::new(
+                format!("mix-{i}-stream-q6"),
+                engine,
+                EngineConfig::default(),
+                Arc::new(move |attempt, cancel: &CancelToken| {
+                    let seed = plan_seed.wrapping_add(u64::from(attempt) << 32);
+                    let src = nexmark_source(
+                        generate(seed, 600, &NexmarkConfig::default()),
+                        SourceConfig::default(),
+                    );
+                    let cfg = StreamJobConfig {
+                        parallelism: 2,
+                        lag_gauge: Some(Arc::clone(&gauge)),
+                        ..StreamJobConfig::default()
+                    };
+                    let plan = FaultPlan::new(FaultConfig::chaos(seed));
+                    let metrics = EngineMetrics::new();
+                    let out = if micro {
+                        run_micro_batch_checkpointed(
+                            &src, |_| q6_operator(), route_nexmark, &cfg, &plan, &metrics, cancel,
+                        )
+                    } else {
+                        run_continuous_checkpointed(
+                            &src, |_| q6_operator(), route_nexmark, &cfg, &plan, &metrics, cancel,
+                        )
+                    };
+                    if canonical(&out.committed) == q6_oracle(&src) {
+                        Ok(())
+                    } else {
+                        Err("stream-q6 diverged from oracle".into())
+                    }
+                }),
+            )
+            .with_tenant(1)
+            .with_liveness(slo);
+            if let Some(h) = submit(&mut report, &service, job) {
+                let r = h.wait();
+                settle(&mut report, engine, &r);
+            }
+            continue;
+        }
         let cell_data = Arc::clone(&data);
         let job = JobRequest::new(
             format!("mix-{i}-{}", WORKLOADS[workload]),
@@ -818,6 +987,10 @@ pub fn render(report: &SoakReport) -> String {
         report.breaker_opened,
     ));
     out.push_str(&format!(
+        "streaming: liveness SLO fired: {}, lag breaker opened: {}\n",
+        report.stream_slo_fired, report.stream_lag_breaker_opened,
+    ));
+    out.push_str(&format!(
         "exit ledger: {} admitted = {} completed + {} failed + {} timed-out + {} cancelled; \
          budget in use {} B; oracle failures {}\n",
         report.health.jobs_admitted,
@@ -872,6 +1045,8 @@ mod tests {
             explicit_cancels: 2,
             retries_then_success: 1,
             breaker_opened: true,
+            stream_slo_fired: true,
+            stream_lag_breaker_opened: true,
             oracle_failures: 0,
             workers_joined: true,
             health: HealthSnapshot {
@@ -931,6 +1106,8 @@ mod tests {
             explicit_cancels: 1,
             retries_then_success: 1,
             breaker_opened: true,
+            stream_slo_fired: true,
+            stream_lag_breaker_opened: true,
             oracle_failures: 1,
             workers_joined: true,
             health: health.clone(),

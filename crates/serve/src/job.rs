@@ -1,5 +1,6 @@
 //! Job descriptions, handles, and terminal resolutions.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -16,6 +17,37 @@ use flowmark_engine::faults::CancelToken;
 /// classified: a `JobCancelled` payload resolves the job as cancelled or
 /// timed out, anything else consumes one unit of retry budget.
 pub type JobFn = Arc<dyn Fn(u32, &CancelToken) -> Result<(), String> + Send + Sync>;
+
+/// Liveness SLO for long-running streaming tenants.
+///
+/// Completion-based supervision (deadline, retries) cannot watch a job
+/// that is *supposed* to run forever: a streaming tenant whose upstream
+/// stalls never finishes and never fails — it just falls behind. The SLO
+/// watches a shared watermark-lag gauge (the streaming runtime's
+/// `StreamJobConfig::lag_gauge`, in ticks) from the attempt watchdog: when
+/// the lag stays above `max_lag_ticks` for `grace_polls` consecutive
+/// watchdog slices, the job is cancelled and resolved as **Failed** — not
+/// Cancelled — so the engine's circuit breaker counts the violation.
+#[derive(Clone)]
+pub struct LivenessSlo {
+    /// The watermark-lag gauge the streaming job updates, in ticks.
+    pub lag: Arc<AtomicU64>,
+    /// Largest tolerable watermark lag, in ticks.
+    pub max_lag_ticks: u64,
+    /// Consecutive watchdog polls (2 ms apart) the lag must stay above
+    /// the ceiling before the SLO fires — absorbs transient spikes.
+    pub grace_polls: u32,
+}
+
+impl std::fmt::Debug for LivenessSlo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivenessSlo")
+            .field("lag", &self.lag.load(std::sync::atomic::Ordering::Relaxed))
+            .field("max_lag_ticks", &self.max_lag_ticks)
+            .field("grace_polls", &self.grace_polls)
+            .finish()
+    }
+}
 
 /// A unit of work submitted to the [`crate::JobService`].
 #[derive(Clone)]
@@ -35,6 +67,8 @@ pub struct JobRequest {
     pub deadline: Option<Duration>,
     /// Per-job retry-budget override; `None` takes the service default.
     pub retry_budget: Option<u32>,
+    /// Optional liveness SLO for long-running (streaming) jobs.
+    pub liveness: Option<LivenessSlo>,
     /// The attempt body.
     pub run: JobFn,
 }
@@ -54,6 +88,7 @@ impl JobRequest {
             config,
             deadline: None,
             retry_budget: None,
+            liveness: None,
             run,
         }
     }
@@ -61,6 +96,12 @@ impl JobRequest {
     /// The same request billed to `tenant`.
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// The same request supervised by a liveness SLO.
+    pub fn with_liveness(mut self, slo: LivenessSlo) -> Self {
+        self.liveness = Some(slo);
         self
     }
 }

@@ -43,7 +43,7 @@ pub mod service;
 pub use admission::{FairQueue, LaneDepth, MemoryBudget};
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use health::{HealthSnapshot, TenantHealth};
-pub use job::{JobFn, JobHandle, JobRequest, Rejected, Resolution};
+pub use job::{JobFn, JobHandle, JobRequest, LivenessSlo, Rejected, Resolution};
 pub use retry::BackoffSchedule;
 pub use service::JobService;
 
@@ -332,6 +332,83 @@ mod tests {
             Rejected::ShuttingDown { tenant: 3 }.to_string(),
             "service shutting down (tenant 3)"
         );
+    }
+
+    #[test]
+    fn liveness_slo_fails_a_lagging_streaming_tenant() {
+        use std::sync::atomic::AtomicU64;
+        let mut cfg = tiny_config();
+        cfg.retry_budget = 0;
+        cfg.breaker_threshold = 1;
+        let service = JobService::start(cfg);
+        let lag = Arc::new(AtomicU64::new(0));
+        let gauge = Arc::clone(&lag);
+        let job = JobRequest::new(
+            "stalled-stream",
+            Framework::Flink,
+            EngineConfig::default(),
+            Arc::new(move |_, cancel: &flowmark_engine::CancelToken| {
+                // A long-running tenant whose watermark stops advancing:
+                // lag climbs and stays above the ceiling.
+                gauge.store(10_000, Ordering::Release);
+                cancel.sleep(Duration::from_secs(30));
+                flowmark_engine::faults::check_cancelled(
+                    cancel,
+                    &flowmark_engine::EngineMetrics::new(),
+                    0,
+                    0,
+                );
+                Ok(())
+            }),
+        )
+        .with_liveness(LivenessSlo {
+            lag,
+            max_lag_ticks: 500,
+            grace_polls: 3,
+        });
+        let started = Instant::now();
+        let handle = service.submit(job).expect("admitted");
+        match handle.wait() {
+            Resolution::Failed { error, .. } => {
+                assert!(error.contains("liveness SLO violated"), "{error}");
+                assert!(error.contains("10000 > 500"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "SLO must not wait out the 30 s park"
+        );
+        // The violation counts as an engine failure: threshold 1 opens
+        // the breaker.
+        assert_eq!(service.health().flink_breaker, BreakerState::Open);
+        let health = service.shutdown();
+        assert_eq!(health.jobs_failed, 1);
+        assert_eq!(health.jobs_cancelled, 0, "SLO resolves Failed, not Cancelled");
+    }
+
+    #[test]
+    fn healthy_stream_under_slo_completes_normally() {
+        use std::sync::atomic::AtomicU64;
+        let service = JobService::start(tiny_config());
+        let lag = Arc::new(AtomicU64::new(0));
+        let job = JobRequest::new(
+            "healthy-stream",
+            Framework::Spark,
+            EngineConfig::default(),
+            Arc::new(|_, _| {
+                std::thread::sleep(Duration::from_millis(30));
+                Ok(())
+            }),
+        )
+        .with_liveness(LivenessSlo {
+            lag,
+            max_lag_ticks: 500,
+            grace_polls: 3,
+        });
+        let handle = service.submit(job).expect("admitted");
+        assert_eq!(handle.wait(), Resolution::Completed { attempts: 1 });
+        service.shutdown();
     }
 
     #[test]

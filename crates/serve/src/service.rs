@@ -414,12 +414,27 @@ fn execute(inner: &ServiceInner, job: &QueuedJob) -> Resolution {
             return Resolution::Cancelled;
         }
         let deadline_fired = AtomicBool::new(false);
-        let outcome = run_attempt(job, attempt, cancel, deadline, &deadline_fired);
+        let slo_fired = AtomicBool::new(false);
+        let outcome = run_attempt(job, attempt, cancel, deadline, &deadline_fired, &slo_fired);
         let error = match outcome {
             Ok(Ok(())) => return Resolution::Completed { attempts: attempt + 1 },
             Ok(Err(message)) => message,
             Err(payload) => {
                 if payload.downcast_ref::<JobCancelled>().is_some() || cancel.is_set() {
+                    // A liveness violation is a *failure*, not a cancel:
+                    // the tenant fell behind its SLO, and the breaker must
+                    // count it like any other engine failure.
+                    if slo_fired.load(Ordering::Acquire) {
+                        let slo = job.request.liveness.as_ref().expect("slo fired");
+                        return Resolution::Failed {
+                            attempts: attempt + 1,
+                            error: format!(
+                                "liveness SLO violated: watermark lag {} > {} ticks",
+                                slo.lag.load(Ordering::Acquire),
+                                slo.max_lag_ticks
+                            ),
+                        };
+                    }
                     return if deadline_fired.load(Ordering::Acquire) {
                         Resolution::TimedOut
                     } else {
@@ -462,15 +477,32 @@ fn run_attempt(
     cancel: &CancelToken,
     deadline: Instant,
     deadline_fired: &AtomicBool,
+    slo_fired: &AtomicBool,
 ) -> AttemptOutcome {
     std::thread::scope(|scope| {
         let body = scope.spawn(|| {
             catch_unwind(AssertUnwindSafe(|| (job.request.run)(attempt, cancel)))
         });
+        let mut lag_strikes = 0u32;
         while !body.is_finished() {
             if Instant::now() >= deadline && !cancel.is_set() {
                 deadline_fired.store(true, Ordering::Release);
                 cancel.set();
+            }
+            // Liveness: a streaming tenant that stays behind its watermark
+            // ceiling for `grace_polls` consecutive slices is failed.
+            if let Some(slo) = &job.request.liveness {
+                if !cancel.is_set() {
+                    if slo.lag.load(Ordering::Acquire) > slo.max_lag_ticks {
+                        lag_strikes += 1;
+                    } else {
+                        lag_strikes = 0;
+                    }
+                    if lag_strikes >= slo.grace_polls.max(1) {
+                        slo_fired.store(true, Ordering::Release);
+                        cancel.set();
+                    }
+                }
             }
             std::thread::sleep(WATCHDOG_SLICE);
         }

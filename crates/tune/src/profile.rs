@@ -99,7 +99,14 @@ pub fn classify(
     // keeps a well-combined iteration from reading as network-bound.
     let blocked_frac = metrics.backpressure_waits as f64
         / ((metrics.records_shuffled + metrics.messages_combined).max(1) as f64);
-    let wire_saturation = (4.0 * blocked_frac).min(1.0);
+    // Event-time disorder is a wire signal too: a streaming record that
+    // arrives behind its task's frontier spent extra time in flight, the
+    // same delivery jitter that backpressure measures from the sender
+    // side. A quarter of records arriving out of order saturates the
+    // channel on its own; zero on batch runs and in-order streams.
+    let lag_frac =
+        metrics.watermark_lag_events as f64 / (metrics.records_read.max(1) as f64);
+    let wire_saturation = (4.0 * blocked_frac + 2.0 * lag_frac).min(1.0);
 
     const MIB: f64 = 1024.0 * 1024.0;
     let spilled_mib = spilled / MIB;
@@ -280,6 +287,27 @@ mod tests {
         assert!(cpu_mean(&vv) < cpu_mean(&vs), "vectorized run must read cooler");
         assert_eq!(vs.bottleneck, Bottleneck::Cpu);
         assert_eq!(vv.bottleneck, Bottleneck::Cpu, "discount must not flip the class");
+    }
+
+    #[test]
+    fn watermark_lag_reads_as_network_bound() {
+        // A streaming trial whose records mostly arrive behind the
+        // frontier is delivery-jitter bound even with zero blocked sends;
+        // a mildly disordered stream must not flip.
+        let streaming = |lag: u64| {
+            snapshot(|m| {
+                m.add_records_read(10_000);
+                m.add_records_shuffled(10_000);
+                m.add_bytes_shuffled(160_000);
+                m.add_watermark_lag_events(lag);
+                m.add_windows_emitted(50);
+            })
+        };
+        let cfg = CorrelationConfig::default();
+        let disordered = classify(&PlanTrace::new(), &streaming(4_000), 1.0, &cfg);
+        assert_eq!(disordered.bottleneck, Bottleneck::Network, "{:?}", disordered.bounds);
+        let mild = classify(&PlanTrace::new(), &streaming(200), 1.0, &cfg);
+        assert_ne!(mild.bottleneck, Bottleneck::Network, "{:?}", mild.bounds);
     }
 
     #[test]

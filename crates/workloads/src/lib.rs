@@ -24,6 +24,7 @@ pub mod grep;
 pub mod kmeans;
 pub mod pagerank;
 pub mod presets;
+pub mod stream;
 pub mod terasort;
 pub mod wordcount;
 

@@ -1,0 +1,76 @@
+//! Tier-1 smoke test for the event-time streaming drill: `repro stream`
+//! and `repro chaos --streaming` at smoke scale, every invariant
+//! asserted, plus fixed-seed determinism of the whole report.
+
+use flowmark_harness::stream::{run_stream, run_stream_chaos, StreamScale};
+
+#[test]
+fn stream_drill_passes_and_is_deterministic() {
+    let report = run_stream(1, StreamScale::smoke());
+    let violations = report.violations();
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Grid shape: clean and armed cells for each query × runtime, the
+    // §VIII latency points, and the continuous model's one-tick floor.
+    assert_eq!(report.cells.len(), 8);
+    assert_eq!(report.cells.iter().filter(|c| c.armed).count(), 4);
+    assert_eq!(report.latency.len(), 3);
+    assert!(report.continuous_mean_ticks <= 2.0);
+    // Discretization cost is monotone in the batch interval.
+    assert!(report.latency[0].p99_ticks < report.latency[2].p99_ticks);
+
+    // Every cell — clean or armed — matched the oracle, and the armed
+    // ones survived the full kill + corruption + rotten-checkpoint plan.
+    for c in &report.cells {
+        assert!(c.verified, "{}-{} diverged", c.query, c.runtime);
+        assert!(c.committed > 0);
+        if c.armed {
+            assert!(c.recovery.injected_failures > 0);
+            assert!(c.recovery.region_restarts > 0);
+            assert!(c.recovery.corruptions_detected > 0);
+            assert!(c.recovery.checkpoints_rejected > 0);
+        } else {
+            assert_eq!(c.recovery.injected_failures, 0);
+        }
+    }
+
+    // The drill replays under the same seed: committed outputs and epoch
+    // counts are bit-for-bit everywhere; full recovery counters replay
+    // exactly too, except on armed *continuous* cells, where the restore
+    // point legitimately depends on how far the sink had committed when
+    // the kill landed (the committed-floor rule), so counters derived
+    // from the restore walk vary with thread timing.
+    let replay = run_stream(1, StreamScale::smoke());
+    assert_eq!(report.latency, replay.latency);
+    assert_eq!(report.continuous_mean_ticks, replay.continuous_mean_ticks);
+    assert_eq!(report.cells.len(), replay.cells.len());
+    for (a, b) in report.cells.iter().zip(&replay.cells) {
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.armed, b.armed);
+        assert_eq!(a.verified, b.verified);
+        assert_eq!(a.committed, b.committed, "{}-{} committed count drifted", a.query, a.runtime);
+        assert_eq!(a.epochs_committed, b.epochs_committed);
+        if a.runtime != "continuous" || !a.armed {
+            let aj = serde_json::to_string(a).expect("serializes");
+            let bj = serde_json::to_string(b).expect("serializes");
+            assert_eq!(aj, bj, "{}-{} cell is not deterministic", a.query, a.runtime);
+        }
+    }
+}
+
+#[test]
+fn streaming_chaos_drill_arms_every_cell() {
+    let report = run_stream_chaos(3, StreamScale::smoke());
+    assert!(report.violations().is_empty(), "{:?}", report.violations());
+    assert_eq!(report.cells.len(), 4);
+    assert!(report.cells.iter().all(|c| c.armed && c.verified));
+    // The drill's whole point: state actually came back from a
+    // digest-verified snapshot somewhere in the grid.
+    let restored: u64 = report
+        .cells
+        .iter()
+        .map(|c| c.recovery.stream_checkpoints_restored)
+        .sum();
+    assert!(restored > 0);
+}
