@@ -12,6 +12,8 @@
 //!   bulk iterations, serializer choice, parallelism, TeraSort memory).
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use flowmark_core::config::Framework;
 use flowmark_core::experiment::Experiment;

@@ -658,6 +658,85 @@ impl Checksummable for ColumnBatch {
     }
 }
 
+/// A dim-major flat batch of `f64` points: all rows' coordinates for
+/// dimension 0, then all for dimension 1, and so on — `data[d * rows + i]`
+/// is coordinate `d` of row `i`. Numeric kernels ([`crate::kernels::nearest_center`],
+/// [`crate::kernels::assign_accumulate`]) stream each dimension as one
+/// contiguous slice instead of hopping across `Vec<Point>` structs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F64Batch {
+    dims: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl F64Batch {
+    /// An empty batch with `dims` dimensions and no rows.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a point batch needs at least one dimension");
+        Self {
+            dims,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a batch from per-dimension coordinate columns; every column
+    /// must have the same length (the row count).
+    pub fn from_dims(columns: Vec<Vec<f64>>) -> Self {
+        assert!(!columns.is_empty(), "a point batch needs at least one dimension");
+        let rows = columns[0].len();
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "all dimension columns must have equal row counts"
+        );
+        let dims = columns.len();
+        let mut data = Vec::with_capacity(dims * rows);
+        for col in columns {
+            data.extend_from_slice(&col);
+        }
+        Self { dims, rows, data }
+    }
+
+    /// Transposes row-major coordinate tuples into dim-major storage.
+    pub fn from_rows(dims: usize, rows: impl ExactSizeIterator<Item = [f64; 2]>) -> Self {
+        assert_eq!(dims, 2, "from_rows currently packs 2-d tuples");
+        let n = rows.len();
+        let mut data = vec![0.0; 2 * n];
+        for (i, [x, y]) in rows.enumerate() {
+            data[i] = x;
+            data[n + i] = y;
+        }
+        Self { dims, rows: n, data }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of rows (points).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The contiguous coordinate slice of dimension `d`, one entry per row.
+    pub fn dim(&self, d: usize) -> &[f64] {
+        assert!(d < self.dims, "dimension {d} out of range");
+        &self.data[d * self.rows..(d + 1) * self.rows]
+    }
+
+    /// Coordinate `d` of row `i`.
+    pub fn coord(&self, d: usize, i: usize) -> f64 {
+        self.dim(d)[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +753,18 @@ mod tests {
         assert!(!v.is_valid(0) && !v.is_valid(64) && v.is_valid(1));
         let bools: Vec<bool> = (0..100).map(|i| ![0, 63, 64, 99].contains(&i)).collect();
         assert_eq!(Validity::from_bools(&bools), v);
+    }
+
+    #[test]
+    fn f64_batch_is_dim_major() {
+        let b = F64Batch::from_dims(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
+        assert_eq!((b.dims(), b.rows()), (2, 3));
+        assert_eq!(b.dim(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.dim(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(b.coord(1, 2), 30.0);
+        let t = F64Batch::from_rows(2, [[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]].into_iter());
+        assert_eq!(t, b);
+        assert!(F64Batch::new(2).is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 
-use crate::batch::{ColumnBatch, SelVec, StrColumn, Validity};
+use crate::batch::{ColumnBatch, F64Batch, SelVec, StrColumn, Validity};
 
 // ---------------------------------------------------------------------------
 // Byte search primitives
@@ -271,6 +271,263 @@ pub fn hash_agg_u64<S: BuildHasher>(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Numeric point kernels (dim-major F64 batches)
+// ---------------------------------------------------------------------------
+
+/// Index of the squared-Euclidean-nearest center for the point at `row`.
+/// Ties break to the lowest center index, matching the scalar reference.
+#[inline]
+fn nearest_row(points: &F64Batch, centers: &F64Batch, row: usize) -> u32 {
+    let k = centers.rows();
+    let mut best = 0u32;
+    let mut best_d = f64::INFINITY;
+    if points.dims() == 2 {
+        // Unrolled 2-d hot path: both coordinate streams and all center
+        // coordinates stay in registers / L1 across the k-loop.
+        let (x, y) = (points.dim(0)[row], points.dim(1)[row]);
+        let (cx, cy) = (centers.dim(0), centers.dim(1));
+        for c in 0..k {
+            let dx = x - cx[c];
+            let dy = y - cy[c];
+            let d = dx * dx + dy * dy;
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+    } else {
+        for c in 0..k {
+            let mut d = 0.0;
+            for dim in 0..points.dims() {
+                let delta = points.dim(dim)[row] - centers.dim(dim)[c];
+                d += delta * delta;
+            }
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+    }
+    best
+}
+
+/// Scalar fallback for [`assign_columns_2d`]: row-major walk with the
+/// running minimum in registers. Strict `<` keeps ties on the lowest
+/// center index, matching the record path's `nearest`.
+fn assign_columns_2d_scalar(
+    xs: &[f64],
+    ys: &[f64],
+    cx: &[f64],
+    cy: &[f64],
+    best_c: &mut [f64],
+) {
+    let k = cx.len();
+    for ((bc, &x), &y) in best_c.iter_mut().zip(xs).zip(ys) {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let dx = x - cx[c];
+            let dy = y - cy[c];
+            let d = dx * dx + dy * dy;
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *bc = best as f64;
+    }
+}
+
+/// AVX2+FMA body for [`assign_columns_2d`]: four rows per iteration, the
+/// running minimum and its center index held in vector registers (the
+/// index rides in an `f64` lane so the whole body is one vector width),
+/// one pass over the coordinate columns. `_CMP_LT_OQ` is strict, so ties
+/// stay on the lowest center index — identical to the scalar walk.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA, and that `xs`,
+/// `ys` and `best_c` all have equal lengths.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn assign_columns_2d_avx2(
+    xs: &[f64],
+    ys: &[f64],
+    cx: &[f64],
+    cy: &[f64],
+    best_c: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let k = cx.len();
+    // Center broadcasts hoisted out of the row loop: three fewer
+    // `set1` per center per row-group.
+    let cxv: Vec<__m256d> = cx.iter().map(|&v| _mm256_set1_pd(v)).collect();
+    let cyv: Vec<__m256d> = cy.iter().map(|&v| _mm256_set1_pd(v)).collect();
+    let cv: Vec<__m256d> = (0..k).map(|c| _mm256_set1_pd(c as f64)).collect();
+    let mut i = 0;
+    // Two independent 4-row groups per iteration: the running-minimum
+    // blends form a loop-carried dependency chain per group, so a second
+    // group in flight hides the blend latency.
+    while i + 8 <= n {
+        let x0 = _mm256_loadu_pd(xs.as_ptr().add(i));
+        let y0 = _mm256_loadu_pd(ys.as_ptr().add(i));
+        let x1 = _mm256_loadu_pd(xs.as_ptr().add(i + 4));
+        let y1 = _mm256_loadu_pd(ys.as_ptr().add(i + 4));
+        let mut bd0 = _mm256_set1_pd(f64::INFINITY);
+        let mut bc0 = _mm256_setzero_pd();
+        let mut bd1 = bd0;
+        let mut bc1 = bc0;
+        for c in 0..k {
+            let cxc = *cxv.get_unchecked(c);
+            let cyc = *cyv.get_unchecked(c);
+            let cc = *cv.get_unchecked(c);
+            let dx0 = _mm256_sub_pd(x0, cxc);
+            let dy0 = _mm256_sub_pd(y0, cyc);
+            let d0 = _mm256_fmadd_pd(dx0, dx0, _mm256_mul_pd(dy0, dy0));
+            let m0 = _mm256_cmp_pd::<_CMP_LT_OQ>(d0, bd0);
+            bd0 = _mm256_blendv_pd(bd0, d0, m0);
+            bc0 = _mm256_blendv_pd(bc0, cc, m0);
+            let dx1 = _mm256_sub_pd(x1, cxc);
+            let dy1 = _mm256_sub_pd(y1, cyc);
+            let d1 = _mm256_fmadd_pd(dx1, dx1, _mm256_mul_pd(dy1, dy1));
+            let m1 = _mm256_cmp_pd::<_CMP_LT_OQ>(d1, bd1);
+            bd1 = _mm256_blendv_pd(bd1, d1, m1);
+            bc1 = _mm256_blendv_pd(bc1, cc, m1);
+        }
+        _mm256_storeu_pd(best_c.as_mut_ptr().add(i), bc0);
+        _mm256_storeu_pd(best_c.as_mut_ptr().add(i + 4), bc1);
+        i += 8;
+    }
+    if i < n {
+        assign_columns_2d_scalar(&xs[i..], &ys[i..], cx, cy, &mut best_c[i..]);
+    }
+}
+
+/// 2-d nearest-center assignment over flat coordinate columns: writes the
+/// winning center index (as `f64`, so SIMD lanes stay uniform) per row
+/// into `best_c`. Dispatches to an AVX2+FMA kernel where the CPU has it;
+/// both paths break ties to the lowest center index, matching the scalar
+/// reference.
+fn assign_columns_2d(xs: &[f64], ys: &[f64], cx: &[f64], cy: &[f64], best_c: &mut [f64]) {
+    let n = xs.len();
+    assert!(ys.len() == n && best_c.len() == n, "column length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        // SAFETY: features checked at runtime; lengths asserted above.
+        unsafe { assign_columns_2d_avx2(xs, ys, cx, cy, best_c) };
+        return;
+    }
+    assign_columns_2d_scalar(xs, ys, cx, cy, best_c);
+}
+
+/// Vectorized nearest-center assignment: appends one center index per batch
+/// row to `out`, scanning each dimension as a flat slice.
+pub fn nearest_center(points: &F64Batch, centers: &F64Batch, out: &mut Vec<u32>) {
+    assert_eq!(points.dims(), centers.dims(), "dimension mismatch");
+    assert!(centers.rows() > 0, "need at least one center");
+    let n = points.rows();
+    if points.dims() == 2 {
+        let mut best_c = vec![0.0; n];
+        assign_columns_2d(
+            points.dim(0),
+            points.dim(1),
+            centers.dim(0),
+            centers.dim(1),
+            &mut best_c,
+        );
+        out.extend(best_c.iter().map(|&c| c as u32));
+    } else {
+        out.reserve(n);
+        for i in 0..n {
+            out.push(nearest_row(points, centers, i));
+        }
+    }
+}
+
+/// Assigns every batch row to its nearest center and folds it straight into
+/// dim-major running sums — `sums[d * k + c]` accumulates dimension `d` of
+/// center `c`'s members, `counts[c]` their population — without
+/// materialising assignments or per-point tuples. Returns the rows folded.
+pub fn assign_accumulate(
+    points: &F64Batch,
+    centers: &F64Batch,
+    sums: &mut [f64],
+    counts: &mut [u64],
+) -> usize {
+    assert_eq!(points.dims(), centers.dims(), "dimension mismatch");
+    let k = centers.rows();
+    assert!(k > 0, "need at least one center");
+    assert_eq!(sums.len(), points.dims() * k, "sums must be dims x k");
+    assert_eq!(counts.len(), k, "counts must have one slot per center");
+    let n = points.rows();
+    if points.dims() == 2 {
+        let (xs, ys) = (points.dim(0), points.dim(1));
+        let mut best_c = vec![0.0; n];
+        assign_columns_2d(xs, ys, centers.dim(0), centers.dim(1), &mut best_c);
+        for i in 0..n {
+            let c = best_c[i] as usize;
+            sums[c] += xs[i];
+            sums[k + c] += ys[i];
+            counts[c] += 1;
+        }
+    } else {
+        for i in 0..n {
+            let c = nearest_row(points, centers, i) as usize;
+            for d in 0..points.dims() {
+                sums[d * k + c] += points.dim(d)[i];
+            }
+            counts[c] += 1;
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Radix sort (u64 keys)
+// ---------------------------------------------------------------------------
+
+/// Stable LSD radix sort over a flat `u64` key column: returns the
+/// permutation (as ascending-key row indices) that sorts `keys`, without
+/// moving any payload. One histogram pre-pass counts all eight byte
+/// positions at once; byte positions where every key agrees are skipped
+/// entirely, so narrow key distributions pay only for the bytes that vary.
+pub fn radix_sort_u64(keys: &[u64]) -> Vec<u32> {
+    let n = keys.len();
+    assert!(n <= u32::MAX as usize, "radix permutation indexes with u32");
+    if n <= 1 {
+        return (0..n as u32).collect();
+    }
+    let mut hist = vec![[0u32; 256]; 8];
+    for &key in keys {
+        for (b, h) in hist.iter_mut().enumerate() {
+            h[((key >> (8 * b)) & 0xFF) as usize] += 1;
+        }
+    }
+    let mut src: Vec<u32> = (0..n as u32).collect();
+    let mut dst: Vec<u32> = vec![0; n];
+    for (b, h) in hist.iter().enumerate() {
+        // A byte position where one value covers every row permutes nothing.
+        if h.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offsets = [0u32; 256];
+        let mut run = 0u32;
+        for (o, &c) in offsets.iter_mut().zip(h.iter()) {
+            *o = run;
+            run += c;
+        }
+        let shift = 8 * b;
+        for &i in &src {
+            let byte = ((keys[i as usize] >> shift) & 0xFF) as usize;
+            dst[offsets[byte] as usize] = i;
+            offsets[byte] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +661,46 @@ mod tests {
         hash_agg_u64(&keys, &vals, None, Some(&sel), &mut agg, |a, v| *a += v);
         assert_eq!(agg[&1], 10);
         assert_eq!(agg[&2], 40);
+    }
+
+    #[test]
+    fn nearest_center_breaks_ties_low_and_matches_scalar() {
+        let points = F64Batch::from_dims(vec![vec![0.0, 5.0, 2.5], vec![0.0, 0.0, 0.0]]);
+        // Center 0 and 1 are equidistant from x=2.5: ties go to index 0.
+        let centers = F64Batch::from_dims(vec![vec![0.0, 5.0], vec![0.0, 0.0]]);
+        let mut out = Vec::new();
+        nearest_center(&points, &centers, &mut out);
+        assert_eq!(out, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn assign_accumulate_folds_sums_and_counts() {
+        let points = F64Batch::from_dims(vec![vec![1.0, 2.0, 10.0], vec![1.0, 3.0, -1.0]]);
+        let centers = F64Batch::from_dims(vec![vec![0.0, 9.0], vec![0.0, 0.0]]);
+        let mut sums = vec![0.0; 4];
+        let mut counts = vec![0u64; 2];
+        let rows = assign_accumulate(&points, &centers, &mut sums, &mut counts);
+        assert_eq!(rows, 3);
+        assert_eq!(counts, vec![2, 1]);
+        assert_eq!(sums, vec![3.0, 10.0, 4.0, -1.0]); // dim-major: xs then ys
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort_and_is_stable() {
+        let keys = vec![5u64, 1, u64::MAX, 5, 0, 1 << 40, 5];
+        let perm = radix_sort_u64(&keys);
+        let sorted: Vec<u64> = perm.iter().map(|&i| keys[i as usize]).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        // Stability: equal keys keep their original relative order.
+        let fives: Vec<u32> = perm
+            .iter()
+            .copied()
+            .filter(|&i| keys[i as usize] == 5)
+            .collect();
+        assert_eq!(fives, vec![0, 3, 6]);
+        assert_eq!(radix_sort_u64(&[]), Vec::<u32>::new());
+        assert_eq!(radix_sort_u64(&[7]), vec![0]);
     }
 }

@@ -36,6 +36,8 @@ pub mod checksum;
 pub mod kernels;
 pub mod kvbatch;
 
-pub use batch::{BytesColumn, Column, ColumnBatch, SelVec, StrColumn, Validity, DEFAULT_BATCH_ROWS};
+pub use batch::{
+    BytesColumn, Column, ColumnBatch, F64Batch, SelVec, StrColumn, Validity, DEFAULT_BATCH_ROWS,
+};
 pub use checksum::{Checksummable, CorruptionKind, Xxh64};
 pub use kvbatch::{route_rows, StrU64Batch};

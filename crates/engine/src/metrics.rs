@@ -35,6 +35,9 @@ struct Counters {
     messages_combined: AtomicU64,
     batches_processed: AtomicU64,
     rows_selected: AtomicU64,
+    points_assigned_vectorized: AtomicU64,
+    radix_sort_runs: AtomicU64,
+    stream_batches: AtomicU64,
     tasks_stolen: AtomicU64,
     queue_wait_micros: AtomicU64,
     queue_wait_tasks: AtomicU64,
@@ -111,6 +114,22 @@ pub struct MetricsSnapshot {
     /// pre-existing JSON artifacts parseable.
     #[serde(default)]
     pub rows_selected: u64,
+    /// Points assigned to a centroid by the vectorized K-Means
+    /// `assign_accumulate` kernel (flat dim-major scan) — zero on the
+    /// record-at-a-time adapter, so tests can pin which path ran;
+    /// `default` keeps BENCH_PR6/PR7 artifacts parseable.
+    #[serde(default)]
+    pub points_assigned_vectorized: u64,
+    /// Sorted runs produced by the LSD `radix_sort_u64` kernel instead of
+    /// a comparison sort (TeraSort merge, u64-keyed sort-combine runs);
+    /// `default` keeps BENCH_PR6/PR7 artifacts parseable.
+    #[serde(default)]
+    pub radix_sort_runs: u64,
+    /// Event slabs carried between streaming source/task/sink in place of
+    /// per-event channel sends — zero on the per-event runtime; `default`
+    /// keeps BENCH_PR6/PR7 artifacts parseable.
+    #[serde(default)]
+    pub stream_batches: u64,
     /// Stage tasks a shared-pool worker took from another worker's
     /// deque (`ExecutorMode::SharedPool` only); `default` keeps
     /// BENCH_PR6/PR7 artifacts parseable.
@@ -248,6 +267,9 @@ impl EngineMetrics {
         messages_combined => add_messages_combined, messages_combined;
         batches_processed => add_batches_processed, batches_processed;
         rows_selected => add_rows_selected, rows_selected;
+        points_assigned_vectorized => add_points_assigned_vectorized, points_assigned_vectorized;
+        radix_sort_runs => add_radix_sort_runs, radix_sort_runs;
+        stream_batches => add_stream_batches, stream_batches;
         tasks_stolen => add_tasks_stolen, tasks_stolen;
         queue_wait_micros => add_queue_wait_micros, queue_wait_micros;
         queue_wait_tasks => add_queue_wait_tasks, queue_wait_tasks;
@@ -294,6 +316,9 @@ impl EngineMetrics {
             messages_combined: self.messages_combined(),
             batches_processed: self.batches_processed(),
             rows_selected: self.rows_selected(),
+            points_assigned_vectorized: self.points_assigned_vectorized(),
+            radix_sort_runs: self.radix_sort_runs(),
+            stream_batches: self.stream_batches(),
             tasks_stolen: self.tasks_stolen(),
             queue_wait_micros: self.queue_wait_micros(),
             queue_wait_tasks: self.queue_wait_tasks(),
@@ -427,6 +452,29 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.tasks_stolen, 0);
+    }
+
+    #[test]
+    fn old_snapshot_json_without_columnar_hotpath_fields_still_parses() {
+        // A BENCH_PR6/PR7-era snapshot: none of the three PR 10 hot-path
+        // counters present.
+        let m = EngineMetrics::new();
+        m.add_batches_processed(4);
+        let snap = m.snapshot();
+        let mut json = serde_json::to_string(&snap).unwrap();
+        for gone in [
+            "\"points_assigned_vectorized\":0,",
+            "\"radix_sort_runs\":0,",
+            "\"stream_batches\":0,",
+        ] {
+            assert!(json.contains(gone), "{json}");
+            json = json.replace(gone, "");
+        }
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.points_assigned_vectorized, 0);
+        assert_eq!(back.radix_sort_runs, 0);
+        assert_eq!(back.stream_batches, 0);
     }
 
     #[test]

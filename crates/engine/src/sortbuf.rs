@@ -21,6 +21,29 @@ use crate::metrics::EngineMetrics;
 /// A combine function folding a value into an accumulator.
 pub type CombineFn<V> = Arc<dyn Fn(&mut V, V) + Send + Sync>;
 
+/// A run sorter: puts a full insert buffer into ascending key order before
+/// the run is adjacent-combined. Installing one (see
+/// [`SortCombineBuffer::with_run_sorter`]) replaces the comparison sort in
+/// the drain hot path — e.g. [`radix_run_sorter`] for `u64` keys.
+pub type RunSorter<K, V> = Arc<dyn Fn(&mut Vec<(K, V)>) + Send + Sync>;
+
+/// A [`RunSorter`] for `u64`-keyed runs: computes the stable LSD radix
+/// permutation over the flat key column
+/// ([`flowmark_columnar::kernels::radix_sort_u64`]) and applies it in one
+/// gather pass, avoiding per-record comparisons entirely.
+pub fn radix_run_sorter<V: Send + Sync + 'static>() -> RunSorter<u64, V> {
+    Arc::new(|buf: &mut Vec<(u64, V)>| {
+        let keys: Vec<u64> = buf.iter().map(|(k, _)| *k).collect();
+        let perm = flowmark_columnar::kernels::radix_sort_u64(&keys);
+        let mut slots: Vec<Option<(u64, V)>> = std::mem::take(buf).into_iter().map(Some).collect();
+        buf.extend(perm.iter().map(|&i| {
+            slots[i as usize]
+                .take()
+                .expect("radix permutation visits each row exactly once")
+        }));
+    })
+}
+
 /// Sort-based combine buffer.
 ///
 /// Allocation discipline (the shuffle hot path): the insert buffer is
@@ -37,6 +60,7 @@ pub struct SortCombineBuffer<K, V> {
     metrics: EngineMetrics,
     bytes_per_record: usize,
     pool: Option<Arc<BufferPool<(K, V)>>>,
+    run_sorter: Option<RunSorter<K, V>>,
 }
 
 impl<K: Ord + Clone, V> SortCombineBuffer<K, V> {
@@ -60,7 +84,17 @@ impl<K: Ord + Clone, V> SortCombineBuffer<K, V> {
             metrics,
             bytes_per_record,
             pool: None,
+            run_sorter: None,
         }
+    }
+
+    /// Installs a [`RunSorter`] used instead of the comparison sort when a
+    /// run drains (e.g. [`radix_run_sorter`] for `u64` keys). The sorter
+    /// must leave the buffer in ascending key order; each invocation is
+    /// counted in the `radix_sort_runs` metric.
+    pub fn with_run_sorter(mut self, sorter: RunSorter<K, V>) -> Self {
+        self.run_sorter = Some(sorter);
+        self
     }
 
     /// Like [`SortCombineBuffer::new`], but run storage is taken from (and
@@ -127,7 +161,24 @@ impl<K: Ord + Clone, V> SortCombineBuffer<K, V> {
             return;
         }
         self.metrics.add_combine_input(self.buffer.len() as u64);
-        self.buffer.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        // Runs that arrive already in key order (pre-sorted upstream
+        // output) skip sorting entirely — one linear scan decides.
+        let presorted = self.buffer.windows(2).all(|w| w[0].0 <= w[1].0);
+        if !presorted {
+            match &self.run_sorter {
+                Some(sorter) => {
+                    sorter(&mut self.buffer);
+                    self.metrics.add_radix_sort_runs(1);
+                }
+                None => self.buffer.sort_unstable_by(|a, b| a.0.cmp(&b.0)),
+            }
+        }
+        // Run-level sortedness is asserted once, here; downstream
+        // `merge_combine` trusts it instead of defensively re-sorting.
+        debug_assert!(
+            self.buffer.windows(2).all(|w| w[0].0 <= w[1].0),
+            "run sorter must leave the buffer in ascending key order"
+        );
         // Drain keeps the insert buffer's allocation for the next run.
         let mut run = self.take_run_storage(self.buffer.len() / 2 + 1);
         for (k, v) in self.buffer.drain(..) {
@@ -159,6 +210,11 @@ fn merge_combine<K: Ord + Clone, V>(
     combine: &CombineFn<V>,
     pool: Option<&BufferPool<(K, V)>>,
 ) -> Vec<(K, V)> {
+    // Every run was emitted sorted by `drain_run` (asserted there), so the
+    // merge never re-sorts — it only interleaves.
+    debug_assert!(runs
+        .iter()
+        .all(|r| r.windows(2).all(|w| w[0].0 <= w[1].0)));
     match runs.len() {
         0 => return Vec::new(),
         1 => return runs.pop().expect("len checked"),
@@ -362,6 +418,49 @@ mod tests {
             pool.outstanding() <= 2 + 1,
             "outstanding stayed near the cap, got {}",
             pool.outstanding()
+        );
+    }
+
+    #[test]
+    fn radix_run_sorter_matches_comparison_path() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let pairs: Vec<(u64, u64)> = (0..3000)
+            .map(|_| (rng.gen_range(0..500u64), rng.gen_range(1..4)))
+            .collect();
+        let metrics = EngineMetrics::new();
+        let mut radix = SortCombineBuffer::new(64, 16, sum_combiner(), metrics.clone())
+            .with_run_sorter(radix_run_sorter());
+        let mut plain = SortCombineBuffer::new(64, 16, sum_combiner(), EngineMetrics::new());
+        for &(k, v) in &pairs {
+            radix.insert(k, v);
+            plain.insert(k, v);
+        }
+        assert_eq!(radix.finish(), plain.finish());
+        assert!(
+            metrics.radix_sort_runs() > 0,
+            "the radix sorter never replaced a comparison sort"
+        );
+    }
+
+    #[test]
+    fn presorted_runs_skip_the_sort_entirely() {
+        // Keys inserted in ascending order: every drained run is already
+        // sorted, so the installed radix sorter must never fire.
+        let metrics = EngineMetrics::new();
+        let mut buf = SortCombineBuffer::new(8, 16, sum_combiner(), metrics.clone())
+            .with_run_sorter(radix_run_sorter());
+        for k in 0..100u64 {
+            buf.insert(k, 1);
+        }
+        let out = buf.finish();
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(
+            metrics.radix_sort_runs(),
+            0,
+            "sorted input must take the skip path, not the sorter"
         );
     }
 

@@ -36,6 +36,19 @@
 //! job restarts from the newest *clean* complete snapshot (rotten digests
 //! are rejected and counted), the source replays the covered prefix
 //! silently, and replayed epochs are suppressed at the sink.
+//!
+//! ## Batch-native transport
+//!
+//! With `StreamJobConfig::slab_rows > 1` (the default) the continuous
+//! runtime moves events between source, tasks and sink in *slabs* rather
+//! than one channel send per record. Watermarks ride **in-band** inside
+//! the slab at their exact stream position, so slabs span watermark ticks
+//! and flush only at barriers or stream end; tasks fold each
+//! between-watermark run through [`StreamOperator::on_batch`] and sinks
+//! receive whole output batches. Per-partition ordering of events and
+//! watermarks is identical to the per-event transport, so every committed
+//! `(epoch, result)` sequence is byte-equal to `slab_rows: 1` — proptested
+//! under arbitrary kill schedules.
 
 pub mod model;
 pub mod runtime;

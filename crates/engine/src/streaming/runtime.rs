@@ -76,6 +76,16 @@ pub struct StreamJobConfig {
     /// at every watermark decision — the serve layer's liveness SLO
     /// polls this.
     pub lag_gauge: Option<Arc<AtomicU64>>,
+    /// Events per transport slab on the batch-native path. Events headed
+    /// for the same task accumulate into a slab that is sent (and folded
+    /// via [`StreamOperator::on_batch`]) as one unit. Watermarks ride
+    /// *inside* the slab as [`SlabEntry::Watermark`] at their exact
+    /// stream position, so slabs span watermark ticks and only barriers
+    /// (and stream end) force a flush; per-partition ordering of events
+    /// and watermarks — and therefore every committed `(epoch, result)`
+    /// — is byte-identical to the record path. `<= 1` selects the legacy
+    /// event-at-a-time transport (the per-event A/B reference).
+    pub slab_rows: usize,
 }
 
 impl Default for StreamJobConfig {
@@ -85,6 +95,7 @@ impl Default for StreamJobConfig {
             channel_capacity: 256,
             stage: 900,
             lag_gauge: None,
+            slab_rows: flowmark_columnar::DEFAULT_BATCH_ROWS,
         }
     }
 }
@@ -349,9 +360,23 @@ fn recv_coop<M>(rx: &Receiver<M>, failed: &AtomicBool) -> Option<M> {
     }
 }
 
+/// One entry of a routed slab: events in arrival order, with watermark
+/// advances carried *in-band* at their exact stream position — so a slab
+/// can span watermark ticks (only barriers force a flush) while the task
+/// replays the identical event/watermark interleaving the per-event
+/// transport delivers.
+enum SlabEntry<T> {
+    Event(super::StreamEvent<T>),
+    Watermark(u64),
+}
+
 /// Control-plane messages on a task's input channel.
 enum TaskMsg<T> {
     Event(super::StreamEvent<T>),
+    /// A slab of routed events and in-band watermarks (batch-native
+    /// transport): one channel send and one [`StreamOperator::on_batch`]
+    /// fold per uninterrupted event run.
+    Events(Vec<SlabEntry<T>>),
     Watermark(u64),
     Barrier(u64),
     Done,
@@ -361,6 +386,8 @@ enum TaskMsg<T> {
 /// partition.
 enum SinkMsg<Out> {
     Item(usize, Out),
+    /// A slab's outputs, appended to the epoch buffer in generation order.
+    Items(usize, Vec<Out>),
     Barrier(usize, u64),
     Done(usize),
 }
@@ -539,8 +566,8 @@ where
             // Source runs on the scope's own thread.
             let r = catch_unwind(AssertUnwindSafe(|| {
                 source_loop(
-                    source, route, &txs, start, interval, final_epoch, &mut src_fault,
-                    &failed, cancel, metrics, stage_src,
+                    source, route, &txs, start, interval, final_epoch, cfg.slab_rows,
+                    &mut src_fault, &failed, cancel, metrics, stage_src,
                     cfg.lag_gauge.as_ref(),
                 );
             }));
@@ -577,6 +604,27 @@ where
     }
 }
 
+/// Flushes every non-empty routing slab as one [`TaskMsg::Events`] send.
+/// Called before barrier broadcasts (and at stream end) so barriers never
+/// overtake the events they follow in stream order; watermarks ride
+/// inside the slab as [`SlabEntry::Watermark`] and need no flush.
+fn flush_slabs<T: Clone + Send>(
+    slabs: &mut [Vec<SlabEntry<T>>],
+    txs: &[Sender<TaskMsg<T>>],
+    failed: &AtomicBool,
+    metrics: &EngineMetrics,
+) -> bool {
+    for (p, slab) in slabs.iter_mut().enumerate() {
+        if slab.is_empty() {
+            continue;
+        }
+        if !send_coop(&txs[p], TaskMsg::Events(std::mem::take(slab)), failed, metrics) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Source thread body: replays the event vector, skipping the restored
 /// prefix, broadcasting watermarks and barriers at fixed positions.
 #[allow(clippy::too_many_arguments)]
@@ -587,6 +635,7 @@ fn source_loop<T: Clone + Send>(
     start: u64,
     interval: u64,
     final_epoch: u64,
+    slab_rows: usize,
     fault: &mut StreamFault,
     failed: &AtomicBool,
     cancel: &CancelToken,
@@ -600,6 +649,8 @@ fn source_loop<T: Clone + Send>(
     let skip = (start * interval).min(src.events.len() as u64);
     let mut frontier = 0u64;
     let mut wm = 0u64;
+    let slabbed = slab_rows > 1;
+    let mut slabs: Vec<Vec<SlabEntry<T>>> = (0..parts).map(|_| Vec::new()).collect();
 
     // Bootstrap barrier: seal the starting state before any event.
     for tx in txs {
@@ -622,9 +673,21 @@ fn source_loop<T: Clone + Send>(
         check_cancelled(cancel, metrics, stage, parts);
         fault.on_event();
         frontier = frontier.max(ev.time);
-        metrics.add_records_read(1);
         let p = (route(&ev.payload) % parts as u64) as usize;
-        if !send_coop(&txs[p], TaskMsg::Event(ev.clone()), failed, metrics) {
+        metrics.add_records_read(1);
+        if slabbed {
+            slabs[p].push(SlabEntry::Event(ev.clone()));
+            if slabs[p].len() >= slab_rows
+                && !send_coop(
+                    &txs[p],
+                    TaskMsg::Events(std::mem::take(&mut slabs[p])),
+                    failed,
+                    metrics,
+                )
+            {
+                return;
+            }
+        } else if !send_coop(&txs[p], TaskMsg::Event(ev.clone()), failed, metrics) {
             return;
         }
         if emitted % wm_every == 0 {
@@ -634,19 +697,35 @@ fn source_loop<T: Clone + Send>(
             if let Some(g) = lag_gauge {
                 g.store(frontier.saturating_sub(wm), Ordering::Release);
             }
-            for tx in txs {
-                if !send_coop(tx, TaskMsg::Watermark(wm), failed, metrics) {
-                    return;
+            if slabbed {
+                // In-band: the watermark rides inside every partition's
+                // slab at its exact stream position, so slabs keep
+                // growing across watermark ticks and only barriers (and
+                // stream end) force a flush.
+                for slab in &mut slabs {
+                    slab.push(SlabEntry::Watermark(wm));
+                }
+            } else {
+                for tx in txs {
+                    if !send_coop(tx, TaskMsg::Watermark(wm), failed, metrics) {
+                        return;
+                    }
                 }
             }
         }
         if emitted % interval == 0 {
+            if !flush_slabs(&mut slabs, txs, failed, metrics) {
+                return;
+            }
             for tx in txs {
                 if !send_coop(tx, TaskMsg::Barrier(emitted / interval), failed, metrics) {
                     return;
                 }
             }
         }
+    }
+    if !flush_slabs(&mut slabs, txs, failed, metrics) {
+        return;
     }
     fault.on_finish();
     if cfg.hold_at_end {
@@ -749,6 +828,92 @@ fn task_loop<Op: StreamOperator>(
                     }
                 }
             }
+            TaskMsg::Events(slab) => {
+                if live {
+                    check_cancelled(cancel, metrics, stage, part);
+                }
+                metrics.add_stream_batches(1);
+                // Events between two in-band watermarks form a *run* that
+                // folds batch-at-a-time; each watermark first flushes the
+                // pending run, then fires windows exactly as the record
+                // transport's broadcast watermark would at that position.
+                let mut run: Vec<super::StreamEvent<Op::In>> = Vec::new();
+                for entry in slab {
+                    match entry {
+                        SlabEntry::Event(ev) => {
+                            if live {
+                                // Per-event fault arming keeps kill
+                                // positions identical to the record
+                                // transport; recovery replays the slab
+                                // whole from the sealed snapshot.
+                                fault.on_event();
+                            }
+                            if ev.time < watermark {
+                                metrics.add_late_events_dropped(1);
+                                continue;
+                            }
+                            if ev.time < frontier {
+                                metrics.add_watermark_lag_events(1);
+                            }
+                            frontier = frontier.max(ev.time);
+                            run.push(ev);
+                        }
+                        SlabEntry::Watermark(w) => {
+                            if !run.is_empty() {
+                                op.on_batch(&run, &mut buf);
+                                metrics.add_compute_calls(run.len() as u64);
+                                run.clear();
+                                if !buf.is_empty() {
+                                    if live {
+                                        if !send_coop(
+                                            sink,
+                                            SinkMsg::Items(part, std::mem::take(&mut buf)),
+                                            failed,
+                                            metrics,
+                                        ) {
+                                            live = false;
+                                        }
+                                    } else {
+                                        buf.clear();
+                                    }
+                                }
+                            }
+                            if w > watermark {
+                                watermark = w;
+                                op.on_watermark(w, &mut buf);
+                                metrics.add_windows_emitted(buf.len() as u64);
+                                for o in buf.drain(..) {
+                                    if live
+                                        && !send_coop(
+                                            sink,
+                                            SinkMsg::Item(part, o),
+                                            failed,
+                                            metrics,
+                                        )
+                                    {
+                                        live = false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if run.is_empty() {
+                    continue;
+                }
+                op.on_batch(&run, &mut buf);
+                metrics.add_compute_calls(run.len() as u64);
+                if buf.is_empty() {
+                    continue;
+                }
+                if live {
+                    if !send_coop(sink, SinkMsg::Items(part, std::mem::take(&mut buf)), failed, metrics) {
+                        live = false;
+                    }
+                } else {
+                    buf.clear();
+                }
+            }
             TaskMsg::Watermark(w) => {
                 if w > watermark {
                     watermark = w;
@@ -808,6 +973,12 @@ fn sink_loop<Op: StreamOperator>(
                     .entry(cur[p])
                     .or_insert_with(|| (0..parts).map(|_| Vec::new()).collect())[p]
                     .push(o);
+            }
+            SinkMsg::Items(p, mut outs) => {
+                pending
+                    .entry(cur[p])
+                    .or_insert_with(|| (0..parts).map(|_| Vec::new()).collect())[p]
+                    .append(&mut outs);
             }
             SinkMsg::Barrier(p, k) => {
                 debug_assert_eq!(k, cur[p], "barrier misalignment on partition {p}");
@@ -893,6 +1064,9 @@ where
             let mut wm = 0u64;
             let mut pending: BTreeMap<u64, Vec<Vec<Op::Out>>> = BTreeMap::new();
             let mut buf: Vec<Op::Out> = Vec::new();
+            let slabbed = cfg.slab_rows > 1;
+            let mut slabs: Vec<Vec<super::StreamEvent<Op::In>>> =
+                (0..parts).map(|_| Vec::new()).collect();
 
             // Bootstrap checkpoint (mirrors the continuous bootstrap
             // barrier).
@@ -922,7 +1096,15 @@ where
                 let epoch = idx / interval + 1;
                 let p = (route(&ev.payload) % parts as u64) as usize;
                 task_faults[p].on_event();
-                if ev.time < wms[p] {
+                if slabbed {
+                    slabs[p].push(ev.clone());
+                    if slabs[p].len() >= cfg.slab_rows {
+                        drain_slab(
+                            &mut slabs[p], &mut ops[p], wms[p], &mut frontiers[p], epoch,
+                            parts, p, &mut pending, &mut buf, metrics,
+                        );
+                    }
+                } else if ev.time < wms[p] {
                     metrics.add_late_events_dropped(1);
                 } else {
                     if ev.time < frontiers[p] {
@@ -941,6 +1123,12 @@ where
                         g.store(src_frontier.saturating_sub(wm), Ordering::Release);
                     }
                     for (p, op) in ops.iter_mut().enumerate() {
+                        // Slabs flush before the watermark advances, as in
+                        // the continuous runtime's control alignment.
+                        drain_slab(
+                            &mut slabs[p], op, wms[p], &mut frontiers[p], epoch, parts, p,
+                            &mut pending, &mut buf, metrics,
+                        );
                         if wm > wms[p] {
                             wms[p] = wm;
                             op.on_watermark(wm, &mut buf);
@@ -951,6 +1139,12 @@ where
                 }
                 if emitted % interval == 0 {
                     let k = emitted / interval;
+                    for (p, op) in ops.iter_mut().enumerate() {
+                        drain_slab(
+                            &mut slabs[p], op, wms[p], &mut frontiers[p], epoch, parts, p,
+                            &mut pending, &mut buf, metrics,
+                        );
+                    }
                     for (p, op) in ops.iter().enumerate() {
                         snapshot_task::<Op>(
                             &store, metrics, seed, parts, k, p, wms[p], frontiers[p],
@@ -960,6 +1154,14 @@ where
                     commit_epoch(k, &mut pending, &committed, &last_committed, metrics);
                     scrub_previous::<Op>(&store, plan, metrics, stage_op, seed, attempt, k);
                 }
+            }
+            // Any residual slab belongs to the final flush epoch (the loop
+            // drained at every earlier barrier boundary).
+            for (p, op) in ops.iter_mut().enumerate() {
+                drain_slab(
+                    &mut slabs[p], op, wms[p], &mut frontiers[p], final_epoch, parts, p,
+                    &mut pending, &mut buf, metrics,
+                );
             }
             src_fault.on_finish();
             for f in &mut task_faults {
@@ -1004,6 +1206,55 @@ where
             }
         }
     }
+}
+
+/// Drains one partition's micro-batch slab: late-filters against the
+/// partition watermark, folds the survivors through
+/// [`StreamOperator::on_batch`] in one call, and stashes the outputs at
+/// `epoch`. The slab is always flushed before the driver processes a
+/// watermark or takes a barrier, so the filter sees exactly the watermark
+/// the record path would have seen per event.
+#[allow(clippy::too_many_arguments)]
+fn drain_slab<Op: StreamOperator>(
+    slab: &mut Vec<super::StreamEvent<Op::In>>,
+    op: &mut Op,
+    wm_p: u64,
+    frontier_p: &mut u64,
+    epoch: u64,
+    parts: usize,
+    part: usize,
+    pending: &mut BTreeMap<u64, Vec<Vec<Op::Out>>>,
+    buf: &mut Vec<Op::Out>,
+    metrics: &EngineMetrics,
+) {
+    if slab.is_empty() {
+        return;
+    }
+    metrics.add_stream_batches(1);
+    let (mut late, mut lagged) = (0u64, 0u64);
+    slab.retain(|ev| {
+        if ev.time < wm_p {
+            late += 1;
+            return false;
+        }
+        if ev.time < *frontier_p {
+            lagged += 1;
+        }
+        *frontier_p = (*frontier_p).max(ev.time);
+        true
+    });
+    if late > 0 {
+        metrics.add_late_events_dropped(late);
+    }
+    if lagged > 0 {
+        metrics.add_watermark_lag_events(lagged);
+    }
+    if !slab.is_empty() {
+        op.on_batch(slab, buf);
+        metrics.add_compute_calls(slab.len() as u64);
+        stash(pending, epoch, parts, part, buf);
+    }
+    slab.clear();
 }
 
 /// Moves buffered outputs into the given epoch's per-partition slot.
@@ -1114,6 +1365,56 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "bounded disorder within the allowance must be invisible");
+    }
+
+    /// Runs one job with an explicit `slab_rows`, returning the result and
+    /// the metrics handle so tests can inspect the transport counters.
+    fn run_slab(
+        continuous: bool,
+        slab_rows: usize,
+        plan: &FaultPlan,
+    ) -> (StreamRunResult<WindowResult>, EngineMetrics) {
+        let source = StreamSource::with_config(
+            events(200),
+            SourceConfig {
+                allowance: 40,
+                watermark_every: 8,
+                stall_watermark_after: None,
+                hold_at_end: false,
+            },
+        );
+        let cfg = StreamJobConfig {
+            parallelism: 3,
+            slab_rows,
+            ..StreamJobConfig::default()
+        };
+        let metrics = EngineMetrics::new();
+        let cancel = CancelToken::new();
+        let out = if continuous {
+            run_continuous_checkpointed(&source, make_op, route, &cfg, plan, &metrics, &cancel)
+        } else {
+            run_micro_batch_checkpointed(&source, make_op, route, &cfg, plan, &metrics, &cancel)
+        };
+        (out, metrics)
+    }
+
+    #[test]
+    fn slab_transport_commits_byte_equal_to_per_event() {
+        install_quiet_hook();
+        for continuous in [true, false] {
+            // Clean run: slabbed and per-event transports must be
+            // indistinguishable in the committed (epoch, result) sequence.
+            let (slab, m_slab) = run_slab(continuous, 64, &FaultPlan::disabled());
+            let (event, m_event) = run_slab(continuous, 1, &FaultPlan::disabled());
+            assert!(!slab.committed.is_empty());
+            assert_eq!(slab.committed, event.committed, "clean runs diverged");
+            assert!(m_slab.stream_batches() > 0, "slab path not taken");
+            assert_eq!(m_event.stream_batches(), 0, "per-event path took slabs");
+            // Chaos run: same kill schedule, same committed bytes.
+            let (slab, _) = run_slab(continuous, 64, &FaultPlan::new(FaultConfig::chaos(9)));
+            let (event, _) = run_slab(continuous, 1, &FaultPlan::new(FaultConfig::chaos(9)));
+            assert_eq!(slab.committed, event.committed, "chaos runs diverged");
+        }
     }
 
     #[test]

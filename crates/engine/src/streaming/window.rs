@@ -16,6 +16,9 @@
 use std::collections::BTreeMap;
 
 use flowmark_columnar::checksum::Xxh64;
+use flowmark_columnar::kernels;
+
+use crate::hash::{fx_map_with_capacity, FxHashMap};
 
 use super::StreamEvent;
 
@@ -48,11 +51,27 @@ impl WindowAssigner {
     /// windows return the proto-window `[t, t + gap)`; merging happens in
     /// the operator.
     pub fn assign(&self, t: u64) -> Vec<(u64, u64)> {
+        if let WindowAssigner::Session { gap } = *self {
+            return vec![(t, t + gap.max(1))];
+        }
+        let mut v = Vec::with_capacity(1);
+        self.for_each_window(t, |s, e| v.push((s, e)));
+        v
+    }
+
+    /// Calls `f(start, end)` for every non-merging window containing `t`,
+    /// without allocating the `Vec` that [`WindowAssigner::assign`]
+    /// returns — the batch fold's per-event hot path.
+    ///
+    /// # Panics
+    /// Panics for session assigners: merged windows have no static
+    /// assignment (callers check [`WindowAssigner::merging`] first).
+    pub fn for_each_window(&self, t: u64, mut f: impl FnMut(u64, u64)) {
         match *self {
             WindowAssigner::Tumbling { size } => {
                 let size = size.max(1);
                 let start = t - t % size;
-                vec![(start, start + size)]
+                f(start, start + size);
             }
             WindowAssigner::Sliding { size, slide } => {
                 let size = size.max(1);
@@ -61,12 +80,13 @@ impl WindowAssigner {
                 let last = t - t % slide;
                 let first = (t + 1).saturating_sub(size);
                 let first = first.div_ceil(slide) * slide;
-                (first..=last)
-                    .step_by(slide as usize)
-                    .map(|s| (s, s + size))
-                    .collect()
+                for s in (first..=last).step_by(slide as usize) {
+                    f(s, s + size);
+                }
             }
-            WindowAssigner::Session { gap } => vec![(t, t + gap.max(1))],
+            WindowAssigner::Session { .. } => {
+                unreachable!("session windows merge; they have no static assignment")
+            }
         }
     }
 
@@ -111,6 +131,16 @@ pub trait StreamOperator: Send {
     /// Folds one event into operator state, appending any immediate
     /// outputs to `out`.
     fn on_event(&mut self, event: &StreamEvent<Self::In>, out: &mut Vec<Self::Out>);
+    /// Folds a transport slab of events batch-at-a-time, appending
+    /// immediate outputs in event order. The default loops
+    /// [`StreamOperator::on_event`]; overriders must produce state and
+    /// outputs identical to that loop for any slab partitioning of the
+    /// same event sequence (the runtimes' byte-equality contract).
+    fn on_batch(&mut self, events: &[StreamEvent<Self::In>], out: &mut Vec<Self::Out>) {
+        for ev in events {
+            self.on_event(ev, out);
+        }
+    }
     /// Advances event time: windows ending at or before `watermark` are
     /// finalised and appended to `out`.
     fn on_watermark(&mut self, watermark: u64, out: &mut Vec<Self::Out>);
@@ -232,6 +262,72 @@ impl<In: Clone + Send + 'static> StreamOperator for WindowedAggregate<In> {
                 debug_assert_eq!(w.end, end, "window ({key},{start}) changed its end");
                 w.acc.fold(value);
             }
+        }
+    }
+
+    /// Batch fold: the slab is flattened into dense slot ids (one slot per
+    /// distinct `(key, window)` this slab touches) plus flat value
+    /// columns, summed through [`flowmark_columnar::kernels::hash_agg_u64`],
+    /// and folded into the open-window tree once per distinct window — the
+    /// per-event `assign()` allocation and per-event tree probe both
+    /// disappear. Wrapping sum / count / max are order-insensitive, so the
+    /// resulting state is identical to the event-at-a-time loop. Merging
+    /// (session) assigners keep the default per-event path.
+    fn on_batch(&mut self, events: &[StreamEvent<In>], out: &mut Vec<WindowResult>) {
+        // Small slabs (frequent watermarks or barriers force flushes well
+        // below the configured slab size) don't amortise the dictionary +
+        // column allocations below; the per-event fold is cheaper there.
+        const MIN_COLUMNAR_SLAB: usize = 32;
+        if self.assigner.merging() || events.len() < MIN_COLUMNAR_SLAB {
+            for ev in events {
+                self.on_event(ev, out);
+            }
+            return;
+        }
+        // Pass 1: dictionary-encode (key, start) into dense slot ids.
+        let mut dict: FxHashMap<(u64, u64), u64> = fx_map_with_capacity(events.len());
+        let mut slot_windows: Vec<(u64, u64, u64)> = Vec::new();
+        let mut slots: Vec<u64> = Vec::with_capacity(events.len());
+        let mut vals: Vec<u64> = Vec::with_capacity(events.len());
+        for ev in events {
+            let Some((key, value)) = (self.extract)(&ev.payload) else {
+                continue;
+            };
+            let windows = &mut slot_windows;
+            self.assigner.for_each_window(ev.time, |start, end| {
+                let slot = *dict.entry((key, start)).or_insert_with(|| {
+                    windows.push((key, start, end));
+                    windows.len() as u64 - 1
+                });
+                slots.push(slot);
+                vals.push(value);
+            });
+        }
+        if slots.is_empty() {
+            return;
+        }
+        // Pass 2: sum via the shared hash-agg kernel over the flat
+        // columns; count and max fold over dense slot-indexed arrays.
+        let mut sums: FxHashMap<u64, u64> = fx_map_with_capacity(slot_windows.len());
+        kernels::hash_agg_u64(&slots, &vals, None, None, &mut sums, |a, v| {
+            *a = a.wrapping_add(v)
+        });
+        let mut counts = vec![0u64; slot_windows.len()];
+        let mut maxs = vec![0u64; slot_windows.len()];
+        for (i, &s) in slots.iter().enumerate() {
+            counts[s as usize] += 1;
+            maxs[s as usize] = maxs[s as usize].max(vals[i]);
+        }
+        // Pass 3: one tree probe per distinct window touched by the slab.
+        for (slot, &(key, start, end)) in slot_windows.iter().enumerate() {
+            let w = self.windows.entry((key, start)).or_insert(OpenWindow {
+                end,
+                acc: WindowAcc::default(),
+            });
+            debug_assert_eq!(w.end, end, "window ({key},{start}) changed its end");
+            w.acc.sum = w.acc.sum.wrapping_add(sums[&(slot as u64)]);
+            w.acc.count += counts[slot];
+            w.acc.max = w.acc.max.max(maxs[slot]);
         }
     }
 
@@ -367,6 +463,36 @@ mod tests {
         feed(&mut op, &[(3, 9, 1)]);
         assert_eq!(op.open_windows(), 1);
         assert_eq!(op.state()[0], [9, 0, 13, 5, 5, 1]);
+    }
+
+    #[test]
+    fn batch_fold_matches_per_event_fold_under_any_slab_split() {
+        let events: Vec<StreamEvent<(u64, u64)>> = (0..60u64)
+            .map(|i| StreamEvent::new((i * 7) % 40, (i % 3, i.wrapping_mul(0x9E37))))
+            .collect();
+        for assigner in [
+            WindowAssigner::Tumbling { size: 10 },
+            WindowAssigner::Sliding { size: 12, slide: 4 },
+            WindowAssigner::Session { gap: 3 },
+        ] {
+            let mut by_event = WindowedAggregate::new(assigner, kv);
+            let mut out = Vec::new();
+            for ev in &events {
+                by_event.on_event(ev, &mut out);
+            }
+            for split in [1usize, 7, 17, 60] {
+                let mut by_batch = WindowedAggregate::new(assigner, kv);
+                for slab in events.chunks(split) {
+                    by_batch.on_batch(slab, &mut out);
+                }
+                assert_eq!(
+                    by_batch.state(),
+                    by_event.state(),
+                    "{assigner:?} diverged at slab size {split}"
+                );
+            }
+            assert!(out.is_empty(), "no immediate outputs expected");
+        }
     }
 
     #[test]

@@ -89,12 +89,13 @@ proptest! {
         // The first kill targets attempt 0 so at least one is guaranteed
         // to land; later entries may name attempt 1 (a kill *during*
         // recovery), which only fires if that task actually restarts.
+        let kill_list: Vec<(u64, usize, u32)> = kills
+            .iter()
+            .enumerate()
+            .map(|(i, &(part, attempt))| (stage, part, if i == 0 { 0 } else { attempt }))
+            .collect();
         let plan = FaultPlan::new(FaultConfig {
-            kill_list: kills
-                .iter()
-                .enumerate()
-                .map(|(i, &(part, attempt))| (stage, part, if i == 0 { 0 } else { attempt }))
-                .collect(),
+            kill_list: kill_list.clone(),
             checkpoint_interval_records: 8,
             max_attempts: 8,
             ..FaultConfig::default()
@@ -109,6 +110,37 @@ proptest! {
             run_continuous_checkpointed(&src, make_op, kv_route, &cfg, &plan, &metrics, &cancel)
         };
         prop_assert!(metrics.recovery().injected_failures > 0, "no kill landed");
-        prop_assert_eq!(canon(out.committed), expect, "kills broke exactly-once");
+        prop_assert_eq!(canon(out.committed.clone()), expect, "kills broke exactly-once");
+        prop_assert!(
+            metrics.stream_batches() > 0,
+            "default config must take the slab transport"
+        );
+
+        // Batch-vs-record transport equality under the same kill schedule:
+        // the slab path must commit the byte-identical (epoch, result)
+        // sequence the event-at-a-time path commits.
+        let record_cfg = StreamJobConfig { slab_rows: 1, ..cfg.clone() };
+        let record_plan = FaultPlan::new(FaultConfig {
+            kill_list,
+            checkpoint_interval_records: 8,
+            max_attempts: 8,
+            ..FaultConfig::default()
+        });
+        let record_metrics = EngineMetrics::new();
+        let record_out = if micro {
+            run_micro_batch_checkpointed(
+                &src, make_op, kv_route, &record_cfg, &record_plan, &record_metrics, &cancel)
+        } else {
+            run_continuous_checkpointed(
+                &src, make_op, kv_route, &record_cfg, &record_plan, &record_metrics, &cancel)
+        };
+        prop_assert_eq!(
+            record_metrics.stream_batches(), 0,
+            "slab_rows <= 1 must stay on the per-event transport"
+        );
+        prop_assert_eq!(
+            out.committed, record_out.committed,
+            "slab and per-event transports diverged under kills"
+        );
     }
 }

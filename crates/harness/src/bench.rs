@@ -13,12 +13,22 @@
 use std::time::Instant;
 
 use flowmark_datagen::graph::{RmatGen, RmatParams};
+use flowmark_datagen::nexmark::{generate, NexmarkConfig, NexmarkEvent};
 use flowmark_datagen::points::{PointsConfig, PointsGen};
 use flowmark_datagen::terasort::TeraGen;
 use flowmark_datagen::text::{TextGen, TextGenConfig};
+use flowmark_engine::faults::{CancelToken, FaultConfig, FaultPlan};
 use flowmark_engine::flink::FlinkEnv;
 use flowmark_engine::spark::SparkContext;
+use flowmark_engine::streaming::runtime::{
+    run_continuous_checkpointed, run_micro_batch_checkpointed, StreamJobConfig,
+};
+use flowmark_engine::streaming::source::shuffle_bounded;
+use flowmark_engine::streaming::{SourceConfig, StreamSource};
 use flowmark_workloads::connected::{self, CcVariant};
+use flowmark_workloads::stream::{
+    canonical, nexmark_source, q3_oracle, q6_operator, q6_oracle, route_nexmark, Q3Join,
+};
 use flowmark_workloads::{grep, kmeans, pagerank, terasort, wordcount};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +39,7 @@ const TS_SEED: u64 = 11;
 const KM_SEED: u64 = 13;
 const PR_SEED: u64 = 17;
 const CC_SEED: u64 = 19;
+const NX_SEED: u64 = 23;
 
 /// One measured cell: a workload on one engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,6 +73,25 @@ pub struct BenchCell {
     /// JSON artifacts such as `BENCH_PR6.json` parseable).
     #[serde(default)]
     pub batches_checksummed: u64,
+    /// Points the vectorized K-Means `assign_accumulate` kernel assigned;
+    /// 0 on the record adapter (`default` keeps BENCH_PR6/PR7 parseable).
+    #[serde(default)]
+    pub points_assigned_vectorized: u64,
+    /// Sorted runs the LSD radix kernel produced in place of a comparison
+    /// sort; 0 on the record adapter (`default` keeps BENCH_PR6/PR7
+    /// parseable).
+    #[serde(default)]
+    pub radix_sort_runs: u64,
+    /// Event slabs the streaming runtime carried instead of per-event
+    /// sends; 0 on batch workloads and the per-event runtime (`default`
+    /// keeps BENCH_PR6/PR7 parseable).
+    #[serde(default)]
+    pub stream_batches: u64,
+    /// `batch` when any vectorized counter fired during the cell, `record`
+    /// otherwise — makes a silent regression to the record adapter visible
+    /// in the table (`default` keeps pre-existing artifacts parseable).
+    #[serde(default)]
+    pub path: String,
     /// True when the output matched the sequential oracle.
     pub verified: bool,
 }
@@ -101,6 +131,8 @@ pub struct SmokeScale {
     pub graph_edges: usize,
     /// K-Means sample points.
     pub kmeans_points: usize,
+    /// Nexmark events per streaming query (q3/q6 throughput cells).
+    pub stream_events: usize,
     /// Supersteps for the iterative workloads (PR iterations, K-Means
     /// rounds; CC always runs to its fixpoint).
     pub rounds: u32,
@@ -118,6 +150,7 @@ impl SmokeScale {
             ts_records: 150_000,
             graph_edges: 120_000,
             kmeans_points: 200_000,
+            stream_events: 60_000,
             rounds: 10,
             iterations: 3,
             partitions: 8,
@@ -131,6 +164,7 @@ impl SmokeScale {
             ts_records: 1_500,
             graph_edges: 1_200,
             kmeans_points: 1_500,
+            stream_events: 1_200,
             rounds: 3,
             iterations: 1,
             partitions: 4,
@@ -175,8 +209,37 @@ fn cell(
         messages_combined: metrics.messages_combined(),
         batches_processed: metrics.batches_processed(),
         batches_checksummed: metrics.recovery().batches_checksummed,
+        points_assigned_vectorized: metrics.points_assigned_vectorized(),
+        radix_sort_runs: metrics.radix_sort_runs(),
+        stream_batches: metrics.stream_batches(),
+        path: if metrics.batches_processed() > 0
+            || metrics.points_assigned_vectorized() > 0
+            || metrics.radix_sort_runs() > 0
+            || metrics.stream_batches() > 0
+        {
+            "batch".into()
+        } else {
+            "record".into()
+        },
         verified,
     }
+}
+
+/// Builds one streaming query's dataset the way `repro stream` does: a
+/// generated Nexmark stream with bounded in-allowance disorder, so the
+/// runtimes see watermark lag but drop nothing.
+fn stream_dataset(seed: u64, events: usize) -> StreamSource<NexmarkEvent> {
+    let mut src = nexmark_source(
+        generate(seed, events, &NexmarkConfig::default()),
+        SourceConfig {
+            allowance: 32,
+            watermark_every: 16,
+            stall_watermark_after: None,
+            hold_at_end: false,
+        },
+    );
+    src.events = shuffle_bounded(src.events, seed ^ 0xD150_4DE4, 6);
+    src
 }
 
 /// Runs the smoke benchmark: WC + Grep + TeraSort + K-Means + Page Rank +
@@ -417,6 +480,69 @@ pub fn run_smoke(scale: SmokeScale, label: &str) -> BenchReport {
         ));
     }
 
+    // --- Nexmark streaming throughput ---------------------------------------
+    // q3 (filter-join) and q6 (windowed aggregate) on both checkpointed
+    // runtimes, clean plan: micro-batch is the staged (`spark`) model,
+    // continuous the pipelined (`flink`) one.
+    let nx_cfg = StreamJobConfig {
+        parallelism: parts.min(4),
+        ..StreamJobConfig::default()
+    };
+    let nx_plan = FaultPlan::new(FaultConfig {
+        checkpoint_interval_records: 64,
+        ..FaultConfig::default()
+    });
+    let q3_src = stream_dataset(NX_SEED ^ 0x51_33, scale.stream_events);
+    let q6_src = stream_dataset(NX_SEED ^ 0x51_66, scale.stream_events);
+    let q3_expect = q3_oracle(&q3_src);
+    let q6_expect = q6_oracle(&q6_src);
+    for (engine, micro) in [("spark", true), ("flink", false)] {
+        let metrics = flowmark_engine::EngineMetrics::new();
+        let cancel = CancelToken::new();
+        let (secs, out) = time_best(scale.iterations, || {
+            if micro {
+                run_micro_batch_checkpointed(
+                    &q3_src, |_| Q3Join::new(), route_nexmark, &nx_cfg, &nx_plan, &metrics, &cancel,
+                )
+            } else {
+                run_continuous_checkpointed(
+                    &q3_src, |_| Q3Join::new(), route_nexmark, &nx_cfg, &nx_plan, &metrics, &cancel,
+                )
+            }
+        });
+        cells.push(cell(
+            "nexmark_q3",
+            engine,
+            q3_src.events.len() as u64,
+            secs,
+            &metrics,
+            canonical(&out.committed) == q3_expect,
+        ));
+    }
+    for (engine, micro) in [("spark", true), ("flink", false)] {
+        let metrics = flowmark_engine::EngineMetrics::new();
+        let cancel = CancelToken::new();
+        let (secs, out) = time_best(scale.iterations, || {
+            if micro {
+                run_micro_batch_checkpointed(
+                    &q6_src, |_| q6_operator(), route_nexmark, &nx_cfg, &nx_plan, &metrics, &cancel,
+                )
+            } else {
+                run_continuous_checkpointed(
+                    &q6_src, |_| q6_operator(), route_nexmark, &nx_cfg, &nx_plan, &metrics, &cancel,
+                )
+            }
+        });
+        cells.push(cell(
+            "nexmark_q6",
+            engine,
+            q6_src.events.len() as u64,
+            secs,
+            &metrics,
+            canonical(&out.committed) == q6_expect,
+        ));
+    }
+
     BenchReport {
         label: label.into(),
         iterations: scale.iterations,
@@ -459,13 +585,13 @@ pub fn render(report: &ComparisonReport) -> String {
         report.measured.label, report.measured.iterations, report.measured.partitions
     ));
     out.push_str(&format!(
-        "{:<10} {:<6} {:>10} {:>10} {:>14} {:>9}\n",
-        "workload", "engine", "records", "seconds", "records/sec", "verified"
+        "{:<10} {:<6} {:>10} {:>10} {:>14} {:>6} {:>9}\n",
+        "workload", "engine", "records", "seconds", "records/sec", "path", "verified"
     ));
     for c in &report.measured.cells {
         out.push_str(&format!(
-            "{:<10} {:<6} {:>10} {:>10.4} {:>14.0} {:>9}\n",
-            c.workload, c.engine, c.records, c.seconds, c.records_per_sec, c.verified
+            "{:<10} {:<6} {:>10} {:>10.4} {:>14.0} {:>6} {:>9}\n",
+            c.workload, c.engine, c.records, c.seconds, c.records_per_sec, c.path, c.verified
         ));
     }
     if !report.speedup_vs_seed.is_empty() {
@@ -484,7 +610,7 @@ mod tests {
     #[test]
     fn tiny_smoke_verifies_all_cells() {
         let report = run_smoke(SmokeScale::tiny(), "test");
-        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.cells.len(), 16);
         for c in &report.cells {
             assert!(c.verified, "{}/{} diverged from oracle", c.workload, c.engine);
             assert!(c.records > 0 && c.seconds >= 0.0);
@@ -499,7 +625,7 @@ mod tests {
             c.records_per_sec /= 2.0;
         }
         let cmp = compare(b, Some(a));
-        assert_eq!(cmp.speedup_vs_seed.len(), 12);
+        assert_eq!(cmp.speedup_vs_seed.len(), 16);
         for (_, s) in &cmp.speedup_vs_seed {
             assert!((s - 2.0).abs() < 1e-9);
         }

@@ -92,6 +92,11 @@ pub struct StreamCell {
     pub late_events_dropped: u64,
     /// Out-of-order (but in-allowance) arrivals observed.
     pub watermark_lag_events: u64,
+    /// Event slabs folded batch-at-a-time by the transport (0 means the
+    /// cell ran the per-event path); `default` keeps pre-existing JSON
+    /// artifacts parseable.
+    #[serde(default)]
+    pub stream_batches: u64,
     /// The engine's recovery counters after the run.
     pub recovery: RecoverySnapshot,
 }
@@ -246,6 +251,7 @@ where
         windows_emitted: metrics.windows_emitted(),
         late_events_dropped: metrics.late_events_dropped(),
         watermark_lag_events: metrics.watermark_lag_events(),
+        stream_batches: metrics.stream_batches(),
         recovery: metrics.recovery(),
     }
 }
@@ -430,6 +436,7 @@ mod tests {
             windows_emitted: if query == "q6" { 8 } else { 0 },
             late_events_dropped: 0,
             watermark_lag_events: 3,
+            stream_batches: 4,
             recovery,
         }
     }

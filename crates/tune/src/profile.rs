@@ -121,8 +121,16 @@ pub fn classify(
     // reads as 30% less compute-hungry. Capped at 0.3 so a clean CPU-bound
     // run (cpu = 100) stays above the bound threshold (60) and existing
     // verdicts don't flip — the discount shifts magnitude, not class.
-    let vector_frac =
-        (metrics.rows_selected as f64 / (metrics.records_read.max(1) as f64)).min(1.0);
+    // Rows assigned by the K-Means batch kernel count alongside filter
+    // kernel output: both replaced a per-record virtual dispatch with a
+    // columnar loop. Radix-sorted merges and slab-transported stream
+    // batches vectorize work that has no per-row counter, so their
+    // presence adds a flat bump instead.
+    let vector_rows = metrics.rows_selected + metrics.points_assigned_vectorized;
+    let kernel_bump =
+        if metrics.radix_sort_runs + metrics.stream_batches > 0 { 0.1 } else { 0.0 };
+    let vector_frac = (vector_rows as f64 / (metrics.records_read.max(1) as f64) + kernel_bump)
+        .min(1.0);
     // Integrity repair — poisoned-partition recomputes and checkpoint
     // snapshots discarded as unverifiable — re-runs work that was already
     // paid for once, so it surfaces as extra CPU burn rather than a new
@@ -287,6 +295,65 @@ mod tests {
         assert!(cpu_mean(&vv) < cpu_mean(&vs), "vectorized run must read cooler");
         assert_eq!(vs.bottleneck, Bottleneck::Cpu);
         assert_eq!(vv.bottleneck, Bottleneck::Cpu, "discount must not flip the class");
+    }
+
+    #[test]
+    fn kmeans_batch_assignments_discount_cpu_like_filter_rows() {
+        // A run whose rows went through `assign_accumulate` instead of a
+        // filter kernel earns the same vectorization discount.
+        let scalar = snapshot(|m| {
+            m.add_records_read(10_000);
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+        });
+        let batched = snapshot(|m| {
+            m.add_records_read(10_000);
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+            m.add_batches_processed(3);
+            m.add_points_assigned_vectorized(10_000);
+        });
+        let config = CorrelationConfig::default();
+        let vs = classify(&PlanTrace::new(), &scalar, 1.0, &config);
+        let vb = classify(&PlanTrace::new(), &batched, 1.0, &config);
+        let cpu_mean = |v: &Verdict| {
+            v.report
+                .profiles
+                .first()
+                .map(|p| p.mean(ResourceKind::Cpu))
+                .unwrap_or(0.0)
+        };
+        assert!(cpu_mean(&vb) < cpu_mean(&vs), "batched run must read cooler");
+        assert_eq!(vb.bottleneck, Bottleneck::Cpu, "discount must not flip the class");
+    }
+
+    #[test]
+    fn radix_and_slab_kernels_bump_the_discount_without_flipping() {
+        // Radix merges and stream slabs have no per-row counter; their
+        // presence adds a capped flat bump to the vectorized fraction.
+        let base = |m: &EngineMetrics| {
+            m.add_records_read(10_000);
+            m.add_records_shuffled(10_000);
+            m.add_bytes_shuffled(160_000);
+        };
+        let plain = snapshot(base);
+        let kerneled = snapshot(|m| {
+            base(m);
+            m.add_radix_sort_runs(4);
+            m.add_stream_batches(12);
+        });
+        let config = CorrelationConfig::default();
+        let vp = classify(&PlanTrace::new(), &plain, 1.0, &config);
+        let vk = classify(&PlanTrace::new(), &kerneled, 1.0, &config);
+        let cpu_mean = |v: &Verdict| {
+            v.report
+                .profiles
+                .first()
+                .map(|p| p.mean(ResourceKind::Cpu))
+                .unwrap_or(0.0)
+        };
+        assert!(cpu_mean(&vk) < cpu_mean(&vp), "kernel bump must read cooler");
+        assert_eq!(vk.bottleneck, Bottleneck::Cpu, "bump must not flip the class");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! - Flink: `bulk iterate` with the centroids broadcast per round
 //!   (`withBroadcastSet`) — the whole loop deploys once.
 
+use flowmark_columnar::{kernels, F64Batch};
 use flowmark_core::config::Framework;
 use flowmark_dataflow::operator::OperatorKind;
 use flowmark_dataflow::plan::{CostAnnotation, IterationKind, LogicalPlan};
@@ -154,8 +155,110 @@ impl Partial {
     }
 }
 
-/// Runs K-Means on the staged engine: driver loop over a persisted RDD.
+/// Point dimensionality (the paper's samples are 2-D).
+const DIMS: usize = 2;
+
+/// Packs a point slice into dim-major [`F64Batch`]es of at most
+/// [`flowmark_columnar::DEFAULT_BATCH_ROWS`] rows each.
+fn batch_points(points: &[Point]) -> Vec<F64Batch> {
+    if points.is_empty() {
+        return vec![F64Batch::new(DIMS)];
+    }
+    points
+        .chunks(flowmark_columnar::DEFAULT_BATCH_ROWS)
+        .map(|chunk| {
+            F64Batch::from_rows(DIMS, chunk.iter().map(|p| [p.x, p.y]))
+        })
+        .collect()
+}
+
+/// The current centroids as one dim-major batch for the distance kernel.
+fn centers_batch(centers: &[Point]) -> F64Batch {
+    F64Batch::from_rows(DIMS, centers.iter().map(|c| [c.x, c.y]))
+}
+
+/// Folds every point of a partition's batches into per-center sums via the
+/// vectorized [`kernels::assign_accumulate`] path, counting the rows it
+/// assigned.
+fn assign_partition(
+    batches: &[F64Batch],
+    centers: &F64Batch,
+    metrics: &flowmark_engine::metrics::EngineMetrics,
+) -> Partial {
+    let k = centers.rows();
+    let mut sums = vec![0.0f64; DIMS * k];
+    let mut counts = vec![0u64; k];
+    for b in batches {
+        let rows = kernels::assign_accumulate(b, centers, &mut sums, &mut counts);
+        metrics.add_batches_processed(1);
+        metrics.add_points_assigned_vectorized(rows as u64);
+    }
+    Partial {
+        sums: (0..k).map(|c| (sums[c], sums[k + c], counts[c])).collect(),
+    }
+}
+
+/// Runs K-Means on the staged engine: driver loop over a persisted RDD of
+/// dim-major column batches. Each map task folds its whole partition
+/// through [`kernels::assign_accumulate`] and ships exactly `k`
+/// `(center, sum)` triples into the `reduceByKey` exchange — the per-point
+/// tuple stream of [`run_spark_records`] never materialises.
 pub fn run_spark(
+    sc: &SparkContext,
+    points: Vec<Point>,
+    mut centers: Vec<Point>,
+    iterations: u32,
+    partitions: usize,
+) -> Vec<Point> {
+    let k = centers.len();
+    // Chunk points per partition exactly like `parallelize` would, then
+    // batch within each chunk, so partition boundaries (and the per-
+    // partition fold order) match the record path.
+    let chunk = points.len().div_ceil(partitions).max(1);
+    let parts: Vec<Vec<F64Batch>> = points.chunks(chunk).map(batch_points).collect();
+    let metrics = sc.metrics().clone();
+    let rdd = sc
+        .parallelize(parts, partitions)
+        .persist(StorageLevel::MemoryOnly);
+    for _ in 0..iterations {
+        let cb = centers_batch(&centers);
+        let m = metrics.clone();
+        let sums = rdd
+            .map_partitions(move |groups: &[Vec<F64Batch>]| {
+                let mut partial: Option<Partial> = None;
+                for g in groups {
+                    let p = assign_partition(g, &cb, &m);
+                    partial = Some(match partial {
+                        Some(acc) => acc.merge(p),
+                        None => p,
+                    });
+                }
+                partial
+                    .unwrap_or_else(|| Partial::new(k))
+                    .sums
+                    .into_iter()
+                    .enumerate()
+                    .collect::<Vec<(usize, (f64, f64, u64))>>()
+            })
+            .reduce_by_key(|a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+                a.2 += b.2;
+            })
+            .collect_as_map();
+        let mut partial = Partial::new(k);
+        for (c, (x, y, n)) in sums {
+            partial.sums[c] = (x, y, n);
+        }
+        centers = partial.centers(&centers);
+        sc.metrics().add_iterations_run(1);
+    }
+    centers
+}
+
+/// Runs K-Means on the staged engine record-at-a-time (the pre-columnar
+/// plan, kept as the scalar reference for parity tests).
+pub fn run_spark_records(
     sc: &SparkContext,
     points: Vec<Point>,
     mut centers: Vec<Point>,
@@ -194,9 +297,57 @@ struct KState {
     partial: Option<Partial>,
 }
 
-/// Runs K-Means on the pipelined engine: a native bulk iteration with the
-/// centroids as broadcast state.
+/// Runs K-Means on the pipelined engine: a native bulk iteration whose
+/// workers hold dim-major column batches and fold each round through the
+/// vectorized [`kernels::assign_accumulate`] kernel.
 pub fn run_flink(
+    env: &FlinkEnv,
+    points: Vec<Point>,
+    centers: Vec<Point>,
+    iterations: u32,
+) -> Vec<Point> {
+    let parallelism = env.parallelism();
+    let chunk = points.len().div_ceil(parallelism).max(1);
+    let parts: Vec<Vec<F64Batch>> = points.chunks(chunk).map(batch_points).collect();
+    let metrics = env.metrics().clone();
+    let state = KState {
+        centers,
+        partial: None,
+    };
+    let result = bulk_iterate(
+        env,
+        parts,
+        state,
+        iterations,
+        move |s, part: &[F64Batch]| {
+            let cb = centers_batch(&s.centers);
+            KState {
+                centers: s.centers.clone(),
+                partial: Some(assign_partition(part, &cb, &metrics)),
+            }
+        },
+        |a, b| KState {
+            centers: a.centers,
+            partial: match (a.partial, b.partial) {
+                (Some(x), Some(y)) => Some(x.merge(y)),
+                (x, y) => x.or(y),
+            },
+        },
+        |s| KState {
+            centers: s
+                .partial
+                .as_ref()
+                .map(|p| p.centers(&s.centers))
+                .unwrap_or(s.centers),
+            partial: None,
+        },
+    );
+    result.centers
+}
+
+/// Runs K-Means on the pipelined engine record-at-a-time (scalar
+/// reference).
+pub fn run_flink_records(
     env: &FlinkEnv,
     points: Vec<Point>,
     centers: Vec<Point>,
@@ -300,6 +451,83 @@ mod tests {
         let env = FlinkEnv::new(4);
         let flink = run_flink(&env, points, init, 10);
         assert!(close_points(&flink, &expect, 1e-9), "flink drifted");
+    }
+
+    /// Batch-vs-record parity, iteration by iteration: running `i`
+    /// iterations through the vectorized path must land on the same
+    /// centroids as the record adapters (identical assignment decisions;
+    /// summation order differs only across partition merges, hence the
+    /// tight float tolerance rather than bit equality).
+    #[test]
+    fn batch_path_matches_record_adapters_each_iteration() {
+        let (points, init) = dataset(3000);
+        for iters in 1..=4u32 {
+            let sc_b = SparkContext::new(4, 64 << 20);
+            let batch = run_spark(&sc_b, points.clone(), init.clone(), iters, 4);
+            let sc_r = SparkContext::new(4, 64 << 20);
+            let record = run_spark_records(&sc_r, points.clone(), init.clone(), iters, 4);
+            assert!(
+                close_points(&batch, &record, 1e-9),
+                "spark batch/record diverged at iteration {iters}"
+            );
+            assert!(
+                sc_b.metrics().points_assigned_vectorized() >= iters as u64 * 3000,
+                "batch path must assign every point through the kernel"
+            );
+            assert_eq!(
+                sc_r.metrics().points_assigned_vectorized(),
+                0,
+                "record adapter must stay off the vectorized path"
+            );
+
+            let env_b = FlinkEnv::new(4);
+            let fbatch = run_flink(&env_b, points.clone(), init.clone(), iters);
+            let env_r = FlinkEnv::new(4);
+            let frecord = run_flink_records(&env_r, points.clone(), init.clone(), iters);
+            assert!(
+                close_points(&fbatch, &frecord, 1e-9),
+                "flink batch/record diverged at iteration {iters}"
+            );
+            assert!(env_b.metrics().points_assigned_vectorized() >= iters as u64 * 3000);
+            assert_eq!(env_r.metrics().points_assigned_vectorized(), 0);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// Parity holds for arbitrary point clouds, center counts, and
+        /// partitionings — not just the Gaussian test dataset.
+        #[test]
+        fn batch_record_parity_on_arbitrary_inputs(
+            coords in proptest::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 1..400),
+            k in 1usize..6,
+            partitions in 1usize..6,
+            iters in 1u32..4,
+        ) {
+            let points: Vec<Point> = coords.iter().map(|&(x, y)| Point { x, y }).collect();
+            let init: Vec<Point> = (0..k)
+                .map(|i| {
+                    let p = points[i % points.len()];
+                    Point { x: p.x + i_f(i), y: p.y - i_f(i) }
+                })
+                .collect();
+            let sc_b = SparkContext::new(partitions, 64 << 20);
+            let batch = run_spark(&sc_b, points.clone(), init.clone(), iters, partitions);
+            let sc_r = SparkContext::new(partitions, 64 << 20);
+            let record = run_spark_records(&sc_r, points.clone(), init.clone(), iters, partitions);
+            proptest::prop_assert!(close_points(&batch, &record, 1e-9), "spark diverged");
+            let env_b = FlinkEnv::new(partitions);
+            let fbatch = run_flink(&env_b, points.clone(), init.clone(), iters);
+            let env_r = FlinkEnv::new(partitions);
+            let frecord = run_flink_records(&env_r, points, init, iters);
+            proptest::prop_assert!(close_points(&fbatch, &frecord, 1e-9), "flink diverged");
+        }
+    }
+
+    /// Deterministic small offset so duplicate seed points still yield
+    /// distinct initial centers.
+    fn i_f(i: usize) -> f64 {
+        i as f64 * 0.125
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct Q3Join {
     persons: BTreeMap<u64, (u64, u64)>,
     /// Filtered auctions waiting for their seller: `(seller, auction)`.
     pending: BTreeMap<(u64, u64), ()>,
+    /// Reusable buffer for auctions flushed by an arriving person —
+    /// keeps the hot per-person path allocation-free after warm-up.
+    /// Deliberately not part of [`Self::State`]: it is always drained
+    /// before `on_event` returns.
+    ready: Vec<(u64, u64)>,
 }
 
 impl Q3Join {
@@ -102,12 +107,13 @@ impl StreamOperator for Q3Join {
                 if p.state < Q3_STATE_CUT {
                     self.persons.insert(p.id, (p.state, p.city));
                     // Flush auctions that were waiting for this seller.
-                    let ready: Vec<(u64, u64)> = self
-                        .pending
-                        .range((p.id, 0)..=(p.id, u64::MAX))
-                        .map(|(&k, ())| k)
-                        .collect();
-                    for key in ready {
+                    self.ready.extend(
+                        self.pending
+                            .range((p.id, 0)..=(p.id, u64::MAX))
+                            .map(|(&k, ())| k),
+                    );
+                    for i in 0..self.ready.len() {
+                        let key = self.ready[i];
                         self.pending.remove(&key);
                         out.push(Q3Row {
                             auction: key.1,
@@ -116,6 +122,7 @@ impl StreamOperator for Q3Join {
                             city: p.city,
                         });
                     }
+                    self.ready.clear();
                 }
             }
             NexmarkEvent::Auction(a) => {

@@ -143,22 +143,56 @@ fn route_batches(
         .collect()
 }
 
-/// Concatenates a reducer's routed batches into one pre-sized buffer and
-/// sorts it by key (the reduce half, run inside the shuffle on the staged
-/// engine). The cached-key sort moves 10-byte keys through the comparison
-/// loop and permutes the 100-byte records exactly once at the end.
-fn merge_sort_batches(batches: Vec<Vec<Record>>) -> Vec<Record> {
+/// Big-endian `u64` over a record's first 8 key bytes: integer order on the
+/// prefix equals lexicographic order on those bytes, so a flat `u64` column
+/// stands in for the 10-byte key in the radix passes.
+#[inline]
+/// First 4 key bytes as a big-endian integer: 4 radix passes order the
+/// records by their 32-bit prefix (the upper 4 bytes of the `u64` are
+/// zero, so the histogram pre-pass skips them), and 32-bit collisions are
+/// rare enough at per-reducer scale that the comparison tie-break on the
+/// key tail costs almost nothing.
+fn key_prefix(r: &Record) -> u64 {
+    u32::from_be_bytes(r.key()[..4].try_into().expect("keys have 10 bytes")) as u64
+}
+
+/// Concatenates a reducer's routed batches and sorts them by key through
+/// the columnar radix path (the reduce half, run inside the shuffle on the
+/// staged engine): one pass extracts a flat `u64` prefix column,
+/// [`flowmark_columnar::kernels::radix_sort_u64`] produces the permutation
+/// without touching the 100-byte payloads, runs of equal prefixes tie-break
+/// on the key tail, and a single gather pass moves each record exactly
+/// once.
+fn merge_sort_batches(
+    batches: Vec<Vec<Record>>,
+    metrics: &flowmark_engine::metrics::EngineMetrics,
+) -> Vec<Record> {
     let total: usize = batches.iter().map(Vec::len).sum();
     let mut all = Vec::with_capacity(total);
     for mut b in batches {
         all.append(&mut b);
     }
-    all.sort_by_cached_key(|r| {
-        let mut k = [0u8; KEY_BYTES];
-        k.copy_from_slice(r.key());
-        k
-    });
-    all
+    let keys: Vec<u64> = all.iter().map(key_prefix).collect();
+    let mut perm = flowmark_columnar::kernels::radix_sort_u64(&keys);
+    // Records agreeing on the 32-bit prefix (rare for random printable
+    // keys, common in adversarial inputs) still need the remaining key
+    // bytes compared.
+    let mut i = 0;
+    while i < perm.len() {
+        let prefix = keys[perm[i] as usize];
+        let mut j = i + 1;
+        while j < perm.len() && keys[perm[j] as usize] == prefix {
+            j += 1;
+        }
+        if j - i > 1 {
+            perm[i..j].sort_unstable_by(|&a, &b| {
+                all[a as usize].key()[4..].cmp(&all[b as usize].key()[4..])
+            });
+        }
+        i = j;
+    }
+    metrics.add_radix_sort_runs(1);
+    perm.iter().map(|&i| all[i as usize].clone()).collect()
 }
 
 /// Runs TeraSort on the staged engine; returns the per-partition sorted
@@ -178,10 +212,11 @@ pub fn run_spark(
     let batches = batch_records(records, flowmark_columnar::DEFAULT_BATCH_ROWS);
     sc.metrics()
         .add_records_read((rows - batches.len().min(rows)) as u64);
+    let metrics = sc.metrics().clone();
     let rdd = sc
         .parallelize(batches, partitions)
         .map_partitions(move |chunks| route_batches(chunks, &partitioner))
-        .exchange_by_index_with(out_parts, |bs| vec![merge_sort_batches(bs)]);
+        .exchange_by_index_with(out_parts, move |bs| vec![merge_sort_batches(bs, &metrics)]);
     (0..rdd.num_partitions())
         .map(|part| {
             flowmark_engine::shuffle::take_partition(rdd.compute(part))
@@ -226,7 +261,10 @@ pub fn run_flink(env: &FlinkEnv, records: Vec<Record>, partitions: usize) -> Vec
                 .collect::<Vec<(usize, Vec<Record>)>>()
         })
         .exchange_by_index(out_parts)
-        .map_partition(|bs: Vec<Vec<Record>>| merge_sort_batches(bs))
+        .map_partition({
+            let metrics = env.metrics().clone();
+            move |bs: Vec<Vec<Record>>| merge_sort_batches(bs, &metrics)
+        })
         .collect_partitions()
 }
 
@@ -333,6 +371,62 @@ mod tests {
             flink_flat.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>(),
             expect.iter().map(|r| r.key().to_vec()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn radix_merge_counts_runs_and_matches_the_record_adapters() {
+        let records = TeraGen::new(29).records(3000);
+        let expect_keys: Vec<Vec<u8>> = oracle(records.clone())
+            .iter()
+            .map(|r| r.key().to_vec())
+            .collect();
+
+        let sc = SparkContext::new(4, 64 << 20);
+        let batch: Vec<Vec<u8>> = run_spark(&sc, records.clone(), 4)
+            .into_iter()
+            .flatten()
+            .map(|r| r.key().to_vec())
+            .collect();
+        assert_eq!(batch, expect_keys);
+        assert!(
+            sc.metrics().radix_sort_runs() > 0,
+            "batch path must sort through the radix kernel"
+        );
+
+        let sc2 = SparkContext::new(4, 64 << 20);
+        let rec: Vec<Vec<u8>> = run_spark_records(&sc2, records.clone(), 4)
+            .into_iter()
+            .flatten()
+            .map(|r| r.key().to_vec())
+            .collect();
+        assert_eq!(rec, expect_keys);
+        assert_eq!(
+            sc2.metrics().radix_sort_runs(),
+            0,
+            "the record adapter must stay off the radix path"
+        );
+    }
+
+    #[test]
+    fn radix_merge_tie_breaks_equal_prefixes_on_the_key_tail() {
+        // Adversarial keys: all records share the first 8 key bytes, so
+        // every radix pass is trivial and ordering rests entirely on the
+        // 2-byte tail comparison.
+        let mut records: Vec<Record> = (0..100u8)
+            .rev()
+            .map(|i| {
+                let mut bytes = [b'A'; 100];
+                bytes[8] = b' ' + (i % 20);
+                bytes[9] = b' ' + (i / 20);
+                Record(bytes)
+            })
+            .collect();
+        records.rotate_left(37);
+        let expect = oracle(records.clone());
+        let metrics = flowmark_engine::metrics::EngineMetrics::new();
+        let sorted = merge_sort_batches(vec![records], &metrics);
+        assert_eq!(sorted, expect);
+        assert_eq!(metrics.radix_sort_runs(), 1);
     }
 
     #[test]

@@ -21,7 +21,11 @@ use flowmark_harness::bench::{compare, run_smoke, SmokeScale};
 #[test]
 fn smoke_bench_verifies_every_cell() {
     let report = run_smoke(SmokeScale::tiny(), "ci");
-    assert_eq!(report.cells.len(), 12, "6 workloads x 2 engines");
+    assert_eq!(
+        report.cells.len(),
+        16,
+        "6 batch workloads x 2 engines + 2 nexmark queries x 2 runtimes"
+    );
     for c in &report.cells {
         assert!(
             c.verified,
@@ -35,7 +39,8 @@ fn smoke_bench_verifies_every_cell() {
         // shuffle records; every other cell must cross the exchange.
         let iterative_flink = c.engine == "flink"
             && matches!(c.workload.as_str(), "kmeans" | "pagerank" | "connected");
-        if c.workload != "grep" && !iterative_flink {
+        let streaming = c.workload.starts_with("nexmark");
+        if c.workload != "grep" && !iterative_flink && !streaming {
             assert!(
                 c.records_shuffled > 0,
                 "{}/{} reported an empty shuffle",
@@ -106,6 +111,7 @@ fn committed_bench_reports_parse_and_verified() {
         "BENCH_PR1.json",
         "BENCH_PR5.json",
         "BENCH_PR6.json",
+        "BENCH_PR10.json",
     ] {
         let path = concat_root(name);
         let Ok(text) = std::fs::read_to_string(&path) else {
@@ -126,6 +132,77 @@ fn committed_bench_reports_parse_and_verified() {
     }
 }
 
+/// Bench guard for the columnar migration: the cells the PR-10 refactor
+/// moved to batch kernels must actually take them — the counters prove the
+/// vectorized path executed, and `path` must report it. A silent fallback
+/// to a record adapter would pass the oracle check while erasing the
+/// speedup; this test makes that regression loud.
+#[test]
+fn migrated_cells_take_the_vectorized_paths() {
+    let report = run_smoke(SmokeScale::tiny(), "guard");
+    for c in &report.cells {
+        match c.workload.as_str() {
+            "kmeans" => {
+                assert!(
+                    c.points_assigned_vectorized > 0,
+                    "kmeans/{} fell back to the record adapter",
+                    c.engine
+                );
+            }
+            "terasort" => {
+                assert!(
+                    c.radix_sort_runs > 0,
+                    "terasort/{} fell back to the comparison merge",
+                    c.engine
+                );
+            }
+            w if w.starts_with("nexmark") => {
+                assert!(
+                    c.stream_batches > 0,
+                    "{}/{} fell back to per-event transport",
+                    c.workload,
+                    c.engine
+                );
+            }
+            _ => {}
+        }
+        if matches!(c.workload.as_str(), "kmeans" | "terasort")
+            || c.workload.starts_with("nexmark")
+        {
+            assert_eq!(
+                c.path, "batch",
+                "{}/{} must report the batch path",
+                c.workload, c.engine
+            );
+        }
+    }
+
+    // The record adapters stay scalar: running them must leave every
+    // vectorization counter untouched, so the A/B in BENCH_PR10.json
+    // really is batch-vs-record.
+    use flowmark_datagen::points::{PointsConfig, PointsGen};
+    use flowmark_datagen::terasort::TeraGen;
+    use flowmark_workloads::{kmeans, terasort};
+
+    let mut gen = PointsGen::new(PointsConfig::default(), 5);
+    let points = gen.points(2_000);
+    let init = gen.true_centers().to_vec();
+    let sc = SparkContext::new(4, 64 << 20);
+    kmeans::run_spark_records(&sc, points.clone(), init.clone(), 2, 4);
+    assert_eq!(sc.metrics().points_assigned_vectorized(), 0);
+    let env = FlinkEnv::new(4);
+    kmeans::run_flink_records(&env, points, init, 2);
+    assert_eq!(env.metrics().points_assigned_vectorized(), 0);
+
+    let records = TeraGen::new(11).records(2_000);
+    let sc = SparkContext::new(4, 64 << 20);
+    terasort::run_spark_records(&sc, records.clone(), 4);
+    assert_eq!(sc.metrics().radix_sort_runs(), 0);
+    let env = FlinkEnv::new(4);
+    terasort::run_flink_records(&env, records, 4);
+    assert_eq!(env.metrics().radix_sort_runs(), 0);
+}
+
 fn concat_root(name: &str) -> std::path::PathBuf {
     // tests run with CWD = crates/harness; the reports live at the repo root.
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -143,7 +220,7 @@ fn speedups_pair_cells_with_the_baseline() {
         c.records_per_sec = 3.0 * c.records_per_sec;
     }
     let cmp = compare(fast, Some(base));
-    assert_eq!(cmp.speedup_vs_seed.len(), 12);
+    assert_eq!(cmp.speedup_vs_seed.len(), 16);
     for (k, s) in &cmp.speedup_vs_seed {
         assert!((s - 3.0).abs() < 1e-9, "{k}: {s}");
     }

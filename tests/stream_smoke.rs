@@ -24,6 +24,9 @@ fn stream_drill_passes_and_is_deterministic() {
     for c in &report.cells {
         assert!(c.verified, "{}-{} diverged", c.query, c.runtime);
         assert!(c.committed > 0);
+        // The drill runs the default slab transport: every cell must
+        // have folded at least one event slab batch-at-a-time.
+        assert!(c.stream_batches > 0, "{}-{} ran per-event", c.query, c.runtime);
         if c.armed {
             assert!(c.recovery.injected_failures > 0);
             assert!(c.recovery.region_restarts > 0);
